@@ -1,0 +1,81 @@
+//! Criterion benchmarks for the trace encodings (ablation A of
+//! DESIGN.md): ASCII vs binary write and parse throughput, backing the
+//! paper's §4 prediction that a binary format compacts traces 2-3x and
+//! speeds up the parsing-bound checker.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rescheck_solver::{Solver, SolverConfig};
+use rescheck_trace::{
+    AsciiReader, AsciiWriter, BinaryReader, BinaryWriter, MemorySink, TraceEvent, TraceSink,
+};
+use rescheck_workloads::pigeonhole;
+
+fn real_trace() -> Vec<TraceEvent> {
+    let inst = pigeonhole::instance(7);
+    let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+    let mut sink = MemorySink::new();
+    assert!(solver.solve_traced(&mut sink).unwrap().is_unsat());
+    sink.into_events()
+}
+
+fn encode_ascii(events: &[TraceEvent]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = AsciiWriter::new(&mut buf);
+    for e in events {
+        w.event(e).unwrap();
+    }
+    buf
+}
+
+fn encode_binary(events: &[TraceEvent]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = BinaryWriter::new(&mut buf).unwrap();
+    for e in events {
+        w.event(e).unwrap();
+    }
+    buf
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let events = real_trace();
+    let mut group = c.benchmark_group("trace_encode");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("ascii", |b| b.iter(|| encode_ascii(&events)));
+    group.bench_function("binary", |b| b.iter(|| encode_binary(&events)));
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let events = real_trace();
+    let ascii = encode_ascii(&events);
+    let binary = encode_binary(&events);
+    println!(
+        "trace sizes: ascii {} bytes, binary {} bytes ({:.2}x compaction)",
+        ascii.len(),
+        binary.len(),
+        ascii.len() as f64 / binary.len() as f64
+    );
+    let mut group = c.benchmark_group("trace_decode");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("ascii", |b| {
+        b.iter(|| {
+            let n = AsciiReader::new(std::io::Cursor::new(&ascii))
+                .map(Result::unwrap)
+                .count();
+            assert_eq!(n, events.len());
+        })
+    });
+    group.bench_function("binary", |b| {
+        b.iter(|| {
+            let n = BinaryReader::new(std::io::Cursor::new(&binary))
+                .unwrap()
+                .map(Result::unwrap)
+                .count();
+            assert_eq!(n, events.len());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerates **Table 1** of the paper: statistics of the solver with
+//! trace generation turned on and off.
+//!
+//! ```text
+//! cargo run --release -p rescheck-bench --bin table1
+//! ```
+//!
+//! Columns mirror the paper: instance, variables, original clauses,
+//! learned clauses, runtime with trace off / on, and the trace-generation
+//! overhead percentage. The expected *shape* (paper §4): overhead is a
+//! small single-digit percentage, shrinking on harder instances.
+
+use rescheck_bench::{fmt_secs, measure_solve};
+use rescheck_solver::SolverConfig;
+use rescheck_workloads::paper_suite;
+
+fn main() {
+    let cfg = SolverConfig::default();
+    println!(
+        "{:<34} {:>8} {:>10} {:>12} {:>13} {:>12} {:>10}",
+        "Instance",
+        "Num.Vars",
+        "Orig.Cls",
+        "Learned Cls",
+        "TraceOff (s)",
+        "TraceOn (s)",
+        "Overhead"
+    );
+    println!("{}", "-".repeat(106));
+
+    let mut total_off = 0.0;
+    let mut total_on = 0.0;
+    for instance in paper_suite() {
+        let report = measure_solve(&instance, &cfg);
+        total_off += report.time_trace_off.as_secs_f64();
+        total_on += report.time_trace_on.as_secs_f64();
+        println!(
+            "{:<34} {:>8} {:>10} {:>12} {:>13} {:>12} {:>9.1}%",
+            report.name,
+            report.num_vars,
+            report.num_clauses,
+            report.learned_clauses,
+            fmt_secs(report.time_trace_off),
+            fmt_secs(report.time_trace_on),
+            report.overhead_percent()
+        );
+    }
+    println!("{}", "-".repeat(106));
+    println!(
+        "{:<34} {:>8} {:>10} {:>12} {:>13} {:>12} {:>9.1}%",
+        "TOTAL",
+        "",
+        "",
+        "",
+        format!("{total_off:.3}"),
+        format!("{total_on:.3}"),
+        100.0 * (total_on - total_off) / total_off.max(1e-12)
+    );
+    println!();
+    println!("Paper shape: trace generation costs 1.7%-12%, smaller on harder instances.");
+}

@@ -1,0 +1,223 @@
+//! Top-level checking entry points.
+
+use crate::error::CheckError;
+use crate::outcome::CheckOutcome;
+pub use crate::outcome::Strategy;
+use rescheck_cnf::{Assignment, Cnf};
+use rescheck_trace::{RandomAccessTrace, TraceSource};
+use std::error::Error;
+use std::fmt;
+
+/// Options shared by both checking strategies.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_checker::CheckConfig;
+///
+/// let cfg = CheckConfig {
+///     memory_limit: Some(800 << 20), // the paper's 800 MB cap
+///     ..CheckConfig::default()
+/// };
+/// assert!(cfg.memory_limit.is_some());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Accounted-memory budget in bytes; `None` = unlimited.
+    ///
+    /// The paper ran both checkers with an 800 MB limit, under which the
+    /// depth-first strategy fails on the largest instances (Table 2).
+    pub memory_limit: Option<u64>,
+}
+
+/// Validates an UNSAT claim with the chosen strategy.
+///
+/// # Errors
+///
+/// Returns a [`CheckError`] describing the first invalid proof step — the
+/// claim is *not validated* in that case and the solver (or its trace
+/// generation) should be considered buggy.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_checker::{check_unsat_claim, CheckConfig, Strategy};
+/// use rescheck_cnf::Cnf;
+/// use rescheck_solver::{Solver, SolverConfig};
+/// use rescheck_trace::MemorySink;
+///
+/// let mut cnf = Cnf::new();
+/// cnf.add_dimacs_clause(&[1]);
+/// cnf.add_dimacs_clause(&[-1]);
+/// let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());
+/// let mut trace = MemorySink::new();
+/// assert!(solver.solve_traced(&mut trace)?.is_unsat());
+///
+/// for strategy in [Strategy::DepthFirst, Strategy::BreadthFirst, Strategy::Hybrid] {
+///     check_unsat_claim(&cnf, &trace, strategy, &CheckConfig::default())?;
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_unsat_claim<S: RandomAccessTrace + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    strategy: Strategy,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, CheckError> {
+    match strategy {
+        Strategy::DepthFirst => crate::depth_first::run(cnf, trace, config),
+        Strategy::BreadthFirst => crate::breadth_first::run(cnf, trace, config),
+        Strategy::Hybrid => crate::hybrid::run(cnf, trace, config),
+    }
+}
+
+/// Validates an UNSAT claim with the depth-first strategy (§3.2).
+///
+/// On success the outcome carries the unsatisfiable core.
+///
+/// # Errors
+///
+/// See [`check_unsat_claim`].
+pub fn check_depth_first<S: TraceSource + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, CheckError> {
+    crate::depth_first::run(cnf, trace, config)
+}
+
+/// Validates an UNSAT claim with the breadth-first strategy (§3.3).
+///
+/// # Errors
+///
+/// See [`check_unsat_claim`].
+pub fn check_breadth_first<S: TraceSource + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, CheckError> {
+    crate::breadth_first::run(cnf, trace, config)
+}
+
+/// Validates an UNSAT claim with the hybrid (on-disk depth-first)
+/// strategy — the paper's future-work design: needed-clauses-only like
+/// depth-first, bounded clause memory like breadth-first, with the trace
+/// left on disk and consulted by random access.
+///
+/// On success the outcome carries the unsatisfiable core.
+///
+/// # Errors
+///
+/// See [`check_unsat_claim`].
+pub fn check_hybrid<S: RandomAccessTrace + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, CheckError> {
+    crate::hybrid::run(cnf, trace, config)
+}
+
+/// A SAT claim that does not hold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelError {
+    /// IDs of the clauses the claimed model fails to satisfy.
+    pub falsified_or_undetermined: Vec<usize>,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "claimed model leaves {} clause(s) unsatisfied (first ids: {:?})",
+            self.falsified_or_undetermined.len(),
+            &self.falsified_or_undetermined
+                [..self.falsified_or_undetermined.len().min(8)]
+        )
+    }
+}
+
+impl Error for ModelError {}
+
+/// Validates a SAT claim: every clause must be satisfied by the model.
+///
+/// This is the easy direction the paper notes takes linear time for CNF.
+/// Clauses that are undetermined (because the model leaves one of their
+/// variables unassigned) count as unsatisfied — a valid SAT certificate
+/// must determine every clause.
+///
+/// # Errors
+///
+/// Returns the IDs of unsatisfied clauses.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_checker::check_sat_claim;
+/// use rescheck_cnf::{Assignment, Cnf};
+///
+/// let mut cnf = Cnf::new();
+/// cnf.add_dimacs_clause(&[1, -2]);
+/// let good = Assignment::from_bools(&[true, true]);
+/// assert!(check_sat_claim(&cnf, &good).is_ok());
+///
+/// let bad = Assignment::from_bools(&[false, true]);
+/// let err = check_sat_claim(&cnf, &bad).unwrap_err();
+/// assert_eq!(err.falsified_or_undetermined, vec![0]);
+/// ```
+pub fn check_sat_claim(cnf: &Cnf, model: &Assignment) -> Result<(), ModelError> {
+    let bad: Vec<usize> = cnf
+        .iter()
+        .filter(|(_, c)| c.evaluate(model) != rescheck_cnf::LBool::True)
+        .map(|(id, _)| id)
+        .collect();
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(ModelError {
+            falsified_or_undetermined: bad,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescheck_cnf::Lit;
+    use rescheck_trace::{MemorySink, TraceSink};
+
+    #[test]
+    fn both_strategies_accept_a_valid_proof() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        cnf.add_dimacs_clause(&[-1]);
+        let mut sink = MemorySink::new();
+        sink.level_zero(Lit::from_dimacs(1), 0).unwrap();
+        sink.final_conflict(1).unwrap();
+        for strategy in [Strategy::DepthFirst, Strategy::BreadthFirst] {
+            let outcome =
+                check_unsat_claim(&cnf, &sink, strategy, &CheckConfig::default()).unwrap();
+            assert_eq!(outcome.stats.strategy, strategy);
+        }
+    }
+
+    #[test]
+    fn sat_claim_with_partial_model_is_rejected() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1, 2]);
+        let partial = Assignment::new(2); // nothing assigned
+        let err = check_sat_claim(&cnf, &partial).unwrap_err();
+        assert_eq!(err.falsified_or_undetermined, vec![0]);
+        assert!(err.to_string().contains("1 clause"));
+    }
+
+    #[test]
+    fn sat_claim_on_empty_formula_holds() {
+        let cnf = Cnf::with_vars(3);
+        assert!(check_sat_claim(&cnf, &Assignment::new(3)).is_ok());
+    }
+
+    #[test]
+    fn config_default_is_unlimited() {
+        assert_eq!(CheckConfig::default().memory_limit, None);
+    }
+}

@@ -1,0 +1,359 @@
+//! The breadth-first checking strategy (paper §3.3).
+//!
+//! Learned clauses are rebuilt in the order the solver generated them, so
+//! every resolve source is already available when it is needed. A first
+//! pass over the trace counts how many times each learned clause is used
+//! as a resolve source; during the resolution pass a clause is **freed as
+//! soon as its use count reaches zero** (unless it is pinned for the
+//! final derivation). The checker therefore never holds more clauses than
+//! the solver itself did — the guarantee that lets it finish instances
+//! where the depth-first strategy runs out of memory.
+//!
+//! As a side effect, the breadth-first strategy verifies *every* learned
+//! clause, not just those on the proof path.
+
+use crate::api::CheckConfig;
+use crate::error::CheckError;
+use crate::final_phase::{derive_empty_clause, ClauseProvider};
+use crate::memory::{clause_bytes, MemoryMeter, LEVEL_ZERO_RECORD_BYTES, USE_COUNT_BYTES};
+use crate::model::{validate_learned, LevelZeroMap};
+use crate::outcome::{CheckOutcome, CheckStats, Strategy};
+use crate::resolve::{normalize_literals, resolve_sorted};
+use rescheck_cnf::{Cnf, Lit};
+use rescheck_trace::{TraceEvent, TraceSource};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::time::Instant;
+
+pub(crate) fn run<S: TraceSource + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, CheckError> {
+    let start = Instant::now();
+    let num_original = cnf.num_clauses();
+    let mut meter = MemoryMeter::new(config.memory_limit);
+
+    // ---- Pass 1: count resolve-source uses; collect the level-0
+    // assignment, the final conflict, and the pin set.
+    let mut use_counts: HashMap<u64, u32> = HashMap::new();
+    let mut defined: HashSet<u64> = HashSet::new();
+    let mut level_zero = LevelZeroMap::default();
+    let mut pinned: HashSet<u64> = HashSet::new();
+    let mut final_ids: Vec<u64> = Vec::new();
+
+    for event in trace.events_iter()? {
+        match event? {
+            TraceEvent::Learned { id, sources } => {
+                validate_learned(id, &sources, num_original, |c| defined.contains(&c))?;
+                defined.insert(id);
+                use_counts.entry(id).or_insert(0);
+                for &s in &sources {
+                    if s >= num_original as u64 {
+                        *use_counts.entry(s).or_insert(0) += 1;
+                    }
+                }
+            }
+            TraceEvent::LevelZero { lit, antecedent } => {
+                level_zero.insert(lit, antecedent)?;
+                if antecedent >= num_original as u64 {
+                    pinned.insert(antecedent);
+                }
+            }
+            TraceEvent::FinalConflict { id } => {
+                final_ids.push(id);
+                if id >= num_original as u64 {
+                    pinned.insert(id);
+                }
+            }
+        }
+    }
+
+    let start_id = *final_ids.first().ok_or(CheckError::NoFinalConflict)?;
+
+    // Accounting for the bookkeeping tables the strategy keeps resident.
+    meter.alloc(
+        use_counts.len() as u64 * USE_COUNT_BYTES
+            + level_zero.len() as u64 * LEVEL_ZERO_RECORD_BYTES,
+    )?;
+
+    // ---- Pass 2: rebuild learned clauses in generation order, freeing
+    // clauses whose uses are exhausted.
+    let mut live: HashMap<u64, Rc<[Lit]>> = HashMap::new();
+    let mut original_cache: HashMap<u64, Rc<[Lit]>> = HashMap::new();
+    let mut resolutions: u64 = 0;
+    let mut clauses_built: u64 = 0;
+
+    let fetch = |id: u64,
+                 parent: u64,
+                 cnf: &Cnf,
+                 live: &HashMap<u64, Rc<[Lit]>>,
+                 cache: &mut HashMap<u64, Rc<[Lit]>>,
+                 defined: &HashSet<u64>|
+     -> Result<Rc<[Lit]>, CheckError> {
+        if id < num_original as u64 {
+            if let Some(c) = cache.get(&id) {
+                return Ok(c.clone());
+            }
+            let lits: Rc<[Lit]> = Rc::from(normalize_literals(
+                cnf.clause(id as usize).expect("in range").iter().copied(),
+            ));
+            cache.insert(id, lits.clone());
+            return Ok(lits);
+        }
+        match live.get(&id) {
+            Some(c) => Ok(c.clone()),
+            None if defined.contains(&id) => Err(CheckError::ForwardReference {
+                id: parent,
+                source: id,
+            }),
+            None => Err(CheckError::UnknownClause {
+                id,
+                referenced_by: Some(parent),
+            }),
+        }
+    };
+
+    for event in trace.events_iter()? {
+        let TraceEvent::Learned { id, sources } = event? else {
+            continue;
+        };
+        let mut acc: Vec<Lit> = fetch(
+            sources[0],
+            id,
+            cnf,
+            &live,
+            &mut original_cache,
+            &defined,
+        )?
+        .to_vec();
+        for (step, &s) in sources.iter().enumerate().skip(1) {
+            let right = fetch(s, id, cnf, &live, &mut original_cache, &defined)?;
+            acc = resolve_sorted(&acc, &right).map_err(|failure| CheckError::NotResolvable {
+                target: Some(id),
+                step,
+                with: s,
+                failure,
+            })?;
+            resolutions += 1;
+        }
+        clauses_built += 1;
+
+        // Release sources whose last use this was.
+        for &s in &sources {
+            if s >= num_original as u64 && !pinned.contains(&s) {
+                let count = use_counts.get_mut(&s).expect("counted in pass 1");
+                *count -= 1;
+                if *count == 0 {
+                    if let Some(freed) = live.remove(&s) {
+                        meter.free(clause_bytes(freed.len()));
+                    }
+                }
+            }
+        }
+
+        // Store the new clause unless it is already dead on arrival.
+        let remaining = use_counts.get(&id).copied().unwrap_or(0);
+        if remaining > 0 || pinned.contains(&id) {
+            meter.alloc(clause_bytes(acc.len()))?;
+            live.insert(id, Rc::from(acc));
+        }
+    }
+
+    // ---- Final phase: derive the empty clause from the pinned clauses.
+    let mut provider = PinnedProvider {
+        cnf,
+        num_original,
+        live: &live,
+        original_cache: &mut original_cache,
+    };
+    let final_stats = derive_empty_clause(start_id, &level_zero, &mut provider)?;
+
+    let stats = CheckStats {
+        strategy: Strategy::BreadthFirst,
+        learned_in_trace: defined.len() as u64,
+        clauses_built,
+        resolutions: resolutions + final_stats.resolutions,
+        peak_memory_bytes: meter.peak(),
+        runtime: start.elapsed(),
+        trace_bytes: trace.encoded_size(),
+    };
+
+    Ok(CheckOutcome { core: None, stats })
+}
+
+/// Serves the final derivation from the pinned clause table.
+struct PinnedProvider<'a> {
+    cnf: &'a Cnf,
+    num_original: usize,
+    live: &'a HashMap<u64, Rc<[Lit]>>,
+    original_cache: &'a mut HashMap<u64, Rc<[Lit]>>,
+}
+
+impl ClauseProvider for PinnedProvider<'_> {
+    fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError> {
+        if id < self.num_original as u64 {
+            if let Some(c) = self.original_cache.get(&id) {
+                return Ok(c.clone());
+            }
+            let lits: Rc<[Lit]> = Rc::from(normalize_literals(
+                self.cnf
+                    .clause(id as usize)
+                    .expect("in range")
+                    .iter()
+                    .copied(),
+            ));
+            self.original_cache.insert(id, lits.clone());
+            return Ok(lits);
+        }
+        self.live
+            .get(&id)
+            .cloned()
+            .ok_or(CheckError::UnknownClause {
+                id,
+                referenced_by: None,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescheck_trace::{MemorySink, TraceSink};
+
+    #[test]
+    fn accepts_learned_clause_proof_and_builds_everything() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1, 2]);
+        cnf.add_dimacs_clause(&[1, -2]);
+        cnf.add_dimacs_clause(&[-1, 2]);
+        cnf.add_dimacs_clause(&[-1, -2]);
+        let mut sink = MemorySink::new();
+        sink.learned(4, &[0, 1]).unwrap(); // (1)
+        sink.learned(5, &[2, 3]).unwrap(); // (-1)
+        sink.level_zero(Lit::from_dimacs(1), 4).unwrap();
+        sink.final_conflict(5).unwrap();
+
+        let outcome = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        assert!(outcome.core.is_none());
+        assert_eq!(outcome.stats.clauses_built, 2);
+        assert_eq!(outcome.stats.learned_in_trace, 2);
+        assert!((outcome.stats.built_percent() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builds_even_unneeded_clauses() {
+        // Unlike depth-first, an invalid *irrelevant* learned clause is
+        // still caught.
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]); // 0
+        cnf.add_dimacs_clause(&[-1, 2]); // 1
+        cnf.add_dimacs_clause(&[-2]); // 2
+        cnf.add_dimacs_clause(&[3, 4]); // 3
+        cnf.add_dimacs_clause(&[5, 6]); // 4 — shares nothing with 3
+        let mut sink = MemorySink::new();
+        sink.learned(5, &[3, 4]).unwrap(); // invalid resolution
+        sink.level_zero(Lit::from_dimacs(1), 0).unwrap();
+        sink.level_zero(Lit::from_dimacs(2), 1).unwrap();
+        sink.final_conflict(2).unwrap();
+
+        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckError::NotResolvable {
+                target: Some(5),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn forward_reference_is_rejected() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1, 2]);
+        cnf.add_dimacs_clause(&[1, -2]);
+        cnf.add_dimacs_clause(&[-1, 2]);
+        cnf.add_dimacs_clause(&[-1, -2]);
+        let mut sink = MemorySink::new();
+        // #4 uses #5 before it is defined.
+        sink.learned(4, &[5, 0]).unwrap();
+        sink.learned(5, &[2, 3]).unwrap();
+        sink.final_conflict(4).unwrap();
+        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckError::ForwardReference { id: 4, source: 5 }
+        ));
+    }
+
+    #[test]
+    fn unknown_source_is_rejected() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        let mut sink = MemorySink::new();
+        sink.learned(1, &[0, 42]).unwrap();
+        sink.final_conflict(1).unwrap();
+        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        assert!(matches!(err, CheckError::UnknownClause { id: 42, .. }));
+    }
+
+    #[test]
+    fn peak_memory_reflects_freeing() {
+        // A long chain where each learned clause is used exactly once:
+        // breadth-first should hold O(1) clauses, depth-first holds all.
+        let mut cnf = Cnf::new();
+        let n = 64i64;
+        cnf.add_dimacs_clause(&[1]); // 0: (x1)
+        for i in 1..n {
+            cnf.add_dimacs_clause(&[-i, i + 1]); // i: xi → xi+1
+        }
+        cnf.add_dimacs_clause(&[-n]); // n: (¬xn)
+        let mut sink = MemorySink::new();
+        // Learned chain: #n+1 = r(0, 1) = (x2), #n+2 = r(#n+1, 2) = (x3)…
+        let mut prev = 0u64;
+        let mut next_id = (n + 1) as u64;
+        for i in 1..n {
+            sink.learned(next_id, &[prev, i as u64]).unwrap();
+            prev = next_id;
+            next_id += 1;
+        }
+        // prev is now (xn); level 0: xn by prev; final conflict (¬xn).
+        sink.level_zero(Lit::from_dimacs(n), prev).unwrap();
+        sink.final_conflict(n as u64).unwrap();
+
+        let bf = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        let df = crate::depth_first::run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        assert!(
+            bf.stats.peak_memory_bytes < df.stats.peak_memory_bytes,
+            "bf {} vs df {}",
+            bf.stats.peak_memory_bytes,
+            df.stats.peak_memory_bytes
+        );
+        assert_eq!(bf.stats.clauses_built, (n - 1) as u64);
+    }
+
+    #[test]
+    fn missing_final_conflict_is_rejected() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        let sink = MemorySink::new();
+        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        assert!(matches!(err, CheckError::NoFinalConflict));
+    }
+
+    #[test]
+    fn memory_limit_applies() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        cnf.add_dimacs_clause(&[-1]);
+        let mut sink = MemorySink::new();
+        sink.level_zero(Lit::from_dimacs(1), 0).unwrap();
+        sink.final_conflict(1).unwrap();
+        let config = CheckConfig {
+            memory_limit: Some(1),
+            ..CheckConfig::default()
+        };
+        let err = run(&cnf, &sink, &config).unwrap_err();
+        assert!(matches!(err, CheckError::MemoryLimitExceeded { .. }));
+    }
+}

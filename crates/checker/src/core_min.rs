@@ -1,0 +1,257 @@
+//! Iterative unsatisfiable-core minimization (paper §4, Table 3).
+//!
+//! The original clauses used by a depth-first proof form an unsatisfiable
+//! core. Solving *that* core and checking the new proof usually shrinks it
+//! further; the paper iterates this up to 30 times or until a fixed point
+//! where "all the clauses are needed for the proof".
+
+use crate::api::{check_depth_first, CheckConfig};
+use crate::error::CheckError;
+use crate::outcome::UnsatCore;
+use rescheck_cnf::Cnf;
+use rescheck_solver::{SolveResult, Solver, SolverConfig};
+use rescheck_trace::MemorySink;
+use std::error::Error;
+use std::fmt;
+
+/// The size of the core after one iteration (one row cell of Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreIteration {
+    /// Original clauses remaining in the core.
+    pub num_clauses: usize,
+    /// Distinct variables those clauses mention.
+    pub num_vars: usize,
+}
+
+/// The result of iterated core extraction.
+#[derive(Clone, Debug)]
+pub struct CoreMinimization {
+    /// Core size after each iteration, in order.
+    pub iterations: Vec<CoreIteration>,
+    /// IDs of the final core's clauses **in the input formula**.
+    pub core_ids: Vec<usize>,
+    /// `true` if iteration stopped because the core stopped shrinking.
+    pub reached_fixed_point: bool,
+}
+
+impl CoreMinimization {
+    /// The final core as an [`UnsatCore`] over the input formula.
+    pub fn final_core(&self, cnf: &Cnf) -> UnsatCore {
+        UnsatCore::new(self.core_ids.clone(), cnf)
+    }
+}
+
+/// Ways core minimization can fail.
+#[derive(Debug)]
+pub enum MinimizeError {
+    /// The input (or an intermediate core — impossible unless something is
+    /// buggy) turned out satisfiable.
+    Satisfiable,
+    /// A solve hit its conflict budget before finishing.
+    BudgetExhausted,
+    /// A proof failed to check.
+    Check(CheckError),
+    /// Writing the in-memory trace failed (cannot happen in practice).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MinimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MinimizeError::Satisfiable => {
+                f.write_str("formula is satisfiable; it has no unsatisfiable core")
+            }
+            MinimizeError::BudgetExhausted => {
+                f.write_str("solver conflict budget exhausted during core minimization")
+            }
+            MinimizeError::Check(e) => write!(f, "proof check failed: {e}"),
+            MinimizeError::Io(e) => write!(f, "trace I/O failed: {e}"),
+        }
+    }
+}
+
+impl Error for MinimizeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MinimizeError::Check(e) => Some(e),
+            MinimizeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckError> for MinimizeError {
+    fn from(e: CheckError) -> Self {
+        MinimizeError::Check(e)
+    }
+}
+
+impl From<std::io::Error> for MinimizeError {
+    fn from(e: std::io::Error) -> Self {
+        MinimizeError::Io(e)
+    }
+}
+
+/// Iteratively shrinks the unsatisfiable core of `cnf`.
+///
+/// Each iteration solves the current core with a fresh solver, checks the
+/// proof depth-first, and keeps only the original clauses the proof used.
+/// Stops after `max_iterations` or at a fixed point (no shrinkage), the
+/// stopping rule of the paper's Table 3.
+///
+/// # Errors
+///
+/// Fails if the formula is satisfiable, a solve exceeds its conflict
+/// budget, or — indicating a bug — a generated proof does not check.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_checker::minimize_core;
+/// use rescheck_cnf::Cnf;
+/// use rescheck_solver::SolverConfig;
+///
+/// let mut cnf = Cnf::new();
+/// cnf.add_dimacs_clause(&[1]);
+/// cnf.add_dimacs_clause(&[-1]);
+/// cnf.add_dimacs_clause(&[2, 3]); // irrelevant
+/// let result = minimize_core(&cnf, &SolverConfig::default(), 30)?;
+/// assert_eq!(result.core_ids, vec![0, 1]);
+/// assert!(result.reached_fixed_point);
+/// # Ok::<(), rescheck_checker::MinimizeError>(())
+/// ```
+pub fn minimize_core(
+    cnf: &Cnf,
+    solver_cfg: &SolverConfig,
+    max_iterations: usize,
+) -> Result<CoreMinimization, MinimizeError> {
+    // `current_ids[i]` maps clause `i` of the working formula back to its
+    // ID in the input formula.
+    let mut current_ids: Vec<usize> = (0..cnf.num_clauses()).collect();
+    let mut current = cnf.clone();
+    let mut iterations = Vec::new();
+    let mut reached_fixed_point = false;
+
+    for _ in 0..max_iterations {
+        let mut solver = Solver::from_cnf(&current, solver_cfg.clone());
+        let mut trace = MemorySink::new();
+        match solver.solve_traced(&mut trace)? {
+            SolveResult::Unsatisfiable => {}
+            SolveResult::Satisfiable(_) => return Err(MinimizeError::Satisfiable),
+            SolveResult::Unknown => return Err(MinimizeError::BudgetExhausted),
+        }
+        let outcome = check_depth_first(&current, &trace, &CheckConfig::default())?;
+        let core = outcome.core.expect("depth-first yields a core");
+
+        let next_ids: Vec<usize> = core
+            .clause_ids
+            .iter()
+            .map(|&pos| current_ids[pos])
+            .collect();
+        iterations.push(CoreIteration {
+            num_clauses: core.num_clauses(),
+            num_vars: core.num_vars(),
+        });
+
+        if next_ids.len() == current_ids.len() {
+            reached_fixed_point = true;
+            current_ids = next_ids;
+            break;
+        }
+        current = cnf.subformula(next_ids.iter().copied());
+        current_ids = next_ids;
+    }
+
+    Ok(CoreMinimization {
+        iterations,
+        core_ids: current_ids,
+        reached_fixed_point,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pigeonhole PHP(n+1, n) padded with irrelevant satisfiable clauses.
+    fn padded_php(holes: usize, padding: usize) -> (Cnf, usize) {
+        let pigeons = holes + 1;
+        let mut cnf = Cnf::new();
+        let lit = |p: usize, h: usize| {
+            rescheck_cnf::Lit::positive(rescheck_cnf::Var::new(p * holes + h))
+        };
+        for p in 0..pigeons {
+            cnf.add_clause((0..holes).map(|h| lit(p, h)));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    cnf.add_clause([!lit(p1, h), !lit(p2, h)]);
+                }
+            }
+        }
+        let php_clauses = cnf.num_clauses();
+        let base = pigeons * holes;
+        for i in 0..padding {
+            let a = rescheck_cnf::Var::new(base + 2 * i);
+            let b = rescheck_cnf::Var::new(base + 2 * i + 1);
+            cnf.add_clause([a.positive(), b.positive()]);
+        }
+        (cnf, php_clauses)
+    }
+
+    #[test]
+    fn padding_is_removed_from_the_core() {
+        let (cnf, php_clauses) = padded_php(3, 20);
+        let result = minimize_core(&cnf, &SolverConfig::default(), 30).unwrap();
+        // The padding clauses can never participate in the proof.
+        assert!(result.core_ids.iter().all(|&id| id < php_clauses));
+        assert!(!result.iterations.is_empty());
+        // Iteration sizes never grow.
+        for w in result.iterations.windows(2) {
+            assert!(w[1].num_clauses <= w[0].num_clauses);
+        }
+        let core = result.final_core(&cnf);
+        assert_eq!(core.num_clauses(), result.core_ids.len());
+    }
+
+    #[test]
+    fn final_core_is_still_unsat() {
+        let (cnf, _) = padded_php(3, 10);
+        let result = minimize_core(&cnf, &SolverConfig::default(), 5).unwrap();
+        let sub = cnf.subformula(result.core_ids.iter().copied());
+        let mut solver = Solver::from_cnf(&sub, SolverConfig::default());
+        assert!(solver.solve().is_unsat());
+    }
+
+    #[test]
+    fn satisfiable_input_is_an_error() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1, 2]);
+        let err = minimize_core(&cnf, &SolverConfig::default(), 3).unwrap_err();
+        assert!(matches!(err, MinimizeError::Satisfiable));
+        assert!(err.to_string().contains("satisfiable"));
+    }
+
+    #[test]
+    fn zero_iterations_returns_input_ids() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        cnf.add_dimacs_clause(&[-1]);
+        let result = minimize_core(&cnf, &SolverConfig::default(), 0).unwrap();
+        assert_eq!(result.core_ids, vec![0, 1]);
+        assert!(result.iterations.is_empty());
+        assert!(!result.reached_fixed_point);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let (cnf, _) = padded_php(5, 0);
+        let cfg = SolverConfig {
+            conflict_limit: Some(1),
+            ..SolverConfig::default()
+        };
+        let err = minimize_core(&cnf, &cfg, 3).unwrap_err();
+        assert!(matches!(err, MinimizeError::BudgetExhausted));
+    }
+}

@@ -1,0 +1,406 @@
+//! The depth-first checking strategy (paper §3.2, Fig. 3).
+//!
+//! Starting from the final conflicting clause, learned clauses are built
+//! by resolution *on demand*, recursively following resolve sources. Only
+//! the clauses involved in the empty-clause derivation are ever
+//! constructed — between 19% and 90% of the learned clauses in the
+//! paper's experiments — and the original clauses touched along the way
+//! form an unsatisfiable core.
+//!
+//! The price is memory: the whole trace plus every built clause stays
+//! resident, which is why the paper's depth-first checker memory-outs on
+//! the two hardest instances. The same behaviour is reproducible here via
+//! [`CheckConfig::memory_limit`](crate::CheckConfig::memory_limit).
+
+use crate::api::CheckConfig;
+use crate::error::CheckError;
+use crate::final_phase::{derive_empty_clause, ClauseProvider};
+use crate::memory::{clause_bytes, MemoryMeter};
+use crate::model::{load_full, FullTrace};
+use crate::outcome::{CheckOutcome, CheckStats, Strategy, UnsatCore};
+use crate::resolve::{normalize_literals, resolve_sorted};
+use rescheck_cnf::{Cnf, Lit};
+use rescheck_trace::TraceSource;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+pub(crate) fn run<S: TraceSource + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, CheckError> {
+    let start = Instant::now();
+    let num_original = cnf.num_clauses();
+    let mut meter = MemoryMeter::new(config.memory_limit);
+
+    // The depth-first approach reads the entire trace into main memory.
+    let full = load_full(trace, num_original)?;
+    meter.alloc(full.trace_bytes)?;
+
+    let start_id = *full.final_ids.first().ok_or(CheckError::NoFinalConflict)?;
+
+    let mut builder = DfBuilder {
+        cnf,
+        full: &full,
+        num_original,
+        built: HashMap::new(),
+        original_cache: HashMap::new(),
+        used_originals: vec![false; num_original],
+        meter,
+        resolutions: 0,
+        clauses_built: 0,
+    };
+
+    let final_stats = derive_empty_clause(start_id, &full.level_zero, &mut builder)?;
+
+    let core_ids: Vec<usize> = builder
+        .used_originals
+        .iter()
+        .enumerate()
+        .filter(|(_, &used)| used)
+        .map(|(i, _)| i)
+        .collect();
+    let core = UnsatCore::new(core_ids, cnf);
+
+    let stats = CheckStats {
+        strategy: Strategy::DepthFirst,
+        learned_in_trace: full.sources.len() as u64,
+        clauses_built: builder.clauses_built,
+        resolutions: builder.resolutions + final_stats.resolutions,
+        peak_memory_bytes: builder.meter.peak(),
+        runtime: start.elapsed(),
+        trace_bytes: trace.encoded_size(),
+    };
+
+    Ok(CheckOutcome {
+        core: Some(core),
+        stats,
+    })
+}
+
+/// Builds learned clauses on demand with memoization (the iterative
+/// equivalent of Fig. 3's `recursive_build`).
+struct DfBuilder<'a> {
+    cnf: &'a Cnf,
+    full: &'a FullTrace,
+    num_original: usize,
+    /// Learned clauses built so far.
+    built: HashMap<u64, Rc<[Lit]>>,
+    /// Normalized original clauses, cached on first use.
+    original_cache: HashMap<u64, Rc<[Lit]>>,
+    used_originals: Vec<bool>,
+    meter: MemoryMeter,
+    resolutions: u64,
+    clauses_built: u64,
+}
+
+/// DFS colouring for cycle detection.
+#[derive(Clone, Copy, PartialEq)]
+enum Color {
+    Gray,
+}
+
+impl DfBuilder<'_> {
+    fn original(&mut self, id: u64) -> Rc<[Lit]> {
+        self.used_originals[id as usize] = true;
+        if let Some(c) = self.original_cache.get(&id) {
+            return c.clone();
+        }
+        let clause = self
+            .cnf
+            .clause(id as usize)
+            .expect("id < num_original");
+        let lits: Rc<[Lit]> = Rc::from(normalize_literals(clause.iter().copied()));
+        self.original_cache.insert(id, lits.clone());
+        lits
+    }
+
+    /// Fetches a clause that must already be available (source of a build
+    /// whose dependencies were scheduled first).
+    fn available(&mut self, id: u64, parent: u64) -> Result<Rc<[Lit]>, CheckError> {
+        if id < self.num_original as u64 {
+            return Ok(self.original(id));
+        }
+        self.built
+            .get(&id)
+            .cloned()
+            .ok_or(CheckError::UnknownClause {
+                id,
+                referenced_by: Some(parent),
+            })
+    }
+
+    /// Builds one learned clause from its already-built sources.
+    fn build_one(&mut self, id: u64) -> Result<(), CheckError> {
+        let sources = &self.full.sources[&id];
+        let mut acc: Vec<Lit> = self.available(sources[0], id)?.to_vec();
+        for (step, &s) in sources.iter().enumerate().skip(1) {
+            let right = self.available(s, id)?;
+            acc = resolve_sorted(&acc, &right).map_err(|failure| CheckError::NotResolvable {
+                target: Some(id),
+                step,
+                with: s,
+                failure,
+            })?;
+            self.resolutions += 1;
+        }
+        self.meter.alloc(clause_bytes(acc.len()))?;
+        self.built.insert(id, Rc::from(acc));
+        self.clauses_built += 1;
+        Ok(())
+    }
+
+    /// Ensures clause `id` (and transitively its sources) is built.
+    ///
+    /// Iterative DFS over the resolve-source DAG with explicit gray
+    /// marking, so deep proofs cannot overflow the native stack and
+    /// cycles are detected rather than looping.
+    fn build(&mut self, id: u64) -> Result<(), CheckError> {
+        if id < self.num_original as u64 || self.built.contains_key(&id) {
+            return Ok(());
+        }
+        let mut color: HashMap<u64, Color> = HashMap::new();
+        let mut stack: Vec<(u64, Option<u64>)> = vec![(id, None)];
+        while let Some(&(cur, parent)) = stack.last() {
+            if cur < self.num_original as u64 || self.built.contains_key(&cur) {
+                stack.pop();
+                continue;
+            }
+            let sources = self
+                .full
+                .sources
+                .get(&cur)
+                .ok_or(CheckError::UnknownClause {
+                    id: cur,
+                    referenced_by: parent,
+                })?;
+            match color.get(&cur) {
+                Some(Color::Gray) => {
+                    // All dependencies were pushed; if one is still gray
+                    // the graph has a cycle, otherwise build now.
+                    for &s in sources {
+                        if s >= self.num_original as u64
+                            && !self.built.contains_key(&s)
+                            && color.get(&s) == Some(&Color::Gray)
+                        {
+                            return Err(CheckError::CyclicProof { id: s });
+                        }
+                    }
+                    self.build_one(cur)?;
+                    stack.pop();
+                }
+                None => {
+                    color.insert(cur, Color::Gray);
+                    for &s in sources {
+                        if s >= self.num_original as u64 && !self.built.contains_key(&s) {
+                            if color.get(&s) == Some(&Color::Gray) {
+                                return Err(CheckError::CyclicProof { id: s });
+                            }
+                            stack.push((s, Some(cur)));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ClauseProvider for DfBuilder<'_> {
+    fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError> {
+        if id < self.num_original as u64 {
+            return Ok(self.original(id));
+        }
+        self.build(id)?;
+        Ok(self.built[&id].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescheck_trace::{MemorySink, TraceEvent, TraceSink};
+
+    /// (x1)(¬x1∨x2)(¬x2): level-0 chain, conflict on clause 2 directly.
+    fn chain_trace() -> (Cnf, MemorySink) {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        cnf.add_dimacs_clause(&[-1, 2]);
+        cnf.add_dimacs_clause(&[-2]);
+        let mut sink = MemorySink::new();
+        sink.level_zero(Lit::from_dimacs(1), 0).unwrap();
+        sink.level_zero(Lit::from_dimacs(2), 1).unwrap();
+        sink.final_conflict(2).unwrap();
+        (cnf, sink)
+    }
+
+    #[test]
+    fn accepts_handwritten_level_zero_proof() {
+        let (cnf, sink) = chain_trace();
+        let outcome = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        let core = outcome.core.unwrap();
+        assert_eq!(core.clause_ids, vec![0, 1, 2]);
+        assert_eq!(outcome.stats.clauses_built, 0); // no learned clauses
+        assert_eq!(outcome.stats.resolutions, 2);
+    }
+
+    #[test]
+    fn accepts_proof_with_learned_clause() {
+        // Clauses: (1 2)(1 -2)(-1 2)(-1 -2).
+        // Learned #4 = resolve(#0,#1) = (1); learned #5 = resolve(#2,#3)
+        // = (-1). Level 0: x1 by #4, conflict on #5.
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1, 2]);
+        cnf.add_dimacs_clause(&[1, -2]);
+        cnf.add_dimacs_clause(&[-1, 2]);
+        cnf.add_dimacs_clause(&[-1, -2]);
+        let mut sink = MemorySink::new();
+        sink.learned(4, &[0, 1]).unwrap();
+        sink.learned(5, &[2, 3]).unwrap();
+        sink.level_zero(Lit::from_dimacs(1), 4).unwrap();
+        sink.final_conflict(5).unwrap();
+
+        let outcome = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        assert_eq!(outcome.stats.clauses_built, 2);
+        assert_eq!(outcome.stats.learned_in_trace, 2);
+        let core = outcome.core.unwrap();
+        assert_eq!(core.clause_ids, vec![0, 1, 2, 3]);
+        assert_eq!(core.num_vars(), 2);
+    }
+
+    #[test]
+    fn builds_only_needed_clauses() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        cnf.add_dimacs_clause(&[-1, 2]);
+        cnf.add_dimacs_clause(&[-2]);
+        cnf.add_dimacs_clause(&[3, 4]);
+        cnf.add_dimacs_clause(&[3, -4]);
+        let mut sink = MemorySink::new();
+        // An irrelevant learned clause that the proof never touches.
+        sink.learned(5, &[3, 4]).unwrap();
+        sink.level_zero(Lit::from_dimacs(1), 0).unwrap();
+        sink.level_zero(Lit::from_dimacs(2), 1).unwrap();
+        sink.final_conflict(2).unwrap();
+
+        let outcome = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        assert_eq!(outcome.stats.clauses_built, 0);
+        assert!((outcome.stats.built_percent() - 0.0).abs() < 1e-9);
+        // The unused original clauses are not in the core.
+        assert_eq!(outcome.core.unwrap().clause_ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn missing_final_conflict_is_rejected() {
+        let (cnf, mut sink) = chain_trace();
+        let events: Vec<TraceEvent> = sink
+            .events()
+            .iter()
+            .filter(|e| !matches!(e, TraceEvent::FinalConflict { .. }))
+            .cloned()
+            .collect();
+        sink = events.into();
+        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        assert!(matches!(err, CheckError::NoFinalConflict));
+    }
+
+    #[test]
+    fn unknown_source_is_rejected() {
+        let (cnf, mut sink) = chain_trace();
+        sink.learned(10, &[0, 99]).unwrap();
+        sink.level_zero(Lit::from_dimacs(3), 10).unwrap();
+        // Make the proof need clause 10 by pointing a var at it… easier:
+        // final conflict on the unknown learned clause id directly.
+        let mut events = sink.into_events();
+        events.retain(|e| !matches!(e, TraceEvent::FinalConflict { .. }));
+        events.push(TraceEvent::FinalConflict { id: 10 });
+        let sink: MemorySink = events.into();
+        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        assert!(matches!(err, CheckError::UnknownClause { id: 99, .. }));
+    }
+
+    #[test]
+    fn cyclic_proof_is_rejected() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        let mut sink = MemorySink::new();
+        sink.learned(1, &[2, 0]).unwrap();
+        sink.learned(2, &[1, 0]).unwrap();
+        sink.final_conflict(1).unwrap();
+        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        assert!(matches!(err, CheckError::CyclicProof { .. }));
+    }
+
+    #[test]
+    fn invalid_resolution_is_rejected_with_target() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1, 2]);
+        cnf.add_dimacs_clause(&[3, 4]); // shares nothing with clause 0
+        let mut sink = MemorySink::new();
+        sink.learned(2, &[0, 1]).unwrap();
+        sink.final_conflict(2).unwrap();
+        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        match err {
+            CheckError::NotResolvable {
+                target: Some(2),
+                step: 1,
+                with: 1,
+                failure,
+            } => assert!(failure.clashing_vars.is_empty()),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn memory_limit_reproduces_df_memory_out() {
+        let (cnf, sink) = chain_trace();
+        let config = CheckConfig {
+            memory_limit: Some(1),
+            ..CheckConfig::default()
+        };
+        let err = run(&cnf, &sink, &config).unwrap_err();
+        assert!(matches!(err, CheckError::MemoryLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn diamond_dependencies_are_not_a_cycle() {
+        // #4 is a resolve source of both #5 and #6, which merge in #7 —
+        // a diamond in the proof DAG. It must build each node once and
+        // not be mistaken for a cycle.
+        //
+        //   #4 = r(#0,#1) = (1 3)
+        //   #5 = r(#4,#2) = (1 4)
+        //   #6 = r(#4,#3) = (1 -4)
+        //   #7 = r(#5,#6) = (1)
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1, 2]); // 0
+        cnf.add_dimacs_clause(&[-2, 3]); // 1
+        cnf.add_dimacs_clause(&[-3, 4]); // 2
+        cnf.add_dimacs_clause(&[-3, -4]); // 3
+        let mut sink = MemorySink::new();
+        sink.learned(4, &[0, 1]).unwrap();
+        sink.learned(5, &[4, 2]).unwrap();
+        sink.learned(6, &[4, 3]).unwrap();
+        sink.learned(7, &[5, 6]).unwrap();
+
+        let full = load_full(&sink, cnf.num_clauses()).unwrap();
+        let mut builder = DfBuilder {
+            cnf: &cnf,
+            full: &full,
+            num_original: cnf.num_clauses(),
+            built: HashMap::new(),
+            original_cache: HashMap::new(),
+            used_originals: vec![false; cnf.num_clauses()],
+            meter: MemoryMeter::unlimited(),
+            resolutions: 0,
+            clauses_built: 0,
+        };
+        builder.build(7).unwrap();
+        assert_eq!(builder.clauses_built, 4); // each node built exactly once
+        assert_eq!(
+            builder.built[&7].as_ref(),
+            normalize_literals([Lit::from_dimacs(1)]).as_slice()
+        );
+    }
+}

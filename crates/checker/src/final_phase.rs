@@ -1,0 +1,284 @@
+//! The final empty-clause derivation, shared by both strategies.
+//!
+//! This implements the constructive half of Proposition 3 (paper §2.2):
+//! starting from the final conflicting clause — all of whose literals are
+//! false at decision level 0 — repeatedly resolve away the **most
+//! recently assigned** variable using its recorded antecedent. Because
+//! literals are chosen in reverse chronological order, no variable is
+//! chosen twice and the derivation reaches the empty clause within
+//! `n` resolutions.
+
+use crate::error::{BadAntecedentReason, CheckError};
+use crate::model::LevelZeroMap;
+use crate::resolve::resolve_on;
+use rescheck_cnf::Lit;
+use std::rc::Rc;
+
+/// Supplies clauses by trace ID during the final derivation.
+///
+/// The depth-first checker builds requested clauses on demand; the
+/// breadth-first checker serves them from its table of pinned clauses.
+pub(crate) trait ClauseProvider {
+    /// Returns the (sorted, duplicate-free) literals of clause `id`.
+    fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError>;
+}
+
+/// Outcome counters of the final derivation.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct FinalPhaseStats {
+    /// Resolution steps performed in the final derivation.
+    pub resolutions: u64,
+}
+
+/// Derives the empty clause from `start_id`, validating every step.
+pub(crate) fn derive_empty_clause(
+    start_id: u64,
+    level_zero: &LevelZeroMap,
+    provider: &mut dyn ClauseProvider,
+) -> Result<FinalPhaseStats, CheckError> {
+    let start = provider.clause(start_id)?;
+
+    // The claimed final conflicting clause must actually be conflicting:
+    // every literal falsified by the recorded level-0 assignment.
+    for &l in start.iter() {
+        match level_zero.get(l.var()) {
+            Some(rec) if rec.lit == !l => {}
+            _ => {
+                return Err(CheckError::FinalClauseNotConflicting {
+                    id: start_id,
+                    var: l.var(),
+                })
+            }
+        }
+    }
+
+    let mut stats = FinalPhaseStats::default();
+    let mut clause: Rc<[Lit]> = start;
+    // Reverse-chronological selection guarantees ≤ one resolution per
+    // recorded variable; anything beyond that bound is a broken proof.
+    let bound = level_zero.len() as u64 + 1;
+
+    while !clause.is_empty() {
+        if stats.resolutions >= bound {
+            return Err(CheckError::NonterminatingProof);
+        }
+
+        // choose_literal: the literal assigned last (Fig. 2 / Prop. 3).
+        let mut latest: Option<(usize, Lit)> = None;
+        for &l in clause.iter() {
+            let rec = level_zero
+                .get(l.var())
+                .ok_or(CheckError::MissingLevelZero { var: l.var() })?;
+            if latest.is_none_or(|(order, _)| rec.order > order) {
+                latest = Some((rec.order, l));
+            }
+        }
+        let (order, lit) = latest.expect("non-empty clause has a latest literal");
+        let var = lit.var();
+        let rec = *level_zero.get(var).expect("checked above");
+        let ante_id = rec.antecedent;
+        let ante = provider.clause(ante_id)?;
+
+        // The antecedent must really be the antecedent of `var`: it
+        // contains the implied literal, and every other literal was
+        // falsified by *earlier* level-0 assignments (i.e. the clause was
+        // unit when the implication happened).
+        if !ante.contains(&rec.lit) {
+            return Err(CheckError::BadAntecedent {
+                var,
+                antecedent: ante_id,
+                reason: BadAntecedentReason::MissingImpliedLiteral,
+            });
+        }
+        for &other in ante.iter() {
+            if other.var() == var {
+                continue;
+            }
+            let orec = level_zero.get(other.var()).ok_or(CheckError::BadAntecedent {
+                var,
+                antecedent: ante_id,
+                reason: BadAntecedentReason::LiteralNotFalsified { var: other.var() },
+            })?;
+            if orec.lit != !other {
+                return Err(CheckError::BadAntecedent {
+                    var,
+                    antecedent: ante_id,
+                    reason: BadAntecedentReason::LiteralNotFalsified { var: other.var() },
+                });
+            }
+            if orec.order >= order {
+                return Err(CheckError::BadAntecedent {
+                    var,
+                    antecedent: ante_id,
+                    reason: BadAntecedentReason::OrderViolation { var: other.var() },
+                });
+            }
+        }
+
+        let resolved =
+            resolve_on(&clause, &ante, var).map_err(|failure| CheckError::NotResolvable {
+                target: None,
+                step: stats.resolutions as usize,
+                with: ante_id,
+                failure,
+            })?;
+        stats.resolutions += 1;
+        clause = Rc::from(resolved);
+    }
+
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::normalize_literals;
+    use std::collections::HashMap;
+
+    /// A provider backed by a fixed table.
+    struct Table(HashMap<u64, Rc<[Lit]>>);
+
+    impl ClauseProvider for Table {
+        fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError> {
+            self.0
+                .get(&id)
+                .cloned()
+                .ok_or(CheckError::UnknownClause {
+                    id,
+                    referenced_by: None,
+                })
+        }
+    }
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    fn clause(ds: &[i64]) -> Rc<[Lit]> {
+        Rc::from(normalize_literals(ds.iter().map(|&d| lit(d))))
+    }
+
+    /// Level-0 trail: x1 by clause 0, then x2 by clause 1 = (¬x1 ∨ x2).
+    /// Final conflict: clause 2 = (¬x1 ∨ ¬x2).
+    fn simple_setup() -> (LevelZeroMap, Table) {
+        let mut lz = LevelZeroMap::default();
+        lz.insert(lit(1), 0).unwrap();
+        lz.insert(lit(2), 1).unwrap();
+        let mut table = HashMap::new();
+        table.insert(0, clause(&[1]));
+        table.insert(1, clause(&[-1, 2]));
+        table.insert(2, clause(&[-1, -2]));
+        (lz, Table(table))
+    }
+
+    #[test]
+    fn derives_empty_clause() {
+        let (lz, mut table) = simple_setup();
+        let stats = derive_empty_clause(2, &lz, &mut table).unwrap();
+        // ¬x2 first (assigned later), then ¬x1: 3 resolutions total
+        // (final ∘ ante(x2) → ¬x1; ∘ ante(x1) → ⊥)... counting: clause
+        // (¬1 ¬2) ⊗ (¬1 2) = (¬1); (¬1) ⊗ (1) = ⊥ → 2 resolutions.
+        assert_eq!(stats.resolutions, 2);
+    }
+
+    #[test]
+    fn empty_start_clause_needs_no_resolution() {
+        let mut lz = LevelZeroMap::default();
+        lz.insert(lit(1), 0).unwrap();
+        let mut table = HashMap::new();
+        table.insert(7u64, clause(&[]));
+        let stats = derive_empty_clause(7, &lz, &mut Table(table)).unwrap();
+        assert_eq!(stats.resolutions, 0);
+    }
+
+    #[test]
+    fn final_clause_with_true_literal_is_rejected() {
+        let (lz, mut table) = simple_setup();
+        table.0.insert(2, clause(&[1, -2])); // x1 is true at level 0
+        let err = derive_empty_clause(2, &lz, &mut table).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckError::FinalClauseNotConflicting { id: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn final_clause_with_unassigned_var_is_rejected() {
+        let (lz, mut table) = simple_setup();
+        table.0.insert(2, clause(&[-1, -2, -3])); // x3 unassigned
+        let err = derive_empty_clause(2, &lz, &mut table).unwrap_err();
+        assert!(matches!(err, CheckError::FinalClauseNotConflicting { .. }));
+    }
+
+    #[test]
+    fn antecedent_missing_implied_literal_is_rejected() {
+        let (_, mut table) = simple_setup();
+        // Re-point x2's antecedent at a clause that does not contain x2.
+        let lz = {
+            let mut fresh = LevelZeroMap::default();
+            fresh.insert(lit(1), 0).unwrap();
+            fresh.insert(lit(2), 3).unwrap();
+            fresh
+        };
+        table.0.insert(3, clause(&[-1]));
+        let err = derive_empty_clause(2, &lz, &mut table).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckError::BadAntecedent {
+                reason: BadAntecedentReason::MissingImpliedLiteral,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn antecedent_order_violation_is_rejected() {
+        // x2 assigned first but its antecedent mentions x1 (assigned later).
+        let mut lz = LevelZeroMap::default();
+        lz.insert(lit(2), 1).unwrap(); // order 0
+        lz.insert(lit(1), 0).unwrap(); // order 1
+        let mut table = HashMap::new();
+        table.insert(0u64, clause(&[1]));
+        table.insert(1u64, clause(&[-1, 2]));
+        table.insert(2u64, clause(&[-1, -2]));
+        let err = derive_empty_clause(2, &lz, &mut Table(table)).unwrap_err();
+        // The latest-assigned var is x1 (order 1) with antecedent 0 = (x1):
+        // fine; resolving gives (¬x2); then x2's antecedent (¬x1 ∨ 2) has
+        // x1 with order 1 >= 0 → order violation.
+        assert!(matches!(
+            err,
+            CheckError::BadAntecedent {
+                reason: BadAntecedentReason::OrderViolation { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn antecedent_with_unfalsified_literal_is_rejected() {
+        let mut lz = LevelZeroMap::default();
+        lz.insert(lit(1), 0).unwrap();
+        lz.insert(lit(2), 1).unwrap();
+        let mut table = HashMap::new();
+        table.insert(0u64, clause(&[1]));
+        // Antecedent of x2 contains x3 which has no record.
+        table.insert(1u64, clause(&[-3, 2]));
+        table.insert(2u64, clause(&[-1, -2]));
+        let err = derive_empty_clause(2, &lz, &mut Table(table)).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckError::BadAntecedent {
+                reason: BadAntecedentReason::LiteralNotFalsified { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn missing_clause_is_reported() {
+        let (lz, mut table) = simple_setup();
+        table.0.remove(&1);
+        let err = derive_empty_clause(2, &lz, &mut table).unwrap_err();
+        assert!(matches!(err, CheckError::UnknownClause { id: 1, .. }));
+    }
+}

@@ -1,0 +1,452 @@
+//! The hybrid checking strategy — the paper's future work, realized.
+//!
+//! The conclusion of the paper asks for "a checker that has the advantage
+//! of both the depth-first and breadth-first approaches without suffering
+//! from their respective shortcomings", suggesting "a depth-first
+//! algorithm for the graph on disk". This module is that algorithm:
+//!
+//! 1. **Index pass** (streaming): record each learned clause's *offset*
+//!    in the encoded trace — 16 bytes per learned clause instead of its
+//!    whole source list.
+//! 2. **Reachability pass** (random access): walk the resolve-source DAG
+//!    backwards from the final conflicting clause and the level-0
+//!    antecedents, counting, for every *needed* clause, how many needed
+//!    clauses consume it. Source lists are re-read from the trace on
+//!    demand and never kept.
+//! 3. **Build pass** (random access): construct only the needed clauses,
+//!    depth-first; a clause is freed the moment its last needed consumer
+//!    has been built (breadth-first's memory discipline applied to
+//!    depth-first's clause subset).
+//! 4. The final empty-clause derivation runs over the pinned clauses.
+//!
+//! Like depth-first, it builds only the clauses the proof touches (and
+//! therefore also yields an unsat core); like breadth-first, its resident
+//! memory excludes the trace and is bounded by live clauses plus small
+//! per-clause bookkeeping.
+
+use crate::api::CheckConfig;
+use crate::error::CheckError;
+use crate::final_phase::{derive_empty_clause, ClauseProvider};
+use crate::memory::{clause_bytes, MemoryMeter, LEVEL_ZERO_RECORD_BYTES, USE_COUNT_BYTES};
+use crate::model::{validate_learned, LevelZeroMap};
+use crate::outcome::{CheckOutcome, CheckStats, Strategy, UnsatCore};
+use crate::resolve::{normalize_literals, resolve_sorted};
+use rescheck_cnf::{Cnf, Lit};
+use rescheck_trace::{RandomAccessTrace, TraceCursor, TraceEvent};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Accounted bytes per entry of the offset index (id → file offset).
+const INDEX_ENTRY_BYTES: u64 = 16;
+
+pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, CheckError> {
+    let start = Instant::now();
+    let num_original = cnf.num_clauses();
+    let mut meter = MemoryMeter::new(config.memory_limit);
+
+    // ---- Pass 1: offset index + level-0 records + pins.
+    let mut index: HashMap<u64, u64> = HashMap::new();
+    let mut level_zero = LevelZeroMap::default();
+    let mut pinned: Vec<u64> = Vec::new();
+    let mut final_ids: Vec<u64> = Vec::new();
+    for item in trace.offset_events()? {
+        let (offset, event) = item?;
+        match event {
+            TraceEvent::Learned { id, sources } => {
+                validate_learned(id, &sources, num_original, |c| index.contains_key(&c))?;
+                index.insert(id, offset);
+            }
+            TraceEvent::LevelZero { lit, antecedent } => {
+                level_zero.insert(lit, antecedent)?;
+                if antecedent >= num_original as u64 {
+                    pinned.push(antecedent);
+                }
+            }
+            TraceEvent::FinalConflict { id } => {
+                final_ids.push(id);
+                if id >= num_original as u64 {
+                    pinned.push(id);
+                }
+            }
+        }
+    }
+    let start_id = *final_ids.first().ok_or(CheckError::NoFinalConflict)?;
+    meter.alloc(
+        index.len() as u64 * INDEX_ENTRY_BYTES
+            + level_zero.len() as u64 * LEVEL_ZERO_RECORD_BYTES,
+    )?;
+
+    let mut cursor = trace.open_cursor()?;
+    let sources_of = |cursor: &mut dyn TraceCursor,
+                      index: &HashMap<u64, u64>,
+                      id: u64,
+                      parent: Option<u64>|
+     -> Result<Vec<u64>, CheckError> {
+        let offset = *index.get(&id).ok_or(CheckError::UnknownClause {
+            id,
+            referenced_by: parent,
+        })?;
+        match cursor.event_at(offset).map_err(CheckError::Trace)? {
+            TraceEvent::Learned { id: got, sources } if got == id => Ok(sources),
+            _ => Err(CheckError::Trace(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("trace offset for clause #{id} no longer addresses its record"),
+            ))),
+        }
+    };
+
+    // ---- Pass 2: reachability + use counts over the needed subgraph.
+    let pinned_set: HashSet<u64> = pinned
+        .iter()
+        .copied()
+        .filter(|&id| id >= num_original as u64)
+        .collect();
+    let mut use_counts: HashMap<u64, u32> = HashMap::new();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut gray: HashSet<u64> = HashSet::new();
+    for &root in &pinned_set {
+        if visited.contains(&root) {
+            continue;
+        }
+        // Iterative DFS with gray marking for cycle detection.
+        let mut stack: Vec<(u64, Option<u64>)> = vec![(root, None)];
+        while let Some(&(cur, parent)) = stack.last() {
+            if cur < num_original as u64 || visited.contains(&cur) {
+                stack.pop();
+                continue;
+            }
+            if gray.contains(&cur) {
+                // Children expanded: mark done.
+                gray.remove(&cur);
+                visited.insert(cur);
+                stack.pop();
+                continue;
+            }
+            gray.insert(cur);
+            let sources = sources_of(&mut *cursor, &index, cur, parent)?;
+            for &s in &sources {
+                if s >= num_original as u64 {
+                    *use_counts.entry(s).or_insert(0) += 1;
+                    if gray.contains(&s) {
+                        return Err(CheckError::CyclicProof { id: s });
+                    }
+                    if !visited.contains(&s) {
+                        stack.push((s, Some(cur)));
+                    }
+                }
+            }
+        }
+    }
+    let needed = visited.len();
+    meter.alloc(needed as u64 * USE_COUNT_BYTES)?;
+
+    // ---- Pass 3: depth-first build over the needed subgraph, freeing
+    // clauses as their last use completes.
+    let mut live: HashMap<u64, Rc<[Lit]>> = HashMap::new();
+    let mut original_cache: HashMap<u64, Rc<[Lit]>> = HashMap::new();
+    let mut used_originals = vec![false; num_original];
+    let mut resolutions: u64 = 0;
+    let mut clauses_built: u64 = 0;
+
+    // Build in reverse topological order discovered by a second DFS (the
+    // graph is now known to be acyclic).
+    let mut build_order: Vec<u64> = Vec::with_capacity(needed);
+    {
+        let mut expanded: HashSet<u64> = HashSet::new();
+        let mut placed: HashSet<u64> = HashSet::new();
+        for &root in &pinned_set {
+            let mut stack: Vec<u64> = vec![root];
+            while let Some(&cur) = stack.last() {
+                if cur < num_original as u64 || placed.contains(&cur) {
+                    stack.pop();
+                    continue;
+                }
+                if expanded.contains(&cur) {
+                    placed.insert(cur);
+                    build_order.push(cur);
+                    stack.pop();
+                    continue;
+                }
+                expanded.insert(cur);
+                for &s in &sources_of(&mut *cursor, &index, cur, Some(cur))? {
+                    if s >= num_original as u64 && !placed.contains(&s) {
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+    }
+
+    let fetch_original = |id: u64,
+                              cache: &mut HashMap<u64, Rc<[Lit]>>,
+                              used: &mut Vec<bool>|
+     -> Rc<[Lit]> {
+        used[id as usize] = true;
+        if let Some(c) = cache.get(&id) {
+            return c.clone();
+        }
+        let lits: Rc<[Lit]> = Rc::from(normalize_literals(
+            cnf.clause(id as usize).expect("in range").iter().copied(),
+        ));
+        cache.insert(id, lits.clone());
+        lits
+    };
+
+    for id in build_order {
+        let sources = sources_of(&mut *cursor, &index, id, None)?;
+        let first = if sources[0] < num_original as u64 {
+            fetch_original(sources[0], &mut original_cache, &mut used_originals)
+        } else {
+            live.get(&sources[0])
+                .cloned()
+                .ok_or(CheckError::UnknownClause {
+                    id: sources[0],
+                    referenced_by: Some(id),
+                })?
+        };
+        let mut acc: Vec<Lit> = first.to_vec();
+        for (step, &s) in sources.iter().enumerate().skip(1) {
+            let right = if s < num_original as u64 {
+                fetch_original(s, &mut original_cache, &mut used_originals)
+            } else {
+                live.get(&s).cloned().ok_or(CheckError::UnknownClause {
+                    id: s,
+                    referenced_by: Some(id),
+                })?
+            };
+            acc = resolve_sorted(&acc, &right).map_err(|failure| CheckError::NotResolvable {
+                target: Some(id),
+                step,
+                with: s,
+                failure,
+            })?;
+            resolutions += 1;
+        }
+        clauses_built += 1;
+
+        // Consume the sources: free any clause whose needed uses are done.
+        for &s in &sources {
+            if s >= num_original as u64 && !pinned_set.contains(&s) {
+                let count = use_counts.get_mut(&s).expect("counted in pass 2");
+                *count -= 1;
+                if *count == 0 {
+                    if let Some(freed) = live.remove(&s) {
+                        meter.free(clause_bytes(freed.len()));
+                    }
+                }
+            }
+        }
+        let still_used =
+            pinned_set.contains(&id) || use_counts.get(&id).copied().unwrap_or(0) > 0;
+        if still_used {
+            meter.alloc(clause_bytes(acc.len()))?;
+            live.insert(id, Rc::from(acc));
+        }
+    }
+
+    // ---- Final phase over the pinned clauses.
+    struct HybridProvider<'a> {
+        cnf: &'a Cnf,
+        num_original: usize,
+        live: &'a HashMap<u64, Rc<[Lit]>>,
+        original_cache: &'a mut HashMap<u64, Rc<[Lit]>>,
+        used_originals: &'a mut Vec<bool>,
+    }
+    impl ClauseProvider for HybridProvider<'_> {
+        fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError> {
+            if id < self.num_original as u64 {
+                self.used_originals[id as usize] = true;
+                if let Some(c) = self.original_cache.get(&id) {
+                    return Ok(c.clone());
+                }
+                let lits: Rc<[Lit]> = Rc::from(normalize_literals(
+                    self.cnf
+                        .clause(id as usize)
+                        .expect("in range")
+                        .iter()
+                        .copied(),
+                ));
+                self.original_cache.insert(id, lits.clone());
+                return Ok(lits);
+            }
+            self.live
+                .get(&id)
+                .cloned()
+                .ok_or(CheckError::UnknownClause {
+                    id,
+                    referenced_by: None,
+                })
+        }
+    }
+    let mut provider = HybridProvider {
+        cnf,
+        num_original,
+        live: &live,
+        original_cache: &mut original_cache,
+        used_originals: &mut used_originals,
+    };
+    let final_stats = derive_empty_clause(start_id, &level_zero, &mut provider)?;
+
+    let core_ids: Vec<usize> = used_originals
+        .iter()
+        .enumerate()
+        .filter(|(_, &u)| u)
+        .map(|(i, _)| i)
+        .collect();
+
+    let stats = CheckStats {
+        strategy: Strategy::Hybrid,
+        learned_in_trace: index.len() as u64,
+        clauses_built,
+        resolutions: resolutions + final_stats.resolutions,
+        peak_memory_bytes: meter.peak(),
+        runtime: start.elapsed(),
+        trace_bytes: trace.encoded_size(),
+    };
+
+    Ok(CheckOutcome {
+        core: Some(UnsatCore::new(core_ids, cnf)),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescheck_trace::{MemorySink, TraceSink};
+
+    fn learned_proof() -> (Cnf, MemorySink) {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1, 2]);
+        cnf.add_dimacs_clause(&[1, -2]);
+        cnf.add_dimacs_clause(&[-1, 2]);
+        cnf.add_dimacs_clause(&[-1, -2]);
+        let mut sink = MemorySink::new();
+        sink.learned(4, &[0, 1]).unwrap(); // (1)
+        sink.learned(5, &[2, 3]).unwrap(); // (-1)
+        sink.level_zero(Lit::from_dimacs(1), 4).unwrap();
+        sink.final_conflict(5).unwrap();
+        (cnf, sink)
+    }
+
+    #[test]
+    fn accepts_learned_clause_proof_with_core() {
+        let (cnf, sink) = learned_proof();
+        let outcome = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        assert_eq!(outcome.stats.strategy, Strategy::Hybrid);
+        assert_eq!(outcome.stats.clauses_built, 2);
+        let core = outcome.core.unwrap();
+        assert_eq!(core.clause_ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn skips_unneeded_clauses_like_depth_first() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        cnf.add_dimacs_clause(&[-1, 2]);
+        cnf.add_dimacs_clause(&[-2]);
+        cnf.add_dimacs_clause(&[3, 4]);
+        cnf.add_dimacs_clause(&[-4, 5]);
+        let mut sink = MemorySink::new();
+        sink.learned(5, &[3, 4]).unwrap(); // irrelevant to the proof
+        sink.level_zero(Lit::from_dimacs(1), 0).unwrap();
+        sink.level_zero(Lit::from_dimacs(2), 1).unwrap();
+        sink.final_conflict(2).unwrap();
+        let outcome = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        assert_eq!(outcome.stats.clauses_built, 0);
+        assert_eq!(outcome.core.unwrap().clause_ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn missing_final_conflict_is_rejected() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        let sink = MemorySink::new();
+        assert!(matches!(
+            run(&cnf, &sink, &CheckConfig::default()).unwrap_err(),
+            CheckError::NoFinalConflict
+        ));
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        let mut sink = MemorySink::new();
+        sink.learned(1, &[2, 0]).unwrap();
+        sink.learned(2, &[1, 0]).unwrap();
+        sink.final_conflict(1).unwrap();
+        assert!(matches!(
+            run(&cnf, &sink, &CheckConfig::default()).unwrap_err(),
+            CheckError::CyclicProof { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_resolution_is_attributed() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1, 2]);
+        cnf.add_dimacs_clause(&[3, 4]);
+        let mut sink = MemorySink::new();
+        sink.learned(2, &[0, 1]).unwrap();
+        sink.final_conflict(2).unwrap();
+        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckError::NotResolvable {
+                target: Some(2),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn memory_limit_applies() {
+        let (cnf, sink) = learned_proof();
+        let config = CheckConfig {
+            memory_limit: Some(8),
+        };
+        assert!(matches!(
+            run(&cnf, &sink, &config).unwrap_err(),
+            CheckError::MemoryLimitExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn frees_mid_chain_clauses() {
+        // A long chain where every learned clause is used exactly once:
+        // hybrid must not hold them all simultaneously.
+        let mut cnf = Cnf::new();
+        let n = 64i64;
+        cnf.add_dimacs_clause(&[1]);
+        for i in 1..n {
+            cnf.add_dimacs_clause(&[-i, i + 1]);
+        }
+        cnf.add_dimacs_clause(&[-n]);
+        let mut sink = MemorySink::new();
+        let mut prev = 0u64;
+        let mut next_id = (n + 1) as u64;
+        for i in 1..n {
+            sink.learned(next_id, &[prev, i as u64]).unwrap();
+            prev = next_id;
+            next_id += 1;
+        }
+        sink.level_zero(Lit::from_dimacs(n), prev).unwrap();
+        sink.final_conflict(n as u64).unwrap();
+
+        let hybrid = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        let df = crate::depth_first::run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        assert!(
+            hybrid.stats.peak_memory_bytes < df.stats.peak_memory_bytes,
+            "hybrid {} vs df {}",
+            hybrid.stats.peak_memory_bytes,
+            df.stats.peak_memory_bytes
+        );
+        assert_eq!(hybrid.stats.clauses_built, df.stats.clauses_built);
+    }
+}

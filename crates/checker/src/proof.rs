@@ -1,0 +1,312 @@
+//! Resolution-proof analytics.
+//!
+//! Beyond validating a proof, the resolution DAG itself carries
+//! information: how deep the derivation is, how many resolutions it
+//! performs, how much of the solver's learning it actually uses. These
+//! metrics quantify the paper's observations (e.g. that xor-heavy
+//! `longmult` proofs are long, §4) and are cheap to compute — a
+//! structural pass, no clause construction.
+
+use crate::error::CheckError;
+use crate::model::load_full;
+use rescheck_cnf::Cnf;
+use rescheck_trace::TraceSource;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Structural measurements of a resolution proof.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_checker::proof_stats;
+/// use rescheck_cnf::Cnf;
+/// use rescheck_solver::{Solver, SolverConfig};
+/// use rescheck_trace::MemorySink;
+///
+/// let mut cnf = Cnf::new();
+/// cnf.add_dimacs_clause(&[1]);
+/// cnf.add_dimacs_clause(&[-1]);
+/// let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());
+/// let mut trace = MemorySink::new();
+/// assert!(solver.solve_traced(&mut trace)?.is_unsat());
+/// let stats = proof_stats(&cnf, &trace)?;
+/// assert_eq!(stats.learned_total, 0); // unit conflict needs no learning
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProofStats {
+    /// Learned clauses recorded in the trace.
+    pub learned_total: u64,
+    /// Learned clauses reachable from the empty-clause derivation.
+    pub needed: u64,
+    /// Resolution steps in the needed derivations (excluding the final
+    /// phase): `Σ (sources − 1)` over needed clauses.
+    pub derivation_resolutions: u64,
+    /// Upper bound on final-phase resolutions (one per level-0 record).
+    pub final_phase_bound: u64,
+    /// Longest source chain: the height of the needed DAG, counting
+    /// original clauses as height 0.
+    pub depth: u64,
+    /// Largest resolve-source list among needed clauses.
+    pub max_sources: usize,
+    /// Mean resolve-source list length among needed clauses.
+    pub avg_sources: f64,
+    /// Original clauses referenced by the needed subgraph.
+    pub core_clauses: usize,
+}
+
+impl ProofStats {
+    /// Fraction of recorded learned clauses the proof needs, in percent.
+    pub fn needed_percent(&self) -> f64 {
+        if self.learned_total == 0 {
+            100.0
+        } else {
+            100.0 * self.needed as f64 / self.learned_total as f64
+        }
+    }
+}
+
+impl fmt::Display for ProofStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "proof: {}/{} learned clauses needed ({:.1}%), depth {}, \
+             {} derivation resolutions (≤{} final), sources avg {:.1} max {}, \
+             core {} clauses",
+            self.needed,
+            self.learned_total,
+            self.needed_percent(),
+            self.depth,
+            self.derivation_resolutions,
+            self.final_phase_bound,
+            self.avg_sources,
+            self.max_sources,
+            self.core_clauses,
+        )
+    }
+}
+
+/// Computes [`ProofStats`] for a trace without rebuilding any clause.
+///
+/// # Errors
+///
+/// Fails on unreadable/malformed traces, missing final conflicts,
+/// unknown clause references and cyclic proofs — the same structural
+/// checks the checkers perform.
+pub fn proof_stats<S: TraceSource + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+) -> Result<ProofStats, CheckError> {
+    let num_original = cnf.num_clauses();
+    let full = load_full(trace, num_original)?;
+    let start = *full.final_ids.first().ok_or(CheckError::NoFinalConflict)?;
+
+    // Roots: the final conflicting clause plus every level-0 antecedent.
+    let mut roots: Vec<u64> = vec![start];
+    for record in full.level_zero.records() {
+        roots.push(record.antecedent);
+    }
+
+    // Iterative post-order DFS computing heights.
+    let mut height: HashMap<u64, u64> = HashMap::new();
+    let mut gray: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut used_originals = vec![false; num_original];
+    let mut derivation_resolutions = 0u64;
+    let mut max_sources = 0usize;
+    let mut source_sum = 0u64;
+
+    for &root in &roots {
+        if root < num_original as u64 {
+            used_originals[root as usize] = true;
+            continue;
+        }
+        if height.contains_key(&root) {
+            continue;
+        }
+        let mut stack: Vec<(u64, Option<u64>)> = vec![(root, None)];
+        while let Some(&(cur, parent)) = stack.last() {
+            if cur < num_original as u64 || height.contains_key(&cur) {
+                stack.pop();
+                continue;
+            }
+            let sources = full.sources.get(&cur).ok_or(CheckError::UnknownClause {
+                id: cur,
+                referenced_by: parent,
+            })?;
+            if gray.contains(&cur) {
+                // Children done: fold.
+                let mut h = 0u64;
+                for &s in sources {
+                    if s < num_original as u64 {
+                        used_originals[s as usize] = true;
+                    } else {
+                        h = h.max(*height.get(&s).expect("child finished"));
+                    }
+                }
+                height.insert(cur, h + 1);
+                gray.remove(&cur);
+                derivation_resolutions += sources.len() as u64 - 1;
+                max_sources = max_sources.max(sources.len());
+                source_sum += sources.len() as u64;
+                stack.pop();
+                continue;
+            }
+            gray.insert(cur);
+            for &s in sources {
+                if s >= num_original as u64 && !height.contains_key(&s) {
+                    if gray.contains(&s) {
+                        return Err(CheckError::CyclicProof { id: s });
+                    }
+                    stack.push((s, Some(cur)));
+                }
+            }
+        }
+    }
+
+    let needed = height.len() as u64;
+    let depth = height.values().copied().max().unwrap_or(0);
+    Ok(ProofStats {
+        learned_total: full.sources.len() as u64,
+        needed,
+        derivation_resolutions,
+        final_phase_bound: full.level_zero.len() as u64,
+        depth,
+        max_sources,
+        avg_sources: if needed == 0 {
+            0.0
+        } else {
+            source_sum as f64 / needed as f64
+        },
+        core_clauses: used_originals.iter().filter(|&&u| u).count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescheck_cnf::Lit;
+    use rescheck_solver::{Solver, SolverConfig};
+    use rescheck_trace::{MemorySink, TraceSink};
+
+    #[test]
+    fn handwritten_proof_metrics() {
+        // One learned clause #3 = r(#0,#1), used as the level-0
+        // antecedent of x1; the final conflict sits on original #2.
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1, 2]); // 0
+        cnf.add_dimacs_clause(&[-2, 3]); // 1
+        cnf.add_dimacs_clause(&[-3, -1]); // 2
+        let mut sink = MemorySink::new();
+        sink.learned(3, &[0, 1]).unwrap(); // (1 3), height 1
+        sink.level_zero(Lit::from_dimacs(1), 3).unwrap();
+        sink.final_conflict(2).unwrap();
+
+        let stats = proof_stats(&cnf, &sink).unwrap();
+        assert_eq!(stats.learned_total, 1);
+        assert_eq!(stats.needed, 1);
+        assert_eq!(stats.depth, 1);
+        assert_eq!(stats.derivation_resolutions, 1);
+        assert_eq!(stats.final_phase_bound, 1);
+        assert_eq!(stats.max_sources, 2);
+        assert_eq!(stats.core_clauses, 3);
+        assert!((stats.needed_percent() - 100.0).abs() < 1e-9);
+        assert!(stats.to_string().contains("depth 1"));
+    }
+
+    #[test]
+    fn chained_heights_accumulate() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]); // 0
+        cnf.add_dimacs_clause(&[-1, 2]); // 1
+        cnf.add_dimacs_clause(&[-2, 3]); // 2
+        cnf.add_dimacs_clause(&[-3]); // 3
+        let mut sink = MemorySink::new();
+        sink.learned(4, &[0, 1]).unwrap(); // (2), height 1
+        sink.learned(5, &[4, 2]).unwrap(); // (3), height 2
+        sink.learned(6, &[5, 3]).unwrap(); // (), height 3 — as a clause id
+        sink.final_conflict(6).unwrap();
+        let stats = proof_stats(&cnf, &sink).unwrap();
+        assert_eq!(stats.depth, 3);
+        assert_eq!(stats.needed, 3);
+        assert_eq!(stats.derivation_resolutions, 3);
+    }
+
+    #[test]
+    fn unused_learned_clauses_are_not_needed() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        cnf.add_dimacs_clause(&[-1]);
+        cnf.add_dimacs_clause(&[2, 3]);
+        cnf.add_dimacs_clause(&[2, -3]);
+        let mut sink = MemorySink::new();
+        sink.learned(4, &[2, 3]).unwrap(); // unused
+        sink.level_zero(Lit::from_dimacs(1), 0).unwrap();
+        sink.final_conflict(1).unwrap();
+        let stats = proof_stats(&cnf, &sink).unwrap();
+        assert_eq!(stats.learned_total, 1);
+        assert_eq!(stats.needed, 0);
+        assert_eq!(stats.needed_percent(), 0.0);
+        assert_eq!(stats.core_clauses, 2);
+        assert_eq!(stats.avg_sources, 0.0);
+    }
+
+    #[test]
+    fn real_traces_have_consistent_metrics() {
+        let mut cnf = Cnf::new();
+        // PHP(5,4) inline.
+        let lit = |p: usize, h: usize| {
+            rescheck_cnf::Lit::positive(rescheck_cnf::Var::new(p * 4 + h))
+        };
+        for p in 0..5 {
+            cnf.add_clause((0..4).map(|h| lit(p, h)));
+        }
+        for h in 0..4 {
+            for p1 in 0..5 {
+                for p2 in p1 + 1..5 {
+                    cnf.add_clause([!lit(p1, h), !lit(p2, h)]);
+                }
+            }
+        }
+        let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());
+        let mut trace = MemorySink::new();
+        assert!(solver.solve_traced(&mut trace).unwrap().is_unsat());
+        let stats = proof_stats(&cnf, &trace).unwrap();
+        assert_eq!(stats.learned_total, solver.stats().learned_clauses);
+        assert!(stats.needed <= stats.learned_total);
+        assert!(stats.depth >= 1);
+        assert!(stats.core_clauses <= cnf.num_clauses());
+        // Consistent with the depth-first checker's count.
+        let outcome = crate::api::check_depth_first(
+            &cnf,
+            &trace,
+            &crate::api::CheckConfig::default(),
+        )
+        .unwrap();
+        assert!(stats.needed >= outcome.stats.clauses_built);
+    }
+
+    #[test]
+    fn cyclic_proofs_are_rejected() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        let mut sink = MemorySink::new();
+        sink.learned(1, &[2, 0]).unwrap();
+        sink.learned(2, &[1, 0]).unwrap();
+        sink.final_conflict(1).unwrap();
+        assert!(matches!(
+            proof_stats(&cnf, &sink).unwrap_err(),
+            CheckError::CyclicProof { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_final_conflict_is_rejected() {
+        let cnf = Cnf::new();
+        let sink = MemorySink::new();
+        assert!(matches!(
+            proof_stats(&cnf, &sink).unwrap_err(),
+            CheckError::NoFinalConflict
+        ));
+    }
+}

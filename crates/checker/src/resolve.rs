@@ -1,0 +1,257 @@
+//! The resolution engine.
+//!
+//! Resolution is the single inference rule of the proof system: two
+//! clauses with exactly one variable appearing in opposite phases produce
+//! the disjunction of their remaining literals. The checker's soundness
+//! rests on [`resolve_sorted`] *failing* when the clash is missing or
+//! ambiguous, so the failure carries the offending variables for
+//! diagnostics.
+
+use rescheck_cnf::{Lit, Var};
+use std::fmt;
+
+/// Why a resolution step was invalid.
+///
+/// A valid resolution needs **exactly one** clashing variable; this error
+/// reports zero or several.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_checker::{normalize_literals, resolve_sorted};
+/// use rescheck_cnf::Lit;
+///
+/// let a = normalize_literals([Lit::from_dimacs(1), Lit::from_dimacs(2)]);
+/// let b = normalize_literals([Lit::from_dimacs(3)]);
+/// let err = resolve_sorted(&a, &b).unwrap_err();
+/// assert!(err.clashing_vars.is_empty());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolveFailure {
+    /// The variables that appear in both clauses with opposite phases.
+    /// Empty means the clauses cannot be resolved at all; two or more
+    /// means the resolvent would be tautological.
+    pub clashing_vars: Vec<Var>,
+}
+
+impl fmt::Display for ResolveFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clashing_vars.is_empty() {
+            f.write_str("no clashing variable between the clauses")
+        } else {
+            write!(
+                f,
+                "{} clashing variables ({}) — resolvent would be tautological",
+                self.clashing_vars.len(),
+                self.clashing_vars
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        }
+    }
+}
+
+impl std::error::Error for ResolveFailure {}
+
+/// Sorts and deduplicates literals into the canonical form the resolution
+/// engine expects.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_checker::normalize_literals;
+/// use rescheck_cnf::Lit;
+///
+/// let lits = normalize_literals([Lit::from_dimacs(2), Lit::from_dimacs(-1), Lit::from_dimacs(2)]);
+/// assert_eq!(lits.len(), 2);
+/// ```
+pub fn normalize_literals(lits: impl IntoIterator<Item = Lit>) -> Vec<Lit> {
+    let mut v: Vec<Lit> = lits.into_iter().collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Resolves two clauses given as sorted, duplicate-free literal slices.
+///
+/// Returns the resolvent (sorted, duplicate-free) if there is exactly one
+/// clashing variable.
+///
+/// # Errors
+///
+/// Returns [`ResolveFailure`] when zero or more than one variable clashes
+/// — the independent check the paper builds the checker around ("when
+/// `resolve(cl, cl1)` is called, the function should check whether there
+/// is one and only one variable appearing in both clauses with different
+/// phases", §3.2).
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_checker::{normalize_literals, resolve_sorted};
+/// use rescheck_cnf::Lit;
+///
+/// // (x + y) resolved with (¬y + z) gives (x + z).
+/// let a = normalize_literals([Lit::from_dimacs(1), Lit::from_dimacs(2)]);
+/// let b = normalize_literals([Lit::from_dimacs(-2), Lit::from_dimacs(3)]);
+/// let r = resolve_sorted(&a, &b)?;
+/// assert_eq!(r, normalize_literals([Lit::from_dimacs(1), Lit::from_dimacs(3)]));
+/// # Ok::<(), rescheck_checker::ResolveFailure>(())
+/// ```
+pub fn resolve_sorted(a: &[Lit], b: &[Lit]) -> Result<Vec<Lit>, ResolveFailure> {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "left clause not sorted");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "right clause not sorted");
+
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut clashing: Vec<Var> = Vec::new();
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        let (la, lb) = (a[i], b[j]);
+        if la == lb {
+            out.push(la);
+            i += 1;
+            j += 1;
+        } else if la.var() == lb.var() {
+            // Opposite phases of the same variable: a clash.
+            clashing.push(la.var());
+            i += 1;
+            j += 1;
+        } else if la < lb {
+            out.push(la);
+            i += 1;
+        } else {
+            out.push(lb);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+
+    if clashing.len() == 1 {
+        Ok(out)
+    } else {
+        Err(ResolveFailure {
+            clashing_vars: clashing,
+        })
+    }
+}
+
+/// Resolves two clauses and additionally checks that the clash is on the
+/// expected variable.
+///
+/// Used in the final empty-clause derivation, where the checker knows
+/// which variable the antecedent is supposed to eliminate.
+///
+/// # Errors
+///
+/// Fails like [`resolve_sorted`], and also when the (unique) clashing
+/// variable differs from `expected` — reported as a two-variable clash
+/// containing the actual and expected variables.
+pub fn resolve_on(a: &[Lit], b: &[Lit], expected: Var) -> Result<Vec<Lit>, ResolveFailure> {
+    let out = resolve_sorted(a, b)?;
+    // resolve_sorted guarantees exactly one clash; recover which one by
+    // checking that `expected` vanished.
+    let still_there =
+        out.iter().any(|l| l.var() == expected) || !a.iter().any(|l| l.var() == expected);
+    if still_there {
+        let actual = a
+            .iter()
+            .find(|l| b.contains(&!**l))
+            .map(|l| l.var())
+            .unwrap_or(expected);
+        return Err(ResolveFailure {
+            clashing_vars: vec![actual, expected],
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(ds: &[i64]) -> Vec<Lit> {
+        normalize_literals(ds.iter().map(|&d| Lit::from_dimacs(d)))
+    }
+
+    #[test]
+    fn paper_example() {
+        // (x + y)(¬y + z) ⊢ (x + z), the example from §2.1.
+        let r = resolve_sorted(&lits(&[1, 2]), &lits(&[-2, 3])).unwrap();
+        assert_eq!(r, lits(&[1, 3]));
+    }
+
+    #[test]
+    fn unit_resolution_to_empty_clause() {
+        let r = resolve_sorted(&lits(&[5]), &lits(&[-5])).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn shared_literals_are_merged_once() {
+        let r = resolve_sorted(&lits(&[1, 2, 3]), &lits(&[-3, 1, 4])).unwrap();
+        assert_eq!(r, lits(&[1, 2, 4]));
+    }
+
+    #[test]
+    fn no_clash_is_an_error() {
+        let err = resolve_sorted(&lits(&[1, 2]), &lits(&[3, 4])).unwrap_err();
+        assert!(err.clashing_vars.is_empty());
+        assert!(err.to_string().contains("no clashing"));
+    }
+
+    #[test]
+    fn same_phase_overlap_is_no_clash() {
+        let err = resolve_sorted(&lits(&[1, 2]), &lits(&[1, 3])).unwrap_err();
+        assert!(err.clashing_vars.is_empty());
+    }
+
+    #[test]
+    fn double_clash_is_an_error() {
+        let err = resolve_sorted(&lits(&[1, 2]), &lits(&[-1, -2])).unwrap_err();
+        assert_eq!(err.clashing_vars.len(), 2);
+        assert!(err.to_string().contains("tautological"));
+    }
+
+    #[test]
+    fn resolution_is_commutative() {
+        let a = lits(&[1, -2, 4]);
+        let b = lits(&[2, 5]);
+        assert_eq!(
+            resolve_sorted(&a, &b).unwrap(),
+            resolve_sorted(&b, &a).unwrap()
+        );
+    }
+
+    #[test]
+    fn resolve_on_accepts_expected_var() {
+        let r = resolve_on(&lits(&[1, -2]), &lits(&[2, 3]), Var::from_dimacs(2)).unwrap();
+        assert_eq!(r, lits(&[1, 3]));
+    }
+
+    #[test]
+    fn resolve_on_rejects_unexpected_var() {
+        let err = resolve_on(&lits(&[1, -2]), &lits(&[2, 3]), Var::from_dimacs(1)).unwrap_err();
+        assert!(err.clashing_vars.contains(&Var::from_dimacs(1)));
+        assert!(err.clashing_vars.contains(&Var::from_dimacs(2)));
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let v = normalize_literals([
+            Lit::from_dimacs(3),
+            Lit::from_dimacs(-1),
+            Lit::from_dimacs(3),
+        ]);
+        assert_eq!(v, lits(&[-1, 3]));
+    }
+
+    #[test]
+    fn empty_clause_cannot_resolve() {
+        let err = resolve_sorted(&[], &lits(&[1])).unwrap_err();
+        assert!(err.clashing_vars.is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests: over random formulas, the solver's claims always
+//! survive independent validation, and the resolution engine obeys its
+//! algebraic laws.
+
+use proptest::prelude::*;
+use rescheck_checker::{
+    check_sat_claim, check_unsat_claim, normalize_literals, resolve_sorted, CheckConfig,
+    Strategy as CheckStrategy,
+};
+use rescheck_cnf::{Assignment, Cnf, LBool, Lit, Var};
+use rescheck_solver::{SolveResult, Solver, SolverConfig};
+use rescheck_trace::MemorySink;
+
+fn clause_strategy(max_vars: u32) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(
+        (1..=max_vars as i64).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
+        1..5,
+    )
+}
+
+fn cnf_strategy(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    prop::collection::vec(clause_strategy(max_vars), 1..max_clauses).prop_map(move |clauses| {
+        let mut cnf = Cnf::with_vars(max_vars as usize);
+        for c in clauses {
+            cnf.add_dimacs_clause(&c);
+        }
+        cnf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline property: whatever the solver claims is independently
+    /// validated — models satisfy, UNSAT traces check under both
+    /// strategies, and the answer agrees with brute force.
+    #[test]
+    fn solver_claims_always_validate(cnf in cnf_strategy(8, 40)) {
+        let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());
+        let mut trace = MemorySink::new();
+        match solver.solve_traced(&mut trace).unwrap() {
+            SolveResult::Satisfiable(model) => {
+                prop_assert!(check_sat_claim(&cnf, &model).is_ok());
+                prop_assert!(cnf.brute_force_status().is_sat());
+            }
+            SolveResult::Unsatisfiable => {
+                prop_assert!(cnf.brute_force_status().is_unsat());
+                for strategy in [
+                    CheckStrategy::DepthFirst,
+                    CheckStrategy::BreadthFirst,
+                    CheckStrategy::Hybrid,
+                ] {
+                    let outcome =
+                        check_unsat_claim(&cnf, &trace, strategy, &CheckConfig::default());
+                    prop_assert!(outcome.is_ok(), "{strategy}: {:?}", outcome.err());
+                }
+            }
+            SolveResult::Unknown => prop_assert!(false, "no budget configured"),
+        }
+    }
+
+    /// The depth-first core is itself unsatisfiable and re-checks.
+    #[test]
+    fn df_core_is_unsat(cnf in cnf_strategy(7, 44)) {
+        let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());
+        let mut trace = MemorySink::new();
+        if solver.solve_traced(&mut trace).unwrap().is_unsat() {
+            let outcome = check_unsat_claim(
+                &cnf, &trace, CheckStrategy::DepthFirst, &CheckConfig::default(),
+            ).unwrap();
+            let core = outcome.core.unwrap();
+            let sub = core.to_subformula(&cnf);
+            prop_assert!(sub.brute_force_status().is_unsat());
+        }
+    }
+
+    /// Both strategies agree on validity and on the learned-clause count.
+    #[test]
+    fn strategies_agree(cnf in cnf_strategy(7, 40)) {
+        let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());
+        let mut trace = MemorySink::new();
+        if solver.solve_traced(&mut trace).unwrap().is_unsat() {
+            let df = check_unsat_claim(
+                &cnf, &trace, CheckStrategy::DepthFirst, &CheckConfig::default()).unwrap();
+            let bf = check_unsat_claim(
+                &cnf, &trace, CheckStrategy::BreadthFirst, &CheckConfig::default()).unwrap();
+            prop_assert_eq!(df.stats.learned_in_trace, bf.stats.learned_in_trace);
+            prop_assert!(df.stats.clauses_built <= bf.stats.clauses_built);
+        }
+    }
+
+    /// Solver determinism: the same seed and input give the same trace.
+    #[test]
+    fn solver_is_deterministic(cnf in cnf_strategy(8, 30)) {
+        let run = |cnf: &Cnf| {
+            let mut solver = Solver::from_cnf(cnf, SolverConfig::default());
+            let mut trace = MemorySink::new();
+            let result = solver.solve_traced(&mut trace).unwrap();
+            (result, trace.into_events())
+        };
+        let (r1, t1) = run(&cnf);
+        let (r2, t2) = run(&cnf);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// Resolution soundness: any assignment satisfying both inputs
+    /// satisfies the resolvent.
+    #[test]
+    fn resolvent_is_implied(
+        a in clause_strategy(6),
+        b in clause_strategy(6),
+        bits in 0u32..64,
+    ) {
+        let an = normalize_literals(a.iter().map(|&d| Lit::from_dimacs(d)));
+        let bn = normalize_literals(b.iter().map(|&d| Lit::from_dimacs(d)));
+        if let Ok(resolvent) = resolve_sorted(&an, &bn) {
+            let mut assignment = Assignment::new(6);
+            for i in 0..6 {
+                assignment.set(Var::new(i), LBool::from(bits >> i & 1 == 1));
+            }
+            let sat = |lits: &[Lit]| lits.iter().any(|&l| assignment.satisfies(l));
+            if sat(&an) && sat(&bn) {
+                prop_assert!(
+                    sat(&resolvent),
+                    "resolvent {:?} not satisfied", resolvent
+                );
+            }
+        }
+    }
+
+    /// Resolution never invents literals: the resolvent is a subset of
+    /// the union of its inputs minus the clashing variable.
+    #[test]
+    fn resolvent_literals_come_from_inputs(
+        a in clause_strategy(6),
+        b in clause_strategy(6),
+    ) {
+        let an = normalize_literals(a.iter().map(|&d| Lit::from_dimacs(d)));
+        let bn = normalize_literals(b.iter().map(|&d| Lit::from_dimacs(d)));
+        if let Ok(resolvent) = resolve_sorted(&an, &bn) {
+            for l in &resolvent {
+                prop_assert!(an.contains(l) || bn.contains(l));
+            }
+            // Sorted and duplicate-free.
+            prop_assert!(resolvent.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

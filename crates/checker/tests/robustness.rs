@@ -1,0 +1,186 @@
+//! Robustness: no input — however mangled — may panic the checker.
+//! A validation tool that crashes on malformed evidence is useless, so
+//! every strategy must return `Ok` or a structured `Err` on arbitrary
+//! corruption of real traces and formulas.
+
+use proptest::prelude::*;
+use rescheck_checker::{
+    check_unsat_claim, proof_stats, trim_trace, CheckConfig, Strategy as CheckStrategy,
+};
+use rescheck_cnf::{Cnf, Lit, Var};
+use rescheck_solver::{Solver, SolverConfig};
+use rescheck_trace::{MemorySink, TraceEvent, TraceSink};
+
+fn pigeonhole(holes: usize) -> Cnf {
+    let pigeons = holes + 1;
+    let mut cnf = Cnf::new();
+    let lit = |p: usize, h: usize| Lit::positive(Var::new(p * holes + h));
+    for p in 0..pigeons {
+        cnf.add_clause((0..holes).map(|h| lit(p, h)));
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                cnf.add_clause([!lit(p1, h), !lit(p2, h)]);
+            }
+        }
+    }
+    cnf
+}
+
+fn genuine() -> (Cnf, Vec<TraceEvent>) {
+    let cnf = pigeonhole(4);
+    let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());
+    let mut sink = MemorySink::new();
+    assert!(solver.solve_traced(&mut sink).unwrap().is_unsat());
+    (cnf, sink.into_events())
+}
+
+/// One structured mutation of an event stream.
+#[derive(Clone, Debug)]
+enum Mutation {
+    DropEvent(prop::sample::Index),
+    DuplicateEvent(prop::sample::Index),
+    SwapEvents(prop::sample::Index, prop::sample::Index),
+    PerturbId(prop::sample::Index, u64),
+    PerturbSource(prop::sample::Index, prop::sample::Index, u64),
+    FlipLiteral(prop::sample::Index),
+    TruncateSources(prop::sample::Index),
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        any::<prop::sample::Index>().prop_map(Mutation::DropEvent),
+        any::<prop::sample::Index>().prop_map(Mutation::DuplicateEvent),
+        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
+            .prop_map(|(a, b)| Mutation::SwapEvents(a, b)),
+        (any::<prop::sample::Index>(), 0u64..1_000_000)
+            .prop_map(|(i, d)| Mutation::PerturbId(i, d)),
+        (
+            any::<prop::sample::Index>(),
+            any::<prop::sample::Index>(),
+            0u64..1_000_000
+        )
+            .prop_map(|(i, j, d)| Mutation::PerturbSource(i, j, d)),
+        any::<prop::sample::Index>().prop_map(Mutation::FlipLiteral),
+        any::<prop::sample::Index>().prop_map(Mutation::TruncateSources),
+    ]
+}
+
+fn apply(events: &mut Vec<TraceEvent>, m: &Mutation) {
+    if events.is_empty() {
+        return;
+    }
+    match m {
+        Mutation::DropEvent(i) => {
+            let i = i.index(events.len());
+            events.remove(i);
+        }
+        Mutation::DuplicateEvent(i) => {
+            let i = i.index(events.len());
+            let e = events[i].clone();
+            events.insert(i, e);
+        }
+        Mutation::SwapEvents(a, b) => {
+            let (a, b) = (a.index(events.len()), b.index(events.len()));
+            events.swap(a, b);
+        }
+        Mutation::PerturbId(i, delta) => {
+            let i = i.index(events.len());
+            match &mut events[i] {
+                TraceEvent::Learned { id, .. } | TraceEvent::FinalConflict { id } => {
+                    *id = id.wrapping_add(*delta);
+                }
+                TraceEvent::LevelZero { antecedent, .. } => {
+                    *antecedent = antecedent.wrapping_add(*delta);
+                }
+            }
+        }
+        Mutation::PerturbSource(i, j, delta) => {
+            let i = i.index(events.len());
+            if let TraceEvent::Learned { sources, .. } = &mut events[i] {
+                let j = j.index(sources.len());
+                sources[j] = sources[j].wrapping_add(*delta);
+            }
+        }
+        Mutation::FlipLiteral(i) => {
+            let i = i.index(events.len());
+            if let TraceEvent::LevelZero { lit, .. } = &mut events[i] {
+                *lit = !*lit;
+            }
+        }
+        Mutation::TruncateSources(i) => {
+            let i = i.index(events.len());
+            if let TraceEvent::Learned { sources, .. } = &mut events[i] {
+                sources.truncate(2.max(sources.len() / 2));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Apply a burst of structured mutations to a genuine trace: every
+    /// strategy, the trimmer and the analyzer must return without
+    /// panicking, and — crucially — if a checker still says `Ok`, the
+    /// formula really is unsatisfiable (it is PHP, so that is given; the
+    /// point is the no-panic and no-hang guarantee).
+    #[test]
+    fn mutated_traces_never_panic(
+        mutations in prop::collection::vec(mutation_strategy(), 1..6),
+    ) {
+        let (cnf, mut events) = genuine();
+        for m in &mutations {
+            apply(&mut events, m);
+        }
+        for strategy in [
+            CheckStrategy::DepthFirst,
+            CheckStrategy::BreadthFirst,
+            CheckStrategy::Hybrid,
+        ] {
+            let _ = check_unsat_claim(&cnf, &events, strategy, &CheckConfig::default());
+        }
+        let _ = trim_trace(&cnf, &events);
+        let _ = proof_stats(&cnf, &events);
+    }
+
+    /// Checking a genuine trace against mutated *formulas* (clauses
+    /// shuffled out, literals flipped) must never panic either.
+    #[test]
+    fn mutated_formulas_never_panic(
+        drop_at in any::<prop::sample::Index>(),
+        flip_at in any::<prop::sample::Index>(),
+    ) {
+        let (cnf, events) = genuine();
+        // Drop one clause.
+        let mut ids: Vec<usize> = (0..cnf.num_clauses()).collect();
+        ids.remove(drop_at.index(ids.len()));
+        let smaller = cnf.subformula(ids);
+        for strategy in [
+            CheckStrategy::DepthFirst,
+            CheckStrategy::BreadthFirst,
+            CheckStrategy::Hybrid,
+        ] {
+            let _ = check_unsat_claim(&smaller, &events, strategy, &CheckConfig::default());
+        }
+        // Flip one literal of one clause.
+        let mut mutated = Cnf::with_vars(cnf.num_vars());
+        let target = flip_at.index(cnf.num_clauses());
+        for (i, clause) in cnf.iter() {
+            let mut lits: Vec<Lit> = clause.iter().copied().collect();
+            if i == target {
+                lits[0] = !lits[0];
+            }
+            mutated.add_clause(lits);
+        }
+        for strategy in [
+            CheckStrategy::DepthFirst,
+            CheckStrategy::BreadthFirst,
+            CheckStrategy::Hybrid,
+        ] {
+            let _ = check_unsat_claim(&mutated, &events, strategy, &CheckConfig::default());
+        }
+        let _ = trim_trace(&mutated, &events);
+    }
+}

@@ -1,0 +1,351 @@
+//! Arithmetic and datapath blocks, in structurally different flavours.
+//!
+//! Equivalence-checking miters are only interesting when the two sides
+//! compute the same function *differently*; this module provides pairs:
+//! ripple-carry vs. carry-select adders, array vs. shift-add multipliers,
+//! plus barrel rotators, comparators and population counts. All words are
+//! LSB-first.
+
+use crate::{Circuit, NodeId};
+
+/// A full adder: returns `(sum, carry_out)`.
+pub fn full_adder(c: &mut Circuit, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+    let axb = c.xor(a, b);
+    let sum = c.xor(axb, cin);
+    let t1 = c.and(a, b);
+    let t2 = c.and(axb, cin);
+    let cout = c.or(t1, t2);
+    (sum, cout)
+}
+
+/// Ripple-carry addition; the result has `max(len(a), len(b)) + 1` bits.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_circuit::{arith, Circuit};
+///
+/// let mut c = Circuit::new();
+/// let a = c.input_word(3);
+/// let b = c.input_word(3);
+/// let sum = arith::ripple_carry_add(&mut c, &a, &b);
+/// c.set_outputs(sum);
+/// // 3 + 5 = 8 → LSB-first 0001
+/// let out = c.simulate(&[true, true, false, true, false, true]);
+/// assert_eq!(out, vec![false, false, false, true]);
+/// ```
+pub fn ripple_carry_add(c: &mut Circuit, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let width = a.len().max(b.len());
+    let zero = c.constant(false);
+    let mut carry = zero;
+    let mut sum = Vec::with_capacity(width + 1);
+    for i in 0..width {
+        let ai = a.get(i).copied().unwrap_or(zero);
+        let bi = b.get(i).copied().unwrap_or(zero);
+        let (s, cout) = full_adder(c, ai, bi, carry);
+        sum.push(s);
+        carry = cout;
+    }
+    sum.push(carry);
+    sum
+}
+
+/// Carry-select addition: the word is split into blocks; each block is
+/// computed for both carry-in values and the real carry selects via
+/// muxes. Structurally very different from ripple-carry, functionally
+/// identical.
+///
+/// # Panics
+///
+/// Panics if `block` is zero.
+pub fn carry_select_add(c: &mut Circuit, a: &[NodeId], b: &[NodeId], block: usize) -> Vec<NodeId> {
+    assert!(block > 0, "block size must be positive");
+    let width = a.len().max(b.len());
+    let zero = c.constant(false);
+    let one = c.constant(true);
+    let mut sum = Vec::with_capacity(width + 1);
+    let mut carry = zero;
+
+    let mut start = 0;
+    while start < width {
+        let end = (start + block).min(width);
+        // Compute the block twice: carry-in 0 and carry-in 1.
+        let mut variants = Vec::with_capacity(2);
+        for cin in [zero, one] {
+            let mut blk_sum = Vec::with_capacity(end - start);
+            let mut blk_carry = cin;
+            for i in start..end {
+                let ai = a.get(i).copied().unwrap_or(zero);
+                let bi = b.get(i).copied().unwrap_or(zero);
+                let (s, cout) = full_adder(c, ai, bi, blk_carry);
+                blk_sum.push(s);
+                blk_carry = cout;
+            }
+            variants.push((blk_sum, blk_carry));
+        }
+        let (sum0, carry0) = variants.swap_remove(0);
+        let (sum1, carry1) = variants.swap_remove(0);
+        for (s0, s1) in sum0.into_iter().zip(sum1) {
+            sum.push(c.mux(carry, s1, s0));
+        }
+        carry = c.mux(carry, carry1, carry0);
+        start = end;
+    }
+    sum.push(carry);
+    sum
+}
+
+/// Array multiplier: the grid of partial products is reduced row by row
+/// with ripple adders. Result has `len(a) + len(b)` bits.
+pub fn array_multiply(c: &mut Circuit, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let zero = c.constant(false);
+    let out_width = a.len() + b.len();
+    let mut acc: Vec<NodeId> = vec![zero; out_width];
+    for (j, &bj) in b.iter().enumerate() {
+        // Row j: partial products a[i] & b[j], shifted left by j.
+        let mut row: Vec<NodeId> = vec![zero; j];
+        for &ai in a {
+            row.push(c.and(ai, bj));
+        }
+        let summed = ripple_carry_add(c, &acc, &row);
+        acc = summed.into_iter().take(out_width).collect();
+    }
+    acc
+}
+
+/// Shift-add multiplier: iterates over multiplier bits, conditionally
+/// adding the shifted multiplicand — the combinational unrolling of the
+/// classic sequential multiplier (the paper's `longmult` family is the
+/// BMC unrolling of exactly this structure, xor-heavy and famously hard
+/// for resolution).
+pub fn shift_add_multiply(c: &mut Circuit, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let zero = c.constant(false);
+    let out_width = a.len() + b.len();
+    let mut acc: Vec<NodeId> = vec![zero; out_width];
+    for (j, &bj) in b.iter().enumerate() {
+        // addend = (a << j) if bj else 0, realized with AND-masking after
+        // the mux-free gating of each bit.
+        let mut addend: Vec<NodeId> = vec![zero; j];
+        for &ai in a {
+            addend.push(c.and(ai, bj));
+        }
+        // Unlike the array multiplier, accumulate with carry-select
+        // blocks so the two multipliers differ structurally.
+        let summed = carry_select_add(c, &acc, &addend, 4);
+        acc = summed.into_iter().take(out_width).collect();
+    }
+    acc
+}
+
+/// Barrel rotator: rotates `word` left by the amount encoded in `shift`
+/// (LSB-first), as a logarithmic stack of mux stages.
+pub fn barrel_rotate_left(c: &mut Circuit, word: &[NodeId], shift: &[NodeId]) -> Vec<NodeId> {
+    let n = word.len();
+    let mut current: Vec<NodeId> = word.to_vec();
+    for (stage, &s) in shift.iter().enumerate() {
+        let amount = 1usize << stage;
+        if n == 0 {
+            break;
+        }
+        let rotated: Vec<NodeId> = (0..n)
+            .map(|i| current[(i + n - amount % n) % n])
+            .collect();
+        current = (0..n)
+            .map(|i| c.mux(s, rotated[i], current[i]))
+            .collect();
+    }
+    current
+}
+
+/// Word equality: a single node that is 1 iff `a == b` bitwise.
+///
+/// # Panics
+///
+/// Panics if the words have different widths.
+pub fn equal(c: &mut Circuit, a: &[NodeId], b: &[NodeId]) -> NodeId {
+    assert_eq!(a.len(), b.len(), "equality needs equal widths");
+    let bits: Vec<NodeId> = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| c.xnor(x, y))
+        .collect();
+    c.and_all(bits)
+}
+
+/// Population count of a word, as a `ceil(log2(n+1))`-bit result built
+/// from a tree of adders.
+pub fn popcount(c: &mut Circuit, word: &[NodeId]) -> Vec<NodeId> {
+    if word.is_empty() {
+        return vec![c.constant(false)];
+    }
+    let mut words: Vec<Vec<NodeId>> = word.iter().map(|&b| vec![b]).collect();
+    while words.len() > 1 {
+        let mut next = Vec::with_capacity(words.len().div_ceil(2));
+        let mut iter = words.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(ripple_carry_add(c, &a, &b)),
+                None => next.push(a),
+            }
+        }
+        words = next;
+    }
+    words.pop().expect("at least one word")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{bits_to_u64, u64_to_bits};
+
+    fn exhaustive_inputs(bits: usize) -> impl Iterator<Item = u64> {
+        0..(1u64 << bits)
+    }
+
+    #[test]
+    fn adders_match_integer_addition() {
+        let w = 4;
+        let mut rc = Circuit::new();
+        let a1 = rc.input_word(w);
+        let b1 = rc.input_word(w);
+        let s1 = ripple_carry_add(&mut rc, &a1, &b1);
+        rc.set_outputs(s1);
+
+        let mut cs = Circuit::new();
+        let a2 = cs.input_word(w);
+        let b2 = cs.input_word(w);
+        let s2 = carry_select_add(&mut cs, &a2, &b2, 2);
+        cs.set_outputs(s2);
+
+        for x in exhaustive_inputs(w) {
+            for y in exhaustive_inputs(w) {
+                let mut inputs = u64_to_bits(x, w);
+                inputs.extend(u64_to_bits(y, w));
+                let expected = x + y;
+                assert_eq!(bits_to_u64(&rc.simulate(&inputs)), expected, "rc {x}+{y}");
+                assert_eq!(bits_to_u64(&cs.simulate(&inputs)), expected, "cs {x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_width_addition() {
+        let mut c = Circuit::new();
+        let a = c.input_word(2);
+        let b = c.input_word(4);
+        let s = ripple_carry_add(&mut c, &a, &b);
+        c.set_outputs(s);
+        for x in exhaustive_inputs(2) {
+            for y in exhaustive_inputs(4) {
+                let mut inputs = u64_to_bits(x, 2);
+                inputs.extend(u64_to_bits(y, 4));
+                assert_eq!(bits_to_u64(&c.simulate(&inputs)), x + y);
+            }
+        }
+    }
+
+    #[test]
+    fn multipliers_match_integer_multiplication() {
+        let w = 3;
+        let mut am = Circuit::new();
+        let a1 = am.input_word(w);
+        let b1 = am.input_word(w);
+        let p1 = array_multiply(&mut am, &a1, &b1);
+        am.set_outputs(p1);
+
+        let mut sm = Circuit::new();
+        let a2 = sm.input_word(w);
+        let b2 = sm.input_word(w);
+        let p2 = shift_add_multiply(&mut sm, &a2, &b2);
+        sm.set_outputs(p2);
+
+        for x in exhaustive_inputs(w) {
+            for y in exhaustive_inputs(w) {
+                let mut inputs = u64_to_bits(x, w);
+                inputs.extend(u64_to_bits(y, w));
+                assert_eq!(bits_to_u64(&am.simulate(&inputs)), x * y, "array {x}*{y}");
+                assert_eq!(bits_to_u64(&sm.simulate(&inputs)), x * y, "shiftadd {x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrel_rotator_rotates() {
+        let n = 8usize;
+        let sbits = 3;
+        let mut c = Circuit::new();
+        let word = c.input_word(n);
+        let shift = c.input_word(sbits);
+        let rot = barrel_rotate_left(&mut c, &word, &shift);
+        c.set_outputs(rot);
+        for w in [0b1011_0010u64, 0b0000_0001, 0b1111_0000] {
+            for s in 0..n as u64 {
+                let mut inputs = u64_to_bits(w, n);
+                inputs.extend(u64_to_bits(s, sbits));
+                let got = bits_to_u64(&c.simulate(&inputs));
+                let expected = ((w << s) | (w >> (n as u64 - s).min(63))) & 0xff;
+                let expected = if s == 0 { w } else { expected };
+                assert_eq!(got, expected, "rotate {w:#010b} by {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn equality_comparator() {
+        let w = 3;
+        let mut c = Circuit::new();
+        let a = c.input_word(w);
+        let b = c.input_word(w);
+        let eq = equal(&mut c, &a, &b);
+        c.set_outputs([eq]);
+        for x in exhaustive_inputs(w) {
+            for y in exhaustive_inputs(w) {
+                let mut inputs = u64_to_bits(x, w);
+                inputs.extend(u64_to_bits(y, w));
+                assert_eq!(c.simulate(&inputs), vec![x == y]);
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_counts() {
+        let n = 6;
+        let mut c = Circuit::new();
+        let word = c.input_word(n);
+        let count = popcount(&mut c, &word);
+        c.set_outputs(count);
+        for bits in exhaustive_inputs(n) {
+            let inputs = u64_to_bits(bits, n);
+            assert_eq!(
+                bits_to_u64(&c.simulate(&inputs)),
+                bits.count_ones() as u64,
+                "popcount of {bits:#08b}"
+            );
+        }
+    }
+
+    #[test]
+    fn popcount_of_empty_word_is_zero() {
+        let mut c = Circuit::new();
+        let count = popcount(&mut c, &[]);
+        c.set_outputs(count);
+        assert_eq!(c.simulate(&[]), vec![false]);
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let cin = c.input();
+        let (s, cout) = full_adder(&mut c, a, b, cin);
+        c.set_outputs([s, cout]);
+        for bits in 0..8u64 {
+            let inputs = u64_to_bits(bits, 3);
+            let total = inputs.iter().filter(|&&x| x).count();
+            let out = c.simulate(&inputs);
+            assert_eq!(out[0], total % 2 == 1);
+            assert_eq!(out[1], total >= 2);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Stuck-at fault injection for ATPG.
+//!
+//! Automatic test pattern generation — the first EDA application the
+//! paper's introduction lists — asks, for a *stuck-at* fault on a net:
+//! is there an input vector on which the faulty circuit differs from the
+//! good one? Encoded as a good-vs-faulty miter, SAT yields the test
+//! pattern; **UNSAT proves the fault untestable** (the logic is
+//! redundant), and that is exactly the kind of claim the resolution
+//! checker exists to validate.
+
+use crate::{Circuit, Gate, NodeId};
+
+/// Returns a copy of `circuit` with `node` stuck at `value`.
+///
+/// Every fanout of `node` sees the constant instead; the rest of the
+/// circuit is rebuilt around it (the builder's folding may simplify the
+/// faulty cone, which does not change the faulty function).
+///
+/// # Panics
+///
+/// Panics if `node` is out of range for the circuit.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_circuit::{fault, Circuit};
+///
+/// let mut c = Circuit::new();
+/// let a = c.input();
+/// let b = c.input();
+/// let g = c.and(a, b);
+/// c.set_outputs([g]);
+///
+/// let faulty = fault::inject_stuck_at(&c, g, true); // output stuck at 1
+/// assert_eq!(faulty.simulate(&[false, false]), vec![true]);
+/// assert_eq!(c.simulate(&[false, false]), vec![false]);
+/// ```
+pub fn inject_stuck_at(circuit: &Circuit, node: NodeId, value: bool) -> Circuit {
+    assert!(node.index() < circuit.num_nodes(), "fault site in range");
+    let mut out = Circuit::new();
+    let mut map: Vec<NodeId> = Vec::with_capacity(circuit.num_nodes());
+    for (id, gate) in circuit.nodes() {
+        let rebuilt = match gate {
+            Gate::Input(_) => out.input(),
+            Gate::Const(v) => out.constant(v),
+            Gate::Not(a) => out.not(map[a.index()]),
+            Gate::And(a, b) => out.and(map[a.index()], map[b.index()]),
+            Gate::Or(a, b) => out.or(map[a.index()], map[b.index()]),
+            Gate::Xor(a, b) => out.xor(map[a.index()], map[b.index()]),
+        };
+        // The faulty net presents the stuck value to all of its fanout.
+        let mapped = if id == node {
+            out.constant(value)
+        } else {
+            rebuilt
+        };
+        map.push(mapped);
+    }
+    out.set_outputs(circuit.outputs().iter().map(|o| map[o.index()]));
+    out
+}
+
+/// All internal (non-input, non-constant) nodes — candidate fault sites.
+pub fn fault_sites(circuit: &Circuit) -> Vec<NodeId> {
+    circuit
+        .nodes()
+        .filter(|(_, g)| !matches!(g, Gate::Input(_) | Gate::Const(_)))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miter::equivalence_cnf;
+
+    /// out = mux(s, x, x): both branches carry the same signal, so the
+    /// select is redundant — the canonical untestable-fault example.
+    fn redundant_select() -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let s = c.input();
+        let x = c.input();
+        // Build the mux by hand so the select survives folding:
+        // (s ∧ x) ∨ (¬s ∧ x).
+        let t1 = c.and(s, x);
+        let ns = c.not(s);
+        let t2 = c.and(ns, x);
+        let out = c.or(t1, t2);
+        c.set_outputs([out]);
+        (c, ns)
+    }
+
+    #[test]
+    fn stuck_output_changes_the_function() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let g = c.xor(a, b);
+        c.set_outputs([g]);
+        let faulty = inject_stuck_at(&c, g, false);
+        assert_eq!(faulty.simulate(&[true, false]), vec![false]);
+        assert_eq!(c.simulate(&[true, false]), vec![true]);
+        // The fault is testable: the miter is satisfiable.
+        let cnf = equivalence_cnf(&c, &faulty).unwrap();
+        assert!(cnf.brute_force_status().is_sat());
+    }
+
+    #[test]
+    fn redundant_fault_is_untestable() {
+        let (c, ns) = redundant_select();
+        // ¬s stuck at 1 leaves out = (s∧x) ∨ x = x = the good function.
+        let faulty = inject_stuck_at(&c, ns, true);
+        let cnf = equivalence_cnf(&c, &faulty).unwrap();
+        assert!(cnf.brute_force_status().is_unsat(), "fault must be untestable");
+    }
+
+    #[test]
+    fn stuck_input_feeds_all_fanout() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let g1 = c.and(a, b);
+        let g2 = c.or(a, b);
+        c.set_outputs([g1, g2]);
+        let faulty = inject_stuck_at(&c, a, true);
+        // With a stuck at 1: g1 = b, g2 = 1.
+        assert_eq!(faulty.simulate(&[false, true]), vec![true, true]);
+        assert_eq!(faulty.simulate(&[false, false]), vec![false, true]);
+        // Input count is preserved (the stuck input still exists).
+        assert_eq!(faulty.num_inputs(), 2);
+    }
+
+    #[test]
+    fn fault_sites_exclude_inputs_and_constants() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let t = c.constant(true);
+        let g = c.xor(a, t);
+        c.set_outputs([g]);
+        let sites = fault_sites(&c);
+        assert!(sites.contains(&g));
+        assert!(!sites.contains(&a));
+        assert!(!sites.contains(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault site in range")]
+    fn foreign_node_id_panics() {
+        // A NodeId minted by a larger circuit is out of range for a
+        // smaller one.
+        let mut big = Circuit::new();
+        let ins = big.input_word(8);
+        let foreign = big.and_all(ins);
+        let mut small = Circuit::new();
+        let a = small.input();
+        small.set_outputs([a]);
+        inject_stuck_at(&small, foreign, false);
+    }
+}

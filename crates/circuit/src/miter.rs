@@ -1,0 +1,210 @@
+//! Miter construction for combinational equivalence checking.
+//!
+//! A *miter* feeds the same inputs to two circuits and ORs the pairwise
+//! XORs of their outputs: its single output is 1 exactly on inputs where
+//! the circuits disagree. Asserting that output and solving gives the
+//! classic CEC formulation — UNSAT ⇔ equivalent — the source of the
+//! paper's `c5135`/`c7225` instances.
+
+use crate::tseitin::{self, EncodedCircuit};
+use crate::{Circuit, NodeId};
+use rescheck_cnf::Cnf;
+use std::error::Error;
+use std::fmt;
+
+/// The two circuits of a miter do not have the same interface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MiterInterfaceError {
+    /// `(inputs, outputs)` of the left circuit.
+    pub left: (usize, usize),
+    /// `(inputs, outputs)` of the right circuit.
+    pub right: (usize, usize),
+}
+
+impl fmt::Display for MiterInterfaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "miter interface mismatch: left has {} inputs/{} outputs, right has {}/{}",
+            self.left.0, self.left.1, self.right.0, self.right.1
+        )
+    }
+}
+
+impl Error for MiterInterfaceError {}
+
+/// Builds the miter of two circuits with identical interfaces.
+///
+/// The result has the same inputs and a single output that is 1 iff the
+/// circuits disagree on some declared output.
+///
+/// # Errors
+///
+/// Fails if the circuits differ in input or output count.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_circuit::{miter::miter, Circuit};
+///
+/// let mut a = Circuit::new();
+/// let x = a.input();
+/// let y = a.input();
+/// let g = a.and(x, y);
+/// let o = a.not(g); // NAND
+/// a.set_outputs([o]);
+///
+/// let mut b = Circuit::new();
+/// let x = b.input();
+/// let y = b.input();
+/// let nx = b.not(x);
+/// let ny = b.not(y);
+/// let o = b.or(nx, ny); // De Morgan: same function
+/// b.set_outputs([o]);
+///
+/// let m = miter(&a, &b)?;
+/// // The circuits are equivalent, so the miter is constantly 0.
+/// for bits in 0..4u8 {
+///     let inputs = [bits & 1 == 1, bits & 2 == 2];
+///     assert_eq!(m.simulate(&inputs), vec![false]);
+/// }
+/// # Ok::<(), rescheck_circuit::miter::MiterInterfaceError>(())
+/// ```
+pub fn miter(left: &Circuit, right: &Circuit) -> Result<Circuit, MiterInterfaceError> {
+    if left.num_inputs() != right.num_inputs()
+        || left.outputs().len() != right.outputs().len()
+    {
+        return Err(MiterInterfaceError {
+            left: (left.num_inputs(), left.outputs().len()),
+            right: (right.num_inputs(), right.outputs().len()),
+        });
+    }
+    let mut m = Circuit::new();
+    let inputs: Vec<NodeId> = m.input_word(left.num_inputs());
+    let lmap = m.import(left, &inputs);
+    let rmap = m.import(right, &inputs);
+    let diffs: Vec<NodeId> = left
+        .outputs()
+        .iter()
+        .zip(right.outputs())
+        .map(|(&lo, &ro)| m.xor(lmap[lo.index()], rmap[ro.index()]))
+        .collect();
+    let any = m.or_all(diffs);
+    m.set_outputs([any]);
+    Ok(m)
+}
+
+/// Encodes an equivalence-checking problem as CNF: UNSAT ⇔ equivalent.
+///
+/// This is [`miter`] + Tseitin + a unit clause asserting the miter
+/// output.
+///
+/// # Errors
+///
+/// Fails if the circuits differ in input or output count.
+pub fn equivalence_cnf(left: &Circuit, right: &Circuit) -> Result<Cnf, MiterInterfaceError> {
+    let m = miter(left, right)?;
+    let EncodedCircuit {
+        mut cnf,
+        output_lits,
+        ..
+    } = tseitin::encode(&m);
+    cnf.add_clause([output_lits[0]]);
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nand_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let g = c.nand(x, y);
+        c.set_outputs([g]);
+        c
+    }
+
+    fn demorgan_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let nx = c.not(x);
+        let ny = c.not(y);
+        let g = c.or(nx, ny);
+        c.set_outputs([g]);
+        c
+    }
+
+    fn broken_circuit() -> Circuit {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let g = c.or(x, y); // not NAND
+        c.set_outputs([g]);
+        c
+    }
+
+    #[test]
+    fn equivalent_circuits_make_a_constant_zero_miter() {
+        let m = miter(&nand_circuit(), &demorgan_circuit()).unwrap();
+        for bits in 0..4u8 {
+            assert_eq!(
+                m.simulate(&[bits & 1 == 1, bits & 2 == 2]),
+                vec![false]
+            );
+        }
+    }
+
+    #[test]
+    fn inequivalent_circuits_light_the_miter() {
+        let m = miter(&nand_circuit(), &broken_circuit()).unwrap();
+        // They differ on (1,1): NAND=0, OR=1.
+        assert_eq!(m.simulate(&[true, true]), vec![true]);
+        assert_eq!(m.simulate(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn equivalence_cnf_unsat_for_equivalent_sat_for_broken() {
+        let eq = equivalence_cnf(&nand_circuit(), &demorgan_circuit()).unwrap();
+        assert!(eq.brute_force_status().is_unsat());
+
+        let ne = equivalence_cnf(&nand_circuit(), &broken_circuit()).unwrap();
+        assert!(ne.brute_force_status().is_sat());
+    }
+
+    #[test]
+    fn interface_mismatch_is_an_error() {
+        let mut one_in = Circuit::new();
+        let a = one_in.input();
+        one_in.set_outputs([a]);
+        let err = miter(&nand_circuit(), &one_in).unwrap_err();
+        assert_eq!(err.left, (2, 1));
+        assert_eq!(err.right, (1, 1));
+        assert!(err.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn multi_output_miters_compare_all_outputs() {
+        let build = |swap: bool| {
+            let mut c = Circuit::new();
+            let x = c.input();
+            let y = c.input();
+            let g1 = c.and(x, y);
+            let g2 = c.or(x, y);
+            if swap {
+                c.set_outputs([g2, g1]);
+            } else {
+                c.set_outputs([g1, g2]);
+            }
+            c
+        };
+        // Identical ordering: equivalent.
+        let same = equivalence_cnf(&build(false), &build(false)).unwrap();
+        assert!(same.brute_force_status().is_unsat());
+        // Swapped outputs: inequivalent.
+        let swapped = equivalence_cnf(&build(false), &build(true)).unwrap();
+        assert!(swapped.brute_force_status().is_sat());
+    }
+}

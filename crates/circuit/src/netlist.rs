@@ -1,0 +1,407 @@
+//! Combinational netlists.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to a node (gate, input or constant) of a [`Circuit`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The raw index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A gate or leaf of the netlist.
+///
+/// All logic is built from two-input primitives; wider gates are folded
+/// chains. Operand IDs always precede the gate's own ID, so the node list
+/// is a topological order by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// The `n`-th primary input.
+    Input(u32),
+    /// A constant.
+    Const(bool),
+    /// Negation.
+    Not(NodeId),
+    /// Conjunction.
+    And(NodeId, NodeId),
+    /// Disjunction.
+    Or(NodeId, NodeId),
+    /// Exclusive or.
+    Xor(NodeId, NodeId),
+}
+
+/// A combinational circuit: a DAG of two-input gates with hash-consing.
+///
+/// Structurally identical gates are shared automatically and constant
+/// operands are folded, which keeps Tseitin CNFs small when circuits are
+/// unrolled many times.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_circuit::Circuit;
+///
+/// let mut c = Circuit::new();
+/// let a = c.input();
+/// let b = c.input();
+/// let g1 = c.and(a, b);
+/// let g2 = c.and(a, b);
+/// assert_eq!(g1, g2); // hash-consed
+/// c.set_outputs([g1]);
+/// assert_eq!(c.simulate(&[true, true]), vec![true]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    nodes: Vec<Gate>,
+    num_inputs: u32,
+    outputs: Vec<NodeId>,
+    cache: HashMap<Gate, NodeId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Self {
+        Circuit::default()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs as usize
+    }
+
+    /// Number of nodes (inputs, constants and gates).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The gate at `id`.
+    pub fn gate(&self, id: NodeId) -> Gate {
+        self.nodes[id.index()]
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, Gate)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (NodeId(i as u32), g))
+    }
+
+    /// The designated outputs, in order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Declares the circuit's outputs.
+    pub fn set_outputs(&mut self, outputs: impl IntoIterator<Item = NodeId>) {
+        self.outputs = outputs.into_iter().collect();
+    }
+
+    fn push(&mut self, gate: Gate) -> NodeId {
+        if let Some(&id) = self.cache.get(&gate) {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("netlist too large"));
+        self.nodes.push(gate);
+        self.cache.insert(gate, id);
+        id
+    }
+
+    /// Adds a fresh primary input.
+    pub fn input(&mut self) -> NodeId {
+        let gate = Gate::Input(self.num_inputs);
+        self.num_inputs += 1;
+        // Inputs are all distinct; bypass the cache key (each Input(n) is
+        // unique anyway).
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("netlist too large"));
+        self.nodes.push(gate);
+        id
+    }
+
+    /// Adds `width` fresh inputs and returns them LSB-first.
+    pub fn input_word(&mut self, width: usize) -> Vec<NodeId> {
+        (0..width).map(|_| self.input()).collect()
+    }
+
+    /// The constant node for `value`.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.push(Gate::Const(value))
+    }
+
+    /// Returns the constant value of a node, if it is a constant.
+    pub fn const_value(&self, id: NodeId) -> Option<bool> {
+        match self.gate(id) {
+            Gate::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Negation, with folding.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        match self.gate(a) {
+            Gate::Const(v) => self.constant(!v),
+            Gate::Not(inner) => inner,
+            _ => self.push(Gate::Not(a)),
+        }
+    }
+
+    /// Conjunction, with constant folding and operand normalization.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.const_value(a), self.const_value(b)) {
+            (Some(false), _) | (_, Some(false)) => self.constant(false),
+            (Some(true), _) => b,
+            (_, Some(true)) => a,
+            _ if a == b => a,
+            _ => {
+                let (x, y) = if a <= b { (a, b) } else { (b, a) };
+                self.push(Gate::And(x, y))
+            }
+        }
+    }
+
+    /// Disjunction, with constant folding and operand normalization.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.const_value(a), self.const_value(b)) {
+            (Some(true), _) | (_, Some(true)) => self.constant(true),
+            (Some(false), _) => b,
+            (_, Some(false)) => a,
+            _ if a == b => a,
+            _ => {
+                let (x, y) = if a <= b { (a, b) } else { (b, a) };
+                self.push(Gate::Or(x, y))
+            }
+        }
+    }
+
+    /// Exclusive or, with constant folding and operand normalization.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        match (self.const_value(a), self.const_value(b)) {
+            (Some(false), _) => b,
+            (_, Some(false)) => a,
+            (Some(true), _) => self.not(b),
+            (_, Some(true)) => self.not(a),
+            _ if a == b => self.constant(false),
+            _ => {
+                let (x, y) = if a <= b { (a, b) } else { (b, a) };
+                self.push(Gate::Xor(x, y))
+            }
+        }
+    }
+
+    /// NAND.
+    pub fn nand(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let g = self.and(a, b);
+        self.not(g)
+    }
+
+    /// NOR.
+    pub fn nor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let g = self.or(a, b);
+        self.not(g)
+    }
+
+    /// XNOR (equivalence).
+    pub fn xnor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let g = self.xor(a, b);
+        self.not(g)
+    }
+
+    /// 2:1 multiplexer: `if s { a } else { b }`.
+    pub fn mux(&mut self, s: NodeId, a: NodeId, b: NodeId) -> NodeId {
+        let ta = self.and(s, a);
+        let ns = self.not(s);
+        let tb = self.and(ns, b);
+        self.or(ta, tb)
+    }
+
+    /// Conjunction over many nodes (`true` for an empty list).
+    pub fn and_all(&mut self, nodes: impl IntoIterator<Item = NodeId>) -> NodeId {
+        let mut acc = self.constant(true);
+        for n in nodes {
+            acc = self.and(acc, n);
+        }
+        acc
+    }
+
+    /// Disjunction over many nodes (`false` for an empty list).
+    pub fn or_all(&mut self, nodes: impl IntoIterator<Item = NodeId>) -> NodeId {
+        let mut acc = self.constant(false);
+        for n in nodes {
+            acc = self.or(acc, n);
+        }
+        acc
+    }
+
+    /// Imports every node of `other`, mapping its inputs through
+    /// `input_map` (node IDs in `self`, indexed by the other circuit's
+    /// input number). Returns the mapping from `other`'s node IDs to the
+    /// corresponding IDs in `self`.
+    ///
+    /// Used by miters and sequential unrolling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_map` is shorter than `other`'s input count.
+    pub fn import(&mut self, other: &Circuit, input_map: &[NodeId]) -> Vec<NodeId> {
+        assert!(
+            input_map.len() >= other.num_inputs(),
+            "input map covers all inputs"
+        );
+        let mut map: Vec<NodeId> = Vec::with_capacity(other.nodes.len());
+        for (_, gate) in other.nodes() {
+            let new_id = match gate {
+                Gate::Input(n) => input_map[n as usize],
+                Gate::Const(v) => self.constant(v),
+                Gate::Not(a) => self.not(map[a.index()]),
+                Gate::And(a, b) => self.and(map[a.index()], map[b.index()]),
+                Gate::Or(a, b) => self.or(map[a.index()], map[b.index()]),
+                Gate::Xor(a, b) => self.xor(map[a.index()], map[b.index()]),
+            };
+            map.push(new_id);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_shares_gates() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        assert_eq!(c.and(a, b), c.and(b, a)); // normalized operand order
+        assert_eq!(c.or(a, b), c.or(a, b));
+        assert_ne!(c.and(a, b), c.or(a, b));
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let t = c.constant(true);
+        let f = c.constant(false);
+        assert_eq!(c.and(a, t), a);
+        assert_eq!(c.and(a, f), f);
+        assert_eq!(c.or(a, f), a);
+        assert_eq!(c.or(a, t), t);
+        assert_eq!(c.xor(a, f), a);
+        let na = c.not(a);
+        assert_eq!(c.xor(a, t), na);
+        assert_eq!(c.not(na), a); // double negation
+        assert_eq!(c.and(a, a), a);
+        let ff = c.xor(a, a);
+        assert_eq!(c.const_value(ff), Some(false));
+    }
+
+    #[test]
+    fn inputs_are_distinct() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        assert_ne!(a, b);
+        assert_eq!(c.num_inputs(), 2);
+    }
+
+    #[test]
+    fn derived_gates() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let nand = c.nand(a, b);
+        let nor = c.nor(a, b);
+        let xnor = c.xnor(a, b);
+        let mux = c.mux(a, b, nand);
+        c.set_outputs([nand, nor, xnor, mux]);
+        // Truth table check via simulation.
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = c.simulate(&[x, y]);
+            assert_eq!(out[0], !(x && y), "nand {x} {y}");
+            assert_eq!(out[1], !(x || y), "nor {x} {y}");
+            assert_eq!(out[2], x == y, "xnor {x} {y}");
+            assert_eq!(out[3], if x { y } else { !(x && y) }, "mux {x} {y}");
+        }
+    }
+
+    #[test]
+    fn and_all_or_all() {
+        let mut c = Circuit::new();
+        let ins = c.input_word(3);
+        let all = c.and_all(ins.iter().copied());
+        let any = c.or_all(ins.iter().copied());
+        c.set_outputs([all, any]);
+        assert_eq!(c.simulate(&[true, true, true]), vec![true, true]);
+        assert_eq!(c.simulate(&[true, false, true]), vec![false, true]);
+        assert_eq!(c.simulate(&[false, false, false]), vec![false, false]);
+
+        let mut d = Circuit::new();
+        let empty_and = d.and_all([]);
+        let empty_or = d.or_all([]);
+        assert_eq!(d.const_value(empty_and), Some(true));
+        assert_eq!(d.const_value(empty_or), Some(false));
+    }
+
+    #[test]
+    fn import_remaps_inputs() {
+        let mut inner = Circuit::new();
+        let a = inner.input();
+        let b = inner.input();
+        let g = inner.xor(a, b);
+        inner.set_outputs([g]);
+
+        let mut outer = Circuit::new();
+        let x = outer.input();
+        let y = outer.input();
+        let nx = outer.not(x);
+        let map = outer.import(&inner, &[nx, y]);
+        let out = map[g.index()];
+        outer.set_outputs([out]);
+        // out = ¬x ⊕ y
+        assert_eq!(outer.simulate(&[false, false]), vec![true]);
+        assert_eq!(outer.simulate(&[true, false]), vec![false]);
+        assert_eq!(outer.simulate(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input map")]
+    fn import_with_short_map_panics() {
+        let mut inner = Circuit::new();
+        inner.input();
+        inner.input();
+        let mut outer = Circuit::new();
+        let x = outer.input();
+        outer.import(&inner, &[x]);
+    }
+
+    #[test]
+    fn node_ids_are_topological() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let g1 = c.and(a, b);
+        let g2 = c.or(g1, a);
+        for (id, gate) in c.nodes() {
+            match gate {
+                Gate::Not(x) => assert!(x < id),
+                Gate::And(x, y) | Gate::Or(x, y) | Gate::Xor(x, y) => {
+                    assert!(x < id && y < id);
+                }
+                _ => {}
+            }
+        }
+        assert!(g1 < g2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Sequential circuits and bounded model checking (BMC) unrolling.
+//!
+//! A sequential circuit is a combinational *step function* whose first
+//! inputs are the current state bits; it produces next-state bits and a
+//! `bad` indicator. Unrolling `k` steps from the initial state and asking
+//! "is `bad` reachable?" yields the classic BMC CNF (Biere et al., the
+//! source of the paper's `barrel` and `longmult` instances): SAT means a
+//! counterexample exists within `k` steps; UNSAT — the checkable claim —
+//! means the property holds up to the bound.
+
+use crate::tseitin::{self, EncodedCircuit};
+use crate::{Circuit, NodeId};
+use rescheck_cnf::Cnf;
+
+/// A finite-state machine described by a combinational step circuit.
+///
+/// Input convention of the step circuit: inputs `0..state_width` are the
+/// current state, the remaining inputs are free (primary) inputs of that
+/// step.
+///
+/// # Examples
+///
+/// A 3-bit one-hot token ring whose token can never disappear:
+///
+/// ```
+/// use rescheck_circuit::seq::SeqCircuit;
+/// use rescheck_circuit::Circuit;
+///
+/// let mut step = Circuit::new();
+/// let s: Vec<_> = (0..3).map(|_| step.input()).collect();
+/// // Rotate the token.
+/// let next = vec![s[2], s[0], s[1]];
+/// // Bad: no bit set.
+/// let any = step.or_all(s.iter().copied());
+/// let bad = step.not(any);
+/// let seq = SeqCircuit::new(step, 3, next, vec![true, false, false], bad);
+/// let cnf = seq.unroll_to_cnf(8);
+/// // The property holds, so the BMC formula is UNSAT (provable!).
+/// assert!(cnf.num_clauses() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SeqCircuit {
+    step: Circuit,
+    state_width: usize,
+    next_state: Vec<NodeId>,
+    init: Vec<bool>,
+    bad: NodeId,
+}
+
+impl SeqCircuit {
+    /// Creates a sequential circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths are inconsistent: `next_state` and `init`
+    /// must have `state_width` entries, and the step circuit must have at
+    /// least `state_width` inputs.
+    pub fn new(
+        step: Circuit,
+        state_width: usize,
+        next_state: Vec<NodeId>,
+        init: Vec<bool>,
+        bad: NodeId,
+    ) -> Self {
+        assert_eq!(next_state.len(), state_width, "next-state width");
+        assert_eq!(init.len(), state_width, "initial-state width");
+        assert!(
+            step.num_inputs() >= state_width,
+            "step circuit must take the state as its first inputs"
+        );
+        SeqCircuit {
+            step,
+            state_width,
+            next_state,
+            init,
+            bad,
+        }
+    }
+
+    /// Width of the state register.
+    pub fn state_width(&self) -> usize {
+        self.state_width
+    }
+
+    /// Number of free (non-state) inputs consumed per step.
+    pub fn free_inputs_per_step(&self) -> usize {
+        self.step.num_inputs() - self.state_width
+    }
+
+    /// Unrolls `k` steps into a combinational circuit whose single output
+    /// is 1 iff `bad` holds at **some** step `0..=k`.
+    ///
+    /// The free inputs of each step become fresh primary inputs of the
+    /// unrolled circuit (step-major order).
+    pub fn unroll(&self, k: usize) -> Circuit {
+        let mut c = Circuit::new();
+        let mut state: Vec<NodeId> = self.init.iter().map(|&b| c.constant(b)).collect();
+        let mut bads: Vec<NodeId> = Vec::with_capacity(k + 1);
+        for _ in 0..=k {
+            let mut input_map = state.clone();
+            for _ in 0..self.free_inputs_per_step() {
+                input_map.push(c.input());
+            }
+            let map = c.import(&self.step, &input_map);
+            bads.push(map[self.bad.index()]);
+            state = self
+                .next_state
+                .iter()
+                .map(|&n| map[n.index()])
+                .collect();
+        }
+        let any_bad = c.or_all(bads);
+        c.set_outputs([any_bad]);
+        c
+    }
+
+    /// Unrolls `k` steps and encodes "`bad` is reachable within `k`
+    /// steps" as CNF: **UNSAT ⇔ the property holds up to the bound.**
+    pub fn unroll_to_cnf(&self, k: usize) -> Cnf {
+        let unrolled = self.unroll(k);
+        let EncodedCircuit {
+            mut cnf,
+            output_lits,
+            ..
+        } = tseitin::encode(&unrolled);
+        cnf.add_clause([output_lits[0]]);
+        cnf
+    }
+
+    /// Simulates `steps` transitions from the initial state with all free
+    /// inputs driven by `drive`, returning `true` if `bad` ever held.
+    pub fn simulate_bad(&self, steps: usize, mut drive: impl FnMut(usize, usize) -> bool) -> bool {
+        let mut state = self.init.clone();
+        for t in 0..=steps {
+            let mut inputs = state.clone();
+            for i in 0..self.free_inputs_per_step() {
+                inputs.push(drive(t, i));
+            }
+            let values = self.step.evaluate_all(&inputs);
+            if values[self.bad.index()] {
+                return true;
+            }
+            state = self
+                .next_state
+                .iter()
+                .map(|&n| values[n.index()])
+                .collect();
+        }
+        false
+    }
+}
+
+/// Builds the token-ring example: an `n`-bit one-hot register rotated
+/// left or right each cycle under the control of a free *direction*
+/// input. The property "exactly one token" is an invariant either way,
+/// so the BMC formula is UNSAT at every bound — a compact analogue of
+/// the paper's `barrel` family. The free input keeps the unrolling from
+/// constant-folding away.
+pub fn token_ring(n: usize) -> SeqCircuit {
+    assert!(n >= 2, "a ring needs at least two positions");
+    let mut step = Circuit::new();
+    let s: Vec<NodeId> = (0..n).map(|_| step.input()).collect();
+    let dir = step.input();
+    let next: Vec<NodeId> = (0..n)
+        .map(|i| {
+            let left = s[(i + n - 1) % n];
+            let right = s[(i + 1) % n];
+            step.mux(dir, left, right)
+        })
+        .collect();
+    // bad ⇔ popcount(s) ≠ 1, expressed as: no bit set, or two bits set.
+    let any = step.or_all(s.iter().copied());
+    let none = step.not(any);
+    let mut two = step.constant(false);
+    for i in 0..n {
+        for j in i + 1..n {
+            let both = step.and(s[i], s[j]);
+            two = step.or(two, both);
+        }
+    }
+    let bad = step.or(none, two);
+    let mut init = vec![false; n];
+    init[0] = true;
+    SeqCircuit::new(step, n, next, init, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_ring_invariant_holds_in_simulation() {
+        let ring = token_ring(5);
+        assert_eq!(ring.state_width(), 5);
+        assert_eq!(ring.free_inputs_per_step(), 1);
+        // Any direction schedule keeps the token alive.
+        assert!(!ring.simulate_bad(20, |_, _| false));
+        assert!(!ring.simulate_bad(20, |_, _| true));
+        assert!(!ring.simulate_bad(20, |t, _| t % 3 == 0));
+    }
+
+    #[test]
+    fn token_ring_bmc_is_unsat() {
+        use rescheck_solver::{Solver, SolverConfig};
+        let ring = token_ring(4);
+        for k in [0, 1, 3, 6] {
+            let cnf = ring.unroll_to_cnf(k);
+            let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());
+            assert!(
+                solver.solve().is_unsat(),
+                "token ring must be safe at bound {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn broken_ring_is_caught_by_bmc() {
+        use rescheck_solver::{Solver, SolverConfig};
+        // A ring that *drops* the token after wrapping: next[0] = false
+        // instead of s[n-1]; a free input keeps the unrolling honest even
+        // though it is ignored.
+        let n = 3;
+        let mut step = Circuit::new();
+        let s: Vec<NodeId> = (0..n).map(|_| step.input()).collect();
+        let _unused = step.input();
+        let zero = step.constant(false);
+        let next = vec![zero, s[0], s[1]];
+        let any = step.or_all(s.iter().copied());
+        let bad = step.not(any);
+        let mut init = vec![false; n];
+        init[0] = true;
+        let seq = SeqCircuit::new(step, n, next, init, bad);
+
+        // Token vanishes after 3 steps.
+        assert!(seq.simulate_bad(5, |_, _| false));
+        let safe = seq.unroll_to_cnf(1);
+        assert!(Solver::from_cnf(&safe, SolverConfig::default())
+            .solve()
+            .is_unsat());
+        let unsafe_ = seq.unroll_to_cnf(4);
+        assert!(Solver::from_cnf(&unsafe_, SolverConfig::default())
+            .solve()
+            .is_sat());
+    }
+
+    #[test]
+    fn free_inputs_become_fresh_unrolled_inputs() {
+        // A 1-bit register that loads its free input each cycle; bad when
+        // the register is 1. Reachable iff some input is 1.
+        let mut step = Circuit::new();
+        let s = step.input();
+        let load = step.input();
+        let seq = SeqCircuit::new(step, 1, vec![load], vec![false], s);
+        let unrolled = seq.unroll(3);
+        assert_eq!(unrolled.num_inputs(), 4); // one free input per step
+        let cnf = seq.unroll_to_cnf(3);
+        assert!(cnf.brute_force_status().is_sat());
+        assert!(seq.simulate_bad(3, |_, _| true));
+        assert!(!seq.simulate_bad(3, |_, _| false));
+    }
+
+    #[test]
+    #[should_panic(expected = "next-state width")]
+    fn inconsistent_widths_panic() {
+        let mut step = Circuit::new();
+        let s = step.input();
+        SeqCircuit::new(step, 2, vec![s], vec![false, false], s);
+    }
+
+    #[test]
+    fn unrolled_bmc_matches_simulation_for_token_ring() {
+        let ring = token_ring(3);
+        let unrolled = ring.unroll(6);
+        assert_eq!(unrolled.num_inputs(), 7); // one direction bit per step
+        for pattern in [0u64, 0b1010101, 0b1111111, 0b0011001] {
+            let inputs: Vec<bool> = (0..7).map(|i| pattern >> i & 1 == 1).collect();
+            assert_eq!(unrolled.simulate(&inputs), vec![false]);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Reference simulation of circuits.
+
+use crate::{Circuit, Gate, NodeId};
+
+impl Circuit {
+    /// Evaluates every node under the given input values and returns the
+    /// output values, in output order.
+    ///
+    /// This is the golden reference the Tseitin encoding is tested
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Circuit::num_inputs`].
+    pub fn simulate(&self, inputs: &[bool]) -> Vec<bool> {
+        let values = self.evaluate_all(inputs);
+        self.outputs()
+            .iter()
+            .map(|&o| values[o.index()])
+            .collect()
+    }
+
+    /// Evaluates every node and returns the full value vector, indexed by
+    /// node ID.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Circuit::num_inputs`].
+    pub fn evaluate_all(&self, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs(),
+            "simulation needs a value for every input"
+        );
+        let mut values: Vec<bool> = Vec::with_capacity(self.num_nodes());
+        for (_, gate) in self.nodes() {
+            let v = match gate {
+                Gate::Input(n) => inputs[n as usize],
+                Gate::Const(c) => c,
+                Gate::Not(a) => !values[a.index()],
+                Gate::And(a, b) => values[a.index()] && values[b.index()],
+                Gate::Or(a, b) => values[a.index()] || values[b.index()],
+                Gate::Xor(a, b) => values[a.index()] != values[b.index()],
+            };
+            values.push(v);
+        }
+        values
+    }
+
+    /// Evaluates one node under the given inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Circuit::num_inputs`].
+    pub fn evaluate_node(&self, node: NodeId, inputs: &[bool]) -> bool {
+        self.evaluate_all(inputs)[node.index()]
+    }
+}
+
+/// Interprets a slice of bools (LSB first) as an unsigned integer.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rescheck_circuit::bits_to_u64(&[true, false, true]), 5);
+/// ```
+pub fn bits_to_u64(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+/// Writes the low `width` bits of `value` into a bool vector (LSB first).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rescheck_circuit::u64_to_bits(5, 4), [true, false, true, false]);
+/// ```
+pub fn u64_to_bits(value: u64, width: usize) -> Vec<bool> {
+    (0..width).map(|i| value >> i & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulates_simple_logic() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let g = c.xor(a, b);
+        let n = c.not(g);
+        c.set_outputs([g, n]);
+        assert_eq!(c.simulate(&[true, false]), vec![true, false]);
+        assert_eq!(c.simulate(&[true, true]), vec![false, true]);
+    }
+
+    #[test]
+    fn evaluate_node_matches_outputs() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let g = c.and(a, b);
+        c.set_outputs([g]);
+        assert_eq!(c.evaluate_node(g, &[true, true]), true);
+        assert_eq!(c.evaluate_node(g, &[true, false]), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "every input")]
+    fn wrong_input_count_panics() {
+        let mut c = Circuit::new();
+        c.input();
+        c.simulate(&[]);
+    }
+
+    #[test]
+    fn bit_conversions_roundtrip() {
+        for v in [0u64, 1, 5, 255, 256, 0xdead] {
+            assert_eq!(bits_to_u64(&u64_to_bits(v, 16)), v & 0xffff);
+        }
+        assert_eq!(u64_to_bits(5, 4), vec![true, false, true, false]);
+    }
+}

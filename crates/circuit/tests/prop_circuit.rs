@@ -1,0 +1,156 @@
+//! Property-based tests over random circuits: simulation agrees with the
+//! Tseitin encoding, rewrites preserve the function, miters of a circuit
+//! against itself are constantly zero.
+
+use proptest::prelude::*;
+use rescheck_circuit::{miter, rewrite, tseitin, Circuit, NodeId};
+use rescheck_cnf::{Assignment, LBool, Lit};
+
+/// A recipe for building a random circuit: a list of gate selections over
+/// previously created nodes.
+#[derive(Clone, Debug)]
+enum Op {
+    Not(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Xor(usize, usize),
+    Mux(usize, usize, usize),
+    Const(bool),
+}
+
+fn ops_strategy(len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..64).prop_map(Op::Not),
+            (0usize..64, 0usize..64).prop_map(|(a, b)| Op::And(a, b)),
+            (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Or(a, b)),
+            (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Xor(a, b)),
+            (0usize..64, 0usize..64, 0usize..64).prop_map(|(s, a, b)| Op::Mux(s, a, b)),
+            any::<bool>().prop_map(Op::Const),
+        ],
+        1..len,
+    )
+}
+
+/// Builds a circuit from a recipe over `num_inputs` inputs; node operands
+/// are selected modulo the nodes created so far.
+fn build(num_inputs: usize, ops: &[Op]) -> Circuit {
+    let mut c = Circuit::new();
+    let mut nodes: Vec<NodeId> = (0..num_inputs).map(|_| c.input()).collect();
+    for op in ops {
+        let pick = |i: usize| nodes[i % nodes.len()];
+        let node = match *op {
+            Op::Not(a) => {
+                let a = pick(a);
+                c.not(a)
+            }
+            Op::And(a, b) => {
+                let (a, b) = (pick(a), pick(b));
+                c.and(a, b)
+            }
+            Op::Or(a, b) => {
+                let (a, b) = (pick(a), pick(b));
+                c.or(a, b)
+            }
+            Op::Xor(a, b) => {
+                let (a, b) = (pick(a), pick(b));
+                c.xor(a, b)
+            }
+            Op::Mux(s, a, b) => {
+                let (s, a, b) = (pick(s), pick(a), pick(b));
+                c.mux(s, a, b)
+            }
+            Op::Const(v) => c.constant(v),
+        };
+        nodes.push(node);
+    }
+    // Outputs: the last few nodes.
+    let outs: Vec<NodeId> = nodes.iter().rev().take(3).copied().collect();
+    c.set_outputs(outs);
+    c
+}
+
+const NUM_INPUTS: usize = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The golden property: for every input vector, an assignment that
+    /// sets each Tseitin variable to the simulated node value satisfies
+    /// the encoding.
+    #[test]
+    fn tseitin_matches_simulation(ops in ops_strategy(40), bits in 0u32..32) {
+        let c = build(NUM_INPUTS, &ops);
+        let inputs: Vec<bool> = (0..NUM_INPUTS).map(|i| bits >> i & 1 == 1).collect();
+        let values = c.evaluate_all(&inputs);
+        let enc = tseitin::encode(&c);
+        let mut assignment = Assignment::new(enc.cnf.num_vars());
+        for (node, &var) in enc.node_vars.iter().enumerate() {
+            assignment.set(var, LBool::from(values[node]));
+        }
+        prop_assert!(enc.cnf.is_satisfied_by(&assignment));
+    }
+
+    /// Constraining the encoding's inputs pins the outputs to the
+    /// simulated values: the opposite output value is unsatisfiable.
+    #[test]
+    fn encoded_outputs_are_functionally_determined(
+        ops in ops_strategy(18),
+        bits in 0u32..32,
+    ) {
+        let c = build(NUM_INPUTS, &ops);
+        let inputs: Vec<bool> = (0..NUM_INPUTS).map(|i| bits >> i & 1 == 1).collect();
+        let sim = c.simulate(&inputs);
+        let enc = tseitin::encode(&c);
+        if enc.cnf.num_vars() > 14 {
+            return Ok(()); // brute-force budget
+        }
+        let mut cnf = enc.cnf.clone();
+        for (i, &v) in enc.input_vars.iter().enumerate() {
+            cnf.add_clause([Lit::new(v, inputs[i])]);
+        }
+        // Force some output to differ from simulation: must be UNSAT.
+        let mut flipped = cnf.clone();
+        let out = enc.output_lits[0];
+        flipped.add_clause([if sim[0] { !out } else { out }]);
+        prop_assert!(flipped.brute_force_status().is_unsat());
+        // And the simulated value is consistent: SAT.
+        cnf.add_clause([if sim[0] { out } else { !out }]);
+        prop_assert!(cnf.brute_force_status().is_sat());
+    }
+
+    /// NAND and AIG rewrites preserve the function on all inputs.
+    #[test]
+    fn rewrites_preserve_function(ops in ops_strategy(30)) {
+        let c = build(NUM_INPUTS, &ops);
+        let nand = rewrite::to_nand_only(&c);
+        let aig = rewrite::to_aig(&c);
+        for bits in 0u32..1 << NUM_INPUTS {
+            let inputs: Vec<bool> = (0..NUM_INPUTS).map(|i| bits >> i & 1 == 1).collect();
+            let want = c.simulate(&inputs);
+            prop_assert_eq!(nand.simulate(&inputs), want.clone());
+            prop_assert_eq!(aig.simulate(&inputs), want);
+        }
+    }
+
+    /// A miter of a circuit against itself is constantly zero.
+    #[test]
+    fn self_miter_is_zero(ops in ops_strategy(30), bits in 0u32..32) {
+        let c = build(NUM_INPUTS, &ops);
+        let m = miter::miter(&c, &c).unwrap();
+        let inputs: Vec<bool> = (0..NUM_INPUTS).map(|i| bits >> i & 1 == 1).collect();
+        prop_assert_eq!(m.simulate(&inputs), vec![false]);
+    }
+
+    /// Import into a fresh circuit preserves node semantics.
+    #[test]
+    fn import_preserves_semantics(ops in ops_strategy(30), bits in 0u32..32) {
+        let c = build(NUM_INPUTS, &ops);
+        let mut outer = Circuit::new();
+        let inputs_nodes: Vec<NodeId> = (0..NUM_INPUTS).map(|_| outer.input()).collect();
+        let map = outer.import(&c, &inputs_nodes);
+        outer.set_outputs(c.outputs().iter().map(|o| map[o.index()]));
+        let inputs: Vec<bool> = (0..NUM_INPUTS).map(|i| bits >> i & 1 == 1).collect();
+        prop_assert_eq!(outer.simulate(&inputs), c.simulate(&inputs));
+    }
+}

@@ -1,0 +1,310 @@
+//! Three-valued assignments.
+
+use crate::{Lit, Var};
+use std::fmt;
+use std::ops::Not;
+
+/// A three-valued truth value: true, false or unassigned.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_cnf::LBool;
+///
+/// assert_eq!(!LBool::True, LBool::False);
+/// assert_eq!(!LBool::Undef, LBool::Undef);
+/// assert_eq!(LBool::from(true), LBool::True);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum LBool {
+    /// The variable is assigned true.
+    True,
+    /// The variable is assigned false.
+    False,
+    /// The variable is unassigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Returns `true` if the value is [`LBool::Undef`].
+    #[inline]
+    pub fn is_undef(self) -> bool {
+        matches!(self, LBool::Undef)
+    }
+
+    /// Converts to `Option<bool>`, with `None` for [`LBool::Undef`].
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+}
+
+impl From<bool> for LBool {
+    #[inline]
+    fn from(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+impl Not for LBool {
+    type Output = LBool;
+
+    #[inline]
+    fn not(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+impl fmt::Display for LBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LBool::True => f.write_str("1"),
+            LBool::False => f.write_str("0"),
+            LBool::Undef => f.write_str("?"),
+        }
+    }
+}
+
+/// A (possibly partial) assignment of truth values to variables.
+///
+/// Used both by the solver (partial assignments during search) and as a
+/// *model*: a total assignment returned for satisfiable formulas.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_cnf::{Assignment, LBool, Lit, Var};
+///
+/// let mut a = Assignment::new(2);
+/// let x = Var::new(0);
+/// a.assign(Lit::negative(x));
+/// assert_eq!(a.value(x), LBool::False);
+/// assert_eq!(a.lit_value(Lit::negative(x)), LBool::True);
+/// assert!(!a.is_total());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    values: Vec<LBool>,
+}
+
+impl Assignment {
+    /// Creates an assignment over `num_vars` variables, all unassigned.
+    pub fn new(num_vars: usize) -> Self {
+        Assignment {
+            values: vec![LBool::Undef; num_vars],
+        }
+    }
+
+    /// Builds a total assignment from a slice of booleans (index = variable).
+    pub fn from_bools(values: &[bool]) -> Self {
+        Assignment {
+            values: values.iter().map(|&b| LBool::from(b)).collect(),
+        }
+    }
+
+    /// Number of variables this assignment covers.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Grows the assignment to cover at least `num_vars` variables.
+    pub fn grow_to(&mut self, num_vars: usize) {
+        if self.values.len() < num_vars {
+            self.values.resize(num_vars, LBool::Undef);
+        }
+    }
+
+    /// Returns the value of a variable.
+    ///
+    /// Variables beyond [`num_vars`](Assignment::num_vars) are reported as
+    /// [`LBool::Undef`].
+    #[inline]
+    pub fn value(&self, var: Var) -> LBool {
+        self.values.get(var.index()).copied().unwrap_or(LBool::Undef)
+    }
+
+    /// Returns the value of a literal under this assignment.
+    #[inline]
+    pub fn lit_value(&self, lit: Lit) -> LBool {
+        let v = self.value(lit.var());
+        if lit.is_positive() {
+            v
+        } else {
+            !v
+        }
+    }
+
+    /// Returns `true` if the literal evaluates to true.
+    #[inline]
+    pub fn satisfies(&self, lit: Lit) -> bool {
+        self.lit_value(lit) == LBool::True
+    }
+
+    /// Returns `true` if the literal evaluates to false.
+    #[inline]
+    pub fn falsifies(&self, lit: Lit) -> bool {
+        self.lit_value(lit) == LBool::False
+    }
+
+    /// Makes the given literal true.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is out of range.
+    #[inline]
+    pub fn assign(&mut self, lit: Lit) {
+        self.values[lit.var().index()] = LBool::from(lit.is_positive());
+    }
+
+    /// Sets a variable to an explicit three-valued value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is out of range.
+    #[inline]
+    pub fn set(&mut self, var: Var, value: LBool) {
+        self.values[var.index()] = value;
+    }
+
+    /// Unassigns a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is out of range.
+    #[inline]
+    pub fn unassign(&mut self, var: Var) {
+        self.values[var.index()] = LBool::Undef;
+    }
+
+    /// Returns `true` if every variable has a definite value.
+    pub fn is_total(&self) -> bool {
+        self.values.iter().all(|v| !v.is_undef())
+    }
+
+    /// Number of variables with a definite value.
+    pub fn num_assigned(&self) -> usize {
+        self.values.iter().filter(|v| !v.is_undef()).count()
+    }
+
+    /// Iterates over `(Var, LBool)` pairs for all covered variables.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, LBool)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (Var::new(i), v))
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (var, value) in self.iter() {
+            if value.is_undef() {
+                continue;
+            }
+            if !first {
+                f.write_str(" ")?;
+            }
+            first = false;
+            write!(f, "{var}={value}")?;
+        }
+        if first {
+            f.write_str("(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lbool_negation_table() {
+        assert_eq!(!LBool::True, LBool::False);
+        assert_eq!(!LBool::False, LBool::True);
+        assert_eq!(!LBool::Undef, LBool::Undef);
+    }
+
+    #[test]
+    fn lbool_conversions() {
+        assert_eq!(LBool::from(true), LBool::True);
+        assert_eq!(LBool::from(false), LBool::False);
+        assert_eq!(LBool::True.to_bool(), Some(true));
+        assert_eq!(LBool::Undef.to_bool(), None);
+        assert!(LBool::Undef.is_undef());
+        assert_eq!(LBool::default(), LBool::Undef);
+    }
+
+    #[test]
+    fn assign_and_query_literals() {
+        let mut a = Assignment::new(3);
+        let x = Var::new(0);
+        let y = Var::new(1);
+        a.assign(Lit::positive(x));
+        a.assign(Lit::negative(y));
+
+        assert!(a.satisfies(Lit::positive(x)));
+        assert!(a.falsifies(Lit::negative(x)));
+        assert!(a.satisfies(Lit::negative(y)));
+        assert_eq!(a.lit_value(Lit::positive(Var::new(2))), LBool::Undef);
+        assert_eq!(a.num_assigned(), 2);
+        assert!(!a.is_total());
+    }
+
+    #[test]
+    fn unassign_clears_value() {
+        let mut a = Assignment::new(1);
+        let x = Var::new(0);
+        a.assign(Lit::positive(x));
+        a.unassign(x);
+        assert_eq!(a.value(x), LBool::Undef);
+    }
+
+    #[test]
+    fn out_of_range_vars_read_as_undef() {
+        let a = Assignment::new(1);
+        assert_eq!(a.value(Var::new(10)), LBool::Undef);
+    }
+
+    #[test]
+    fn from_bools_is_total() {
+        let a = Assignment::from_bools(&[true, false, true]);
+        assert!(a.is_total());
+        assert_eq!(a.value(Var::new(1)), LBool::False);
+        assert_eq!(a.num_vars(), 3);
+    }
+
+    #[test]
+    fn grow_to_extends_with_undef() {
+        let mut a = Assignment::from_bools(&[true]);
+        a.grow_to(3);
+        assert_eq!(a.num_vars(), 3);
+        assert_eq!(a.value(Var::new(2)), LBool::Undef);
+        // Growing smaller is a no-op.
+        a.grow_to(1);
+        assert_eq!(a.num_vars(), 3);
+    }
+
+    #[test]
+    fn display_lists_assigned_vars_only() {
+        let mut a = Assignment::new(3);
+        a.assign(Lit::positive(Var::new(0)));
+        a.assign(Lit::negative(Var::new(2)));
+        assert_eq!(a.to_string(), "x1=1 x3=0");
+        assert_eq!(Assignment::new(2).to_string(), "(empty)");
+    }
+}

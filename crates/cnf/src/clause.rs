@@ -1,0 +1,354 @@
+//! Clauses: disjunctions of literals.
+
+use crate::{Assignment, LBool, Lit, Var};
+use std::fmt;
+
+/// A clause: a disjunction of literals.
+///
+/// The empty clause is unsatisfiable; it is the goal of every resolution
+/// refutation. Clauses preserve the literal order they were built with —
+/// the solver relies on positional watched literals — but expose
+/// order-insensitive helpers ([`Clause::normalized`], [`Clause::same_literals`])
+/// for the checker, which treats clauses as literal sets.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_cnf::{Clause, Lit};
+///
+/// let c = Clause::from_dimacs(&[1, -2]);
+/// assert_eq!(c.len(), 2);
+/// assert!(c.contains(Lit::from_dimacs(-2)));
+/// assert!(!Clause::empty().is_satisfiable());
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates a clause from literals, keeping their order.
+    pub fn new(lits: impl IntoIterator<Item = Lit>) -> Self {
+        Clause {
+            lits: lits.into_iter().collect(),
+        }
+    }
+
+    /// Creates the empty clause.
+    pub fn empty() -> Self {
+        Clause::default()
+    }
+
+    /// Creates a clause from signed DIMACS literals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any literal is zero.
+    pub fn from_dimacs(lits: &[i64]) -> Self {
+        Clause::new(lits.iter().map(|&d| Lit::from_dimacs(d)))
+    }
+
+    /// Number of literals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Returns `true` for the empty clause.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Returns `true` unless this is the empty clause.
+    ///
+    /// A non-empty clause can always be satisfied in isolation; the empty
+    /// clause never can.
+    #[inline]
+    pub fn is_satisfiable(&self) -> bool {
+        !self.lits.is_empty()
+    }
+
+    /// Returns `true` if the clause has exactly one literal.
+    #[inline]
+    pub fn is_unit(&self) -> bool {
+        self.lits.len() == 1
+    }
+
+    /// The literals of the clause, in construction order.
+    #[inline]
+    pub fn literals(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Mutable access to the literals (the solver reorders watches in place).
+    #[inline]
+    pub fn literals_mut(&mut self) -> &mut [Lit] {
+        &mut self.lits
+    }
+
+    /// Iterates over the literals.
+    pub fn iter(&self) -> std::slice::Iter<'_, Lit> {
+        self.lits.iter()
+    }
+
+    /// Returns `true` if the clause contains the literal.
+    pub fn contains(&self, lit: Lit) -> bool {
+        self.lits.contains(&lit)
+    }
+
+    /// Returns `true` if the clause contains either literal of `var`.
+    pub fn mentions(&self, var: Var) -> bool {
+        self.lits.iter().any(|l| l.var() == var)
+    }
+
+    /// Returns `true` if the clause contains both `l` and `¬l` for some `l`.
+    pub fn is_tautology(&self) -> bool {
+        let mut sorted = self.lits.clone();
+        sorted.sort_unstable();
+        sorted.windows(2).any(|w| w[0] == !w[1])
+    }
+
+    /// Returns a copy with literals sorted and duplicates removed.
+    ///
+    /// Tautologies are *not* collapsed; both phases remain present so the
+    /// caller can still detect them with [`Clause::is_tautology`].
+    pub fn normalized(&self) -> Clause {
+        let mut lits = self.lits.clone();
+        lits.sort_unstable();
+        lits.dedup();
+        Clause { lits }
+    }
+
+    /// Returns `true` if the two clauses contain the same literal sets.
+    pub fn same_literals(&self, other: &Clause) -> bool {
+        self.normalized().lits == other.normalized().lits
+    }
+
+    /// Evaluates the clause under a (possibly partial) assignment.
+    ///
+    /// Returns [`LBool::True`] if some literal is true, [`LBool::False`] if
+    /// all literals are false (a *conflicting* clause), and
+    /// [`LBool::Undef`] otherwise.
+    pub fn evaluate(&self, assignment: &Assignment) -> LBool {
+        let mut undef = false;
+        for &lit in &self.lits {
+            match assignment.lit_value(lit) {
+                LBool::True => return LBool::True,
+                LBool::Undef => undef = true,
+                LBool::False => {}
+            }
+        }
+        if undef {
+            LBool::Undef
+        } else {
+            LBool::False
+        }
+    }
+
+    /// If the clause is unit under `assignment` (exactly one unassigned
+    /// literal, all others false), returns that unit literal.
+    pub fn unit_literal(&self, assignment: &Assignment) -> Option<Lit> {
+        let mut unit = None;
+        for &lit in &self.lits {
+            match assignment.lit_value(lit) {
+                LBool::True => return None,
+                LBool::False => {}
+                LBool::Undef => {
+                    if unit.is_some() {
+                        return None;
+                    }
+                    unit = Some(lit);
+                }
+            }
+        }
+        unit
+    }
+
+    /// The largest variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<Var> {
+        self.lits.iter().map(|l| l.var()).max()
+    }
+
+    /// Consumes the clause and returns its literal vector.
+    pub fn into_literals(self) -> Vec<Lit> {
+        self.lits
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Self {
+        Clause::new(iter)
+    }
+}
+
+impl Extend<Lit> for Clause {
+    fn extend<I: IntoIterator<Item = Lit>>(&mut self, iter: I) {
+        self.lits.extend(iter);
+    }
+}
+
+impl From<Vec<Lit>> for Clause {
+    fn from(lits: Vec<Lit>) -> Self {
+        Clause { lits }
+    }
+}
+
+impl<'a> IntoIterator for &'a Clause {
+    type Item = &'a Lit;
+    type IntoIter = std::slice::Iter<'a, Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.iter()
+    }
+}
+
+impl IntoIterator for Clause {
+    type Item = Lit;
+    type IntoIter = std::vec::IntoIter<Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.into_iter()
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Clause(")?;
+        let mut first = true;
+        for lit in &self.lits {
+            if !first {
+                f.write_str(" ")?;
+            }
+            first = false;
+            write!(f, "{}", lit.to_dimacs())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lits.is_empty() {
+            return f.write_str("⊥");
+        }
+        let mut first = true;
+        for lit in &self.lits {
+            if !first {
+                f.write_str(" ∨ ")?;
+            }
+            first = false;
+            write!(f, "{lit}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(d: i64) -> Lit {
+        Lit::from_dimacs(d)
+    }
+
+    #[test]
+    fn empty_clause_properties() {
+        let c = Clause::empty();
+        assert!(c.is_empty());
+        assert!(!c.is_satisfiable());
+        assert!(!c.is_unit());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.max_var(), None);
+        assert_eq!(c.to_string(), "⊥");
+    }
+
+    #[test]
+    fn unit_and_membership() {
+        let c = Clause::from_dimacs(&[3]);
+        assert!(c.is_unit());
+        assert!(c.contains(lit(3)));
+        assert!(!c.contains(lit(-3)));
+        assert!(c.mentions(Var::from_dimacs(3)));
+        assert!(!c.mentions(Var::from_dimacs(4)));
+    }
+
+    #[test]
+    fn tautology_detection() {
+        assert!(Clause::from_dimacs(&[1, -2, -1]).is_tautology());
+        assert!(!Clause::from_dimacs(&[1, -2, 3]).is_tautology());
+        assert!(!Clause::empty().is_tautology());
+    }
+
+    #[test]
+    fn normalized_sorts_and_dedups() {
+        let c = Clause::from_dimacs(&[3, -1, 3, 2]);
+        let n = c.normalized();
+        assert_eq!(n.len(), 3);
+        assert!(n.same_literals(&Clause::from_dimacs(&[-1, 2, 3])));
+        // Order-insensitive equality.
+        assert!(Clause::from_dimacs(&[1, 2]).same_literals(&Clause::from_dimacs(&[2, 1, 1])));
+        assert!(!Clause::from_dimacs(&[1, 2]).same_literals(&Clause::from_dimacs(&[1, -2])));
+    }
+
+    #[test]
+    fn evaluate_three_cases() {
+        let c = Clause::from_dimacs(&[1, -2]);
+        let mut a = Assignment::new(2);
+        assert_eq!(c.evaluate(&a), LBool::Undef);
+
+        a.assign(lit(-1));
+        assert_eq!(c.evaluate(&a), LBool::Undef);
+
+        a.assign(lit(2));
+        assert_eq!(c.evaluate(&a), LBool::False); // conflicting
+
+        a.assign(lit(-2));
+        assert_eq!(c.evaluate(&a), LBool::True);
+    }
+
+    #[test]
+    fn empty_clause_evaluates_false() {
+        let a = Assignment::new(0);
+        assert_eq!(Clause::empty().evaluate(&a), LBool::False);
+    }
+
+    #[test]
+    fn unit_literal_detection() {
+        let c = Clause::from_dimacs(&[1, -2, 3]);
+        let mut a = Assignment::new(3);
+        assert_eq!(c.unit_literal(&a), None); // 3 unassigned
+
+        a.assign(lit(-1));
+        a.assign(lit(2));
+        assert_eq!(c.unit_literal(&a), Some(lit(3)));
+
+        a.assign(lit(3));
+        assert_eq!(c.unit_literal(&a), None); // satisfied
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut c: Clause = [lit(1), lit(2)].into_iter().collect();
+        c.extend([lit(-3)]);
+        assert_eq!(c.len(), 3);
+        let lits: Vec<Lit> = (&c).into_iter().copied().collect();
+        assert_eq!(lits, vec![lit(1), lit(2), lit(-3)]);
+        assert_eq!(c.clone().into_literals(), lits);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let c = Clause::from_dimacs(&[1, -2]);
+        assert_eq!(c.to_string(), "x1 ∨ ¬x2");
+        assert_eq!(format!("{c:?}"), "Clause(1 -2)");
+    }
+
+    #[test]
+    fn max_var() {
+        assert_eq!(
+            Clause::from_dimacs(&[1, -5, 3]).max_var(),
+            Some(Var::from_dimacs(5))
+        );
+    }
+}

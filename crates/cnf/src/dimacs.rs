@@ -1,0 +1,333 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The standard exchange format for SAT instances: a header line
+//! `p cnf <vars> <clauses>` followed by clauses as whitespace-separated
+//! signed integers terminated by `0`. Comment lines start with `c`.
+//!
+//! # Examples
+//!
+//! ```
+//! use rescheck_cnf::dimacs;
+//!
+//! let cnf = dimacs::parse_str("c tiny\np cnf 2 2\n1 -2 0\n2 0\n")?;
+//! assert_eq!(cnf.num_vars(), 2);
+//! assert_eq!(cnf.num_clauses(), 2);
+//!
+//! let text = dimacs::to_string(&cnf);
+//! assert_eq!(dimacs::parse_str(&text)?, cnf);
+//! # Ok::<(), rescheck_cnf::ParseDimacsError>(())
+//! ```
+
+use crate::error::ParseDimacsErrorKind;
+use crate::{Cnf, Lit, ParseDimacsError};
+use std::io::{self, BufRead, Write};
+
+/// Parses DIMACS CNF text into a [`Cnf`].
+///
+/// The parser is tolerant in the ways common tools are: comments may appear
+/// anywhere, clauses may span lines, `%`/trailing `0` end-markers used by
+/// some generators are accepted, and extra whitespace is ignored. It is
+/// strict about structural problems: a missing or malformed header, literal
+/// tokens that are not integers, variables above the declared count, more
+/// clauses than declared, or an unterminated final clause are errors.
+///
+/// # Errors
+///
+/// Returns a [`ParseDimacsError`] carrying the offending line number.
+pub fn parse_str(text: &str) -> Result<Cnf, ParseDimacsError> {
+    parse_lines(text.lines().map(|l| Ok::<_, io::Error>(l.to_owned())))
+        .map_err(|e| match e {
+            ReadError::Parse(p) => p,
+            ReadError::Io(_) => unreachable!("string iteration cannot fail"),
+        })
+}
+
+/// Parses DIMACS CNF from a buffered reader.
+///
+/// # Errors
+///
+/// Returns [`io::Error`] for read failures; parse failures are converted to
+/// `io::Error` with [`io::ErrorKind::InvalidData`] wrapping the
+/// [`ParseDimacsError`]. Pass `&mut reader` if you need the reader back.
+pub fn parse_reader<R: BufRead>(reader: R) -> io::Result<Cnf> {
+    parse_lines(reader.lines()).map_err(|e| match e {
+        ReadError::Io(io) => io,
+        ReadError::Parse(p) => io::Error::new(io::ErrorKind::InvalidData, p),
+    })
+}
+
+/// Reads a DIMACS CNF file from disk.
+///
+/// # Errors
+///
+/// Propagates I/O errors; parse failures surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_file(path: impl AsRef<std::path::Path>) -> io::Result<Cnf> {
+    let file = std::fs::File::open(path)?;
+    parse_reader(io::BufReader::new(file))
+}
+
+enum ReadError {
+    Io(io::Error),
+    Parse(ParseDimacsError),
+}
+
+fn parse_lines<E, I>(lines: I) -> Result<Cnf, ReadError>
+where
+    E: Into<io::Error>,
+    I: Iterator<Item = Result<String, E>>,
+{
+    let mut header: Option<(usize, usize)> = None;
+    let mut cnf = Cnf::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut last_line = 0usize;
+
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 1;
+        last_line = line_no;
+        let line = line.map_err(|e| ReadError::Io(e.into()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        // Some benchmark suites end files with a lone `%` marker.
+        if trimmed == "%" {
+            break;
+        }
+        if trimmed.starts_with('p') {
+            let fields: Vec<&str> = trimmed.split_whitespace().collect();
+            if fields.len() != 4 || fields[0] != "p" || fields[1] != "cnf" {
+                return Err(ReadError::Parse(ParseDimacsError::new(
+                    line_no,
+                    ParseDimacsErrorKind::MalformedHeader(trimmed.to_owned()),
+                )));
+            }
+            let vars = fields[2].parse::<usize>();
+            let clauses = fields[3].parse::<usize>();
+            match (vars, clauses) {
+                (Ok(v), Ok(c)) => {
+                    header = Some((v, c));
+                    cnf.ensure_vars(v);
+                }
+                _ => {
+                    return Err(ReadError::Parse(ParseDimacsError::new(
+                        line_no,
+                        ParseDimacsErrorKind::MalformedHeader(trimmed.to_owned()),
+                    )))
+                }
+            }
+            continue;
+        }
+
+        let (declared_vars, declared_clauses) = header.ok_or_else(|| {
+            ReadError::Parse(ParseDimacsError::new(
+                line_no,
+                ParseDimacsErrorKind::MissingHeader,
+            ))
+        })?;
+
+        for token in trimmed.split_whitespace() {
+            let value: i64 = token.parse().map_err(|_| {
+                ReadError::Parse(ParseDimacsError::new(
+                    line_no,
+                    ParseDimacsErrorKind::InvalidLiteral(token.to_owned()),
+                ))
+            })?;
+            if value == 0 {
+                if cnf.num_clauses() == declared_clauses {
+                    return Err(ReadError::Parse(ParseDimacsError::new(
+                        line_no,
+                        ParseDimacsErrorKind::TooManyClauses {
+                            declared: declared_clauses,
+                        },
+                    )));
+                }
+                cnf.push_clause(std::mem::take(&mut current).into());
+                // Clauses must not silently widen the variable space.
+                cnf.ensure_vars(declared_vars);
+            } else {
+                let var = value.unsigned_abs();
+                if var as usize > declared_vars {
+                    return Err(ReadError::Parse(ParseDimacsError::new(
+                        line_no,
+                        ParseDimacsErrorKind::VarOutOfRange {
+                            var: var as u32,
+                            declared: declared_vars,
+                        },
+                    )));
+                }
+                current.push(Lit::from_dimacs(value));
+            }
+        }
+    }
+
+    if header.is_none() {
+        return Err(ReadError::Parse(ParseDimacsError::new(
+            last_line.max(1),
+            ParseDimacsErrorKind::MissingHeader,
+        )));
+    }
+    if !current.is_empty() {
+        return Err(ReadError::Parse(ParseDimacsError::new(
+            last_line,
+            ParseDimacsErrorKind::UnterminatedClause,
+        )));
+    }
+    Ok(cnf)
+}
+
+/// Writes a [`Cnf`] in DIMACS format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer. Pass `&mut writer` if you need
+/// the writer back afterwards.
+pub fn write<W: Write>(mut writer: W, cnf: &Cnf) -> io::Result<()> {
+    writeln!(writer, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses())?;
+    for clause in cnf.clauses() {
+        for lit in clause {
+            write!(writer, "{} ", lit.to_dimacs())?;
+        }
+        writeln!(writer, "0")?;
+    }
+    Ok(())
+}
+
+/// Renders a [`Cnf`] as a DIMACS string.
+pub fn to_string(cnf: &Cnf) -> String {
+    let mut buf = Vec::new();
+    write(&mut buf, cnf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("DIMACS output is ASCII")
+}
+
+/// Writes a [`Cnf`] to a file in DIMACS format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_file(path: impl AsRef<std::path::Path>, cnf: &Cnf) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = io::BufWriter::new(file);
+    write(&mut writer, cnf)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_file() {
+        let cnf = parse_str("c comment\np cnf 3 2\n1 -2 0\n3 0\n").unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clause(0).unwrap().literals().len(), 2);
+    }
+
+    #[test]
+    fn clauses_may_span_lines_and_share_lines() {
+        let cnf = parse_str("p cnf 3 3\n1 2\n3 0 -1 0\n-2 -3 0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 3);
+        assert_eq!(cnf.clause(0).unwrap().len(), 3);
+        assert_eq!(cnf.clause(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_anywhere() {
+        let cnf = parse_str("c a\n\np cnf 1 1\nc inner\n1 0\nc end\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+
+    #[test]
+    fn percent_terminator_is_accepted() {
+        let cnf = parse_str("p cnf 1 1\n1 0\n%\n0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+
+    #[test]
+    fn empty_clause_parses() {
+        let cnf = parse_str("p cnf 1 1\n0\n").unwrap();
+        assert!(cnf.has_empty_clause());
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = parse_str("1 0\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn header_only_required_before_clauses() {
+        assert!(parse_str("").is_err());
+        assert!(parse_str("c nothing\n").is_err());
+    }
+
+    #[test]
+    fn malformed_header_is_an_error() {
+        assert!(parse_str("p cnf nope 2\n").is_err());
+        assert!(parse_str("p sat 1 1\n1 0\n").is_err());
+        assert!(parse_str("p cnf 1\n1 0\n").is_err());
+    }
+
+    #[test]
+    fn invalid_literal_token_is_an_error() {
+        let err = parse_str("p cnf 1 1\n1 x 0\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("invalid literal"));
+    }
+
+    #[test]
+    fn unterminated_clause_is_an_error() {
+        let err = parse_str("p cnf 2 1\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("not terminated"));
+    }
+
+    #[test]
+    fn var_above_declared_is_an_error() {
+        let err = parse_str("p cnf 2 1\n3 0\n").unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn extra_clauses_are_an_error() {
+        let err = parse_str("p cnf 1 1\n1 0\n-1 0\n").unwrap_err();
+        assert!(err.to_string().contains("more clauses"));
+    }
+
+    #[test]
+    fn declared_vars_beyond_used_are_kept() {
+        let cnf = parse_str("p cnf 10 1\n1 0\n").unwrap();
+        assert_eq!(cnf.num_vars(), 10);
+        assert_eq!(cnf.num_used_vars(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_string() {
+        let cnf = parse_str("p cnf 4 3\n1 -2 0\n-3 4 0\n2 0\n").unwrap();
+        let text = to_string(&cnf);
+        let reparsed = parse_str(&text).unwrap();
+        assert_eq!(reparsed, cnf);
+    }
+
+    #[test]
+    fn reader_and_file_roundtrip() {
+        let cnf = parse_str("p cnf 2 1\n1 -2 0\n").unwrap();
+        let text = to_string(&cnf);
+        let parsed = parse_reader(std::io::Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(parsed, cnf);
+
+        let dir = std::env::temp_dir().join("rescheck-cnf-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.cnf");
+        write_file(&path, &cnf).unwrap();
+        assert_eq!(read_file(&path).unwrap(), cnf);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_reader_reports_invalid_data() {
+        let err = parse_reader(std::io::Cursor::new(b"garbage\n".to_vec())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

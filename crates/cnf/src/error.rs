@@ -1,0 +1,74 @@
+//! Error types for CNF parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing DIMACS CNF text.
+///
+/// Carries the 1-based line number where the problem was found.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_cnf::dimacs;
+///
+/// let err = dimacs::parse_str("p cnf 1 1\n1 x 0\n").unwrap_err();
+/// assert_eq!(err.line(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    kind: ParseDimacsErrorKind,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum ParseDimacsErrorKind {
+    MissingHeader,
+    MalformedHeader(String),
+    InvalidLiteral(String),
+    UnterminatedClause,
+    TooManyClauses { declared: usize },
+    VarOutOfRange { var: u32, declared: usize },
+}
+
+impl ParseDimacsError {
+    pub(crate) fn new(line: usize, kind: ParseDimacsErrorKind) -> Self {
+        ParseDimacsError { line, kind }
+    }
+
+    /// The 1-based line number where parsing failed.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            ParseDimacsErrorKind::MissingHeader => {
+                f.write_str("missing `p cnf <vars> <clauses>` header")
+            }
+            ParseDimacsErrorKind::MalformedHeader(s) => {
+                write!(f, "malformed problem header {s:?}")
+            }
+            ParseDimacsErrorKind::InvalidLiteral(s) => {
+                write!(f, "invalid literal token {s:?}")
+            }
+            ParseDimacsErrorKind::UnterminatedClause => {
+                f.write_str("last clause is not terminated by 0")
+            }
+            ParseDimacsErrorKind::TooManyClauses { declared } => {
+                write!(f, "more clauses than the {declared} declared in the header")
+            }
+            ParseDimacsErrorKind::VarOutOfRange { var, declared } => {
+                write!(
+                    f,
+                    "variable {var} exceeds the {declared} variables declared in the header"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ParseDimacsError {}

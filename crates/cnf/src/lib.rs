@@ -1,0 +1,47 @@
+//! CNF substrate for the `rescheck` SAT-validation toolkit.
+//!
+//! This crate provides the propositional-logic data model shared by the
+//! solver, the resolution checker and the workload generators:
+//!
+//! - [`Var`] and [`Lit`]: compact variable/literal handles,
+//! - [`Clause`]: a disjunction of literals,
+//! - [`Cnf`]: a formula in conjunctive normal form,
+//! - [`Assignment`] and [`LBool`]: three-valued variable assignments,
+//! - [`dimacs`]: DIMACS CNF reading and writing.
+//!
+//! # Examples
+//!
+//! Build the unsatisfiable formula `(x) (¬x ∨ y) (¬y)` and evaluate it:
+//!
+//! ```
+//! use rescheck_cnf::{Cnf, Lit, Assignment, LBool};
+//!
+//! let mut cnf = Cnf::new();
+//! let x = cnf.fresh_var();
+//! let y = cnf.fresh_var();
+//! cnf.add_clause([Lit::positive(x)]);
+//! cnf.add_clause([Lit::negative(x), Lit::positive(y)]);
+//! cnf.add_clause([Lit::negative(y)]);
+//!
+//! let mut a = Assignment::new(cnf.num_vars());
+//! a.assign(Lit::positive(x));
+//! a.assign(Lit::positive(y));
+//! // The last clause is falsified under x=1, y=1.
+//! assert!(!cnf.is_satisfied_by(&a));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod clause;
+pub mod dimacs;
+mod error;
+mod formula;
+mod lit;
+
+pub use assignment::{Assignment, LBool};
+pub use clause::Clause;
+pub use error::ParseDimacsError;
+pub use formula::{Cnf, SatStatus};
+pub use lit::{Lit, Var};

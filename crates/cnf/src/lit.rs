@@ -1,0 +1,295 @@
+//! Variables and literals.
+
+use std::fmt;
+
+/// A propositional variable, identified by a 0-based index.
+///
+/// Variables are cheap `Copy` handles; the formula or solver that owns them
+/// defines how many exist. The DIMACS text format is 1-based; use
+/// [`Var::to_dimacs`] / [`Var::from_dimacs`] at the boundary.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_cnf::Var;
+///
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_dimacs(), 4);
+/// assert_eq!(Var::from_dimacs(4), v);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable with the given 0-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds the maximum supported index
+    /// (`u32::MAX / 2`), which keeps every literal representable in a `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            index <= (u32::MAX / 2) as usize,
+            "variable index {index} out of range"
+        );
+        Var(index as u32)
+    }
+
+    /// Returns the 0-based index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Converts a 1-based DIMACS variable number into a `Var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimacs` is zero (DIMACS variable numbers start at 1).
+    #[inline]
+    pub fn from_dimacs(dimacs: u32) -> Self {
+        assert!(dimacs > 0, "DIMACS variable numbers start at 1");
+        Var(dimacs - 1)
+    }
+
+    /// Returns the 1-based DIMACS number of this variable.
+    #[inline]
+    pub fn to_dimacs(self) -> u32 {
+        self.0 + 1
+    }
+
+    /// Returns the positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit::positive(self)
+    }
+
+    /// Returns the negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit::negative(self)
+    }
+
+    /// Returns the literal of this variable with the given phase.
+    ///
+    /// `phase == true` yields the positive literal.
+    #[inline]
+    pub fn lit(self, phase: bool) -> Lit {
+        Lit::new(self, phase)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.to_dimacs())
+    }
+}
+
+/// A literal: a variable together with a phase (positive or negated).
+///
+/// Literals are encoded MiniSat-style as `var << 1 | sign` where `sign == 1`
+/// means negated, so a literal fits in a `u32` and indexes arrays directly
+/// via [`Lit::code`].
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_cnf::{Lit, Var};
+///
+/// let x = Var::new(0);
+/// let p = Lit::positive(x);
+/// assert!(p.is_positive());
+/// assert_eq!(!p, Lit::negative(x));
+/// assert_eq!(p.var(), x);
+/// assert_eq!(p.to_dimacs(), 1);
+/// assert_eq!((!p).to_dimacs(), -1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and a phase.
+    ///
+    /// `phase == true` yields the positive (non-negated) literal.
+    #[inline]
+    pub fn new(var: Var, phase: bool) -> Self {
+        Lit(var.0 << 1 | u32::from(!phase))
+    }
+
+    /// Returns the positive literal of `var`.
+    #[inline]
+    pub fn positive(var: Var) -> Self {
+        Lit::new(var, true)
+    }
+
+    /// Returns the negative literal of `var`.
+    #[inline]
+    pub fn negative(var: Var) -> Self {
+        Lit::new(var, false)
+    }
+
+    /// Reconstructs a literal from its [`code`](Lit::code).
+    #[inline]
+    pub fn from_code(code: usize) -> Self {
+        debug_assert!(code <= u32::MAX as usize);
+        Lit(code as u32)
+    }
+
+    /// Returns the dense integer code of this literal (`var*2 + sign`).
+    ///
+    /// Codes are contiguous, so they index per-literal arrays such as
+    /// watch lists.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the variable underlying this literal.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if the literal is positive (not negated).
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns `true` if the literal is negated.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Converts a non-zero DIMACS literal (`±var`) into a `Lit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimacs` is zero.
+    #[inline]
+    pub fn from_dimacs(dimacs: i64) -> Self {
+        assert!(dimacs != 0, "DIMACS literals are non-zero");
+        let var = Var::from_dimacs(dimacs.unsigned_abs() as u32);
+        Lit::new(var, dimacs > 0)
+    }
+
+    /// Returns the signed DIMACS representation of this literal.
+    #[inline]
+    pub fn to_dimacs(self) -> i64 {
+        let v = self.var().to_dimacs() as i64;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    /// Returns the complementary literal.
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lit({})", self.to_dimacs())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬")?;
+        }
+        write!(f, "{}", self.var())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrips_through_dimacs() {
+        for i in [0usize, 1, 2, 41, 10_000] {
+            let v = Var::new(i);
+            assert_eq!(Var::from_dimacs(v.to_dimacs()), v);
+            assert_eq!(v.index(), i);
+        }
+    }
+
+    #[test]
+    fn lit_encoding_is_minisat_style() {
+        let v = Var::new(5);
+        assert_eq!(Lit::positive(v).code(), 10);
+        assert_eq!(Lit::negative(v).code(), 11);
+        assert_eq!(Lit::from_code(10), Lit::positive(v));
+    }
+
+    #[test]
+    fn negation_is_involutive_and_flips_phase() {
+        let l = Lit::from_dimacs(-7);
+        assert!(l.is_negative());
+        assert!((!l).is_positive());
+        assert_eq!(!!l, l);
+        assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn lit_roundtrips_through_dimacs() {
+        for d in [1i64, -1, 2, -2, 999, -999] {
+            assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+        }
+    }
+
+    #[test]
+    fn var_lit_constructors_agree() {
+        let v = Var::new(3);
+        assert_eq!(v.positive(), Lit::positive(v));
+        assert_eq!(v.negative(), Lit::negative(v));
+        assert_eq!(v.lit(true), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+    }
+
+    #[test]
+    #[should_panic(expected = "DIMACS variable numbers start at 1")]
+    fn var_from_dimacs_rejects_zero() {
+        let _ = Var::from_dimacs(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "DIMACS literals are non-zero")]
+    fn lit_from_dimacs_rejects_zero() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Var::new(0);
+        assert_eq!(v.to_string(), "x1");
+        assert_eq!(Lit::positive(v).to_string(), "x1");
+        assert_eq!(Lit::negative(v).to_string(), "¬x1");
+    }
+
+    #[test]
+    fn ordering_groups_literals_by_variable() {
+        let a = Var::new(1);
+        let b = Var::new(2);
+        assert!(Lit::positive(a) < Lit::negative(a));
+        assert!(Lit::negative(a) < Lit::positive(b));
+    }
+}

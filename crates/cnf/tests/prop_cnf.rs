@@ -1,0 +1,121 @@
+//! Property-based tests for the CNF substrate.
+
+use proptest::prelude::*;
+use rescheck_cnf::{dimacs, Assignment, Clause, Cnf, LBool, Lit, Var};
+
+/// Strategy: an arbitrary clause over `max_vars` variables.
+fn clause_strategy(max_vars: u32) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(
+        (1..=max_vars as i64).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
+        0..8,
+    )
+}
+
+fn cnf_strategy(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    prop::collection::vec(clause_strategy(max_vars), 0..max_clauses).prop_map(move |clauses| {
+        let mut cnf = Cnf::with_vars(max_vars as usize);
+        for c in clauses {
+            cnf.add_dimacs_clause(&c);
+        }
+        cnf
+    })
+}
+
+proptest! {
+    #[test]
+    fn lit_code_roundtrip(code in 0usize..1_000_000) {
+        let lit = Lit::from_code(code);
+        prop_assert_eq!(lit.code(), code);
+        prop_assert_eq!((!lit).code() ^ 1, code);
+    }
+
+    #[test]
+    fn lit_dimacs_roundtrip(d in prop_oneof![1i64..100_000, -100_000i64..-1]) {
+        prop_assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+    }
+
+    #[test]
+    fn dimacs_roundtrip(cnf in cnf_strategy(20, 30)) {
+        let text = dimacs::to_string(&cnf);
+        let reparsed = dimacs::parse_str(&text).unwrap();
+        prop_assert_eq!(reparsed, cnf);
+    }
+
+    #[test]
+    fn clause_eval_matches_literal_semantics(
+        lits in clause_strategy(8),
+        bits in 0u32..256,
+    ) {
+        let clause = Clause::from_dimacs(&lits);
+        let mut a = Assignment::new(8);
+        for i in 0..8 {
+            a.set(Var::new(i), LBool::from(bits >> i & 1 == 1));
+        }
+        let expected = lits.iter().any(|&d| {
+            let lit = Lit::from_dimacs(d);
+            a.satisfies(lit)
+        });
+        prop_assert_eq!(clause.evaluate(&a) == LBool::True, expected);
+        // Under a total assignment the clause is never Undef.
+        prop_assert_ne!(clause.evaluate(&a), LBool::Undef);
+    }
+
+    #[test]
+    fn formula_eval_is_conjunction_of_clauses(
+        cnf in cnf_strategy(8, 12),
+        bits in 0u32..256,
+    ) {
+        let mut a = Assignment::new(8);
+        for i in 0..8 {
+            a.set(Var::new(i), LBool::from(bits >> i & 1 == 1));
+        }
+        let expected = cnf
+            .clauses()
+            .iter()
+            .all(|c| c.evaluate(&a) == LBool::True);
+        prop_assert_eq!(cnf.is_satisfied_by(&a), expected);
+    }
+
+    #[test]
+    fn normalized_preserves_semantics(
+        lits in clause_strategy(8),
+        bits in 0u32..256,
+    ) {
+        let clause = Clause::from_dimacs(&lits);
+        let norm = clause.normalized();
+        let mut a = Assignment::new(8);
+        for i in 0..8 {
+            a.set(Var::new(i), LBool::from(bits >> i & 1 == 1));
+        }
+        prop_assert_eq!(clause.evaluate(&a), norm.evaluate(&a));
+        prop_assert!(clause.same_literals(&norm));
+    }
+
+    #[test]
+    fn subformula_of_all_ids_is_identity(cnf in cnf_strategy(10, 10)) {
+        let sub = cnf.subformula(0..cnf.num_clauses());
+        prop_assert_eq!(sub, cnf);
+    }
+
+    #[test]
+    fn unit_literal_is_sound(lits in clause_strategy(6), bits in 0u32..64, mask in 0u32..64) {
+        let clause = Clause::from_dimacs(&lits);
+        let mut a = Assignment::new(6);
+        for i in 0..6 {
+            if mask >> i & 1 == 1 {
+                a.set(Var::new(i), LBool::from(bits >> i & 1 == 1));
+            }
+        }
+        if let Some(unit) = clause.unit_literal(&a) {
+            // The reported literal is in the clause and unassigned, and all
+            // other literals are false.
+            prop_assert!(clause.contains(unit));
+            prop_assert_eq!(a.lit_value(unit), LBool::Undef);
+            for &l in clause.literals() {
+                if l != unit {
+                    prop_assert_eq!(a.lit_value(l), LBool::False);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! The clause database: original and learned clauses with stable IDs.
+
+use rescheck_cnf::{Clause, Lit};
+use std::fmt;
+
+/// A stable identifier for a clause in the database.
+///
+/// IDs follow the convention the paper's checker relies on (§3.1):
+/// original clauses are numbered by order of appearance, learned clauses
+/// continue the sequence, and an ID is never reused — deleted learned
+/// clauses leave a tombstone.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_solver::ClauseId;
+///
+/// let id = ClauseId::new(7);
+/// assert_eq!(id.as_u64(), 7);
+/// assert_eq!(id.to_string(), "#7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClauseId(u32);
+
+impl ClauseId {
+    /// Creates a clause ID from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 32 bits.
+    pub fn new(index: usize) -> Self {
+        assert!(index <= u32::MAX as usize, "clause id out of range");
+        ClauseId(index as u32)
+    }
+
+    /// The raw index of this ID.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The ID as used in traces.
+    pub fn as_u64(self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
+impl fmt::Debug for ClauseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClauseId({})", self.0)
+    }
+}
+
+impl fmt::Display for ClauseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ClauseRec {
+    lits: Vec<Lit>,
+    learned: bool,
+    activity: f64,
+}
+
+/// The solver's clause store.
+///
+/// Original clauses are added first (their IDs match the input CNF's
+/// clause positions); learned clauses are appended during search. Learned
+/// clauses can be removed, leaving a tombstone so later IDs stay valid —
+/// the watch lists clean dangling references lazily.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_cnf::Clause;
+/// use rescheck_solver::ClauseDb;
+///
+/// let mut db = ClauseDb::new();
+/// let id = db.add_original(Clause::from_dimacs(&[1, -2]));
+/// assert_eq!(id.index(), 0);
+/// assert_eq!(db.literals(id).unwrap().len(), 2);
+/// assert!(!db.is_learned(id));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ClauseDb {
+    slots: Vec<Option<ClauseRec>>,
+    num_original: usize,
+    live_learned: usize,
+    deleted_learned: u64,
+    cla_inc: f64,
+}
+
+impl ClauseDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        ClauseDb {
+            slots: Vec::new(),
+            num_original: 0,
+            live_learned: 0,
+            deleted_learned: 0,
+            cla_inc: 1.0,
+        }
+    }
+
+    /// Number of original (input) clauses.
+    pub fn num_original(&self) -> usize {
+        self.num_original
+    }
+
+    /// Number of learned clauses currently alive.
+    pub fn num_live_learned(&self) -> usize {
+        self.live_learned
+    }
+
+    /// Number of learned clauses deleted so far.
+    pub fn num_deleted_learned(&self) -> u64 {
+        self.deleted_learned
+    }
+
+    /// Total number of IDs ever allocated.
+    pub fn num_ids(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Adds an original clause.
+    ///
+    /// Literal duplicates are removed; original clause IDs must match the
+    /// input CNF, so this must be called for *every* input clause (even
+    /// tautologies) before any learned clause is added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a learned clause was already added.
+    pub fn add_original(&mut self, clause: Clause) -> ClauseId {
+        assert_eq!(
+            self.num_original,
+            self.slots.len(),
+            "original clauses must be added before learned clauses"
+        );
+        let mut lits = clause.into_literals();
+        dedup_preserving_order(&mut lits);
+        let id = ClauseId::new(self.slots.len());
+        self.slots.push(Some(ClauseRec {
+            lits,
+            learned: false,
+            activity: 0.0,
+        }));
+        self.num_original += 1;
+        id
+    }
+
+    /// Adds a learned clause and returns its ID.
+    pub fn add_learned(&mut self, lits: Vec<Lit>) -> ClauseId {
+        let id = ClauseId::new(self.slots.len());
+        self.slots.push(Some(ClauseRec {
+            lits,
+            learned: true,
+            activity: self.cla_inc,
+        }));
+        self.live_learned += 1;
+        id
+    }
+
+    /// The literals of a live clause, or `None` for tombstones/bad IDs.
+    pub fn literals(&self, id: ClauseId) -> Option<&[Lit]> {
+        self.slots
+            .get(id.index())
+            .and_then(|s| s.as_ref())
+            .map(|r| r.lits.as_slice())
+    }
+
+    /// Mutable literals of a live clause (the solver reorders watches).
+    pub fn literals_mut(&mut self, id: ClauseId) -> Option<&mut Vec<Lit>> {
+        self.slots
+            .get_mut(id.index())
+            .and_then(|s| s.as_mut())
+            .map(|r| &mut r.lits)
+    }
+
+    /// Returns `true` if the ID refers to a live clause.
+    pub fn is_live(&self, id: ClauseId) -> bool {
+        self.slots
+            .get(id.index())
+            .is_some_and(|s| s.is_some())
+    }
+
+    /// Returns `true` if the clause is learned (live learned clauses only).
+    pub fn is_learned(&self, id: ClauseId) -> bool {
+        self.slots
+            .get(id.index())
+            .and_then(|s| s.as_ref())
+            .is_some_and(|r| r.learned)
+    }
+
+    /// Removes a learned clause, leaving a tombstone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause is original or already removed.
+    pub fn remove_learned(&mut self, id: ClauseId) {
+        let slot = self
+            .slots
+            .get_mut(id.index())
+            .expect("clause id in range");
+        let rec = slot.as_ref().expect("clause is live");
+        assert!(rec.learned, "original clauses are never removed");
+        *slot = None;
+        self.live_learned -= 1;
+        self.deleted_learned += 1;
+    }
+
+    /// Current activity of a clause (0.0 for originals and tombstones).
+    pub fn activity(&self, id: ClauseId) -> f64 {
+        self.slots
+            .get(id.index())
+            .and_then(|s| s.as_ref())
+            .map_or(0.0, |r| r.activity)
+    }
+
+    /// Bumps a learned clause's activity, rescaling all activities when
+    /// they grow too large.
+    pub fn bump_activity(&mut self, id: ClauseId) {
+        let inc = self.cla_inc;
+        if let Some(rec) = self.slots.get_mut(id.index()).and_then(|s| s.as_mut()) {
+            rec.activity += inc;
+            if rec.activity > 1e100 {
+                for slot in self.slots.iter_mut().flatten() {
+                    slot.activity *= 1e-100;
+                }
+                self.cla_inc *= 1e-100;
+            }
+        }
+    }
+
+    /// Applies the per-conflict clause-activity decay.
+    pub fn decay_activity(&mut self, clause_decay: f64) {
+        self.cla_inc /= clause_decay;
+    }
+
+    /// Iterates over live learned clause IDs.
+    pub fn learned_ids(&self) -> impl Iterator<Item = ClauseId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .skip(self.num_original)
+            .filter_map(|(i, s)| {
+                s.as_ref()
+                    .filter(|r| r.learned)
+                    .map(|_| ClauseId::new(i))
+            })
+    }
+
+    /// Accounted memory of live clauses in bytes (literals only).
+    pub fn live_bytes(&self) -> u64 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|r| (r.lits.len() * std::mem::size_of::<Lit>()) as u64)
+            .sum()
+    }
+}
+
+/// Removes duplicate literals while keeping first occurrences in place.
+fn dedup_preserving_order(lits: &mut Vec<Lit>) {
+    let mut seen = std::collections::HashSet::with_capacity(lits.len());
+    lits.retain(|l| seen.insert(*l));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(ds: &[i64]) -> Vec<Lit> {
+        ds.iter().map(|&d| Lit::from_dimacs(d)).collect()
+    }
+
+    #[test]
+    fn original_ids_are_sequential() {
+        let mut db = ClauseDb::new();
+        let a = db.add_original(Clause::from_dimacs(&[1]));
+        let b = db.add_original(Clause::from_dimacs(&[2, -1]));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(db.num_original(), 2);
+        assert_eq!(db.num_ids(), 2);
+        assert!(!db.is_learned(a));
+    }
+
+    #[test]
+    fn duplicates_in_original_are_removed() {
+        let mut db = ClauseDb::new();
+        let id = db.add_original(Clause::from_dimacs(&[1, 2, 1, -3, 2]));
+        assert_eq!(db.literals(id).unwrap(), lits(&[1, 2, -3]).as_slice());
+    }
+
+    #[test]
+    fn learned_ids_continue_after_original() {
+        let mut db = ClauseDb::new();
+        db.add_original(Clause::from_dimacs(&[1]));
+        let l = db.add_learned(lits(&[2, 3]));
+        assert_eq!(l.index(), 1);
+        assert!(db.is_learned(l));
+        assert_eq!(db.num_live_learned(), 1);
+        assert_eq!(db.learned_ids().collect::<Vec<_>>(), vec![l]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before learned")]
+    fn original_after_learned_is_rejected() {
+        let mut db = ClauseDb::new();
+        db.add_learned(lits(&[1]));
+        db.add_original(Clause::from_dimacs(&[2]));
+    }
+
+    #[test]
+    fn remove_leaves_tombstone() {
+        let mut db = ClauseDb::new();
+        db.add_original(Clause::from_dimacs(&[1]));
+        let l1 = db.add_learned(lits(&[2]));
+        let l2 = db.add_learned(lits(&[3]));
+        db.remove_learned(l1);
+        assert!(!db.is_live(l1));
+        assert!(db.is_live(l2));
+        assert!(db.literals(l1).is_none());
+        assert_eq!(db.num_live_learned(), 1);
+        assert_eq!(db.num_deleted_learned(), 1);
+        // IDs are not reused.
+        let l3 = db.add_learned(lits(&[4]));
+        assert_eq!(l3.index(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "never removed")]
+    fn removing_original_panics() {
+        let mut db = ClauseDb::new();
+        let id = db.add_original(Clause::from_dimacs(&[1]));
+        db.remove_learned(id);
+    }
+
+    #[test]
+    fn activity_bump_and_decay() {
+        let mut db = ClauseDb::new();
+        let a = db.add_learned(lits(&[1]));
+        let b = db.add_learned(lits(&[2]));
+        db.bump_activity(a);
+        assert!(db.activity(a) > db.activity(b));
+        db.decay_activity(0.5);
+        db.bump_activity(b);
+        // After decay the increment is larger, so b overtakes a.
+        assert!(db.activity(b) > db.activity(a));
+    }
+
+    #[test]
+    fn activity_rescale_preserves_order() {
+        let mut db = ClauseDb::new();
+        let a = db.add_learned(lits(&[1]));
+        let b = db.add_learned(lits(&[2]));
+        for _ in 0..400 {
+            db.decay_activity(0.5); // inc doubles each time → overflows 1e100
+            db.bump_activity(a);
+        }
+        db.bump_activity(b);
+        assert!(db.activity(a).is_finite());
+        assert!(db.activity(a) > db.activity(b));
+    }
+
+    #[test]
+    fn live_bytes_tracks_literals() {
+        let mut db = ClauseDb::new();
+        db.add_original(Clause::from_dimacs(&[1, 2]));
+        let l = db.add_learned(lits(&[3, 4, 5]));
+        let per_lit = std::mem::size_of::<Lit>() as u64;
+        assert_eq!(db.live_bytes(), 5 * per_lit);
+        db.remove_learned(l);
+        assert_eq!(db.live_bytes(), 2 * per_lit);
+    }
+
+    #[test]
+    fn clause_id_display() {
+        assert_eq!(ClauseId::new(3).to_string(), "#3");
+        assert_eq!(format!("{:?}", ClauseId::new(3)), "ClauseId(3)");
+        assert_eq!(ClauseId::new(9).as_u64(), 9);
+    }
+}

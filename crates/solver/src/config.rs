@@ -1,0 +1,150 @@
+//! Solver configuration.
+
+/// Tunable parameters of the [`Solver`](crate::Solver).
+///
+/// The defaults mirror zchaff-era settings. Two switches correspond to the
+/// paper's discussion in §2.1: `learning` (learned clauses may be kept or
+/// deleted without affecting correctness) and `clause_deletion` (deleting
+/// learned clauses cannot cause nontermination, contrary to common
+/// belief). Both default to on, like every modern solver.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_solver::SolverConfig;
+///
+/// let cfg = SolverConfig {
+///     restarts: false,
+///     ..SolverConfig::default()
+/// };
+/// assert!(cfg.learning);
+/// assert!(!cfg.restarts);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverConfig {
+    /// Keep learned clauses in the database for future pruning.
+    ///
+    /// When `false`, learned clauses are still *created* — assertion-based
+    /// backtracking needs them as antecedents — but they are discarded as
+    /// soon as they stop being the reason of an assigned variable.
+    pub learning: bool,
+    /// Periodically delete low-activity learned clauses.
+    pub clause_deletion: bool,
+    /// Enable Luby-scheduled restarts.
+    ///
+    /// The restart period grows with the Luby sequence, which keeps the
+    /// solver terminating (paper §2.2: fixed-period restarts can loop
+    /// forever).
+    pub restarts: bool,
+    /// Base unit (in conflicts) of the Luby restart schedule.
+    pub restart_interval: u64,
+    /// Multiplicative decay applied to variable activities per conflict.
+    pub var_decay: f64,
+    /// Multiplicative decay applied to clause activities per conflict.
+    pub clause_decay: f64,
+    /// Conflicts before the first learned-clause database reduction.
+    pub reduce_db_interval: u64,
+    /// Growth added to the reduction interval after each reduction.
+    pub reduce_db_increment: u64,
+    /// Shrink learned clauses by self-subsuming resolution with the
+    /// reasons of their literals.
+    ///
+    /// Every removal is itself a resolution, and the extra resolve
+    /// sources are recorded in the trace, so minimized clauses remain
+    /// exact resolvents of their recorded sources and stay checkable.
+    pub minimize_learned: bool,
+    /// Remember each variable's last value and reuse it on decisions.
+    pub phase_saving: bool,
+    /// Value given to a decision variable with no saved phase.
+    pub default_phase: bool,
+    /// Seed for the deterministic tie-breaking PRNG.
+    ///
+    /// The solver is fully deterministic for a given seed and input.
+    pub seed: u64,
+    /// Fraction of decisions made on a pseudo-random variable instead of
+    /// the VSIDS maximum (0.0 disables random decisions).
+    pub random_decision_freq: f64,
+    /// Hard limit on conflicts before giving up (`None` = no limit).
+    pub conflict_limit: Option<u64>,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            learning: true,
+            clause_deletion: true,
+            restarts: true,
+            restart_interval: 128,
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            reduce_db_interval: 4000,
+            reduce_db_increment: 1000,
+            minimize_learned: true,
+            phase_saving: true,
+            default_phase: false,
+            seed: 0x5eed_cafe,
+            random_decision_freq: 0.0,
+            conflict_limit: None,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A configuration with learning disabled (ablation C in DESIGN.md).
+    pub fn without_learning() -> Self {
+        SolverConfig {
+            learning: false,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// A configuration with learned-clause deletion disabled.
+    pub fn without_deletion() -> Self {
+        SolverConfig {
+            clause_deletion: false,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// A configuration with restarts disabled.
+    pub fn without_restarts() -> Self {
+        SolverConfig {
+            restarts: false,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// A configuration with learned-clause minimization disabled.
+    pub fn without_minimization() -> Self {
+        SolverConfig {
+            minimize_learned: false,
+            ..SolverConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_modern_features() {
+        let cfg = SolverConfig::default();
+        assert!(cfg.learning);
+        assert!(cfg.clause_deletion);
+        assert!(cfg.restarts);
+        assert!(cfg.phase_saving);
+        assert!(cfg.conflict_limit.is_none());
+        assert!(cfg.var_decay > 0.0 && cfg.var_decay < 1.0);
+    }
+
+    #[test]
+    fn ablation_constructors_flip_one_switch() {
+        assert!(!SolverConfig::without_learning().learning);
+        assert!(SolverConfig::without_learning().clause_deletion);
+        assert!(!SolverConfig::without_deletion().clause_deletion);
+        assert!(!SolverConfig::without_restarts().restarts);
+        assert!(!SolverConfig::without_minimization().minimize_learned);
+        assert!(SolverConfig::default().minimize_learned);
+    }
+}

@@ -1,0 +1,215 @@
+//! Indexed max-heap ordering variables by VSIDS activity.
+
+use rescheck_cnf::Var;
+
+/// A binary max-heap over variables keyed by an external activity array,
+/// with an index for O(log n) activity bumps.
+///
+/// This is the decision-ordering structure of VSIDS (Chaff): the solver
+/// pops the most active unassigned variable, re-inserts variables on
+/// backtracking, and sifts a variable up when its activity is bumped.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VarOrderHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `position[v]` = index of `v` in `heap`, or `NONE`.
+    position: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl VarOrderHeap {
+    pub(crate) fn new() -> Self {
+        VarOrderHeap::default()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub(crate) fn contains(&self, var: Var) -> bool {
+        self.position
+            .get(var.index())
+            .is_some_and(|&p| p != NONE)
+    }
+
+    fn grow(&mut self, var: Var) {
+        if self.position.len() <= var.index() {
+            self.position.resize(var.index() + 1, NONE);
+        }
+    }
+
+    /// Inserts `var` if absent.
+    pub(crate) fn insert(&mut self, var: Var, activity: &[f64]) {
+        self.grow(var);
+        if self.contains(var) {
+            return;
+        }
+        self.position[var.index()] = self.heap.len() as u32;
+        self.heap.push(var.index() as u32);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the most active variable.
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.position[top as usize] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var::new(top as usize))
+    }
+
+    /// Restores heap order after `var`'s activity increased.
+    pub(crate) fn bumped(&mut self, var: Var, activity: &[f64]) {
+        if let Some(&p) = self.position.get(var.index()) {
+            if p != NONE {
+                self.sift_up(p as usize, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i] as usize] <= activity[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * i + 1;
+            let right = 2 * i + 2;
+            let mut best = i;
+            if left < self.heap.len()
+                && activity[self.heap[left] as usize] > activity[self.heap[best] as usize]
+            {
+                best = left;
+            }
+            if right < self.heap.len()
+                && activity[self.heap[right] as usize] > activity[self.heap[best] as usize]
+            {
+                best = right;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.position[self.heap[a] as usize] = a as u32;
+        self.position[self.heap[b] as usize] = b as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Var {
+        Var::new(i)
+    }
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut heap = VarOrderHeap::new();
+        for i in 0..4 {
+            heap.insert(v(i), &activity);
+        }
+        assert_eq!(heap.len(), 4);
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop_max(&activity))
+            .map(|var| var.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarOrderHeap::new();
+        heap.insert(v(0), &activity);
+        heap.insert(v(0), &activity);
+        assert_eq!(heap.len(), 1);
+        assert!(heap.contains(v(0)));
+        assert!(!heap.contains(v(1)));
+    }
+
+    #[test]
+    fn bump_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarOrderHeap::new();
+        for i in 0..3 {
+            heap.insert(v(i), &activity);
+        }
+        activity[0] = 10.0;
+        heap.bumped(v(0), &activity);
+        assert_eq!(heap.pop_max(&activity), Some(v(0)));
+    }
+
+    #[test]
+    fn bump_on_absent_var_is_harmless() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarOrderHeap::new();
+        heap.insert(v(0), &activity);
+        heap.bumped(v(1), &activity);
+        heap.bumped(v(0), &activity);
+        assert_eq!(heap.pop_max(&activity), Some(v(0)));
+        assert_eq!(heap.pop_max(&activity), None);
+    }
+
+    #[test]
+    fn reinsertion_after_pop() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarOrderHeap::new();
+        heap.insert(v(0), &activity);
+        heap.insert(v(1), &activity);
+        let first = heap.pop_max(&activity).unwrap();
+        assert_eq!(first, v(1));
+        heap.insert(first, &activity);
+        assert_eq!(heap.pop_max(&activity), Some(v(1)));
+        assert_eq!(heap.pop_max(&activity), Some(v(0)));
+    }
+
+    #[test]
+    fn many_random_operations_maintain_heap_property() {
+        // Deterministic pseudo-random workout.
+        let n = 64;
+        let mut activity: Vec<f64> = (0..n).map(|i| (i * 37 % 101) as f64).collect();
+        let mut heap = VarOrderHeap::new();
+        for i in 0..n {
+            heap.insert(v(i), &activity);
+        }
+        let mut state = 0x1234_5678u64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let var = (state >> 33) as usize % n;
+            activity[var] += ((state >> 20) % 100) as f64;
+            heap.bumped(v(var), &activity);
+        }
+        // Popping everything yields non-increasing activities.
+        let mut last = f64::INFINITY;
+        while let Some(var) = heap.pop_max(&activity) {
+            assert!(activity[var.index()] <= last);
+            last = activity[var.index()];
+        }
+    }
+}

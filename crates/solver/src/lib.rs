@@ -1,0 +1,59 @@
+//! A Chaff-style CDCL SAT solver with resolve-trace generation.
+//!
+//! This crate implements the solver side of Zhang & Malik's *"Validating
+//! SAT Solvers Using an Independent Resolution-Based Checker"* (DATE
+//! 2003): a DLL search with Boolean constraint propagation over watched
+//! literals, VSIDS decision ordering, 1UIP conflict-driven clause learning
+//! by resolution, **assertion-based backtracking** (the property the
+//! checker relies on), Luby restarts with growing periods (required for
+//! termination, paper §2.2), and activity-based learned-clause deletion
+//! that never deletes the antecedent of an assigned variable.
+//!
+//! While solving, the solver can emit a *resolve trace* to any
+//! [`rescheck_trace::TraceSink`]: every learned clause with its resolve
+//! sources, every decision-level-0 assignment with its antecedent, and the
+//! final conflicting clause — exactly the "less than twenty lines of C++"
+//! modification the paper describes (§3.1).
+//!
+//! # Examples
+//!
+//! Solve a tiny unsatisfiable instance while recording a trace:
+//!
+//! ```
+//! use rescheck_cnf::Cnf;
+//! use rescheck_solver::{SolveResult, Solver, SolverConfig};
+//! use rescheck_trace::MemorySink;
+//!
+//! let mut cnf = Cnf::new();
+//! cnf.add_dimacs_clause(&[1, 2]);
+//! cnf.add_dimacs_clause(&[1, -2]);
+//! cnf.add_dimacs_clause(&[-1, 2]);
+//! cnf.add_dimacs_clause(&[-1, -2]);
+//!
+//! let mut solver = Solver::new(SolverConfig::default());
+//! solver.add_formula(&cnf);
+//! let mut trace = MemorySink::new();
+//! let result = solver.solve_traced(&mut trace)?;
+//! assert!(matches!(result, SolveResult::Unsatisfiable));
+//! assert!(!trace.is_empty());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clause_db;
+mod config;
+pub mod dp;
+mod heap;
+mod luby;
+mod result;
+mod solver;
+mod stats;
+
+pub use clause_db::{ClauseDb, ClauseId};
+pub use config::SolverConfig;
+pub use luby::luby;
+pub use result::SolveResult;
+pub use solver::Solver;
+pub use stats::SolverStats;

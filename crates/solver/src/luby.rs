@@ -1,0 +1,78 @@
+//! The Luby restart sequence.
+
+/// Returns the `i`-th element (1-based) of the Luby sequence
+/// `1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …`.
+///
+/// Scheduling restarts at `luby(i) * interval` conflicts makes the restart
+/// period grow over time, which the paper's §2.2 identifies as necessary
+/// for termination: with a fixed restart period the search-progress
+/// function `f` can decrease forever.
+///
+/// # Panics
+///
+/// Panics if `i == 0`; the sequence is 1-based.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_solver::luby;
+///
+/// let prefix: Vec<u64> = (1..=15).map(luby).collect();
+/// assert_eq!(prefix, [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+/// ```
+pub fn luby(i: u64) -> u64 {
+    assert!(i > 0, "the Luby sequence is 1-based");
+    // If i = 2^k - 1 the value is 2^(k-1); otherwise recurse on the
+    // position within the current block.
+    let mut i = i;
+    loop {
+        let k = 64 - i.leading_zeros() as u64; // number of bits in i
+        if i == (1 << k) - 1 {
+            return 1 << (k - 1);
+        }
+        i -= (1 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_prefix() {
+        let expected = [
+            1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1,
+            2, 4, 8, 16,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn powers_of_two_appear_at_block_ends() {
+        assert_eq!(luby((1 << 10) - 1), 1 << 9);
+        assert_eq!(luby((1 << 20) - 1), 1 << 19);
+    }
+
+    #[test]
+    fn values_are_powers_of_two() {
+        for i in 1..2000 {
+            assert!(luby(i).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn sequence_is_unbounded() {
+        // max over a long prefix keeps growing.
+        let max_small: u64 = (1..100).map(luby).max().unwrap();
+        let max_large: u64 = (1..10_000).map(luby).max().unwrap();
+        assert!(max_large > max_small);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zero_is_rejected() {
+        luby(0);
+    }
+}

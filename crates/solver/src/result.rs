@@ -1,0 +1,127 @@
+//! Solve outcomes.
+
+use rescheck_cnf::{Assignment, SatStatus};
+use std::fmt;
+
+/// The outcome of a complete solve.
+///
+/// For SAT the solver hands back a total model that can be verified in
+/// linear time ([`rescheck_cnf::Cnf::is_satisfied_by`]); for UNSAT the
+/// evidence lives in the resolve trace the solver emitted, which an
+/// independent checker validates.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_cnf::Cnf;
+/// use rescheck_solver::{SolveResult, Solver, SolverConfig};
+///
+/// let mut cnf = Cnf::new();
+/// cnf.add_dimacs_clause(&[1, 2]);
+/// let mut solver = Solver::new(SolverConfig::default());
+/// solver.add_formula(&cnf);
+/// match solver.solve() {
+///     SolveResult::Satisfiable(model) => assert!(cnf.is_satisfied_by(&model)),
+///     other => unreachable!("{other}"),
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// The formula is satisfiable; the payload is a satisfying total
+    /// assignment.
+    Satisfiable(Assignment),
+    /// The formula is unsatisfiable.
+    Unsatisfiable,
+    /// The configured conflict budget ran out before an answer was found.
+    ///
+    /// Only produced when [`SolverConfig::conflict_limit`] is set; calling
+    /// [`Solver::solve`] again resumes the search with a fresh budget.
+    ///
+    /// [`SolverConfig::conflict_limit`]: crate::SolverConfig::conflict_limit
+    /// [`Solver::solve`]: crate::Solver::solve
+    Unknown,
+}
+
+impl SolveResult {
+    /// The claim as a [`SatStatus`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`SolveResult::Unknown`], which makes no claim.
+    pub fn status(&self) -> SatStatus {
+        match self {
+            SolveResult::Satisfiable(_) => SatStatus::Satisfiable,
+            SolveResult::Unsatisfiable => SatStatus::Unsatisfiable,
+            SolveResult::Unknown => panic!("an inconclusive result has no status"),
+        }
+    }
+
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Assignment> {
+        match self {
+            SolveResult::Satisfiable(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Consumes the result and returns the model, if satisfiable.
+    pub fn into_model(self) -> Option<Assignment> {
+        match self {
+            SolveResult::Satisfiable(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for a SAT answer.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Satisfiable(_))
+    }
+
+    /// Returns `true` for an UNSAT answer.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsatisfiable)
+    }
+}
+
+impl fmt::Display for SolveResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveResult::Unknown => f.write_str("UNKNOWN"),
+            other => other.status().fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let model = Assignment::from_bools(&[true]);
+        let sat = SolveResult::Satisfiable(model.clone());
+        assert!(sat.is_sat());
+        assert!(!sat.is_unsat());
+        assert_eq!(sat.model(), Some(&model));
+        assert_eq!(sat.clone().into_model(), Some(model));
+        assert_eq!(sat.status(), SatStatus::Satisfiable);
+        assert_eq!(sat.to_string(), "SATISFIABLE");
+
+        let unsat = SolveResult::Unsatisfiable;
+        assert!(unsat.is_unsat());
+        assert_eq!(unsat.model(), None);
+        assert_eq!(unsat.into_model(), None);
+
+        let unknown = SolveResult::Unknown;
+        assert!(!unknown.is_sat());
+        assert!(!unknown.is_unsat());
+        assert_eq!(unknown.model(), None);
+        assert_eq!(unknown.to_string(), "UNKNOWN");
+    }
+
+    #[test]
+    #[should_panic(expected = "no status")]
+    fn unknown_has_no_status() {
+        let _ = SolveResult::Unknown.status();
+    }
+}

@@ -1,0 +1,120 @@
+//! Trace events.
+
+use rescheck_cnf::Lit;
+use std::fmt;
+
+/// One record of a resolve trace.
+///
+/// See the [crate documentation](crate) for the role each event plays in
+/// the unsatisfiability proof.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_trace::TraceEvent;
+///
+/// let e = TraceEvent::Learned { id: 7, sources: vec![0, 2, 5] };
+/// assert_eq!(e.to_string(), "r 7 3 0 2 5");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// A learned clause was produced by resolving `sources[0]` with
+    /// `sources[1]`, the result with `sources[2]`, and so on.
+    Learned {
+        /// The ID assigned to the learned clause.
+        id: u64,
+        /// Resolve-source clause IDs, in resolution order. At least two.
+        sources: Vec<u64>,
+    },
+    /// A variable was assigned at decision level 0.
+    LevelZero {
+        /// The literal that became **true** (its sign encodes the value).
+        lit: Lit,
+        /// The ID of the antecedent (unit) clause that implied it.
+        antecedent: u64,
+    },
+    /// The solver found this clause conflicting at decision level 0 and
+    /// concluded UNSAT.
+    FinalConflict {
+        /// The ID of the final conflicting clause.
+        id: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Returns the clause ID this event defines or references at top level.
+    pub fn primary_id(&self) -> Option<u64> {
+        match self {
+            TraceEvent::Learned { id, .. } => Some(*id),
+            TraceEvent::FinalConflict { id } => Some(*id),
+            TraceEvent::LevelZero { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    /// Formats the event exactly as one line of the ASCII trace format
+    /// (without the trailing newline).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Learned { id, sources } => {
+                write!(f, "r {id} {}", sources.len())?;
+                for s in sources {
+                    write!(f, " {s}")?;
+                }
+                Ok(())
+            }
+            TraceEvent::LevelZero { lit, antecedent } => {
+                write!(f, "v {} {antecedent}", lit.to_dimacs())
+            }
+            TraceEvent::FinalConflict { id } => write!(f, "f {id}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_ascii_lines() {
+        assert_eq!(
+            TraceEvent::Learned {
+                id: 3,
+                sources: vec![1, 2]
+            }
+            .to_string(),
+            "r 3 2 1 2"
+        );
+        assert_eq!(
+            TraceEvent::LevelZero {
+                lit: Lit::from_dimacs(-4),
+                antecedent: 9
+            }
+            .to_string(),
+            "v -4 9"
+        );
+        assert_eq!(TraceEvent::FinalConflict { id: 12 }.to_string(), "f 12");
+    }
+
+    #[test]
+    fn primary_id() {
+        assert_eq!(
+            TraceEvent::Learned {
+                id: 3,
+                sources: vec![]
+            }
+            .primary_id(),
+            Some(3)
+        );
+        assert_eq!(TraceEvent::FinalConflict { id: 12 }.primary_id(), Some(12));
+        assert_eq!(
+            TraceEvent::LevelZero {
+                lit: Lit::from_dimacs(1),
+                antecedent: 0
+            }
+            .primary_id(),
+            None
+        );
+    }
+}

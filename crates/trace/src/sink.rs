@@ -1,0 +1,401 @@
+//! Sinks that receive trace events from a solver.
+
+use crate::TraceEvent;
+use rescheck_cnf::Lit;
+use std::io;
+
+/// A destination for trace events emitted during solving.
+///
+/// The solver calls these methods as the corresponding things happen
+/// (paper §3.1, modifications 1–3). Implementations may write to memory,
+/// to a file in ASCII or binary form, or discard events entirely
+/// ([`NullSink`], used to measure the solver's trace-off baseline for
+/// Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_trace::{MemorySink, TraceSink};
+///
+/// let mut sink = MemorySink::new();
+/// sink.learned(10, &[0, 4, 7])?;
+/// assert_eq!(sink.events().len(), 1);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub trait TraceSink {
+    /// Records that a learned clause `id` was derived by resolving the
+    /// `sources` in order (first the conflicting clause, then antecedents).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer, if any.
+    fn learned(&mut self, id: u64, sources: &[u64]) -> io::Result<()>;
+
+    /// Records that `lit` became true at decision level 0 with the given
+    /// antecedent clause. Called in chronological (trail) order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer, if any.
+    fn level_zero(&mut self, lit: Lit, antecedent: u64) -> io::Result<()>;
+
+    /// Records the clause that was conflicting at decision level 0 when
+    /// the solver concluded UNSAT.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer, if any.
+    fn final_conflict(&mut self, id: u64) -> io::Result<()>;
+
+    /// Forwards a whole event. Provided for convenience.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer, if any.
+    fn event(&mut self, event: &TraceEvent) -> io::Result<()> {
+        match event {
+            TraceEvent::Learned { id, sources } => self.learned(*id, sources),
+            TraceEvent::LevelZero { lit, antecedent } => self.level_zero(*lit, *antecedent),
+            TraceEvent::FinalConflict { id } => self.final_conflict(*id),
+        }
+    }
+
+    /// Flushes buffered output, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer, if any.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn learned(&mut self, id: u64, sources: &[u64]) -> io::Result<()> {
+        (**self).learned(id, sources)
+    }
+
+    fn level_zero(&mut self, lit: Lit, antecedent: u64) -> io::Result<()> {
+        (**self).level_zero(lit, antecedent)
+    }
+
+    fn final_conflict(&mut self, id: u64) -> io::Result<()> {
+        (**self).final_conflict(id)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
+    }
+}
+
+/// A sink that discards every event.
+///
+/// Running the solver with a `NullSink` is the "trace generation turned
+/// off" configuration of Table 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl NullSink {
+    /// Creates a new discarding sink.
+    pub fn new() -> Self {
+        NullSink
+    }
+}
+
+impl TraceSink for NullSink {
+    fn learned(&mut self, _id: u64, _sources: &[u64]) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn level_zero(&mut self, _lit: Lit, _antecedent: u64) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn final_conflict(&mut self, _id: u64) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A sink that stores events in memory.
+///
+/// Doubles as a [`TraceSource`](crate::TraceSource) for in-process
+/// checking without touching the filesystem.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemorySink {
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// Creates an empty in-memory trace.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the sink and returns the events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl From<Vec<TraceEvent>> for MemorySink {
+    fn from(events: Vec<TraceEvent>) -> Self {
+        MemorySink { events }
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn learned(&mut self, id: u64, sources: &[u64]) -> io::Result<()> {
+        self.events.push(TraceEvent::Learned {
+            id,
+            sources: sources.to_vec(),
+        });
+        Ok(())
+    }
+
+    fn level_zero(&mut self, lit: Lit, antecedent: u64) -> io::Result<()> {
+        self.events.push(TraceEvent::LevelZero { lit, antecedent });
+        Ok(())
+    }
+
+    fn final_conflict(&mut self, id: u64) -> io::Result<()> {
+        self.events.push(TraceEvent::FinalConflict { id });
+        Ok(())
+    }
+}
+
+/// A sink adapter that counts events and bytes while forwarding to an
+/// inner sink.
+///
+/// Useful for reporting trace sizes (Table 2's "Trace Size" column) and
+/// event statistics without a second pass.
+#[derive(Debug)]
+pub struct CountingSink<S> {
+    inner: S,
+    learned: u64,
+    level_zero: u64,
+    final_conflicts: u64,
+}
+
+impl<S: TraceSink> CountingSink<S> {
+    /// Wraps `inner`, counting the events that pass through.
+    pub fn new(inner: S) -> Self {
+        CountingSink {
+            inner,
+            learned: 0,
+            level_zero: 0,
+            final_conflicts: 0,
+        }
+    }
+
+    /// Number of learned-clause events forwarded.
+    pub fn learned_count(&self) -> u64 {
+        self.learned
+    }
+
+    /// Number of level-zero assignment events forwarded.
+    pub fn level_zero_count(&self) -> u64 {
+        self.level_zero
+    }
+
+    /// Number of final-conflict events forwarded.
+    pub fn final_conflict_count(&self) -> u64 {
+        self.final_conflicts
+    }
+
+    /// Returns the wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Shared access to the wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: TraceSink> TraceSink for CountingSink<S> {
+    fn learned(&mut self, id: u64, sources: &[u64]) -> io::Result<()> {
+        self.learned += 1;
+        self.inner.learned(id, sources)
+    }
+
+    fn level_zero(&mut self, lit: Lit, antecedent: u64) -> io::Result<()> {
+        self.level_zero += 1;
+        self.inner.level_zero(lit, antecedent)
+    }
+
+    fn final_conflict(&mut self, id: u64) -> io::Result<()> {
+        self.final_conflicts += 1;
+        self.inner.final_conflict(id)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A sink that duplicates every event into two sinks.
+///
+/// Useful for writing a trace file while also keeping the events in
+/// memory for immediate checking.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_trace::{AsciiWriter, MemorySink, TeeSink, TraceSink};
+///
+/// let mut buf = Vec::new();
+/// let mut tee = TeeSink::new(AsciiWriter::new(&mut buf), MemorySink::new());
+/// tee.final_conflict(3)?;
+/// tee.flush()?;
+/// let (_, memory) = tee.into_inner();
+/// assert_eq!(memory.len(), 1);
+/// assert!(!buf.is_empty());
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct TeeSink<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: TraceSink, B: TraceSink> TeeSink<A, B> {
+    /// Creates a tee over two sinks.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+
+    /// Returns both sinks.
+    pub fn into_inner(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn learned(&mut self, id: u64, sources: &[u64]) -> io::Result<()> {
+        self.first.learned(id, sources)?;
+        self.second.learned(id, sources)
+    }
+
+    fn level_zero(&mut self, lit: Lit, antecedent: u64) -> io::Result<()> {
+        self.first.level_zero(lit, antecedent)?;
+        self.second.level_zero(lit, antecedent)
+    }
+
+    fn final_conflict(&mut self, id: u64) -> io::Result<()> {
+        self.first.final_conflict(id)?;
+        self.second.final_conflict(id)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.first.flush()?;
+        self.second.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tee_duplicates_events() {
+        let mut tee = TeeSink::new(MemorySink::new(), MemorySink::new());
+        tee.learned(5, &[0, 1]).unwrap();
+        tee.level_zero(Lit::from_dimacs(-2), 5).unwrap();
+        tee.final_conflict(4).unwrap();
+        tee.flush().unwrap();
+        let (a, b) = tee.into_inner();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let mut sink = MemorySink::new();
+        sink.learned(5, &[0, 1]).unwrap();
+        sink.level_zero(Lit::from_dimacs(3), 5).unwrap();
+        sink.final_conflict(2).unwrap();
+        assert_eq!(sink.len(), 3);
+        assert!(!sink.is_empty());
+        assert_eq!(
+            sink.events()[0],
+            TraceEvent::Learned {
+                id: 5,
+                sources: vec![0, 1]
+            }
+        );
+        assert_eq!(sink.into_events().len(), 3);
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink::new();
+        sink.learned(1, &[0]).unwrap();
+        sink.level_zero(Lit::from_dimacs(-1), 0).unwrap();
+        sink.final_conflict(0).unwrap();
+        sink.flush().unwrap();
+    }
+
+    #[test]
+    fn counting_sink_counts_and_forwards() {
+        let mut sink = CountingSink::new(MemorySink::new());
+        sink.learned(1, &[0]).unwrap();
+        sink.learned(2, &[0, 1]).unwrap();
+        sink.level_zero(Lit::from_dimacs(1), 2).unwrap();
+        sink.final_conflict(2).unwrap();
+        assert_eq!(sink.learned_count(), 2);
+        assert_eq!(sink.level_zero_count(), 1);
+        assert_eq!(sink.final_conflict_count(), 1);
+        assert_eq!(sink.inner().len(), 4);
+        assert_eq!(sink.into_inner().len(), 4);
+    }
+
+    #[test]
+    fn event_dispatch_matches_direct_calls() {
+        let mut a = MemorySink::new();
+        let mut b = MemorySink::new();
+        let events = vec![
+            TraceEvent::Learned {
+                id: 9,
+                sources: vec![1, 2, 3],
+            },
+            TraceEvent::LevelZero {
+                lit: Lit::from_dimacs(-7),
+                antecedent: 9,
+            },
+            TraceEvent::FinalConflict { id: 9 },
+        ];
+        for e in &events {
+            a.event(e).unwrap();
+        }
+        b.learned(9, &[1, 2, 3]).unwrap();
+        b.level_zero(Lit::from_dimacs(-7), 9).unwrap();
+        b.final_conflict(9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mut_ref_is_a_sink() {
+        fn use_sink(sink: &mut dyn TraceSink) {
+            sink.final_conflict(0).unwrap();
+        }
+        let mut sink = MemorySink::new();
+        use_sink(&mut sink);
+        assert_eq!(sink.len(), 1);
+    }
+}

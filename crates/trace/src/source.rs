@@ -1,0 +1,284 @@
+//! Re-iterable trace sources for checkers.
+
+use crate::{AsciiReader, BinaryReader, MemorySink, TraceEvent, BINARY_MAGIC};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+
+/// Convenience alias: trace reading reports [`io::Error`]s, with parse
+/// problems wrapped as [`io::ErrorKind::InvalidData`].
+pub type ReadTraceError = io::Error;
+
+/// A source of trace events that can be streamed **more than once**.
+///
+/// The breadth-first checker makes two passes over the trace — a counting
+/// pass and the resolution pass (paper §3.3) — so a source must be able to
+/// restart. In-memory traces restart trivially; file traces reopen the
+/// file.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_trace::{MemorySink, TraceSink, TraceSource};
+///
+/// let mut sink = MemorySink::new();
+/// sink.final_conflict(3)?;
+/// let pass1 = sink.events_iter()?.count();
+/// let pass2 = sink.events_iter()?.count();
+/// assert_eq!(pass1, pass2);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub trait TraceSource {
+    /// Starts a fresh pass over the events, in emission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying storage cannot be (re)opened.
+    /// Individual items are `Err` when a record is malformed.
+    fn events_iter(&self) -> io::Result<Box<dyn Iterator<Item = io::Result<TraceEvent>> + '_>>;
+
+    /// Size of the encoded trace in bytes, when known.
+    ///
+    /// In-memory traces have no encoding, so they report `None`.
+    fn encoded_size(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl TraceSource for MemorySink {
+    fn events_iter(&self) -> io::Result<Box<dyn Iterator<Item = io::Result<TraceEvent>> + '_>> {
+        Ok(Box::new(self.events().iter().cloned().map(Ok)))
+    }
+}
+
+impl TraceSource for [TraceEvent] {
+    fn events_iter(&self) -> io::Result<Box<dyn Iterator<Item = io::Result<TraceEvent>> + '_>> {
+        Ok(Box::new(self.iter().cloned().map(Ok)))
+    }
+}
+
+impl TraceSource for Vec<TraceEvent> {
+    fn events_iter(&self) -> io::Result<Box<dyn Iterator<Item = io::Result<TraceEvent>> + '_>> {
+        Ok(Box::new(self.iter().cloned().map(Ok)))
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &T {
+    fn events_iter(&self) -> io::Result<Box<dyn Iterator<Item = io::Result<TraceEvent>> + '_>> {
+        (**self).events_iter()
+    }
+
+    fn encoded_size(&self) -> Option<u64> {
+        (**self).encoded_size()
+    }
+}
+
+/// On-disk encodings of a trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraceFormat {
+    /// The human-readable line format of [`crate::AsciiWriter`].
+    Ascii,
+    /// The compact varint format of [`crate::BinaryWriter`].
+    Binary,
+}
+
+/// A trace stored in a file, in either format.
+///
+/// Each pass reopens the file, so the breadth-first checker's two passes
+/// never require the whole trace in memory — the property the paper's
+/// breadth-first approach depends on.
+#[derive(Clone, Debug)]
+pub struct FileTrace {
+    path: PathBuf,
+    format: TraceFormat,
+}
+
+impl FileTrace {
+    /// Opens a trace file, detecting the format from its first bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be opened or is empty.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut head = [0u8; 4];
+        let mut file = File::open(&path)?;
+        let n = file.read(&mut head)?;
+        let format = if n == 4 && head == BINARY_MAGIC {
+            TraceFormat::Binary
+        } else {
+            TraceFormat::Ascii
+        };
+        Ok(FileTrace { path, format })
+    }
+
+    /// Opens a trace file with an explicit format (no sniffing).
+    pub fn with_format(path: impl AsRef<Path>, format: TraceFormat) -> Self {
+        FileTrace {
+            path: path.as_ref().to_path_buf(),
+            format,
+        }
+    }
+
+    /// The detected or declared format.
+    pub fn format(&self) -> TraceFormat {
+        self.format
+    }
+
+    /// The underlying path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl TraceSource for FileTrace {
+    fn events_iter(&self) -> io::Result<Box<dyn Iterator<Item = io::Result<TraceEvent>> + '_>> {
+        let reader = BufReader::new(File::open(&self.path)?);
+        match self.format {
+            TraceFormat::Ascii => Ok(Box::new(AsciiReader::new(reader))),
+            TraceFormat::Binary => Ok(Box::new(BinaryReader::new(reader)?)),
+        }
+    }
+
+    fn encoded_size(&self) -> Option<u64> {
+        std::fs::metadata(&self.path).ok().map(|m| m.len())
+    }
+}
+
+/// Collects every event of a source into memory.
+///
+/// # Errors
+///
+/// Propagates the first read or parse error.
+pub fn collect_events<S: TraceSource + ?Sized>(source: &S) -> io::Result<Vec<TraceEvent>> {
+    source.events_iter()?.collect()
+}
+
+/// Reads a whole trace from any [`BufRead`] in the given format.
+///
+/// # Errors
+///
+/// Propagates read and parse errors.
+pub fn read_all<R: BufRead>(reader: R, format: TraceFormat) -> io::Result<Vec<TraceEvent>> {
+    match format {
+        TraceFormat::Ascii => AsciiReader::new(reader).collect(),
+        TraceFormat::Binary => BinaryReader::new(reader)?.collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AsciiWriter, BinaryWriter, TraceSink};
+    use rescheck_cnf::Lit;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Learned {
+                id: 4,
+                sources: vec![0, 1, 2],
+            },
+            TraceEvent::LevelZero {
+                lit: Lit::from_dimacs(-1),
+                antecedent: 4,
+            },
+            TraceEvent::FinalConflict { id: 3 },
+        ]
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("rescheck-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn memory_sources_restart() {
+        let events = sample();
+        let sink: MemorySink = events.clone().into();
+        assert_eq!(collect_events(&sink).unwrap(), events);
+        assert_eq!(collect_events(&sink).unwrap(), events);
+        assert_eq!(collect_events(&events).unwrap(), events);
+        assert_eq!(collect_events(&events[..]).unwrap(), events);
+        assert_eq!(sink.encoded_size(), None);
+    }
+
+    #[test]
+    fn file_trace_detects_ascii() {
+        let path = tmp_path("detect.txt");
+        {
+            let file = File::create(&path).unwrap();
+            let mut w = AsciiWriter::new(file);
+            for e in &sample() {
+                w.event(e).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        let trace = FileTrace::open(&path).unwrap();
+        assert_eq!(trace.format(), TraceFormat::Ascii);
+        assert_eq!(collect_events(&trace).unwrap(), sample());
+        assert!(trace.encoded_size().unwrap() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_trace_detects_binary_and_restarts() {
+        let path = tmp_path("detect.bin");
+        {
+            let file = File::create(&path).unwrap();
+            let mut w = BinaryWriter::new(file).unwrap();
+            for e in &sample() {
+                w.event(e).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        let trace = FileTrace::open(&path).unwrap();
+        assert_eq!(trace.format(), TraceFormat::Binary);
+        // Two passes, as the breadth-first checker requires.
+        assert_eq!(collect_events(&trace).unwrap(), sample());
+        assert_eq!(collect_events(&trace).unwrap(), sample());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn with_format_overrides_sniffing() {
+        let path = tmp_path("override.txt");
+        std::fs::write(&path, "f 1\n").unwrap();
+        let trace = FileTrace::with_format(&path, TraceFormat::Ascii);
+        assert_eq!(trace.path(), path.as_path());
+        assert_eq!(
+            collect_events(&trace).unwrap(),
+            vec![TraceEvent::FinalConflict { id: 1 }]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_all_both_formats() {
+        let events = sample();
+        let mut ascii = Vec::new();
+        let mut aw = AsciiWriter::new(&mut ascii);
+        for e in &events {
+            aw.event(e).unwrap();
+        }
+        assert_eq!(
+            read_all(io::Cursor::new(ascii), TraceFormat::Ascii).unwrap(),
+            events
+        );
+
+        let mut bin = Vec::new();
+        let mut bw = BinaryWriter::new(&mut bin).unwrap();
+        for e in &events {
+            bw.event(e).unwrap();
+        }
+        assert_eq!(
+            read_all(io::Cursor::new(bin), TraceFormat::Binary).unwrap(),
+            events
+        );
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(FileTrace::open("/definitely/not/here.trace").is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! LEB128 variable-length integer encoding used by the binary trace format.
+//!
+//! Small IDs dominate real traces, so LEB128 gives most of the 2–3x
+//! compaction over ASCII that the paper predicts for a binary encoding.
+//!
+//! # Examples
+//!
+//! ```
+//! use rescheck_trace::varint;
+//!
+//! let mut buf = Vec::new();
+//! varint::write_u64(&mut buf, 300)?;
+//! assert_eq!(buf, [0xAC, 0x02]);
+//! let mut slice = &buf[..];
+//! assert_eq!(varint::read_u64(&mut slice)?, 300);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Writes `value` as unsigned LEB128.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_u64<W: Write>(mut writer: W, mut value: u64) -> io::Result<()> {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            writer.write_all(&[byte])?;
+            return Ok(());
+        }
+        writer.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads an unsigned LEB128 value.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::UnexpectedEof`] on a truncated value and
+/// [`io::ErrorKind::InvalidData`] if the encoding exceeds 10 bytes
+/// (overflowing `u64`).
+pub fn read_u64<R: Read>(mut reader: R) -> io::Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8];
+        reader.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift == 63 && b > 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "LEB128 value overflows u64",
+            ));
+        }
+        value |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "LEB128 value overflows u64",
+            ));
+        }
+    }
+}
+
+/// Number of bytes [`write_u64`] produces for `value`.
+pub fn encoded_len(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v).unwrap();
+            assert_eq!(buf.len(), encoded_len(v), "length for {v}");
+            let mut slice = &buf[..];
+            assert_eq!(read_u64(&mut slice).unwrap(), v);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_unexpected_eof() {
+        let err = read_u64(&[0x80u8][..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn overlong_encoding_is_invalid_data() {
+        let buf = [0xffu8; 11];
+        let err = read_u64(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn max_u64_uses_ten_bytes() {
+        assert_eq!(encoded_len(u64::MAX), 10);
+        assert_eq!(encoded_len(0), 1);
+        assert_eq!(encoded_len(127), 1);
+        assert_eq!(encoded_len(128), 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the trace encodings: arbitrary event streams
+//! survive both encodings byte-exactly, and random access agrees with
+//! streaming.
+
+use proptest::prelude::*;
+use rescheck_cnf::Lit;
+use rescheck_trace::{
+    read_all, AsciiWriter, BinaryWriter, MemorySink, RandomAccessTrace, TraceEvent, TraceFormat,
+    TraceSink, TraceSource,
+};
+
+fn event_strategy() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        (any::<u64>(), prop::collection::vec(any::<u64>(), 2..12))
+            .prop_map(|(id, sources)| TraceEvent::Learned { id, sources }),
+        ((1i64..100_000), any::<bool>(), any::<u64>()).prop_map(|(v, neg, antecedent)| {
+            TraceEvent::LevelZero {
+                lit: Lit::from_dimacs(if neg { -v } else { v }),
+                antecedent,
+            }
+        }),
+        any::<u64>().prop_map(|id| TraceEvent::FinalConflict { id }),
+    ]
+}
+
+fn encode_ascii(events: &[TraceEvent]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = AsciiWriter::new(&mut buf);
+    for e in events {
+        w.event(e).unwrap();
+    }
+    assert_eq!(w.bytes_written(), buf.len() as u64);
+    buf
+}
+
+fn encode_binary(events: &[TraceEvent]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = BinaryWriter::new(&mut buf).unwrap();
+    for e in events {
+        w.event(e).unwrap();
+    }
+    assert_eq!(w.bytes_written(), buf.len() as u64);
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ascii_roundtrip(events in prop::collection::vec(event_strategy(), 0..40)) {
+        let buf = encode_ascii(&events);
+        let decoded = read_all(std::io::Cursor::new(buf), TraceFormat::Ascii).unwrap();
+        prop_assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn binary_roundtrip(events in prop::collection::vec(event_strategy(), 0..40)) {
+        let buf = encode_binary(&events);
+        let decoded = read_all(std::io::Cursor::new(buf), TraceFormat::Binary).unwrap();
+        prop_assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn memory_random_access_matches_streaming(
+        events in prop::collection::vec(event_strategy(), 1..30),
+    ) {
+        let sink: MemorySink = events.clone().into();
+        let pairs: Vec<(u64, TraceEvent)> = sink
+            .offset_events()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let streamed: Vec<TraceEvent> = sink
+            .events_iter()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        prop_assert_eq!(
+            pairs.iter().map(|(_, e)| e.clone()).collect::<Vec<_>>(),
+            streamed
+        );
+        let mut cursor = sink.open_cursor().unwrap();
+        for (offset, event) in pairs {
+            prop_assert_eq!(cursor.event_at(offset).unwrap(), event);
+        }
+    }
+
+    /// Decoding truncated binary never panics; it errors or yields a
+    /// prefix of the events.
+    #[test]
+    fn truncated_binary_never_panics(
+        events in prop::collection::vec(event_strategy(), 1..20),
+        cut_back in 1usize..32,
+    ) {
+        let buf = encode_binary(&events);
+        let cut = buf.len().saturating_sub(cut_back).max(4);
+        let truncated = buf[..cut].to_vec();
+        match read_all(std::io::Cursor::new(truncated), TraceFormat::Binary) {
+            Ok(prefix) => prop_assert!(prefix.len() <= events.len()),
+            Err(_) => {}
+        }
+    }
+
+    /// Random byte corruption of ASCII traces never panics the decoder.
+    #[test]
+    fn corrupted_ascii_never_panics(
+        events in prop::collection::vec(event_strategy(), 1..20),
+        position in any::<prop::sample::Index>(),
+        byte in any::<u8>(),
+    ) {
+        let mut buf = encode_ascii(&events);
+        let i = position.index(buf.len());
+        buf[i] = byte;
+        let _ = read_all(std::io::Cursor::new(buf), TraceFormat::Ascii);
+    }
+
+    /// Random byte corruption of binary traces never panics the decoder.
+    #[test]
+    fn corrupted_binary_never_panics(
+        events in prop::collection::vec(event_strategy(), 1..20),
+        position in any::<prop::sample::Index>(),
+        byte in any::<u8>(),
+    ) {
+        let mut buf = encode_binary(&events);
+        let i = 4 + position.index(buf.len() - 4); // keep the magic intact
+        buf[i] = byte;
+        let _ = read_all(std::io::Cursor::new(buf), TraceFormat::Binary);
+    }
+}

@@ -1,0 +1,21 @@
+//! Timing probe for suite tuning (not part of the public examples).
+use rescheck_solver::{Solver, SolverConfig};
+use rescheck_workloads::paper_suite;
+use std::time::Instant;
+
+fn main() {
+    for inst in paper_suite() {
+        let t = Instant::now();
+        let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+        let result = solver.solve();
+        println!(
+            "{:40} {:>8} vars {:>9} clauses  {:>10} learned  {:>9.2?}  {}",
+            inst.name,
+            inst.num_vars(),
+            inst.num_clauses(),
+            solver.stats().learned_clauses,
+            t.elapsed(),
+            result
+        );
+    }
+}

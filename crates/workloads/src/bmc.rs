@@ -1,0 +1,330 @@
+//! Bounded-model-checking instances (the paper's `barrel`/`longmult`
+//! family, after Biere et al.).
+
+use crate::{Family, Instance};
+use rescheck_circuit::seq::{token_ring, SeqCircuit};
+use rescheck_circuit::{arith, Circuit, NodeId};
+use rescheck_cnf::SatStatus;
+
+/// `barrel` analogue: a rotating one-hot token ring of `positions` bits
+/// unrolled `bound` steps, asking whether the "exactly one token"
+/// invariant can break. It cannot, so the instance is UNSAT.
+pub fn barrel(positions: usize, bound: usize) -> Instance {
+    let ring = token_ring(positions);
+    Instance::new(
+        format!("barrel_{positions}_k{bound}"),
+        Family::Bmc,
+        ring.unroll_to_cnf(bound),
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// A broken shifter that **drops** its token when shifting past the last
+/// position (the wrap path is miswired to zero); with the free input low
+/// the register holds. The defect needs `positions` shift steps to
+/// manifest, so the BMC instance is SAT exactly when the bound reaches
+/// that depth — the classic "bug at depth k" shape BMC exists to find.
+pub fn barrel_broken(positions: usize, bound: usize) -> Instance {
+    assert!(positions >= 2);
+    let mut step = Circuit::new();
+    let s: Vec<NodeId> = (0..positions).map(|_| step.input()).collect();
+    let shift = step.input(); // 1 = shift up (buggy wrap), 0 = hold
+    let zero = step.constant(false);
+    let next: Vec<NodeId> = (0..positions)
+        .map(|i| {
+            let up = if i == 0 { zero } else { s[i - 1] }; // wrap dropped
+            step.mux(shift, up, s[i])
+        })
+        .collect();
+    let any = step.or_all(s.iter().copied());
+    let bad = step.not(any);
+    let mut init = vec![false; positions];
+    init[0] = true;
+    let seq = SeqCircuit::new(step, positions, next, init, bad);
+    let expected = if bound >= positions {
+        SatStatus::Satisfiable
+    } else {
+        SatStatus::Unsatisfiable
+    };
+    Instance::new(
+        format!("barrel_broken_{positions}_k{bound}"),
+        Family::Bmc,
+        seq.unroll_to_cnf(bound),
+        Some(expected),
+    )
+}
+
+/// `longmult` analogue: the sequential shift-add multiplier, fully
+/// unrolled (which is exactly what BMC does to it), checked against an
+/// array multiplier. XOR-rich adder chains make resolution proofs long —
+/// the paper singles this family out as the one needing a large fraction
+/// of the learned clauses rebuilt (Table 2).
+pub fn longmult(width: usize) -> Instance {
+    let mut a = Circuit::new();
+    let x = a.input_word(width);
+    let y = a.input_word(width);
+    let p = arith::shift_add_multiply(&mut a, &x, &y);
+    a.set_outputs(p);
+
+    let mut b = Circuit::new();
+    let x = b.input_word(width);
+    let y = b.input_word(width);
+    let p = arith::array_multiply(&mut b, &x, &y);
+    b.set_outputs(p);
+
+    let cnf = rescheck_circuit::miter::equivalence_cnf(&a, &b).expect("same interface");
+    Instance::new(
+        format!("longmult_{width}"),
+        Family::Bmc,
+        cnf,
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// A counter that steps by two when its free *enable* input is high,
+/// asked whether it can hit an odd target within `bound` steps: UNSAT by
+/// a parity invariant the solver has to discover (the enable keeps the
+/// unrolling from folding to constants).
+pub fn even_counter(width: usize, bound: usize) -> Instance {
+    assert!(width >= 2);
+    let mut step = Circuit::new();
+    let s: Vec<NodeId> = (0..width).map(|_| step.input()).collect();
+    let enable = step.input();
+    // next = s + 2 when enabled (add into bits 1.. with ripple carry).
+    let mut next = vec![s[0]];
+    let mut carry = enable; // adding binary 10: bit 1 gets +enable
+    for &bit in &s[1..] {
+        let sum = step.xor(bit, carry);
+        carry = step.and(bit, carry);
+        next.push(sum);
+    }
+    // bad ⇔ state == 0b0…011 (odd target 3).
+    let mut target_bits = vec![true, true];
+    target_bits.resize(width, false);
+    let hits: Vec<NodeId> = s
+        .iter()
+        .zip(&target_bits)
+        .map(|(&bit, &want)| if want { bit } else { step.not(bit) })
+        .collect();
+    let bad = step.and_all(hits);
+    let init = vec![false; width];
+    let seq = SeqCircuit::new(step, width, next, init, bad);
+    Instance::new(
+        format!("even_counter_{width}_k{bound}"),
+        Family::Bmc,
+        seq.unroll_to_cnf(bound),
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// Builds the sequential shift-add multiplier FSM: on the first cycle it
+/// loads its operands from the free inputs; afterwards it adds the
+/// shifted multiplicand whenever the low multiplier bit is set. `bad`
+/// fires when the multiplication has completed (`b_rem == 0`) but the
+/// accumulator disagrees with a combinational array multiplier over the
+/// loaded operands — the literal `longmult` construction of Biere et al.
+///
+/// `broken_carry` optionally severs the accumulator adder's carry into
+/// the given bit, modelling a datapath bug.
+fn sequential_multiplier_fsm(width: usize, broken_carry: Option<usize>) -> SeqCircuit {
+    assert!(width >= 2);
+    let w = width;
+    let two_w = 2 * w;
+    let mut c = Circuit::new();
+    // State registers, in order: a0, b0, a_sh, b_rem, acc, loaded.
+    let a0: Vec<NodeId> = (0..w).map(|_| c.input()).collect();
+    let b0: Vec<NodeId> = (0..w).map(|_| c.input()).collect();
+    let a_sh: Vec<NodeId> = (0..two_w).map(|_| c.input()).collect();
+    let b_rem: Vec<NodeId> = (0..w).map(|_| c.input()).collect();
+    let acc: Vec<NodeId> = (0..two_w).map(|_| c.input()).collect();
+    let loaded = c.input();
+    // Free inputs: the operands, consumed on the load cycle.
+    let in_a: Vec<NodeId> = (0..w).map(|_| c.input()).collect();
+    let in_b: Vec<NodeId> = (0..w).map(|_| c.input()).collect();
+    let zero = c.constant(false);
+    let one = c.constant(true);
+
+    // Shift-add datapath.
+    let bit = b_rem[0];
+    let addend: Vec<NodeId> = a_sh.iter().map(|&x| c.and(bit, x)).collect();
+    let mut sum = Vec::with_capacity(two_w);
+    let mut carry = zero;
+    for i in 0..two_w {
+        let (s, cout) = rescheck_circuit::arith::full_adder(&mut c, acc[i], addend[i], carry);
+        sum.push(s);
+        carry = if broken_carry == Some(i + 1) { zero } else { cout };
+    }
+    let mut a_sh_next = vec![zero];
+    a_sh_next.extend(&a_sh[..two_w - 1]);
+    let mut b_rem_next: Vec<NodeId> = b_rem[1..].to_vec();
+    b_rem_next.push(zero);
+
+    // Specification: a combinational array multiplier over the operands.
+    let spec = arith::array_multiply(&mut c, &a0, &b0);
+    let agree = arith::equal(&mut c, &acc, &spec);
+    let disagree = c.not(agree);
+    let b_active = c.or_all(b_rem.iter().copied());
+    let done = c.not(b_active);
+    let l_and_done = c.and(loaded, done);
+    let bad = c.and(l_and_done, disagree);
+
+    // Next-state: load on the first cycle, step afterwards.
+    let mut next = Vec::with_capacity(7 * w + 1);
+    for i in 0..w {
+        next.push(c.mux(loaded, a0[i], in_a[i]));
+    }
+    for i in 0..w {
+        next.push(c.mux(loaded, b0[i], in_b[i]));
+    }
+    for i in 0..two_w {
+        let load_val = if i < w { in_a[i] } else { zero };
+        next.push(c.mux(loaded, a_sh_next[i], load_val));
+    }
+    for i in 0..w {
+        next.push(c.mux(loaded, b_rem_next[i], in_b[i]));
+    }
+    for &s in sum.iter().take(two_w) {
+        next.push(c.mux(loaded, s, zero));
+    }
+    next.push(one); // loaded stays set after the first cycle
+    let init = vec![false; 7 * w + 1];
+    SeqCircuit::new(c, 7 * w + 1, next, init, bad)
+}
+
+/// The sequential shift-add multiplier checked against its combinational
+/// specification, unrolled `bound` steps: UNSAT at every bound (the
+/// shift-add invariant `acc + a_sh·b_rem = a0·b0` holds).
+pub fn sequential_multiplier(width: usize, bound: usize) -> Instance {
+    let fsm = sequential_multiplier_fsm(width, None);
+    Instance::new(
+        format!("seqmult_{width}_k{bound}"),
+        Family::Bmc,
+        fsm.unroll_to_cnf(bound),
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// The same multiplier with a severed carry into accumulator bit 2: the
+/// cheapest counterexample (3·3) completes after three steps, so the BMC
+/// instance flips to SAT at bound 3.
+pub fn sequential_multiplier_buggy(width: usize, bound: usize) -> Instance {
+    let fsm = sequential_multiplier_fsm(width, Some(2));
+    let expected = if bound >= 3 {
+        SatStatus::Satisfiable
+    } else {
+        SatStatus::Unsatisfiable
+    };
+    Instance::new(
+        format!("seqmult_buggy_{width}_k{bound}"),
+        Family::Bmc,
+        fsm.unroll_to_cnf(bound),
+        Some(expected),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescheck_solver::{Solver, SolverConfig};
+
+    fn solve(inst: &Instance) -> rescheck_solver::SolveResult {
+        let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+        solver.solve()
+    }
+
+    #[test]
+    fn barrel_is_unsat() {
+        for (p, k) in [(3, 5), (5, 8), (8, 12)] {
+            assert!(solve(&barrel(p, k)).is_unsat(), "barrel({p},{k})");
+        }
+    }
+
+    #[test]
+    fn broken_barrel_flips_at_the_wrap() {
+        let safe = barrel_broken(4, 2);
+        assert_eq!(safe.expected, Some(SatStatus::Unsatisfiable));
+        assert!(solve(&safe).is_unsat());
+
+        let unsafe_ = barrel_broken(4, 6);
+        assert_eq!(unsafe_.expected, Some(SatStatus::Satisfiable));
+        let result = solve(&unsafe_);
+        assert!(unsafe_.cnf.is_satisfied_by(result.model().unwrap()));
+    }
+
+    #[test]
+    fn longmult_is_unsat() {
+        for w in [2, 3] {
+            assert!(solve(&longmult(w)).is_unsat(), "longmult({w})");
+        }
+    }
+
+    #[test]
+    fn even_counter_never_hits_three() {
+        for (w, k) in [(3, 6), (4, 10)] {
+            assert!(solve(&even_counter(w, k)).is_unsat(), "counter({w},{k})");
+        }
+    }
+
+    #[test]
+    fn instances_are_labelled() {
+        let b = barrel(4, 3);
+        assert_eq!(b.name, "barrel_4_k3");
+        assert_eq!(b.family, Family::Bmc);
+        let m = longmult(3);
+        assert_eq!(m.name, "longmult_3");
+    }
+
+    #[test]
+    fn sequential_multiplier_fsm_computes_products() {
+        // Drive the FSM directly and confirm it never flags `bad` while
+        // actually computing the right products.
+        let w = 3;
+        let fsm = sequential_multiplier_fsm(w, None);
+        assert_eq!(fsm.free_inputs_per_step(), 2 * w);
+        for (a, b) in [(0u64, 0u64), (1, 5), (3, 3), (7, 6), (5, 7)] {
+            let bad = fsm.simulate_bad(w + 2, |t, i| {
+                if t == 0 {
+                    if i < w {
+                        a >> i & 1 == 1
+                    } else {
+                        b >> (i - w) & 1 == 1
+                    }
+                } else {
+                    false
+                }
+            });
+            assert!(!bad, "{a}*{b} must not flag bad");
+        }
+    }
+
+    #[test]
+    fn broken_multiplier_is_caught_in_simulation() {
+        let w = 3;
+        let fsm = sequential_multiplier_fsm(w, Some(2));
+        // 3 * 3 = 9 requires the carry into bit 2.
+        let bad = fsm.simulate_bad(w + 2, |t, i| {
+            t == 0 && (i == 0 || i == 1 || i == w || i == w + 1)
+        });
+        assert!(bad, "3*3 must expose the severed carry");
+    }
+
+    #[test]
+    fn sequential_multiplier_bmc_is_unsat() {
+        for (w, k) in [(2, 4), (3, 5)] {
+            let inst = sequential_multiplier(w, k);
+            assert!(solve(&inst).is_unsat(), "seqmult({w},{k})");
+        }
+    }
+
+    #[test]
+    fn buggy_sequential_multiplier_flips_at_bound_three() {
+        let safe = sequential_multiplier_buggy(3, 2);
+        assert_eq!(safe.expected, Some(SatStatus::Unsatisfiable));
+        assert!(solve(&safe).is_unsat());
+
+        let unsafe_ = sequential_multiplier_buggy(3, 4);
+        assert_eq!(unsafe_.expected, Some(SatStatus::Satisfiable));
+        let result = solve(&unsafe_);
+        assert!(unsafe_.cnf.is_satisfied_by(result.model().unwrap()));
+    }
+}

@@ -1,0 +1,246 @@
+//! Combinational equivalence checking instances (the paper's
+//! `c7225`/`c5135` family).
+//!
+//! Each instance is the Tseitin encoding of a miter between two
+//! structurally different implementations of the same arithmetic
+//! function; UNSAT proves equivalence. "Buggy" variants inject a real
+//! defect, giving satisfiable counterparts with a concrete
+//! counterexample.
+
+use crate::{Family, Instance};
+use rescheck_circuit::{arith, miter, rewrite, Circuit};
+use rescheck_cnf::SatStatus;
+
+/// Ripple-carry vs. carry-select adder miter: UNSAT (equivalent).
+pub fn adder_miter(width: usize) -> Instance {
+    let mut a = Circuit::new();
+    let x = a.input_word(width);
+    let y = a.input_word(width);
+    let sum = arith::ripple_carry_add(&mut a, &x, &y);
+    a.set_outputs(sum);
+
+    let mut b = Circuit::new();
+    let x = b.input_word(width);
+    let y = b.input_word(width);
+    let sum = arith::carry_select_add(&mut b, &x, &y, (width / 2).max(1));
+    b.set_outputs(sum);
+
+    let cnf = miter::equivalence_cnf(&a, &b).expect("same interface");
+    Instance::new(
+        format!("equiv_adder_{width}"),
+        Family::Equivalence,
+        cnf,
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// Adder miter with an injected bug (a dropped carry in one block):
+/// SAT, with the model exposing a concrete failing input vector.
+pub fn buggy_adder_miter(width: usize) -> Instance {
+    assert!(width >= 2, "need at least two bits to drop a carry");
+    let mut a = Circuit::new();
+    let x = a.input_word(width);
+    let y = a.input_word(width);
+    let sum = arith::ripple_carry_add(&mut a, &x, &y);
+    a.set_outputs(sum);
+
+    // The buggy implementation ties the carry into bit 1 to zero.
+    let mut b = Circuit::new();
+    let x = b.input_word(width);
+    let y = b.input_word(width);
+    let zero = b.constant(false);
+    let (s0, _dropped_carry) = arith::full_adder(&mut b, x[0], y[0], zero);
+    let mut sum = vec![s0];
+    let mut carry = zero; // bug: should be `_dropped_carry`
+    for i in 1..width {
+        let (s, c) = arith::full_adder(&mut b, x[i], y[i], carry);
+        sum.push(s);
+        carry = c;
+    }
+    sum.push(carry);
+    b.set_outputs(sum);
+
+    let cnf = miter::equivalence_cnf(&a, &b).expect("same interface");
+    Instance::new(
+        format!("equiv_adder_buggy_{width}"),
+        Family::Equivalence,
+        cnf,
+        Some(SatStatus::Satisfiable),
+    )
+}
+
+/// Array vs. shift-add multiplier miter: UNSAT (equivalent), XOR-heavy
+/// and hard for resolution — the combinational cousin of `longmult`.
+pub fn multiplier_miter(width: usize) -> Instance {
+    let mut a = Circuit::new();
+    let x = a.input_word(width);
+    let y = a.input_word(width);
+    let p = arith::array_multiply(&mut a, &x, &y);
+    a.set_outputs(p);
+
+    let mut b = Circuit::new();
+    let x = b.input_word(width);
+    let y = b.input_word(width);
+    let p = arith::shift_add_multiply(&mut b, &x, &y);
+    b.set_outputs(p);
+
+    let cnf = miter::equivalence_cnf(&a, &b).expect("same interface");
+    Instance::new(
+        format!("equiv_mult_{width}"),
+        Family::Equivalence,
+        cnf,
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// Barrel rotator vs. naive mux-per-amount rotator: UNSAT (equivalent).
+pub fn rotator_miter(word_bits: usize) -> Instance {
+    assert!(word_bits.is_power_of_two() && word_bits >= 2);
+    let shift_bits = word_bits.trailing_zeros() as usize;
+
+    let mut a = Circuit::new();
+    let w = a.input_word(word_bits);
+    let s = a.input_word(shift_bits);
+    let r = arith::barrel_rotate_left(&mut a, &w, &s);
+    a.set_outputs(r);
+
+    // Naive: decode the shift amount, one wide mux per output bit.
+    let mut b = Circuit::new();
+    let w = b.input_word(word_bits);
+    let s = b.input_word(shift_bits);
+    // One-hot decode of the shift amount.
+    let mut onehot = Vec::with_capacity(word_bits);
+    for amount in 0..word_bits {
+        let bits: Vec<_> = (0..shift_bits)
+            .map(|i| {
+                if amount >> i & 1 == 1 {
+                    s[i]
+                } else {
+                    b.not(s[i])
+                }
+            })
+            .collect();
+        onehot.push(b.and_all(bits));
+    }
+    let outputs: Vec<_> = (0..word_bits)
+        .map(|i| {
+            let terms: Vec<_> = (0..word_bits)
+                .map(|amount| {
+                    let src = w[(i + word_bits - amount) % word_bits];
+                    b.and(onehot[amount], src)
+                })
+                .collect();
+            b.or_all(terms)
+        })
+        .collect();
+    b.set_outputs(outputs);
+
+    let cnf = miter::equivalence_cnf(&a, &b).expect("same interface");
+    Instance::new(
+        format!("equiv_rotator_{word_bits}"),
+        Family::Equivalence,
+        cnf,
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// Technology-mapping miter: an adder + comparator datapath against its
+/// NAND-decomposed remapping — the classic post-synthesis equivalence
+/// obligation. UNSAT (equivalent by construction).
+pub fn nand_remap_miter(width: usize) -> Instance {
+    let mut c = Circuit::new();
+    let a = c.input_word(width);
+    let b = c.input_word(width);
+    let mut outs = arith::ripple_carry_add(&mut c, &a, &b);
+    outs.push(arith::equal(&mut c, &a, &b));
+    c.set_outputs(outs);
+
+    let remapped = rewrite::to_nand_only(&c);
+    let cnf = miter::equivalence_cnf(&c, &remapped).expect("same interface");
+    Instance::new(
+        format!("equiv_nand_remap_{width}"),
+        Family::Equivalence,
+        cnf,
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// AIG-remapping miter over a mux/rotate datapath: UNSAT.
+pub fn aig_remap_miter(word_bits: usize) -> Instance {
+    assert!(word_bits.is_power_of_two() && word_bits >= 2);
+    let shift_bits = word_bits.trailing_zeros() as usize;
+    let mut c = Circuit::new();
+    let w = c.input_word(word_bits);
+    let s = c.input_word(shift_bits);
+    let r = arith::barrel_rotate_left(&mut c, &w, &s);
+    c.set_outputs(r);
+
+    let remapped = rewrite::to_aig(&c);
+    let cnf = miter::equivalence_cnf(&c, &remapped).expect("same interface");
+    Instance::new(
+        format!("equiv_aig_remap_{word_bits}"),
+        Family::Equivalence,
+        cnf,
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescheck_solver::{Solver, SolverConfig};
+
+    fn solve(inst: &Instance) -> rescheck_solver::SolveResult {
+        let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+        solver.solve()
+    }
+
+    #[test]
+    fn adder_miters_are_unsat() {
+        for width in [2, 4, 8] {
+            assert!(solve(&adder_miter(width)).is_unsat(), "width={width}");
+        }
+    }
+
+    #[test]
+    fn buggy_adder_miters_are_sat_with_verified_model() {
+        for width in [2, 4, 8] {
+            let inst = buggy_adder_miter(width);
+            let result = solve(&inst);
+            let model = result.model().expect("bug must be found");
+            assert!(inst.cnf.is_satisfied_by(model));
+        }
+    }
+
+    #[test]
+    fn multiplier_miters_are_unsat() {
+        for width in [2, 3] {
+            assert!(solve(&multiplier_miter(width)).is_unsat(), "width={width}");
+        }
+    }
+
+    #[test]
+    fn rotator_miters_are_unsat() {
+        for bits in [2, 4] {
+            assert!(solve(&rotator_miter(bits)).is_unsat(), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn remap_miters_are_unsat() {
+        for width in [3, 6] {
+            assert!(solve(&nand_remap_miter(width)).is_unsat(), "nand {width}");
+        }
+        for bits in [2, 4] {
+            assert!(solve(&aig_remap_miter(bits)).is_unsat(), "aig {bits}");
+        }
+    }
+
+    #[test]
+    fn labels_are_consistent() {
+        let i = adder_miter(4);
+        assert_eq!(i.name, "equiv_adder_4");
+        assert_eq!(i.family, Family::Equivalence);
+        assert_eq!(i.expected, Some(SatStatus::Unsatisfiable));
+    }
+}

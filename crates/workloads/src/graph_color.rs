@@ -1,0 +1,113 @@
+//! Graph colouring as SAT.
+
+use crate::{Family, Instance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rescheck_cnf::{Cnf, SatStatus, Var};
+
+/// Encodes "`graph` is `colors`-colourable" over variables
+/// `x[v][c] = vertex v has colour c`.
+///
+/// Clauses: every vertex gets at least one colour, at most one colour,
+/// and adjacent vertices differ.
+pub fn coloring_cnf(num_vertices: usize, edges: &[(usize, usize)], colors: usize) -> Cnf {
+    let mut cnf = Cnf::with_vars(num_vertices * colors);
+    let var = |v: usize, c: usize| Var::new(v * colors + c);
+    for v in 0..num_vertices {
+        cnf.add_clause((0..colors).map(|c| var(v, c).positive()));
+        for c1 in 0..colors {
+            for c2 in c1 + 1..colors {
+                cnf.add_clause([var(v, c1).negative(), var(v, c2).negative()]);
+            }
+        }
+    }
+    for &(a, b) in edges {
+        debug_assert!(a < num_vertices && b < num_vertices && a != b);
+        for c in 0..colors {
+            cnf.add_clause([var(a, c).negative(), var(b, c).negative()]);
+        }
+    }
+    cnf
+}
+
+/// The complete graph on `n` vertices.
+pub fn clique_edges(n: usize) -> Vec<(usize, usize)> {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for a in 0..n {
+        for b in a + 1..n {
+            edges.push((a, b));
+        }
+    }
+    edges
+}
+
+/// Colouring K_{c+1} with `c` colours: unsatisfiable (χ(K_n) = n).
+pub fn clique_instance(colors: usize) -> Instance {
+    let n = colors + 1;
+    Instance::new(
+        format!("color_k{n}_{colors}"),
+        Family::GraphColoring,
+        coloring_cnf(n, &clique_edges(n), colors),
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// A random sparse graph containing an embedded (c+1)-clique, coloured
+/// with `c` colours: unsatisfiable, and the clique is the natural core.
+pub fn embedded_clique_instance(vertices: usize, colors: usize, seed: u64) -> Instance {
+    let clique = colors + 1;
+    assert!(vertices >= clique, "graph must contain the clique");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = clique_edges(clique);
+    // Sparse random edges among the remaining vertices (and into the
+    // clique), average degree ~2.
+    for v in clique..vertices {
+        for _ in 0..2 {
+            let u = rng.gen_range(0..v);
+            edges.push((u, v));
+        }
+    }
+    Instance::new(
+        format!("color_embedded_{vertices}v_{colors}c_s{seed}"),
+        Family::GraphColoring,
+        coloring_cnf(vertices, &edges, colors),
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_colourability() {
+        let edges = clique_edges(3);
+        assert!(coloring_cnf(3, &edges, 2).brute_force_status().is_unsat());
+        assert!(coloring_cnf(3, &edges, 3).brute_force_status().is_sat());
+    }
+
+    #[test]
+    fn clique_instances_are_unsat() {
+        for colors in [2, 3] {
+            let inst = clique_instance(colors);
+            assert!(inst.cnf.brute_force_status().is_unsat(), "colors={colors}");
+        }
+    }
+
+    #[test]
+    fn path_is_two_colourable() {
+        let edges = vec![(0, 1), (1, 2), (2, 3)];
+        assert!(coloring_cnf(4, &edges, 2).brute_force_status().is_sat());
+    }
+
+    #[test]
+    fn embedded_clique_stays_unsat_and_is_deterministic() {
+        let a = embedded_clique_instance(8, 2, 42);
+        let b = embedded_clique_instance(8, 2, 42);
+        assert_eq!(a.cnf, b.cnf);
+        assert!(a.cnf.brute_force_status().is_unsat());
+        // A different seed gives a different graph (very likely).
+        let c = embedded_clique_instance(8, 2, 43);
+        assert_ne!(a.cnf, c.cnf);
+    }
+}

@@ -1,0 +1,134 @@
+//! Labelled benchmark instances.
+
+use rescheck_cnf::{Cnf, SatStatus};
+use std::fmt;
+
+/// The benchmark family an instance belongs to (paper §4's columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Microprocessor-verification analogue (pipelined datapath miters).
+    Pipeline,
+    /// Bounded model checking (token ring / unrolled multiplier).
+    Bmc,
+    /// Combinational equivalence checking miters.
+    Equivalence,
+    /// FPGA channel-routing feasibility.
+    Routing,
+    /// AI planning (reachability within a horizon).
+    Planning,
+    /// Pigeonhole principle.
+    Pigeonhole,
+    /// XOR/parity chains and cycles.
+    Parity,
+    /// Graph colouring.
+    GraphColoring,
+    /// Random k-SAT.
+    RandomKSat,
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Family::Pipeline => "pipeline",
+            Family::Bmc => "bmc",
+            Family::Equivalence => "equivalence",
+            Family::Routing => "routing",
+            Family::Planning => "planning",
+            Family::Pigeonhole => "pigeonhole",
+            Family::Parity => "parity",
+            Family::GraphColoring => "graph-coloring",
+            Family::RandomKSat => "random-ksat",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named benchmark instance with its ground-truth status.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_workloads::{Family, Instance};
+/// use rescheck_cnf::{Cnf, SatStatus};
+///
+/// let mut cnf = Cnf::new();
+/// cnf.add_dimacs_clause(&[1]);
+/// cnf.add_dimacs_clause(&[-1]);
+/// let inst = Instance::new("tiny", Family::Parity, cnf, Some(SatStatus::Unsatisfiable));
+/// assert_eq!(inst.num_vars(), 1);
+/// assert_eq!(inst.num_clauses(), 2);
+/// assert_eq!(inst.to_string(), "tiny (parity, 1 vars, 2 clauses)");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Human-readable name (mirrors the paper's instance names).
+    pub name: String,
+    /// The benchmark family.
+    pub family: Family,
+    /// The formula.
+    pub cnf: Cnf,
+    /// The status known by construction, or `None` when genuinely
+    /// unknown (e.g. random k-SAT near the phase transition).
+    pub expected: Option<SatStatus>,
+}
+
+impl Instance {
+    /// Creates a labelled instance.
+    pub fn new(
+        name: impl Into<String>,
+        family: Family,
+        cnf: Cnf,
+        expected: Option<SatStatus>,
+    ) -> Self {
+        Instance {
+            name: name.into(),
+            family,
+            cnf,
+            expected,
+        }
+    }
+
+    /// Declared variable count of the formula.
+    pub fn num_vars(&self) -> usize {
+        self.cnf.num_vars()
+    }
+
+    /// Clause count of the formula.
+    pub fn num_clauses(&self) -> usize {
+        self.cnf.num_clauses()
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, {} vars, {} clauses)",
+            self.name,
+            self.family,
+            self.num_vars(),
+            self.num_clauses()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_display_is_kebab() {
+        assert_eq!(Family::GraphColoring.to_string(), "graph-coloring");
+        assert_eq!(Family::Bmc.to_string(), "bmc");
+    }
+
+    #[test]
+    fn instance_reports_sizes() {
+        let mut cnf = Cnf::with_vars(5);
+        cnf.add_dimacs_clause(&[1, 2]);
+        let inst = Instance::new("x", Family::Routing, cnf, None);
+        assert_eq!(inst.num_vars(), 5);
+        assert_eq!(inst.num_clauses(), 1);
+        assert_eq!(inst.expected, None);
+    }
+}

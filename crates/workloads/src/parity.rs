@@ -1,0 +1,195 @@
+//! XOR/parity constraints in CNF.
+//!
+//! XOR-heavy formulas "often require long proofs by resolution" — the
+//! paper's explanation for the `longmult12` outlier in Table 2. These
+//! generators give direct control over that behaviour.
+
+use crate::{Family, Instance};
+use rescheck_cnf::{Cnf, Lit, SatStatus, Var};
+
+/// Adds CNF clauses for `a ⊕ b = parity` to `cnf`.
+fn add_xor2(cnf: &mut Cnf, a: Var, b: Var, parity: bool) {
+    let (ap, an) = (a.positive(), a.negative());
+    let (bp, bn) = (b.positive(), b.negative());
+    if parity {
+        // a ≠ b
+        cnf.add_clause([ap, bp]);
+        cnf.add_clause([an, bn]);
+    } else {
+        // a = b
+        cnf.add_clause([ap, bn]);
+        cnf.add_clause([an, bp]);
+    }
+}
+
+/// An odd XOR cycle: `x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, …, xn ⊕ x1 = 1`.
+///
+/// Summing all equations gives `0 = n mod 2`, so the formula is
+/// unsatisfiable exactly for odd `n`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_workloads::parity;
+///
+/// assert!(parity::xor_cycle(5).brute_force_status().is_unsat());
+/// assert!(parity::xor_cycle(6).brute_force_status().is_sat());
+/// ```
+pub fn xor_cycle(n: usize) -> Cnf {
+    assert!(n >= 2, "a cycle needs at least two variables");
+    let mut cnf = Cnf::with_vars(n);
+    for i in 0..n {
+        add_xor2(&mut cnf, Var::new(i), Var::new((i + 1) % n), true);
+    }
+    cnf
+}
+
+/// A chained parity contradiction of adjustable width.
+///
+/// Variables are linked in `width`-sized XOR windows whose parities sum
+/// to an odd total, so the formula is unsatisfiable but each clause only
+/// touches a window — resolution proofs must chain through all of them.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn chained_parity(n: usize) -> Instance {
+    assert!(n >= 3, "need at least three variables");
+    let odd_n = if n % 2 == 1 { n } else { n + 1 };
+    Instance::new(
+        format!("parity_cycle_{odd_n}"),
+        Family::Parity,
+        xor_cycle(odd_n),
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// A wider XOR constraint `x1 ⊕ … ⊕ xk = parity` encoded directly with
+/// `2^(k-1)` clauses, appended to `cnf` over the given variables.
+pub fn add_wide_xor(cnf: &mut Cnf, vars: &[Var], parity: bool) {
+    assert!(!vars.is_empty(), "XOR over no variables");
+    let k = vars.len();
+    for mask in 0u64..(1 << k) {
+        // Forbid assignments with the wrong parity: a clause excluding
+        // assignment `mask` is the disjunction of the complementary
+        // literals.
+        let ones = mask.count_ones() as usize;
+        if ones % 2 != usize::from(parity) {
+            let clause: Vec<Lit> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v.lit(mask >> i & 1 == 0))
+                .collect();
+            cnf.push_clause(clause.into());
+        }
+    }
+}
+
+/// A Tseitin parity formula on the cubic circulant graph with `n`
+/// vertices (ring edges plus diameter chords).
+///
+/// Variables are the graph's edges; every vertex contributes the XOR
+/// equation "parity of incident edges = charge(v)", with a single odd
+/// charge. Each edge appears in exactly two equations, so summing them
+/// all over GF(2) gives `0 = 1` — unsatisfiable — while every clause has
+/// only three literals. These are the classic expander-style hard
+/// formulas for resolution.
+///
+/// # Panics
+///
+/// Panics if `n` is odd or `n < 4`.
+pub fn tseitin_cubic(n: usize) -> Instance {
+    assert!(n >= 4 && n % 2 == 0, "need an even number of vertices ≥ 4");
+    // Edge numbering: ring edge i = (i, i+1 mod n) gets var i;
+    // chord j = (j, j + n/2) gets var n + j for j < n/2.
+    let half = n / 2;
+    let mut cnf = Cnf::with_vars(n + half);
+    let ring = |i: usize| Var::new(i % n);
+    let chord = |v: usize| Var::new(n + (v % half));
+    for v in 0..n {
+        let incident = [ring(v + n - 1), ring(v), chord(v)];
+        add_wide_xor(&mut cnf, &incident, v == 0);
+    }
+    Instance::new(
+        format!("tseitin_cubic_{n}"),
+        Family::Parity,
+        cnf,
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_cycle_parity_rule() {
+        for n in 2..9 {
+            let status = xor_cycle(n).brute_force_status();
+            assert_eq!(status.is_unsat(), n % 2 == 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn chained_parity_always_unsat() {
+        for n in [3, 4, 7, 10] {
+            let inst = chained_parity(n);
+            assert!(inst.cnf.brute_force_status().is_unsat(), "n={n}");
+            assert_eq!(inst.expected, Some(SatStatus::Unsatisfiable));
+        }
+    }
+
+    #[test]
+    fn wide_xor_encodes_parity_exactly() {
+        for k in 1..5usize {
+            for parity in [false, true] {
+                let mut cnf = Cnf::with_vars(k);
+                let vars: Vec<Var> = (0..k).map(Var::new).collect();
+                add_wide_xor(&mut cnf, &vars, parity);
+                // Count satisfying assignments by brute force: exactly
+                // half of 2^k (all with the requested parity).
+                let mut count = 0;
+                for bits in 0u64..(1 << k) {
+                    let model = rescheck_cnf::Assignment::from_bools(
+                        &(0..k).map(|i| bits >> i & 1 == 1).collect::<Vec<_>>(),
+                    );
+                    if cnf.is_satisfied_by(&model) {
+                        assert_eq!(bits.count_ones() as usize % 2, usize::from(parity));
+                        count += 1;
+                    }
+                }
+                assert_eq!(count, 1 << (k - 1), "k={k} parity={parity}");
+            }
+        }
+    }
+
+    #[test]
+    fn tseitin_cubic_is_unsat() {
+        for n in [4, 6, 8, 10] {
+            assert!(
+                tseitin_cubic(n).cnf.brute_force_status().is_unsat(),
+                "tseitin_cubic({n})"
+            );
+        }
+    }
+
+    #[test]
+    fn tseitin_cubic_with_even_charge_is_sat() {
+        // Sanity check of the charge argument: flipping the odd charge to
+        // even makes the system consistent.
+        let n = 6;
+        let half = n / 2;
+        let mut cnf = Cnf::with_vars(n + half);
+        let ring = |i: usize| Var::new(i % n);
+        let chord = |v: usize| Var::new(n + (v % half));
+        for v in 0..n {
+            let incident = [ring(v + n - 1), ring(v), chord(v)];
+            add_wide_xor(&mut cnf, &incident, false);
+        }
+        assert!(cnf.brute_force_status().is_sat());
+    }
+}

@@ -1,0 +1,95 @@
+//! The pigeonhole principle PHP(p, h): p pigeons into h holes.
+//!
+//! The canonical resolution-hard family: PHP(h+1, h) is unsatisfiable but
+//! every resolution refutation is exponential in `h` (Haken 1985), which
+//! makes it an excellent stress test for the checker's resolution DAG
+//! traversal.
+
+use crate::{Family, Instance};
+use rescheck_cnf::{Cnf, Lit, SatStatus, Var};
+
+/// Builds PHP(`pigeons`, `holes`): every pigeon gets a hole, no two
+/// pigeons share one.
+///
+/// Satisfiable iff `pigeons <= holes` (or there are no pigeons).
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_workloads::pigeonhole;
+///
+/// let cnf = pigeonhole::formula(4, 3);
+/// assert_eq!(cnf.num_vars(), 12);
+/// assert!(cnf.brute_force_status().is_unsat());
+/// ```
+pub fn formula(pigeons: usize, holes: usize) -> Cnf {
+    let mut cnf = Cnf::with_vars(pigeons * holes);
+    let lit = |p: usize, h: usize| Lit::positive(Var::new(p * holes + h));
+    for p in 0..pigeons {
+        cnf.add_clause((0..holes).map(|h| lit(p, h)));
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in p1 + 1..pigeons {
+                cnf.add_clause([!lit(p1, h), !lit(p2, h)]);
+            }
+        }
+    }
+    cnf
+}
+
+/// The standard unsatisfiable instance PHP(`holes`+1, `holes`).
+pub fn instance(holes: usize) -> Instance {
+    Instance::new(
+        format!("php_{}_{holes}", holes + 1),
+        Family::Pigeonhole,
+        formula(holes + 1, holes),
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// The satisfiable variant PHP(`holes`, `holes`).
+pub fn satisfiable_instance(holes: usize) -> Instance {
+    Instance::new(
+        format!("php_{holes}_{holes}"),
+        Family::Pigeonhole,
+        formula(holes, holes),
+        Some(SatStatus::Satisfiable),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_the_definition() {
+        let cnf = formula(4, 3);
+        // 4 at-least-one clauses + 3 * C(4,2) at-most-one clauses.
+        assert_eq!(cnf.num_clauses(), 4 + 3 * 6);
+    }
+
+    #[test]
+    fn statuses_by_brute_force() {
+        assert!(formula(3, 3).brute_force_status().is_sat());
+        assert!(formula(4, 3).brute_force_status().is_unsat());
+        assert!(formula(2, 4).brute_force_status().is_sat());
+    }
+
+    #[test]
+    fn instances_are_labelled() {
+        let i = instance(3);
+        assert_eq!(i.name, "php_4_3");
+        assert_eq!(i.expected, Some(SatStatus::Unsatisfiable));
+        let s = satisfiable_instance(3);
+        assert_eq!(s.expected, Some(SatStatus::Satisfiable));
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        // No pigeons: trivially satisfiable (no clauses).
+        assert!(formula(0, 3).brute_force_status().is_sat());
+        // Pigeons but no holes: empty at-least-one clauses → unsat.
+        assert!(formula(1, 0).has_empty_clause());
+    }
+}

@@ -1,0 +1,210 @@
+//! Microprocessor-verification analogue (the paper's `2dlx`, `9vliw` and
+//! `pipe` instances, after Velev & Bryant).
+//!
+//! The real instances compare a pipelined microprocessor against its ISA
+//! specification. The structure that matters to the solver is a deep
+//! *datapath correspondence* obligation: two multi-stage implementations
+//! of the same word-level function, one "specification-shaped", one
+//! "implementation-shaped" with forwarding-style muxes, mitered together.
+//! These generators reproduce that shape at configurable width and depth.
+
+use crate::{Family, Instance};
+use rescheck_circuit::{arith, miter, u64_to_bits, Circuit, NodeId};
+use rescheck_cnf::SatStatus;
+
+/// One stage of the datapath: `out = rot(in ⊞ k, r) ⊕ m`, all word-wide.
+fn stage_spec(
+    c: &mut Circuit,
+    word: &[NodeId],
+    k: u64,
+    rot: usize,
+    m: u64,
+) -> Vec<NodeId> {
+    let width = word.len();
+    let k_bits: Vec<NodeId> = u64_to_bits(k, width)
+        .into_iter()
+        .map(|b| c.constant(b))
+        .collect();
+    let sum: Vec<NodeId> = arith::ripple_carry_add(c, word, &k_bits)
+        .into_iter()
+        .take(width)
+        .collect();
+    let rotated: Vec<NodeId> = (0..width).map(|i| sum[(i + width - rot % width) % width]).collect();
+    u64_to_bits(m, width)
+        .into_iter()
+        .zip(rotated)
+        .map(|(mb, bit)| {
+            let mc = c.constant(mb);
+            c.xor(bit, mc)
+        })
+        .collect()
+}
+
+/// The same stage, implementation-shaped: carry-select adder, a decoded
+/// rotator realized through forwarding-style muxes, and gated XOR masks.
+fn stage_impl(
+    c: &mut Circuit,
+    word: &[NodeId],
+    k: u64,
+    rot: usize,
+    m: u64,
+) -> Vec<NodeId> {
+    let width = word.len();
+    let k_bits: Vec<NodeId> = u64_to_bits(k, width)
+        .into_iter()
+        .map(|b| c.constant(b))
+        .collect();
+    let sum: Vec<NodeId> = arith::carry_select_add(c, word, &k_bits, 2)
+        .into_iter()
+        .take(width)
+        .collect();
+    // Forwarding-style: select between the rotated and unrotated word
+    // with a condition that is constantly true but built from real logic
+    // the solver must reason through (a ⊕ a ⊕ 1 via two paths).
+    let probe = sum[0];
+    let np = c.not(probe);
+    let always = c.or(probe, np);
+    let rotated: Vec<NodeId> = (0..width)
+        .map(|i| {
+            let from = sum[(i + width - rot % width) % width];
+            c.mux(always, from, sum[i])
+        })
+        .collect();
+    u64_to_bits(m, width)
+        .into_iter()
+        .zip(rotated)
+        .map(|(mb, bit)| {
+            let mc = c.constant(mb);
+            c.xor(bit, mc)
+        })
+        .collect()
+}
+
+/// Per-stage constants derived deterministically from the stage index.
+fn stage_params(stage: usize, width: usize) -> (u64, usize, u64) {
+    let k = (0x9e37_79b9_7f4a_7c15u64.rotate_left(stage as u32 * 7)) & ((1 << width) - 1);
+    let rot = (stage * 3 + 1) % width;
+    let m = (0xc2b2_ae3d_27d4_eb4fu64.rotate_left(stage as u32 * 11)) & ((1 << width) - 1);
+    (k, rot, m)
+}
+
+/// Builds the pipelined-datapath equivalence obligation: `depth` stages
+/// over a `width`-bit word, specification vs. implementation shape.
+/// UNSAT ⇔ the pipeline is correct.
+///
+/// # Panics
+///
+/// Panics if `width < 2` or `width > 63`.
+pub fn pipe(width: usize, depth: usize) -> Instance {
+    assert!((2..=63).contains(&width));
+    let mut spec = Circuit::new();
+    let mut word = spec.input_word(width);
+    for s in 0..depth {
+        let (k, rot, m) = stage_params(s, width);
+        word = stage_spec(&mut spec, &word, k, rot, m);
+    }
+    spec.set_outputs(word);
+
+    let mut imp = Circuit::new();
+    let mut word = imp.input_word(width);
+    for s in 0..depth {
+        let (k, rot, m) = stage_params(s, width);
+        word = stage_impl(&mut imp, &word, k, rot, m);
+    }
+    imp.set_outputs(word);
+
+    let cnf = miter::equivalence_cnf(&spec, &imp).expect("same interface");
+    Instance::new(
+        format!("pipe_w{width}_d{depth}"),
+        Family::Pipeline,
+        cnf,
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// A pipeline with a forwarding bug in its last stage (the mux picks the
+/// unrotated word): SAT, exposing the defect.
+pub fn buggy_pipe(width: usize, depth: usize) -> Instance {
+    assert!((2..=63).contains(&width));
+    assert!(depth >= 1);
+    let mut spec = Circuit::new();
+    let mut word = spec.input_word(width);
+    for s in 0..depth {
+        let (k, rot, m) = stage_params(s, width);
+        word = stage_spec(&mut spec, &word, k, rot, m);
+    }
+    spec.set_outputs(word);
+
+    let mut imp = Circuit::new();
+    let mut word = imp.input_word(width);
+    for s in 0..depth - 1 {
+        let (k, rot, m) = stage_params(s, width);
+        word = stage_impl(&mut imp, &word, k, rot, m);
+    }
+    // Final stage with the rotation dropped (rot = 0 instead of the
+    // specified amount — a classic forwarding-path bug).
+    let (k, rot, m) = stage_params(depth - 1, width);
+    debug_assert_ne!(rot % width, 0, "the bug must change behaviour");
+    word = stage_impl(&mut imp, &word, k, 0, m);
+    imp.set_outputs(word);
+
+    let cnf = miter::equivalence_cnf(&spec, &imp).expect("same interface");
+    Instance::new(
+        format!("pipe_buggy_w{width}_d{depth}"),
+        Family::Pipeline,
+        cnf,
+        Some(SatStatus::Satisfiable),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescheck_solver::{Solver, SolverConfig};
+
+    #[test]
+    fn stage_shapes_agree_by_simulation() {
+        let width = 6;
+        for stage in 0..4 {
+            let (k, rot, m) = stage_params(stage, width);
+            let mut a = Circuit::new();
+            let w = a.input_word(width);
+            let out = stage_spec(&mut a, &w, k, rot, m);
+            a.set_outputs(out);
+            let mut b = Circuit::new();
+            let w = b.input_word(width);
+            let out = stage_impl(&mut b, &w, k, rot, m);
+            b.set_outputs(out);
+            for x in [0u64, 1, 5, 17, 63] {
+                let bits = u64_to_bits(x, width);
+                assert_eq!(a.simulate(&bits), b.simulate(&bits), "stage {stage} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipes_are_unsat() {
+        for (w, d) in [(4, 1), (4, 2), (6, 2)] {
+            let inst = pipe(w, d);
+            let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+            assert!(solver.solve().is_unsat(), "pipe({w},{d})");
+        }
+    }
+
+    #[test]
+    fn buggy_pipes_are_sat_with_real_counterexamples() {
+        for (w, d) in [(4, 1), (5, 2)] {
+            let inst = buggy_pipe(w, d);
+            let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+            let result = solver.solve();
+            let model = result.model().expect("bug must be found");
+            assert!(inst.cnf.is_satisfied_by(model));
+        }
+    }
+
+    #[test]
+    fn params_are_deterministic_and_distinct() {
+        assert_eq!(stage_params(2, 8), stage_params(2, 8));
+        assert_ne!(stage_params(1, 8), stage_params(2, 8));
+    }
+}

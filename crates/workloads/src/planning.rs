@@ -1,0 +1,370 @@
+//! SAT-based planning (the paper's `bw_large.d`, after SATPLAN).
+//!
+//! A navigation planning problem: an agent moves along the edges of a
+//! graph, one step per time point, and must reach a goal location within
+//! a horizon. The encoding is the standard layered one — `at(v, t)`
+//! variables, exactly-one-location axioms, move axioms. Making the goal
+//! unreachable (it sits in a disconnected component) yields UNSAT
+//! instances whose core explains *why no plan exists*, the application
+//! the paper highlights in §4.
+
+use crate::{Family, Instance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rescheck_cnf::{Cnf, SatStatus, Var};
+
+/// A planning world: locations and undirected move edges.
+#[derive(Clone, Debug, Default)]
+pub struct World {
+    num_locations: usize,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl World {
+    /// Creates a world with `n` isolated locations.
+    pub fn new(n: usize) -> Self {
+        World {
+            num_locations: n,
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of locations.
+    pub fn num_locations(&self) -> usize {
+        self.num_locations
+    }
+
+    /// Adds a bidirectional move edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or self-loop edges.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a != b && a < self.num_locations && b < self.num_locations);
+        if !self.adjacency[a].contains(&b) {
+            self.adjacency[a].push(b);
+            self.adjacency[b].push(a);
+        }
+    }
+
+    /// Locations reachable in one move from `v` (not including waiting).
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjacency[v]
+    }
+
+    /// Breadth-first reachability from `start`.
+    pub fn reachable(&self, start: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.num_locations];
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(v) = queue.pop_front() {
+            for &u in self.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Encodes "starting at `start`, reach `goal` within `horizon` moves"
+/// (waiting in place is allowed).
+///
+/// Variables: `at(v, t)` for `t in 0..=horizon`. Clauses: initial state,
+/// exactly-one location per time, frame/move axioms (`at(v,t) →
+/// at(v,t+1) ∨ ⋁ at(u,t+1)` over neighbours `u`), goal at the horizon.
+pub fn plan_cnf(world: &World, start: usize, goal: usize, horizon: usize) -> Cnf {
+    let n = world.num_locations();
+    assert!(start < n && goal < n);
+    let mut cnf = Cnf::with_vars(n * (horizon + 1));
+    let at = |v: usize, t: usize| Var::new(t * n + v);
+
+    cnf.add_clause([at(start, 0).positive()]);
+    for t in 0..=horizon {
+        cnf.add_clause((0..n).map(|v| at(v, t).positive()));
+        for v1 in 0..n {
+            for v2 in v1 + 1..n {
+                cnf.add_clause([at(v1, t).negative(), at(v2, t).negative()]);
+            }
+        }
+    }
+    for t in 0..horizon {
+        for v in 0..n {
+            let mut clause = vec![at(v, t).negative(), at(v, t + 1).positive()];
+            clause.extend(world.neighbors(v).iter().map(|&u| at(u, t + 1).positive()));
+            cnf.push_clause(clause.into());
+        }
+    }
+    cnf.add_clause([at(goal, horizon).positive()]);
+    cnf
+}
+
+/// A two-component world: a connected "warehouse" of `reachable_size`
+/// locations containing the start, and a separate component holding the
+/// goal. Any horizon gives an UNSAT instance; the core explains the
+/// disconnection.
+pub fn unreachable_goal(reachable_size: usize, island_size: usize, horizon: usize, seed: u64) -> Instance {
+    assert!(reachable_size >= 2 && island_size >= 1);
+    let n = reachable_size + island_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut world = World::new(n);
+    // Connected component A: a random spanning tree plus extra edges.
+    for v in 1..reachable_size {
+        let u = rng.gen_range(0..v);
+        world.add_edge(u, v);
+    }
+    for _ in 0..reachable_size / 2 {
+        let a = rng.gen_range(0..reachable_size);
+        let b = rng.gen_range(0..reachable_size);
+        if a != b {
+            world.add_edge(a, b);
+        }
+    }
+    // Component B (the island): a path among the island locations.
+    for v in reachable_size + 1..n {
+        world.add_edge(v - 1, v);
+    }
+    let goal = n - 1;
+    debug_assert!(!world.reachable(0)[goal]);
+    Instance::new(
+        format!("plan_unreach_{n}l_h{horizon}_s{seed}"),
+        Family::Planning,
+        plan_cnf(&world, 0, goal, horizon),
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// A connected world where the goal is reachable but the horizon is one
+/// step too short: UNSAT, with the core revealing the distance argument.
+pub fn too_short_horizon(path_length: usize) -> Instance {
+    assert!(path_length >= 2);
+    let mut world = World::new(path_length + 1);
+    for v in 0..path_length {
+        world.add_edge(v, v + 1);
+    }
+    Instance::new(
+        format!("plan_short_{path_length}"),
+        Family::Planning,
+        plan_cnf(&world, 0, path_length, path_length - 1),
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// Multi-agent encoding: `agents` agents move simultaneously on `world`
+/// (waiting allowed), never share a location, and never swap across an
+/// edge in a single step. Each agent must reach its goal at the horizon.
+///
+/// Variables are `at(a, v, t)`; the axioms are per-agent exactly-one and
+/// move clauses plus pairwise collision and swap constraints.
+pub fn multi_agent_cnf(
+    world: &World,
+    starts: &[usize],
+    goals: &[usize],
+    horizon: usize,
+) -> Cnf {
+    assert_eq!(starts.len(), goals.len());
+    let n = world.num_locations();
+    let agents = starts.len();
+    let mut cnf = Cnf::with_vars(agents * n * (horizon + 1));
+    let at = |a: usize, v: usize, t: usize| Var::new((t * agents + a) * n + v);
+
+    for (a, (&s, &g)) in starts.iter().zip(goals).enumerate() {
+        cnf.add_clause([at(a, s, 0).positive()]);
+        cnf.add_clause([at(a, g, horizon).positive()]);
+        for t in 0..=horizon {
+            cnf.add_clause((0..n).map(|v| at(a, v, t).positive()));
+            for v1 in 0..n {
+                for v2 in v1 + 1..n {
+                    cnf.add_clause([at(a, v1, t).negative(), at(a, v2, t).negative()]);
+                }
+            }
+        }
+        for t in 0..horizon {
+            for v in 0..n {
+                let mut clause = vec![at(a, v, t).negative(), at(a, v, t + 1).positive()];
+                clause.extend(
+                    world
+                        .neighbors(v)
+                        .iter()
+                        .map(|&u| at(a, u, t + 1).positive()),
+                );
+                cnf.push_clause(clause.into());
+            }
+        }
+    }
+    // Collisions and swaps.
+    for a1 in 0..agents {
+        for a2 in a1 + 1..agents {
+            for t in 0..=horizon {
+                for v in 0..n {
+                    cnf.add_clause([at(a1, v, t).negative(), at(a2, v, t).negative()]);
+                }
+            }
+            for t in 0..horizon {
+                for v in 0..n {
+                    for &u in world.neighbors(v) {
+                        if u > v {
+                            // a1: v→u while a2: u→v is forbidden (and the
+                            // symmetric case).
+                            cnf.add_clause([
+                                at(a1, v, t).negative(),
+                                at(a1, u, t + 1).negative(),
+                                at(a2, u, t).negative(),
+                                at(a2, v, t + 1).negative(),
+                            ]);
+                            cnf.add_clause([
+                                at(a2, v, t).negative(),
+                                at(a2, u, t + 1).negative(),
+                                at(a1, u, t).negative(),
+                                at(a1, v, t + 1).negative(),
+                            ]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cnf
+}
+
+/// Two agents at the ends of a path graph must exchange positions: with
+/// no way to pass each other this is impossible at **any** horizon, but
+/// proving it needs the global ordering invariant, not just unit
+/// propagation — the `bw_large.d`-style instance of the suite.
+pub fn agent_swap(path_length: usize, horizon: usize) -> Instance {
+    assert!(path_length >= 2);
+    let mut world = World::new(path_length);
+    for v in 0..path_length - 1 {
+        world.add_edge(v, v + 1);
+    }
+    let starts = [0, path_length - 1];
+    let goals = [path_length - 1, 0];
+    Instance::new(
+        format!("plan_swap_{path_length}_h{horizon}"),
+        Family::Planning,
+        multi_agent_cnf(&world, &starts, &goals, horizon),
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// The satisfiable multi-agent twin: the path has a passing bay (one
+/// extra location attached to the middle), so the swap succeeds given
+/// enough steps.
+pub fn agent_swap_with_bay(path_length: usize, horizon: usize) -> Instance {
+    assert!(path_length >= 3);
+    let mut world = World::new(path_length + 1);
+    for v in 0..path_length - 1 {
+        world.add_edge(v, v + 1);
+    }
+    let bay = path_length;
+    world.add_edge(path_length / 2, bay);
+    let starts = [0, path_length - 1];
+    let goals = [path_length - 1, 0];
+    let expected = if horizon >= path_length + 3 {
+        Some(SatStatus::Satisfiable)
+    } else {
+        None
+    };
+    Instance::new(
+        format!("plan_swap_bay_{path_length}_h{horizon}"),
+        Family::Planning,
+        multi_agent_cnf(&world, &starts, &goals, horizon),
+        expected,
+    )
+}
+
+/// The satisfiable twin of [`too_short_horizon`]: exactly enough steps.
+pub fn exact_horizon(path_length: usize) -> Instance {
+    assert!(path_length >= 1);
+    let mut world = World::new(path_length + 1);
+    for v in 0..path_length {
+        world.add_edge(v, v + 1);
+    }
+    Instance::new(
+        format!("plan_exact_{path_length}"),
+        Family::Planning,
+        plan_cnf(&world, 0, path_length, path_length),
+        Some(SatStatus::Satisfiable),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescheck_solver::{Solver, SolverConfig};
+
+    #[test]
+    fn reachability_bfs() {
+        let mut w = World::new(4);
+        w.add_edge(0, 1);
+        w.add_edge(2, 3);
+        let r = w.reachable(0);
+        assert_eq!(r, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn path_planning_brute_force() {
+        let mut w = World::new(3);
+        w.add_edge(0, 1);
+        w.add_edge(1, 2);
+        assert!(plan_cnf(&w, 0, 2, 2).brute_force_status().is_sat());
+        assert!(plan_cnf(&w, 0, 2, 1).brute_force_status().is_unsat());
+        // Waiting is allowed: a longer horizon still works.
+        assert!(plan_cnf(&w, 0, 2, 4).brute_force_status().is_sat());
+    }
+
+    #[test]
+    fn unreachable_goal_is_unsat() {
+        let inst = unreachable_goal(6, 3, 5, 3);
+        let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+        assert!(solver.solve().is_unsat());
+    }
+
+    #[test]
+    fn horizon_twins() {
+        let short = too_short_horizon(4);
+        let mut solver = Solver::from_cnf(&short.cnf, SolverConfig::default());
+        assert!(solver.solve().is_unsat());
+
+        let exact = exact_horizon(4);
+        let mut solver = Solver::from_cnf(&exact.cnf, SolverConfig::default());
+        let result = solver.solve();
+        assert!(exact.cnf.is_satisfied_by(result.model().unwrap()));
+    }
+
+    #[test]
+    fn agent_swap_is_unsat_by_brute_force_when_tiny() {
+        // 3 locations, horizon 2: 2*3*3 = 18 vars, still brute-forceable.
+        let inst = agent_swap(3, 2);
+        assert!(inst.cnf.brute_force_status().is_unsat());
+    }
+
+    #[test]
+    fn agent_swap_is_unsat_for_the_solver() {
+        let inst = agent_swap(4, 6);
+        let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+        assert!(solver.solve().is_unsat());
+        // Unlike the single-agent instances, this one needs real search.
+        assert!(solver.stats().learned_clauses > 0);
+    }
+
+    #[test]
+    fn passing_bay_makes_the_swap_possible() {
+        let inst = agent_swap_with_bay(4, 8);
+        assert_eq!(inst.expected, Some(SatStatus::Satisfiable));
+        let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+        let result = solver.solve();
+        assert!(inst.cnf.is_satisfied_by(result.model().unwrap()));
+    }
+
+    #[test]
+    fn worlds_dedupe_edges() {
+        let mut w = World::new(2);
+        w.add_edge(0, 1);
+        w.add_edge(1, 0);
+        assert_eq!(w.neighbors(0), &[1]);
+        assert_eq!(w.neighbors(1), &[0]);
+    }
+}

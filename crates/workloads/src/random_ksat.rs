@@ -1,0 +1,110 @@
+//! Uniform random k-SAT.
+
+use crate::{Family, Instance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rescheck_cnf::{Cnf, Lit, Var};
+
+/// Generates a uniform random k-SAT formula.
+///
+/// Each clause draws `k` distinct variables and random polarities. At
+/// clause/variable ratio ≈ 4.26 (for k = 3) instances sit at the phase
+/// transition; above it they are almost surely unsatisfiable — useful
+/// for exercising the solver, though the expected status is recorded as
+/// unknown.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds `num_vars`.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_workloads::random_ksat;
+///
+/// let inst = random_ksat::instance(20, 90, 3, 7);
+/// assert_eq!(inst.num_vars(), 20);
+/// assert_eq!(inst.num_clauses(), 90);
+/// assert!(inst.expected.is_none());
+/// ```
+pub fn formula(num_vars: usize, num_clauses: usize, k: usize, seed: u64) -> Cnf {
+    assert!(k >= 1 && k <= num_vars, "clause width must fit the variables");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cnf = Cnf::with_vars(num_vars);
+    let mut vars: Vec<usize> = Vec::with_capacity(k);
+    for _ in 0..num_clauses {
+        vars.clear();
+        while vars.len() < k {
+            let v = rng.gen_range(0..num_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        let lits: Vec<Lit> = vars
+            .iter()
+            .map(|&v| Var::new(v).lit(rng.gen_bool(0.5)))
+            .collect();
+        cnf.push_clause(lits.into());
+    }
+    cnf
+}
+
+/// A labelled random k-SAT instance (expected status unknown).
+pub fn instance(num_vars: usize, num_clauses: usize, k: usize, seed: u64) -> Instance {
+    Instance::new(
+        format!("random_{k}sat_{num_vars}v_{num_clauses}c_s{seed}"),
+        Family::RandomKSat,
+        formula(num_vars, num_clauses, k, seed),
+        None,
+    )
+}
+
+/// A random 3-SAT instance at ratio 5.0 — virtually always unsatisfiable
+/// and still labelled unknown (the solver establishes the truth).
+pub fn over_constrained(num_vars: usize, seed: u64) -> Instance {
+    instance(num_vars, num_vars * 5, 3, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_as_requested() {
+        let cnf = formula(10, 42, 3, 1);
+        assert_eq!(cnf.num_vars(), 10);
+        assert_eq!(cnf.num_clauses(), 42);
+        for clause in cnf.clauses() {
+            assert_eq!(clause.len(), 3);
+            // Distinct variables.
+            let mut vars: Vec<_> = clause.iter().map(|l| l.var()).collect();
+            vars.sort();
+            vars.dedup();
+            assert_eq!(vars.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(formula(12, 50, 3, 9), formula(12, 50, 3, 9));
+        assert_ne!(formula(12, 50, 3, 9), formula(12, 50, 3, 10));
+    }
+
+    #[test]
+    fn over_constrained_instances_are_usually_unsat() {
+        let mut unsat = 0;
+        for seed in 0..10 {
+            let inst = over_constrained(12, seed);
+            if inst.cnf.brute_force_status().is_unsat() {
+                unsat += 1;
+            }
+        }
+        assert!(unsat >= 8, "ratio-5 instances should mostly be UNSAT");
+    }
+
+    #[test]
+    #[should_panic(expected = "clause width")]
+    fn oversized_k_panics() {
+        formula(2, 1, 3, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! FPGA channel-routing feasibility (the paper's `too_largefs3w8v262`,
+//! after Nam, Sakallah & Rutenbar).
+//!
+//! A routing channel has `tracks` horizontal tracks; each net occupies a
+//! column interval and must be assigned to exactly one track; nets with
+//! overlapping intervals cannot share a track. If some column is crossed
+//! by more nets than there are tracks, the channel is unroutable — and
+//! the unsat core identifies the congested column, which is exactly the
+//! designer-facing application the paper describes in §4.
+
+use crate::{Family, Instance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rescheck_cnf::{Cnf, SatStatus, Var};
+
+/// A net: a half-open column interval `[left, right)` it must cross.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Net {
+    /// Leftmost column (inclusive).
+    pub left: u32,
+    /// Rightmost column (exclusive).
+    pub right: u32,
+}
+
+impl Net {
+    /// Creates a net spanning `[left, right)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `left < right`.
+    pub fn new(left: u32, right: u32) -> Self {
+        assert!(left < right, "a net spans at least one column");
+        Net { left, right }
+    }
+
+    /// Whether two nets cross a common column.
+    pub fn overlaps(&self, other: &Net) -> bool {
+        self.left < other.right && other.left < self.right
+    }
+}
+
+/// Encodes channel routing: variable `x[n][t]` means net `n` uses track
+/// `t`; every net gets exactly one track; overlapping nets get distinct
+/// tracks.
+pub fn routing_cnf(nets: &[Net], tracks: usize) -> Cnf {
+    let mut cnf = Cnf::with_vars(nets.len() * tracks);
+    let var = |n: usize, t: usize| Var::new(n * tracks + t);
+    for n in 0..nets.len() {
+        cnf.add_clause((0..tracks).map(|t| var(n, t).positive()));
+        for t1 in 0..tracks {
+            for t2 in t1 + 1..tracks {
+                cnf.add_clause([var(n, t1).negative(), var(n, t2).negative()]);
+            }
+        }
+    }
+    for i in 0..nets.len() {
+        for j in i + 1..nets.len() {
+            if nets[i].overlaps(&nets[j]) {
+                for t in 0..tracks {
+                    cnf.add_clause([var(i, t).negative(), var(j, t).negative()]);
+                }
+            }
+        }
+    }
+    cnf
+}
+
+/// An unroutable channel: a congested column crossed by `tracks + 1`
+/// nets, surrounded by `easy_nets` independent nets elsewhere in the
+/// channel. The formula is large but its unsat core is just the
+/// congestion — the paper's Table 3 observation that routing instances
+/// have small cores.
+pub fn congested_channel(tracks: usize, easy_nets: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nets: Vec<Net> = Vec::new();
+    // The congestion: tracks+1 nets all crossing column 0..4.
+    for i in 0..=tracks {
+        nets.push(Net::new(0, 4 + (i as u32 % 3)));
+    }
+    // Easy nets: short intervals spread far to the right; they overlap
+    // each other only occasionally and never the congested column.
+    for _ in 0..easy_nets {
+        let left = rng.gen_range(10..500u32);
+        let len = rng.gen_range(1..4u32);
+        nets.push(Net::new(left, left + len));
+    }
+    Instance::new(
+        format!("route_{tracks}t_{}n_s{seed}", nets.len()),
+        Family::Routing,
+        routing_cnf(&nets, tracks),
+        Some(SatStatus::Unsatisfiable),
+    )
+}
+
+/// A routable channel (congestion exactly equals capacity): SAT.
+pub fn routable_channel(tracks: usize, easy_nets: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nets: Vec<Net> = Vec::new();
+    for i in 0..tracks {
+        nets.push(Net::new(0, 4 + (i as u32 % 3)));
+    }
+    for _ in 0..easy_nets {
+        let left = rng.gen_range(10..500u32);
+        let len = rng.gen_range(1..4u32);
+        nets.push(Net::new(left, left + len));
+    }
+    Instance::new(
+        format!("route_ok_{tracks}t_{}n_s{seed}", nets.len()),
+        Family::Routing,
+        routing_cnf(&nets, tracks),
+        Some(SatStatus::Satisfiable),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescheck_solver::{Solver, SolverConfig};
+
+    #[test]
+    fn overlap_predicate() {
+        let a = Net::new(0, 4);
+        assert!(a.overlaps(&Net::new(3, 5)));
+        assert!(a.overlaps(&Net::new(0, 1)));
+        assert!(!a.overlaps(&Net::new(4, 6)));
+        assert!(!Net::new(4, 6).overlaps(&a));
+    }
+
+    #[test]
+    fn three_overlapping_nets_two_tracks_is_unsat() {
+        let nets = vec![Net::new(0, 3), Net::new(1, 4), Net::new(2, 5)];
+        assert!(routing_cnf(&nets, 2).brute_force_status().is_unsat());
+        assert!(routing_cnf(&nets, 3).brute_force_status().is_sat());
+    }
+
+    #[test]
+    fn disjoint_nets_share_a_track() {
+        let nets = vec![Net::new(0, 2), Net::new(2, 4), Net::new(4, 6)];
+        assert!(routing_cnf(&nets, 1).brute_force_status().is_sat());
+    }
+
+    #[test]
+    fn congested_channel_is_unsat_and_routable_is_sat() {
+        let bad = congested_channel(3, 15, 11);
+        let mut solver = Solver::from_cnf(&bad.cnf, SolverConfig::default());
+        assert!(solver.solve().is_unsat());
+
+        let ok = routable_channel(3, 15, 11);
+        let mut solver = Solver::from_cnf(&ok.cnf, SolverConfig::default());
+        let result = solver.solve();
+        assert!(ok.cnf.is_satisfied_by(result.model().unwrap()));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            congested_channel(3, 10, 5).cnf,
+            congested_channel(3, 10, 5).cnf
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_net_panics() {
+        Net::new(3, 3);
+    }
+}

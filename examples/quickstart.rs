@@ -1,0 +1,52 @@
+//! Quickstart: solve an unsatisfiable formula, record the resolve trace,
+//! and validate the UNSAT claim with both independent checkers.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rescheck::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The pigeonhole principle: 5 pigeons do not fit into 4 holes.
+    // A classic formula that is unsatisfiable for non-obvious reasons.
+    let instance = rescheck::workloads::pigeonhole::instance(4);
+    let cnf = &instance.cnf;
+    println!("instance: {instance}");
+
+    // Solve while streaming the resolve trace into memory.
+    let mut solver = Solver::from_cnf(cnf, SolverConfig::default());
+    let mut trace = MemorySink::new();
+    let result = solver.solve_traced(&mut trace)?;
+    println!("solver says: {result}");
+    println!("solver stats: {}", solver.stats());
+
+    match result {
+        SolveResult::Satisfiable(model) => {
+            // The easy direction: check the model in linear time.
+            check_sat_claim(cnf, &model)?;
+            println!("model verified");
+        }
+        SolveResult::Unsatisfiable => {
+            // The interesting direction: independently re-derive the
+            // empty clause by resolution, two ways.
+            for strategy in [Strategy::DepthFirst, Strategy::BreadthFirst] {
+                let outcome = check_unsat_claim(cnf, &trace, strategy, &CheckConfig::default())?;
+                println!("{}", outcome.stats);
+                if let Some(core) = outcome.core {
+                    println!(
+                        "  unsat core: {} of {} original clauses over {} variables",
+                        core.num_clauses(),
+                        cnf.num_clauses(),
+                        core.num_vars()
+                    );
+                }
+            }
+            println!("UNSAT claim validated ✓");
+        }
+        SolveResult::Unknown => unreachable!("no conflict budget configured"),
+    }
+    Ok(())
+}

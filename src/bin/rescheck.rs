@@ -1,0 +1,310 @@
+//! `rescheck` — command-line front end for solving, checking and core
+//! extraction on DIMACS CNF files.
+//!
+//! ```text
+//! rescheck solve <file.cnf> [--trace <out>] [--binary] [--no-learning]
+//!                [--no-deletion] [--no-restarts]
+//! rescheck check <file.cnf> <trace> [--strategy df|bf] [--mem-limit <bytes>]
+//! rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
+//! rescheck gen   <family> [args…]        # writes DIMACS to stdout
+//! ```
+
+use rescheck::prelude::*;
+use rescheck::workloads;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("core") => cmd_core(&args[1..]),
+        Some("trim") => cmd_trim(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}").into()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            // A closed stdout (e.g. piping into `head`) is not an error.
+            if let Some(io) = e.downcast_ref::<std::io::Error>() {
+                if io.kind() == std::io::ErrorKind::BrokenPipe {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+rescheck — validate SAT solver results with a resolution-based checker
+
+USAGE:
+  rescheck solve <file.cnf> [--trace <out>] [--binary]
+                 [--no-learning] [--no-deletion] [--no-restarts]
+  rescheck check <file.cnf> <trace> [--strategy df|bf|hybrid] [--mem-limit <bytes>]
+  rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
+  rescheck trim  <file.cnf> <trace> --out <trimmed> [--binary]
+  rescheck stats <file.cnf> <trace>
+  rescheck gen   <family> [args…]      (families: pigeonhole <holes>,
+                 parity <n>, adder <width>, longmult <width>,
+                 barrel <positions> <bound>, routing <tracks> <easy> <seed>,
+                 planning <path> <horizon>, pipe <width> <depth>,
+                 atpg <width> <redundancy>, random <vars> <clauses> <seed>)
+
+Exit codes: solve → 10 SAT / 20 UNSAT (competition convention);
+check/core → 0 on success, 1 on an invalid proof, 2 on usage errors.
+";
+
+type CliResult = Result<ExitCode, Box<dyn std::error::Error>>;
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        args.remove(pos);
+        Ok(Some(args.remove(pos)))
+    } else {
+        Ok(None)
+    }
+}
+
+fn cmd_solve(rest: &[String]) -> CliResult {
+    let mut args = rest.to_vec();
+    let trace_path = take_opt(&mut args, "--trace")?;
+    let binary = take_flag(&mut args, "--binary");
+    let mut cfg = SolverConfig::default();
+    if take_flag(&mut args, "--no-learning") {
+        cfg.learning = false;
+    }
+    if take_flag(&mut args, "--no-deletion") {
+        cfg.clause_deletion = false;
+    }
+    if take_flag(&mut args, "--no-restarts") {
+        cfg.restarts = false;
+    }
+    let [path] = args.as_slice() else {
+        return Err("solve needs exactly one CNF file".into());
+    };
+    let cnf = dimacs::read_file(path)?;
+    let mut solver = Solver::from_cnf(&cnf, cfg);
+
+    let result = match &trace_path {
+        Some(out) => {
+            let file = std::io::BufWriter::new(std::fs::File::create(out)?);
+            if binary {
+                let mut sink = BinaryWriter::new(file)?;
+                solver.solve_traced(&mut sink)?
+            } else {
+                let mut sink = AsciiWriter::new(file);
+                solver.solve_traced(&mut sink)?
+            }
+        }
+        None => solver.solve(),
+    };
+    eprintln!("c {}", solver.stats());
+    match result {
+        SolveResult::Satisfiable(model) => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for (var, value) in model.iter() {
+                if let Some(b) = value.to_bool() {
+                    let d = var.to_dimacs() as i64;
+                    line.push_str(&format!(" {}", if b { d } else { -d }));
+                }
+            }
+            println!("{line} 0");
+            Ok(ExitCode::from(10))
+        }
+        SolveResult::Unsatisfiable => {
+            println!("s UNSATISFIABLE");
+            if let Some(out) = trace_path {
+                eprintln!("c resolve trace written to {out}");
+            }
+            Ok(ExitCode::from(20))
+        }
+        SolveResult::Unknown => {
+            println!("s UNKNOWN");
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+fn cmd_check(rest: &[String]) -> CliResult {
+    let mut args = rest.to_vec();
+    let strategy = match take_opt(&mut args, "--strategy")?.as_deref() {
+        None | Some("df") => Strategy::DepthFirst,
+        Some("bf") => Strategy::BreadthFirst,
+        Some("hybrid") => Strategy::Hybrid,
+        Some(other) => return Err(format!("unknown strategy {other:?} (df|bf|hybrid)").into()),
+    };
+    let memory_limit = take_opt(&mut args, "--mem-limit")?
+        .map(|s| s.parse::<u64>())
+        .transpose()?;
+    let [cnf_path, trace_path] = args.as_slice() else {
+        return Err("check needs a CNF file and a trace file".into());
+    };
+    let cnf = dimacs::read_file(cnf_path)?;
+    let trace = FileTrace::open(trace_path)?;
+    let config = CheckConfig { memory_limit };
+    match check_unsat_claim(&cnf, &trace, strategy, &config) {
+        Ok(outcome) => {
+            println!("VALID UNSAT proof");
+            println!("{}", outcome.stats);
+            if let Some(core) = outcome.core {
+                println!(
+                    "unsat core: {} of {} clauses, {} variables",
+                    core.num_clauses(),
+                    cnf.num_clauses(),
+                    core.num_vars()
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            println!("INVALID proof: {e}");
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn cmd_core(rest: &[String]) -> CliResult {
+    let mut args = rest.to_vec();
+    let iterations: usize = take_opt(&mut args, "--iterations")?
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(30);
+    let out = take_opt(&mut args, "--out")?;
+    let [path] = args.as_slice() else {
+        return Err("core needs exactly one CNF file".into());
+    };
+    let cnf = dimacs::read_file(path)?;
+    let result = minimize_core(&cnf, &SolverConfig::default(), iterations)?;
+    for (i, it) in result.iterations.iter().enumerate() {
+        println!(
+            "iteration {:>2}: {} clauses, {} variables",
+            i + 1,
+            it.num_clauses,
+            it.num_vars
+        );
+    }
+    let core = result.final_core(&cnf);
+    println!(
+        "final core: {} of {} clauses (fixed point: {})",
+        core.num_clauses(),
+        cnf.num_clauses(),
+        result.reached_fixed_point
+    );
+    if let Some(out) = out {
+        dimacs::write_file(&out, &core.to_subformula(&cnf))?;
+        println!("core written to {out}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_trim(rest: &[String]) -> CliResult {
+    use rescheck::checker::trim_trace;
+    use rescheck::trace::TraceSink as _;
+    let mut args = rest.to_vec();
+    let out = take_opt(&mut args, "--out")?.ok_or("trim needs --out <file>")?;
+    let binary = take_flag(&mut args, "--binary");
+    let [cnf_path, trace_path] = args.as_slice() else {
+        return Err("trim needs a CNF file and a trace file".into());
+    };
+    let cnf = dimacs::read_file(cnf_path)?;
+    let trace = FileTrace::open(trace_path)?;
+    let trimmed = trim_trace(&cnf, &trace)?;
+    let file = std::io::BufWriter::new(std::fs::File::create(&out)?);
+    if binary {
+        let mut sink = rescheck::trace::BinaryWriter::new(file)?;
+        for e in &trimmed.events {
+            sink.event(e)?;
+        }
+        sink.flush()?;
+    } else {
+        let mut sink = rescheck::trace::AsciiWriter::new(file);
+        for e in &trimmed.events {
+            sink.event(e)?;
+        }
+        sink.flush()?;
+    }
+    println!(
+        "kept {} of {} learned clauses ({:.1}%); core: {} of {} original clauses",
+        trimmed.kept_learned,
+        trimmed.kept_learned + trimmed.dropped_learned,
+        trimmed.kept_percent(),
+        trimmed.core.num_clauses(),
+        cnf.num_clauses()
+    );
+    println!("trimmed trace written to {out}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_stats(rest: &[String]) -> CliResult {
+    use rescheck::checker::proof_stats;
+    let [cnf_path, trace_path] = rest else {
+        return Err("stats needs a CNF file and a trace file".into());
+    };
+    let cnf = dimacs::read_file(cnf_path)?;
+    let trace = FileTrace::open(trace_path)?;
+    let stats = proof_stats(&cnf, &trace)?;
+    println!("{stats}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_gen(rest: &[String]) -> CliResult {
+    let usize_arg = |i: usize| -> Result<usize, Box<dyn std::error::Error>> {
+        Ok(rest
+            .get(i)
+            .ok_or_else(|| format!("missing argument {i} for gen"))?
+            .parse()?)
+    };
+    let instance = match rest.first().map(String::as_str) {
+        Some("pigeonhole") => workloads::pigeonhole::instance(usize_arg(1)?),
+        Some("parity") => workloads::parity::chained_parity(usize_arg(1)?),
+        Some("adder") => workloads::equiv::adder_miter(usize_arg(1)?),
+        Some("longmult") => workloads::bmc::longmult(usize_arg(1)?),
+        Some("barrel") => workloads::bmc::barrel(usize_arg(1)?, usize_arg(2)?),
+        Some("routing") => workloads::routing::congested_channel(
+            usize_arg(1)?,
+            usize_arg(2)?,
+            usize_arg(3)? as u64,
+        ),
+        Some("planning") => workloads::planning::agent_swap(usize_arg(1)?, usize_arg(2)?),
+        Some("pipe") => workloads::pipeline::pipe(usize_arg(1)?, usize_arg(2)?),
+        Some("atpg") => workloads::atpg::redundant_fault(usize_arg(1)?, usize_arg(2)?),
+        Some("random") => workloads::random_ksat::instance(
+            usize_arg(1)?,
+            usize_arg(2)?,
+            3,
+            usize_arg(3)? as u64,
+        ),
+        other => return Err(format!("unknown family {other:?}\n{USAGE}").into()),
+    };
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    writeln!(lock, "c {instance}")?;
+    if let Some(expected) = instance.expected {
+        writeln!(lock, "c expected: {expected}")?;
+    }
+    dimacs::write(&mut lock, &instance.cnf)?;
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,247 @@
+//! End-to-end tests of the `rescheck` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rescheck"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rescheck-cli-test").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_solve_check_roundtrip() {
+    let dir = tmp_dir("roundtrip");
+    let cnf_path = dir.join("php.cnf");
+    let trace_path = dir.join("php.rt");
+
+    // gen
+    let out = bin().args(["gen", "pigeonhole", "4"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("p cnf 20 45"));
+    std::fs::write(&cnf_path, text).unwrap();
+
+    // solve (exit 20 = UNSAT, competition convention)
+    let out = bin()
+        .args(["solve"])
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(20));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s UNSATISFIABLE"));
+    assert!(trace_path.exists());
+
+    // check, both strategies
+    for strategy in ["df", "bf"] {
+        let out = bin()
+            .args(["check"])
+            .arg(&cnf_path)
+            .arg(&trace_path)
+            .args(["--strategy", strategy])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "{strategy}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("VALID UNSAT proof"));
+    }
+}
+
+#[test]
+fn binary_traces_are_smaller_and_check() {
+    let dir = tmp_dir("binary");
+    let cnf_path = dir.join("p.cnf");
+    let ascii = dir.join("p.rt");
+    let binary = dir.join("p.rtb");
+
+    let out = bin().args(["gen", "parity", "11"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+
+    let st = bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&ascii)
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(20));
+    let st = bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&binary)
+        .arg("--binary")
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(20));
+
+    let a = std::fs::metadata(&ascii).unwrap().len();
+    let b = std::fs::metadata(&binary).unwrap().len();
+    assert!(b < a, "binary {b} < ascii {a}");
+
+    let out = bin().arg("check").arg(&cnf_path).arg(&binary).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn sat_instances_print_a_model() {
+    let dir = tmp_dir("sat");
+    let cnf_path = dir.join("sat.cnf");
+    std::fs::write(&cnf_path, "p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+    let out = bin().arg("solve").arg(&cnf_path).output().unwrap();
+    assert_eq!(out.status.code(), Some(10));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("s SATISFIABLE"));
+    assert!(text.contains("v -1 2 0"));
+}
+
+#[test]
+fn corrupted_trace_is_reported_invalid() {
+    let dir = tmp_dir("invalid");
+    let cnf_path = dir.join("u.cnf");
+    let trace_path = dir.join("u.rt");
+    std::fs::write(&cnf_path, "p cnf 1 2\n1 0\n-1 0\n").unwrap();
+    bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    // Point the final conflict at a satisfied clause.
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    std::fs::write(&trace_path, trace.replace("f 1", "f 0")).unwrap();
+    let out = bin().arg("check").arg(&cnf_path).arg(&trace_path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("INVALID proof"));
+}
+
+#[test]
+fn core_command_writes_a_core() {
+    let dir = tmp_dir("core");
+    let cnf_path = dir.join("r.cnf");
+    let core_path = dir.join("core.cnf");
+    let out = bin().args(["gen", "routing", "3", "10", "1"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+    let out = bin()
+        .arg("core")
+        .arg(&cnf_path)
+        .args(["--iterations", "10", "--out"])
+        .arg(&core_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(core_path.exists());
+    // The extracted core is smaller than the input and still UNSAT.
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("final core:"), "{text}");
+    let st = bin().arg("solve").arg(&core_path).status().unwrap();
+    assert_eq!(st.code(), Some(20));
+}
+
+#[test]
+fn trim_produces_a_smaller_trace_that_still_checks() {
+    let dir = tmp_dir("trim");
+    let cnf_path = dir.join("t.cnf");
+    let trace_path = dir.join("t.rt");
+    let trimmed_path = dir.join("t.trimmed.rt");
+    let out = bin().args(["gen", "pigeonhole", "6"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+    bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    let out = bin()
+        .arg("trim")
+        .arg(&cnf_path)
+        .arg(&trace_path)
+        .arg("--out")
+        .arg(&trimmed_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let before = std::fs::metadata(&trace_path).unwrap().len();
+    let after = std::fs::metadata(&trimmed_path).unwrap().len();
+    assert!(after <= before);
+    for strategy in ["df", "bf", "hybrid"] {
+        let out = bin()
+            .arg("check")
+            .arg(&cnf_path)
+            .arg(&trimmed_path)
+            .args(["--strategy", strategy])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "{strategy}");
+    }
+}
+
+#[test]
+fn stats_prints_proof_metrics() {
+    let dir = tmp_dir("stats");
+    let cnf_path = dir.join("s.cnf");
+    let trace_path = dir.join("s.rt");
+    let out = bin().args(["gen", "pigeonhole", "4"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+    bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    let out = bin().arg("stats").arg(&cnf_path).arg(&trace_path).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("learned clauses needed"), "{text}");
+    assert!(text.contains("depth"), "{text}");
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["check", "only-one-arg"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["gen", "nonsense"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn mem_limit_reproduces_memory_out() {
+    let dir = tmp_dir("memlimit");
+    let cnf_path = dir.join("m.cnf");
+    let trace_path = dir.join("m.rt");
+    let out = bin().args(["gen", "pigeonhole", "5"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+    bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    let out = bin()
+        .arg("check")
+        .arg(&cnf_path)
+        .arg(&trace_path)
+        .args(["--mem-limit", "64"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("memory limit"));
+}
