@@ -1,8 +1,9 @@
-//! Criterion benchmarks for the checkers: depth-first vs breadth-first
-//! on identical traces (ablation B of DESIGN.md — the Table 2 comparison
-//! as a statistical microbenchmark).
+//! Micro-benchmarks for the checkers: depth-first vs breadth-first on
+//! identical traces (ablation B of DESIGN.md — the Table 2 comparison
+//! as a microbenchmark). Uses the in-house harness in
+//! `rescheck_bench::micro` (no criterion; the workspace builds offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescheck_bench::micro::bench;
 use rescheck_checker::{check_unsat_claim, CheckConfig, Strategy};
 use rescheck_solver::{Solver, SolverConfig};
 use rescheck_trace::MemorySink;
@@ -15,50 +16,46 @@ fn trace_of(inst: &Instance) -> MemorySink {
     sink
 }
 
-fn bench_strategies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("check");
-    for inst in [pigeonhole::instance(6), bmc::longmult(4), bmc::barrel(8, 10)] {
+fn bench_strategies() {
+    for inst in [
+        pigeonhole::instance(6),
+        bmc::longmult(4),
+        bmc::barrel(8, 10),
+    ] {
         let trace = trace_of(&inst);
-        for strategy in [Strategy::DepthFirst, Strategy::BreadthFirst, Strategy::Hybrid] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.to_string(), &inst.name),
-                &(&inst, &trace),
-                |b, (inst, trace)| {
-                    b.iter(|| {
-                        check_unsat_claim(&inst.cnf, *trace, strategy, &CheckConfig::default())
-                            .expect("genuine trace")
-                    })
-                },
-            );
+        for strategy in [
+            Strategy::DepthFirst,
+            Strategy::BreadthFirst,
+            Strategy::Hybrid,
+        ] {
+            bench(&format!("check/{strategy}/{}", inst.name), || {
+                check_unsat_claim(&inst.cnf, &trace, strategy, &CheckConfig::default())
+                    .expect("genuine trace");
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_check_vs_solve(c: &mut Criterion) {
+fn bench_check_vs_solve() {
     // The paper's headline ratio: checking is much cheaper than solving.
     let inst = pigeonhole::instance(6);
     let trace = trace_of(&inst);
-    let mut group = c.benchmark_group("check_vs_solve");
-    group.bench_function("solve_php6", |b| {
-        b.iter(|| {
-            let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
-            assert!(solver.solve().is_unsat());
-        })
+    bench("check_vs_solve/solve_php6", || {
+        let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+        assert!(solver.solve().is_unsat());
     });
-    group.bench_function("check_php6_df", |b| {
-        b.iter(|| {
-            check_unsat_claim(
-                &inst.cnf,
-                &trace,
-                Strategy::DepthFirst,
-                &CheckConfig::default(),
-            )
-            .expect("genuine trace")
-        })
+    bench("check_vs_solve/check_php6_df", || {
+        check_unsat_claim(
+            &inst.cnf,
+            &trace,
+            Strategy::DepthFirst,
+            &CheckConfig::default(),
+        )
+        .expect("genuine trace");
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_strategies, bench_check_vs_solve);
-criterion_main!(benches);
+fn main() {
+    bench_strategies();
+    bench_check_vs_solve();
+}

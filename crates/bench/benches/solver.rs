@@ -1,14 +1,15 @@
-//! Criterion benchmarks for the solver, including the configuration
+//! Micro-benchmarks for the solver, including the configuration
 //! ablations DESIGN.md calls out (learning on/off, deletion on/off,
 //! restarts on/off — paper §2.1 argues all combinations stay correct).
+//! Uses the in-house harness in `rescheck_bench::micro` (no criterion;
+//! the workspace builds offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescheck_bench::micro::bench;
 use rescheck_solver::dp::{dp_solve, DpResult};
 use rescheck_solver::{Solver, SolverConfig};
 use rescheck_workloads::{bmc, equiv, pigeonhole, pipeline};
 
-fn bench_families(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solve");
+fn bench_families() {
     for inst in [
         pigeonhole::instance(6),
         equiv::adder_miter(10),
@@ -16,18 +17,14 @@ fn bench_families(c: &mut Criterion) {
         bmc::barrel(8, 10),
         pipeline::pipe(10, 2),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(&inst.name), &inst, |b, inst| {
-            b.iter(|| {
-                let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
-                assert!(solver.solve().is_unsat());
-            })
+        bench(&format!("solve/{}", inst.name), || {
+            let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+            assert!(solver.solve().is_unsat());
         });
     }
-    group.finish();
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("solve_ablation");
+fn bench_ablations() {
     let inst = pigeonhole::instance(6);
     let configs: [(&str, SolverConfig); 4] = [
         ("default", SolverConfig::default()),
@@ -36,17 +33,14 @@ fn bench_ablations(c: &mut Criterion) {
         ("no_restarts", SolverConfig::without_restarts()),
     ];
     for (name, cfg) in configs {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut solver = Solver::from_cnf(&inst.cnf, cfg.clone());
-                assert!(solver.solve().is_unsat());
-            })
+        bench(&format!("solve_ablation/{name}"), || {
+            let mut solver = Solver::from_cnf(&inst.cnf, cfg.clone());
+            assert!(solver.solve().is_unsat());
         });
     }
-    group.finish();
 }
 
-fn bench_bcp_heavy(c: &mut Criterion) {
+fn bench_bcp_heavy() {
     // A propagation-dominated satisfiable chain: measures raw BCP.
     let mut cnf = rescheck_cnf::Cnf::new();
     let n = 20_000i64;
@@ -54,36 +48,28 @@ fn bench_bcp_heavy(c: &mut Criterion) {
     for i in 1..n {
         cnf.add_dimacs_clause(&[-i, i + 1]);
     }
-    c.bench_function("bcp_chain_20k", |b| {
-        b.iter(|| {
-            let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());
-            assert!(solver.solve().is_sat());
-        })
+    bench("bcp_chain_20k", || {
+        let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());
+        assert!(solver.solve().is_sat());
     });
 }
 
-fn bench_dp_vs_cdcl(c: &mut Criterion) {
+fn bench_dp_vs_cdcl() {
     // The paper's §1 framing: classic Davis–Putnam resolution vs. DLL
     // search. DP decides tiny pigeonholes but its clause count explodes;
     // CDCL scales. (Run both at a size DP can still finish.)
-    let mut group = c.benchmark_group("dp_vs_cdcl");
     let inst = pigeonhole::instance(4);
-    group.bench_function("cdcl_php4", |b| {
-        b.iter(|| {
-            let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
-            assert!(solver.solve().is_unsat());
-        })
+    bench("dp_vs_cdcl/cdcl_php4", || {
+        let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+        assert!(solver.solve().is_unsat());
     });
-    group.bench_function("dp_php4", |b| {
-        b.iter(|| {
-            let outcome = dp_solve(&inst.cnf, None);
-            assert!(matches!(
-                outcome.result,
-                DpResult::Decided(rescheck_cnf::SatStatus::Unsatisfiable)
-            ));
-        })
+    bench("dp_vs_cdcl/dp_php4", || {
+        let outcome = dp_solve(&inst.cnf, None);
+        assert!(matches!(
+            outcome.result,
+            DpResult::Decided(rescheck_cnf::SatStatus::Unsatisfiable)
+        ));
     });
-    group.finish();
 
     // Report the space story once.
     let outcome = dp_solve(&inst.cnf, None);
@@ -96,11 +82,9 @@ fn bench_dp_vs_cdcl(c: &mut Criterion) {
     );
 }
 
-criterion_group!(
-    benches,
-    bench_families,
-    bench_ablations,
-    bench_bcp_heavy,
-    bench_dp_vs_cdcl
-);
-criterion_main!(benches);
+fn main() {
+    bench_families();
+    bench_ablations();
+    bench_bcp_heavy();
+    bench_dp_vs_cdcl();
+}

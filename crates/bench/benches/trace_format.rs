@@ -1,9 +1,10 @@
-//! Criterion benchmarks for the trace encodings (ablation A of
-//! DESIGN.md): ASCII vs binary write and parse throughput, backing the
-//! paper's §4 prediction that a binary format compacts traces 2-3x and
-//! speeds up the parsing-bound checker.
+//! Micro-benchmarks for the trace encodings (ablation A of DESIGN.md):
+//! ASCII vs binary write and parse throughput, backing the paper's §4
+//! prediction that a binary format compacts traces 2-3x and speeds up
+//! the parsing-bound checker. Uses the in-house harness in
+//! `rescheck_bench::micro` (no criterion; the workspace builds offline).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rescheck_bench::micro::bench;
 use rescheck_solver::{Solver, SolverConfig};
 use rescheck_trace::{
     AsciiReader, AsciiWriter, BinaryReader, BinaryWriter, MemorySink, TraceEvent, TraceSink,
@@ -36,17 +37,17 @@ fn encode_binary(events: &[TraceEvent]) -> Vec<u8> {
     buf
 }
 
-fn bench_encode(c: &mut Criterion) {
+fn main() {
     let events = real_trace();
-    let mut group = c.benchmark_group("trace_encode");
-    group.throughput(Throughput::Elements(events.len() as u64));
-    group.bench_function("ascii", |b| b.iter(|| encode_ascii(&events)));
-    group.bench_function("binary", |b| b.iter(|| encode_binary(&events)));
-    group.finish();
-}
+    println!("trace: {} events", events.len());
 
-fn bench_decode(c: &mut Criterion) {
-    let events = real_trace();
+    bench("trace_encode/ascii", || {
+        encode_ascii(&events);
+    });
+    bench("trace_encode/binary", || {
+        encode_binary(&events);
+    });
+
     let ascii = encode_ascii(&events);
     let binary = encode_binary(&events);
     println!(
@@ -55,27 +56,18 @@ fn bench_decode(c: &mut Criterion) {
         binary.len(),
         ascii.len() as f64 / binary.len() as f64
     );
-    let mut group = c.benchmark_group("trace_decode");
-    group.throughput(Throughput::Elements(events.len() as u64));
-    group.bench_function("ascii", |b| {
-        b.iter(|| {
-            let n = AsciiReader::new(std::io::Cursor::new(&ascii))
-                .map(Result::unwrap)
-                .count();
-            assert_eq!(n, events.len());
-        })
-    });
-    group.bench_function("binary", |b| {
-        b.iter(|| {
-            let n = BinaryReader::new(std::io::Cursor::new(&binary))
-                .unwrap()
-                .map(Result::unwrap)
-                .count();
-            assert_eq!(n, events.len());
-        })
-    });
-    group.finish();
-}
 
-criterion_group!(benches, bench_encode, bench_decode);
-criterion_main!(benches);
+    bench("trace_decode/ascii", || {
+        let n = AsciiReader::new(std::io::Cursor::new(&ascii))
+            .map(Result::unwrap)
+            .count();
+        assert_eq!(n, events.len());
+    });
+    bench("trace_decode/binary", || {
+        let n = BinaryReader::new(std::io::Cursor::new(&binary))
+            .unwrap()
+            .map(Result::unwrap)
+            .count();
+        assert_eq!(n, events.len());
+    });
+}

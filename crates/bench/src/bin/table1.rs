@@ -2,19 +2,25 @@
 //! trace generation turned on and off.
 //!
 //! ```text
-//! cargo run --release -p rescheck-bench --bin table1
+//! cargo run --release -p rescheck-bench --bin table1 [--json <out.json>]
 //! ```
 //!
 //! Columns mirror the paper: instance, variables, original clauses,
 //! learned clauses, runtime with trace off / on, and the trace-generation
 //! overhead percentage. The expected *shape* (paper §4): overhead is a
 //! small single-digit percentage, shrinking on harder instances.
+//!
+//! `--json <path>` additionally writes every row as a
+//! `rescheck-metrics-v1` document.
 
-use rescheck_bench::{fmt_secs, measure_solve};
+use rescheck_bench::{fmt_secs, measure_solve, report};
+use rescheck_obs::{Json, Registry};
 use rescheck_solver::SolverConfig;
 use rescheck_workloads::paper_suite;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = report::take_json_flag(&mut args);
     let cfg = SolverConfig::default();
     println!(
         "{:<34} {:>8} {:>10} {:>12} {:>13} {:>12} {:>10}",
@@ -30,20 +36,22 @@ fn main() {
 
     let mut total_off = 0.0;
     let mut total_on = 0.0;
+    let mut rows: Vec<Json> = Vec::new();
     for instance in paper_suite() {
-        let report = measure_solve(&instance, &cfg);
-        total_off += report.time_trace_off.as_secs_f64();
-        total_on += report.time_trace_on.as_secs_f64();
+        let row = measure_solve(&instance, &cfg);
+        total_off += row.time_trace_off.as_secs_f64();
+        total_on += row.time_trace_on.as_secs_f64();
         println!(
             "{:<34} {:>8} {:>10} {:>12} {:>13} {:>12} {:>9.1}%",
-            report.name,
-            report.num_vars,
-            report.num_clauses,
-            report.learned_clauses,
-            fmt_secs(report.time_trace_off),
-            fmt_secs(report.time_trace_on),
-            report.overhead_percent()
+            row.name,
+            row.num_vars,
+            row.num_clauses,
+            row.learned_clauses,
+            fmt_secs(row.time_trace_off),
+            fmt_secs(row.time_trace_on),
+            row.overhead_percent()
         );
+        rows.push(report::instance_json(&row));
     }
     println!("{}", "-".repeat(106));
     println!(
@@ -58,4 +66,13 @@ fn main() {
     );
     println!();
     println!("Paper shape: trace generation costs 1.7%-12%, smaller on harder instances.");
+
+    if let Some(path) = json_path {
+        let mut doc = report::metrics_document("table1", &Registry::new());
+        doc.set("rows", Json::Array(rows))
+            .set("total_trace_off_seconds", total_off)
+            .set("total_trace_on_seconds", total_on);
+        report::write_json(std::path::Path::new(&path), &doc).expect("write --json output");
+        eprintln!("metrics written to {path}");
+    }
 }

@@ -2,7 +2,7 @@
 //! on the same traces.
 //!
 //! ```text
-//! cargo run --release -p rescheck-bench --bin table2 [mem_limit_bytes]
+//! cargo run --release -p rescheck-bench --bin table2 [mem_limit_bytes] [--json <out.json>]
 //! ```
 //!
 //! Columns mirror the paper: trace size, depth-first clauses built /
@@ -21,14 +21,17 @@
 //! breadth-first-like memory; checking is always much cheaper than
 //! solving; binary traces are 2-3x smaller than ASCII.
 
-use rescheck_bench::{fmt_kb, fmt_secs, measure_check, measure_solve};
+use rescheck_bench::{fmt_kb, fmt_secs, measure_check, measure_solve, report};
 use rescheck_checker::Strategy;
+use rescheck_obs::{Json, Registry};
 use rescheck_solver::SolverConfig;
 use rescheck_workloads::paper_suite;
 
 fn main() {
-    let mem_limit: Option<u64> = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = report::take_json_flag(&mut args);
+    let mem_limit: Option<u64> = args
+        .first()
         .map(|s| s.parse().expect("memory limit in bytes"));
     // Default budget: generous for breadth-first, fatal for depth-first
     // on exactly the two largest rows (mirrors the paper's 800 MB cap,
@@ -53,12 +56,20 @@ fn main() {
 
     let cfg = SolverConfig::default();
     let mut totals = [0.0f64; 4]; // solve, df, bf, hybrid
+    let mut rows: Vec<Json> = Vec::new();
     for instance in paper_suite() {
-        let report = measure_solve(&instance, &cfg);
-        totals[0] += report.time_trace_on.as_secs_f64();
-        let df = measure_check(&report, Strategy::DepthFirst, mem_limit);
-        let bf = measure_check(&report, Strategy::BreadthFirst, mem_limit);
-        let hy = measure_check(&report, Strategy::Hybrid, mem_limit);
+        let solve = measure_solve(&instance, &cfg);
+        totals[0] += solve.time_trace_on.as_secs_f64();
+        let df = measure_check(&solve, Strategy::DepthFirst, mem_limit);
+        let bf = measure_check(&solve, Strategy::BreadthFirst, mem_limit);
+        let hy = measure_check(&solve, Strategy::Hybrid, mem_limit);
+
+        let mut row = Json::object();
+        row.set("instance", report::instance_json(&solve))
+            .set("depth_first", report::check_report_json(&df))
+            .set("breadth_first", report::check_report_json(&bf))
+            .set("hybrid", report::check_report_json(&hy));
+        rows.push(row);
 
         let (df_built, df_pct, df_time, df_mem) = match &df.outcome {
             Ok(o) => {
@@ -85,9 +96,9 @@ fn main() {
 
         println!(
             "{:<34} {:>9} {:>9} | {:>8} {:>6} {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9}",
-            report.name,
-            fmt_kb(report.trace_ascii_bytes),
-            fmt_kb(report.trace_binary_bytes),
+            solve.name,
+            fmt_kb(solve.trace_ascii_bytes),
+            fmt_kb(solve.trace_binary_bytes),
             df_built,
             df_pct,
             df_time,
@@ -114,4 +125,20 @@ fn main() {
          hybrid = DF's built count at BF-like memory (the paper's proposed future work); \
          checking ≪ solving; binary trace 2-3x smaller than ASCII."
     );
+
+    if let Some(path) = json_path {
+        let mut doc = report::metrics_document("table2", &Registry::new());
+        let mut limit = Json::object();
+        if let Some(m) = mem_limit {
+            limit.set("bytes", m);
+        }
+        doc.set("rows", Json::Array(rows))
+            .set("memory_limit", limit)
+            .set("total_solve_seconds", totals[0])
+            .set("total_depth_first_seconds", totals[1])
+            .set("total_breadth_first_seconds", totals[2])
+            .set("total_hybrid_seconds", totals[3]);
+        report::write_json(std::path::Path::new(&path), &doc).expect("write --json output");
+        eprintln!("metrics written to {path}");
+    }
 }

@@ -3,20 +3,24 @@
 //! up to 30 iterations (or a fixed point).
 //!
 //! ```text
-//! cargo run --release -p rescheck-bench --bin table3 [max_iterations]
+//! cargo run --release -p rescheck-bench --bin table3 [max_iterations] [--json <out.json>]
 //! ```
 //!
 //! Expected shape (paper §4): every core is no larger than the input;
 //! the routing and planning rows shrink dramatically (their conflict is
 //! local), while tightly-constructed instances keep most clauses.
 
+use rescheck_bench::report;
 use rescheck_checker::minimize_core;
+use rescheck_obs::{Json, Registry};
 use rescheck_solver::SolverConfig;
 use rescheck_workloads::table3_suite;
 
 fn main() {
-    let max_iterations: usize = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = report::take_json_flag(&mut args);
+    let max_iterations: usize = args
+        .first()
         .map(|s| s.parse().expect("iteration count"))
         .unwrap_or(30);
 
@@ -34,6 +38,7 @@ fn main() {
     println!("{}", "-".repeat(112));
 
     let cfg = SolverConfig::default();
+    let mut rows: Vec<Json> = Vec::new();
     for instance in table3_suite() {
         let result = minimize_core(&instance.cnf, &cfg, max_iterations)
             .unwrap_or_else(|e| panic!("{}: {e}", instance.name));
@@ -51,6 +56,17 @@ fn main() {
             result.iterations.len(),
             if result.reached_fixed_point { "*" } else { "" },
         );
+        let mut row = Json::object();
+        row.set("name", instance.name.as_str())
+            .set("orig_clauses", instance.num_clauses())
+            .set("orig_vars", instance.cnf.num_used_vars())
+            .set("it1_clauses", first.num_clauses)
+            .set("it1_vars", first.num_vars)
+            .set("final_clauses", last.num_clauses)
+            .set("final_vars", last.num_vars)
+            .set("iterations", result.iterations.len())
+            .set("reached_fixed_point", result.reached_fixed_point);
+        rows.push(row);
     }
     println!("{}", "-".repeat(112));
     println!("(* = reached a fixed point: every remaining clause is needed for the proof)");
@@ -59,4 +75,12 @@ fn main() {
         "Paper shape: planning (bw_large.d) and FPGA routing (too_large…) have small \
          unsatisfiable cores; structured miters keep most of their clauses."
     );
+
+    if let Some(path) = json_path {
+        let mut doc = report::metrics_document("table3", &Registry::new());
+        doc.set("rows", Json::Array(rows))
+            .set("max_iterations", max_iterations);
+        report::write_json(std::path::Path::new(&path), &doc).expect("write --json output");
+        eprintln!("metrics written to {path}");
+    }
 }

@@ -8,6 +8,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod micro;
+pub mod report;
+
 use rescheck_checker::{check_unsat_claim, CheckConfig, CheckError, CheckOutcome, Strategy};
 use rescheck_cnf::Cnf;
 use rescheck_solver::{SolveResult, Solver, SolverConfig, SolverStats};
@@ -114,9 +117,7 @@ pub fn measure_solve_repeats(
     // events in memory for the checking phase.
     let mut events = MemorySink::new();
     let mut solver = Solver::from_cnf(&instance.cnf, cfg.clone());
-    solver
-        .solve_traced(&mut events)
-        .expect("in-memory sink");
+    solver.solve_traced(&mut events).expect("in-memory sink");
 
     // Binary re-encoding for the compaction comparison.
     let mut bin_buf: Vec<u8> = Vec::new();

@@ -4,6 +4,7 @@ use crate::error::CheckError;
 use crate::outcome::CheckOutcome;
 pub use crate::outcome::Strategy;
 use rescheck_cnf::{Assignment, Cnf};
+use rescheck_obs::{NullObserver, Observer};
 use rescheck_trace::{RandomAccessTrace, TraceSource};
 use std::error::Error;
 use std::fmt;
@@ -64,10 +65,52 @@ pub fn check_unsat_claim<S: RandomAccessTrace + ?Sized>(
     strategy: Strategy,
     config: &CheckConfig,
 ) -> Result<CheckOutcome, CheckError> {
+    check_unsat_claim_observed(cnf, trace, strategy, config, &mut NullObserver)
+}
+
+/// [`check_unsat_claim`] with an [`Observer`] receiving phase timers
+/// (`check:pass1`, `check:resolve`, `final-phase`), progress heartbeats
+/// and end-of-run gauges (`check.clauses_built`, `check.resolutions`,
+/// `check.use_count_entries`, `check.peak_memory_bytes`).
+///
+/// # Errors
+///
+/// See [`check_unsat_claim`].
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_checker::{check_unsat_claim_observed, CheckConfig, Strategy};
+/// use rescheck_cnf::Cnf;
+/// use rescheck_obs::MetricsSink;
+/// use rescheck_solver::{Solver, SolverConfig};
+/// use rescheck_trace::MemorySink;
+///
+/// let mut cnf = Cnf::new();
+/// cnf.add_dimacs_clause(&[1]);
+/// cnf.add_dimacs_clause(&[-1]);
+/// let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());
+/// let mut trace = MemorySink::new();
+/// assert!(solver.solve_traced(&mut trace)?.is_unsat());
+///
+/// let mut sink = MetricsSink::new();
+/// check_unsat_claim_observed(
+///     &cnf, &trace, Strategy::Hybrid, &CheckConfig::default(), &mut sink,
+/// )?;
+/// assert!(sink.registry().phase_seconds("check:pass1").is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn check_unsat_claim_observed<S: RandomAccessTrace + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    strategy: Strategy,
+    config: &CheckConfig,
+    obs: &mut dyn Observer,
+) -> Result<CheckOutcome, CheckError> {
     match strategy {
-        Strategy::DepthFirst => crate::depth_first::run(cnf, trace, config),
-        Strategy::BreadthFirst => crate::breadth_first::run(cnf, trace, config),
-        Strategy::Hybrid => crate::hybrid::run(cnf, trace, config),
+        Strategy::DepthFirst => crate::depth_first::run(cnf, trace, config, obs),
+        Strategy::BreadthFirst => crate::breadth_first::run(cnf, trace, config, obs),
+        Strategy::Hybrid => crate::hybrid::run(cnf, trace, config, obs),
     }
 }
 
@@ -83,7 +126,7 @@ pub fn check_depth_first<S: TraceSource + ?Sized>(
     trace: &S,
     config: &CheckConfig,
 ) -> Result<CheckOutcome, CheckError> {
-    crate::depth_first::run(cnf, trace, config)
+    crate::depth_first::run(cnf, trace, config, &mut NullObserver)
 }
 
 /// Validates an UNSAT claim with the breadth-first strategy (§3.3).
@@ -96,7 +139,7 @@ pub fn check_breadth_first<S: TraceSource + ?Sized>(
     trace: &S,
     config: &CheckConfig,
 ) -> Result<CheckOutcome, CheckError> {
-    crate::breadth_first::run(cnf, trace, config)
+    crate::breadth_first::run(cnf, trace, config, &mut NullObserver)
 }
 
 /// Validates an UNSAT claim with the hybrid (on-disk depth-first)
@@ -114,7 +157,7 @@ pub fn check_hybrid<S: RandomAccessTrace + ?Sized>(
     trace: &S,
     config: &CheckConfig,
 ) -> Result<CheckOutcome, CheckError> {
-    crate::hybrid::run(cnf, trace, config)
+    crate::hybrid::run(cnf, trace, config, &mut NullObserver)
 }
 
 /// A SAT claim that does not hold.
@@ -130,8 +173,7 @@ impl fmt::Display for ModelError {
             f,
             "claimed model leaves {} clause(s) unsatisfied (first ids: {:?})",
             self.falsified_or_undetermined.len(),
-            &self.falsified_or_undetermined
-                [..self.falsified_or_undetermined.len().min(8)]
+            &self.falsified_or_undetermined[..self.falsified_or_undetermined.len().min(8)]
         )
     }
 }

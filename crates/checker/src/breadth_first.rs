@@ -20,6 +20,7 @@ use crate::model::{validate_learned, LevelZeroMap};
 use crate::outcome::{CheckOutcome, CheckStats, Strategy};
 use crate::resolve::{normalize_literals, resolve_sorted};
 use rescheck_cnf::{Cnf, Lit};
+use rescheck_obs::{Event, Observer, Phase};
 use rescheck_trace::{TraceEvent, TraceSource};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -29,11 +30,13 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
     cnf: &Cnf,
     trace: &S,
     config: &CheckConfig,
+    obs: &mut dyn Observer,
 ) -> Result<CheckOutcome, CheckError> {
     let start = Instant::now();
     let num_original = cnf.num_clauses();
     let mut meter = MemoryMeter::new(config.memory_limit);
 
+    let pass1 = Phase::start("check:pass1", obs);
     // ---- Pass 1: count resolve-source uses; collect the level-0
     // assignment, the final conflict, and the pin set.
     let mut use_counts: HashMap<u64, u32> = HashMap::new();
@@ -76,7 +79,9 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
         use_counts.len() as u64 * USE_COUNT_BYTES
             + level_zero.len() as u64 * LEVEL_ZERO_RECORD_BYTES,
     )?;
+    pass1.finish(obs);
 
+    let resolve_phase = Phase::start("check:resolve", obs);
     // ---- Pass 2: rebuild learned clauses in generation order, freeing
     // clauses whose uses are exhausted.
     let mut live: HashMap<u64, Rc<[Lit]>> = HashMap::new();
@@ -118,15 +123,8 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
         let TraceEvent::Learned { id, sources } = event? else {
             continue;
         };
-        let mut acc: Vec<Lit> = fetch(
-            sources[0],
-            id,
-            cnf,
-            &live,
-            &mut original_cache,
-            &defined,
-        )?
-        .to_vec();
+        let mut acc: Vec<Lit> =
+            fetch(sources[0], id, cnf, &live, &mut original_cache, &defined)?.to_vec();
         for (step, &s) in sources.iter().enumerate().skip(1) {
             let right = fetch(s, id, cnf, &live, &mut original_cache, &defined)?;
             acc = resolve_sorted(&acc, &right).map_err(|failure| CheckError::NotResolvable {
@@ -138,6 +136,14 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
             resolutions += 1;
         }
         clauses_built += 1;
+        if clauses_built.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
+            obs.observe(&Event::Progress {
+                phase: "check:resolve",
+                done: clauses_built,
+                unit: "clauses",
+                detail: None,
+            });
+        }
 
         // Release sources whose last use this was.
         for &s in &sources {
@@ -160,7 +166,10 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
         }
     }
 
+    resolve_phase.finish(obs);
+
     // ---- Final phase: derive the empty clause from the pinned clauses.
+    let final_phase = Phase::start("final-phase", obs);
     let mut provider = PinnedProvider {
         cnf,
         num_original,
@@ -168,6 +177,7 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
         original_cache: &mut original_cache,
     };
     let final_stats = derive_empty_clause(start_id, &level_zero, &mut provider)?;
+    final_phase.finish(obs);
 
     let stats = CheckStats {
         strategy: Strategy::BreadthFirst,
@@ -178,6 +188,7 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
         runtime: start.elapsed(),
         trace_bytes: trace.encoded_size(),
     };
+    crate::depth_first::emit_check_gauges(obs, &stats, use_counts.len() as u64);
 
     Ok(CheckOutcome { core: None, stats })
 }
@@ -219,6 +230,7 @@ impl ClauseProvider for PinnedProvider<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rescheck_obs::NullObserver;
     use rescheck_trace::{MemorySink, TraceSink};
 
     #[test]
@@ -234,7 +246,7 @@ mod tests {
         sink.level_zero(Lit::from_dimacs(1), 4).unwrap();
         sink.final_conflict(5).unwrap();
 
-        let outcome = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        let outcome = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap();
         assert!(outcome.core.is_none());
         assert_eq!(outcome.stats.clauses_built, 2);
         assert_eq!(outcome.stats.learned_in_trace, 2);
@@ -257,7 +269,7 @@ mod tests {
         sink.level_zero(Lit::from_dimacs(2), 1).unwrap();
         sink.final_conflict(2).unwrap();
 
-        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        let err = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap_err();
         assert!(matches!(
             err,
             CheckError::NotResolvable {
@@ -279,7 +291,7 @@ mod tests {
         sink.learned(4, &[5, 0]).unwrap();
         sink.learned(5, &[2, 3]).unwrap();
         sink.final_conflict(4).unwrap();
-        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        let err = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap_err();
         assert!(matches!(
             err,
             CheckError::ForwardReference { id: 4, source: 5 }
@@ -293,7 +305,7 @@ mod tests {
         let mut sink = MemorySink::new();
         sink.learned(1, &[0, 42]).unwrap();
         sink.final_conflict(1).unwrap();
-        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        let err = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap_err();
         assert!(matches!(err, CheckError::UnknownClause { id: 42, .. }));
     }
 
@@ -311,18 +323,18 @@ mod tests {
         let mut sink = MemorySink::new();
         // Learned chain: #n+1 = r(0, 1) = (x2), #n+2 = r(#n+1, 2) = (x3)…
         let mut prev = 0u64;
-        let mut next_id = (n + 1) as u64;
         for i in 1..n {
+            let next_id = (n + i) as u64;
             sink.learned(next_id, &[prev, i as u64]).unwrap();
             prev = next_id;
-            next_id += 1;
         }
         // prev is now (xn); level 0: xn by prev; final conflict (¬xn).
         sink.level_zero(Lit::from_dimacs(n), prev).unwrap();
         sink.final_conflict(n as u64).unwrap();
 
-        let bf = run(&cnf, &sink, &CheckConfig::default()).unwrap();
-        let df = crate::depth_first::run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        let bf = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap();
+        let df = crate::depth_first::run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver)
+            .unwrap();
         assert!(
             bf.stats.peak_memory_bytes < df.stats.peak_memory_bytes,
             "bf {} vs df {}",
@@ -337,7 +349,7 @@ mod tests {
         let mut cnf = Cnf::new();
         cnf.add_dimacs_clause(&[1]);
         let sink = MemorySink::new();
-        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        let err = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap_err();
         assert!(matches!(err, CheckError::NoFinalConflict));
     }
 
@@ -351,9 +363,8 @@ mod tests {
         sink.final_conflict(1).unwrap();
         let config = CheckConfig {
             memory_limit: Some(1),
-            ..CheckConfig::default()
         };
-        let err = run(&cnf, &sink, &config).unwrap_err();
+        let err = run(&cnf, &sink, &config, &mut NullObserver).unwrap_err();
         assert!(matches!(err, CheckError::MemoryLimitExceeded { .. }));
     }
 }

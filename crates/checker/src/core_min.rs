@@ -177,9 +177,8 @@ mod tests {
     fn padded_php(holes: usize, padding: usize) -> (Cnf, usize) {
         let pigeons = holes + 1;
         let mut cnf = Cnf::new();
-        let lit = |p: usize, h: usize| {
-            rescheck_cnf::Lit::positive(rescheck_cnf::Var::new(p * holes + h))
-        };
+        let lit =
+            |p: usize, h: usize| rescheck_cnf::Lit::positive(rescheck_cnf::Var::new(p * holes + h));
         for p in 0..pigeons {
             cnf.add_clause((0..holes).map(|h| lit(p, h)));
         }

@@ -20,23 +20,31 @@ use crate::model::{load_full, FullTrace};
 use crate::outcome::{CheckOutcome, CheckStats, Strategy, UnsatCore};
 use crate::resolve::{normalize_literals, resolve_sorted};
 use rescheck_cnf::{Cnf, Lit};
+use rescheck_obs::{Event, Observer, Phase};
 use rescheck_trace::TraceSource;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
 
+/// Progress events are emitted once per this many built clauses; the
+/// reporter applies its own (coarser) heartbeat threshold on top.
+pub(crate) const PROGRESS_STRIDE: u64 = 1024;
+
 pub(crate) fn run<S: TraceSource + ?Sized>(
     cnf: &Cnf,
     trace: &S,
     config: &CheckConfig,
+    obs: &mut dyn Observer,
 ) -> Result<CheckOutcome, CheckError> {
     let start = Instant::now();
     let num_original = cnf.num_clauses();
     let mut meter = MemoryMeter::new(config.memory_limit);
 
     // The depth-first approach reads the entire trace into main memory.
+    let pass1 = Phase::start("check:pass1", obs);
     let full = load_full(trace, num_original)?;
     meter.alloc(full.trace_bytes)?;
+    pass1.finish(obs);
 
     let start_id = *full.final_ids.first().ok_or(CheckError::NoFinalConflict)?;
 
@@ -50,9 +58,19 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
         meter,
         resolutions: 0,
         clauses_built: 0,
+        obs,
     };
 
+    // Pre-building the final conflicting clause's dependency cone is the
+    // bulk of the resolution work; the remaining level-0 antecedents are
+    // built lazily inside the final phase.
+    let resolve_phase = Phase::start("check:resolve", &mut *builder.obs);
+    builder.build(start_id)?;
+    resolve_phase.finish(&mut *builder.obs);
+
+    let final_phase = Phase::start("final-phase", &mut *builder.obs);
     let final_stats = derive_empty_clause(start_id, &full.level_zero, &mut builder)?;
+    final_phase.finish(&mut *builder.obs);
 
     let core_ids: Vec<usize> = builder
         .used_originals
@@ -72,11 +90,32 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
         runtime: start.elapsed(),
         trace_bytes: trace.encoded_size(),
     };
+    emit_check_gauges(builder.obs, &stats, builder.built.len() as u64);
 
     Ok(CheckOutcome {
         core: Some(core),
         stats,
     })
+}
+
+/// Reports the end-of-run gauges every strategy shares.
+pub(crate) fn emit_check_gauges(obs: &mut dyn Observer, stats: &CheckStats, table_entries: u64) {
+    obs.observe(&Event::GaugeSet {
+        name: "check.clauses_built",
+        value: stats.clauses_built as f64,
+    });
+    obs.observe(&Event::GaugeSet {
+        name: "check.resolutions",
+        value: stats.resolutions as f64,
+    });
+    obs.observe(&Event::GaugeSet {
+        name: "check.use_count_entries",
+        value: table_entries as f64,
+    });
+    obs.observe(&Event::GaugeSet {
+        name: "check.peak_memory_bytes",
+        value: stats.peak_memory_bytes as f64,
+    });
 }
 
 /// Builds learned clauses on demand with memoization (the iterative
@@ -93,6 +132,7 @@ struct DfBuilder<'a> {
     meter: MemoryMeter,
     resolutions: u64,
     clauses_built: u64,
+    obs: &'a mut dyn Observer,
 }
 
 /// DFS colouring for cycle detection.
@@ -107,10 +147,7 @@ impl DfBuilder<'_> {
         if let Some(c) = self.original_cache.get(&id) {
             return c.clone();
         }
-        let clause = self
-            .cnf
-            .clause(id as usize)
-            .expect("id < num_original");
+        let clause = self.cnf.clause(id as usize).expect("id < num_original");
         let lits: Rc<[Lit]> = Rc::from(normalize_literals(clause.iter().copied()));
         self.original_cache.insert(id, lits.clone());
         lits
@@ -148,6 +185,17 @@ impl DfBuilder<'_> {
         self.meter.alloc(clause_bytes(acc.len()))?;
         self.built.insert(id, Rc::from(acc));
         self.clauses_built += 1;
+        if self
+            .clauses_built
+            .is_multiple_of(crate::depth_first::PROGRESS_STRIDE)
+        {
+            self.obs.observe(&Event::Progress {
+                phase: "check:resolve",
+                done: self.clauses_built,
+                unit: "clauses",
+                detail: None,
+            });
+        }
         Ok(())
     }
 
@@ -220,6 +268,7 @@ impl ClauseProvider for DfBuilder<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rescheck_obs::NullObserver;
     use rescheck_trace::{MemorySink, TraceEvent, TraceSink};
 
     /// (x1)(¬x1∨x2)(¬x2): level-0 chain, conflict on clause 2 directly.
@@ -238,7 +287,7 @@ mod tests {
     #[test]
     fn accepts_handwritten_level_zero_proof() {
         let (cnf, sink) = chain_trace();
-        let outcome = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        let outcome = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap();
         let core = outcome.core.unwrap();
         assert_eq!(core.clause_ids, vec![0, 1, 2]);
         assert_eq!(outcome.stats.clauses_built, 0); // no learned clauses
@@ -261,7 +310,7 @@ mod tests {
         sink.level_zero(Lit::from_dimacs(1), 4).unwrap();
         sink.final_conflict(5).unwrap();
 
-        let outcome = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        let outcome = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap();
         assert_eq!(outcome.stats.clauses_built, 2);
         assert_eq!(outcome.stats.learned_in_trace, 2);
         let core = outcome.core.unwrap();
@@ -284,7 +333,7 @@ mod tests {
         sink.level_zero(Lit::from_dimacs(2), 1).unwrap();
         sink.final_conflict(2).unwrap();
 
-        let outcome = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        let outcome = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap();
         assert_eq!(outcome.stats.clauses_built, 0);
         assert!((outcome.stats.built_percent() - 0.0).abs() < 1e-9);
         // The unused original clauses are not in the core.
@@ -301,7 +350,7 @@ mod tests {
             .cloned()
             .collect();
         sink = events.into();
-        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        let err = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap_err();
         assert!(matches!(err, CheckError::NoFinalConflict));
     }
 
@@ -316,7 +365,7 @@ mod tests {
         events.retain(|e| !matches!(e, TraceEvent::FinalConflict { .. }));
         events.push(TraceEvent::FinalConflict { id: 10 });
         let sink: MemorySink = events.into();
-        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        let err = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap_err();
         assert!(matches!(err, CheckError::UnknownClause { id: 99, .. }));
     }
 
@@ -328,7 +377,7 @@ mod tests {
         sink.learned(1, &[2, 0]).unwrap();
         sink.learned(2, &[1, 0]).unwrap();
         sink.final_conflict(1).unwrap();
-        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        let err = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap_err();
         assert!(matches!(err, CheckError::CyclicProof { .. }));
     }
 
@@ -340,7 +389,7 @@ mod tests {
         let mut sink = MemorySink::new();
         sink.learned(2, &[0, 1]).unwrap();
         sink.final_conflict(2).unwrap();
-        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        let err = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap_err();
         match err {
             CheckError::NotResolvable {
                 target: Some(2),
@@ -357,9 +406,8 @@ mod tests {
         let (cnf, sink) = chain_trace();
         let config = CheckConfig {
             memory_limit: Some(1),
-            ..CheckConfig::default()
         };
-        let err = run(&cnf, &sink, &config).unwrap_err();
+        let err = run(&cnf, &sink, &config, &mut NullObserver).unwrap_err();
         assert!(matches!(err, CheckError::MemoryLimitExceeded { .. }));
     }
 
@@ -395,6 +443,7 @@ mod tests {
             meter: MemoryMeter::unlimited(),
             resolutions: 0,
             clauses_built: 0,
+            obs: &mut NullObserver,
         };
         builder.build(7).unwrap();
         assert_eq!(builder.clauses_built, 4); // each node built exactly once

@@ -164,7 +164,10 @@ impl fmt::Display for CheckError {
                 write!(f, "learned clause #{id} is defined twice")
             }
             CheckError::LearnedIdCollidesWithOriginal { id } => {
-                write!(f, "learned clause #{id} collides with an original clause id")
+                write!(
+                    f,
+                    "learned clause #{id} collides with an original clause id"
+                )
             }
             CheckError::DuplicateLevelZero { var } => {
                 write!(f, "variable {var} has two level-0 assignment records")
@@ -186,7 +189,10 @@ impl fmt::Display for CheckError {
                     Some(t) => write!(f, "building learned clause #{t}: ")?,
                     None => f.write_str("deriving the empty clause: ")?,
                 }
-                write!(f, "resolution step {step} with clause #{with} failed: {failure}")
+                write!(
+                    f,
+                    "resolution step {step} with clause #{with} failed: {failure}"
+                )
             }
             CheckError::FinalClauseNotConflicting { id, var } => write!(
                 f,
@@ -205,9 +211,9 @@ impl fmt::Display for CheckError {
                 f,
                 "clause #{antecedent} is not a valid antecedent of {var}: {reason}"
             ),
-            CheckError::NonterminatingProof => {
-                f.write_str("final derivation exceeded its resolution bound without reaching the empty clause")
-            }
+            CheckError::NonterminatingProof => f.write_str(
+                "final derivation exceeded its resolution bound without reaching the empty clause",
+            ),
             CheckError::MemoryLimitExceeded { limit, required } => write!(
                 f,
                 "memory limit exceeded: {required} bytes required, limit is {limit}"

@@ -94,11 +94,13 @@ pub(crate) fn derive_empty_clause(
             if other.var() == var {
                 continue;
             }
-            let orec = level_zero.get(other.var()).ok_or(CheckError::BadAntecedent {
-                var,
-                antecedent: ante_id,
-                reason: BadAntecedentReason::LiteralNotFalsified { var: other.var() },
-            })?;
+            let orec = level_zero
+                .get(other.var())
+                .ok_or(CheckError::BadAntecedent {
+                    var,
+                    antecedent: ante_id,
+                    reason: BadAntecedentReason::LiteralNotFalsified { var: other.var() },
+                })?;
             if orec.lit != !other {
                 return Err(CheckError::BadAntecedent {
                     var,
@@ -140,13 +142,10 @@ mod tests {
 
     impl ClauseProvider for Table {
         fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError> {
-            self.0
-                .get(&id)
-                .cloned()
-                .ok_or(CheckError::UnknownClause {
-                    id,
-                    referenced_by: None,
-                })
+            self.0.get(&id).cloned().ok_or(CheckError::UnknownClause {
+                id,
+                referenced_by: None,
+            })
         }
     }
 

@@ -32,6 +32,7 @@ use crate::model::{validate_learned, LevelZeroMap};
 use crate::outcome::{CheckOutcome, CheckStats, Strategy, UnsatCore};
 use crate::resolve::{normalize_literals, resolve_sorted};
 use rescheck_cnf::{Cnf, Lit};
+use rescheck_obs::{Event, Observer, Phase};
 use rescheck_trace::{RandomAccessTrace, TraceCursor, TraceEvent};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -44,11 +45,13 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
     cnf: &Cnf,
     trace: &S,
     config: &CheckConfig,
+    obs: &mut dyn Observer,
 ) -> Result<CheckOutcome, CheckError> {
     let start = Instant::now();
     let num_original = cnf.num_clauses();
     let mut meter = MemoryMeter::new(config.memory_limit);
 
+    let pass1 = Phase::start("check:pass1", obs);
     // ---- Pass 1: offset index + level-0 records + pins.
     let mut index: HashMap<u64, u64> = HashMap::new();
     let mut level_zero = LevelZeroMap::default();
@@ -77,9 +80,9 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
     }
     let start_id = *final_ids.first().ok_or(CheckError::NoFinalConflict)?;
     meter.alloc(
-        index.len() as u64 * INDEX_ENTRY_BYTES
-            + level_zero.len() as u64 * LEVEL_ZERO_RECORD_BYTES,
+        index.len() as u64 * INDEX_ENTRY_BYTES + level_zero.len() as u64 * LEVEL_ZERO_RECORD_BYTES,
     )?;
+    pass1.finish(obs);
 
     let mut cursor = trace.open_cursor()?;
     let sources_of = |cursor: &mut dyn TraceCursor,
@@ -101,6 +104,7 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
     };
 
     // ---- Pass 2: reachability + use counts over the needed subgraph.
+    let resolve_phase = Phase::start("check:resolve", obs);
     let pinned_set: HashSet<u64> = pinned
         .iter()
         .copied()
@@ -182,20 +186,18 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
         }
     }
 
-    let fetch_original = |id: u64,
-                              cache: &mut HashMap<u64, Rc<[Lit]>>,
-                              used: &mut Vec<bool>|
-     -> Rc<[Lit]> {
-        used[id as usize] = true;
-        if let Some(c) = cache.get(&id) {
-            return c.clone();
-        }
-        let lits: Rc<[Lit]> = Rc::from(normalize_literals(
-            cnf.clause(id as usize).expect("in range").iter().copied(),
-        ));
-        cache.insert(id, lits.clone());
-        lits
-    };
+    let fetch_original =
+        |id: u64, cache: &mut HashMap<u64, Rc<[Lit]>>, used: &mut Vec<bool>| -> Rc<[Lit]> {
+            used[id as usize] = true;
+            if let Some(c) = cache.get(&id) {
+                return c.clone();
+            }
+            let lits: Rc<[Lit]> = Rc::from(normalize_literals(
+                cnf.clause(id as usize).expect("in range").iter().copied(),
+            ));
+            cache.insert(id, lits.clone());
+            lits
+        };
 
     for id in build_order {
         let sources = sources_of(&mut *cursor, &index, id, None)?;
@@ -228,6 +230,14 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
             resolutions += 1;
         }
         clauses_built += 1;
+        if clauses_built.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
+            obs.observe(&Event::Progress {
+                phase: "check:resolve",
+                done: clauses_built,
+                unit: "clauses",
+                detail: None,
+            });
+        }
 
         // Consume the sources: free any clause whose needed uses are done.
         for &s in &sources {
@@ -241,15 +251,17 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
                 }
             }
         }
-        let still_used =
-            pinned_set.contains(&id) || use_counts.get(&id).copied().unwrap_or(0) > 0;
+        let still_used = pinned_set.contains(&id) || use_counts.get(&id).copied().unwrap_or(0) > 0;
         if still_used {
             meter.alloc(clause_bytes(acc.len()))?;
             live.insert(id, Rc::from(acc));
         }
     }
 
+    resolve_phase.finish(obs);
+
     // ---- Final phase over the pinned clauses.
+    let final_phase = Phase::start("final-phase", obs);
     struct HybridProvider<'a> {
         cnf: &'a Cnf,
         num_original: usize,
@@ -291,6 +303,7 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
         used_originals: &mut used_originals,
     };
     let final_stats = derive_empty_clause(start_id, &level_zero, &mut provider)?;
+    final_phase.finish(obs);
 
     let core_ids: Vec<usize> = used_originals
         .iter()
@@ -308,6 +321,7 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
         runtime: start.elapsed(),
         trace_bytes: trace.encoded_size(),
     };
+    crate::depth_first::emit_check_gauges(obs, &stats, use_counts.len() as u64);
 
     Ok(CheckOutcome {
         core: Some(UnsatCore::new(core_ids, cnf)),
@@ -318,6 +332,7 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rescheck_obs::NullObserver;
     use rescheck_trace::{MemorySink, TraceSink};
 
     fn learned_proof() -> (Cnf, MemorySink) {
@@ -337,7 +352,7 @@ mod tests {
     #[test]
     fn accepts_learned_clause_proof_with_core() {
         let (cnf, sink) = learned_proof();
-        let outcome = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        let outcome = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap();
         assert_eq!(outcome.stats.strategy, Strategy::Hybrid);
         assert_eq!(outcome.stats.clauses_built, 2);
         let core = outcome.core.unwrap();
@@ -357,7 +372,7 @@ mod tests {
         sink.level_zero(Lit::from_dimacs(1), 0).unwrap();
         sink.level_zero(Lit::from_dimacs(2), 1).unwrap();
         sink.final_conflict(2).unwrap();
-        let outcome = run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        let outcome = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap();
         assert_eq!(outcome.stats.clauses_built, 0);
         assert_eq!(outcome.core.unwrap().clause_ids, vec![0, 1, 2]);
     }
@@ -368,7 +383,7 @@ mod tests {
         cnf.add_dimacs_clause(&[1]);
         let sink = MemorySink::new();
         assert!(matches!(
-            run(&cnf, &sink, &CheckConfig::default()).unwrap_err(),
+            run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap_err(),
             CheckError::NoFinalConflict
         ));
     }
@@ -382,7 +397,7 @@ mod tests {
         sink.learned(2, &[1, 0]).unwrap();
         sink.final_conflict(1).unwrap();
         assert!(matches!(
-            run(&cnf, &sink, &CheckConfig::default()).unwrap_err(),
+            run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap_err(),
             CheckError::CyclicProof { .. }
         ));
     }
@@ -395,7 +410,7 @@ mod tests {
         let mut sink = MemorySink::new();
         sink.learned(2, &[0, 1]).unwrap();
         sink.final_conflict(2).unwrap();
-        let err = run(&cnf, &sink, &CheckConfig::default()).unwrap_err();
+        let err = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap_err();
         assert!(matches!(
             err,
             CheckError::NotResolvable {
@@ -412,7 +427,7 @@ mod tests {
             memory_limit: Some(8),
         };
         assert!(matches!(
-            run(&cnf, &sink, &config).unwrap_err(),
+            run(&cnf, &sink, &config, &mut NullObserver).unwrap_err(),
             CheckError::MemoryLimitExceeded { .. }
         ));
     }
@@ -430,17 +445,17 @@ mod tests {
         cnf.add_dimacs_clause(&[-n]);
         let mut sink = MemorySink::new();
         let mut prev = 0u64;
-        let mut next_id = (n + 1) as u64;
         for i in 1..n {
+            let next_id = (n + i) as u64;
             sink.learned(next_id, &[prev, i as u64]).unwrap();
             prev = next_id;
-            next_id += 1;
         }
         sink.level_zero(Lit::from_dimacs(n), prev).unwrap();
         sink.final_conflict(n as u64).unwrap();
 
-        let hybrid = run(&cnf, &sink, &CheckConfig::default()).unwrap();
-        let df = crate::depth_first::run(&cnf, &sink, &CheckConfig::default()).unwrap();
+        let hybrid = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap();
+        let df = crate::depth_first::run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver)
+            .unwrap();
         assert!(
             hybrid.stats.peak_memory_bytes < df.stats.peak_memory_bytes,
             "hybrid {} vs df {}",

@@ -73,7 +73,7 @@ mod trim;
 
 pub use api::{
     check_breadth_first, check_depth_first, check_hybrid, check_sat_claim, check_unsat_claim,
-    CheckConfig, ModelError, Strategy,
+    check_unsat_claim_observed, CheckConfig, ModelError, Strategy,
 };
 pub use core_min::{minimize_core, CoreIteration, CoreMinimization, MinimizeError};
 pub use error::{BadAntecedentReason, CheckError};
@@ -81,4 +81,4 @@ pub use memory::MemoryMeter;
 pub use outcome::{CheckOutcome, CheckStats, UnsatCore};
 pub use proof::{proof_stats, ProofStats};
 pub use resolve::{normalize_literals, resolve_sorted, ResolveFailure};
-pub use trim::{trim_trace, TrimmedTrace};
+pub use trim::{trim_trace, trim_trace_observed, TrimmedTrace};

@@ -164,6 +164,5 @@ mod tests {
     fn byte_model_is_monotonic_in_length() {
         assert!(clause_bytes(0) < clause_bytes(1));
         assert!(trace_record_bytes(2) < trace_record_bytes(3));
-        assert!(LEVEL_ZERO_RECORD_BYTES > 0 && USE_COUNT_BYTES > 0);
     }
 }

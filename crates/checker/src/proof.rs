@@ -255,9 +255,8 @@ mod tests {
     fn real_traces_have_consistent_metrics() {
         let mut cnf = Cnf::new();
         // PHP(5,4) inline.
-        let lit = |p: usize, h: usize| {
-            rescheck_cnf::Lit::positive(rescheck_cnf::Var::new(p * 4 + h))
-        };
+        let lit =
+            |p: usize, h: usize| rescheck_cnf::Lit::positive(rescheck_cnf::Var::new(p * 4 + h));
         for p in 0..5 {
             cnf.add_clause((0..4).map(|h| lit(p, h)));
         }
@@ -277,12 +276,9 @@ mod tests {
         assert!(stats.depth >= 1);
         assert!(stats.core_clauses <= cnf.num_clauses());
         // Consistent with the depth-first checker's count.
-        let outcome = crate::api::check_depth_first(
-            &cnf,
-            &trace,
-            &crate::api::CheckConfig::default(),
-        )
-        .unwrap();
+        let outcome =
+            crate::api::check_depth_first(&cnf, &trace, &crate::api::CheckConfig::default())
+                .unwrap();
         assert!(stats.needed >= outcome.stats.clauses_built);
     }
 

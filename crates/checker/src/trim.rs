@@ -13,6 +13,7 @@ use crate::error::CheckError;
 use crate::model::validate_learned;
 use crate::outcome::UnsatCore;
 use rescheck_cnf::Cnf;
+use rescheck_obs::{Event, NullObserver, Observer, Phase};
 use rescheck_trace::{TraceEvent, TraceSource};
 use std::collections::{HashMap, HashSet};
 
@@ -79,7 +80,22 @@ pub fn trim_trace<S: TraceSource + ?Sized>(
     cnf: &Cnf,
     trace: &S,
 ) -> Result<TrimmedTrace, CheckError> {
+    trim_trace_observed(cnf, trace, &mut NullObserver)
+}
+
+/// [`trim_trace`] with an [`Observer`] receiving the `check:pass1` phase
+/// timer and the `trim.kept_learned` / `trim.dropped_learned` gauges.
+///
+/// # Errors
+///
+/// See [`trim_trace`].
+pub fn trim_trace_observed<S: TraceSource + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    obs: &mut dyn Observer,
+) -> Result<TrimmedTrace, CheckError> {
     let num_original = cnf.num_clauses();
+    let pass1 = Phase::start("check:pass1", obs);
 
     // Pass 1: collect the structure.
     let mut sources: HashMap<u64, Vec<u64>> = HashMap::new();
@@ -107,6 +123,7 @@ pub fn trim_trace<S: TraceSource + ?Sized>(
         }
     }
     let final_id = final_id.ok_or(CheckError::NoFinalConflict)?;
+    pass1.finish(obs);
 
     // Pass 2: reachability with cycle detection.
     let mut needed: HashSet<u64> = HashSet::new();
@@ -181,6 +198,15 @@ pub fn trim_trace<S: TraceSource + ?Sized>(
         .map(|(i, _)| i)
         .collect();
 
+    obs.observe(&Event::GaugeSet {
+        name: "trim.kept_learned",
+        value: kept as f64,
+    });
+    obs.observe(&Event::GaugeSet {
+        name: "trim.dropped_learned",
+        value: dropped as f64,
+    });
+
     Ok(TrimmedTrace {
         events,
         core: UnsatCore::new(core_ids, cnf),
@@ -201,9 +227,8 @@ mod tests {
     fn pigeonhole(holes: usize) -> Cnf {
         let pigeons = holes + 1;
         let mut cnf = Cnf::new();
-        let lit = |p: usize, h: usize| {
-            rescheck_cnf::Lit::positive(rescheck_cnf::Var::new(p * holes + h))
-        };
+        let lit =
+            |p: usize, h: usize| rescheck_cnf::Lit::positive(rescheck_cnf::Var::new(p * holes + h));
         for p in 0..pigeons {
             cnf.add_clause((0..holes).map(|h| lit(p, h)));
         }
@@ -343,8 +368,8 @@ mod tests {
         let mut trace = MemorySink::new();
         assert!(solver.solve_traced(&mut trace).unwrap().is_unsat());
         let trimmed = trim_trace(&cnf, &trace).unwrap();
-        let df = check_unsat_claim(&cnf, &trace, Strategy::DepthFirst, &CheckConfig::default())
-            .unwrap();
+        let df =
+            check_unsat_claim(&cnf, &trace, Strategy::DepthFirst, &CheckConfig::default()).unwrap();
         // The DF core only contains originals the *derivation* touched;
         // the trim core additionally pins level-0 antecedents, so it is a
         // superset.

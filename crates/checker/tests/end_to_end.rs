@@ -1,14 +1,10 @@
 //! End-to-end validation: solve → trace → check, both strategies, over a
 //! spread of instance families and solver configurations.
 
-use rescheck_checker::{
-    check_sat_claim, check_unsat_claim, minimize_core, CheckConfig, Strategy,
-};
+use rescheck_checker::{check_sat_claim, check_unsat_claim, minimize_core, CheckConfig, Strategy};
 use rescheck_cnf::{Cnf, Lit, Var};
 use rescheck_solver::{SolveResult, Solver, SolverConfig};
-use rescheck_trace::{
-    AsciiWriter, BinaryWriter, FileTrace, MemorySink, TraceSink, TraceSource,
-};
+use rescheck_trace::{AsciiWriter, BinaryWriter, FileTrace, MemorySink, TraceSink, TraceSource};
 
 fn pigeonhole(holes: usize) -> Cnf {
     let pigeons = holes + 1;
@@ -52,7 +48,11 @@ fn solve_and_check_both(cnf: &Cnf, cfg: SolverConfig) {
             check_sat_claim(cnf, &model).expect("claimed model must satisfy");
         }
         SolveResult::Unsatisfiable => {
-            for strategy in [Strategy::DepthFirst, Strategy::BreadthFirst, Strategy::Hybrid] {
+            for strategy in [
+                Strategy::DepthFirst,
+                Strategy::BreadthFirst,
+                Strategy::Hybrid,
+            ] {
                 let outcome = check_unsat_claim(cnf, &trace, strategy, &CheckConfig::default())
                     .unwrap_or_else(|e| panic!("{strategy} check failed: {e}"));
                 assert_eq!(
@@ -252,8 +252,13 @@ fn depth_first_memory_out_vs_breadth_first_survival() {
     assert!(solver.solve_traced(&mut trace).unwrap().is_unsat());
 
     // Find the BF peak, then set the budget between BF and DF peaks.
-    let bf = check_unsat_claim(&cnf, &trace, Strategy::BreadthFirst, &CheckConfig::default())
-        .unwrap();
+    let bf = check_unsat_claim(
+        &cnf,
+        &trace,
+        Strategy::BreadthFirst,
+        &CheckConfig::default(),
+    )
+    .unwrap();
     let df =
         check_unsat_claim(&cnf, &trace, Strategy::DepthFirst, &CheckConfig::default()).unwrap();
     assert!(

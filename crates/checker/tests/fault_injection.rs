@@ -41,20 +41,28 @@ fn solved_instance() -> (Cnf, Vec<TraceEvent>) {
 }
 
 fn both_reject(cnf: &Cnf, events: &[TraceEvent], what: &str) -> Vec<CheckError> {
-    [Strategy::DepthFirst, Strategy::BreadthFirst, Strategy::Hybrid]
-        .into_iter()
-        .map(|strategy| {
-            check_unsat_claim(cnf, &events.to_vec(), strategy, &CheckConfig::default())
-                .map(|_| ())
-                .expect_err(&format!("{strategy} must reject: {what}"))
-        })
-        .collect()
+    [
+        Strategy::DepthFirst,
+        Strategy::BreadthFirst,
+        Strategy::Hybrid,
+    ]
+    .into_iter()
+    .map(|strategy| {
+        check_unsat_claim(cnf, &events.to_vec(), strategy, &CheckConfig::default())
+            .map(|_| ())
+            .expect_err(&format!("{strategy} must reject: {what}"))
+    })
+    .collect()
 }
 
 #[test]
 fn genuine_trace_is_accepted() {
     let (cnf, events) = solved_instance();
-    for strategy in [Strategy::DepthFirst, Strategy::BreadthFirst, Strategy::Hybrid] {
+    for strategy in [
+        Strategy::DepthFirst,
+        Strategy::BreadthFirst,
+        Strategy::Hybrid,
+    ] {
         check_unsat_claim(&cnf, &events, strategy, &CheckConfig::default()).unwrap();
     }
 }
@@ -97,7 +105,11 @@ fn swapping_two_resolve_sources_within_a_clause_can_still_check() {
     {
         sources.swap(1, 2);
     }
-    for strategy in [Strategy::DepthFirst, Strategy::BreadthFirst, Strategy::Hybrid] {
+    for strategy in [
+        Strategy::DepthFirst,
+        Strategy::BreadthFirst,
+        Strategy::Hybrid,
+    ] {
         let _ = check_unsat_claim(&cnf, &events, strategy, &CheckConfig::default());
     }
 }
@@ -197,10 +209,7 @@ fn claiming_unsat_for_a_satisfiable_formula_is_rejected() {
     sink.final_conflict(2).unwrap();
     let events = sink.into_events();
     for err in both_reject(&cnf, &events, "UNSAT claim on SAT formula") {
-        assert!(matches!(
-            err,
-            CheckError::FinalClauseNotConflicting { .. }
-        ));
+        assert!(matches!(err, CheckError::FinalClauseNotConflicting { .. }));
     }
 }
 

@@ -1,15 +1,22 @@
 //! Robustness: no input — however mangled — may panic the checker.
 //! A validation tool that crashes on malformed evidence is useless, so
 //! every strategy must return `Ok` or a structured `Err` on arbitrary
-//! corruption of real traces and formulas.
+//! corruption of real traces and formulas. Mutations are drawn from the
+//! in-house [`SplitMix64`] generator (seeded loops, reproducible from
+//! the printed seed); `heavy-tests` raises the case count.
 
-use proptest::prelude::*;
 use rescheck_checker::{
     check_unsat_claim, proof_stats, trim_trace, CheckConfig, Strategy as CheckStrategy,
 };
-use rescheck_cnf::{Cnf, Lit, Var};
+use rescheck_cnf::{Cnf, Lit, SplitMix64, Var};
 use rescheck_solver::{Solver, SolverConfig};
-use rescheck_trace::{MemorySink, TraceEvent, TraceSink};
+use rescheck_trace::{MemorySink, TraceEvent};
+
+const CASES: u64 = if cfg!(feature = "heavy-tests") {
+    512
+} else {
+    64
+};
 
 fn pigeonhole(holes: usize) -> Cnf {
     let pigeons = holes + 1;
@@ -36,81 +43,55 @@ fn genuine() -> (Cnf, Vec<TraceEvent>) {
     (cnf, sink.into_events())
 }
 
-/// One structured mutation of an event stream.
-#[derive(Clone, Debug)]
-enum Mutation {
-    DropEvent(prop::sample::Index),
-    DuplicateEvent(prop::sample::Index),
-    SwapEvents(prop::sample::Index, prop::sample::Index),
-    PerturbId(prop::sample::Index, u64),
-    PerturbSource(prop::sample::Index, prop::sample::Index, u64),
-    FlipLiteral(prop::sample::Index),
-    TruncateSources(prop::sample::Index),
-}
-
-fn mutation_strategy() -> impl Strategy<Value = Mutation> {
-    prop_oneof![
-        any::<prop::sample::Index>().prop_map(Mutation::DropEvent),
-        any::<prop::sample::Index>().prop_map(Mutation::DuplicateEvent),
-        (any::<prop::sample::Index>(), any::<prop::sample::Index>())
-            .prop_map(|(a, b)| Mutation::SwapEvents(a, b)),
-        (any::<prop::sample::Index>(), 0u64..1_000_000)
-            .prop_map(|(i, d)| Mutation::PerturbId(i, d)),
-        (
-            any::<prop::sample::Index>(),
-            any::<prop::sample::Index>(),
-            0u64..1_000_000
-        )
-            .prop_map(|(i, j, d)| Mutation::PerturbSource(i, j, d)),
-        any::<prop::sample::Index>().prop_map(Mutation::FlipLiteral),
-        any::<prop::sample::Index>().prop_map(Mutation::TruncateSources),
-    ]
-}
-
-fn apply(events: &mut Vec<TraceEvent>, m: &Mutation) {
+/// Applies one randomly chosen structured mutation to an event stream.
+fn mutate(events: &mut Vec<TraceEvent>, rng: &mut SplitMix64) {
     if events.is_empty() {
         return;
     }
-    match m {
-        Mutation::DropEvent(i) => {
-            let i = i.index(events.len());
+    let i = rng.range_usize(0..events.len());
+    match rng.below(7) {
+        // Drop an event.
+        0 => {
             events.remove(i);
         }
-        Mutation::DuplicateEvent(i) => {
-            let i = i.index(events.len());
+        // Duplicate an event.
+        1 => {
             let e = events[i].clone();
             events.insert(i, e);
         }
-        Mutation::SwapEvents(a, b) => {
-            let (a, b) = (a.index(events.len()), b.index(events.len()));
-            events.swap(a, b);
+        // Swap two events.
+        2 => {
+            let j = rng.range_usize(0..events.len());
+            events.swap(i, j);
         }
-        Mutation::PerturbId(i, delta) => {
-            let i = i.index(events.len());
+        // Perturb a clause / antecedent ID.
+        3 => {
+            let delta = rng.below(1_000_000);
             match &mut events[i] {
                 TraceEvent::Learned { id, .. } | TraceEvent::FinalConflict { id } => {
-                    *id = id.wrapping_add(*delta);
+                    *id = id.wrapping_add(delta);
                 }
                 TraceEvent::LevelZero { antecedent, .. } => {
-                    *antecedent = antecedent.wrapping_add(*delta);
+                    *antecedent = antecedent.wrapping_add(delta);
                 }
             }
         }
-        Mutation::PerturbSource(i, j, delta) => {
-            let i = i.index(events.len());
+        // Perturb one source of a learned clause.
+        4 => {
+            let delta = rng.below(1_000_000);
             if let TraceEvent::Learned { sources, .. } = &mut events[i] {
-                let j = j.index(sources.len());
-                sources[j] = sources[j].wrapping_add(*delta);
+                let j = rng.range_usize(0..sources.len());
+                sources[j] = sources[j].wrapping_add(delta);
             }
         }
-        Mutation::FlipLiteral(i) => {
-            let i = i.index(events.len());
+        // Flip a level-zero literal.
+        5 => {
             if let TraceEvent::LevelZero { lit, .. } = &mut events[i] {
                 *lit = !*lit;
             }
         }
-        Mutation::TruncateSources(i) => {
-            let i = i.index(events.len());
+        // Truncate a learned clause's source list.
+        _ => {
             if let TraceEvent::Learned { sources, .. } = &mut events[i] {
                 sources.truncate(2.max(sources.len() / 2));
             }
@@ -118,21 +99,19 @@ fn apply(events: &mut Vec<TraceEvent>, m: &Mutation) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Apply a burst of structured mutations to a genuine trace: every
-    /// strategy, the trimmer and the analyzer must return without
-    /// panicking, and — crucially — if a checker still says `Ok`, the
-    /// formula really is unsatisfiable (it is PHP, so that is given; the
-    /// point is the no-panic and no-hang guarantee).
-    #[test]
-    fn mutated_traces_never_panic(
-        mutations in prop::collection::vec(mutation_strategy(), 1..6),
-    ) {
-        let (cnf, mut events) = genuine();
-        for m in &mutations {
-            apply(&mut events, m);
+/// Apply a burst of structured mutations to a genuine trace: every
+/// strategy, the trimmer and the analyzer must return without
+/// panicking, and — crucially — if a checker still says `Ok`, the
+/// formula really is unsatisfiable (it is PHP, so that is given; the
+/// point is the no-panic and no-hang guarantee).
+#[test]
+fn mutated_traces_never_panic() {
+    let (cnf, pristine) = genuine();
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let mut events = pristine.clone();
+        for _ in 0..rng.range_usize(1..6) {
+            mutate(&mut events, &mut rng);
         }
         for strategy in [
             CheckStrategy::DepthFirst,
@@ -144,18 +123,18 @@ proptest! {
         let _ = trim_trace(&cnf, &events);
         let _ = proof_stats(&cnf, &events);
     }
+}
 
-    /// Checking a genuine trace against mutated *formulas* (clauses
-    /// shuffled out, literals flipped) must never panic either.
-    #[test]
-    fn mutated_formulas_never_panic(
-        drop_at in any::<prop::sample::Index>(),
-        flip_at in any::<prop::sample::Index>(),
-    ) {
-        let (cnf, events) = genuine();
+/// Checking a genuine trace against mutated *formulas* (clauses
+/// shuffled out, literals flipped) must never panic either.
+#[test]
+fn mutated_formulas_never_panic() {
+    let (cnf, events) = genuine();
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
         // Drop one clause.
         let mut ids: Vec<usize> = (0..cnf.num_clauses()).collect();
-        ids.remove(drop_at.index(ids.len()));
+        ids.remove(rng.range_usize(0..ids.len()));
         let smaller = cnf.subformula(ids);
         for strategy in [
             CheckStrategy::DepthFirst,
@@ -166,7 +145,7 @@ proptest! {
         }
         // Flip one literal of one clause.
         let mut mutated = Cnf::with_vars(cnf.num_vars());
-        let target = flip_at.index(cnf.num_clauses());
+        let target = rng.range_usize(0..cnf.num_clauses());
         for (i, clause) in cnf.iter() {
             let mut lits: Vec<Lit> = clause.iter().copied().collect();
             if i == target {

@@ -147,12 +147,8 @@ pub fn barrel_rotate_left(c: &mut Circuit, word: &[NodeId], shift: &[NodeId]) ->
         if n == 0 {
             break;
         }
-        let rotated: Vec<NodeId> = (0..n)
-            .map(|i| current[(i + n - amount % n) % n])
-            .collect();
-        current = (0..n)
-            .map(|i| c.mux(s, rotated[i], current[i]))
-            .collect();
+        let rotated: Vec<NodeId> = (0..n).map(|i| current[(i + n - amount % n) % n]).collect();
+        current = (0..n).map(|i| c.mux(s, rotated[i], current[i])).collect();
     }
     current
 }
@@ -164,11 +160,7 @@ pub fn barrel_rotate_left(c: &mut Circuit, word: &[NodeId], shift: &[NodeId]) ->
 /// Panics if the words have different widths.
 pub fn equal(c: &mut Circuit, a: &[NodeId], b: &[NodeId]) -> NodeId {
     assert_eq!(a.len(), b.len(), "equality needs equal widths");
-    let bits: Vec<NodeId> = a
-        .iter()
-        .zip(b)
-        .map(|(&x, &y)| c.xnor(x, y))
-        .collect();
+    let bits: Vec<NodeId> = a.iter().zip(b).map(|(&x, &y)| c.xnor(x, y)).collect();
     c.and_all(bits)
 }
 
@@ -264,7 +256,11 @@ mod tests {
                 let mut inputs = u64_to_bits(x, w);
                 inputs.extend(u64_to_bits(y, w));
                 assert_eq!(bits_to_u64(&am.simulate(&inputs)), x * y, "array {x}*{y}");
-                assert_eq!(bits_to_u64(&sm.simulate(&inputs)), x * y, "shiftadd {x}*{y}");
+                assert_eq!(
+                    bits_to_u64(&sm.simulate(&inputs)),
+                    x * y,
+                    "shiftadd {x}*{y}"
+                );
             }
         }
     }

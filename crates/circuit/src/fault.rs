@@ -111,7 +111,10 @@ mod tests {
         // ¬s stuck at 1 leaves out = (s∧x) ∨ x = x = the good function.
         let faulty = inject_stuck_at(&c, ns, true);
         let cnf = equivalence_cnf(&c, &faulty).unwrap();
-        assert!(cnf.brute_force_status().is_unsat(), "fault must be untestable");
+        assert!(
+            cnf.brute_force_status().is_unsat(),
+            "fault must be untestable"
+        );
     }
 
     #[test]

@@ -71,9 +71,7 @@ impl Error for MiterInterfaceError {}
 /// # Ok::<(), rescheck_circuit::miter::MiterInterfaceError>(())
 /// ```
 pub fn miter(left: &Circuit, right: &Circuit) -> Result<Circuit, MiterInterfaceError> {
-    if left.num_inputs() != right.num_inputs()
-        || left.outputs().len() != right.outputs().len()
-    {
+    if left.num_inputs() != right.num_inputs() || left.outputs().len() != right.outputs().len() {
         return Err(MiterInterfaceError {
             left: (left.num_inputs(), left.outputs().len()),
             right: (right.num_inputs(), right.outputs().len()),
@@ -150,10 +148,7 @@ mod tests {
     fn equivalent_circuits_make_a_constant_zero_miter() {
         let m = miter(&nand_circuit(), &demorgan_circuit()).unwrap();
         for bits in 0..4u8 {
-            assert_eq!(
-                m.simulate(&[bits & 1 == 1, bits & 2 == 2]),
-                vec![false]
-            );
+            assert_eq!(m.simulate(&[bits & 1 == 1, bits & 2 == 2]), vec![false]);
         }
     }
 

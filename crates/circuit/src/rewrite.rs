@@ -156,7 +156,11 @@ mod tests {
         assert!(n <= 12, "exhaustive check only");
         for bits in 0u32..1 << n {
             let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
-            assert_eq!(a.simulate(&inputs), b.simulate(&inputs), "inputs {inputs:?}");
+            assert_eq!(
+                a.simulate(&inputs),
+                b.simulate(&inputs),
+                "inputs {inputs:?}"
+            );
         }
     }
 

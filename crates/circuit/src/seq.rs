@@ -103,11 +103,7 @@ impl SeqCircuit {
             }
             let map = c.import(&self.step, &input_map);
             bads.push(map[self.bad.index()]);
-            state = self
-                .next_state
-                .iter()
-                .map(|&n| map[n.index()])
-                .collect();
+            state = self.next_state.iter().map(|&n| map[n.index()]).collect();
         }
         let any_bad = c.or_all(bads);
         c.set_outputs([any_bad]);
@@ -140,11 +136,7 @@ impl SeqCircuit {
             if values[self.bad.index()] {
                 return true;
             }
-            state = self
-                .next_state
-                .iter()
-                .map(|&n| values[n.index()])
-                .collect();
+            state = self.next_state.iter().map(|&n| values[n.index()]).collect();
         }
         false
     }

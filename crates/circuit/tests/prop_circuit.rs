@@ -1,10 +1,17 @@
-//! Property-based tests over random circuits: simulation agrees with the
+//! Randomized tests over random circuits: simulation agrees with the
 //! Tseitin encoding, rewrites preserve the function, miters of a circuit
-//! against itself are constantly zero.
+//! against itself are constantly zero. Random circuits come from the
+//! in-house [`SplitMix64`] generator (seeded loops, reproducible from
+//! the printed seed); `heavy-tests` raises the case count.
 
-use proptest::prelude::*;
 use rescheck_circuit::{miter, rewrite, tseitin, Circuit, NodeId};
-use rescheck_cnf::{Assignment, LBool, Lit};
+use rescheck_cnf::{Assignment, LBool, Lit, SplitMix64};
+
+const CASES: u64 = if cfg!(feature = "heavy-tests") {
+    256
+} else {
+    24
+};
 
 /// A recipe for building a random circuit: a list of gate selections over
 /// previously created nodes.
@@ -18,18 +25,21 @@ enum Op {
     Const(bool),
 }
 
-fn ops_strategy(len: usize) -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0usize..64).prop_map(Op::Not),
-            (0usize..64, 0usize..64).prop_map(|(a, b)| Op::And(a, b)),
-            (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Or(a, b)),
-            (0usize..64, 0usize..64).prop_map(|(a, b)| Op::Xor(a, b)),
-            (0usize..64, 0usize..64, 0usize..64).prop_map(|(s, a, b)| Op::Mux(s, a, b)),
-            any::<bool>().prop_map(Op::Const),
-        ],
-        1..len,
-    )
+fn random_ops(rng: &mut SplitMix64, max_len: u64) -> Vec<Op> {
+    let len = 1 + rng.below(max_len - 1) as usize;
+    (0..len)
+        .map(|_| {
+            let pick = rng.range_usize(0..64);
+            match rng.below(6) {
+                0 => Op::Not(pick),
+                1 => Op::And(pick, rng.range_usize(0..64)),
+                2 => Op::Or(pick, rng.range_usize(0..64)),
+                3 => Op::Xor(pick, rng.range_usize(0..64)),
+                4 => Op::Mux(pick, rng.range_usize(0..64), rng.range_usize(0..64)),
+                _ => Op::Const(rng.gen_bool(0.5)),
+            }
+        })
+        .collect()
 }
 
 /// Builds a circuit from a recipe over `num_inputs` inputs; node operands
@@ -72,38 +82,41 @@ fn build(num_inputs: usize, ops: &[Op]) -> Circuit {
 
 const NUM_INPUTS: usize = 5;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn input_vector(bits: u64) -> Vec<bool> {
+    (0..NUM_INPUTS).map(|i| bits >> i & 1 == 1).collect()
+}
 
-    /// The golden property: for every input vector, an assignment that
-    /// sets each Tseitin variable to the simulated node value satisfies
-    /// the encoding.
-    #[test]
-    fn tseitin_matches_simulation(ops in ops_strategy(40), bits in 0u32..32) {
-        let c = build(NUM_INPUTS, &ops);
-        let inputs: Vec<bool> = (0..NUM_INPUTS).map(|i| bits >> i & 1 == 1).collect();
+/// The golden property: for every input vector, an assignment that
+/// sets each Tseitin variable to the simulated node value satisfies
+/// the encoding.
+#[test]
+fn tseitin_matches_simulation() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let c = build(NUM_INPUTS, &random_ops(&mut rng, 40));
+        let inputs = input_vector(rng.below(32));
         let values = c.evaluate_all(&inputs);
         let enc = tseitin::encode(&c);
         let mut assignment = Assignment::new(enc.cnf.num_vars());
         for (node, &var) in enc.node_vars.iter().enumerate() {
             assignment.set(var, LBool::from(values[node]));
         }
-        prop_assert!(enc.cnf.is_satisfied_by(&assignment));
+        assert!(enc.cnf.is_satisfied_by(&assignment), "seed {seed}");
     }
+}
 
-    /// Constraining the encoding's inputs pins the outputs to the
-    /// simulated values: the opposite output value is unsatisfiable.
-    #[test]
-    fn encoded_outputs_are_functionally_determined(
-        ops in ops_strategy(18),
-        bits in 0u32..32,
-    ) {
-        let c = build(NUM_INPUTS, &ops);
-        let inputs: Vec<bool> = (0..NUM_INPUTS).map(|i| bits >> i & 1 == 1).collect();
+/// Constraining the encoding's inputs pins the outputs to the
+/// simulated values: the opposite output value is unsatisfiable.
+#[test]
+fn encoded_outputs_are_functionally_determined() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let c = build(NUM_INPUTS, &random_ops(&mut rng, 18));
+        let inputs = input_vector(rng.below(32));
         let sim = c.simulate(&inputs);
         let enc = tseitin::encode(&c);
         if enc.cnf.num_vars() > 14 {
-            return Ok(()); // brute-force budget
+            continue; // brute-force budget
         }
         let mut cnf = enc.cnf.clone();
         for (i, &v) in enc.input_vars.iter().enumerate() {
@@ -113,44 +126,53 @@ proptest! {
         let mut flipped = cnf.clone();
         let out = enc.output_lits[0];
         flipped.add_clause([if sim[0] { !out } else { out }]);
-        prop_assert!(flipped.brute_force_status().is_unsat());
+        assert!(flipped.brute_force_status().is_unsat(), "seed {seed}");
         // And the simulated value is consistent: SAT.
         cnf.add_clause([if sim[0] { out } else { !out }]);
-        prop_assert!(cnf.brute_force_status().is_sat());
+        assert!(cnf.brute_force_status().is_sat(), "seed {seed}");
     }
+}
 
-    /// NAND and AIG rewrites preserve the function on all inputs.
-    #[test]
-    fn rewrites_preserve_function(ops in ops_strategy(30)) {
-        let c = build(NUM_INPUTS, &ops);
+/// NAND and AIG rewrites preserve the function on all inputs.
+#[test]
+fn rewrites_preserve_function() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let c = build(NUM_INPUTS, &random_ops(&mut rng, 30));
         let nand = rewrite::to_nand_only(&c);
         let aig = rewrite::to_aig(&c);
-        for bits in 0u32..1 << NUM_INPUTS {
-            let inputs: Vec<bool> = (0..NUM_INPUTS).map(|i| bits >> i & 1 == 1).collect();
+        for bits in 0u64..1 << NUM_INPUTS {
+            let inputs = input_vector(bits);
             let want = c.simulate(&inputs);
-            prop_assert_eq!(nand.simulate(&inputs), want.clone());
-            prop_assert_eq!(aig.simulate(&inputs), want);
+            assert_eq!(nand.simulate(&inputs), want.clone(), "seed {seed}");
+            assert_eq!(aig.simulate(&inputs), want, "seed {seed}");
         }
     }
+}
 
-    /// A miter of a circuit against itself is constantly zero.
-    #[test]
-    fn self_miter_is_zero(ops in ops_strategy(30), bits in 0u32..32) {
-        let c = build(NUM_INPUTS, &ops);
+/// A miter of a circuit against itself is constantly zero.
+#[test]
+fn self_miter_is_zero() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let c = build(NUM_INPUTS, &random_ops(&mut rng, 30));
         let m = miter::miter(&c, &c).unwrap();
-        let inputs: Vec<bool> = (0..NUM_INPUTS).map(|i| bits >> i & 1 == 1).collect();
-        prop_assert_eq!(m.simulate(&inputs), vec![false]);
+        let inputs = input_vector(rng.below(32));
+        assert_eq!(m.simulate(&inputs), vec![false], "seed {seed}");
     }
+}
 
-    /// Import into a fresh circuit preserves node semantics.
-    #[test]
-    fn import_preserves_semantics(ops in ops_strategy(30), bits in 0u32..32) {
-        let c = build(NUM_INPUTS, &ops);
+/// Import into a fresh circuit preserves node semantics.
+#[test]
+fn import_preserves_semantics() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let c = build(NUM_INPUTS, &random_ops(&mut rng, 30));
         let mut outer = Circuit::new();
         let inputs_nodes: Vec<NodeId> = (0..NUM_INPUTS).map(|_| outer.input()).collect();
         let map = outer.import(&c, &inputs_nodes);
         outer.set_outputs(c.outputs().iter().map(|o| map[o.index()]));
-        let inputs: Vec<bool> = (0..NUM_INPUTS).map(|i| bits >> i & 1 == 1).collect();
-        prop_assert_eq!(outer.simulate(&inputs), c.simulate(&inputs));
+        let inputs = input_vector(rng.below(32));
+        assert_eq!(outer.simulate(&inputs), c.simulate(&inputs), "seed {seed}");
     }
 }

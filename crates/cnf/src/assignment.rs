@@ -133,7 +133,10 @@ impl Assignment {
     /// [`LBool::Undef`].
     #[inline]
     pub fn value(&self, var: Var) -> LBool {
-        self.values.get(var.index()).copied().unwrap_or(LBool::Undef)
+        self.values
+            .get(var.index())
+            .copied()
+            .unwrap_or(LBool::Undef)
     }
 
     /// Returns the value of a literal under this assignment.

@@ -35,11 +35,10 @@ use std::io::{self, BufRead, Write};
 ///
 /// Returns a [`ParseDimacsError`] carrying the offending line number.
 pub fn parse_str(text: &str) -> Result<Cnf, ParseDimacsError> {
-    parse_lines(text.lines().map(|l| Ok::<_, io::Error>(l.to_owned())))
-        .map_err(|e| match e {
-            ReadError::Parse(p) => p,
-            ReadError::Io(_) => unreachable!("string iteration cannot fail"),
-        })
+    parse_lines(text.lines().map(|l| Ok::<_, io::Error>(l.to_owned()))).map_err(|e| match e {
+        ReadError::Parse(p) => p,
+        ReadError::Io(_) => unreachable!("string iteration cannot fail"),
+    })
 }
 
 /// Parses DIMACS CNF from a buffered reader.

@@ -7,7 +7,9 @@
 //! - [`Clause`]: a disjunction of literals,
 //! - [`Cnf`]: a formula in conjunctive normal form,
 //! - [`Assignment`] and [`LBool`]: three-valued variable assignments,
-//! - [`dimacs`]: DIMACS CNF reading and writing.
+//! - [`dimacs`]: DIMACS CNF reading and writing,
+//! - [`SplitMix64`]: a tiny deterministic PRNG so workload generators
+//!   and randomized tests need no external `rand` dependency.
 //!
 //! # Examples
 //!
@@ -39,9 +41,11 @@ pub mod dimacs;
 mod error;
 mod formula;
 mod lit;
+mod prng;
 
 pub use assignment::{Assignment, LBool};
 pub use clause::Clause;
 pub use error::ParseDimacsError;
 pub use formula::{Cnf, SatStatus};
 pub use lit::{Lit, Var};
+pub use prng::SplitMix64;

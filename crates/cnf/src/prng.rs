@@ -1,0 +1,172 @@
+//! A small deterministic PRNG for workload generation and tests.
+//!
+//! The workspace builds offline, so instead of depending on `rand` we
+//! ship SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a 64-bit state,
+//! full 2^64 period, and excellent statistical quality for its size.
+//! It is explicitly *not* cryptographic — it seeds benchmark instances
+//! and randomized tests, nothing else.
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// Deterministic for a given seed, so generated instances and tests are
+/// reproducible across platforms.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_cnf::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let v = a.below(10);
+/// assert!(v < 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift reduction with rejection, so the
+    /// result is unbiased for every bound.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a non-zero bound");
+        // Lemire 2019: take the high 64 bits of x * bound; reject the
+        // small biased region of the low half.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let wide = (x as u128) * (bound as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniform `usize` in `[range.start, range.end)`.
+    pub fn range_usize(&mut self, range: core::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+
+    /// A uniform `u32` in `[range.start, range.end)`.
+    pub fn range_u32(&mut self, range: core::ops::Range<u32>) -> u32 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.below(u64::from(range.end - range.start)) as u32
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_splitmix_vectors() {
+        // Reference outputs for seed 1234567 from the canonical C
+        // implementation (Vigna, prng.di.unimi.it).
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.next_u64(), 6457827717110365317);
+        assert_eq!(rng.next_u64(), 3203168211198807973);
+        assert_eq!(rng.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn determinism() {
+        let a: Vec<u64> = {
+            let mut rng = SplitMix64::new(99);
+            (0..32).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = SplitMix64::new(99);
+            (0..32).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn below_stays_in_bounds_and_hits_everything() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.below(5) as usize;
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ranges_respect_endpoints() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..100 {
+            let u = rng.range_usize(3..9);
+            assert!((3..9).contains(&u));
+            let w = rng.range_u32(10..500);
+            assert!((10..500).contains(&w));
+        }
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..100 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SplitMix64::new(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let heads = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((300..700).contains(&heads), "suspicious coin: {heads}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SplitMix64::new(21);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

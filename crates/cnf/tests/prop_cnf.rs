@@ -1,104 +1,147 @@
-//! Property-based tests for the CNF substrate.
+//! Randomized property tests for the CNF substrate.
+//!
+//! These were originally `proptest` properties; they are now driven by
+//! the in-house [`SplitMix64`] generator so the workspace builds with no
+//! network access. Each test sweeps a fixed seed range, so failures are
+//! reproducible from the printed seed. The `heavy-tests` feature raises
+//! the case count for soak runs.
 
-use proptest::prelude::*;
-use rescheck_cnf::{dimacs, Assignment, Clause, Cnf, LBool, Lit, Var};
+use rescheck_cnf::{dimacs, Assignment, Clause, Cnf, LBool, Lit, SplitMix64, Var};
 
-/// Strategy: an arbitrary clause over `max_vars` variables.
-fn clause_strategy(max_vars: u32) -> impl Strategy<Value = Vec<i64>> {
-    prop::collection::vec(
-        (1..=max_vars as i64).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
-        0..8,
-    )
+const CASES: u64 = if cfg!(feature = "heavy-tests") {
+    2048
+} else {
+    128
+};
+
+/// A random clause over `max_vars` variables as DIMACS literals
+/// (0 to 7 literals, possibly with duplicates and tautologies).
+fn random_dimacs_clause(rng: &mut SplitMix64, max_vars: u32) -> Vec<i64> {
+    let len = rng.below(8) as usize;
+    (0..len)
+        .map(|_| {
+            let v = rng.range_u32(1..max_vars + 1) as i64;
+            if rng.gen_bool(0.5) {
+                v
+            } else {
+                -v
+            }
+        })
+        .collect()
 }
 
-fn cnf_strategy(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
-    prop::collection::vec(clause_strategy(max_vars), 0..max_clauses).prop_map(move |clauses| {
-        let mut cnf = Cnf::with_vars(max_vars as usize);
-        for c in clauses {
-            cnf.add_dimacs_clause(&c);
-        }
-        cnf
-    })
+fn random_cnf(rng: &mut SplitMix64, max_vars: u32, max_clauses: u64) -> Cnf {
+    let mut cnf = Cnf::with_vars(max_vars as usize);
+    for _ in 0..rng.below(max_clauses) {
+        let clause = random_dimacs_clause(rng, max_vars);
+        cnf.add_dimacs_clause(&clause);
+    }
+    cnf
 }
 
-proptest! {
-    #[test]
-    fn lit_code_roundtrip(code in 0usize..1_000_000) {
+/// A total assignment over `n` variables from the low bits of `bits`.
+fn assignment_from_bits(n: usize, bits: u64) -> Assignment {
+    let mut a = Assignment::new(n);
+    for i in 0..n {
+        a.set(Var::new(i), LBool::from(bits >> i & 1 == 1));
+    }
+    a
+}
+
+#[test]
+fn lit_code_roundtrip() {
+    let mut rng = SplitMix64::new(0xC0DE);
+    for _ in 0..CASES {
+        let code = rng.below(1_000_000) as usize;
         let lit = Lit::from_code(code);
-        prop_assert_eq!(lit.code(), code);
-        prop_assert_eq!((!lit).code() ^ 1, code);
+        assert_eq!(lit.code(), code);
+        assert_eq!((!lit).code() ^ 1, code);
     }
+}
 
-    #[test]
-    fn lit_dimacs_roundtrip(d in prop_oneof![1i64..100_000, -100_000i64..-1]) {
-        prop_assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+#[test]
+fn lit_dimacs_roundtrip() {
+    let mut rng = SplitMix64::new(0xD1AC5);
+    for _ in 0..CASES {
+        let magnitude = rng.range_u32(1..100_000) as i64;
+        let d = if rng.gen_bool(0.5) {
+            magnitude
+        } else {
+            -magnitude
+        };
+        assert_eq!(Lit::from_dimacs(d).to_dimacs(), d, "literal {d}");
     }
+}
 
-    #[test]
-    fn dimacs_roundtrip(cnf in cnf_strategy(20, 30)) {
+#[test]
+fn dimacs_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let cnf = random_cnf(&mut rng, 20, 30);
         let text = dimacs::to_string(&cnf);
         let reparsed = dimacs::parse_str(&text).unwrap();
-        prop_assert_eq!(reparsed, cnf);
+        assert_eq!(reparsed, cnf, "seed {seed}");
     }
+}
 
-    #[test]
-    fn clause_eval_matches_literal_semantics(
-        lits in clause_strategy(8),
-        bits in 0u32..256,
-    ) {
+#[test]
+fn clause_eval_matches_literal_semantics() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let lits = random_dimacs_clause(&mut rng, 8);
+        let bits = rng.below(256);
         let clause = Clause::from_dimacs(&lits);
-        let mut a = Assignment::new(8);
-        for i in 0..8 {
-            a.set(Var::new(i), LBool::from(bits >> i & 1 == 1));
-        }
-        let expected = lits.iter().any(|&d| {
-            let lit = Lit::from_dimacs(d);
-            a.satisfies(lit)
-        });
-        prop_assert_eq!(clause.evaluate(&a) == LBool::True, expected);
+        let a = assignment_from_bits(8, bits);
+        let expected = lits.iter().any(|&d| a.satisfies(Lit::from_dimacs(d)));
+        assert_eq!(clause.evaluate(&a) == LBool::True, expected, "seed {seed}");
         // Under a total assignment the clause is never Undef.
-        prop_assert_ne!(clause.evaluate(&a), LBool::Undef);
+        assert_ne!(clause.evaluate(&a), LBool::Undef, "seed {seed}");
     }
+}
 
-    #[test]
-    fn formula_eval_is_conjunction_of_clauses(
-        cnf in cnf_strategy(8, 12),
-        bits in 0u32..256,
-    ) {
-        let mut a = Assignment::new(8);
-        for i in 0..8 {
-            a.set(Var::new(i), LBool::from(bits >> i & 1 == 1));
-        }
-        let expected = cnf
-            .clauses()
-            .iter()
-            .all(|c| c.evaluate(&a) == LBool::True);
-        prop_assert_eq!(cnf.is_satisfied_by(&a), expected);
+#[test]
+fn formula_eval_is_conjunction_of_clauses() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let cnf = random_cnf(&mut rng, 8, 12);
+        let bits = rng.below(256);
+        let a = assignment_from_bits(8, bits);
+        let expected = cnf.clauses().iter().all(|c| c.evaluate(&a) == LBool::True);
+        assert_eq!(cnf.is_satisfied_by(&a), expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn normalized_preserves_semantics(
-        lits in clause_strategy(8),
-        bits in 0u32..256,
-    ) {
+#[test]
+fn normalized_preserves_semantics() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let lits = random_dimacs_clause(&mut rng, 8);
+        let bits = rng.below(256);
         let clause = Clause::from_dimacs(&lits);
         let norm = clause.normalized();
-        let mut a = Assignment::new(8);
-        for i in 0..8 {
-            a.set(Var::new(i), LBool::from(bits >> i & 1 == 1));
-        }
-        prop_assert_eq!(clause.evaluate(&a), norm.evaluate(&a));
-        prop_assert!(clause.same_literals(&norm));
+        let a = assignment_from_bits(8, bits);
+        assert_eq!(clause.evaluate(&a), norm.evaluate(&a), "seed {seed}");
+        assert!(clause.same_literals(&norm), "seed {seed}");
     }
+}
 
-    #[test]
-    fn subformula_of_all_ids_is_identity(cnf in cnf_strategy(10, 10)) {
+#[test]
+fn subformula_of_all_ids_is_identity() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let cnf = random_cnf(&mut rng, 10, 10);
         let sub = cnf.subformula(0..cnf.num_clauses());
-        prop_assert_eq!(sub, cnf);
+        assert_eq!(sub, cnf, "seed {seed}");
     }
+}
 
-    #[test]
-    fn unit_literal_is_sound(lits in clause_strategy(6), bits in 0u32..64, mask in 0u32..64) {
+#[test]
+fn unit_literal_is_sound() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let lits = random_dimacs_clause(&mut rng, 6);
+        let bits = rng.below(64);
+        let mask = rng.below(64);
         let clause = Clause::from_dimacs(&lits);
         let mut a = Assignment::new(6);
         for i in 0..6 {
@@ -109,11 +152,11 @@ proptest! {
         if let Some(unit) = clause.unit_literal(&a) {
             // The reported literal is in the clause and unassigned, and all
             // other literals are false.
-            prop_assert!(clause.contains(unit));
-            prop_assert_eq!(a.lit_value(unit), LBool::Undef);
+            assert!(clause.contains(unit), "seed {seed}");
+            assert_eq!(a.lit_value(unit), LBool::Undef, "seed {seed}");
             for &l in clause.literals() {
                 if l != unit {
-                    prop_assert_eq!(a.lit_value(l), LBool::False);
+                    assert_eq!(a.lit_value(l), LBool::False, "seed {seed}");
                 }
             }
         }

@@ -1,0 +1,32 @@
+//! Dependency-free observability for the rescheck workspace.
+//!
+//! The paper's evaluation is all measurement — trace-generation overhead,
+//! checker runtime, peak memory, fraction of learned clauses rebuilt — so
+//! this crate gives every layer a shared instrumentation vocabulary
+//! without pulling in `tracing` or `serde` (the build environment is
+//! offline):
+//!
+//! - [`Observer`] / [`Event`]: a structured event stream with borrowed,
+//!   allocation-free payloads; [`NullObserver`] is the zero-cost default
+//!   and [`Tee`] fans out to two observers.
+//! - [`Phase`]: a wall-clock phase timer (`parse`, `solve`,
+//!   `trace-encode`, `check:pass1`, `check:resolve`, `final-phase`).
+//! - [`Registry`] / [`MetricsSink`]: monotonic counters, gauges and
+//!   accumulated phase timings, serialisable as JSON.
+//! - [`Json`]: a hand-rolled JSON value with a stable emitter and a
+//!   parser used by the schema tests.
+//! - [`ProgressReporter`] / [`LogConfig`]: a rate-limited stderr
+//!   heartbeat controlled by the `RESCHECK_LOG` env filter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod progress;
+
+pub use json::{Json, ParseError};
+pub use metrics::Registry;
+pub use observer::{Event, Level, MetricsSink, NullObserver, Observer, Phase, Tee};
+pub use progress::{LogConfig, ProgressReporter};

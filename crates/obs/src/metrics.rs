@@ -1,0 +1,210 @@
+//! Labeled counters, gauges and phase timers.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A registry of monotonic counters, gauges and phase timings.
+///
+/// Names are dotted paths (`"solver.conflicts"`, `"check.resolutions"`);
+/// the JSON form groups them under `counters`, `gauges` and `phases`.
+/// Phase durations accumulate: timing the same phase twice sums the
+/// wall-clock, which is what iterated flows (core minimization) want.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_obs::Registry;
+/// use std::time::Duration;
+///
+/// let mut reg = Registry::new();
+/// reg.inc("solver.conflicts", 10);
+/// reg.inc("solver.conflicts", 5);
+/// reg.set_gauge("check.peak_memory_bytes", 4096.0);
+/// reg.record_phase("solve", Duration::from_millis(250));
+/// assert_eq!(reg.counter("solver.conflicts"), Some(15));
+/// assert!(reg.to_json().path("phases.solve").is_some());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    phases: Vec<(String, Duration)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds to a monotonic counter, creating it at zero first.
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        if let Some(slot) = self.counters.get_mut(name) {
+            *slot = slot.saturating_add(delta);
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one timing of a phase; repeats accumulate.
+    pub fn record_phase(&mut self, name: &str, wall: Duration) {
+        if let Some((_, total)) = self.phases.iter_mut().find(|(n, _)| n == name) {
+            *total += wall;
+        } else {
+            self.phases.push((name.to_string(), wall));
+        }
+    }
+
+    /// Reads a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Total recorded wall-clock of a phase, in seconds.
+    pub fn phase_seconds(&self, name: &str) -> Option<f64> {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.as_secs_f64())
+    }
+
+    /// Phase names in first-recorded order.
+    pub fn phase_names(&self) -> Vec<&str> {
+        self.phases.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.phases.is_empty()
+    }
+
+    /// Merges another registry into this one (counters add, gauges take
+    /// the other's value, phases accumulate).
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, value) in &other.counters {
+            self.inc(name, *value);
+        }
+        for (name, value) in &other.gauges {
+            self.set_gauge(name, *value);
+        }
+        for (name, wall) in &other.phases {
+            self.record_phase(name, *wall);
+        }
+    }
+
+    /// The registry as a JSON object:
+    /// `{"phases": {name: seconds…}, "counters": {…}, "gauges": {…}}`.
+    pub fn to_json(&self) -> Json {
+        let mut phases = Json::object();
+        for (name, wall) in &self.phases {
+            phases.set(name, wall.as_secs_f64());
+        }
+        let mut counters = Json::object();
+        for (name, value) in &self.counters {
+            counters.set(name, *value);
+        }
+        let mut gauges = Json::object();
+        for (name, value) in &self.gauges {
+            gauges.set(name, *value);
+        }
+        let mut root = Json::object();
+        root.set("phases", phases)
+            .set("counters", counters)
+            .set("gauges", gauges);
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let mut reg = Registry::new();
+        reg.inc("a", u64::MAX - 1);
+        reg.inc("a", 10);
+        assert_eq!(reg.counter("a"), Some(u64::MAX));
+        assert_eq!(reg.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut reg = Registry::new();
+        reg.set_gauge("g", 1.0);
+        reg.set_gauge("g", 2.5);
+        assert_eq!(reg.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn phases_accumulate_in_order() {
+        let mut reg = Registry::new();
+        reg.record_phase("parse", Duration::from_millis(10));
+        reg.record_phase("solve", Duration::from_millis(100));
+        reg.record_phase("parse", Duration::from_millis(5));
+        assert_eq!(reg.phase_names(), vec!["parse", "solve"]);
+        assert!((reg.phase_seconds("parse").unwrap() - 0.015).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Registry::new();
+        a.inc("c", 1);
+        a.record_phase("p", Duration::from_secs(1));
+        let mut b = Registry::new();
+        b.inc("c", 2);
+        b.set_gauge("g", 7.0);
+        b.record_phase("p", Duration::from_secs(2));
+        a.merge(&b);
+        assert_eq!(a.counter("c"), Some(3));
+        assert_eq!(a.gauge("g"), Some(7.0));
+        assert_eq!(a.phase_seconds("p"), Some(3.0));
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut reg = Registry::new();
+        reg.inc("solver.conflicts", 3);
+        reg.set_gauge("check.peak_memory_bytes", 64.0);
+        reg.record_phase("solve", Duration::from_millis(1));
+        let json = reg.to_json();
+        assert_eq!(json.keys(), vec!["phases", "counters", "gauges"]);
+        assert_eq!(
+            json.path("counters.solver.conflicts"),
+            None, // dotted names are single keys, not nesting
+        );
+        assert_eq!(
+            json.get("counters")
+                .unwrap()
+                .get("solver.conflicts")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+        assert!(reg
+            .to_json()
+            .to_pretty_string()
+            .contains("peak_memory_bytes"));
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        let reg = Registry::new();
+        assert!(reg.is_empty());
+        assert_eq!(
+            reg.to_json().to_string(),
+            r#"{"phases":{},"counters":{},"gauges":{}}"#
+        );
+    }
+}

@@ -1,0 +1,382 @@
+//! Rate-limited stderr progress reporting, filtered by `RESCHECK_LOG`.
+
+use crate::observer::{Event, Level, Observer};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Parsed form of the `RESCHECK_LOG` environment variable.
+///
+/// The value is a comma-separated list: a level name (`off`, `error`,
+/// `warn`, `info`, `debug`, `trace`) plus `key=value` options.
+/// Recognised options:
+///
+/// - `heartbeat-conflicts=N` — emit solver progress every N conflicts
+///   (default 4096)
+/// - `heartbeat-events=M` — emit trace/checker progress every M events
+///   or clauses (default 65536)
+/// - `interval-ms=T` — minimum milliseconds between printed lines
+///   (default 250)
+///
+/// Unknown tokens are ignored so the filter degrades gracefully.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_obs::LogConfig;
+///
+/// let cfg = LogConfig::parse("debug,heartbeat-conflicts=100,interval-ms=0");
+/// assert_eq!(cfg.heartbeat_conflicts, 100);
+/// assert_eq!(cfg.interval, std::time::Duration::ZERO);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogConfig {
+    /// Highest severity printed; `None` silences everything.
+    pub level: Option<Level>,
+    /// Conflicts between solver heartbeats.
+    pub heartbeat_conflicts: u64,
+    /// Trace events / clauses between checker and codec heartbeats.
+    pub heartbeat_events: u64,
+    /// Minimum wall-clock between printed progress lines.
+    pub interval: Duration,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            level: Some(Level::Info),
+            heartbeat_conflicts: 4096,
+            heartbeat_events: 65536,
+            interval: Duration::from_millis(250),
+        }
+    }
+}
+
+impl LogConfig {
+    /// Reads `RESCHECK_LOG` from the environment; unset means defaults.
+    pub fn from_env() -> Self {
+        match std::env::var("RESCHECK_LOG") {
+            Ok(value) => LogConfig::parse(&value),
+            Err(_) => LogConfig::default(),
+        }
+    }
+
+    /// Parses a `RESCHECK_LOG`-style string.
+    pub fn parse(value: &str) -> Self {
+        let mut cfg = LogConfig::default();
+        for token in value.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            if let Some((key, val)) = token.split_once('=') {
+                let parsed = val.trim().parse::<u64>().ok();
+                match (key.trim(), parsed) {
+                    ("heartbeat-conflicts", Some(n)) if n > 0 => cfg.heartbeat_conflicts = n,
+                    ("heartbeat-events", Some(n)) if n > 0 => cfg.heartbeat_events = n,
+                    ("interval-ms", Some(n)) => cfg.interval = Duration::from_millis(n),
+                    _ => {}
+                }
+            } else {
+                match token.to_ascii_lowercase().as_str() {
+                    "off" | "none" | "0" => cfg.level = None,
+                    "error" => cfg.level = Some(Level::Error),
+                    "warn" => cfg.level = Some(Level::Warn),
+                    "info" => cfg.level = Some(Level::Info),
+                    "debug" => cfg.level = Some(Level::Debug),
+                    "trace" => cfg.level = Some(Level::Trace),
+                    _ => {}
+                }
+            }
+        }
+        cfg
+    }
+
+    /// `true` if a message at `level` passes the filter.
+    pub fn enabled(&self, level: Level) -> bool {
+        match self.level {
+            Some(max) => level <= max,
+            None => false,
+        }
+    }
+}
+
+/// An [`Observer`] that prints human-readable progress lines.
+///
+/// Writes to any [`Write`] sink (stderr in the CLI, a buffer in tests).
+/// Progress heartbeats are rate-limited to [`LogConfig::interval`];
+/// phase boundaries and messages at or above the configured level are
+/// always printed. Formatting failures are swallowed — observability
+/// must never take down the run.
+pub struct ProgressReporter<W: Write> {
+    out: W,
+    cfg: LogConfig,
+    last_progress: Option<Instant>,
+    last_conflict_heartbeat: u64,
+    last_done: BTreeMap<String, u64>,
+}
+
+impl ProgressReporter<std::io::Stderr> {
+    /// A reporter on stderr with the given configuration.
+    pub fn stderr(cfg: LogConfig) -> Self {
+        ProgressReporter::new(std::io::stderr(), cfg)
+    }
+}
+
+impl<W: Write> ProgressReporter<W> {
+    /// A reporter on an arbitrary sink.
+    pub fn new(out: W, cfg: LogConfig) -> Self {
+        ProgressReporter {
+            out,
+            cfg,
+            last_progress: None,
+            last_conflict_heartbeat: 0,
+            last_done: BTreeMap::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LogConfig {
+        &self.cfg
+    }
+
+    /// Consumes the reporter and returns its sink (for tests).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn line(&mut self, text: &str) {
+        let _ = writeln!(self.out, "rescheck: {text}");
+    }
+
+    fn progress_allowed(&mut self) -> bool {
+        let now = Instant::now();
+        match self.last_progress {
+            Some(last) if now.duration_since(last) < self.cfg.interval => false,
+            _ => {
+                self.last_progress = Some(now);
+                true
+            }
+        }
+    }
+}
+
+impl<W: Write> Observer for ProgressReporter<W> {
+    fn observe(&mut self, event: &Event<'_>) {
+        match event {
+            Event::PhaseStarted { phase } => {
+                if self.cfg.enabled(Level::Debug) {
+                    self.line(&format!("[{phase}] started"));
+                }
+            }
+            Event::PhaseFinished { phase, wall } => {
+                if self.cfg.enabled(Level::Info) {
+                    self.line(&format!("[{phase}] finished in {:.3}s", wall.as_secs_f64()));
+                }
+            }
+            Event::Progress {
+                phase,
+                done,
+                unit,
+                detail,
+            } => {
+                // Heartbeat every `heartbeat_events` units of work per
+                // phase, further rate-limited in wall-clock.
+                let last = self.last_done.get(*phase).copied().unwrap_or(0);
+                if self.cfg.enabled(Level::Info)
+                    && done.saturating_sub(last) >= self.cfg.heartbeat_events
+                    && self.progress_allowed()
+                {
+                    self.last_done.insert((*phase).to_string(), *done);
+                    match detail {
+                        Some(detail) => self.line(&format!("[{phase}] {done} {unit} · {detail}")),
+                        None => self.line(&format!("[{phase}] {done} {unit}")),
+                    }
+                }
+            }
+            Event::Conflict { number, .. } => {
+                // Heartbeat every `heartbeat_conflicts` conflicts.
+                if self.cfg.enabled(Level::Info)
+                    && number.saturating_sub(self.last_conflict_heartbeat)
+                        >= self.cfg.heartbeat_conflicts
+                    && self.progress_allowed()
+                {
+                    self.last_conflict_heartbeat = *number;
+                    self.line(&format!("[solve] {number} conflicts"));
+                }
+            }
+            Event::Restart {
+                number,
+                conflicts_since,
+            } => {
+                if self.cfg.enabled(Level::Debug) {
+                    self.line(&format!(
+                        "[solve] restart #{number} after {conflicts_since} conflicts"
+                    ));
+                }
+            }
+            Event::DbReduced { kept, deleted } => {
+                if self.cfg.enabled(Level::Debug) {
+                    self.line(&format!(
+                        "[solve] reduced db: kept {kept}, deleted {deleted}"
+                    ));
+                }
+            }
+            Event::Message { level, text } => {
+                if self.cfg.enabled(*level) {
+                    self.line(text);
+                }
+            }
+            // Per-decision / per-clause events are too hot to print
+            // individually even at trace level; counters and the
+            // heartbeats summarise them.
+            Event::Decision { .. }
+            | Event::ClauseLearned { .. }
+            | Event::CounterAdd { .. }
+            | Event::GaugeSet { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reported(cfg: LogConfig, events: &[Event<'_>]) -> String {
+        let mut rep = ProgressReporter::new(Vec::new(), cfg);
+        for event in events {
+            rep.observe(event);
+        }
+        String::from_utf8(rep.into_inner()).unwrap()
+    }
+
+    #[test]
+    fn parse_level_and_options() {
+        let cfg = LogConfig::parse("trace,heartbeat-conflicts=7,heartbeat-events=9,interval-ms=3");
+        assert_eq!(cfg.level, Some(Level::Trace));
+        assert_eq!(cfg.heartbeat_conflicts, 7);
+        assert_eq!(cfg.heartbeat_events, 9);
+        assert_eq!(cfg.interval, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn parse_ignores_junk_and_zero_heartbeats() {
+        let cfg = LogConfig::parse("bogus,heartbeat-conflicts=0,what=ever");
+        assert_eq!(cfg, LogConfig::default());
+    }
+
+    #[test]
+    fn off_silences_everything() {
+        let cfg = LogConfig::parse("off");
+        assert!(!cfg.enabled(Level::Error));
+        let out = reported(
+            cfg,
+            &[Event::Message {
+                level: Level::Error,
+                text: "boom",
+            }],
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn info_prints_phases_but_not_restarts() {
+        let cfg = LogConfig::parse("info,interval-ms=0");
+        let out = reported(
+            cfg,
+            &[
+                Event::PhaseFinished {
+                    phase: "solve",
+                    wall: Duration::from_millis(1500),
+                },
+                Event::Restart {
+                    number: 1,
+                    conflicts_since: 64,
+                },
+            ],
+        );
+        assert!(out.contains("[solve] finished in 1.500s"), "got: {out}");
+        assert!(!out.contains("restart"));
+    }
+
+    #[test]
+    fn debug_prints_restarts_and_phase_starts() {
+        let cfg = LogConfig::parse("debug,interval-ms=0");
+        let out = reported(
+            cfg,
+            &[
+                Event::PhaseStarted {
+                    phase: "check:pass1",
+                },
+                Event::Restart {
+                    number: 2,
+                    conflicts_since: 100,
+                },
+            ],
+        );
+        assert!(out.contains("[check:pass1] started"));
+        assert!(out.contains("restart #2 after 100 conflicts"));
+    }
+
+    #[test]
+    fn progress_is_rate_limited_in_time() {
+        let cfg = LogConfig::parse("info,interval-ms=60000,heartbeat-events=1");
+        let ticks: Vec<Event<'_>> = (1..=3)
+            .map(|i| Event::Progress {
+                phase: "solve",
+                done: i,
+                unit: "conflicts",
+                detail: None,
+            })
+            .collect();
+        let out = reported(cfg, &ticks);
+        assert_eq!(out.lines().count(), 1, "got: {out}");
+    }
+
+    #[test]
+    fn progress_respects_event_heartbeat() {
+        // heartbeat-events=100: done=50 is below threshold, 150 prints,
+        // 200 is only 50 past the last print.
+        let cfg = LogConfig::parse("info,interval-ms=0,heartbeat-events=100");
+        let tick = |done| Event::Progress {
+            phase: "check:resolve",
+            done,
+            unit: "clauses",
+            detail: None,
+        };
+        let out = reported(cfg, &[tick(50), tick(150), tick(200)]);
+        assert_eq!(out.lines().count(), 1, "got: {out}");
+        assert!(out.contains("[check:resolve] 150 clauses"));
+    }
+
+    #[test]
+    fn conflicts_heartbeat_at_configured_interval() {
+        let cfg = LogConfig::parse("info,interval-ms=0,heartbeat-conflicts=10");
+        let conflict = |number| Event::Conflict {
+            number,
+            decision_level: 1,
+        };
+        let out = reported(
+            cfg,
+            &[conflict(5), conflict(10), conflict(15), conflict(20)],
+        );
+        assert_eq!(out.lines().count(), 2, "got: {out}");
+        assert!(out.contains("[solve] 10 conflicts"));
+        assert!(out.contains("[solve] 20 conflicts"));
+    }
+
+    #[test]
+    fn progress_detail_is_appended() {
+        let cfg = LogConfig::parse("info,interval-ms=0,heartbeat-events=1");
+        let out = reported(
+            cfg,
+            &[Event::Progress {
+                phase: "check:resolve",
+                done: 500,
+                unit: "clauses",
+                detail: Some("12 MB peak"),
+            }],
+        );
+        assert!(out.contains("[check:resolve] 500 clauses · 12 MB peak"));
+    }
+}

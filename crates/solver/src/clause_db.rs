@@ -180,9 +180,7 @@ impl ClauseDb {
 
     /// Returns `true` if the ID refers to a live clause.
     pub fn is_live(&self, id: ClauseId) -> bool {
-        self.slots
-            .get(id.index())
-            .is_some_and(|s| s.is_some())
+        self.slots.get(id.index()).is_some_and(|s| s.is_some())
     }
 
     /// Returns `true` if the clause is learned (live learned clauses only).
@@ -199,10 +197,7 @@ impl ClauseDb {
     ///
     /// Panics if the clause is original or already removed.
     pub fn remove_learned(&mut self, id: ClauseId) {
-        let slot = self
-            .slots
-            .get_mut(id.index())
-            .expect("clause id in range");
+        let slot = self.slots.get_mut(id.index()).expect("clause id in range");
         let rec = slot.as_ref().expect("clause is live");
         assert!(rec.learned, "original clauses are never removed");
         *slot = None;
@@ -244,11 +239,7 @@ impl ClauseDb {
             .iter()
             .enumerate()
             .skip(self.num_original)
-            .filter_map(|(i, s)| {
-                s.as_ref()
-                    .filter(|r| r.learned)
-                    .map(|_| ClauseId::new(i))
-            })
+            .filter_map(|(i, s)| s.as_ref().filter(|r| r.learned).map(|_| ClauseId::new(i)))
     }
 
     /// Accounted memory of live clauses in bytes (literals only).

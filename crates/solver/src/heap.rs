@@ -34,9 +34,7 @@ impl VarOrderHeap {
     }
 
     pub(crate) fn contains(&self, var: Var) -> bool {
-        self.position
-            .get(var.index())
-            .is_some_and(|&p| p != NONE)
+        self.position.get(var.index()).is_some_and(|&p| p != NONE)
     }
 
     fn grow(&mut self, var: Var) {

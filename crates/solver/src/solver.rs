@@ -3,6 +3,7 @@
 use crate::heap::VarOrderHeap;
 use crate::{ClauseDb, ClauseId, SolveResult, SolverConfig, SolverStats};
 use rescheck_cnf::{Assignment, Clause, Cnf, LBool, Lit, Var};
+use rescheck_obs::{Event, NullObserver, Observer};
 use rescheck_trace::{NullSink, TraceSink};
 use std::io;
 
@@ -200,6 +201,23 @@ impl Solver {
     /// writing a trace file). The solver state is unusable for tracing
     /// after such an error; `solve` may still be called.
     pub fn solve_traced(&mut self, sink: &mut dyn TraceSink) -> io::Result<SolveResult> {
+        self.solve_observed(sink, &mut NullObserver)
+    }
+
+    /// [`solve_traced`](Solver::solve_traced) with instrumentation: the
+    /// observer receives a [`Event::Decision`] per branching decision, a
+    /// [`Event::Conflict`] per conflict, plus restart, clause-learning
+    /// and database-reduction events as they happen.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors raised by the sink, exactly like
+    /// [`solve_traced`](Solver::solve_traced).
+    pub fn solve_observed(
+        &mut self,
+        sink: &mut dyn TraceSink,
+        obs: &mut dyn Observer,
+    ) -> io::Result<SolveResult> {
         if let Some(result) = &self.finished {
             return Ok(result.clone());
         }
@@ -220,13 +238,30 @@ impl Solver {
             if let Some(confl) = conflict {
                 self.stats.conflicts += 1;
                 self.conflicts_since_restart += 1;
+                obs.observe(&Event::Conflict {
+                    number: self.stats.conflicts,
+                    decision_level: self.decision_level() as u32,
+                });
                 if self.decision_level() == 0 {
                     return self.conclude_unsat(confl, sink);
                 }
+                let learned_before = self.stats.learned_clauses;
+                let literals_before = self.stats.learned_literals;
                 self.handle_conflict(confl, sink)?;
+                if self.stats.learned_clauses > learned_before {
+                    obs.observe(&Event::ClauseLearned {
+                        id: self.stats.learned_clauses,
+                        literals: self.stats.learned_literals - literals_before,
+                    });
+                }
                 if self.cfg.clause_deletion && self.stats.conflicts >= self.next_reduce {
+                    let deleted_before = self.stats.deleted_clauses;
                     self.reduce_db();
                     self.next_reduce += self.cfg.reduce_db_interval + self.cfg.reduce_db_increment;
+                    obs.observe(&Event::DbReduced {
+                        kept: self.stats.learned_clauses - self.stats.deleted_clauses,
+                        deleted: self.stats.deleted_clauses - deleted_before,
+                    });
                 }
                 if let Some(limit) = &mut budget {
                     if *limit == 0 {
@@ -235,9 +270,16 @@ impl Solver {
                     *limit -= 1;
                 }
             } else if self.should_restart() {
+                let conflicts_since = self.conflicts_since_restart;
                 self.restart();
+                obs.observe(&Event::Restart {
+                    number: self.stats.restarts,
+                    conflicts_since,
+                });
             } else if self.decide() {
-                // keep searching
+                obs.observe(&Event::Decision {
+                    number: self.stats.decisions,
+                });
             } else {
                 // No free variables and no conflict: satisfiable.
                 let model = self.extract_model();
@@ -563,17 +605,11 @@ impl Solver {
                     "all literals of a resolvent are false"
                 );
                 self.seen[qv.index()] = true;
-                bump_var(
-                    &mut self.activity,
-                    &mut self.var_inc,
-                    &mut self.order,
-                    qv,
-                );
+                bump_var(&mut self.activity, &mut self.var_inc, &mut self.order, qv);
                 if self.level[qv.index()] == current {
                     path += 1;
                 } else if self.level[qv.index()] == 0 {
-                    let u = self.unit_id[qv.index()]
-                        .expect("level-0 vars have unit clauses");
+                    let u = self.unit_id[qv.index()].expect("level-0 vars have unit clauses");
                     zero_sources.push(u.as_u64());
                     zero_vars.push(qv);
                 } else {
@@ -641,9 +677,7 @@ impl Solver {
     /// level-0 literals it drags in), and those sources are appended so
     /// the clause stays the exact resolvent of its source list.
     fn minimize(&mut self, learnt: &mut Vec<Lit>, sources: &mut Vec<u64>) {
-        debug_assert!(learnt[1..]
-            .iter()
-            .all(|l| self.seen[l.var().index()]));
+        debug_assert!(learnt[1..].iter().all(|l| self.seen[l.var().index()]));
         let mut removed = vec![]; // vars removed so far (unusable as support)
         let mut kept = Vec::with_capacity(learnt.len());
         kept.push(learnt[0]);
@@ -737,8 +771,8 @@ impl Solver {
         debug_assert_eq!(self.decision_level(), 0);
         for i in 0..self.trail.len() {
             let lit = self.trail[i];
-            let reason = self.reason[lit.var().index()]
-                .expect("every level-0 assignment has an antecedent");
+            let reason =
+                self.reason[lit.var().index()].expect("every level-0 assignment has an antecedent");
             sink.level_zero(lit, reason.as_u64())?;
         }
         sink.final_conflict(conflict.as_u64())?;
@@ -839,11 +873,7 @@ impl Solver {
                 "trail literal {lit} is not true"
             );
             // Level partitioning: position vs trail_lim.
-            let level = self
-                .trail_lim
-                .iter()
-                .take_while(|&&lim| lim <= pos)
-                .count();
+            let level = self.trail_lim.iter().take_while(|&&lim| lim <= pos).count();
             assert_eq!(
                 self.level[lit.var().index()] as usize,
                 level,
@@ -981,8 +1011,7 @@ mod tests {
     #[test]
     fn chain_of_implications_is_sat() {
         // 1 → 2 → 3 → 4, with unit 1.
-        let (result, cnf) =
-            solve_dimacs(&[&[1], &[-1, 2], &[-2, 3], &[-3, 4]]);
+        let (result, cnf) = solve_dimacs(&[&[1], &[-1, 2], &[-2, 3], &[-3, 4]]);
         let model = result.model().unwrap();
         assert!(cnf.is_satisfied_by(model));
         for i in 0..4 {
@@ -1036,12 +1065,7 @@ mod tests {
     #[test]
     fn trace_events_are_emitted_for_unsat() {
         let mut cnf = Cnf::new();
-        for c in [
-            &[1i64, 2][..],
-            &[1, -2],
-            &[-1, 2],
-            &[-1, -2],
-        ] {
+        for c in [&[1i64, 2][..], &[1, -2], &[-1, 2], &[-1, -2]] {
             cnf.add_dimacs_clause(c);
         }
         let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());

@@ -63,7 +63,7 @@ impl fmt::Display for SolverStats {
         write!(
             f,
             "decisions={} propagations={} conflicts={} learned={} (avg len {:.1}) \
-             deleted={} restarts={} reductions={}",
+             deleted={} restarts={} reductions={} reused={} minimized={}",
             self.decisions,
             self.propagations,
             self.conflicts,
@@ -72,6 +72,8 @@ impl fmt::Display for SolverStats {
             self.deleted_clauses,
             self.restarts,
             self.db_reductions,
+            self.reused_conflicts,
+            self.minimized_literals,
         )
     }
 }
@@ -102,5 +104,17 @@ mod tests {
     fn display_is_not_empty() {
         let s = SolverStats::default();
         assert!(s.to_string().contains("conflicts=0"));
+    }
+
+    #[test]
+    fn display_covers_every_documented_counter() {
+        let s = SolverStats {
+            reused_conflicts: 3,
+            minimized_literals: 17,
+            ..SolverStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("reused=3"), "got: {text}");
+        assert!(text.contains("minimized=17"), "got: {text}");
     }
 }

@@ -43,6 +43,7 @@ use std::io::{self, BufRead, Write};
 pub struct AsciiWriter<W> {
     writer: W,
     bytes: u64,
+    events: u64,
     /// Reused line buffer: trace generation sits on the solver's hot
     /// path, so per-event allocations would inflate the Table 1 overhead.
     line: Vec<u8>,
@@ -57,6 +58,7 @@ impl<W: Write> AsciiWriter<W> {
         AsciiWriter {
             writer,
             bytes: 0,
+            events: 0,
             line: Vec::with_capacity(128),
         }
     }
@@ -64,6 +66,11 @@ impl<W: Write> AsciiWriter<W> {
     /// Number of bytes emitted so far.
     pub fn bytes_written(&self) -> u64 {
         self.bytes
+    }
+
+    /// Number of events encoded so far.
+    pub fn events_written(&self) -> u64 {
+        self.events
     }
 
     /// Returns the underlying writer.
@@ -96,6 +103,7 @@ impl<W: Write> AsciiWriter<W> {
         self.line.push(b'\n');
         self.writer.write_all(&self.line)?;
         self.bytes += self.line.len() as u64;
+        self.events += 1;
         self.line.clear();
         Ok(())
     }

@@ -47,6 +47,7 @@ const TAG_FINAL: u8 = 0x03;
 pub struct BinaryWriter<W> {
     writer: W,
     bytes: u64,
+    events: u64,
 }
 
 impl<W: Write> BinaryWriter<W> {
@@ -60,12 +61,18 @@ impl<W: Write> BinaryWriter<W> {
         Ok(BinaryWriter {
             writer,
             bytes: BINARY_MAGIC.len() as u64,
+            events: 0,
         })
     }
 
     /// Number of bytes emitted so far (including the magic).
     pub fn bytes_written(&self) -> u64 {
         self.bytes
+    }
+
+    /// Number of events encoded so far.
+    pub fn events_written(&self) -> u64 {
+        self.events
     }
 
     /// Returns the underlying writer.
@@ -82,6 +89,7 @@ impl<W: Write> BinaryWriter<W> {
     fn put_tag(&mut self, tag: u8) -> io::Result<()> {
         self.writer.write_all(&[tag])?;
         self.bytes += 1;
+        self.events += 1;
         Ok(())
     }
 }
@@ -280,8 +288,7 @@ mod tests {
         let mut w = BinaryWriter::new(&mut buf).unwrap();
         w.learned(7, &[1, 2, 3]).unwrap();
         buf.truncate(buf.len() - 1);
-        let result: io::Result<Vec<_>> =
-            BinaryReader::new(io::Cursor::new(buf)).unwrap().collect();
+        let result: io::Result<Vec<_>> = BinaryReader::new(io::Cursor::new(buf)).unwrap().collect();
         assert!(result.is_err());
     }
 
@@ -289,8 +296,7 @@ mod tests {
     fn unknown_tag_is_rejected() {
         let mut buf = BINARY_MAGIC.to_vec();
         buf.push(0x7f);
-        let result: io::Result<Vec<_>> =
-            BinaryReader::new(io::Cursor::new(buf)).unwrap().collect();
+        let result: io::Result<Vec<_>> = BinaryReader::new(io::Cursor::new(buf)).unwrap().collect();
         assert!(result.is_err());
     }
 
@@ -301,8 +307,7 @@ mod tests {
         varint::write_u64(&mut buf, 9).unwrap(); // id
         varint::write_u64(&mut buf, 1).unwrap(); // count < 2
         varint::write_u64(&mut buf, 0).unwrap();
-        let result: io::Result<Vec<_>> =
-            BinaryReader::new(io::Cursor::new(buf)).unwrap().collect();
+        let result: io::Result<Vec<_>> = BinaryReader::new(io::Cursor::new(buf)).unwrap().collect();
         assert!(result.is_err());
     }
 

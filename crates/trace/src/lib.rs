@@ -64,6 +64,6 @@ pub mod varint;
 pub use ascii::{AsciiReader, AsciiWriter};
 pub use binary::{BinaryReader, BinaryWriter, BINARY_MAGIC};
 pub use event::TraceEvent;
-pub use random::{RandomAccessTrace, TraceCursor};
+pub use random::{OffsetEventsIter, RandomAccessTrace, TraceCursor};
 pub use sink::{CountingSink, MemorySink, NullSink, TeeSink, TraceSink};
 pub use source::{collect_events, read_all, FileTrace, ReadTraceError, TraceFormat, TraceSource};

@@ -25,6 +25,10 @@ pub trait TraceCursor {
     fn event_at(&mut self, offset: u64) -> io::Result<TraceEvent>;
 }
 
+/// Boxed iterator over `(offset, event)` pairs, as yielded by
+/// [`RandomAccessTrace::offset_events`].
+pub type OffsetEventsIter<'a> = Box<dyn Iterator<Item = io::Result<(u64, TraceEvent)>> + 'a>;
+
 /// A trace whose events can be addressed individually.
 ///
 /// # Examples
@@ -50,9 +54,7 @@ pub trait RandomAccessTrace: TraceSource {
     /// # Errors
     ///
     /// Like [`TraceSource::events_iter`].
-    fn offset_events(
-        &self,
-    ) -> io::Result<Box<dyn Iterator<Item = io::Result<(u64, TraceEvent)>> + '_>>;
+    fn offset_events(&self) -> io::Result<OffsetEventsIter<'_>>;
 
     /// Opens a cursor for positioned reads.
     ///
@@ -77,9 +79,7 @@ impl TraceCursor for SliceCursor<'_> {
     }
 }
 
-fn slice_offsets<'a>(
-    events: &'a [TraceEvent],
-) -> Box<dyn Iterator<Item = io::Result<(u64, TraceEvent)>> + 'a> {
+fn slice_offsets(events: &[TraceEvent]) -> OffsetEventsIter<'_> {
     Box::new(
         events
             .iter()
@@ -89,9 +89,7 @@ fn slice_offsets<'a>(
 }
 
 impl RandomAccessTrace for MemorySink {
-    fn offset_events(
-        &self,
-    ) -> io::Result<Box<dyn Iterator<Item = io::Result<(u64, TraceEvent)>> + '_>> {
+    fn offset_events(&self) -> io::Result<OffsetEventsIter<'_>> {
         Ok(slice_offsets(self.events()))
     }
 
@@ -101,9 +99,7 @@ impl RandomAccessTrace for MemorySink {
 }
 
 impl RandomAccessTrace for [TraceEvent] {
-    fn offset_events(
-        &self,
-    ) -> io::Result<Box<dyn Iterator<Item = io::Result<(u64, TraceEvent)>> + '_>> {
+    fn offset_events(&self) -> io::Result<OffsetEventsIter<'_>> {
         Ok(slice_offsets(self))
     }
 
@@ -113,9 +109,7 @@ impl RandomAccessTrace for [TraceEvent] {
 }
 
 impl RandomAccessTrace for Vec<TraceEvent> {
-    fn offset_events(
-        &self,
-    ) -> io::Result<Box<dyn Iterator<Item = io::Result<(u64, TraceEvent)>> + '_>> {
+    fn offset_events(&self) -> io::Result<OffsetEventsIter<'_>> {
         Ok(slice_offsets(self))
     }
 
@@ -125,9 +119,7 @@ impl RandomAccessTrace for Vec<TraceEvent> {
 }
 
 impl<T: RandomAccessTrace + ?Sized> RandomAccessTrace for &T {
-    fn offset_events(
-        &self,
-    ) -> io::Result<Box<dyn Iterator<Item = io::Result<(u64, TraceEvent)>> + '_>> {
+    fn offset_events(&self) -> io::Result<OffsetEventsIter<'_>> {
         (**self).offset_events()
     }
 
@@ -152,7 +144,7 @@ pub(crate) fn parse_binary_body<R: BufRead>(reader: &mut R, tag: u8) -> io::Resu
         0x01 => {
             let id = varint::read_u64(&mut *reader)?;
             let count = varint::read_u64(&mut *reader)?;
-            if count < 2 || count > (1 << 32) {
+            if !(2..=(1 << 32)).contains(&count) {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "bad resolve-source count",
@@ -201,8 +193,7 @@ fn binary_event_len(event: &TraceEvent) -> u64 {
                     .sum::<u64>()
         }
         TraceEvent::LevelZero { lit, antecedent } => {
-            varint::encoded_len(lit.code() as u64) as u64
-                + varint::encoded_len(*antecedent) as u64
+            varint::encoded_len(lit.code() as u64) as u64 + varint::encoded_len(*antecedent) as u64
         }
         TraceEvent::FinalConflict { id } => varint::encoded_len(*id) as u64,
     }
@@ -234,9 +225,7 @@ impl TraceCursor for FileCursor {
 }
 
 impl RandomAccessTrace for FileTrace {
-    fn offset_events(
-        &self,
-    ) -> io::Result<Box<dyn Iterator<Item = io::Result<(u64, TraceEvent)>> + '_>> {
+    fn offset_events(&self) -> io::Result<OffsetEventsIter<'_>> {
         let reader = BufReader::new(File::open(self.path())?);
         match self.format() {
             TraceFormat::Ascii => Ok(Box::new(AsciiOffsetIter {

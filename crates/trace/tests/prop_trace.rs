@@ -1,26 +1,44 @@
-//! Property-based tests of the trace encodings: arbitrary event streams
+//! Randomized tests of the trace encodings: arbitrary event streams
 //! survive both encodings byte-exactly, and random access agrees with
-//! streaming.
+//! streaming. Driven by the in-house [`SplitMix64`] generator (seeded
+//! loops, reproducible from the printed seed); `heavy-tests` raises the
+//! case count.
 
-use proptest::prelude::*;
-use rescheck_cnf::Lit;
+use rescheck_cnf::{Lit, SplitMix64};
 use rescheck_trace::{
     read_all, AsciiWriter, BinaryWriter, MemorySink, RandomAccessTrace, TraceEvent, TraceFormat,
     TraceSink, TraceSource,
 };
 
-fn event_strategy() -> impl Strategy<Value = TraceEvent> {
-    prop_oneof![
-        (any::<u64>(), prop::collection::vec(any::<u64>(), 2..12))
-            .prop_map(|(id, sources)| TraceEvent::Learned { id, sources }),
-        ((1i64..100_000), any::<bool>(), any::<u64>()).prop_map(|(v, neg, antecedent)| {
-            TraceEvent::LevelZero {
-                lit: Lit::from_dimacs(if neg { -v } else { v }),
-                antecedent,
+const CASES: u64 = if cfg!(feature = "heavy-tests") {
+    1024
+} else {
+    128
+};
+
+fn random_event(rng: &mut SplitMix64) -> TraceEvent {
+    match rng.below(3) {
+        0 => {
+            let len = rng.range_usize(2..12);
+            TraceEvent::Learned {
+                id: rng.next_u64(),
+                sources: (0..len).map(|_| rng.next_u64()).collect(),
             }
-        }),
-        any::<u64>().prop_map(|id| TraceEvent::FinalConflict { id }),
-    ]
+        }
+        1 => {
+            let v = rng.range_u32(1..100_000) as i64;
+            TraceEvent::LevelZero {
+                lit: Lit::from_dimacs(if rng.gen_bool(0.5) { -v } else { v }),
+                antecedent: rng.next_u64(),
+            }
+        }
+        _ => TraceEvent::FinalConflict { id: rng.next_u64() },
+    }
+}
+
+fn random_events(rng: &mut SplitMix64, min: u64, max: u64) -> Vec<TraceEvent> {
+    let len = min + rng.below(max - min);
+    (0..len).map(|_| random_event(rng)).collect()
 }
 
 fn encode_ascii(events: &[TraceEvent]) -> Vec<u8> {
@@ -43,27 +61,33 @@ fn encode_binary(events: &[TraceEvent]) -> Vec<u8> {
     buf
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn ascii_roundtrip(events in prop::collection::vec(event_strategy(), 0..40)) {
+#[test]
+fn ascii_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let events = random_events(&mut rng, 0, 40);
         let buf = encode_ascii(&events);
         let decoded = read_all(std::io::Cursor::new(buf), TraceFormat::Ascii).unwrap();
-        prop_assert_eq!(decoded, events);
+        assert_eq!(decoded, events, "seed {seed}");
     }
+}
 
-    #[test]
-    fn binary_roundtrip(events in prop::collection::vec(event_strategy(), 0..40)) {
+#[test]
+fn binary_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let events = random_events(&mut rng, 0, 40);
         let buf = encode_binary(&events);
         let decoded = read_all(std::io::Cursor::new(buf), TraceFormat::Binary).unwrap();
-        prop_assert_eq!(decoded, events);
+        assert_eq!(decoded, events, "seed {seed}");
     }
+}
 
-    #[test]
-    fn memory_random_access_matches_streaming(
-        events in prop::collection::vec(event_strategy(), 1..30),
-    ) {
+#[test]
+fn memory_random_access_matches_streaming() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let events = random_events(&mut rng, 1, 30);
         let sink: MemorySink = events.clone().into();
         let pairs: Vec<(u64, TraceEvent)> = sink
             .offset_events()
@@ -75,55 +99,57 @@ proptest! {
             .unwrap()
             .collect::<Result<_, _>>()
             .unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             pairs.iter().map(|(_, e)| e.clone()).collect::<Vec<_>>(),
-            streamed
+            streamed,
+            "seed {seed}"
         );
         let mut cursor = sink.open_cursor().unwrap();
         for (offset, event) in pairs {
-            prop_assert_eq!(cursor.event_at(offset).unwrap(), event);
+            assert_eq!(cursor.event_at(offset).unwrap(), event, "seed {seed}");
         }
     }
+}
 
-    /// Decoding truncated binary never panics; it errors or yields a
-    /// prefix of the events.
-    #[test]
-    fn truncated_binary_never_panics(
-        events in prop::collection::vec(event_strategy(), 1..20),
-        cut_back in 1usize..32,
-    ) {
+/// Decoding truncated binary never panics; it errors or yields a
+/// prefix of the events.
+#[test]
+fn truncated_binary_never_panics() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let events = random_events(&mut rng, 1, 20);
+        let cut_back = rng.range_usize(1..32);
         let buf = encode_binary(&events);
         let cut = buf.len().saturating_sub(cut_back).max(4);
         let truncated = buf[..cut].to_vec();
-        match read_all(std::io::Cursor::new(truncated), TraceFormat::Binary) {
-            Ok(prefix) => prop_assert!(prefix.len() <= events.len()),
-            Err(_) => {}
+        if let Ok(prefix) = read_all(std::io::Cursor::new(truncated), TraceFormat::Binary) {
+            assert!(prefix.len() <= events.len(), "seed {seed}")
         }
     }
+}
 
-    /// Random byte corruption of ASCII traces never panics the decoder.
-    #[test]
-    fn corrupted_ascii_never_panics(
-        events in prop::collection::vec(event_strategy(), 1..20),
-        position in any::<prop::sample::Index>(),
-        byte in any::<u8>(),
-    ) {
+/// Random byte corruption of ASCII traces never panics the decoder.
+#[test]
+fn corrupted_ascii_never_panics() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let events = random_events(&mut rng, 1, 20);
         let mut buf = encode_ascii(&events);
-        let i = position.index(buf.len());
-        buf[i] = byte;
+        let i = rng.range_usize(0..buf.len());
+        buf[i] = rng.next_u64() as u8;
         let _ = read_all(std::io::Cursor::new(buf), TraceFormat::Ascii);
     }
+}
 
-    /// Random byte corruption of binary traces never panics the decoder.
-    #[test]
-    fn corrupted_binary_never_panics(
-        events in prop::collection::vec(event_strategy(), 1..20),
-        position in any::<prop::sample::Index>(),
-        byte in any::<u8>(),
-    ) {
+/// Random byte corruption of binary traces never panics the decoder.
+#[test]
+fn corrupted_binary_never_panics() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let events = random_events(&mut rng, 1, 20);
         let mut buf = encode_binary(&events);
-        let i = 4 + position.index(buf.len() - 4); // keep the magic intact
-        buf[i] = byte;
+        let i = 4 + rng.range_usize(0..buf.len() - 4); // keep the magic intact
+        buf[i] = rng.next_u64() as u8;
         let _ = read_all(std::io::Cursor::new(buf), TraceFormat::Binary);
     }
 }

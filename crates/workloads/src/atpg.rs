@@ -87,9 +87,7 @@ pub fn fault_sweep(width: usize) -> Vec<Instance> {
     good.set_outputs(sum);
     fault::fault_sites(&good)
         .into_iter()
-        .flat_map(|site| {
-            [false, true].into_iter().map(move |value| (site, value))
-        })
+        .flat_map(|site| [false, true].into_iter().map(move |value| (site, value)))
         .map(|(site, value)| {
             let faulty = fault::inject_stuck_at(&good, site, value);
             let cnf = miter::equivalence_cnf(&good, &faulty).expect("same interface");
@@ -164,8 +162,7 @@ mod tests {
         let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
         let mut trace = MemorySink::new();
         assert!(solver.solve_traced(&mut trace).unwrap().is_unsat());
-        let outcome =
-            check_depth_first(&inst.cnf, &trace, &CheckConfig::default()).unwrap();
+        let outcome = check_depth_first(&inst.cnf, &trace, &CheckConfig::default()).unwrap();
         let core = outcome.core.unwrap();
         // The redundancy argument is local: the core is a proper subset
         // of the miter encoding.

@@ -152,7 +152,11 @@ fn sequential_multiplier_fsm(width: usize, broken_carry: Option<usize>) -> SeqCi
     for i in 0..two_w {
         let (s, cout) = rescheck_circuit::arith::full_adder(&mut c, acc[i], addend[i], carry);
         sum.push(s);
-        carry = if broken_carry == Some(i + 1) { zero } else { cout };
+        carry = if broken_carry == Some(i + 1) {
+            zero
+        } else {
+            cout
+        };
     }
     let mut a_sh_next = vec![zero];
     a_sh_next.extend(&a_sh[..two_w - 1]);

@@ -1,9 +1,7 @@
 //! Graph colouring as SAT.
 
 use crate::{Family, Instance};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rescheck_cnf::{Cnf, SatStatus, Var};
+use rescheck_cnf::{Cnf, SatStatus, SplitMix64, Var};
 
 /// Encodes "`graph` is `colors`-colourable" over variables
 /// `x[v][c] = vertex v has colour c`.
@@ -57,13 +55,13 @@ pub fn clique_instance(colors: usize) -> Instance {
 pub fn embedded_clique_instance(vertices: usize, colors: usize, seed: u64) -> Instance {
     let clique = colors + 1;
     assert!(vertices >= clique, "graph must contain the clique");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut edges = clique_edges(clique);
     // Sparse random edges among the remaining vertices (and into the
     // clique), average degree ~2.
     for v in clique..vertices {
         for _ in 0..2 {
-            let u = rng.gen_range(0..v);
+            let u = rng.range_usize(0..v);
             edges.push((u, v));
         }
     }

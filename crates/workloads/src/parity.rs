@@ -103,7 +103,10 @@ pub fn add_wide_xor(cnf: &mut Cnf, vars: &[Var], parity: bool) {
 ///
 /// Panics if `n` is odd or `n < 4`.
 pub fn tseitin_cubic(n: usize) -> Instance {
-    assert!(n >= 4 && n % 2 == 0, "need an even number of vertices ≥ 4");
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "need an even number of vertices ≥ 4"
+    );
     // Edge numbering: ring edge i = (i, i+1 mod n) gets var i;
     // chord j = (j, j + n/2) gets var n + j for j < n/2.
     let half = n / 2;

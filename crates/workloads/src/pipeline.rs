@@ -13,13 +13,7 @@ use rescheck_circuit::{arith, miter, u64_to_bits, Circuit, NodeId};
 use rescheck_cnf::SatStatus;
 
 /// One stage of the datapath: `out = rot(in ⊞ k, r) ⊕ m`, all word-wide.
-fn stage_spec(
-    c: &mut Circuit,
-    word: &[NodeId],
-    k: u64,
-    rot: usize,
-    m: u64,
-) -> Vec<NodeId> {
+fn stage_spec(c: &mut Circuit, word: &[NodeId], k: u64, rot: usize, m: u64) -> Vec<NodeId> {
     let width = word.len();
     let k_bits: Vec<NodeId> = u64_to_bits(k, width)
         .into_iter()
@@ -29,7 +23,9 @@ fn stage_spec(
         .into_iter()
         .take(width)
         .collect();
-    let rotated: Vec<NodeId> = (0..width).map(|i| sum[(i + width - rot % width) % width]).collect();
+    let rotated: Vec<NodeId> = (0..width)
+        .map(|i| sum[(i + width - rot % width) % width])
+        .collect();
     u64_to_bits(m, width)
         .into_iter()
         .zip(rotated)
@@ -42,13 +38,7 @@ fn stage_spec(
 
 /// The same stage, implementation-shaped: carry-select adder, a decoded
 /// rotator realized through forwarding-style muxes, and gated XOR masks.
-fn stage_impl(
-    c: &mut Circuit,
-    word: &[NodeId],
-    k: u64,
-    rot: usize,
-    m: u64,
-) -> Vec<NodeId> {
+fn stage_impl(c: &mut Circuit, word: &[NodeId], k: u64, rot: usize, m: u64) -> Vec<NodeId> {
     let width = word.len();
     let k_bits: Vec<NodeId> = u64_to_bits(k, width)
         .into_iter()

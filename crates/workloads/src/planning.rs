@@ -9,9 +9,7 @@
 //! the paper highlights in §4.
 
 use crate::{Family, Instance};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rescheck_cnf::{Cnf, SatStatus, Var};
+use rescheck_cnf::{Cnf, SatStatus, SplitMix64, Var};
 
 /// A planning world: locations and undirected move edges.
 #[derive(Clone, Debug, Default)]
@@ -105,19 +103,24 @@ pub fn plan_cnf(world: &World, start: usize, goal: usize, horizon: usize) -> Cnf
 /// locations containing the start, and a separate component holding the
 /// goal. Any horizon gives an UNSAT instance; the core explains the
 /// disconnection.
-pub fn unreachable_goal(reachable_size: usize, island_size: usize, horizon: usize, seed: u64) -> Instance {
+pub fn unreachable_goal(
+    reachable_size: usize,
+    island_size: usize,
+    horizon: usize,
+    seed: u64,
+) -> Instance {
     assert!(reachable_size >= 2 && island_size >= 1);
     let n = reachable_size + island_size;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut world = World::new(n);
     // Connected component A: a random spanning tree plus extra edges.
     for v in 1..reachable_size {
-        let u = rng.gen_range(0..v);
+        let u = rng.range_usize(0..v);
         world.add_edge(u, v);
     }
     for _ in 0..reachable_size / 2 {
-        let a = rng.gen_range(0..reachable_size);
-        let b = rng.gen_range(0..reachable_size);
+        let a = rng.range_usize(0..reachable_size);
+        let b = rng.range_usize(0..reachable_size);
         if a != b {
             world.add_edge(a, b);
         }
@@ -158,12 +161,7 @@ pub fn too_short_horizon(path_length: usize) -> Instance {
 ///
 /// Variables are `at(a, v, t)`; the axioms are per-agent exactly-one and
 /// move clauses plus pairwise collision and swap constraints.
-pub fn multi_agent_cnf(
-    world: &World,
-    starts: &[usize],
-    goals: &[usize],
-    horizon: usize,
-) -> Cnf {
+pub fn multi_agent_cnf(world: &World, starts: &[usize], goals: &[usize], horizon: usize) -> Cnf {
     assert_eq!(starts.len(), goals.len());
     let n = world.num_locations();
     let agents = starts.len();

@@ -9,9 +9,7 @@
 //! designer-facing application the paper describes in §4.
 
 use crate::{Family, Instance};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rescheck_cnf::{Cnf, SatStatus, Var};
+use rescheck_cnf::{Cnf, SatStatus, SplitMix64, Var};
 
 /// A net: a half-open column interval `[left, right)` it must cross.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,7 +69,7 @@ pub fn routing_cnf(nets: &[Net], tracks: usize) -> Cnf {
 /// congestion — the paper's Table 3 observation that routing instances
 /// have small cores.
 pub fn congested_channel(tracks: usize, easy_nets: usize, seed: u64) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut nets: Vec<Net> = Vec::new();
     // The congestion: tracks+1 nets all crossing column 0..4.
     for i in 0..=tracks {
@@ -80,8 +78,8 @@ pub fn congested_channel(tracks: usize, easy_nets: usize, seed: u64) -> Instance
     // Easy nets: short intervals spread far to the right; they overlap
     // each other only occasionally and never the congested column.
     for _ in 0..easy_nets {
-        let left = rng.gen_range(10..500u32);
-        let len = rng.gen_range(1..4u32);
+        let left = rng.range_u32(10..500);
+        let len = rng.range_u32(1..4);
         nets.push(Net::new(left, left + len));
     }
     Instance::new(
@@ -94,14 +92,14 @@ pub fn congested_channel(tracks: usize, easy_nets: usize, seed: u64) -> Instance
 
 /// A routable channel (congestion exactly equals capacity): SAT.
 pub fn routable_channel(tracks: usize, easy_nets: usize, seed: u64) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut nets: Vec<Net> = Vec::new();
     for i in 0..tracks {
         nets.push(Net::new(0, 4 + (i as u32 % 3)));
     }
     for _ in 0..easy_nets {
-        let left = rng.gen_range(10..500u32);
-        let len = rng.gen_range(1..4u32);
+        let left = rng.range_u32(10..500);
+        let len = rng.range_u32(1..4);
         nets.push(Net::new(left, left + len));
     }
     Instance::new(

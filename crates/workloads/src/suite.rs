@@ -101,7 +101,12 @@ mod tests {
         let families: HashSet<_> = quick_suite().iter().map(|i| i.family).collect();
         assert!(families.len() >= 7);
         for inst in quick_suite() {
-            assert_eq!(inst.expected, Some(SatStatus::Unsatisfiable), "{}", inst.name);
+            assert_eq!(
+                inst.expected,
+                Some(SatStatus::Unsatisfiable),
+                "{}",
+                inst.name
+            );
         }
     }
 }

@@ -27,8 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let result = solver.solve_traced(&mut trace)?;
         assert!(result.is_unsat(), "the invariant holds");
 
-        let outcome =
-            check_unsat_claim(&cnf, &trace, Strategy::BreadthFirst, &CheckConfig::default())?;
+        let outcome = check_unsat_claim(
+            &cnf,
+            &trace,
+            Strategy::BreadthFirst,
+            &CheckConfig::default(),
+        )?;
         println!(
             "token ring, bound {bound:>2}: safe (proof checked: {} learned clauses rebuilt, {} resolutions)",
             outcome.stats.clauses_built, outcome.stats.resolutions

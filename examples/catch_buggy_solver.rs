@@ -27,13 +27,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sink = MemorySink::new();
     assert!(solver.solve_traced(&mut sink)?.is_unsat());
     let genuine = sink.into_events();
-    for strategy in [Strategy::DepthFirst, Strategy::BreadthFirst, Strategy::Hybrid] {
+    for strategy in [
+        Strategy::DepthFirst,
+        Strategy::BreadthFirst,
+        Strategy::Hybrid,
+    ] {
         check_unsat_claim(cnf, &genuine, strategy, &CheckConfig::default())?;
     }
     println!("genuine trace: accepted ✓\n");
 
     // …and each simulated bug is caught with a specific diagnostic.
-    let bugs: Vec<(&str, Box<dyn Fn(&mut Vec<TraceEvent>)>)> = vec![
+    type BugInjection = Box<dyn Fn(&mut Vec<TraceEvent>)>;
+    let bugs: Vec<(&str, BugInjection)> = vec![
         (
             "learning records the wrong antecedent id",
             Box::new(|events| {
@@ -88,7 +93,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut corrupted = genuine.clone();
         inject(&mut corrupted);
         println!("bug: {description}");
-        for strategy in [Strategy::DepthFirst, Strategy::BreadthFirst, Strategy::Hybrid] {
+        for strategy in [
+            Strategy::DepthFirst,
+            Strategy::BreadthFirst,
+            Strategy::Hybrid,
+        ] {
             match check_unsat_claim(cnf, &corrupted, strategy, &CheckConfig::default()) {
                 Ok(_) => println!("  {strategy:13} MISSED THE BUG (should never happen)"),
                 Err(e) => println!("  {strategy:13} rejected: {e}"),

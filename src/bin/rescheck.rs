@@ -8,10 +8,18 @@
 //! rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
 //! rescheck gen   <family> [args…]        # writes DIMACS to stdout
 //! ```
+//!
+//! Every command (except `gen`) accepts `--metrics <out.json>` to write
+//! a `rescheck-metrics-v1` document with phase timers, counters and
+//! gauges, and `--progress` to stream heartbeat lines to stderr
+//! (filtered by the `RESCHECK_LOG` environment variable).
 
 use rescheck::prelude::*;
 use rescheck::workloads;
+use rescheck_bench::report;
+use rescheck_obs::{Event, Json, LogConfig, MetricsSink, Observer, Phase, ProgressReporter};
 use std::io::Write;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -60,6 +68,13 @@ USAGE:
                  planning <path> <horizon>, pipe <width> <depth>,
                  atpg <width> <redundancy>, random <vars> <clauses> <seed>)
 
+Observability (solve, check, core, trim, stats):
+  --metrics <out.json>   write phase timers, counters and gauges as
+                         rescheck-metrics-v1 JSON
+  --progress             stream heartbeat lines to stderr; tune with
+                         RESCHECK_LOG=level[,heartbeat-conflicts=N]
+                         [,heartbeat-events=M][,interval-ms=T]
+
 Exit codes: solve → 10 SAT / 20 UNSAT (competition convention);
 check/core → 0 on success, 1 on an invalid proof, 2 on usage errors.
 ";
@@ -87,8 +102,82 @@ fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String
     }
 }
 
+/// Per-command observability: a metrics registry that always accumulates
+/// (it is cheap), plus an optional stderr progress reporter.
+struct CliObserver {
+    metrics: MetricsSink,
+    progress: Option<ProgressReporter<std::io::Stderr>>,
+    metrics_path: Option<String>,
+}
+
+impl CliObserver {
+    /// Extracts `--metrics <path>` and `--progress` from the argument
+    /// list and builds the corresponding observer.
+    fn from_args(args: &mut Vec<String>) -> Result<Self, String> {
+        let metrics_path = take_opt(args, "--metrics")?;
+        let progress =
+            take_flag(args, "--progress").then(|| ProgressReporter::stderr(LogConfig::from_env()));
+        Ok(CliObserver {
+            metrics: MetricsSink::new(),
+            progress,
+            metrics_path,
+        })
+    }
+
+    /// Writes the metrics document if `--metrics` was given. `extend`
+    /// adds command-specific sections to the skeleton.
+    fn write_metrics(
+        &self,
+        command: &str,
+        extend: impl FnOnce(&mut Json),
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        let Some(path) = &self.metrics_path else {
+            return Ok(());
+        };
+        let mut doc = report::metrics_document(command, self.metrics.registry());
+        extend(&mut doc);
+        report::write_json(Path::new(path), &doc)?;
+        eprintln!("c metrics written to {path}");
+        Ok(())
+    }
+}
+
+impl Observer for CliObserver {
+    fn observe(&mut self, event: &Event<'_>) {
+        self.metrics.observe(event);
+        if let Some(progress) = &mut self.progress {
+            progress.observe(event);
+        }
+    }
+}
+
+/// Writes `events` to `path`, returning `(bytes, events)` written.
+fn encode_trace_file(
+    path: &str,
+    binary: bool,
+    events: &[rescheck::trace::TraceEvent],
+) -> std::io::Result<(u64, u64)> {
+    let file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    if binary {
+        let mut sink = BinaryWriter::new(file)?;
+        for e in events {
+            sink.event(e)?;
+        }
+        sink.flush()?;
+        Ok((sink.bytes_written(), sink.events_written()))
+    } else {
+        let mut sink = AsciiWriter::new(file);
+        for e in events {
+            sink.event(e)?;
+        }
+        sink.flush()?;
+        Ok((sink.bytes_written(), sink.events_written()))
+    }
+}
+
 fn cmd_solve(rest: &[String]) -> CliResult {
     let mut args = rest.to_vec();
+    let mut obs = CliObserver::from_args(&mut args)?;
     let trace_path = take_opt(&mut args, "--trace")?;
     let binary = take_flag(&mut args, "--binary");
     let mut cfg = SolverConfig::default();
@@ -104,23 +193,53 @@ fn cmd_solve(rest: &[String]) -> CliResult {
     let [path] = args.as_slice() else {
         return Err("solve needs exactly one CNF file".into());
     };
+    let parse = Phase::start("parse", &mut obs);
     let cnf = dimacs::read_file(path)?;
+    parse.finish(&mut obs);
     let mut solver = Solver::from_cnf(&cnf, cfg);
 
-    let result = match &trace_path {
-        Some(out) => {
-            let file = std::io::BufWriter::new(std::fs::File::create(out)?);
-            if binary {
-                let mut sink = BinaryWriter::new(file)?;
-                solver.solve_traced(&mut sink)?
-            } else {
-                let mut sink = AsciiWriter::new(file);
-                solver.solve_traced(&mut sink)?
-            }
+    // With `--trace` the events are collected in memory and encoded in a
+    // separate phase, so the solve and trace-encode timers stay distinct
+    // (mirroring the paper's Table 1 methodology).
+    let solve_phase = Phase::start("solve", &mut obs);
+    let (result, events) = match &trace_path {
+        Some(_) => {
+            let mut sink = MemorySink::new();
+            let result = solver.solve_observed(&mut sink, &mut obs)?;
+            (result, Some(sink.into_events()))
         }
-        None => solver.solve(),
+        None => {
+            let mut sink = rescheck::trace::NullSink::new();
+            (solver.solve_observed(&mut sink, &mut obs)?, None)
+        }
     };
+    solve_phase.finish(&mut obs);
+    report::flush_solver_stats(obs.metrics.registry_mut(), solver.stats());
+
+    if let (Some(out), Some(events)) = (&trace_path, &events) {
+        let encode = Phase::start("trace-encode", &mut obs);
+        let (bytes, count) = encode_trace_file(out, binary, events)?;
+        encode.finish(&mut obs);
+        obs.observe(&Event::GaugeSet {
+            name: "trace.bytes_written",
+            value: bytes as f64,
+        });
+        obs.observe(&Event::GaugeSet {
+            name: "trace.events_written",
+            value: count as f64,
+        });
+    }
+
     eprintln!("c {}", solver.stats());
+    let (answer, code) = match &result {
+        SolveResult::Satisfiable(_) => ("SATISFIABLE", ExitCode::from(10)),
+        SolveResult::Unsatisfiable => ("UNSATISFIABLE", ExitCode::from(20)),
+        SolveResult::Unknown => ("UNKNOWN", ExitCode::SUCCESS),
+    };
+    obs.write_metrics("solve", |doc| {
+        doc.set("result", answer)
+            .set("solver", report::solver_stats_json(solver.stats()));
+    })?;
     match result {
         SolveResult::Satisfiable(model) => {
             println!("s SATISFIABLE");
@@ -132,24 +251,22 @@ fn cmd_solve(rest: &[String]) -> CliResult {
                 }
             }
             println!("{line} 0");
-            Ok(ExitCode::from(10))
         }
         SolveResult::Unsatisfiable => {
             println!("s UNSATISFIABLE");
             if let Some(out) = trace_path {
                 eprintln!("c resolve trace written to {out}");
             }
-            Ok(ExitCode::from(20))
         }
-        SolveResult::Unknown => {
-            println!("s UNKNOWN");
-            Ok(ExitCode::SUCCESS)
-        }
+        SolveResult::Unknown => println!("s UNKNOWN"),
     }
+    Ok(code)
 }
 
 fn cmd_check(rest: &[String]) -> CliResult {
+    use rescheck::checker::check_unsat_claim_observed;
     let mut args = rest.to_vec();
+    let mut obs = CliObserver::from_args(&mut args)?;
     let strategy = match take_opt(&mut args, "--strategy")?.as_deref() {
         None | Some("df") => Strategy::DepthFirst,
         Some("bf") => Strategy::BreadthFirst,
@@ -162,14 +279,16 @@ fn cmd_check(rest: &[String]) -> CliResult {
     let [cnf_path, trace_path] = args.as_slice() else {
         return Err("check needs a CNF file and a trace file".into());
     };
+    let parse = Phase::start("parse", &mut obs);
     let cnf = dimacs::read_file(cnf_path)?;
     let trace = FileTrace::open(trace_path)?;
+    parse.finish(&mut obs);
     let config = CheckConfig { memory_limit };
-    match check_unsat_claim(&cnf, &trace, strategy, &config) {
+    match check_unsat_claim_observed(&cnf, &trace, strategy, &config, &mut obs) {
         Ok(outcome) => {
             println!("VALID UNSAT proof");
             println!("{}", outcome.stats);
-            if let Some(core) = outcome.core {
+            if let Some(core) = &outcome.core {
                 println!(
                     "unsat core: {} of {} clauses, {} variables",
                     core.num_clauses(),
@@ -177,10 +296,23 @@ fn cmd_check(rest: &[String]) -> CliResult {
                     core.num_vars()
                 );
             }
+            obs.write_metrics("check", |doc| {
+                doc.set("check", report::check_stats_json(&outcome.stats));
+                if let Some(core) = &outcome.core {
+                    let mut core_json = Json::object();
+                    core_json
+                        .set("num_clauses", core.num_clauses())
+                        .set("num_vars", core.num_vars());
+                    doc.set("core", core_json);
+                }
+            })?;
             Ok(ExitCode::SUCCESS)
         }
         Err(e) => {
             println!("INVALID proof: {e}");
+            obs.write_metrics("check", |doc| {
+                doc.set("error", e.to_string().as_str());
+            })?;
             Ok(ExitCode::from(1))
         }
     }
@@ -188,6 +320,7 @@ fn cmd_check(rest: &[String]) -> CliResult {
 
 fn cmd_core(rest: &[String]) -> CliResult {
     let mut args = rest.to_vec();
+    let mut obs = CliObserver::from_args(&mut args)?;
     let iterations: usize = take_opt(&mut args, "--iterations")?
         .map(|s| s.parse())
         .transpose()?
@@ -196,8 +329,12 @@ fn cmd_core(rest: &[String]) -> CliResult {
     let [path] = args.as_slice() else {
         return Err("core needs exactly one CNF file".into());
     };
+    let parse = Phase::start("parse", &mut obs);
     let cnf = dimacs::read_file(path)?;
+    parse.finish(&mut obs);
+    let minimize = Phase::start("core:minimize", &mut obs);
     let result = minimize_core(&cnf, &SolverConfig::default(), iterations)?;
+    minimize.finish(&mut obs);
     for (i, it) in result.iterations.iter().enumerate() {
         println!(
             "iteration {:>2}: {} clauses, {} variables",
@@ -213,6 +350,29 @@ fn cmd_core(rest: &[String]) -> CliResult {
         cnf.num_clauses(),
         result.reached_fixed_point
     );
+    obs.observe(&Event::GaugeSet {
+        name: "core.final_clauses",
+        value: core.num_clauses() as f64,
+    });
+    obs.write_metrics("core", |doc| {
+        let rows: Vec<Json> = result
+            .iterations
+            .iter()
+            .map(|it| {
+                let mut row = Json::object();
+                row.set("num_clauses", it.num_clauses)
+                    .set("num_vars", it.num_vars);
+                row
+            })
+            .collect();
+        let mut section = Json::object();
+        section
+            .set("iterations", Json::Array(rows))
+            .set("final_clauses", core.num_clauses())
+            .set("final_vars", core.num_vars())
+            .set("reached_fixed_point", result.reached_fixed_point);
+        doc.set("core", section);
+    })?;
     if let Some(out) = out {
         dimacs::write_file(&out, &core.to_subformula(&cnf))?;
         println!("core written to {out}");
@@ -221,31 +381,30 @@ fn cmd_core(rest: &[String]) -> CliResult {
 }
 
 fn cmd_trim(rest: &[String]) -> CliResult {
-    use rescheck::checker::trim_trace;
-    use rescheck::trace::TraceSink as _;
+    use rescheck::checker::trim_trace_observed;
     let mut args = rest.to_vec();
+    let mut obs = CliObserver::from_args(&mut args)?;
     let out = take_opt(&mut args, "--out")?.ok_or("trim needs --out <file>")?;
     let binary = take_flag(&mut args, "--binary");
     let [cnf_path, trace_path] = args.as_slice() else {
         return Err("trim needs a CNF file and a trace file".into());
     };
+    let parse = Phase::start("parse", &mut obs);
     let cnf = dimacs::read_file(cnf_path)?;
     let trace = FileTrace::open(trace_path)?;
-    let trimmed = trim_trace(&cnf, &trace)?;
-    let file = std::io::BufWriter::new(std::fs::File::create(&out)?);
-    if binary {
-        let mut sink = rescheck::trace::BinaryWriter::new(file)?;
-        for e in &trimmed.events {
-            sink.event(e)?;
-        }
-        sink.flush()?;
-    } else {
-        let mut sink = rescheck::trace::AsciiWriter::new(file);
-        for e in &trimmed.events {
-            sink.event(e)?;
-        }
-        sink.flush()?;
-    }
+    parse.finish(&mut obs);
+    let trimmed = trim_trace_observed(&cnf, &trace, &mut obs)?;
+    let encode = Phase::start("trace-encode", &mut obs);
+    let (bytes, count) = encode_trace_file(&out, binary, &trimmed.events)?;
+    encode.finish(&mut obs);
+    obs.observe(&Event::GaugeSet {
+        name: "trace.bytes_written",
+        value: bytes as f64,
+    });
+    obs.observe(&Event::GaugeSet {
+        name: "trace.events_written",
+        value: count as f64,
+    });
     println!(
         "kept {} of {} learned clauses ({:.1}%); core: {} of {} original clauses",
         trimmed.kept_learned,
@@ -255,18 +414,36 @@ fn cmd_trim(rest: &[String]) -> CliResult {
         cnf.num_clauses()
     );
     println!("trimmed trace written to {out}");
+    obs.write_metrics("trim", |doc| {
+        let mut section = Json::object();
+        section
+            .set("kept_learned", trimmed.kept_learned)
+            .set("dropped_learned", trimmed.dropped_learned)
+            .set("kept_percent", trimmed.kept_percent())
+            .set("core_clauses", trimmed.core.num_clauses());
+        doc.set("trim", section);
+    })?;
     Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_stats(rest: &[String]) -> CliResult {
     use rescheck::checker::proof_stats;
-    let [cnf_path, trace_path] = rest else {
+    let mut args = rest.to_vec();
+    let mut obs = CliObserver::from_args(&mut args)?;
+    let [cnf_path, trace_path] = args.as_slice() else {
         return Err("stats needs a CNF file and a trace file".into());
     };
+    let parse = Phase::start("parse", &mut obs);
     let cnf = dimacs::read_file(cnf_path)?;
     let trace = FileTrace::open(trace_path)?;
+    parse.finish(&mut obs);
+    let scan = Phase::start("check:pass1", &mut obs);
     let stats = proof_stats(&cnf, &trace)?;
+    scan.finish(&mut obs);
     println!("{stats}");
+    obs.write_metrics("stats", |doc| {
+        doc.set("proof", report::proof_stats_json(&stats));
+    })?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -291,12 +468,9 @@ fn cmd_gen(rest: &[String]) -> CliResult {
         Some("planning") => workloads::planning::agent_swap(usize_arg(1)?, usize_arg(2)?),
         Some("pipe") => workloads::pipeline::pipe(usize_arg(1)?, usize_arg(2)?),
         Some("atpg") => workloads::atpg::redundant_fault(usize_arg(1)?, usize_arg(2)?),
-        Some("random") => workloads::random_ksat::instance(
-            usize_arg(1)?,
-            usize_arg(2)?,
-            3,
-            usize_arg(3)? as u64,
-        ),
+        Some("random") => {
+            workloads::random_ksat::instance(usize_arg(1)?, usize_arg(2)?, 3, usize_arg(3)? as u64)
+        }
         other => return Err(format!("unknown family {other:?}\n{USAGE}").into()),
     };
     let stdout = std::io::stdout();

@@ -84,7 +84,12 @@ fn binary_traces_are_smaller_and_check() {
     let b = std::fs::metadata(&binary).unwrap().len();
     assert!(b < a, "binary {b} < ascii {a}");
 
-    let out = bin().arg("check").arg(&cnf_path).arg(&binary).output().unwrap();
+    let out = bin()
+        .arg("check")
+        .arg(&cnf_path)
+        .arg(&binary)
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(0));
 }
 
@@ -116,7 +121,12 @@ fn corrupted_trace_is_reported_invalid() {
     // Point the final conflict at a satisfied clause.
     let trace = std::fs::read_to_string(&trace_path).unwrap();
     std::fs::write(&trace_path, trace.replace("f 1", "f 0")).unwrap();
-    let out = bin().arg("check").arg(&cnf_path).arg(&trace_path).output().unwrap();
+    let out = bin()
+        .arg("check")
+        .arg(&cnf_path)
+        .arg(&trace_path)
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stdout).contains("INVALID proof"));
 }
@@ -126,7 +136,10 @@ fn core_command_writes_a_core() {
     let dir = tmp_dir("core");
     let cnf_path = dir.join("r.cnf");
     let core_path = dir.join("core.cnf");
-    let out = bin().args(["gen", "routing", "3", "10", "1"]).output().unwrap();
+    let out = bin()
+        .args(["gen", "routing", "3", "10", "1"])
+        .output()
+        .unwrap();
     std::fs::write(&cnf_path, out.stdout).unwrap();
     let out = bin()
         .arg("core")
@@ -197,11 +210,127 @@ fn stats_prints_proof_metrics() {
         .arg(&trace_path)
         .status()
         .unwrap();
-    let out = bin().arg("stats").arg(&cnf_path).arg(&trace_path).output().unwrap();
+    let out = bin()
+        .arg("stats")
+        .arg(&cnf_path)
+        .arg(&trace_path)
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(0));
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("learned clauses needed"), "{text}");
     assert!(text.contains("depth"), "{text}");
+}
+
+#[test]
+fn check_metrics_writes_schema_conformant_json() {
+    let dir = tmp_dir("metrics");
+    let cnf_path = dir.join("m.cnf");
+    let trace_path = dir.join("m.rt");
+    let metrics_path = dir.join("m.json");
+    let out = bin().args(["gen", "pigeonhole", "6"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+    bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    let out = bin()
+        .arg("check")
+        .arg(&cnf_path)
+        .arg(&trace_path)
+        .arg("--metrics")
+        .arg(&metrics_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    let text = std::fs::read_to_string(&metrics_path).unwrap();
+    let doc = rescheck_obs::json::parse(&text).expect("metrics file parses as JSON");
+    assert_eq!(
+        doc.path("schema").and_then(|j| j.as_str()),
+        Some("rescheck-metrics-v1")
+    );
+    assert_eq!(doc.path("command").and_then(|j| j.as_str()), Some("check"));
+    // Phase timers for every checker phase, all positive.
+    for phase in ["parse", "check:pass1", "check:resolve", "final-phase"] {
+        let secs = doc
+            .path("phases")
+            .and_then(|p| p.get(phase))
+            .and_then(|j| j.as_f64())
+            .unwrap_or_else(|| panic!("missing phase timer {phase}: {text}"));
+        assert!(secs >= 0.0, "{phase}: {secs}");
+    }
+    // Checker gauges.
+    for gauge in [
+        "check.clauses_built",
+        "check.resolutions",
+        "check.use_count_entries",
+        "check.peak_memory_bytes",
+    ] {
+        let value = doc
+            .path("gauges")
+            .and_then(|g| g.get(gauge))
+            .and_then(|j| j.as_f64())
+            .unwrap_or_else(|| panic!("missing gauge {gauge}: {text}"));
+        assert!(value > 0.0, "{gauge}: {value}");
+    }
+    // The check section mirrors CheckStats.
+    let check = doc.path("check").expect("check section");
+    let built = check.get("clauses_built").and_then(|j| j.as_u64()).unwrap();
+    assert!(built > 0);
+    let pct = check.get("built_percent").and_then(|j| j.as_f64()).unwrap();
+    assert!(pct > 0.0 && pct <= 100.0, "built_percent: {pct}");
+    let peak = check
+        .get("peak_memory_bytes")
+        .and_then(|j| j.as_u64())
+        .unwrap();
+    assert!(peak > 0);
+}
+
+#[test]
+fn solve_metrics_and_progress_report_trace_encoding() {
+    let dir = tmp_dir("solve-metrics");
+    let cnf_path = dir.join("s.cnf");
+    let trace_path = dir.join("s.rt");
+    let metrics_path = dir.join("s.json");
+    let out = bin().args(["gen", "pigeonhole", "5"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+    let out = bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .arg("--metrics")
+        .arg(&metrics_path)
+        .arg("--progress")
+        .env("RESCHECK_LOG", "info")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(20));
+
+    let text = std::fs::read_to_string(&metrics_path).unwrap();
+    let doc = rescheck_obs::json::parse(&text).unwrap();
+    for phase in ["parse", "solve", "trace-encode"] {
+        assert!(
+            doc.path("phases").and_then(|p| p.get(phase)).is_some(),
+            "missing phase {phase}: {text}"
+        );
+    }
+    let conflicts = doc
+        .path("counters")
+        .and_then(|c| c.get("solver.conflicts"))
+        .and_then(|j| j.as_u64())
+        .unwrap();
+    assert!(conflicts > 0);
+    let bytes = doc
+        .path("gauges")
+        .and_then(|g| g.get("trace.bytes_written"))
+        .and_then(|j| j.as_f64())
+        .unwrap();
+    assert_eq!(bytes as u64, std::fs::metadata(&trace_path).unwrap().len());
 }
 
 #[test]

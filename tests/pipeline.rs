@@ -18,7 +18,11 @@ fn every_quick_suite_family_checks_end_to_end() {
             "{}",
             instance.name
         );
-        for strategy in [Strategy::DepthFirst, Strategy::BreadthFirst, Strategy::Hybrid] {
+        for strategy in [
+            Strategy::DepthFirst,
+            Strategy::BreadthFirst,
+            Strategy::Hybrid,
+        ] {
             let outcome = check_unsat_claim(cnf, &trace, strategy, &CheckConfig::default())
                 .unwrap_or_else(|e| panic!("{} ({strategy}): {e}", instance.name));
             assert_eq!(
@@ -30,8 +34,7 @@ fn every_quick_suite_family_checks_end_to_end() {
         }
         // The depth-first core is itself unsatisfiable.
         let outcome =
-            check_unsat_claim(cnf, &trace, Strategy::DepthFirst, &CheckConfig::default())
-                .unwrap();
+            check_unsat_claim(cnf, &trace, Strategy::DepthFirst, &CheckConfig::default()).unwrap();
         let core = outcome.core.unwrap();
         let sub = core.to_subformula(cnf);
         let mut sub_solver = Solver::from_cnf(&sub, SolverConfig::default());
@@ -106,7 +109,11 @@ fn file_traces_in_both_formats_check() {
 
     for path in [&ascii_path, &bin_path] {
         let trace = FileTrace::open(path).unwrap();
-        for strategy in [Strategy::DepthFirst, Strategy::BreadthFirst, Strategy::Hybrid] {
+        for strategy in [
+            Strategy::DepthFirst,
+            Strategy::BreadthFirst,
+            Strategy::Hybrid,
+        ] {
             check_unsat_claim(&instance.cnf, &trace, strategy, &CheckConfig::default())
                 .unwrap_or_else(|e| panic!("{path:?} {strategy}: {e}"));
         }
