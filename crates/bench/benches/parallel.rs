@@ -1,0 +1,80 @@
+//! Micro-benchmarks for the parallel checking subsystem: the sharded
+//! breadth-first checker at increasing worker counts against the
+//! sequential baseline, and the racing portfolio against its faster
+//! racer (the race's overhead is the cost of the memory insurance).
+//! Uses the in-house harness in `rescheck_bench::micro` (no criterion;
+//! the workspace builds offline).
+
+use rescheck_bench::micro::bench;
+use rescheck_checker::{check_unsat_claim, CheckConfig, Strategy};
+use rescheck_solver::{Solver, SolverConfig};
+use rescheck_trace::MemorySink;
+use rescheck_workloads::{bmc, pigeonhole, Instance};
+
+fn trace_of(inst: &Instance) -> MemorySink {
+    let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+    let mut sink = MemorySink::new();
+    assert!(solver.solve_traced(&mut sink).unwrap().is_unsat());
+    sink
+}
+
+fn config_with_jobs(jobs: usize) -> CheckConfig {
+    CheckConfig {
+        jobs,
+        ..CheckConfig::default()
+    }
+}
+
+fn bench_sharded_bf() {
+    for inst in [pigeonhole::instance(6), bmc::longmult(4)] {
+        let trace = trace_of(&inst);
+        bench(&format!("parallel/bf-sequential/{}", inst.name), || {
+            check_unsat_claim(
+                &inst.cnf,
+                &trace,
+                Strategy::BreadthFirst,
+                &CheckConfig::default(),
+            )
+            .expect("genuine trace");
+        });
+        for jobs in [1, 2, 4] {
+            bench(&format!("parallel/pbf-jobs{jobs}/{}", inst.name), || {
+                check_unsat_claim(
+                    &inst.cnf,
+                    &trace,
+                    Strategy::ParallelBf,
+                    &config_with_jobs(jobs),
+                )
+                .expect("genuine trace");
+            });
+        }
+    }
+}
+
+fn bench_portfolio_overhead() {
+    let inst = pigeonhole::instance(6);
+    let trace = trace_of(&inst);
+    bench("parallel/df-alone/php6", || {
+        check_unsat_claim(
+            &inst.cnf,
+            &trace,
+            Strategy::DepthFirst,
+            &CheckConfig::default(),
+        )
+        .expect("genuine trace");
+    });
+    bench("parallel/portfolio/php6", || {
+        check_unsat_claim(
+            &inst.cnf,
+            &trace,
+            Strategy::Portfolio,
+            &CheckConfig::default(),
+        )
+        .expect("genuine trace");
+    });
+}
+
+fn main() {
+    bench_sharded_bf();
+    bench_portfolio_overhead();
+}

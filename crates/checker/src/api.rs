@@ -1,5 +1,6 @@
 //! Top-level checking entry points.
 
+use crate::cancel::CancelFlag;
 use crate::error::CheckError;
 use crate::outcome::CheckOutcome;
 pub use crate::outcome::Strategy;
@@ -9,7 +10,7 @@ use rescheck_trace::{RandomAccessTrace, TraceSource};
 use std::error::Error;
 use std::fmt;
 
-/// Options shared by both checking strategies.
+/// Options shared by every checking strategy.
 ///
 /// # Examples
 ///
@@ -18,6 +19,7 @@ use std::fmt;
 ///
 /// let cfg = CheckConfig {
 ///     memory_limit: Some(800 << 20), // the paper's 800 MB cap
+///     jobs: 4,
 ///     ..CheckConfig::default()
 /// };
 /// assert!(cfg.memory_limit.is_some());
@@ -29,6 +31,21 @@ pub struct CheckConfig {
     /// The paper ran both checkers with an 800 MB limit, under which the
     /// depth-first strategy fails on the largest instances (Table 2).
     pub memory_limit: Option<u64>,
+    /// Worker threads for [`Strategy::ParallelBf`]'s sharded counting
+    /// pass; `0` picks the available parallelism (capped at 8). Other
+    /// strategies ignore it ([`Strategy::Portfolio`] always races exactly
+    /// two threads).
+    pub jobs: usize,
+    /// Cap in bytes on the cache of normalized *original* clauses kept by
+    /// the depth-first, hybrid and breadth-first final phases; `None` =
+    /// uncapped. The cache is charged to the memory meter either way, but
+    /// it only uses budget left over after required clauses — it evicts
+    /// (oldest first) rather than ever causing a memory-out.
+    pub original_cache_bytes: Option<u64>,
+    /// Cooperative cancellation handle, polled at progress strides. The
+    /// default flag is inert; arm one ([`CancelFlag::armed`]) to be able
+    /// to stop a check from another thread.
+    pub cancel: CancelFlag,
 }
 
 /// Validates an UNSAT claim with the chosen strategy.
@@ -54,12 +71,18 @@ pub struct CheckConfig {
 /// let mut trace = MemorySink::new();
 /// assert!(solver.solve_traced(&mut trace)?.is_unsat());
 ///
-/// for strategy in [Strategy::DepthFirst, Strategy::BreadthFirst, Strategy::Hybrid] {
+/// for strategy in [
+///     Strategy::DepthFirst,
+///     Strategy::BreadthFirst,
+///     Strategy::Hybrid,
+///     Strategy::Portfolio,
+///     Strategy::ParallelBf,
+/// ] {
 ///     check_unsat_claim(&cnf, &trace, strategy, &CheckConfig::default())?;
 /// }
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn check_unsat_claim<S: RandomAccessTrace + ?Sized>(
+pub fn check_unsat_claim<S: RandomAccessTrace + Sync + ?Sized>(
     cnf: &Cnf,
     trace: &S,
     strategy: Strategy,
@@ -100,7 +123,7 @@ pub fn check_unsat_claim<S: RandomAccessTrace + ?Sized>(
 /// assert!(sink.registry().phase_seconds("check:pass1").is_some());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn check_unsat_claim_observed<S: RandomAccessTrace + ?Sized>(
+pub fn check_unsat_claim_observed<S: RandomAccessTrace + Sync + ?Sized>(
     cnf: &Cnf,
     trace: &S,
     strategy: Strategy,
@@ -111,6 +134,8 @@ pub fn check_unsat_claim_observed<S: RandomAccessTrace + ?Sized>(
         Strategy::DepthFirst => crate::depth_first::run(cnf, trace, config, obs),
         Strategy::BreadthFirst => crate::breadth_first::run(cnf, trace, config, obs),
         Strategy::Hybrid => crate::hybrid::run(cnf, trace, config, obs),
+        Strategy::Portfolio => crate::parallel::run_portfolio(cnf, trace, config, obs),
+        Strategy::ParallelBf => crate::parallel::run_parallel_bf(cnf, trace, config, obs),
     }
 }
 
@@ -158,6 +183,44 @@ pub fn check_hybrid<S: RandomAccessTrace + ?Sized>(
     config: &CheckConfig,
 ) -> Result<CheckOutcome, CheckError> {
     crate::hybrid::run(cnf, trace, config, &mut NullObserver)
+}
+
+/// Validates an UNSAT claim by racing the depth-first and breadth-first
+/// strategies on two threads; the first verdict wins and cancels the
+/// loser. Gives depth-first speed when memory allows and breadth-first
+/// robustness when it does not.
+///
+/// # Errors
+///
+/// See [`check_unsat_claim`]. If both racers fail, the more fundamental
+/// error is reported (a proof defect over a mere memory-out).
+pub fn check_portfolio<S: RandomAccessTrace + Sync + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, CheckError> {
+    crate::parallel::run_portfolio(cnf, trace, config, &mut NullObserver)
+}
+
+/// Validates an UNSAT claim with the parallel breadth-first strategy:
+/// pass 1's use counting is sharded across [`CheckConfig::jobs`] workers
+/// and pass 2 decodes the trace on a reader thread that runs ahead of the
+/// resolution loop. Returns bit-identical [`CheckStats::resolutions`] and
+/// [`CheckStats::clauses_built`] to [`check_breadth_first`], for any
+/// worker count.
+///
+/// [`CheckStats::resolutions`]: crate::CheckStats::resolutions
+/// [`CheckStats::clauses_built`]: crate::CheckStats::clauses_built
+///
+/// # Errors
+///
+/// See [`check_unsat_claim`].
+pub fn check_parallel_bf<S: RandomAccessTrace + Sync + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, CheckError> {
+    crate::parallel::run_parallel_bf(cnf, trace, config, &mut NullObserver)
 }
 
 /// A SAT claim that does not hold.
@@ -260,6 +323,10 @@ mod tests {
 
     #[test]
     fn config_default_is_unlimited() {
-        assert_eq!(CheckConfig::default().memory_limit, None);
+        let cfg = CheckConfig::default();
+        assert_eq!(cfg.memory_limit, None);
+        assert_eq!(cfg.jobs, 0);
+        assert_eq!(cfg.original_cache_bytes, None);
+        assert!(!cfg.cancel.is_cancelled());
     }
 }

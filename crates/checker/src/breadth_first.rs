@@ -11,8 +11,16 @@
 //!
 //! As a side effect, the breadth-first strategy verifies *every* learned
 //! clause, not just those on the proof path.
+//!
+//! Both passes are factored into reusable pieces — [`Pass1Tables`] and
+//! [`BfResolveState`] — shared verbatim with the parallel breadth-first
+//! checker in [`crate::parallel`]; running the identical per-event code
+//! is what makes the parallel statistics bit-identical to the sequential
+//! ones.
 
 use crate::api::CheckConfig;
+use crate::cache::OriginalCache;
+use crate::cancel::CancelFlag;
 use crate::error::CheckError;
 use crate::final_phase::{derive_empty_clause, ClauseProvider};
 use crate::memory::{clause_bytes, MemoryMeter, LEVEL_ZERO_RECORD_BYTES, USE_COUNT_BYTES};
@@ -26,6 +34,300 @@ use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::time::Instant;
 
+/// Everything pass 1 learns from the trace: use counts, the set of
+/// defined learned ids, the level-0 assignment, the final-conflict list
+/// and the pin set.
+///
+/// The `absorb_*` methods perform the per-event validation in trace
+/// order. The sequential pass calls them directly; the sharded pass of
+/// [`crate::parallel`] replays compact per-event records through the
+/// same methods after merging, so both reject a malformed trace with the
+/// identical first error.
+#[derive(Default)]
+pub(crate) struct Pass1Tables {
+    pub use_counts: HashMap<u64, u32>,
+    pub defined: HashSet<u64>,
+    pub level_zero: LevelZeroMap,
+    pub pinned: HashSet<u64>,
+    pub final_ids: Vec<u64>,
+}
+
+impl Pass1Tables {
+    /// Absorbs a learned-clause record (without its source counting —
+    /// counting is the shardable part and is done by the caller).
+    pub(crate) fn absorb_learned(
+        &mut self,
+        id: u64,
+        num_sources: usize,
+        num_original: usize,
+    ) -> Result<(), CheckError> {
+        validate_learned(id, num_sources, num_original, |c| self.defined.contains(&c))?;
+        self.defined.insert(id);
+        self.use_counts.entry(id).or_insert(0);
+        Ok(())
+    }
+
+    /// Absorbs a level-0 assignment record, pinning its antecedent.
+    pub(crate) fn absorb_level_zero(
+        &mut self,
+        lit: Lit,
+        antecedent: u64,
+        num_original: usize,
+    ) -> Result<(), CheckError> {
+        self.level_zero.insert(lit, antecedent)?;
+        if antecedent >= num_original as u64 {
+            self.pinned.insert(antecedent);
+        }
+        Ok(())
+    }
+
+    /// Absorbs a final-conflict record. Deliberately does **not** pin the
+    /// id: only the first final conflict starts the empty-clause
+    /// derivation, and pinning the others would keep dead clauses
+    /// resident for the whole resolution pass (see [`finish`]).
+    ///
+    /// [`finish`]: Pass1Tables::finish
+    pub(crate) fn absorb_final(&mut self, id: u64) {
+        self.final_ids.push(id);
+    }
+
+    /// Closes pass 1: selects the derivation's start clause and pins it.
+    ///
+    /// Earlier versions pinned *every* `FinalConflict` id even though the
+    /// derivation only ever starts from the first one, so duplicate or
+    /// extra final-conflict records kept dead clauses resident and
+    /// inflated `peak_memory_bytes` — defeating the bounded-memory
+    /// guarantee this strategy exists for. Only the start id is pinned
+    /// now.
+    pub(crate) fn finish(&mut self, num_original: usize) -> Result<u64, CheckError> {
+        let start_id = *self.final_ids.first().ok_or(CheckError::NoFinalConflict)?;
+        if start_id >= num_original as u64 {
+            self.pinned.insert(start_id);
+        }
+        Ok(start_id)
+    }
+
+    /// Accounted bytes of the tables this strategy keeps resident.
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.use_counts.len() as u64 * USE_COUNT_BYTES
+            + self.level_zero.len() as u64 * LEVEL_ZERO_RECORD_BYTES
+    }
+}
+
+/// Runs pass 1 sequentially over a streaming source.
+pub(crate) fn sequential_pass1<S: TraceSource + ?Sized>(
+    trace: &S,
+    num_original: usize,
+    cancel: &CancelFlag,
+) -> Result<(Pass1Tables, u64), CheckError> {
+    let mut tables = Pass1Tables::default();
+    let mut seen: u64 = 0;
+    for event in trace.events_iter()? {
+        seen += 1;
+        if seen.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
+            cancel.check()?;
+        }
+        match event? {
+            TraceEvent::Learned { id, sources } => {
+                tables.absorb_learned(id, sources.len(), num_original)?;
+                for &s in &sources {
+                    if s >= num_original as u64 {
+                        *tables.use_counts.entry(s).or_insert(0) += 1;
+                    }
+                }
+            }
+            TraceEvent::LevelZero { lit, antecedent } => {
+                tables.absorb_level_zero(lit, antecedent, num_original)?;
+            }
+            TraceEvent::FinalConflict { id } => tables.absorb_final(id),
+        }
+    }
+    let start_id = tables.finish(num_original)?;
+    Ok((tables, start_id))
+}
+
+/// The resolution pass (pass 2) plus the final empty-clause phase.
+///
+/// Feed it every trace event in order via [`handle_event`], then call
+/// [`into_outcome`]. The parallel checker drives the same state from a
+/// pipelined reader thread.
+///
+/// [`handle_event`]: BfResolveState::handle_event
+/// [`into_outcome`]: BfResolveState::into_outcome
+pub(crate) struct BfResolveState<'a> {
+    cnf: &'a Cnf,
+    num_original: usize,
+    tables: Pass1Tables,
+    live: HashMap<u64, Rc<[Lit]>>,
+    originals: OriginalCache,
+    pub meter: MemoryMeter,
+    cancel: CancelFlag,
+    pub resolutions: u64,
+    pub clauses_built: u64,
+}
+
+impl<'a> BfResolveState<'a> {
+    pub(crate) fn new(
+        cnf: &'a Cnf,
+        tables: Pass1Tables,
+        meter: MemoryMeter,
+        config: &CheckConfig,
+    ) -> Self {
+        BfResolveState {
+            cnf,
+            num_original: cnf.num_clauses(),
+            tables,
+            live: HashMap::new(),
+            originals: OriginalCache::new(config.original_cache_bytes),
+            meter,
+            cancel: config.cancel.clone(),
+            resolutions: 0,
+            clauses_built: 0,
+        }
+    }
+
+    fn fetch(&mut self, id: u64, parent: u64) -> Result<Rc<[Lit]>, CheckError> {
+        if id < self.num_original as u64 {
+            if let Some(c) = self.originals.get(id) {
+                return Ok(c);
+            }
+            let lits: Rc<[Lit]> = Rc::from(normalize_literals(
+                self.cnf
+                    .clause(id as usize)
+                    .expect("in range")
+                    .iter()
+                    .copied(),
+            ));
+            self.originals.insert(id, &lits, &mut self.meter);
+            return Ok(lits);
+        }
+        match self.live.get(&id) {
+            Some(c) => Ok(c.clone()),
+            None if self.tables.defined.contains(&id) => Err(CheckError::ForwardReference {
+                id: parent,
+                source: id,
+            }),
+            None => Err(CheckError::UnknownClause {
+                id,
+                referenced_by: Some(parent),
+            }),
+        }
+    }
+
+    /// Processes one trace event of the resolution pass. Non-`Learned`
+    /// events are ignored (pass 1 already consumed them).
+    pub(crate) fn handle_event(
+        &mut self,
+        event: &TraceEvent,
+        obs: &mut dyn Observer,
+    ) -> Result<(), CheckError> {
+        let TraceEvent::Learned { id, sources } = event else {
+            return Ok(());
+        };
+        let (id, sources) = (*id, sources);
+        let mut acc: Vec<Lit> = self.fetch(sources[0], id)?.to_vec();
+        for (step, &s) in sources.iter().enumerate().skip(1) {
+            let right = self.fetch(s, id)?;
+            acc = resolve_sorted(&acc, &right).map_err(|failure| CheckError::NotResolvable {
+                target: Some(id),
+                step,
+                with: s,
+                failure,
+            })?;
+            self.resolutions += 1;
+        }
+        self.clauses_built += 1;
+        if self
+            .clauses_built
+            .is_multiple_of(crate::depth_first::PROGRESS_STRIDE)
+        {
+            self.cancel.check()?;
+            obs.observe(&Event::Progress {
+                phase: "check:resolve",
+                done: self.clauses_built,
+                unit: "clauses",
+                detail: None,
+            });
+        }
+
+        // Release sources whose last use this was.
+        for &s in sources {
+            if s >= self.num_original as u64 && !self.tables.pinned.contains(&s) {
+                let count = self.tables.use_counts.get_mut(&s).expect("counted");
+                *count -= 1;
+                if *count == 0 {
+                    if let Some(freed) = self.live.remove(&s) {
+                        self.meter.free(clause_bytes(freed.len()));
+                    }
+                }
+            }
+        }
+
+        // Store the new clause unless it is already dead on arrival.
+        let remaining = self.tables.use_counts.get(&id).copied().unwrap_or(0);
+        if remaining > 0 || self.tables.pinned.contains(&id) {
+            self.meter.alloc(clause_bytes(acc.len()))?;
+            self.live.insert(id, Rc::from(acc));
+        }
+        Ok(())
+    }
+
+    /// Runs the final empty-clause phase and assembles the outcome.
+    pub(crate) fn into_outcome(
+        mut self,
+        start_id: u64,
+        strategy: Strategy,
+        started: Instant,
+        trace_bytes: Option<u64>,
+        obs: &mut dyn Observer,
+    ) -> Result<CheckOutcome, CheckError> {
+        let final_phase = Phase::start("final-phase", obs);
+        let level_zero = std::mem::take(&mut self.tables.level_zero);
+        let final_stats = derive_empty_clause(start_id, &level_zero, &mut self)?;
+        final_phase.finish(obs);
+
+        let stats = CheckStats {
+            strategy,
+            learned_in_trace: self.tables.defined.len() as u64,
+            clauses_built: self.clauses_built,
+            resolutions: self.resolutions + final_stats.resolutions,
+            peak_memory_bytes: self.meter.peak(),
+            runtime: started.elapsed(),
+            trace_bytes,
+        };
+        crate::depth_first::emit_check_gauges(obs, &stats, self.tables.use_counts.len() as u64);
+        Ok(CheckOutcome { core: None, stats })
+    }
+}
+
+/// The final derivation fetches pinned learned clauses from the live
+/// table and originals through the accounted cache.
+impl ClauseProvider for BfResolveState<'_> {
+    fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError> {
+        if id < self.num_original as u64 {
+            if let Some(c) = self.originals.get(id) {
+                return Ok(c);
+            }
+            let lits: Rc<[Lit]> = Rc::from(normalize_literals(
+                self.cnf
+                    .clause(id as usize)
+                    .expect("in range")
+                    .iter()
+                    .copied(),
+            ));
+            self.originals.insert(id, &lits, &mut self.meter);
+            return Ok(lits);
+        }
+        self.live
+            .get(&id)
+            .cloned()
+            .ok_or(CheckError::UnknownClause {
+                id,
+                referenced_by: None,
+            })
+    }
+}
+
 pub(crate) fn run<S: TraceSource + ?Sized>(
     cnf: &Cnf,
     trace: &S,
@@ -37,194 +339,25 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
     let mut meter = MemoryMeter::new(config.memory_limit);
 
     let pass1 = Phase::start("check:pass1", obs);
-    // ---- Pass 1: count resolve-source uses; collect the level-0
-    // assignment, the final conflict, and the pin set.
-    let mut use_counts: HashMap<u64, u32> = HashMap::new();
-    let mut defined: HashSet<u64> = HashSet::new();
-    let mut level_zero = LevelZeroMap::default();
-    let mut pinned: HashSet<u64> = HashSet::new();
-    let mut final_ids: Vec<u64> = Vec::new();
-
-    for event in trace.events_iter()? {
-        match event? {
-            TraceEvent::Learned { id, sources } => {
-                validate_learned(id, &sources, num_original, |c| defined.contains(&c))?;
-                defined.insert(id);
-                use_counts.entry(id).or_insert(0);
-                for &s in &sources {
-                    if s >= num_original as u64 {
-                        *use_counts.entry(s).or_insert(0) += 1;
-                    }
-                }
-            }
-            TraceEvent::LevelZero { lit, antecedent } => {
-                level_zero.insert(lit, antecedent)?;
-                if antecedent >= num_original as u64 {
-                    pinned.insert(antecedent);
-                }
-            }
-            TraceEvent::FinalConflict { id } => {
-                final_ids.push(id);
-                if id >= num_original as u64 {
-                    pinned.insert(id);
-                }
-            }
-        }
-    }
-
-    let start_id = *final_ids.first().ok_or(CheckError::NoFinalConflict)?;
-
+    let (tables, start_id) = sequential_pass1(trace, num_original, &config.cancel)?;
     // Accounting for the bookkeeping tables the strategy keeps resident.
-    meter.alloc(
-        use_counts.len() as u64 * USE_COUNT_BYTES
-            + level_zero.len() as u64 * LEVEL_ZERO_RECORD_BYTES,
-    )?;
+    meter.alloc(tables.resident_bytes())?;
     pass1.finish(obs);
 
     let resolve_phase = Phase::start("check:resolve", obs);
-    // ---- Pass 2: rebuild learned clauses in generation order, freeing
-    // clauses whose uses are exhausted.
-    let mut live: HashMap<u64, Rc<[Lit]>> = HashMap::new();
-    let mut original_cache: HashMap<u64, Rc<[Lit]>> = HashMap::new();
-    let mut resolutions: u64 = 0;
-    let mut clauses_built: u64 = 0;
-
-    let fetch = |id: u64,
-                 parent: u64,
-                 cnf: &Cnf,
-                 live: &HashMap<u64, Rc<[Lit]>>,
-                 cache: &mut HashMap<u64, Rc<[Lit]>>,
-                 defined: &HashSet<u64>|
-     -> Result<Rc<[Lit]>, CheckError> {
-        if id < num_original as u64 {
-            if let Some(c) = cache.get(&id) {
-                return Ok(c.clone());
-            }
-            let lits: Rc<[Lit]> = Rc::from(normalize_literals(
-                cnf.clause(id as usize).expect("in range").iter().copied(),
-            ));
-            cache.insert(id, lits.clone());
-            return Ok(lits);
-        }
-        match live.get(&id) {
-            Some(c) => Ok(c.clone()),
-            None if defined.contains(&id) => Err(CheckError::ForwardReference {
-                id: parent,
-                source: id,
-            }),
-            None => Err(CheckError::UnknownClause {
-                id,
-                referenced_by: Some(parent),
-            }),
-        }
-    };
-
+    let mut state = BfResolveState::new(cnf, tables, meter, config);
     for event in trace.events_iter()? {
-        let TraceEvent::Learned { id, sources } = event? else {
-            continue;
-        };
-        let mut acc: Vec<Lit> =
-            fetch(sources[0], id, cnf, &live, &mut original_cache, &defined)?.to_vec();
-        for (step, &s) in sources.iter().enumerate().skip(1) {
-            let right = fetch(s, id, cnf, &live, &mut original_cache, &defined)?;
-            acc = resolve_sorted(&acc, &right).map_err(|failure| CheckError::NotResolvable {
-                target: Some(id),
-                step,
-                with: s,
-                failure,
-            })?;
-            resolutions += 1;
-        }
-        clauses_built += 1;
-        if clauses_built.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
-            obs.observe(&Event::Progress {
-                phase: "check:resolve",
-                done: clauses_built,
-                unit: "clauses",
-                detail: None,
-            });
-        }
-
-        // Release sources whose last use this was.
-        for &s in &sources {
-            if s >= num_original as u64 && !pinned.contains(&s) {
-                let count = use_counts.get_mut(&s).expect("counted in pass 1");
-                *count -= 1;
-                if *count == 0 {
-                    if let Some(freed) = live.remove(&s) {
-                        meter.free(clause_bytes(freed.len()));
-                    }
-                }
-            }
-        }
-
-        // Store the new clause unless it is already dead on arrival.
-        let remaining = use_counts.get(&id).copied().unwrap_or(0);
-        if remaining > 0 || pinned.contains(&id) {
-            meter.alloc(clause_bytes(acc.len()))?;
-            live.insert(id, Rc::from(acc));
-        }
+        state.handle_event(&event?, obs)?;
     }
-
     resolve_phase.finish(obs);
 
-    // ---- Final phase: derive the empty clause from the pinned clauses.
-    let final_phase = Phase::start("final-phase", obs);
-    let mut provider = PinnedProvider {
-        cnf,
-        num_original,
-        live: &live,
-        original_cache: &mut original_cache,
-    };
-    let final_stats = derive_empty_clause(start_id, &level_zero, &mut provider)?;
-    final_phase.finish(obs);
-
-    let stats = CheckStats {
-        strategy: Strategy::BreadthFirst,
-        learned_in_trace: defined.len() as u64,
-        clauses_built,
-        resolutions: resolutions + final_stats.resolutions,
-        peak_memory_bytes: meter.peak(),
-        runtime: start.elapsed(),
-        trace_bytes: trace.encoded_size(),
-    };
-    crate::depth_first::emit_check_gauges(obs, &stats, use_counts.len() as u64);
-
-    Ok(CheckOutcome { core: None, stats })
-}
-
-/// Serves the final derivation from the pinned clause table.
-struct PinnedProvider<'a> {
-    cnf: &'a Cnf,
-    num_original: usize,
-    live: &'a HashMap<u64, Rc<[Lit]>>,
-    original_cache: &'a mut HashMap<u64, Rc<[Lit]>>,
-}
-
-impl ClauseProvider for PinnedProvider<'_> {
-    fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError> {
-        if id < self.num_original as u64 {
-            if let Some(c) = self.original_cache.get(&id) {
-                return Ok(c.clone());
-            }
-            let lits: Rc<[Lit]> = Rc::from(normalize_literals(
-                self.cnf
-                    .clause(id as usize)
-                    .expect("in range")
-                    .iter()
-                    .copied(),
-            ));
-            self.original_cache.insert(id, lits.clone());
-            return Ok(lits);
-        }
-        self.live
-            .get(&id)
-            .cloned()
-            .ok_or(CheckError::UnknownClause {
-                id,
-                referenced_by: None,
-            })
-    }
+    state.into_outcome(
+        start_id,
+        Strategy::BreadthFirst,
+        start,
+        trace.encoded_size(),
+        obs,
+    )
 }
 
 #[cfg(test)]
@@ -345,6 +478,125 @@ mod tests {
     }
 
     #[test]
+    fn extra_final_conflicts_do_not_inflate_peak_memory() {
+        // Regression for the pinning bug: every FinalConflict id used to
+        // be pinned forever even though the derivation only starts from
+        // the first one, so extra final conflicts kept dead clauses
+        // resident and defeated the bounded-memory guarantee.
+        let mut cnf = Cnf::new();
+        let n = 32i64;
+        cnf.add_dimacs_clause(&[1]);
+        for i in 1..n {
+            cnf.add_dimacs_clause(&[-i, i + 1]);
+        }
+        cnf.add_dimacs_clause(&[-n]);
+        let build = |extra_finals: bool| {
+            let mut sink = MemorySink::new();
+            let mut prev = 0u64;
+            for i in 1..n {
+                let next_id = (n + i) as u64;
+                sink.learned(next_id, &[prev, i as u64]).unwrap();
+                // Redundant extra final-conflict records naming mid-chain
+                // learned clauses: they must not stay resident.
+                if extra_finals && i > 1 {
+                    sink.final_conflict(next_id - 1).unwrap();
+                }
+                prev = next_id;
+            }
+            sink.level_zero(Lit::from_dimacs(n), prev).unwrap();
+            sink
+        };
+        // The clean trace and the one with extra final conflicts must now
+        // report the same clause residency; the first final conflict must
+        // still drive the derivation.
+        let mut clean = build(false);
+        clean.final_conflict(n as u64).unwrap();
+        let mut noisy = build(true);
+        let mut noisy_events = noisy.into_events();
+        // Put the real final conflict *first* so the derivation is
+        // unchanged; the extra records come later.
+        let insert_at = noisy_events
+            .iter()
+            .position(|e| matches!(e, rescheck_trace::TraceEvent::FinalConflict { .. }))
+            .unwrap();
+        noisy_events.insert(
+            insert_at,
+            rescheck_trace::TraceEvent::FinalConflict { id: n as u64 },
+        );
+        noisy = noisy_events.into();
+
+        let clean_out = run(&cnf, &clean, &CheckConfig::default(), &mut NullObserver).unwrap();
+        let noisy_out = run(&cnf, &noisy, &CheckConfig::default(), &mut NullObserver).unwrap();
+        assert_eq!(
+            clean_out.stats.peak_memory_bytes, noisy_out.stats.peak_memory_bytes,
+            "extra final conflicts must not pin dead clauses"
+        );
+    }
+
+    #[test]
+    fn original_cache_is_charged_to_the_meter() {
+        // With many distinct original clauses in play, the accounted peak
+        // must include the cached normalized originals.
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1, 2]);
+        cnf.add_dimacs_clause(&[1, -2]);
+        cnf.add_dimacs_clause(&[-1, 2]);
+        cnf.add_dimacs_clause(&[-1, -2]);
+        let mut sink = MemorySink::new();
+        sink.learned(4, &[0, 1]).unwrap();
+        sink.learned(5, &[2, 3]).unwrap();
+        sink.level_zero(Lit::from_dimacs(1), 4).unwrap();
+        sink.final_conflict(5).unwrap();
+
+        let outcome = run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap();
+        // Tables: 6 use-count entries would be at most 6; the four cached
+        // originals alone cost 4 * clause_bytes(2) = 128 bytes, far above
+        // the bookkeeping noise — the old accounting reported none of it.
+        let cached_originals = 4 * clause_bytes(2);
+        assert!(
+            outcome.stats.peak_memory_bytes >= cached_originals,
+            "peak {} must include {} bytes of cached originals",
+            outcome.stats.peak_memory_bytes,
+            cached_originals
+        );
+    }
+
+    #[test]
+    fn cancellation_stops_the_check() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        cnf.add_dimacs_clause(&[-1]);
+        let mut sink = MemorySink::new();
+        sink.level_zero(Lit::from_dimacs(1), 0).unwrap();
+        sink.final_conflict(1).unwrap();
+        let config = CheckConfig {
+            cancel: CancelFlag::armed(),
+            ..CheckConfig::default()
+        };
+        config.cancel.cancel();
+        // The trace is tiny so stride points are never reached — the
+        // check succeeds. A longer trace hits the stride and stops.
+        let mut big = MemorySink::new();
+        let mut cnf2 = Cnf::new();
+        let n = 4096i64;
+        cnf2.add_dimacs_clause(&[1]);
+        for i in 1..n {
+            cnf2.add_dimacs_clause(&[-i, i + 1]);
+        }
+        cnf2.add_dimacs_clause(&[-n]);
+        let mut prev = 0u64;
+        for i in 1..n {
+            let next_id = (n + i) as u64;
+            big.learned(next_id, &[prev, i as u64]).unwrap();
+            prev = next_id;
+        }
+        big.level_zero(Lit::from_dimacs(n), prev).unwrap();
+        big.final_conflict(n as u64).unwrap();
+        let err = run(&cnf2, &big, &config, &mut NullObserver).unwrap_err();
+        assert!(matches!(err, CheckError::Cancelled));
+    }
+
+    #[test]
     fn missing_final_conflict_is_rejected() {
         let mut cnf = Cnf::new();
         cnf.add_dimacs_clause(&[1]);
@@ -363,6 +615,7 @@ mod tests {
         sink.final_conflict(1).unwrap();
         let config = CheckConfig {
             memory_limit: Some(1),
+            ..CheckConfig::default()
         };
         let err = run(&cnf, &sink, &config, &mut NullObserver).unwrap_err();
         assert!(matches!(err, CheckError::MemoryLimitExceeded { .. }));

@@ -1,0 +1,169 @@
+//! A memory-accounted cache of normalized original clauses.
+//!
+//! Every strategy normalizes original clauses (sort + dedup literals)
+//! before resolving with them, and caches the result keyed by clause id.
+//! The cache used to be a plain `HashMap` that was never charged to the
+//! [`MemoryMeter`], so the accounted peak under-reported real residency —
+//! on core-heavy instances by the size of the touched original clauses.
+//!
+//! [`OriginalCache`] fixes that: every cached clause is charged
+//! [`clause_bytes`] to the meter, the cache can be capped, and eviction
+//! is FIFO (insertion order) so the accounted peak stays deterministic —
+//! `HashMap` iteration order is randomized per process and must not leak
+//! into the byte accounting.
+//!
+//! The cache treats the meter's budget as *spare* capacity: if charging a
+//! clause would exceed the memory limit, entries are evicted to make
+//! room, and if that is not enough the clause is simply not cached. A
+//! cache can therefore never cause a [`MemoryLimitExceeded`] failure —
+//! it only ever trades budget headroom for speed.
+//!
+//! [`MemoryLimitExceeded`]: crate::CheckError::MemoryLimitExceeded
+
+use crate::memory::{clause_bytes, MemoryMeter};
+use rescheck_cnf::Lit;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+pub(crate) struct OriginalCache {
+    map: HashMap<u64, Rc<[Lit]>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u64>,
+    /// Accounted bytes currently held by the cache.
+    bytes: u64,
+    /// Optional hard cap on `bytes`, independent of the meter's budget.
+    cap: Option<u64>,
+}
+
+impl OriginalCache {
+    pub(crate) fn new(cap: Option<u64>) -> Self {
+        OriginalCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            bytes: 0,
+            cap,
+        }
+    }
+
+    pub(crate) fn get(&self, id: u64) -> Option<Rc<[Lit]>> {
+        self.map.get(&id).cloned()
+    }
+
+    /// Offers a freshly normalized clause to the cache, charging the
+    /// meter on success. Never fails: under pressure it evicts oldest
+    /// entries first, and skips caching when the clause cannot fit.
+    pub(crate) fn insert(&mut self, id: u64, clause: &Rc<[Lit]>, meter: &mut MemoryMeter) {
+        if self.map.contains_key(&id) {
+            return;
+        }
+        let cost = clause_bytes(clause.len());
+        if self.cap.is_some_and(|cap| cost > cap) {
+            return;
+        }
+        while self.cap.is_some_and(|cap| self.bytes + cost > cap) {
+            if !self.evict_one(meter) {
+                return;
+            }
+        }
+        while meter.alloc(cost).is_err() {
+            if !self.evict_one(meter) {
+                return;
+            }
+        }
+        self.bytes += cost;
+        self.order.push_back(id);
+        self.map.insert(id, Rc::clone(clause));
+    }
+
+    /// Evicts the oldest entry, refunding its bytes. Returns `false` when
+    /// the cache is already empty.
+    fn evict_one(&mut self, meter: &mut MemoryMeter) -> bool {
+        let Some(id) = self.order.pop_front() else {
+            return false;
+        };
+        let clause = self.map.remove(&id).expect("order and map agree");
+        let cost = clause_bytes(clause.len());
+        self.bytes -= cost;
+        meter.free(cost);
+        true
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(lits: &[i64]) -> Rc<[Lit]> {
+        lits.iter()
+            .map(|&d| Lit::from_dimacs(d))
+            .collect::<Vec<_>>()
+            .into()
+    }
+
+    #[test]
+    fn charges_the_meter() {
+        let mut meter = MemoryMeter::unlimited();
+        let mut cache = OriginalCache::new(None);
+        let c = clause(&[1, 2]);
+        cache.insert(0, &c, &mut meter);
+        assert_eq!(meter.current(), clause_bytes(2));
+        assert_eq!(cache.get(0).as_deref(), Some(c.as_ref()));
+        // Reinsertion is a no-op (no double charge).
+        cache.insert(0, &c, &mut meter);
+        assert_eq!(meter.current(), clause_bytes(2));
+    }
+
+    #[test]
+    fn fifo_eviction_under_cap() {
+        // Cap fits exactly two 1-literal clauses.
+        let cap = 2 * clause_bytes(1);
+        let mut meter = MemoryMeter::unlimited();
+        let mut cache = OriginalCache::new(Some(cap));
+        for id in 0..3u64 {
+            cache.insert(id, &clause(&[id as i64 + 1]), &mut meter);
+        }
+        // Oldest (id 0) was evicted; 1 and 2 remain.
+        assert!(cache.get(0).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_some());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes(), cap);
+        assert_eq!(meter.current(), cap);
+    }
+
+    #[test]
+    fn never_exceeds_the_meter_budget() {
+        // Budget fits one clause; the cache must evict rather than fail,
+        // and skip caching entirely when nothing can be evicted.
+        let mut meter = MemoryMeter::with_limit(clause_bytes(1));
+        let mut cache = OriginalCache::new(None);
+        cache.insert(0, &clause(&[1]), &mut meter);
+        assert!(cache.get(0).is_some());
+        cache.insert(1, &clause(&[2]), &mut meter);
+        assert!(cache.get(0).is_none(), "oldest evicted to make room");
+        assert!(cache.get(1).is_some());
+        // A clause that can never fit is skipped without error.
+        cache.insert(2, &clause(&[1, 2, 3, 4, 5, 6, 7, 8]), &mut meter);
+        assert!(cache.get(2).is_none());
+        assert!(meter.current() <= clause_bytes(1));
+    }
+
+    #[test]
+    fn oversized_clause_is_not_cached() {
+        let mut meter = MemoryMeter::unlimited();
+        let mut cache = OriginalCache::new(Some(clause_bytes(1)));
+        cache.insert(0, &clause(&[1, 2]), &mut meter);
+        assert!(cache.get(0).is_none());
+        assert_eq!(meter.current(), 0);
+    }
+}

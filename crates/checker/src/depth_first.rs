@@ -13,6 +13,8 @@
 //! [`CheckConfig::memory_limit`](crate::CheckConfig::memory_limit).
 
 use crate::api::CheckConfig;
+use crate::cache::OriginalCache;
+use crate::cancel::CancelFlag;
 use crate::error::CheckError;
 use crate::final_phase::{derive_empty_clause, ClauseProvider};
 use crate::memory::{clause_bytes, MemoryMeter};
@@ -42,7 +44,7 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
 
     // The depth-first approach reads the entire trace into main memory.
     let pass1 = Phase::start("check:pass1", obs);
-    let full = load_full(trace, num_original)?;
+    let full = load_full(trace, num_original, &config.cancel)?;
     meter.alloc(full.trace_bytes)?;
     pass1.finish(obs);
 
@@ -53,9 +55,10 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
         full: &full,
         num_original,
         built: HashMap::new(),
-        original_cache: HashMap::new(),
+        original_cache: OriginalCache::new(config.original_cache_bytes),
         used_originals: vec![false; num_original],
         meter,
+        cancel: config.cancel.clone(),
         resolutions: 0,
         clauses_built: 0,
         obs,
@@ -126,10 +129,12 @@ struct DfBuilder<'a> {
     num_original: usize,
     /// Learned clauses built so far.
     built: HashMap<u64, Rc<[Lit]>>,
-    /// Normalized original clauses, cached on first use.
-    original_cache: HashMap<u64, Rc<[Lit]>>,
+    /// Normalized original clauses, cached on first use — charged to the
+    /// meter like every other resident clause.
+    original_cache: OriginalCache,
     used_originals: Vec<bool>,
     meter: MemoryMeter,
+    cancel: CancelFlag,
     resolutions: u64,
     clauses_built: u64,
     obs: &'a mut dyn Observer,
@@ -144,12 +149,12 @@ enum Color {
 impl DfBuilder<'_> {
     fn original(&mut self, id: u64) -> Rc<[Lit]> {
         self.used_originals[id as usize] = true;
-        if let Some(c) = self.original_cache.get(&id) {
-            return c.clone();
+        if let Some(c) = self.original_cache.get(id) {
+            return c;
         }
         let clause = self.cnf.clause(id as usize).expect("id < num_original");
         let lits: Rc<[Lit]> = Rc::from(normalize_literals(clause.iter().copied()));
-        self.original_cache.insert(id, lits.clone());
+        self.original_cache.insert(id, &lits, &mut self.meter);
         lits
     }
 
@@ -189,6 +194,7 @@ impl DfBuilder<'_> {
             .clauses_built
             .is_multiple_of(crate::depth_first::PROGRESS_STRIDE)
         {
+            self.cancel.check()?;
             self.obs.observe(&Event::Progress {
                 phase: "check:resolve",
                 done: self.clauses_built,
@@ -406,6 +412,7 @@ mod tests {
         let (cnf, sink) = chain_trace();
         let config = CheckConfig {
             memory_limit: Some(1),
+            ..CheckConfig::default()
         };
         let err = run(&cnf, &sink, &config, &mut NullObserver).unwrap_err();
         assert!(matches!(err, CheckError::MemoryLimitExceeded { .. }));
@@ -432,15 +439,16 @@ mod tests {
         sink.learned(6, &[4, 3]).unwrap();
         sink.learned(7, &[5, 6]).unwrap();
 
-        let full = load_full(&sink, cnf.num_clauses()).unwrap();
+        let full = load_full(&sink, cnf.num_clauses(), &CancelFlag::default()).unwrap();
         let mut builder = DfBuilder {
             cnf: &cnf,
             full: &full,
             num_original: cnf.num_clauses(),
             built: HashMap::new(),
-            original_cache: HashMap::new(),
+            original_cache: OriginalCache::new(None),
             used_originals: vec![false; cnf.num_clauses()],
             meter: MemoryMeter::unlimited(),
+            cancel: CancelFlag::default(),
             resolutions: 0,
             clauses_built: 0,
             obs: &mut NullObserver,

@@ -144,6 +144,10 @@ pub enum CheckError {
         /// The accounted requirement that broke it.
         required: u64,
     },
+    /// The check was cancelled cooperatively before reaching a verdict —
+    /// e.g. because another racer of a checking portfolio already
+    /// succeeded. Not a statement about the trace's validity.
+    Cancelled,
 }
 
 impl fmt::Display for CheckError {
@@ -218,6 +222,7 @@ impl fmt::Display for CheckError {
                 f,
                 "memory limit exceeded: {required} bytes required, limit is {limit}"
             ),
+            CheckError::Cancelled => f.write_str("check cancelled before reaching a verdict"),
         }
     }
 }

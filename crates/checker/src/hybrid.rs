@@ -25,6 +25,7 @@
 //! per-clause bookkeeping.
 
 use crate::api::CheckConfig;
+use crate::cache::OriginalCache;
 use crate::error::CheckError;
 use crate::final_phase::{derive_empty_clause, ClauseProvider};
 use crate::memory::{clause_bytes, MemoryMeter, LEVEL_ZERO_RECORD_BYTES, USE_COUNT_BYTES};
@@ -57,11 +58,16 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
     let mut level_zero = LevelZeroMap::default();
     let mut pinned: Vec<u64> = Vec::new();
     let mut final_ids: Vec<u64> = Vec::new();
+    let mut seen: u64 = 0;
     for item in trace.offset_events()? {
+        seen += 1;
+        if seen.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
+            config.cancel.check()?;
+        }
         let (offset, event) = item?;
         match event {
             TraceEvent::Learned { id, sources } => {
-                validate_learned(id, &sources, num_original, |c| index.contains_key(&c))?;
+                validate_learned(id, sources.len(), num_original, |c| index.contains_key(&c))?;
                 index.insert(id, offset);
             }
             TraceEvent::LevelZero { lit, antecedent } => {
@@ -70,15 +76,16 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
                     pinned.push(antecedent);
                 }
             }
-            TraceEvent::FinalConflict { id } => {
-                final_ids.push(id);
-                if id >= num_original as u64 {
-                    pinned.push(id);
-                }
-            }
+            // The final derivation starts from the *first* final conflict
+            // only; pinning every recorded one would keep clauses the
+            // proof never revisits resident for the whole run.
+            TraceEvent::FinalConflict { id } => final_ids.push(id),
         }
     }
     let start_id = *final_ids.first().ok_or(CheckError::NoFinalConflict)?;
+    if start_id >= num_original as u64 {
+        pinned.push(start_id);
+    }
     meter.alloc(
         index.len() as u64 * INDEX_ENTRY_BYTES + level_zero.len() as u64 * LEVEL_ZERO_RECORD_BYTES,
     )?;
@@ -113,6 +120,7 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
     let mut use_counts: HashMap<u64, u32> = HashMap::new();
     let mut visited: HashSet<u64> = HashSet::new();
     let mut gray: HashSet<u64> = HashSet::new();
+    let mut steps: u64 = 0;
     for &root in &pinned_set {
         if visited.contains(&root) {
             continue;
@@ -120,6 +128,10 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
         // Iterative DFS with gray marking for cycle detection.
         let mut stack: Vec<(u64, Option<u64>)> = vec![(root, None)];
         while let Some(&(cur, parent)) = stack.last() {
+            steps += 1;
+            if steps.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
+                config.cancel.check()?;
+            }
             if cur < num_original as u64 || visited.contains(&cur) {
                 stack.pop();
                 continue;
@@ -152,7 +164,7 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
     // ---- Pass 3: depth-first build over the needed subgraph, freeing
     // clauses as their last use completes.
     let mut live: HashMap<u64, Rc<[Lit]>> = HashMap::new();
-    let mut original_cache: HashMap<u64, Rc<[Lit]>> = HashMap::new();
+    let mut original_cache = OriginalCache::new(config.original_cache_bytes);
     let mut used_originals = vec![false; num_original];
     let mut resolutions: u64 = 0;
     let mut clauses_built: u64 = 0;
@@ -186,23 +198,31 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
         }
     }
 
-    let fetch_original =
-        |id: u64, cache: &mut HashMap<u64, Rc<[Lit]>>, used: &mut Vec<bool>| -> Rc<[Lit]> {
-            used[id as usize] = true;
-            if let Some(c) = cache.get(&id) {
-                return c.clone();
-            }
-            let lits: Rc<[Lit]> = Rc::from(normalize_literals(
-                cnf.clause(id as usize).expect("in range").iter().copied(),
-            ));
-            cache.insert(id, lits.clone());
-            lits
-        };
+    let fetch_original = |id: u64,
+                          cache: &mut OriginalCache,
+                          used: &mut Vec<bool>,
+                          meter: &mut MemoryMeter|
+     -> Rc<[Lit]> {
+        used[id as usize] = true;
+        if let Some(c) = cache.get(id) {
+            return c;
+        }
+        let lits: Rc<[Lit]> = Rc::from(normalize_literals(
+            cnf.clause(id as usize).expect("in range").iter().copied(),
+        ));
+        cache.insert(id, &lits, meter);
+        lits
+    };
 
     for id in build_order {
         let sources = sources_of(&mut *cursor, &index, id, None)?;
         let first = if sources[0] < num_original as u64 {
-            fetch_original(sources[0], &mut original_cache, &mut used_originals)
+            fetch_original(
+                sources[0],
+                &mut original_cache,
+                &mut used_originals,
+                &mut meter,
+            )
         } else {
             live.get(&sources[0])
                 .cloned()
@@ -214,7 +234,7 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
         let mut acc: Vec<Lit> = first.to_vec();
         for (step, &s) in sources.iter().enumerate().skip(1) {
             let right = if s < num_original as u64 {
-                fetch_original(s, &mut original_cache, &mut used_originals)
+                fetch_original(s, &mut original_cache, &mut used_originals, &mut meter)
             } else {
                 live.get(&s).cloned().ok_or(CheckError::UnknownClause {
                     id: s,
@@ -231,6 +251,7 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
         }
         clauses_built += 1;
         if clauses_built.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
+            config.cancel.check()?;
             obs.observe(&Event::Progress {
                 phase: "check:resolve",
                 done: clauses_built,
@@ -266,15 +287,16 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
         cnf: &'a Cnf,
         num_original: usize,
         live: &'a HashMap<u64, Rc<[Lit]>>,
-        original_cache: &'a mut HashMap<u64, Rc<[Lit]>>,
+        original_cache: &'a mut OriginalCache,
         used_originals: &'a mut Vec<bool>,
+        meter: &'a mut MemoryMeter,
     }
     impl ClauseProvider for HybridProvider<'_> {
         fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError> {
             if id < self.num_original as u64 {
                 self.used_originals[id as usize] = true;
-                if let Some(c) = self.original_cache.get(&id) {
-                    return Ok(c.clone());
+                if let Some(c) = self.original_cache.get(id) {
+                    return Ok(c);
                 }
                 let lits: Rc<[Lit]> = Rc::from(normalize_literals(
                     self.cnf
@@ -283,7 +305,7 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
                         .iter()
                         .copied(),
                 ));
-                self.original_cache.insert(id, lits.clone());
+                self.original_cache.insert(id, &lits, self.meter);
                 return Ok(lits);
             }
             self.live
@@ -301,6 +323,7 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
         live: &live,
         original_cache: &mut original_cache,
         used_originals: &mut used_originals,
+        meter: &mut meter,
     };
     let final_stats = derive_empty_clause(start_id, &level_zero, &mut provider)?;
     final_phase.finish(obs);
@@ -425,6 +448,7 @@ mod tests {
         let (cnf, sink) = learned_proof();
         let config = CheckConfig {
             memory_limit: Some(8),
+            ..CheckConfig::default()
         };
         assert!(matches!(
             run(&cnf, &sink, &config, &mut NullObserver).unwrap_err(),

@@ -59,6 +59,8 @@
 
 mod api;
 mod breadth_first;
+mod cache;
+mod cancel;
 mod core_min;
 mod depth_first;
 mod error;
@@ -67,14 +69,17 @@ mod hybrid;
 mod memory;
 mod model;
 mod outcome;
+mod parallel;
 mod proof;
 pub mod resolve;
 mod trim;
 
 pub use api::{
-    check_breadth_first, check_depth_first, check_hybrid, check_sat_claim, check_unsat_claim,
-    check_unsat_claim_observed, CheckConfig, ModelError, Strategy,
+    check_breadth_first, check_depth_first, check_hybrid, check_parallel_bf, check_portfolio,
+    check_sat_claim, check_unsat_claim, check_unsat_claim_observed, CheckConfig, ModelError,
+    Strategy,
 };
+pub use cancel::CancelFlag;
 pub use core_min::{minimize_core, CoreIteration, CoreMinimization, MinimizeError};
 pub use error::{BadAntecedentReason, CheckError};
 pub use memory::MemoryMeter;

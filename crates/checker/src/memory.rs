@@ -82,9 +82,17 @@ impl MemoryMeter {
     /// # Errors
     ///
     /// Returns [`CheckError::MemoryLimitExceeded`] if the budget would be
-    /// exceeded; the accounted usage is left unchanged in that case.
+    /// exceeded — including when the running total would overflow `u64`,
+    /// which an adversarial trace can otherwise use to wrap the counter
+    /// and silently bypass the budget in release builds. The accounted
+    /// usage is left unchanged on error.
     pub fn alloc(&mut self, bytes: u64) -> Result<(), CheckError> {
-        let next = self.current + bytes;
+        let Some(next) = self.current.checked_add(bytes) else {
+            return Err(CheckError::MemoryLimitExceeded {
+                limit: self.limit.unwrap_or(u64::MAX),
+                required: u64::MAX,
+            });
+        };
         if let Some(limit) = self.limit {
             if next > limit {
                 return Err(CheckError::MemoryLimitExceeded {
@@ -152,6 +160,24 @@ mod tests {
         assert_eq!(m.current(), 90);
         m.free(50);
         m.alloc(20).unwrap();
+    }
+
+    #[test]
+    fn overflowing_alloc_is_rejected_not_wrapped() {
+        // Regression: `current + bytes` used an unchecked add, so an
+        // adversarial trace could wrap the counter past the limit.
+        let mut m = MemoryMeter::with_limit(1 << 20);
+        m.alloc(100).unwrap();
+        let err = m.alloc(u64::MAX).unwrap_err();
+        assert!(matches!(err, CheckError::MemoryLimitExceeded { .. }));
+        assert_eq!(m.current(), 100);
+        assert_eq!(m.peak(), 100);
+
+        // Even an unlimited meter must not wrap its accounting.
+        let mut m = MemoryMeter::unlimited();
+        m.alloc(100).unwrap();
+        assert!(m.alloc(u64::MAX).is_err());
+        assert_eq!(m.current(), 100);
     }
 
     #[test]

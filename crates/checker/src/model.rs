@@ -1,5 +1,6 @@
 //! In-memory model of a resolve trace, with validation.
 
+use crate::cancel::CancelFlag;
 use crate::error::CheckError;
 use crate::memory::{trace_record_bytes, LEVEL_ZERO_RECORD_BYTES};
 use rescheck_cnf::{Lit, Var};
@@ -79,12 +80,18 @@ pub(crate) struct FullTrace {
 pub(crate) fn load_full<S: TraceSource + ?Sized>(
     source: &S,
     num_original: usize,
+    cancel: &CancelFlag,
 ) -> Result<FullTrace, CheckError> {
     let mut full = FullTrace::default();
+    let mut seen: u64 = 0;
     for event in source.events_iter()? {
+        seen += 1;
+        if seen.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
+            cancel.check()?;
+        }
         match event? {
             TraceEvent::Learned { id, sources } => {
-                validate_learned(id, &sources, num_original, |candidate| {
+                validate_learned(id, sources.len(), num_original, |candidate| {
                     full.sources.contains_key(&candidate)
                 })?;
                 full.trace_bytes += trace_record_bytes(sources.len());
@@ -101,9 +108,13 @@ pub(crate) fn load_full<S: TraceSource + ?Sized>(
 }
 
 /// Validates one learned-clause record against the shared rules.
+///
+/// Takes only the source *count*, not the list — the sharded pass 1 of
+/// the parallel breadth-first checker validates from compact per-event
+/// records that do not retain source lists.
 pub(crate) fn validate_learned(
     id: u64,
-    sources: &[u64],
+    num_sources: usize,
     num_original: usize,
     already_defined: impl Fn(u64) -> bool,
 ) -> Result<(), CheckError> {
@@ -113,7 +124,7 @@ pub(crate) fn validate_learned(
     if already_defined(id) {
         return Err(CheckError::DuplicateLearnedId { id });
     }
-    if sources.len() < 2 {
+    if num_sources < 2 {
         return Err(CheckError::Trace(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("learned clause #{id} has fewer than two resolve sources"),
@@ -145,7 +156,7 @@ mod tests {
             TraceEvent::FinalConflict { id: 2 },
         ];
         let sink: MemorySink = events.into();
-        let full = load_full(&sink, 3).unwrap();
+        let full = load_full(&sink, 3, &CancelFlag::default()).unwrap();
         assert_eq!(full.sources.get(&3), Some(&vec![0, 1]));
         assert_eq!(full.final_ids, vec![2]);
         let rec = full.level_zero.get(Var::from_dimacs(2)).unwrap();
@@ -187,7 +198,7 @@ mod tests {
             },
         ];
         let sink: MemorySink = events.into();
-        let err = load_full(&sink, 3).unwrap_err();
+        let err = load_full(&sink, 3, &CancelFlag::default()).unwrap_err();
         assert!(matches!(err, CheckError::DuplicateLearnedId { id: 5 }));
     }
 
@@ -198,7 +209,7 @@ mod tests {
             sources: vec![0, 1],
         }];
         let sink: MemorySink = events.into();
-        let err = load_full(&sink, 3).unwrap_err();
+        let err = load_full(&sink, 3, &CancelFlag::default()).unwrap_err();
         assert!(matches!(
             err,
             CheckError::LearnedIdCollidesWithOriginal { id: 2 }
@@ -213,7 +224,7 @@ mod tests {
         }];
         let sink: MemorySink = events.into();
         assert!(matches!(
-            load_full(&sink, 3).unwrap_err(),
+            load_full(&sink, 3, &CancelFlag::default()).unwrap_err(),
             CheckError::Trace(_)
         ));
     }
@@ -221,7 +232,7 @@ mod tests {
     #[test]
     fn empty_trace_loads_empty() {
         let sink = MemorySink::new();
-        let full = load_full(&sink, 0).unwrap();
+        let full = load_full(&sink, 0, &CancelFlag::default()).unwrap();
         assert!(full.sources.is_empty());
         assert!(full.final_ids.is_empty());
         assert_eq!(full.trace_bytes, 0);

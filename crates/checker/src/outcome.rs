@@ -16,6 +16,15 @@ pub enum Strategy {
     /// their last needed use — the combination the paper's conclusion
     /// calls for (requires a random-access trace).
     Hybrid,
+    /// Race depth-first against breadth-first on two threads and return
+    /// the first success, cancelling the loser — depth-first speed when
+    /// memory allows, breadth-first robustness when it does not.
+    Portfolio,
+    /// Breadth-first with a sharded counting pass and a pipelined
+    /// resolution pass. Same verdict and same `clauses_built` /
+    /// `resolutions` as [`Strategy::BreadthFirst`], regardless of the
+    /// worker count.
+    ParallelBf,
 }
 
 impl fmt::Display for Strategy {
@@ -24,6 +33,8 @@ impl fmt::Display for Strategy {
             Strategy::DepthFirst => f.write_str("depth-first"),
             Strategy::BreadthFirst => f.write_str("breadth-first"),
             Strategy::Hybrid => f.write_str("hybrid"),
+            Strategy::Portfolio => f.write_str("portfolio"),
+            Strategy::ParallelBf => f.write_str("parallel-bf"),
         }
     }
 }

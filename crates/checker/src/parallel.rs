@@ -1,0 +1,661 @@
+//! Parallel checking: a racing portfolio and a sharded breadth-first
+//! checker, built on scoped threads only (the workspace stays free of
+//! external dependencies).
+//!
+//! **Portfolio** ([`Strategy::Portfolio`]): run the depth-first and
+//! breadth-first strategies concurrently on the same trace and return
+//! the first verdict, cancelling the loser through a [`CancelFlag`]
+//! polled at the existing progress strides. Depth-first usually wins on
+//! instances that fit in memory; when it memory-outs, breadth-first is
+//! already half-way done instead of starting from scratch.
+//!
+//! **Parallel breadth-first** ([`Strategy::ParallelBf`]): pass 1's use
+//! counting is embarrassingly parallel, so a reader thread decodes the
+//! trace once and deals event batches round-robin to `jobs` counting
+//! workers; their per-shard tables are merged in trace order through the
+//! same [`Pass1Tables`] methods the sequential pass uses. Pass 2 cannot
+//! be sharded (clause construction is a chain of data dependencies), but
+//! its trace *decoding* can be overlapped with resolution: a reader
+//! thread runs ahead through a bounded channel while the calling thread
+//! drives [`BfResolveState`] — the identical per-event code as the
+//! sequential checker, which is what makes `resolutions`,
+//! `clauses_built` and `peak_memory_bytes` bit-identical to
+//! [`Strategy::BreadthFirst`] for every worker count.
+//!
+//! Channel buffers hold at most [`PIPELINE_DEPTH`] batches of
+//! [`BATCH_EVENTS`] events and are deliberately not charged to the
+//! [`MemoryMeter`]: they are a small transport detail of this
+//! implementation, not part of the strategy's clause residency that
+//! Table 2 measures.
+
+use crate::api::CheckConfig;
+use crate::breadth_first::{sequential_pass1, BfResolveState, Pass1Tables};
+use crate::cancel::CancelFlag;
+use crate::error::CheckError;
+use crate::memory::MemoryMeter;
+use crate::outcome::{CheckOutcome, Strategy};
+use rescheck_cnf::{Cnf, Lit};
+use rescheck_obs::{Event, EventBuffer, Level, Observer, Phase};
+use rescheck_trace::{RandomAccessTrace, TraceEvent, TraceSource};
+use std::collections::HashMap;
+use std::io;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Events per batch crossing a channel.
+const BATCH_EVENTS: usize = 256;
+/// Bounded-channel capacity, in batches, for the pipelined reader.
+const PIPELINE_DEPTH: usize = 4;
+/// How often the portfolio coordinator polls the caller's cancel flag
+/// while waiting for a racer to finish.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Resolves `config.jobs` to an actual worker count.
+fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    } else {
+        jobs
+    }
+}
+
+// ---------------------------------------------------------------- portfolio
+
+/// Races depth-first against breadth-first; first verdict wins.
+pub(crate) fn run_portfolio<S: RandomAccessTrace + Sync + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+    obs: &mut dyn Observer,
+) -> Result<CheckOutcome, CheckError> {
+    let started = Instant::now();
+    config.cancel.check()?;
+
+    let df_cancel = CancelFlag::armed();
+    let bf_cancel = CancelFlag::armed();
+    let cancel_both = || {
+        df_cancel.cancel();
+        bf_cancel.cancel();
+    };
+
+    type RacerReport = (Strategy, Result<CheckOutcome, CheckError>, EventBuffer);
+    let (winner, mut errors) = thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<RacerReport>();
+        for (strategy, flag) in [
+            (Strategy::DepthFirst, &df_cancel),
+            (Strategy::BreadthFirst, &bf_cancel),
+        ] {
+            let tx = tx.clone();
+            let mut racer_config = config.clone();
+            racer_config.cancel = flag.clone();
+            scope.spawn(move || {
+                let mut buffer = EventBuffer::new();
+                let result = match strategy {
+                    Strategy::DepthFirst => {
+                        crate::depth_first::run(cnf, trace, &racer_config, &mut buffer)
+                    }
+                    _ => crate::breadth_first::run(cnf, trace, &racer_config, &mut buffer),
+                };
+                // The coordinator may have stopped listening; that is fine.
+                let _ = tx.send((strategy, result, buffer));
+            });
+        }
+        drop(tx);
+
+        let mut winner: Option<(Strategy, CheckOutcome, EventBuffer)> = None;
+        let mut errors: Vec<(Strategy, CheckError)> = Vec::new();
+        loop {
+            match rx.recv_timeout(POLL_INTERVAL) {
+                Ok((strategy, Ok(outcome), buffer)) => {
+                    if winner.is_none() {
+                        cancel_both();
+                        winner = Some((strategy, outcome, buffer));
+                    }
+                }
+                // The loser being cancelled is the expected way to lose.
+                Ok((_, Err(CheckError::Cancelled), _)) => {}
+                Ok((strategy, Err(err), _)) => errors.push((strategy, err)),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if config.cancel.is_cancelled() {
+                        cancel_both();
+                    }
+                }
+                // Both racers reported; the scope joins them on exit.
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        (winner, errors)
+    });
+
+    config.cancel.check()?;
+    if let Some((strategy, outcome, buffer)) = winner {
+        let tag = match strategy {
+            Strategy::DepthFirst => "df",
+            _ => "bf",
+        };
+        buffer.replay_tagged(tag, obs);
+        obs.observe(&Event::Message {
+            level: Level::Info,
+            text: &format!("portfolio: {strategy} won the race"),
+        });
+        let mut stats = outcome.stats;
+        stats.strategy = Strategy::Portfolio;
+        stats.runtime = started.elapsed();
+        // Untagged end-of-run gauges, like every other strategy emits.
+        obs.observe(&Event::GaugeSet {
+            name: "check.clauses_built",
+            value: stats.clauses_built as f64,
+        });
+        obs.observe(&Event::GaugeSet {
+            name: "check.resolutions",
+            value: stats.resolutions as f64,
+        });
+        obs.observe(&Event::GaugeSet {
+            name: "check.peak_memory_bytes",
+            value: stats.peak_memory_bytes as f64,
+        });
+        return Ok(CheckOutcome {
+            core: outcome.core,
+            stats,
+        });
+    }
+
+    // Both racers failed. A proof defect is a stronger verdict than
+    // running out of budget, so prefer the first non-memory error.
+    let pick = errors
+        .iter()
+        .position(|(_, e)| !matches!(e, CheckError::MemoryLimitExceeded { .. }))
+        .unwrap_or(0);
+    if errors.is_empty() {
+        // Unreachable without a cancelled parent (checked above), but do
+        // not panic on it.
+        return Err(CheckError::Cancelled);
+    }
+    Err(errors.swap_remove(pick).1)
+}
+
+// ---------------------------------------------------- parallel breadth-first
+
+/// A compact record of one pass-1-relevant event, tagged with its global
+/// position in the trace so shards can be merged back into trace order.
+/// Learned records keep only the source *count* — the counting itself
+/// happened in the shard — so a merge moves O(1) data per event.
+enum Meta {
+    Learned {
+        idx: u64,
+        id: u64,
+        num_sources: usize,
+    },
+    LevelZero {
+        idx: u64,
+        lit: Lit,
+        antecedent: u64,
+    },
+    Final {
+        idx: u64,
+        id: u64,
+    },
+}
+
+impl Meta {
+    fn idx(&self) -> u64 {
+        match *self {
+            Meta::Learned { idx, .. } | Meta::LevelZero { idx, .. } | Meta::Final { idx, .. } => {
+                idx
+            }
+        }
+    }
+}
+
+/// One counting worker: drains batches, counts learned-clause sources
+/// locally and keeps a [`Meta`] per event for the ordered merge.
+fn count_shard(
+    rx: mpsc::Receiver<(u64, Vec<TraceEvent>)>,
+    num_original: usize,
+) -> (Vec<Meta>, HashMap<u64, u32>) {
+    let mut metas: Vec<Meta> = Vec::new();
+    let mut counts: HashMap<u64, u32> = HashMap::new();
+    for (batch_start, batch) in rx {
+        for (k, event) in batch.into_iter().enumerate() {
+            let idx = batch_start + k as u64;
+            match event {
+                TraceEvent::Learned { id, sources } => {
+                    for &s in &sources {
+                        if s >= num_original as u64 {
+                            *counts.entry(s).or_insert(0) += 1;
+                        }
+                    }
+                    metas.push(Meta::Learned {
+                        idx,
+                        id,
+                        num_sources: sources.len(),
+                    });
+                }
+                TraceEvent::LevelZero { lit, antecedent } => {
+                    metas.push(Meta::LevelZero {
+                        idx,
+                        lit,
+                        antecedent,
+                    });
+                }
+                TraceEvent::FinalConflict { id } => metas.push(Meta::Final { idx, id }),
+            }
+        }
+    }
+    (metas, counts)
+}
+
+/// Pass 1 sharded across `jobs` workers fed round-robin by one reader.
+///
+/// The merge replays every shard's [`Meta`] records sorted by trace
+/// position through the same [`Pass1Tables`] methods the sequential pass
+/// calls, so a malformed trace produces the identical first error. A
+/// decode error surfaces only after the records decoded before it have
+/// been validated — exactly the order a sequential scan sees.
+fn sharded_pass1<S: TraceSource + Sync + ?Sized>(
+    trace: &S,
+    num_original: usize,
+    jobs: usize,
+    cancel: &CancelFlag,
+    obs: &mut dyn Observer,
+) -> Result<(Pass1Tables, u64), CheckError> {
+    thread::scope(|scope| -> Result<(Pass1Tables, u64), CheckError> {
+        let mut txs = Vec::with_capacity(jobs);
+        let mut workers = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            let (tx, rx) = mpsc::sync_channel::<(u64, Vec<TraceEvent>)>(PIPELINE_DEPTH);
+            txs.push(tx);
+            workers.push(scope.spawn(move || count_shard(rx, num_original)));
+        }
+        let reader_cancel = cancel.clone();
+        let reader = scope.spawn(move || -> Option<io::Error> {
+            let iter = match trace.events_iter() {
+                Ok(iter) => iter,
+                Err(e) => return Some(e),
+            };
+            let mut next_idx: u64 = 0;
+            let mut batch_start: u64 = 0;
+            let mut batch: Vec<TraceEvent> = Vec::with_capacity(BATCH_EVENTS);
+            let mut target = 0usize;
+            for item in iter {
+                match item {
+                    Ok(event) => {
+                        batch.push(event);
+                        next_idx += 1;
+                        if batch.len() == BATCH_EVENTS {
+                            if txs[target]
+                                .send((batch_start, std::mem::take(&mut batch)))
+                                .is_err()
+                                || reader_cancel.is_cancelled()
+                            {
+                                return None;
+                            }
+                            target = (target + 1) % txs.len();
+                            batch_start = next_idx;
+                        }
+                    }
+                    Err(e) => {
+                        // Ship what decoded cleanly first, so validation
+                        // errors in it keep precedence over the decode
+                        // error — matching the sequential scan.
+                        if !batch.is_empty() {
+                            let _ = txs[target].send((batch_start, batch));
+                        }
+                        return Some(e);
+                    }
+                }
+            }
+            if !batch.is_empty() {
+                let _ = txs[target].send((batch_start, batch));
+            }
+            None
+        });
+
+        let io_err = reader.join().expect("trace reader thread panicked");
+        let mut metas: Vec<Meta> = Vec::new();
+        let mut merged_counts: HashMap<u64, u32> = HashMap::new();
+        for (w, worker) in workers.into_iter().enumerate() {
+            let (shard_metas, shard_counts) = worker.join().expect("counting worker panicked");
+            obs.observe(&Event::GaugeSet {
+                name: &format!("check.pass1.shard{w}.events"),
+                value: shard_metas.len() as f64,
+            });
+            metas.extend(shard_metas);
+            for (id, c) in shard_counts {
+                *merged_counts.entry(id).or_insert(0) += c;
+            }
+        }
+        cancel.check()?;
+
+        metas.sort_unstable_by_key(Meta::idx);
+        let mut tables = Pass1Tables::default();
+        let mut seen: u64 = 0;
+        for meta in &metas {
+            seen += 1;
+            if seen.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
+                cancel.check()?;
+            }
+            match *meta {
+                Meta::Learned {
+                    id, num_sources, ..
+                } => tables.absorb_learned(id, num_sources, num_original)?,
+                Meta::LevelZero {
+                    lit, antecedent, ..
+                } => tables.absorb_level_zero(lit, antecedent, num_original)?,
+                Meta::Final { id, .. } => tables.absorb_final(id),
+            }
+        }
+        if let Some(e) = io_err {
+            return Err(CheckError::Trace(e));
+        }
+        for (id, c) in merged_counts {
+            *tables.use_counts.entry(id).or_insert(0) += c;
+        }
+        let start_id = tables.finish(num_original)?;
+        Ok((tables, start_id))
+    })
+}
+
+/// Pass 2 with a reader thread decoding ahead of the resolution loop.
+///
+/// Resolution state stays on the calling thread (clauses are `Rc` and
+/// never cross threads); only owned event batches do. Dropping the
+/// receiver on a resolution error unblocks the reader, and the scope
+/// joins it before returning.
+fn pipelined_pass2<S: TraceSource + Sync + ?Sized>(
+    trace: &S,
+    state: &mut BfResolveState<'_>,
+    obs: &mut dyn Observer,
+) -> Result<(), CheckError> {
+    thread::scope(|scope| -> Result<(), CheckError> {
+        let (tx, rx) = mpsc::sync_channel::<Result<Vec<TraceEvent>, io::Error>>(PIPELINE_DEPTH);
+        scope.spawn(move || {
+            let iter = match trace.events_iter() {
+                Ok(iter) => iter,
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            };
+            let mut batch: Vec<TraceEvent> = Vec::with_capacity(BATCH_EVENTS);
+            for item in iter {
+                match item {
+                    Ok(event) => {
+                        batch.push(event);
+                        if batch.len() == BATCH_EVENTS
+                            && tx.send(Ok(std::mem::take(&mut batch))).is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        // Preserve sequential error order: everything
+                        // decoded before the failure is still checked.
+                        if !batch.is_empty() {
+                            let _ = tx.send(Ok(std::mem::take(&mut batch)));
+                        }
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            }
+            if !batch.is_empty() {
+                let _ = tx.send(Ok(batch));
+            }
+        });
+        for message in rx {
+            match message {
+                Ok(batch) => {
+                    for event in &batch {
+                        state.handle_event(event, obs)?;
+                    }
+                }
+                Err(e) => return Err(CheckError::Trace(e)),
+            }
+        }
+        Ok(())
+    })
+}
+
+/// The parallel breadth-first checker: sharded pass 1, pipelined pass 2.
+pub(crate) fn run_parallel_bf<S: RandomAccessTrace + Sync + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+    obs: &mut dyn Observer,
+) -> Result<CheckOutcome, CheckError> {
+    let started = Instant::now();
+    let num_original = cnf.num_clauses();
+    let jobs = effective_jobs(config.jobs);
+    let mut meter = MemoryMeter::new(config.memory_limit);
+
+    let pass1 = Phase::start("check:pass1", obs);
+    obs.observe(&Event::GaugeSet {
+        name: "check.jobs",
+        value: jobs as f64,
+    });
+    let (tables, start_id) = if jobs <= 1 {
+        sequential_pass1(trace, num_original, &config.cancel)?
+    } else {
+        sharded_pass1(trace, num_original, jobs, &config.cancel, obs)?
+    };
+    meter.alloc(tables.resident_bytes())?;
+    pass1.finish(obs);
+
+    let resolve_phase = Phase::start("check:resolve", obs);
+    let mut state = BfResolveState::new(cnf, tables, meter, config);
+    pipelined_pass2(trace, &mut state, obs)?;
+    resolve_phase.finish(obs);
+
+    state.into_outcome(
+        start_id,
+        Strategy::ParallelBf,
+        started,
+        trace.encoded_size(),
+        obs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescheck_obs::NullObserver;
+    use rescheck_trace::{MemorySink, TraceSink};
+
+    /// An implication-chain instance whose proof uses each learned
+    /// clause exactly once — depth-first holds everything, breadth-first
+    /// holds O(1) clauses.
+    fn chain(n: i64) -> (Cnf, MemorySink) {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1]);
+        for i in 1..n {
+            cnf.add_dimacs_clause(&[-i, i + 1]);
+        }
+        cnf.add_dimacs_clause(&[-n]);
+        let mut sink = MemorySink::new();
+        let mut prev = 0u64;
+        for i in 1..n {
+            let next_id = (n + i) as u64;
+            sink.learned(next_id, &[prev, i as u64]).unwrap();
+            prev = next_id;
+        }
+        sink.level_zero(Lit::from_dimacs(n), prev).unwrap();
+        sink.final_conflict(n as u64).unwrap();
+        (cnf, sink)
+    }
+
+    #[test]
+    fn portfolio_accepts_a_valid_proof() {
+        let (cnf, sink) = chain(16);
+        let outcome =
+            run_portfolio(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap();
+        assert_eq!(outcome.stats.strategy, Strategy::Portfolio);
+    }
+
+    #[test]
+    fn portfolio_succeeds_where_depth_first_memory_outs() {
+        let (cnf, sink) = chain(64);
+        let bf_peak =
+            crate::breadth_first::run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver)
+                .unwrap()
+                .stats
+                .peak_memory_bytes;
+        let df_peak =
+            crate::depth_first::run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver)
+                .unwrap()
+                .stats
+                .peak_memory_bytes;
+        assert!(bf_peak < df_peak);
+
+        // A budget breadth-first fits in but depth-first does not.
+        let config = CheckConfig {
+            memory_limit: Some(bf_peak),
+            ..CheckConfig::default()
+        };
+        assert!(matches!(
+            crate::depth_first::run(&cnf, &sink, &config, &mut NullObserver).unwrap_err(),
+            CheckError::MemoryLimitExceeded { .. }
+        ));
+        let outcome = run_portfolio(&cnf, &sink, &config, &mut NullObserver).unwrap();
+        assert_eq!(outcome.stats.strategy, Strategy::Portfolio);
+        // Breadth-first won, so there is no core.
+        assert!(outcome.core.is_none());
+        assert_eq!(outcome.stats.peak_memory_bytes, bf_peak);
+    }
+
+    #[test]
+    fn portfolio_reports_proof_defect_over_memory_out() {
+        // An invalid resolution plus a tight budget: whichever racer
+        // fails however, the reported error is the proof defect.
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1, 2]);
+        cnf.add_dimacs_clause(&[3, 4]);
+        let mut sink = MemorySink::new();
+        sink.learned(2, &[0, 1]).unwrap();
+        sink.final_conflict(2).unwrap();
+        let err =
+            run_portfolio(&cnf, &sink, &CheckConfig::default(), &mut NullObserver).unwrap_err();
+        assert!(matches!(err, CheckError::NotResolvable { .. }));
+    }
+
+    #[test]
+    fn portfolio_respects_caller_cancellation() {
+        let (cnf, sink) = chain(8);
+        let config = CheckConfig {
+            cancel: CancelFlag::armed(),
+            ..CheckConfig::default()
+        };
+        config.cancel.cancel();
+        let err = run_portfolio(&cnf, &sink, &config, &mut NullObserver).unwrap_err();
+        assert!(matches!(err, CheckError::Cancelled));
+    }
+
+    #[test]
+    fn parallel_bf_stats_match_sequential_for_every_job_count() {
+        let (cnf, sink) = chain(300);
+        let sequential =
+            crate::breadth_first::run(&cnf, &sink, &CheckConfig::default(), &mut NullObserver)
+                .unwrap();
+        for jobs in [1usize, 2, 3, 4, 7] {
+            let config = CheckConfig {
+                jobs,
+                ..CheckConfig::default()
+            };
+            let parallel = run_parallel_bf(&cnf, &sink, &config, &mut NullObserver).unwrap();
+            assert_eq!(parallel.stats.strategy, Strategy::ParallelBf);
+            assert_eq!(
+                parallel.stats.resolutions, sequential.stats.resolutions,
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                parallel.stats.clauses_built, sequential.stats.clauses_built,
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                parallel.stats.learned_in_trace, sequential.stats.learned_in_trace,
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                parallel.stats.peak_memory_bytes, sequential.stats.peak_memory_bytes,
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_bf_rejects_malformed_traces_like_sequential() {
+        let mut cnf = Cnf::new();
+        cnf.add_dimacs_clause(&[1, 2]);
+        cnf.add_dimacs_clause(&[1, -2]);
+        cnf.add_dimacs_clause(&[-1, 2]);
+        cnf.add_dimacs_clause(&[-1, -2]);
+
+        // Large enough that batches actually reach several shards.
+        let build = |mutate: &dyn Fn(&mut Vec<TraceEvent>)| {
+            let (big_cnf, sink) = chain(600);
+            let mut events = sink.into_events();
+            mutate(&mut events);
+            (big_cnf, MemorySink::from(events))
+        };
+
+        type Mutation = Box<dyn Fn(&mut Vec<TraceEvent>)>;
+        let cases: Vec<Mutation> = vec![
+            // Duplicate learned id mid-trace.
+            Box::new(|events| {
+                let dup = events[100].clone();
+                events.insert(400, dup);
+            }),
+            // Forward reference.
+            Box::new(|events| {
+                if let TraceEvent::Learned { sources, .. } = &mut events[10] {
+                    sources[0] = 1_000_000;
+                }
+            }),
+            // Self-referencing clause.
+            Box::new(|events| {
+                if let TraceEvent::Learned { id, sources } = &mut events[10] {
+                    sources[0] = *id;
+                }
+            }),
+            // Empty source list.
+            Box::new(|events| {
+                if let TraceEvent::Learned { sources, .. } = &mut events[10] {
+                    sources.clear();
+                }
+            }),
+        ];
+        for (i, mutate) in cases.iter().enumerate() {
+            let (big_cnf, sink) = build(mutate.as_ref());
+            let sequential = crate::breadth_first::run(
+                &big_cnf,
+                &sink,
+                &CheckConfig::default(),
+                &mut NullObserver,
+            )
+            .unwrap_err();
+            let config = CheckConfig {
+                jobs: 4,
+                ..CheckConfig::default()
+            };
+            let parallel =
+                run_parallel_bf(&big_cnf, &sink, &config, &mut NullObserver).unwrap_err();
+            assert_eq!(
+                std::mem::discriminant(&parallel),
+                std::mem::discriminant(&sequential),
+                "case {i}: parallel {parallel:?} vs sequential {sequential:?}"
+            );
+        }
+        let _ = cnf;
+    }
+
+    #[test]
+    fn effective_jobs_resolution() {
+        assert_eq!(effective_jobs(3), 3);
+        assert!(effective_jobs(0) >= 1);
+        assert!(effective_jobs(0) <= 8);
+    }
+}

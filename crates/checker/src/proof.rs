@@ -99,7 +99,7 @@ pub fn proof_stats<S: TraceSource + ?Sized>(
     trace: &S,
 ) -> Result<ProofStats, CheckError> {
     let num_original = cnf.num_clauses();
-    let full = load_full(trace, num_original)?;
+    let full = load_full(trace, num_original, &crate::cancel::CancelFlag::default())?;
     let start = *full.final_ids.first().ok_or(CheckError::NoFinalConflict)?;
 
     // Roots: the final conflicting clause plus every level-0 antecedent.

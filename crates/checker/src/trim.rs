@@ -105,7 +105,7 @@ pub fn trim_trace_observed<S: TraceSource + ?Sized>(
     for event in trace.events_iter()? {
         match event? {
             TraceEvent::Learned { id, sources: srcs } => {
-                validate_learned(id, &srcs, num_original, |c| sources.contains_key(&c))?;
+                validate_learned(id, srcs.len(), num_original, |c| sources.contains_key(&c))?;
                 sources.insert(id, srcs);
             }
             TraceEvent::LevelZero { lit, antecedent } => {

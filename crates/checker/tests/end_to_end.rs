@@ -271,6 +271,7 @@ fn depth_first_memory_out_vs_breadth_first_survival() {
     let budget = (bf.stats.peak_memory_bytes + df.stats.peak_memory_bytes) / 2;
     let config = CheckConfig {
         memory_limit: Some(budget),
+        ..CheckConfig::default()
     };
     assert!(check_unsat_claim(&cnf, &trace, Strategy::DepthFirst, &config).is_err());
     assert!(check_unsat_claim(&cnf, &trace, Strategy::BreadthFirst, &config).is_ok());

@@ -10,13 +10,24 @@ use rescheck_checker::{
 };
 use rescheck_cnf::{Cnf, Lit, SplitMix64, Var};
 use rescheck_solver::{Solver, SolverConfig};
-use rescheck_trace::{MemorySink, TraceEvent};
+use rescheck_trace::{BinaryWriter, FileTrace, MemorySink, TraceEvent, TraceSink};
 
 const CASES: u64 = if cfg!(feature = "heavy-tests") {
     512
 } else {
     64
 };
+
+/// Every checking strategy, the parallel ones included: anything the
+/// sequential checkers must survive, the racing portfolio and the
+/// sharded breadth-first checker must survive too.
+const ALL_STRATEGIES: [CheckStrategy; 5] = [
+    CheckStrategy::DepthFirst,
+    CheckStrategy::BreadthFirst,
+    CheckStrategy::Hybrid,
+    CheckStrategy::Portfolio,
+    CheckStrategy::ParallelBf,
+];
 
 fn pigeonhole(holes: usize) -> Cnf {
     let pigeons = holes + 1;
@@ -113,11 +124,7 @@ fn mutated_traces_never_panic() {
         for _ in 0..rng.range_usize(1..6) {
             mutate(&mut events, &mut rng);
         }
-        for strategy in [
-            CheckStrategy::DepthFirst,
-            CheckStrategy::BreadthFirst,
-            CheckStrategy::Hybrid,
-        ] {
+        for strategy in ALL_STRATEGIES {
             let _ = check_unsat_claim(&cnf, &events, strategy, &CheckConfig::default());
         }
         let _ = trim_trace(&cnf, &events);
@@ -136,11 +143,7 @@ fn mutated_formulas_never_panic() {
         let mut ids: Vec<usize> = (0..cnf.num_clauses()).collect();
         ids.remove(rng.range_usize(0..ids.len()));
         let smaller = cnf.subformula(ids);
-        for strategy in [
-            CheckStrategy::DepthFirst,
-            CheckStrategy::BreadthFirst,
-            CheckStrategy::Hybrid,
-        ] {
+        for strategy in ALL_STRATEGIES {
             let _ = check_unsat_claim(&smaller, &events, strategy, &CheckConfig::default());
         }
         // Flip one literal of one clause.
@@ -153,13 +156,149 @@ fn mutated_formulas_never_panic() {
             }
             mutated.add_clause(lits);
         }
-        for strategy in [
-            CheckStrategy::DepthFirst,
-            CheckStrategy::BreadthFirst,
-            CheckStrategy::Hybrid,
-        ] {
+        for strategy in ALL_STRATEGIES {
             let _ = check_unsat_claim(&mutated, &events, strategy, &CheckConfig::default());
         }
         let _ = trim_trace(&mutated, &events);
     }
+}
+
+/// Crafted corruptions that must produce a structured `CheckError` from
+/// *every* strategy — not an `Ok`, not a panic: bogus duplicated final
+/// conflicts, self-referencing source lists and empty source lists.
+#[test]
+fn crafted_corruptions_are_rejected_by_every_strategy() {
+    let (cnf, pristine) = genuine();
+    let learned_positions: Vec<usize> = pristine
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, TraceEvent::Learned { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!learned_positions.is_empty());
+
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x5eed_0000 + seed);
+        let mut events = pristine.clone();
+        let case = rng.below(3);
+        match case {
+            // Duplicated final conflicts naming a clause that does not
+            // exist, placed ahead of the genuine one.
+            0 => {
+                let bogus = 1_000_000 + rng.below(1_000_000);
+                let copies = 2 + rng.range_usize(0..3);
+                for _ in 0..copies {
+                    let at = rng.range_usize(0..events.len());
+                    events.insert(at, TraceEvent::FinalConflict { id: bogus });
+                }
+                events.insert(0, TraceEvent::FinalConflict { id: bogus });
+            }
+            // A learned clause listing itself as a resolve source, made
+            // the derivation root so even the needed-clauses-only
+            // strategies must walk into the cycle.
+            1 => {
+                let at = learned_positions[rng.range_usize(0..learned_positions.len())];
+                let mut self_ref = 0;
+                if let TraceEvent::Learned { id, sources } = &mut events[at] {
+                    let k = rng.range_usize(0..sources.len());
+                    sources[k] = *id;
+                    self_ref = *id;
+                }
+                events.insert(0, TraceEvent::FinalConflict { id: self_ref });
+            }
+            // A learned clause with no sources at all.
+            _ => {
+                let at = learned_positions[rng.range_usize(0..learned_positions.len())];
+                if let TraceEvent::Learned { sources, .. } = &mut events[at] {
+                    sources.clear();
+                }
+            }
+        }
+        for strategy in ALL_STRATEGIES {
+            let result = check_unsat_claim(&cnf, &events, strategy, &CheckConfig::default());
+            assert!(
+                result.is_err(),
+                "seed {seed} case {case}: {strategy} accepted a corrupted trace"
+            );
+        }
+    }
+}
+
+/// Binary traces cut off mid-varint (or mid-event) must surface as a
+/// `CheckError` from every strategy, including through the parallel
+/// readers that decode on separate threads.
+#[test]
+fn truncated_binary_traces_are_rejected_by_every_strategy() {
+    let (cnf, events) = genuine();
+    let mut encoded: Vec<u8> = Vec::new();
+    {
+        let mut writer = BinaryWriter::new(&mut encoded).unwrap();
+        for e in &events {
+            writer.event(e).unwrap();
+        }
+    }
+    let cases: u64 = if cfg!(feature = "heavy-tests") {
+        64
+    } else {
+        12
+    };
+    let dir = std::env::temp_dir();
+    for seed in 0..cases {
+        let mut rng = SplitMix64::new(0x7a11_0000 + seed);
+        // Keep the magic header; drop at least one trailing byte.
+        let cut = rng.range_usize(5..encoded.len());
+        let path = dir.join(format!(
+            "rescheck-robustness-{}-{seed}.rt",
+            std::process::id()
+        ));
+        std::fs::write(&path, &encoded[..cut]).unwrap();
+        let trace = FileTrace::open(&path).unwrap();
+        for strategy in ALL_STRATEGIES {
+            let result = check_unsat_claim(&cnf, &trace, strategy, &CheckConfig::default());
+            assert!(
+                result.is_err(),
+                "seed {seed} cut {cut}: {strategy} accepted a truncated binary trace"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Repeated portfolio runs must not accumulate threads: the scoped
+/// racers are joined before `check_unsat_claim` returns, winner and
+/// cancelled loser alike. Best-effort (needs procfs); a systematic leak
+/// of two racers per call would trip the slack immediately.
+#[test]
+fn portfolio_cancellation_leaks_no_threads() {
+    let thread_count = || -> Option<usize> {
+        std::fs::read_to_string("/proc/self/status")
+            .ok()?
+            .lines()
+            .find(|l| l.starts_with("Threads:"))?
+            .split_whitespace()
+            .nth(1)?
+            .parse()
+            .ok()
+    };
+    let (cnf, events) = genuine();
+    let Some(before) = thread_count() else {
+        return;
+    };
+    let runs = 16;
+    for _ in 0..runs {
+        check_unsat_claim(
+            &cnf,
+            &events,
+            CheckStrategy::Portfolio,
+            &CheckConfig::default(),
+        )
+        .unwrap();
+    }
+    let after = thread_count().unwrap();
+    // 2 racers per run would mean +32 on a leak; allow noise from
+    // concurrently running tests.
+    assert!(
+        after < before + runs,
+        "portfolio leaked threads: {before} -> {after}"
+    );
 }

@@ -1,0 +1,287 @@
+//! Cross-thread event buffering for parallel components.
+//!
+//! [`Event`] borrows its string fields, so it cannot be sent between
+//! threads or stored beyond the `observe` call. Parallel code (the
+//! checking portfolio, the sharded breadth-first passes) instead gives
+//! each worker its own [`EventBuffer`] — an owned, `Send` recording of
+//! everything the worker emitted — and replays the buffers into the real
+//! observer on the coordinating thread once the workers are joined,
+//! tagging every replayed event with the worker's id so downstream
+//! consumers can tell the streams apart.
+
+use crate::observer::{Event, Level, Observer};
+use std::time::Duration;
+
+/// An owned counterpart of [`Event`], safe to move across threads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OwnedEvent {
+    /// See [`Event::PhaseStarted`].
+    PhaseStarted {
+        /// The phase name.
+        phase: String,
+    },
+    /// See [`Event::PhaseFinished`].
+    PhaseFinished {
+        /// The phase name.
+        phase: String,
+        /// Wall-clock duration of the phase.
+        wall: Duration,
+    },
+    /// See [`Event::CounterAdd`].
+    CounterAdd {
+        /// Dotted counter name.
+        name: String,
+        /// Amount added.
+        delta: u64,
+    },
+    /// See [`Event::GaugeSet`].
+    GaugeSet {
+        /// Dotted gauge name.
+        name: String,
+        /// The new value.
+        value: f64,
+    },
+    /// See [`Event::Progress`].
+    Progress {
+        /// The phase reporting progress.
+        phase: String,
+        /// Work completed so far, in `unit`s.
+        done: u64,
+        /// What `done` counts.
+        unit: String,
+        /// Optional preformatted detail.
+        detail: Option<String>,
+    },
+    /// See [`Event::Message`].
+    Message {
+        /// Severity.
+        level: Level,
+        /// The text.
+        text: String,
+    },
+}
+
+impl OwnedEvent {
+    /// Copies a borrowed event into its owned form.
+    ///
+    /// Discrete solver events ([`Event::Decision`], [`Event::Conflict`],
+    /// …) are not buffered: workers in the checking subsystem never emit
+    /// them, and buffering one per conflict would defeat the
+    /// allocation-free design of the hot path. Returns `None` for those.
+    pub fn from_event(event: &Event<'_>) -> Option<OwnedEvent> {
+        Some(match event {
+            Event::PhaseStarted { phase } => OwnedEvent::PhaseStarted {
+                phase: (*phase).to_string(),
+            },
+            Event::PhaseFinished { phase, wall } => OwnedEvent::PhaseFinished {
+                phase: (*phase).to_string(),
+                wall: *wall,
+            },
+            Event::CounterAdd { name, delta } => OwnedEvent::CounterAdd {
+                name: (*name).to_string(),
+                delta: *delta,
+            },
+            Event::GaugeSet { name, value } => OwnedEvent::GaugeSet {
+                name: (*name).to_string(),
+                value: *value,
+            },
+            Event::Progress {
+                phase,
+                done,
+                unit,
+                detail,
+            } => OwnedEvent::Progress {
+                phase: (*phase).to_string(),
+                done: *done,
+                unit: (*unit).to_string(),
+                detail: detail.map(str::to_string),
+            },
+            Event::Message { level, text } => OwnedEvent::Message {
+                level: *level,
+                text: (*text).to_string(),
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// A `Send` observer that records owned copies of the events it sees,
+/// for later replay on another thread.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_obs::{Event, EventBuffer, MetricsSink, Observer};
+///
+/// // A worker thread records into its own buffer…
+/// let mut buffer = EventBuffer::new();
+/// buffer.observe(&Event::GaugeSet { name: "check.resolutions", value: 42.0 });
+///
+/// // …and the coordinator replays it, tagged with the worker id.
+/// let mut sink = MetricsSink::new();
+/// buffer.replay_tagged("bf", &mut sink);
+/// assert_eq!(sink.registry().gauge("bf:check.resolutions"), Some(42.0));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EventBuffer {
+    events: Vec<OwnedEvent>,
+}
+
+impl EventBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        EventBuffer::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[OwnedEvent] {
+        &self.events
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replays every buffered event into `obs` unchanged.
+    pub fn replay(&self, obs: &mut dyn Observer) {
+        self.replay_inner(None, obs);
+    }
+
+    /// Replays every buffered event into `obs`, prefixing phase, counter
+    /// and gauge names with `"{tag}:"` so events from different workers
+    /// stay distinguishable.
+    pub fn replay_tagged(&self, tag: &str, obs: &mut dyn Observer) {
+        self.replay_inner(Some(tag), obs);
+    }
+
+    fn replay_inner(&self, tag: Option<&str>, obs: &mut dyn Observer) {
+        let tagged = |name: &str| match tag {
+            Some(t) => format!("{t}:{name}"),
+            None => name.to_string(),
+        };
+        for event in &self.events {
+            match event {
+                OwnedEvent::PhaseStarted { phase } => {
+                    obs.observe(&Event::PhaseStarted {
+                        phase: &tagged(phase),
+                    });
+                }
+                OwnedEvent::PhaseFinished { phase, wall } => {
+                    obs.observe(&Event::PhaseFinished {
+                        phase: &tagged(phase),
+                        wall: *wall,
+                    });
+                }
+                OwnedEvent::CounterAdd { name, delta } => {
+                    obs.observe(&Event::CounterAdd {
+                        name: &tagged(name),
+                        delta: *delta,
+                    });
+                }
+                OwnedEvent::GaugeSet { name, value } => {
+                    obs.observe(&Event::GaugeSet {
+                        name: &tagged(name),
+                        value: *value,
+                    });
+                }
+                OwnedEvent::Progress {
+                    phase,
+                    done,
+                    unit,
+                    detail,
+                } => {
+                    obs.observe(&Event::Progress {
+                        phase: &tagged(phase),
+                        done: *done,
+                        unit,
+                        detail: detail.as_deref(),
+                    });
+                }
+                OwnedEvent::Message { level, text } => {
+                    obs.observe(&Event::Message {
+                        level: *level,
+                        text,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Observer for EventBuffer {
+    fn observe(&mut self, event: &Event<'_>) {
+        if let Some(owned) = OwnedEvent::from_event(event) {
+            self.events.push(owned);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsSink;
+
+    #[test]
+    fn buffers_and_replays_everything_replayable() {
+        let mut buf = EventBuffer::new();
+        buf.observe(&Event::PhaseStarted { phase: "p" });
+        buf.observe(&Event::PhaseFinished {
+            phase: "p",
+            wall: Duration::from_millis(5),
+        });
+        buf.observe(&Event::CounterAdd {
+            name: "c",
+            delta: 3,
+        });
+        buf.observe(&Event::GaugeSet {
+            name: "g",
+            value: 2.0,
+        });
+        buf.observe(&Event::Progress {
+            phase: "p",
+            done: 10,
+            unit: "clauses",
+            detail: Some("d"),
+        });
+        buf.observe(&Event::Message {
+            level: Level::Info,
+            text: "hi",
+        });
+        // Discrete solver events are intentionally dropped.
+        buf.observe(&Event::Decision { number: 1 });
+        assert_eq!(buf.events().len(), 6);
+        assert!(!buf.is_empty());
+
+        let mut sink = MetricsSink::new();
+        buf.replay(&mut sink);
+        assert_eq!(sink.registry().counter("c"), Some(3));
+        assert_eq!(sink.registry().gauge("g"), Some(2.0));
+        assert!(sink.registry().phase_seconds("p").is_some());
+    }
+
+    #[test]
+    fn tagging_prefixes_names() {
+        let mut buf = EventBuffer::new();
+        buf.observe(&Event::CounterAdd {
+            name: "c",
+            delta: 1,
+        });
+        buf.observe(&Event::PhaseFinished {
+            phase: "check:pass1",
+            wall: Duration::from_millis(1),
+        });
+        let mut sink = MetricsSink::new();
+        buf.replay_tagged("w0", &mut sink);
+        assert_eq!(sink.registry().counter("w0:c"), Some(1));
+        assert!(sink.registry().phase_seconds("w0:check:pass1").is_some());
+        assert_eq!(sink.registry().counter("c"), None);
+    }
+
+    #[test]
+    fn buffer_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<EventBuffer>();
+        assert_send::<OwnedEvent>();
+    }
+}

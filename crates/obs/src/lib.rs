@@ -21,11 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buffer;
 pub mod json;
 pub mod metrics;
 pub mod observer;
 pub mod progress;
 
+pub use buffer::{EventBuffer, OwnedEvent};
 pub use json::{Json, ParseError};
 pub use metrics::Registry;
 pub use observer::{Event, Level, MetricsSink, NullObserver, Observer, Phase, Tee};

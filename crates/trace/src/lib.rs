@@ -58,6 +58,7 @@ mod binary;
 mod event;
 mod random;
 mod sink;
+mod snapshot;
 mod source;
 pub mod varint;
 
@@ -66,4 +67,5 @@ pub use binary::{BinaryReader, BinaryWriter, BINARY_MAGIC};
 pub use event::TraceEvent;
 pub use random::{OffsetEventsIter, RandomAccessTrace, TraceCursor};
 pub use sink::{CountingSink, MemorySink, NullSink, TeeSink, TraceSink};
+pub use snapshot::{TraceChunk, TraceSnapshot};
 pub use source::{collect_events, read_all, FileTrace, ReadTraceError, TraceFormat, TraceSource};

@@ -4,7 +4,8 @@
 //! ```text
 //! rescheck solve <file.cnf> [--trace <out>] [--binary] [--no-learning]
 //!                [--no-deletion] [--no-restarts]
-//! rescheck check <file.cnf> <trace> [--strategy df|bf] [--mem-limit <bytes>]
+//! rescheck check <file.cnf> <trace> [--strategy df|bf|hybrid|portfolio|pbf]
+//!                [--mem-limit <bytes>] [--jobs <n>]
 //! rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
 //! rescheck gen   <family> [args…]        # writes DIMACS to stdout
 //! ```
@@ -58,7 +59,11 @@ rescheck — validate SAT solver results with a resolution-based checker
 USAGE:
   rescheck solve <file.cnf> [--trace <out>] [--binary]
                  [--no-learning] [--no-deletion] [--no-restarts]
-  rescheck check <file.cnf> <trace> [--strategy df|bf|hybrid] [--mem-limit <bytes>]
+  rescheck check <file.cnf> <trace> [--strategy df|bf|hybrid|portfolio|pbf]
+                 [--mem-limit <bytes>] [--jobs <n>]
+                 (portfolio races df against bf on two threads; pbf is
+                 breadth-first with <n> counting workers and a pipelined
+                 resolution pass — --jobs 0 = auto)
   rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
   rescheck trim  <file.cnf> <trace> --out <trimmed> [--binary]
   rescheck stats <file.cnf> <trace>
@@ -271,11 +276,19 @@ fn cmd_check(rest: &[String]) -> CliResult {
         None | Some("df") => Strategy::DepthFirst,
         Some("bf") => Strategy::BreadthFirst,
         Some("hybrid") => Strategy::Hybrid,
-        Some(other) => return Err(format!("unknown strategy {other:?} (df|bf|hybrid)").into()),
+        Some("portfolio") => Strategy::Portfolio,
+        Some("pbf" | "parallel-bf") => Strategy::ParallelBf,
+        Some(other) => {
+            return Err(format!("unknown strategy {other:?} (df|bf|hybrid|portfolio|pbf)").into())
+        }
     };
     let memory_limit = take_opt(&mut args, "--mem-limit")?
         .map(|s| s.parse::<u64>())
         .transpose()?;
+    let jobs = take_opt(&mut args, "--jobs")?
+        .map(|s| s.parse::<usize>())
+        .transpose()?
+        .unwrap_or(0);
     let [cnf_path, trace_path] = args.as_slice() else {
         return Err("check needs a CNF file and a trace file".into());
     };
@@ -283,7 +296,11 @@ fn cmd_check(rest: &[String]) -> CliResult {
     let cnf = dimacs::read_file(cnf_path)?;
     let trace = FileTrace::open(trace_path)?;
     parse.finish(&mut obs);
-    let config = CheckConfig { memory_limit };
+    let config = CheckConfig {
+        memory_limit,
+        jobs,
+        ..CheckConfig::default()
+    };
     match check_unsat_claim_observed(&cnf, &trace, strategy, &config, &mut obs) {
         Ok(outcome) => {
             println!("VALID UNSAT proof");

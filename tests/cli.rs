@@ -94,6 +94,58 @@ fn binary_traces_are_smaller_and_check() {
 }
 
 #[test]
+fn parallel_strategies_check_and_pbf_is_jobs_deterministic() {
+    let dir = tmp_dir("parallel");
+    let cnf_path = dir.join("php.cnf");
+    let trace_path = dir.join("php.rt");
+    let out = bin().args(["gen", "pigeonhole", "5"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+    let st = bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(20));
+
+    // Both parallel strategies validate the genuine proof.
+    for strategy in ["portfolio", "pbf"] {
+        let out = bin()
+            .arg("check")
+            .arg(&cnf_path)
+            .arg(&trace_path)
+            .args(["--strategy", strategy, "--jobs", "4"])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "{strategy}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("VALID UNSAT proof"));
+    }
+
+    // The sharded breadth-first checker reports identical statistics
+    // regardless of the worker count (runtime excluded, of course).
+    let stats_line = |jobs: &str| -> String {
+        let out = bin()
+            .arg("check")
+            .arg(&cnf_path)
+            .arg(&trace_path)
+            .args(["--strategy", "pbf", "--jobs", jobs])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "--jobs {jobs}");
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("parallel-bf:"))
+            .unwrap_or_else(|| panic!("no stats line in {text}"))
+            .to_string();
+        // Drop the trailing wall-clock figure.
+        line.rsplit_once(',').unwrap().0.to_string()
+    };
+    assert_eq!(stats_line("1"), stats_line("4"));
+}
+
+#[test]
 fn sat_instances_print_a_model() {
     let dir = tmp_dir("sat");
     let cnf_path = dir.join("sat.cnf");
