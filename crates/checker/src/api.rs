@@ -94,7 +94,14 @@ pub fn check_unsat_claim<S: RandomAccessTrace + Sync + ?Sized>(
 /// [`check_unsat_claim`] with an [`Observer`] receiving phase timers
 /// (`check:pass1`, `check:resolve`, `final-phase`), progress heartbeats
 /// and end-of-run gauges (`check.clauses_built`, `check.resolutions`,
-/// `check.use_count_entries`, `check.peak_memory_bytes`).
+/// `check.use_count_entries`, `check.peak_memory_bytes`), plus the
+/// resolution hot path's own accounting: `check.kernel.chains`,
+/// `check.kernel.literals_folded`, `check.kernel.scratch_grows`,
+/// `check.kernel.scratch_high_water` from the mark-array
+/// [`ResolutionKernel`](crate::kernel::ResolutionKernel), and
+/// `check.arena.bytes`, `check.arena.reuse_hits` from the arena clause
+/// store (`scratch_grows` stalling at a constant while `chains` keeps
+/// rising is the observable form of the allocation-free steady state).
 ///
 /// # Errors
 ///

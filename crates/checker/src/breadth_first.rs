@@ -19,18 +19,20 @@
 //! ones.
 
 use crate::api::CheckConfig;
+use crate::arena::ClauseArena;
 use crate::cache::OriginalCache;
 use crate::cancel::CancelFlag;
 use crate::error::CheckError;
 use crate::final_phase::{derive_empty_clause, ClauseProvider};
-use crate::memory::{clause_bytes, MemoryMeter, LEVEL_ZERO_RECORD_BYTES, USE_COUNT_BYTES};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::kernel::ResolutionKernel;
+use crate::memory::{MemoryMeter, LEVEL_ZERO_RECORD_BYTES, USE_COUNT_BYTES};
 use crate::model::{validate_learned, LevelZeroMap};
 use crate::outcome::{CheckOutcome, CheckStats, Strategy};
-use crate::resolve::{normalize_literals, resolve_sorted};
+use crate::resolve::normalize_literals;
 use rescheck_cnf::{Cnf, Lit};
 use rescheck_obs::{Event, Observer, Phase};
 use rescheck_trace::{TraceEvent, TraceSource};
-use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -45,10 +47,10 @@ use std::time::Instant;
 /// identical first error.
 #[derive(Default)]
 pub(crate) struct Pass1Tables {
-    pub use_counts: HashMap<u64, u32>,
-    pub defined: HashSet<u64>,
+    pub use_counts: FxHashMap<u64, u32>,
+    pub defined: FxHashSet<u64>,
     pub level_zero: LevelZeroMap,
-    pub pinned: HashSet<u64>,
+    pub pinned: FxHashSet<u64>,
     pub final_ids: Vec<u64>,
 }
 
@@ -158,7 +160,11 @@ pub(crate) struct BfResolveState<'a> {
     cnf: &'a Cnf,
     num_original: usize,
     tables: Pass1Tables,
-    live: HashMap<u64, Rc<[Lit]>>,
+    /// Live learned clauses; slots are recycled the moment a clause's
+    /// last use is done.
+    arena: ClauseArena,
+    /// Chain resolver; scratch reused across every learned clause.
+    kernel: ResolutionKernel,
     originals: OriginalCache,
     pub meter: MemoryMeter,
     cancel: CancelFlag,
@@ -177,7 +183,8 @@ impl<'a> BfResolveState<'a> {
             cnf,
             num_original: cnf.num_clauses(),
             tables,
-            live: HashMap::new(),
+            arena: ClauseArena::new(),
+            kernel: ResolutionKernel::new(),
             originals: OriginalCache::new(config.original_cache_bytes),
             meter,
             cancel: config.cancel.clone(),
@@ -186,32 +193,59 @@ impl<'a> BfResolveState<'a> {
         }
     }
 
-    fn fetch(&mut self, id: u64, parent: u64) -> Result<Rc<[Lit]>, CheckError> {
-        if id < self.num_original as u64 {
-            if let Some(c) = self.originals.get(id) {
-                return Ok(c);
+    fn fetch_original(&mut self, id: u64) -> Rc<[Lit]> {
+        if let Some(c) = self.originals.get(id) {
+            return c;
+        }
+        let lits: Rc<[Lit]> = Rc::from(normalize_literals(
+            self.cnf
+                .clause(id as usize)
+                .expect("in range")
+                .iter()
+                .copied(),
+        ));
+        self.originals.insert(id, &lits, &mut self.meter);
+        lits
+    }
+
+    /// Seeds (step 0) or folds (later steps) one source clause into the
+    /// kernel, with breadth-first availability semantics: a learned
+    /// source that is defined but not yet built is a forward reference.
+    fn feed_source(&mut self, target: u64, step: usize, source: u64) -> Result<(), CheckError> {
+        if source < self.num_original as u64 {
+            let clause = self.fetch_original(source);
+            if step == 0 {
+                self.kernel.begin(&clause);
+                return Ok(());
             }
-            let lits: Rc<[Lit]> = Rc::from(normalize_literals(
-                self.cnf
-                    .clause(id as usize)
-                    .expect("in range")
-                    .iter()
-                    .copied(),
-            ));
-            self.originals.insert(id, &lits, &mut self.meter);
-            return Ok(lits);
+            self.kernel.fold(&clause)
+        } else {
+            // Split borrow: the arena slice is read while the kernel's
+            // disjoint scratch buffers are written.
+            let Some(clause) = self.arena.get(source) else {
+                return Err(if self.tables.defined.contains(&source) {
+                    CheckError::ForwardReference { id: target, source }
+                } else {
+                    CheckError::UnknownClause {
+                        id: source,
+                        referenced_by: Some(target),
+                    }
+                });
+            };
+            if step == 0 {
+                self.kernel.begin(clause);
+                return Ok(());
+            }
+            self.kernel.fold(clause)
         }
-        match self.live.get(&id) {
-            Some(c) => Ok(c.clone()),
-            None if self.tables.defined.contains(&id) => Err(CheckError::ForwardReference {
-                id: parent,
-                source: id,
-            }),
-            None => Err(CheckError::UnknownClause {
-                id,
-                referenced_by: Some(parent),
-            }),
-        }
+        .map_err(|failure| CheckError::NotResolvable {
+            target: Some(target),
+            step,
+            with: source,
+            failure,
+        })?;
+        self.resolutions += 1;
+        Ok(())
     }
 
     /// Processes one trace event of the resolution pass. Non-`Learned`
@@ -225,16 +259,8 @@ impl<'a> BfResolveState<'a> {
             return Ok(());
         };
         let (id, sources) = (*id, sources);
-        let mut acc: Vec<Lit> = self.fetch(sources[0], id)?.to_vec();
-        for (step, &s) in sources.iter().enumerate().skip(1) {
-            let right = self.fetch(s, id)?;
-            acc = resolve_sorted(&acc, &right).map_err(|failure| CheckError::NotResolvable {
-                target: Some(id),
-                step,
-                with: s,
-                failure,
-            })?;
-            self.resolutions += 1;
+        for (step, &s) in sources.iter().enumerate() {
+            self.feed_source(id, step, s)?;
         }
         self.clauses_built += 1;
         if self
@@ -250,15 +276,14 @@ impl<'a> BfResolveState<'a> {
             });
         }
 
-        // Release sources whose last use this was.
+        // Release sources whose last use this was — before storing the
+        // resolvent, so it can reuse a just-freed arena extent.
         for &s in sources {
             if s >= self.num_original as u64 && !self.tables.pinned.contains(&s) {
                 let count = self.tables.use_counts.get_mut(&s).expect("counted");
                 *count -= 1;
                 if *count == 0 {
-                    if let Some(freed) = self.live.remove(&s) {
-                        self.meter.free(clause_bytes(freed.len()));
-                    }
+                    self.arena.remove(s, &mut self.meter);
                 }
             }
         }
@@ -266,8 +291,8 @@ impl<'a> BfResolveState<'a> {
         // Store the new clause unless it is already dead on arrival.
         let remaining = self.tables.use_counts.get(&id).copied().unwrap_or(0);
         if remaining > 0 || self.tables.pinned.contains(&id) {
-            self.meter.alloc(clause_bytes(acc.len()))?;
-            self.live.insert(id, Rc::from(acc));
+            self.arena
+                .insert(id, self.kernel.finish(), &mut self.meter)?;
         }
         Ok(())
     }
@@ -296,35 +321,35 @@ impl<'a> BfResolveState<'a> {
             trace_bytes,
         };
         crate::depth_first::emit_check_gauges(obs, &stats, self.tables.use_counts.len() as u64);
+        crate::depth_first::emit_kernel_gauges(
+            obs,
+            &self.kernel.stats(),
+            self.arena.charged_bytes(),
+            self.arena.reuse_hits(),
+        );
         Ok(CheckOutcome { core: None, stats })
     }
 }
 
-/// The final derivation fetches pinned learned clauses from the live
-/// table and originals through the accounted cache.
+/// The final derivation fetches pinned learned clauses from the arena
+/// and originals through the accounted cache.
 impl ClauseProvider for BfResolveState<'_> {
-    fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError> {
+    fn clause_into(&mut self, id: u64, out: &mut Vec<Lit>) -> Result<(), CheckError> {
         if id < self.num_original as u64 {
-            if let Some(c) = self.originals.get(id) {
-                return Ok(c);
-            }
-            let lits: Rc<[Lit]> = Rc::from(normalize_literals(
-                self.cnf
-                    .clause(id as usize)
-                    .expect("in range")
-                    .iter()
-                    .copied(),
-            ));
-            self.originals.insert(id, &lits, &mut self.meter);
-            return Ok(lits);
+            let clause = self.fetch_original(id);
+            out.clear();
+            out.extend_from_slice(&clause);
+            return Ok(());
         }
-        self.live
-            .get(&id)
-            .cloned()
-            .ok_or(CheckError::UnknownClause {
+        let Some(clause) = self.arena.get(id) else {
+            return Err(CheckError::UnknownClause {
                 id,
                 referenced_by: None,
-            })
+            });
+        };
+        out.clear();
+        out.extend_from_slice(clause);
+        Ok(())
     }
 }
 
@@ -363,6 +388,7 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::memory::clause_bytes;
     use rescheck_obs::NullObserver;
     use rescheck_trace::{MemorySink, TraceSink};
 

@@ -20,13 +20,14 @@
 //!
 //! [`MemoryLimitExceeded`]: crate::CheckError::MemoryLimitExceeded
 
+use crate::fxhash::FxHashMap;
 use crate::memory::{clause_bytes, MemoryMeter};
 use rescheck_cnf::Lit;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 pub(crate) struct OriginalCache {
-    map: HashMap<u64, Rc<[Lit]>>,
+    map: FxHashMap<u64, Rc<[Lit]>>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<u64>,
     /// Accounted bytes currently held by the cache.
@@ -38,7 +39,7 @@ pub(crate) struct OriginalCache {
 impl OriginalCache {
     pub(crate) fn new(cap: Option<u64>) -> Self {
         OriginalCache {
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             order: VecDeque::new(),
             bytes: 0,
             cap,

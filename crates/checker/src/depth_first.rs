@@ -11,20 +11,26 @@
 //! resident, which is why the paper's depth-first checker memory-outs on
 //! the two hardest instances. The same behaviour is reproducible here via
 //! [`CheckConfig::memory_limit`](crate::CheckConfig::memory_limit).
+//!
+//! Clause chains are resolved through the allocation-free
+//! [`ResolutionKernel`] and stored in the flat [`ClauseArena`] rather
+//! than as per-clause `Rc` allocations.
 
 use crate::api::CheckConfig;
+use crate::arena::ClauseArena;
 use crate::cache::OriginalCache;
 use crate::cancel::CancelFlag;
 use crate::error::CheckError;
 use crate::final_phase::{derive_empty_clause, ClauseProvider};
-use crate::memory::{clause_bytes, MemoryMeter};
+use crate::fxhash::FxHashSet;
+use crate::kernel::{KernelStats, ResolutionKernel};
+use crate::memory::MemoryMeter;
 use crate::model::{load_full, FullTrace};
 use crate::outcome::{CheckOutcome, CheckStats, Strategy, UnsatCore};
-use crate::resolve::{normalize_literals, resolve_sorted};
+use crate::resolve::normalize_literals;
 use rescheck_cnf::{Cnf, Lit};
 use rescheck_obs::{Event, Observer, Phase};
 use rescheck_trace::TraceSource;
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -54,7 +60,8 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
         cnf,
         full: &full,
         num_original,
-        built: HashMap::new(),
+        arena: ClauseArena::new(),
+        kernel: ResolutionKernel::new(),
         original_cache: OriginalCache::new(config.original_cache_bytes),
         used_originals: vec![false; num_original],
         meter,
@@ -93,7 +100,13 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
         runtime: start.elapsed(),
         trace_bytes: trace.encoded_size(),
     };
-    emit_check_gauges(builder.obs, &stats, builder.built.len() as u64);
+    emit_check_gauges(builder.obs, &stats, builder.arena.len() as u64);
+    emit_kernel_gauges(
+        builder.obs,
+        &builder.kernel.stats(),
+        builder.arena.charged_bytes(),
+        builder.arena.reuse_hits(),
+    );
 
     Ok(CheckOutcome {
         core: Some(core),
@@ -121,6 +134,39 @@ pub(crate) fn emit_check_gauges(obs: &mut dyn Observer, stats: &CheckStats, tabl
     });
 }
 
+/// Reports the resolution-kernel and clause-arena gauges.
+pub(crate) fn emit_kernel_gauges(
+    obs: &mut dyn Observer,
+    kernel: &KernelStats,
+    arena_bytes: u64,
+    arena_reuse_hits: u64,
+) {
+    obs.observe(&Event::GaugeSet {
+        name: "check.kernel.chains",
+        value: kernel.chains as f64,
+    });
+    obs.observe(&Event::GaugeSet {
+        name: "check.kernel.literals_folded",
+        value: kernel.literals_folded as f64,
+    });
+    obs.observe(&Event::GaugeSet {
+        name: "check.kernel.scratch_grows",
+        value: kernel.scratch_grows as f64,
+    });
+    obs.observe(&Event::GaugeSet {
+        name: "check.kernel.scratch_high_water",
+        value: kernel.scratch_high_water as f64,
+    });
+    obs.observe(&Event::GaugeSet {
+        name: "check.arena.bytes",
+        value: arena_bytes as f64,
+    });
+    obs.observe(&Event::GaugeSet {
+        name: "check.arena.reuse_hits",
+        value: arena_reuse_hits as f64,
+    });
+}
+
 /// Builds learned clauses on demand with memoization (the iterative
 /// equivalent of Fig. 3's `recursive_build`).
 struct DfBuilder<'a> {
@@ -128,7 +174,9 @@ struct DfBuilder<'a> {
     full: &'a FullTrace,
     num_original: usize,
     /// Learned clauses built so far.
-    built: HashMap<u64, Rc<[Lit]>>,
+    arena: ClauseArena,
+    /// Chain resolver; scratch reused across every build.
+    kernel: ResolutionKernel,
     /// Normalized original clauses, cached on first use — charged to the
     /// meter like every other resident clause.
     original_cache: OriginalCache,
@@ -138,12 +186,6 @@ struct DfBuilder<'a> {
     resolutions: u64,
     clauses_built: u64,
     obs: &'a mut dyn Observer,
-}
-
-/// DFS colouring for cycle detection.
-#[derive(Clone, Copy, PartialEq)]
-enum Color {
-    Gray,
 }
 
 impl DfBuilder<'_> {
@@ -158,37 +200,49 @@ impl DfBuilder<'_> {
         lits
     }
 
-    /// Fetches a clause that must already be available (source of a build
-    /// whose dependencies were scheduled first).
-    fn available(&mut self, id: u64, parent: u64) -> Result<Rc<[Lit]>, CheckError> {
-        if id < self.num_original as u64 {
-            return Ok(self.original(id));
+    /// Seeds (step 0) or folds (later steps) one source clause into the
+    /// kernel.
+    fn feed_source(&mut self, target: u64, step: usize, source: u64) -> Result<(), CheckError> {
+        if source < self.num_original as u64 {
+            let clause = self.original(source);
+            if step == 0 {
+                self.kernel.begin(&clause);
+                return Ok(());
+            }
+            self.kernel.fold(&clause)
+        } else {
+            // Split borrow: the arena slice is read while the kernel's
+            // disjoint scratch buffers are written.
+            let Some(clause) = self.arena.get(source) else {
+                return Err(CheckError::UnknownClause {
+                    id: source,
+                    referenced_by: Some(target),
+                });
+            };
+            if step == 0 {
+                self.kernel.begin(clause);
+                return Ok(());
+            }
+            self.kernel.fold(clause)
         }
-        self.built
-            .get(&id)
-            .cloned()
-            .ok_or(CheckError::UnknownClause {
-                id,
-                referenced_by: Some(parent),
-            })
+        .map_err(|failure| CheckError::NotResolvable {
+            target: Some(target),
+            step,
+            with: source,
+            failure,
+        })?;
+        self.resolutions += 1;
+        Ok(())
     }
 
     /// Builds one learned clause from its already-built sources.
     fn build_one(&mut self, id: u64) -> Result<(), CheckError> {
         let sources = &self.full.sources[&id];
-        let mut acc: Vec<Lit> = self.available(sources[0], id)?.to_vec();
-        for (step, &s) in sources.iter().enumerate().skip(1) {
-            let right = self.available(s, id)?;
-            acc = resolve_sorted(&acc, &right).map_err(|failure| CheckError::NotResolvable {
-                target: Some(id),
-                step,
-                with: s,
-                failure,
-            })?;
-            self.resolutions += 1;
+        for (step, &s) in sources.iter().enumerate() {
+            self.feed_source(id, step, s)?;
         }
-        self.meter.alloc(clause_bytes(acc.len()))?;
-        self.built.insert(id, Rc::from(acc));
+        self.arena
+            .insert(id, self.kernel.finish(), &mut self.meter)?;
         self.clauses_built += 1;
         if self
             .clauses_built
@@ -211,13 +265,13 @@ impl DfBuilder<'_> {
     /// marking, so deep proofs cannot overflow the native stack and
     /// cycles are detected rather than looping.
     fn build(&mut self, id: u64) -> Result<(), CheckError> {
-        if id < self.num_original as u64 || self.built.contains_key(&id) {
+        if id < self.num_original as u64 || self.arena.contains(id) {
             return Ok(());
         }
-        let mut color: HashMap<u64, Color> = HashMap::new();
+        let mut gray: FxHashSet<u64> = FxHashSet::default();
         let mut stack: Vec<(u64, Option<u64>)> = vec![(id, None)];
         while let Some(&(cur, parent)) = stack.last() {
-            if cur < self.num_original as u64 || self.built.contains_key(&cur) {
+            if cur < self.num_original as u64 || self.arena.contains(cur) {
                 stack.pop();
                 continue;
             }
@@ -229,30 +283,25 @@ impl DfBuilder<'_> {
                     id: cur,
                     referenced_by: parent,
                 })?;
-            match color.get(&cur) {
-                Some(Color::Gray) => {
-                    // All dependencies were pushed; if one is still gray
-                    // the graph has a cycle, otherwise build now.
-                    for &s in sources {
-                        if s >= self.num_original as u64
-                            && !self.built.contains_key(&s)
-                            && color.get(&s) == Some(&Color::Gray)
-                        {
+            if gray.contains(&cur) {
+                // All dependencies were pushed; if one is still gray
+                // the graph has a cycle, otherwise build now.
+                for &s in sources {
+                    if s >= self.num_original as u64 && !self.arena.contains(s) && gray.contains(&s)
+                    {
+                        return Err(CheckError::CyclicProof { id: s });
+                    }
+                }
+                self.build_one(cur)?;
+                stack.pop();
+            } else {
+                gray.insert(cur);
+                for &s in sources {
+                    if s >= self.num_original as u64 && !self.arena.contains(s) {
+                        if gray.contains(&s) {
                             return Err(CheckError::CyclicProof { id: s });
                         }
-                    }
-                    self.build_one(cur)?;
-                    stack.pop();
-                }
-                None => {
-                    color.insert(cur, Color::Gray);
-                    for &s in sources {
-                        if s >= self.num_original as u64 && !self.built.contains_key(&s) {
-                            if color.get(&s) == Some(&Color::Gray) {
-                                return Err(CheckError::CyclicProof { id: s });
-                            }
-                            stack.push((s, Some(cur)));
-                        }
+                        stack.push((s, Some(cur)));
                     }
                 }
             }
@@ -262,12 +311,18 @@ impl DfBuilder<'_> {
 }
 
 impl ClauseProvider for DfBuilder<'_> {
-    fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError> {
+    fn clause_into(&mut self, id: u64, out: &mut Vec<Lit>) -> Result<(), CheckError> {
         if id < self.num_original as u64 {
-            return Ok(self.original(id));
+            let clause = self.original(id);
+            out.clear();
+            out.extend_from_slice(&clause);
+            return Ok(());
         }
         self.build(id)?;
-        Ok(self.built[&id].clone())
+        let clause = self.arena.get(id).expect("build(id) succeeded");
+        out.clear();
+        out.extend_from_slice(clause);
+        Ok(())
     }
 }
 
@@ -444,7 +499,8 @@ mod tests {
             cnf: &cnf,
             full: &full,
             num_original: cnf.num_clauses(),
-            built: HashMap::new(),
+            arena: ClauseArena::new(),
+            kernel: ResolutionKernel::new(),
             original_cache: OriginalCache::new(None),
             used_originals: vec![false; cnf.num_clauses()],
             meter: MemoryMeter::unlimited(),
@@ -456,7 +512,7 @@ mod tests {
         builder.build(7).unwrap();
         assert_eq!(builder.clauses_built, 4); // each node built exactly once
         assert_eq!(
-            builder.built[&7].as_ref(),
+            builder.arena.get(7).unwrap(),
             normalize_literals([Lit::from_dimacs(1)]).as_slice()
         );
     }

@@ -12,15 +12,17 @@ use crate::error::{BadAntecedentReason, CheckError};
 use crate::model::LevelZeroMap;
 use crate::resolve::resolve_on;
 use rescheck_cnf::Lit;
-use std::rc::Rc;
 
 /// Supplies clauses by trace ID during the final derivation.
 ///
 /// The depth-first checker builds requested clauses on demand; the
 /// breadth-first checker serves them from its table of pinned clauses.
+/// Clauses are written into a caller-owned buffer so providers backed by
+/// the arena store need not allocate or refcount per fetch.
 pub(crate) trait ClauseProvider {
-    /// Returns the (sorted, duplicate-free) literals of clause `id`.
-    fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError>;
+    /// Replaces `out`'s contents with the (sorted, duplicate-free)
+    /// literals of clause `id`.
+    fn clause_into(&mut self, id: u64, out: &mut Vec<Lit>) -> Result<(), CheckError>;
 }
 
 /// Outcome counters of the final derivation.
@@ -36,11 +38,12 @@ pub(crate) fn derive_empty_clause(
     level_zero: &LevelZeroMap,
     provider: &mut dyn ClauseProvider,
 ) -> Result<FinalPhaseStats, CheckError> {
-    let start = provider.clause(start_id)?;
+    let mut clause: Vec<Lit> = Vec::new();
+    provider.clause_into(start_id, &mut clause)?;
 
     // The claimed final conflicting clause must actually be conflicting:
     // every literal falsified by the recorded level-0 assignment.
-    for &l in start.iter() {
+    for &l in clause.iter() {
         match level_zero.get(l.var()) {
             Some(rec) if rec.lit == !l => {}
             _ => {
@@ -53,7 +56,7 @@ pub(crate) fn derive_empty_clause(
     }
 
     let mut stats = FinalPhaseStats::default();
-    let mut clause: Rc<[Lit]> = start;
+    let mut ante: Vec<Lit> = Vec::new();
     // Reverse-chronological selection guarantees ≤ one resolution per
     // recorded variable; anything beyond that bound is a broken proof.
     let bound = level_zero.len() as u64 + 1;
@@ -77,7 +80,7 @@ pub(crate) fn derive_empty_clause(
         let var = lit.var();
         let rec = *level_zero.get(var).expect("checked above");
         let ante_id = rec.antecedent;
-        let ante = provider.clause(ante_id)?;
+        provider.clause_into(ante_id, &mut ante)?;
 
         // The antecedent must really be the antecedent of `var`: it
         // contains the implied literal, and every other literal was
@@ -117,15 +120,13 @@ pub(crate) fn derive_empty_clause(
             }
         }
 
-        let resolved =
-            resolve_on(&clause, &ante, var).map_err(|failure| CheckError::NotResolvable {
-                target: None,
-                step: stats.resolutions as usize,
-                with: ante_id,
-                failure,
-            })?;
+        clause = resolve_on(&clause, &ante, var).map_err(|failure| CheckError::NotResolvable {
+            target: None,
+            step: stats.resolutions as usize,
+            with: ante_id,
+            failure,
+        })?;
         stats.resolutions += 1;
-        clause = Rc::from(resolved);
     }
 
     Ok(stats)
@@ -138,14 +139,17 @@ mod tests {
     use std::collections::HashMap;
 
     /// A provider backed by a fixed table.
-    struct Table(HashMap<u64, Rc<[Lit]>>);
+    struct Table(HashMap<u64, Vec<Lit>>);
 
     impl ClauseProvider for Table {
-        fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError> {
-            self.0.get(&id).cloned().ok_or(CheckError::UnknownClause {
+        fn clause_into(&mut self, id: u64, out: &mut Vec<Lit>) -> Result<(), CheckError> {
+            let lits = self.0.get(&id).ok_or(CheckError::UnknownClause {
                 id,
                 referenced_by: None,
-            })
+            })?;
+            out.clear();
+            out.extend_from_slice(lits);
+            Ok(())
         }
     }
 
@@ -153,8 +157,8 @@ mod tests {
         Lit::from_dimacs(d)
     }
 
-    fn clause(ds: &[i64]) -> Rc<[Lit]> {
-        Rc::from(normalize_literals(ds.iter().map(|&d| lit(d))))
+    fn clause(ds: &[i64]) -> Vec<Lit> {
+        normalize_literals(ds.iter().map(|&d| lit(d)))
     }
 
     /// Level-0 trail: x1 by clause 0, then x2 by clause 1 = (¬x1 ∨ x2).

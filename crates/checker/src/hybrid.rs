@@ -25,17 +25,19 @@
 //! per-clause bookkeeping.
 
 use crate::api::CheckConfig;
+use crate::arena::ClauseArena;
 use crate::cache::OriginalCache;
 use crate::error::CheckError;
 use crate::final_phase::{derive_empty_clause, ClauseProvider};
-use crate::memory::{clause_bytes, MemoryMeter, LEVEL_ZERO_RECORD_BYTES, USE_COUNT_BYTES};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::kernel::ResolutionKernel;
+use crate::memory::{MemoryMeter, LEVEL_ZERO_RECORD_BYTES, USE_COUNT_BYTES};
 use crate::model::{validate_learned, LevelZeroMap};
 use crate::outcome::{CheckOutcome, CheckStats, Strategy, UnsatCore};
-use crate::resolve::{normalize_literals, resolve_sorted};
+use crate::resolve::normalize_literals;
 use rescheck_cnf::{Cnf, Lit};
 use rescheck_obs::{Event, Observer, Phase};
 use rescheck_trace::{RandomAccessTrace, TraceCursor, TraceEvent};
-use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -54,7 +56,7 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
 
     let pass1 = Phase::start("check:pass1", obs);
     // ---- Pass 1: offset index + level-0 records + pins.
-    let mut index: HashMap<u64, u64> = HashMap::new();
+    let mut index: FxHashMap<u64, u64> = FxHashMap::default();
     let mut level_zero = LevelZeroMap::default();
     let mut pinned: Vec<u64> = Vec::new();
     let mut final_ids: Vec<u64> = Vec::new();
@@ -93,7 +95,7 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
 
     let mut cursor = trace.open_cursor()?;
     let sources_of = |cursor: &mut dyn TraceCursor,
-                      index: &HashMap<u64, u64>,
+                      index: &FxHashMap<u64, u64>,
                       id: u64,
                       parent: Option<u64>|
      -> Result<Vec<u64>, CheckError> {
@@ -112,14 +114,14 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
 
     // ---- Pass 2: reachability + use counts over the needed subgraph.
     let resolve_phase = Phase::start("check:resolve", obs);
-    let pinned_set: HashSet<u64> = pinned
+    let pinned_set: FxHashSet<u64> = pinned
         .iter()
         .copied()
         .filter(|&id| id >= num_original as u64)
         .collect();
-    let mut use_counts: HashMap<u64, u32> = HashMap::new();
-    let mut visited: HashSet<u64> = HashSet::new();
-    let mut gray: HashSet<u64> = HashSet::new();
+    let mut use_counts: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut visited: FxHashSet<u64> = FxHashSet::default();
+    let mut gray: FxHashSet<u64> = FxHashSet::default();
     let mut steps: u64 = 0;
     for &root in &pinned_set {
         if visited.contains(&root) {
@@ -163,7 +165,8 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
 
     // ---- Pass 3: depth-first build over the needed subgraph, freeing
     // clauses as their last use completes.
-    let mut live: HashMap<u64, Rc<[Lit]>> = HashMap::new();
+    let mut arena = ClauseArena::new();
+    let mut kernel = ResolutionKernel::new();
     let mut original_cache = OriginalCache::new(config.original_cache_bytes);
     let mut used_originals = vec![false; num_original];
     let mut resolutions: u64 = 0;
@@ -173,8 +176,8 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
     // graph is now known to be acyclic).
     let mut build_order: Vec<u64> = Vec::with_capacity(needed);
     {
-        let mut expanded: HashSet<u64> = HashSet::new();
-        let mut placed: HashSet<u64> = HashSet::new();
+        let mut expanded: FxHashSet<u64> = FxHashSet::default();
+        let mut placed: FxHashSet<u64> = FxHashSet::default();
         for &root in &pinned_set {
             let mut stack: Vec<u64> = vec![root];
             while let Some(&cur) = stack.last() {
@@ -216,32 +219,29 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
 
     for id in build_order {
         let sources = sources_of(&mut *cursor, &index, id, None)?;
-        let first = if sources[0] < num_original as u64 {
-            fetch_original(
-                sources[0],
-                &mut original_cache,
-                &mut used_originals,
-                &mut meter,
-            )
-        } else {
-            live.get(&sources[0])
-                .cloned()
-                .ok_or(CheckError::UnknownClause {
-                    id: sources[0],
-                    referenced_by: Some(id),
-                })?
-        };
-        let mut acc: Vec<Lit> = first.to_vec();
-        for (step, &s) in sources.iter().enumerate().skip(1) {
-            let right = if s < num_original as u64 {
-                fetch_original(s, &mut original_cache, &mut used_originals, &mut meter)
+        for (step, &s) in sources.iter().enumerate() {
+            let folded = if s < num_original as u64 {
+                let clause =
+                    fetch_original(s, &mut original_cache, &mut used_originals, &mut meter);
+                if step == 0 {
+                    kernel.begin(&clause);
+                    continue;
+                }
+                kernel.fold(&clause)
             } else {
-                live.get(&s).cloned().ok_or(CheckError::UnknownClause {
-                    id: s,
-                    referenced_by: Some(id),
-                })?
+                let Some(clause) = arena.get(s) else {
+                    return Err(CheckError::UnknownClause {
+                        id: s,
+                        referenced_by: Some(id),
+                    });
+                };
+                if step == 0 {
+                    kernel.begin(clause);
+                    continue;
+                }
+                kernel.fold(clause)
             };
-            acc = resolve_sorted(&acc, &right).map_err(|failure| CheckError::NotResolvable {
+            folded.map_err(|failure| CheckError::NotResolvable {
                 target: Some(id),
                 step,
                 with: s,
@@ -260,22 +260,20 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
             });
         }
 
-        // Consume the sources: free any clause whose needed uses are done.
+        // Consume the sources: free any clause whose needed uses are done
+        // — before storing the resolvent, so it can reuse the extent.
         for &s in &sources {
             if s >= num_original as u64 && !pinned_set.contains(&s) {
                 let count = use_counts.get_mut(&s).expect("counted in pass 2");
                 *count -= 1;
                 if *count == 0 {
-                    if let Some(freed) = live.remove(&s) {
-                        meter.free(clause_bytes(freed.len()));
-                    }
+                    arena.remove(s, &mut meter);
                 }
             }
         }
         let still_used = pinned_set.contains(&id) || use_counts.get(&id).copied().unwrap_or(0) > 0;
         if still_used {
-            meter.alloc(clause_bytes(acc.len()))?;
-            live.insert(id, Rc::from(acc));
+            arena.insert(id, kernel.finish(), &mut meter)?;
         }
     }
 
@@ -286,17 +284,19 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
     struct HybridProvider<'a> {
         cnf: &'a Cnf,
         num_original: usize,
-        live: &'a HashMap<u64, Rc<[Lit]>>,
+        arena: &'a ClauseArena,
         original_cache: &'a mut OriginalCache,
         used_originals: &'a mut Vec<bool>,
         meter: &'a mut MemoryMeter,
     }
     impl ClauseProvider for HybridProvider<'_> {
-        fn clause(&mut self, id: u64) -> Result<Rc<[Lit]>, CheckError> {
+        fn clause_into(&mut self, id: u64, out: &mut Vec<Lit>) -> Result<(), CheckError> {
             if id < self.num_original as u64 {
                 self.used_originals[id as usize] = true;
                 if let Some(c) = self.original_cache.get(id) {
-                    return Ok(c);
+                    out.clear();
+                    out.extend_from_slice(&c);
+                    return Ok(());
                 }
                 let lits: Rc<[Lit]> = Rc::from(normalize_literals(
                     self.cnf
@@ -306,21 +306,25 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
                         .copied(),
                 ));
                 self.original_cache.insert(id, &lits, self.meter);
-                return Ok(lits);
+                out.clear();
+                out.extend_from_slice(&lits);
+                return Ok(());
             }
-            self.live
-                .get(&id)
-                .cloned()
-                .ok_or(CheckError::UnknownClause {
+            let Some(clause) = self.arena.get(id) else {
+                return Err(CheckError::UnknownClause {
                     id,
                     referenced_by: None,
-                })
+                });
+            };
+            out.clear();
+            out.extend_from_slice(clause);
+            Ok(())
         }
     }
     let mut provider = HybridProvider {
         cnf,
         num_original,
-        live: &live,
+        arena: &arena,
         original_cache: &mut original_cache,
         used_originals: &mut used_originals,
         meter: &mut meter,
@@ -345,6 +349,12 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
         trace_bytes: trace.encoded_size(),
     };
     crate::depth_first::emit_check_gauges(obs, &stats, use_counts.len() as u64);
+    crate::depth_first::emit_kernel_gauges(
+        obs,
+        &kernel.stats(),
+        arena.charged_bytes(),
+        arena.reuse_hits(),
+    );
 
     Ok(CheckOutcome {
         core: Some(UnsatCore::new(core_ids, cnf)),

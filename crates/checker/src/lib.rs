@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 mod api;
+mod arena;
 mod breadth_first;
 mod cache;
 mod cancel;
@@ -65,7 +66,9 @@ mod core_min;
 mod depth_first;
 mod error;
 mod final_phase;
+mod fxhash;
 mod hybrid;
+pub mod kernel;
 mod memory;
 mod model;
 mod outcome;
@@ -82,8 +85,11 @@ pub use api::{
 pub use cancel::CancelFlag;
 pub use core_min::{minimize_core, CoreIteration, CoreMinimization, MinimizeError};
 pub use error::{BadAntecedentReason, CheckError};
+pub use kernel::{KernelStats, ResolutionKernel};
 pub use memory::MemoryMeter;
 pub use outcome::{CheckOutcome, CheckStats, UnsatCore};
 pub use proof::{proof_stats, ProofStats};
-pub use resolve::{normalize_literals, resolve_sorted, ResolveFailure};
+pub use resolve::{
+    normalize_literals, resolve_on, resolve_sorted, resolve_sorted_pivot, ResolveFailure,
+};
 pub use trim::{trim_trace, trim_trace_observed, TrimmedTrace};

@@ -32,6 +32,18 @@ pub(crate) const LEVEL_ZERO_RECORD_BYTES: u64 = 16;
 /// Accounted bytes per entry of the breadth-first use-count table.
 pub(crate) const USE_COUNT_BYTES: u64 = 12;
 
+/// Page granularity for charging the clause arena's flat literal store.
+///
+/// The arena grows its literal tail in whole pages and charges the meter
+/// for each page once; freed clause slots are recycled through the
+/// arena's free list, so pages are never refunded (matching the real
+/// allocator behaviour of an arena, which retains capacity).
+pub(crate) const ARENA_PAGE_BYTES: u64 = 1024;
+
+/// Accounted bytes per resident arena slot (the id → offset/len index
+/// entry), refunded when the clause is freed.
+pub(crate) const ARENA_SLOT_BYTES: u64 = 16;
+
 /// A byte meter with an optional hard budget.
 ///
 /// # Examples

@@ -2,10 +2,10 @@
 
 use crate::cancel::CancelFlag;
 use crate::error::CheckError;
+use crate::fxhash::FxHashMap;
 use crate::memory::{trace_record_bytes, LEVEL_ZERO_RECORD_BYTES};
 use rescheck_cnf::{Lit, Var};
 use rescheck_trace::{TraceEvent, TraceSource};
-use std::collections::HashMap;
 use std::io;
 
 /// The recorded level-0 assignment of one variable.
@@ -22,7 +22,7 @@ pub(crate) struct VarRecord {
 /// The level-0 assignment, keyed by variable.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct LevelZeroMap {
-    records: HashMap<u32, VarRecord>,
+    records: FxHashMap<u32, VarRecord>,
 }
 
 impl LevelZeroMap {
@@ -61,7 +61,7 @@ impl LevelZeroMap {
 #[derive(Clone, Debug, Default)]
 pub(crate) struct FullTrace {
     /// Learned clause ID → its resolve sources, in order.
-    pub sources: HashMap<u64, Vec<u64>>,
+    pub sources: FxHashMap<u64, Vec<u64>>,
     /// The recorded level-0 assignment.
     pub level_zero: LevelZeroMap,
     /// Final conflicting clause IDs (the paper records one; we accept

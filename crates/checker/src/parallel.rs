@@ -32,12 +32,12 @@ use crate::api::CheckConfig;
 use crate::breadth_first::{sequential_pass1, BfResolveState, Pass1Tables};
 use crate::cancel::CancelFlag;
 use crate::error::CheckError;
+use crate::fxhash::FxHashMap;
 use crate::memory::MemoryMeter;
 use crate::outcome::{CheckOutcome, Strategy};
 use rescheck_cnf::{Cnf, Lit};
 use rescheck_obs::{Event, EventBuffer, Level, Observer, Phase};
 use rescheck_trace::{RandomAccessTrace, TraceEvent, TraceSource};
-use std::collections::HashMap;
 use std::io;
 use std::sync::mpsc;
 use std::thread;
@@ -216,9 +216,9 @@ impl Meta {
 fn count_shard(
     rx: mpsc::Receiver<(u64, Vec<TraceEvent>)>,
     num_original: usize,
-) -> (Vec<Meta>, HashMap<u64, u32>) {
+) -> (Vec<Meta>, FxHashMap<u64, u32>) {
     let mut metas: Vec<Meta> = Vec::new();
-    let mut counts: HashMap<u64, u32> = HashMap::new();
+    let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
     for (batch_start, batch) in rx {
         for (k, event) in batch.into_iter().enumerate() {
             let idx = batch_start + k as u64;
@@ -317,7 +317,7 @@ fn sharded_pass1<S: TraceSource + Sync + ?Sized>(
 
         let io_err = reader.join().expect("trace reader thread panicked");
         let mut metas: Vec<Meta> = Vec::new();
-        let mut merged_counts: HashMap<u64, u32> = HashMap::new();
+        let mut merged_counts: FxHashMap<u64, u32> = FxHashMap::default();
         for (w, worker) in workers.into_iter().enumerate() {
             let (shard_metas, shard_counts) = worker.join().expect("counting worker panicked");
             obs.observe(&Event::GaugeSet {

@@ -101,6 +101,35 @@ pub fn normalize_literals(lits: impl IntoIterator<Item = Lit>) -> Vec<Lit> {
 /// # Ok::<(), rescheck_checker::ResolveFailure>(())
 /// ```
 pub fn resolve_sorted(a: &[Lit], b: &[Lit]) -> Result<Vec<Lit>, ResolveFailure> {
+    resolve_sorted_pivot(a, b).map(|(out, _)| out)
+}
+
+/// Like [`resolve_sorted`], but also returns the clashing (pivot)
+/// variable.
+///
+/// Callers that must validate *which* variable was eliminated — the final
+/// empty-clause derivation knows each antecedent's pivot from the level-0
+/// assignment record — use this instead of reverse-engineering the pivot
+/// from the resolvent.
+///
+/// # Errors
+///
+/// Fails exactly like [`resolve_sorted`].
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_checker::{normalize_literals, resolve_sorted_pivot};
+/// use rescheck_cnf::{Lit, Var};
+///
+/// let a = normalize_literals([Lit::from_dimacs(1), Lit::from_dimacs(2)]);
+/// let b = normalize_literals([Lit::from_dimacs(-2), Lit::from_dimacs(3)]);
+/// let (r, pivot) = resolve_sorted_pivot(&a, &b)?;
+/// assert_eq!(pivot, Var::from_dimacs(2));
+/// assert_eq!(r, normalize_literals([Lit::from_dimacs(1), Lit::from_dimacs(3)]));
+/// # Ok::<(), rescheck_checker::ResolveFailure>(())
+/// ```
+pub fn resolve_sorted_pivot(a: &[Lit], b: &[Lit]) -> Result<(Vec<Lit>, Var), ResolveFailure> {
     debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "left clause not sorted");
     debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "right clause not sorted");
 
@@ -131,7 +160,7 @@ pub fn resolve_sorted(a: &[Lit], b: &[Lit]) -> Result<Vec<Lit>, ResolveFailure> 
     out.extend_from_slice(&b[j..]);
 
     if clashing.len() == 1 {
-        Ok(out)
+        Ok((out, clashing[0]))
     } else {
         Err(ResolveFailure {
             clashing_vars: clashing,
@@ -151,17 +180,8 @@ pub fn resolve_sorted(a: &[Lit], b: &[Lit]) -> Result<Vec<Lit>, ResolveFailure> 
 /// variable differs from `expected` — reported as a two-variable clash
 /// containing the actual and expected variables.
 pub fn resolve_on(a: &[Lit], b: &[Lit], expected: Var) -> Result<Vec<Lit>, ResolveFailure> {
-    let out = resolve_sorted(a, b)?;
-    // resolve_sorted guarantees exactly one clash; recover which one by
-    // checking that `expected` vanished.
-    let still_there =
-        out.iter().any(|l| l.var() == expected) || !a.iter().any(|l| l.var() == expected);
-    if still_there {
-        let actual = a
-            .iter()
-            .find(|l| b.contains(&!**l))
-            .map(|l| l.var())
-            .unwrap_or(expected);
+    let (out, actual) = resolve_sorted_pivot(a, b)?;
+    if actual != expected {
         return Err(ResolveFailure {
             clashing_vars: vec![actual, expected],
         });
@@ -237,6 +257,48 @@ mod tests {
         let err = resolve_on(&lits(&[1, -2]), &lits(&[2, 3]), Var::from_dimacs(1)).unwrap_err();
         assert!(err.clashing_vars.contains(&Var::from_dimacs(1)));
         assert!(err.clashing_vars.contains(&Var::from_dimacs(2)));
+    }
+
+    #[test]
+    fn resolve_on_reports_the_actual_pivot_when_expected_is_absent() {
+        // `expected` (x7) appears in neither clause; the error names the
+        // variable the step actually eliminated (x2) alongside it.
+        let err = resolve_on(&lits(&[1, -2]), &lits(&[2, 3]), Var::from_dimacs(7)).unwrap_err();
+        assert_eq!(
+            err.clashing_vars,
+            vec![Var::from_dimacs(2), Var::from_dimacs(7)]
+        );
+    }
+
+    #[test]
+    fn resolve_on_reports_actual_when_expected_is_only_in_b() {
+        // `expected` (x3) is absent from `a` but present in `b` — the
+        // exact shape where the old "did `expected` vanish from `a`"
+        // heuristic had to guess the actual pivot instead of knowing it.
+        let err = resolve_on(&lits(&[1, -2]), &lits(&[2, 3]), Var::from_dimacs(3)).unwrap_err();
+        assert_eq!(
+            err.clashing_vars,
+            vec![Var::from_dimacs(2), Var::from_dimacs(3)]
+        );
+    }
+
+    #[test]
+    fn resolve_on_accepts_tautological_left_clause() {
+        // Regression: with a = (x5 + ¬x5) the resolvent still contains
+        // variable x5, so the old "did `expected` vanish from the output"
+        // heuristic rejected this perfectly valid step — and its recovery
+        // scan then reported a degenerate [x5, x5] clash.
+        let r = resolve_on(&lits(&[5, -5]), &lits(&[-5]), Var::from_dimacs(5)).unwrap();
+        assert_eq!(r, lits(&[-5]));
+    }
+
+    #[test]
+    fn pivot_variant_agrees_with_resolve_sorted() {
+        let a = lits(&[1, -2, 4]);
+        let b = lits(&[2, 5]);
+        let (out, pivot) = resolve_sorted_pivot(&a, &b).unwrap();
+        assert_eq!(out, resolve_sorted(&a, &b).unwrap());
+        assert_eq!(pivot, Var::from_dimacs(2));
     }
 
     #[test]

@@ -75,7 +75,9 @@ USAGE:
 
 Observability (solve, check, core, trim, stats):
   --metrics <out.json>   write phase timers, counters and gauges as
-                         rescheck-metrics-v1 JSON
+                         rescheck-metrics-v1 JSON; check gauges include
+                         the resolution hot path (check.kernel.*,
+                         check.arena.*)
   --progress             stream heartbeat lines to stderr; tune with
                          RESCHECK_LOG=level[,heartbeat-conflicts=N]
                          [,heartbeat-events=M][,interval-ms=T]
