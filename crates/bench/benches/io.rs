@@ -1,0 +1,235 @@
+//! Micro-benchmark for the zero-copy trace I/O layer, old vs new on the
+//! production file paths:
+//!
+//! * DIMACS parsing — the retained per-line reference path (whole file
+//!   into a `String`, then [`dimacs::parse_str_lines`], which allocates
+//!   an owned `String` per line and tokenizes with `split_whitespace`)
+//!   against [`dimacs::read_file`], the block-buffered byte scanner.
+//! * Binary trace decoding — the retained per-record [`BinaryReader`]
+//!   behind the pre-change default 8 KiB `BufReader` (a `read_exact`
+//!   per tag/varint byte, an owned `sources` vector per event) against
+//!   [`BlockDecoder`] refilling one 256 KiB block buffer and lending
+//!   borrowed [`EventRef`]s.
+//!
+//! Both fixtures are seeded, written to a temp directory once, and
+//! sanity-checked for old/new agreement before anything is timed.
+//!
+//! Speedups are computed from per-iteration minima — the low-noise
+//! estimator for a microbenchmark, since only scheduler jitter ever makes
+//! an iteration slower — with medians reported alongside.
+//!
+//! With `--json <path>` a `rescheck-metrics-v1` document is written with
+//! one row per scenario plus the new/old speedup, for the CI bench-smoke
+//! job (which checks shape, never timing).
+
+use rescheck_bench::micro::bench;
+use rescheck_bench::report::{take_json_flag, write_json, SCHEMA};
+use rescheck_cnf::{dimacs, Cnf, SplitMix64};
+use rescheck_obs::Json;
+use rescheck_trace::{BinaryReader, BinaryWriter, BlockDecoder, EventRef, TraceEvent, TraceSink};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+/// The `BufReader` capacity the per-record reader shipped with before
+/// the block buffer landed (`std`'s default).
+const OLD_BUF_BYTES: usize = 8 * 1024;
+
+fn fixture_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rescheck-bench-io");
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+/// Writes a seeded random 3-SAT-ish DIMACS file of `clauses` clauses
+/// over `vars` variables, with comment lines sprinkled in like real
+/// files. Returns the path and the file size.
+fn dimacs_fixture(vars: usize, clauses: usize, seed: u64) -> (PathBuf, u64) {
+    let mut rng = SplitMix64::new(seed);
+    let mut text = String::with_capacity(clauses * 16);
+    text.push_str(&format!("c generated io bench input seed {seed}\n"));
+    text.push_str(&format!("p cnf {vars} {clauses}\n"));
+    for i in 0..clauses {
+        if i.is_multiple_of(64) {
+            text.push_str("c progress comment\n");
+        }
+        let len = 3 + (rng.next_u64() % 2) as usize;
+        for _ in 0..len {
+            let var = 1 + (rng.next_u64() as usize % vars) as i64;
+            let lit = if rng.next_u64().is_multiple_of(2) {
+                var
+            } else {
+                -var
+            };
+            text.push_str(&format!("{lit} "));
+        }
+        text.push_str("0\n");
+    }
+    let path = fixture_path("bench.cnf");
+    std::fs::write(&path, &text).expect("write cnf fixture");
+    (path, text.len() as u64)
+}
+
+/// Writes a seeded binary trace of `count` events with realistic id
+/// magnitudes (multi-byte varints) and mixed source-list lengths.
+fn trace_fixture(count: usize, seed: u64) -> (PathBuf, u64) {
+    let mut rng = SplitMix64::new(seed);
+    let path = fixture_path("bench.rt");
+    let file = File::create(&path).expect("create trace fixture");
+    let mut writer = BinaryWriter::new(BufWriter::new(file)).expect("write magic");
+    for i in 0..count {
+        match rng.next_u64() % 8 {
+            0 => writer
+                .level_zero(
+                    rescheck_cnf::Lit::from_dimacs(1 + (i as i64 % 512)),
+                    rng.next_u64() % 100_000,
+                )
+                .expect("write event"),
+            1 => writer
+                .final_conflict(rng.next_u64() % 100_000)
+                .expect("write event"),
+            _ => {
+                let len = 2 + (rng.next_u64() % 14) as usize;
+                let sources: Vec<u64> = (0..len).map(|_| rng.next_u64() % 1_000_000).collect();
+                writer
+                    .learned(1_000_000 + i as u64, &sources)
+                    .expect("write event");
+            }
+        }
+    }
+    writer.flush().expect("flush trace fixture");
+    let bytes = std::fs::metadata(&path).expect("stat trace fixture").len();
+    (path, bytes)
+}
+
+/// The retained per-line production path, exactly as `read_file`
+/// shipped before the scanner: `BufRead::lines` behind the old
+/// default-capacity `BufReader` — a `String` allocation and UTF-8
+/// validation per line, `split_whitespace` + `str::parse` per token.
+fn parse_lines_path(path: &Path) -> Cnf {
+    let reader = BufReader::with_capacity(OLD_BUF_BYTES, File::open(path).expect("open cnf"));
+    dimacs::parse_reader_lines(reader).expect("valid dimacs")
+}
+
+/// The retained per-record production path: `BinaryReader` behind the
+/// old default-capacity `BufReader`, one owned `TraceEvent` per record.
+/// Returns an event/source tally used for the equality check.
+fn decode_record_path(path: &Path) -> (u64, u64) {
+    let reader = BufReader::with_capacity(OLD_BUF_BYTES, File::open(path).expect("open trace"));
+    let reader = BinaryReader::new(reader).expect("magic");
+    let mut events = 0u64;
+    let mut source_sum = 0u64;
+    for event in reader {
+        match event.expect("valid trace") {
+            TraceEvent::Learned { sources, .. } => {
+                events += 1;
+                source_sum += sources.iter().sum::<u64>();
+            }
+            TraceEvent::LevelZero { antecedent, .. } => {
+                events += 1;
+                source_sum += antecedent;
+            }
+            TraceEvent::FinalConflict { id } => {
+                events += 1;
+                source_sum += id;
+            }
+        }
+    }
+    (events, source_sum)
+}
+
+/// The block decoder over the raw file through the borrowed lending
+/// API — no per-event heap allocation.
+fn decode_block_path(path: &Path) -> (u64, u64) {
+    let mut decoder = BlockDecoder::new(File::open(path).expect("open trace")).expect("magic");
+    let mut events = 0u64;
+    let mut source_sum = 0u64;
+    while let Some(event) = decoder.next_event().expect("valid trace") {
+        match event {
+            EventRef::Learned { sources, .. } => {
+                events += 1;
+                source_sum += sources.iter().sum::<u64>();
+            }
+            EventRef::LevelZero { antecedent, .. } => {
+                events += 1;
+                source_sum += antecedent;
+            }
+            EventRef::FinalConflict { id } => {
+                events += 1;
+                source_sum += id;
+            }
+        }
+    }
+    (events, source_sum)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = take_json_flag(&mut args);
+    let mut rows: Vec<Json> = Vec::new();
+
+    // ---- DIMACS parsing: per-line reference vs block scanner.
+    let (cnf_path, cnf_bytes) = dimacs_fixture(4_000, 150_000, 0x10b37c);
+    let reference = parse_lines_path(&cnf_path);
+    let scanned = dimacs::read_file(&cnf_path).expect("valid dimacs");
+    assert_eq!(reference, scanned, "parsers disagree on the fixture");
+
+    let old_parse = bench("io/parse/lines", || {
+        std::hint::black_box(parse_lines_path(&cnf_path));
+    });
+    let new_parse = bench("io/parse/scanner", || {
+        std::hint::black_box(dimacs::read_file(&cnf_path).expect("valid dimacs"));
+    });
+    let parse_speedup = old_parse.min.as_secs_f64() / new_parse.min.as_secs_f64().max(1e-12);
+    println!("io/speedup/parse: {parse_speedup:.2}x");
+    let mut row = Json::object();
+    row.set("name", "parse")
+        .set("input_bytes", cnf_bytes)
+        .set("clauses", scanned.num_clauses())
+        .set("old_min_seconds", old_parse.min.as_secs_f64())
+        .set("new_min_seconds", new_parse.min.as_secs_f64())
+        .set("old_median_seconds", old_parse.median.as_secs_f64())
+        .set("new_median_seconds", new_parse.median.as_secs_f64())
+        .set("speedup", parse_speedup);
+    rows.push(row);
+
+    // ---- Binary trace decoding: per-record reader vs block decoder.
+    let (trace_path, trace_bytes) = trace_fixture(120_000, 0xdec0de);
+    let expected = decode_record_path(&trace_path);
+    assert_eq!(
+        decode_block_path(&trace_path),
+        expected,
+        "decoders disagree on the fixture"
+    );
+
+    let old_decode = bench("io/decode/record", || {
+        std::hint::black_box(decode_record_path(&trace_path));
+    });
+    let new_decode = bench("io/decode/block", || {
+        std::hint::black_box(decode_block_path(&trace_path));
+    });
+    let decode_speedup = old_decode.min.as_secs_f64() / new_decode.min.as_secs_f64().max(1e-12);
+    println!("io/speedup/decode: {decode_speedup:.2}x");
+    let mut row = Json::object();
+    row.set("name", "decode")
+        .set("input_bytes", trace_bytes)
+        .set("events", expected.0)
+        .set("old_min_seconds", old_decode.min.as_secs_f64())
+        .set("new_min_seconds", new_decode.min.as_secs_f64())
+        .set("old_median_seconds", old_decode.median.as_secs_f64())
+        .set("new_median_seconds", new_decode.median.as_secs_f64())
+        .set("speedup", decode_speedup);
+    rows.push(row);
+
+    std::fs::remove_file(&cnf_path).ok();
+    std::fs::remove_file(&trace_path).ok();
+
+    if let Some(path) = json_path {
+        let mut doc = Json::object();
+        doc.set("schema", SCHEMA)
+            .set("command", "bench:io")
+            .set("rows", Json::Array(rows));
+        write_json(Path::new(&path), &doc).expect("write json");
+        println!("wrote {path}");
+    }
+}

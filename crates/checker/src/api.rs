@@ -42,6 +42,13 @@ pub struct CheckConfig {
     /// it only uses budget left over after required clauses — it evicts
     /// (oldest first) rather than ever causing a memory-out.
     pub original_cache_bytes: Option<u64>,
+    /// Cap in bytes on [`Strategy::DiskDepthFirst`]'s cache of fetched
+    /// resolve-source lists; `None` = uncapped. Same spare-budget
+    /// discipline as [`original_cache_bytes`]: charged to the meter,
+    /// FIFO-evicted under pressure, never the cause of a memory-out.
+    ///
+    /// [`original_cache_bytes`]: CheckConfig::original_cache_bytes
+    pub source_cache_bytes: Option<u64>,
     /// Cooperative cancellation handle, polled at progress strides. The
     /// default flag is inert; arm one ([`CancelFlag::armed`]) to be able
     /// to stop a check from another thread.
@@ -77,6 +84,7 @@ pub struct CheckConfig {
 ///     Strategy::Hybrid,
 ///     Strategy::Portfolio,
 ///     Strategy::ParallelBf,
+///     Strategy::DiskDepthFirst,
 /// ] {
 ///     check_unsat_claim(&cnf, &trace, strategy, &CheckConfig::default())?;
 /// }
@@ -102,6 +110,11 @@ pub fn check_unsat_claim<S: RandomAccessTrace + Sync + ?Sized>(
 /// `check.arena.bytes`, `check.arena.reuse_hits` from the arena clause
 /// store (`scratch_grows` stalling at a constant while `chains` keeps
 /// rising is the observable form of the allocation-free steady state).
+/// [`Strategy::DiskDepthFirst`] additionally reports its disk-access
+/// accounting: `check.dfd.index_entries` (flat offset-index size),
+/// `check.dfd.cursor_reads` (positioned trace reads performed),
+/// `check.dfd.cache_hits` and `check.dfd.cache_bytes` (source-list cache
+/// effectiveness and residency).
 ///
 /// # Errors
 ///
@@ -143,6 +156,7 @@ pub fn check_unsat_claim_observed<S: RandomAccessTrace + Sync + ?Sized>(
         Strategy::Hybrid => crate::hybrid::run(cnf, trace, config, obs),
         Strategy::Portfolio => crate::parallel::run_portfolio(cnf, trace, config, obs),
         Strategy::ParallelBf => crate::parallel::run_parallel_bf(cnf, trace, config, obs),
+        Strategy::DiskDepthFirst => crate::disk_df::run(cnf, trace, config, obs),
     }
 }
 
@@ -190,6 +204,29 @@ pub fn check_hybrid<S: RandomAccessTrace + ?Sized>(
     config: &CheckConfig,
 ) -> Result<CheckOutcome, CheckError> {
     crate::hybrid::run(cnf, trace, config, &mut NullObserver)
+}
+
+/// Validates an UNSAT claim with the disk-backed depth-first strategy:
+/// depth-first's on-demand traversal (needed clauses only, unsat core as
+/// a by-product) with the trace left on disk — one streaming pass builds
+/// a flat id → byte-offset index, and resolve-source lists are fetched
+/// through a trace cursor when the walk reaches them, with hot lists kept
+/// in a memory-accounted cache ([`CheckConfig::source_cache_bytes`]).
+///
+/// Produces bit-identical `clauses_built` / `resolutions` and the same
+/// unsat core as [`check_depth_first`], while the peak accounted memory
+/// replaces the resident-trace term with 16 bytes per learned clause —
+/// the strategy to reach for when depth-first memory-outs.
+///
+/// # Errors
+///
+/// See [`check_unsat_claim`].
+pub fn check_disk_depth_first<S: RandomAccessTrace + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, CheckError> {
+    crate::disk_df::run(cnf, trace, config, &mut NullObserver)
 }
 
 /// Validates an UNSAT claim by racing the depth-first and breadth-first
@@ -279,7 +316,7 @@ impl Error for ModelError {}
 pub fn check_sat_claim(cnf: &Cnf, model: &Assignment) -> Result<(), ModelError> {
     let bad: Vec<usize> = cnf
         .iter()
-        .filter(|(_, c)| c.evaluate(model) != rescheck_cnf::LBool::True)
+        .filter(|(_, c)| rescheck_cnf::evaluate_lits(c, model) != rescheck_cnf::LBool::True)
         .map(|(id, _)| id)
         .collect();
     if bad.is_empty() {
@@ -334,6 +371,7 @@ mod tests {
         assert_eq!(cfg.memory_limit, None);
         assert_eq!(cfg.jobs, 0);
         assert_eq!(cfg.original_cache_bytes, None);
+        assert_eq!(cfg.source_cache_bytes, None);
         assert!(!cfg.cancel.is_cancelled());
     }
 }

@@ -27,12 +27,14 @@ use crate::final_phase::{derive_empty_clause, ClauseProvider};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::kernel::ResolutionKernel;
 use crate::memory::{MemoryMeter, LEVEL_ZERO_RECORD_BYTES, USE_COUNT_BYTES};
-use crate::model::{validate_learned, LevelZeroMap};
+use crate::model::{
+    finish_visit, park_check_error, table_capacity_hint, validate_learned, LevelZeroMap,
+};
 use crate::outcome::{CheckOutcome, CheckStats, Strategy};
 use crate::resolve::normalize_literals;
 use rescheck_cnf::{Cnf, Lit};
 use rescheck_obs::{Event, Observer, Phase};
-use rescheck_trace::{TraceEvent, TraceSource};
+use rescheck_trace::{EventRef, TraceEvent, TraceSource};
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -55,6 +57,14 @@ pub(crate) struct Pass1Tables {
 }
 
 impl Pass1Tables {
+    /// Pre-sizes the per-clause tables for roughly `additional` more
+    /// learned-clause entries (a hint derived from the encoded trace
+    /// size; see [`table_capacity_hint`]).
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.use_counts.reserve(additional);
+        self.defined.reserve(additional);
+    }
+
     /// Absorbs a learned-clause record (without its source counting —
     /// counting is the shardable part and is done by the caller).
     pub(crate) fn absorb_learned(
@@ -123,27 +133,36 @@ pub(crate) fn sequential_pass1<S: TraceSource + ?Sized>(
     cancel: &CancelFlag,
 ) -> Result<(Pass1Tables, u64), CheckError> {
     let mut tables = Pass1Tables::default();
+    if let Some(encoded) = trace.encoded_size() {
+        tables.reserve(table_capacity_hint(encoded));
+    }
     let mut seen: u64 = 0;
-    for event in trace.events_iter()? {
+    let mut parked = None;
+    let result = trace.visit_events(&mut |event| {
         seen += 1;
-        if seen.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
-            cancel.check()?;
-        }
-        match event? {
-            TraceEvent::Learned { id, sources } => {
-                tables.absorb_learned(id, sources.len(), num_original)?;
-                for &s in &sources {
-                    if s >= num_original as u64 {
-                        *tables.use_counts.entry(s).or_insert(0) += 1;
+        let step = (|| -> Result<(), CheckError> {
+            if seen.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
+                cancel.check()?;
+            }
+            match event {
+                EventRef::Learned { id, sources } => {
+                    tables.absorb_learned(id, sources.len(), num_original)?;
+                    for &s in sources {
+                        if s >= num_original as u64 {
+                            *tables.use_counts.entry(s).or_insert(0) += 1;
+                        }
                     }
                 }
+                EventRef::LevelZero { lit, antecedent } => {
+                    tables.absorb_level_zero(lit, antecedent, num_original)?;
+                }
+                EventRef::FinalConflict { id } => tables.absorb_final(id),
             }
-            TraceEvent::LevelZero { lit, antecedent } => {
-                tables.absorb_level_zero(lit, antecedent, num_original)?;
-            }
-            TraceEvent::FinalConflict { id } => tables.absorb_final(id),
-        }
-    }
+            Ok(())
+        })();
+        step.map_err(|e| park_check_error(&mut parked, e))
+    });
+    finish_visit(parked, result)?;
     let start_id = tables.finish(num_original)?;
     Ok((tables, start_id))
 }
@@ -258,7 +277,20 @@ impl<'a> BfResolveState<'a> {
         let TraceEvent::Learned { id, sources } = event else {
             return Ok(());
         };
-        let (id, sources) = (*id, sources);
+        self.handle_learned(*id, sources, obs)
+    }
+
+    /// Rebuilds one learned clause from a borrowed source list — the
+    /// allocation-free core of [`handle_event`], called directly by the
+    /// streaming visitor of [`run`].
+    ///
+    /// [`handle_event`]: BfResolveState::handle_event
+    pub(crate) fn handle_learned(
+        &mut self,
+        id: u64,
+        sources: &[u64],
+        obs: &mut dyn Observer,
+    ) -> Result<(), CheckError> {
         for (step, &s) in sources.iter().enumerate() {
             self.feed_source(id, step, s)?;
         }
@@ -371,9 +403,16 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
 
     let resolve_phase = Phase::start("check:resolve", obs);
     let mut state = BfResolveState::new(cnf, tables, meter, config);
-    for event in trace.events_iter()? {
-        state.handle_event(&event?, obs)?;
-    }
+    let mut parked = None;
+    let result = trace.visit_events(&mut |event| {
+        let EventRef::Learned { id, sources } = event else {
+            return Ok(());
+        };
+        state
+            .handle_learned(id, sources, &mut *obs)
+            .map_err(|e| park_check_error(&mut parked, e))
+    });
+    finish_visit(parked, result)?;
     resolve_phase.finish(obs);
 
     state.into_outcome(

@@ -31,7 +31,7 @@ use crate::error::CheckError;
 use crate::final_phase::{derive_empty_clause, ClauseProvider};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::kernel::ResolutionKernel;
-use crate::memory::{MemoryMeter, LEVEL_ZERO_RECORD_BYTES, USE_COUNT_BYTES};
+use crate::memory::{MemoryMeter, INDEX_ENTRY_BYTES, LEVEL_ZERO_RECORD_BYTES, USE_COUNT_BYTES};
 use crate::model::{validate_learned, LevelZeroMap};
 use crate::outcome::{CheckOutcome, CheckStats, Strategy, UnsatCore};
 use crate::resolve::normalize_literals;
@@ -40,9 +40,6 @@ use rescheck_obs::{Event, Observer, Phase};
 use rescheck_trace::{RandomAccessTrace, TraceCursor, TraceEvent};
 use std::rc::Rc;
 use std::time::Instant;
-
-/// Accounted bytes per entry of the offset index (id → file offset).
-const INDEX_ENTRY_BYTES: u64 = 16;
 
 pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
     cnf: &Cnf,

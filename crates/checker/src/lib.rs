@@ -64,6 +64,7 @@ mod cache;
 mod cancel;
 mod core_min;
 mod depth_first;
+mod disk_df;
 mod error;
 mod final_phase;
 mod fxhash;
@@ -78,9 +79,9 @@ pub mod resolve;
 mod trim;
 
 pub use api::{
-    check_breadth_first, check_depth_first, check_hybrid, check_parallel_bf, check_portfolio,
-    check_sat_claim, check_unsat_claim, check_unsat_claim_observed, CheckConfig, ModelError,
-    Strategy,
+    check_breadth_first, check_depth_first, check_disk_depth_first, check_hybrid,
+    check_parallel_bf, check_portfolio, check_sat_claim, check_unsat_claim,
+    check_unsat_claim_observed, CheckConfig, ModelError, Strategy,
 };
 pub use cancel::CancelFlag;
 pub use core_min::{minimize_core, CoreIteration, CoreMinimization, MinimizeError};

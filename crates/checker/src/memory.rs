@@ -32,6 +32,10 @@ pub(crate) const LEVEL_ZERO_RECORD_BYTES: u64 = 16;
 /// Accounted bytes per entry of the breadth-first use-count table.
 pub(crate) const USE_COUNT_BYTES: u64 = 12;
 
+/// Accounted bytes per id → byte-offset index entry (hybrid and
+/// disk-backed depth-first strategies: two `u64`s per learned clause).
+pub(crate) const INDEX_ENTRY_BYTES: u64 = 16;
+
 /// Page granularity for charging the clause arena's flat literal store.
 ///
 /// The arena grows its literal tail in whole pages and charges the meter

@@ -5,8 +5,40 @@ use crate::error::CheckError;
 use crate::fxhash::FxHashMap;
 use crate::memory::{trace_record_bytes, LEVEL_ZERO_RECORD_BYTES};
 use rescheck_cnf::{Lit, Var};
-use rescheck_trace::{TraceEvent, TraceSource};
+use rescheck_trace::{EventRef, TraceSource};
 use std::io;
+
+/// Parks a `CheckError` raised inside a `TraceSource::visit_events`
+/// closure and returns the sentinel `io::Error` that aborts the
+/// traversal. Pair with [`finish_visit`], which recovers the parked error
+/// in preference to the sentinel.
+pub(crate) fn park_check_error(slot: &mut Option<CheckError>, err: CheckError) -> io::Error {
+    *slot = Some(err);
+    io::Error::other("trace visit aborted by check failure")
+}
+
+/// Resolves the outcome of a `visit_events` traversal: a parked check
+/// failure wins over the traversal result (whose error would be the
+/// sentinel in that case); otherwise a genuine I/O error is wrapped as
+/// [`CheckError::Trace`].
+pub(crate) fn finish_visit(
+    parked: Option<CheckError>,
+    result: io::Result<()>,
+) -> Result<(), CheckError> {
+    if let Some(err) = parked {
+        return Err(err);
+    }
+    result.map_err(CheckError::Trace)
+}
+
+/// Rough entry-count hint for pre-sizing id-keyed tables from the encoded
+/// trace size. Binary learned records average well above 8 bytes each, so
+/// this only mildly over-reserves; the cap keeps a short trace that lies
+/// about its size (or a future giant one) from reserving gigabytes up
+/// front.
+pub(crate) fn table_capacity_hint(encoded_bytes: u64) -> usize {
+    (encoded_bytes / 8).min(1 << 21) as usize
+}
 
 /// The recorded level-0 assignment of one variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -83,27 +115,36 @@ pub(crate) fn load_full<S: TraceSource + ?Sized>(
     cancel: &CancelFlag,
 ) -> Result<FullTrace, CheckError> {
     let mut full = FullTrace::default();
-    let mut seen: u64 = 0;
-    for event in source.events_iter()? {
-        seen += 1;
-        if seen.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
-            cancel.check()?;
-        }
-        match event? {
-            TraceEvent::Learned { id, sources } => {
-                validate_learned(id, sources.len(), num_original, |candidate| {
-                    full.sources.contains_key(&candidate)
-                })?;
-                full.trace_bytes += trace_record_bytes(sources.len());
-                full.sources.insert(id, sources);
-            }
-            TraceEvent::LevelZero { lit, antecedent } => {
-                full.level_zero.insert(lit, antecedent)?;
-                full.trace_bytes += LEVEL_ZERO_RECORD_BYTES;
-            }
-            TraceEvent::FinalConflict { id } => full.final_ids.push(id),
-        }
+    if let Some(encoded) = source.encoded_size() {
+        full.sources.reserve(table_capacity_hint(encoded));
     }
+    let mut seen: u64 = 0;
+    let mut parked: Option<CheckError> = None;
+    let result = source.visit_events(&mut |event| {
+        seen += 1;
+        let step = (|| -> Result<(), CheckError> {
+            if seen.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
+                cancel.check()?;
+            }
+            match event {
+                EventRef::Learned { id, sources } => {
+                    validate_learned(id, sources.len(), num_original, |candidate| {
+                        full.sources.contains_key(&candidate)
+                    })?;
+                    full.trace_bytes += trace_record_bytes(sources.len());
+                    full.sources.insert(id, sources.to_vec());
+                }
+                EventRef::LevelZero { lit, antecedent } => {
+                    full.level_zero.insert(lit, antecedent)?;
+                    full.trace_bytes += LEVEL_ZERO_RECORD_BYTES;
+                }
+                EventRef::FinalConflict { id } => full.final_ids.push(id),
+            }
+            Ok(())
+        })();
+        step.map_err(|e| park_check_error(&mut parked, e))
+    });
+    finish_visit(parked, result)?;
     Ok(full)
 }
 
@@ -136,7 +177,7 @@ pub(crate) fn validate_learned(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rescheck_trace::MemorySink;
+    use rescheck_trace::{MemorySink, TraceEvent};
 
     fn lit(d: i64) -> Lit {
         Lit::from_dimacs(d)

@@ -25,6 +25,12 @@ pub enum Strategy {
     /// `resolutions` as [`Strategy::BreadthFirst`], regardless of the
     /// worker count.
     ParallelBf,
+    /// Depth-first with the trace left on disk: only a flat id → offset
+    /// index stays resident and resolve-source lists are fetched on
+    /// demand through a trace cursor. Bit-identical statistics and core
+    /// to [`Strategy::DepthFirst`], without the `O(trace)` memory term
+    /// (requires a random-access trace).
+    DiskDepthFirst,
 }
 
 impl fmt::Display for Strategy {
@@ -35,6 +41,7 @@ impl fmt::Display for Strategy {
             Strategy::Hybrid => f.write_str("hybrid"),
             Strategy::Portfolio => f.write_str("portfolio"),
             Strategy::ParallelBf => f.write_str("parallel-bf"),
+            Strategy::DiskDepthFirst => f.write_str("disk-depth-first"),
         }
     }
 }

@@ -175,12 +175,13 @@ fn solved(seed: u64) -> Option<(Cnf, MemorySink)> {
         .then_some((cnf, sink))
 }
 
-/// All five strategies accept the same traces with consistent counters
-/// on the shared kernel/arena hot path: depth-first and hybrid verify
-/// the same needed subset, breadth-first and parallel breadth-first are
-/// bit-identical, and breadth-first builds every learned clause.
+/// All six strategies accept the same traces with consistent counters
+/// on the shared kernel/arena hot path: depth-first, its disk-backed
+/// variant and hybrid verify the same needed subset, breadth-first and
+/// parallel breadth-first are bit-identical, and breadth-first builds
+/// every learned clause.
 #[test]
-fn five_strategies_agree_end_to_end() {
+fn six_strategies_agree_end_to_end() {
     let mut fixtures: Vec<(Cnf, MemorySink)> = vec![chain(64), chain(300)];
     fixtures.extend((0..32).filter_map(solved).take(6));
     assert!(fixtures.len() > 2, "no solver fixture went UNSAT");
@@ -199,9 +200,23 @@ fn five_strategies_agree_end_to_end() {
         let hybrid = run(Strategy::Hybrid);
         let portfolio = run(Strategy::Portfolio);
         let pbf = run(Strategy::ParallelBf);
+        let dfd = run(Strategy::DiskDepthFirst);
+
+        // The disk-backed depth-first walk is the same traversal as the
+        // in-memory one: bit-identical work counters and the same core.
+        assert_eq!(
+            dfd.stats.clauses_built, df.stats.clauses_built,
+            "fixture {f}"
+        );
+        assert_eq!(dfd.stats.resolutions, df.stats.resolutions, "fixture {f}");
+        assert_eq!(
+            dfd.core.as_ref().map(|c| &c.clause_ids),
+            df.core.as_ref().map(|c| &c.clause_ids),
+            "fixture {f}"
+        );
 
         // Everyone sees the same trace.
-        for outcome in [&bf, &hybrid, &portfolio, &pbf] {
+        for outcome in [&bf, &hybrid, &portfolio, &pbf, &dfd] {
             assert_eq!(
                 outcome.stats.learned_in_trace, df.stats.learned_in_trace,
                 "fixture {f}"

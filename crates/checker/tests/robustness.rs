@@ -18,15 +18,17 @@ const CASES: u64 = if cfg!(feature = "heavy-tests") {
     64
 };
 
-/// Every checking strategy, the parallel ones included: anything the
-/// sequential checkers must survive, the racing portfolio and the
-/// sharded breadth-first checker must survive too.
-const ALL_STRATEGIES: [CheckStrategy; 5] = [
+/// Every checking strategy, the parallel and disk-backed ones included:
+/// anything the sequential checkers must survive, the racing portfolio,
+/// the sharded breadth-first checker and the disk-backed depth-first
+/// checker must survive too.
+const ALL_STRATEGIES: [CheckStrategy; 6] = [
     CheckStrategy::DepthFirst,
     CheckStrategy::BreadthFirst,
     CheckStrategy::Hybrid,
     CheckStrategy::Portfolio,
     CheckStrategy::ParallelBf,
+    CheckStrategy::DiskDepthFirst,
 ];
 
 fn pigeonhole(holes: usize) -> Cnf {
@@ -150,7 +152,7 @@ fn mutated_formulas_never_panic() {
         let mut mutated = Cnf::with_vars(cnf.num_vars());
         let target = rng.range_usize(0..cnf.num_clauses());
         for (i, clause) in cnf.iter() {
-            let mut lits: Vec<Lit> = clause.iter().copied().collect();
+            let mut lits: Vec<Lit> = clause.to_vec();
             if i == target {
                 lits[0] = !lits[0];
             }

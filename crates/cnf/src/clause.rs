@@ -131,19 +131,7 @@ impl Clause {
     /// all literals are false (a *conflicting* clause), and
     /// [`LBool::Undef`] otherwise.
     pub fn evaluate(&self, assignment: &Assignment) -> LBool {
-        let mut undef = false;
-        for &lit in &self.lits {
-            match assignment.lit_value(lit) {
-                LBool::True => return LBool::True,
-                LBool::Undef => undef = true,
-                LBool::False => {}
-            }
-        }
-        if undef {
-            LBool::Undef
-        } else {
-            LBool::False
-        }
+        evaluate_lits(&self.lits, assignment)
     }
 
     /// If the clause is unit under `assignment` (exactly one unassigned
@@ -173,6 +161,26 @@ impl Clause {
     /// Consumes the clause and returns its literal vector.
     pub fn into_literals(self) -> Vec<Lit> {
         self.lits
+    }
+}
+
+/// Evaluates a clause given as a bare literal slice (e.g. one lent by
+/// [`Cnf::clauses`](crate::Cnf::clauses)) under a (possibly partial)
+/// assignment: true if some literal is true, false if all are false,
+/// undefined otherwise.
+pub fn evaluate_lits(lits: &[Lit], assignment: &Assignment) -> LBool {
+    let mut undef = false;
+    for &lit in lits {
+        match assignment.lit_value(lit) {
+            LBool::True => return LBool::True,
+            LBool::Undef => undef = true,
+            LBool::False => {}
+        }
+    }
+    if undef {
+        LBool::Undef
+    } else {
+        LBool::False
     }
 }
 

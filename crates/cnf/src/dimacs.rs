@@ -4,6 +4,19 @@
 //! `p cnf <vars> <clauses>` followed by clauses as whitespace-separated
 //! signed integers terminated by `0`. Comment lines start with `c`.
 //!
+//! Parsing is a block-buffered byte scanner: [`ByteParser`] consumes
+//! arbitrary byte chunks in a single fused skip-whitespace/lex-integer
+//! pass — no per-line `String`, no line splitting, no token slicing —
+//! tracking line numbers inline so error diagnostics stay identical to
+//! the line-oriented reference implementation, which is kept as
+//! [`parse_str_lines`] so the two can be compared (see `benches/io.rs`
+//! and the differential tests below). [`parse_str`] feeds the whole text
+//! as one chunk; [`parse_reader`] refills a single reused
+//! [`READ_BUFFER_BYTES`]-sized buffer, with tokens and header lines that
+//! straddle chunk boundaries reassembled through a small pending buffer.
+//!
+//! [`READ_BUFFER_BYTES`]: crate::READ_BUFFER_BYTES
+//!
 //! # Examples
 //!
 //! ```
@@ -19,8 +32,8 @@
 //! ```
 
 use crate::error::ParseDimacsErrorKind;
-use crate::{Cnf, Lit, ParseDimacsError};
-use std::io::{self, BufRead, Write};
+use crate::{Cnf, Lit, ParseDimacsError, READ_BUFFER_BYTES};
+use std::io::{self, Read, Write};
 
 /// Parses DIMACS CNF text into a [`Cnf`].
 ///
@@ -35,24 +48,74 @@ use std::io::{self, BufRead, Write};
 ///
 /// Returns a [`ParseDimacsError`] carrying the offending line number.
 pub fn parse_str(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut parser = ByteParser::new();
+    parser.feed(text.as_bytes())?;
+    parser.finish()
+}
+
+/// Line-oriented reference parser.
+///
+/// This is the original implementation, retained as the oracle for the
+/// byte scanner: it allocates an owned `String` per line and tokenizes
+/// with `split_whitespace`, which made it the measured hot spot on
+/// Table-1-scale formulas. [`parse_str`] must accept/reject exactly the
+/// same inputs with the same diagnostics; `benches/io.rs` measures the
+/// two against each other.
+///
+/// # Errors
+///
+/// Returns a [`ParseDimacsError`] carrying the offending line number.
+pub fn parse_str_lines(text: &str) -> Result<Cnf, ParseDimacsError> {
     parse_lines(text.lines().map(|l| Ok::<_, io::Error>(l.to_owned()))).map_err(|e| match e {
         ReadError::Parse(p) => p,
         ReadError::Io(_) => unreachable!("string iteration cannot fail"),
     })
 }
 
-/// Parses DIMACS CNF from a buffered reader.
+/// Line-oriented reference reader path: `BufRead::lines` feeding the
+/// retained per-line parser — exactly the pre-scanner production path
+/// for files (a `String` allocation and UTF-8 validation per line).
+/// Kept for `benches/io.rs`; use [`parse_reader`] everywhere else.
+///
+/// # Errors
+///
+/// As for [`parse_reader`].
+pub fn parse_reader_lines<R: io::BufRead>(reader: R) -> io::Result<Cnf> {
+    parse_lines(reader.lines()).map_err(|e| match e {
+        ReadError::Io(io) => io,
+        ReadError::Parse(p) => io::Error::new(io::ErrorKind::InvalidData, p),
+    })
+}
+
+/// Parses DIMACS CNF from a reader.
+///
+/// The reader is consumed through an internal [`READ_BUFFER_BYTES`]-sized
+/// block buffer, so there is no benefit to wrapping it in a `BufReader`
+/// first (any `Read` works now; the old `BufRead` bound is subsumed).
+///
+/// [`READ_BUFFER_BYTES`]: crate::READ_BUFFER_BYTES
 ///
 /// # Errors
 ///
 /// Returns [`io::Error`] for read failures; parse failures are converted to
 /// `io::Error` with [`io::ErrorKind::InvalidData`] wrapping the
 /// [`ParseDimacsError`]. Pass `&mut reader` if you need the reader back.
-pub fn parse_reader<R: BufRead>(reader: R) -> io::Result<Cnf> {
-    parse_lines(reader.lines()).map_err(|e| match e {
-        ReadError::Io(io) => io,
-        ReadError::Parse(p) => io::Error::new(io::ErrorKind::InvalidData, p),
-    })
+pub fn parse_reader<R: Read>(mut reader: R) -> io::Result<Cnf> {
+    let to_io = |e: ParseDimacsError| io::Error::new(io::ErrorKind::InvalidData, e);
+    let mut parser = ByteParser::new();
+    let mut buf = vec![0u8; READ_BUFFER_BYTES];
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => parser.feed(&buf[..n]).map_err(to_io)?,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+        if parser.done {
+            break;
+        }
+    }
+    parser.finish().map_err(to_io)
 }
 
 /// Reads a DIMACS CNF file from disk.
@@ -62,8 +125,551 @@ pub fn parse_reader<R: BufRead>(reader: R) -> io::Result<Cnf> {
 /// Propagates I/O errors; parse failures surface as
 /// [`io::ErrorKind::InvalidData`].
 pub fn read_file(path: impl AsRef<std::path::Path>) -> io::Result<Cnf> {
+    // parse_reader buffers internally (READ_BUFFER_BYTES blocks), so the
+    // file handle is passed through unwrapped.
     let file = std::fs::File::open(path)?;
-    parse_reader(io::BufReader::new(file))
+    parse_reader(file)
+}
+
+/// Where the scanner stands relative to line structure and chunk
+/// boundaries. Only `Clause` is hot; every other mode handles a rare
+/// structural byte or a chunk-straddling fragment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mode {
+    /// Before the first non-whitespace byte of a line.
+    LineStart,
+    /// Inside a `c` comment, skipping to the newline.
+    Comment,
+    /// Accumulating a `p` header line into `pending`.
+    Header,
+    /// Accumulating a `%`-led token into `pending`.
+    PercentToken,
+    /// A lone `%` token seen; verifying the rest of the line is blank.
+    PercentTail,
+    /// Lexing clause literals.
+    Clause,
+    /// A clause token cut off by a chunk boundary, held in `pending`.
+    ClauseToken,
+}
+
+/// Incremental chunk-fed DIMACS scanner shared by [`parse_str`] (one
+/// chunk) and [`parse_reader`] (block-sized chunks).
+///
+/// Feed byte chunks of any size with [`ByteParser::feed`], then call
+/// [`ByteParser::finish`]. Accepts and rejects exactly the inputs the
+/// line-oriented reference parser does, with identical diagnostics.
+struct ByteParser {
+    header: Option<(usize, usize)>,
+    cnf: Cnf,
+    mode: Mode,
+    /// Fragment reassembly across chunk boundaries (header lines,
+    /// `%` tokens, clause tokens).
+    pending: Vec<u8>,
+    /// 1-based number of the line currently being scanned.
+    line_no: usize,
+    saw_any: bool,
+    ended_with_newline: bool,
+    /// Set when a lone `%` end-marker is seen; callers stop feeding.
+    done: bool,
+}
+
+impl ByteParser {
+    fn new() -> Self {
+        ByteParser {
+            header: None,
+            cnf: Cnf::new(),
+            mode: Mode::LineStart,
+            pending: Vec::new(),
+            line_no: 1,
+            saw_any: false,
+            ended_with_newline: false,
+            done: false,
+        }
+    }
+
+    fn feed(&mut self, chunk: &[u8]) -> Result<(), ParseDimacsError> {
+        if self.done || chunk.is_empty() {
+            return Ok(());
+        }
+        self.saw_any = true;
+        self.ended_with_newline = chunk[chunk.len() - 1] == b'\n';
+        let len = chunk.len();
+        let mut i = 0usize;
+        while i < len {
+            match self.mode {
+                Mode::LineStart => {
+                    while i < len {
+                        let b = chunk[i];
+                        if b == b'\n' {
+                            self.line_no += 1;
+                        } else if !b.is_ascii_whitespace() {
+                            break;
+                        }
+                        i += 1;
+                    }
+                    if i == len {
+                        break;
+                    }
+                    match chunk[i] {
+                        b'c' => {
+                            self.mode = Mode::Comment;
+                            i += 1;
+                        }
+                        b'p' => {
+                            self.pending.clear();
+                            self.mode = Mode::Header;
+                        }
+                        // Some benchmark suites end files with a lone
+                        // `%` marker; `%`-led junk is an invalid token.
+                        b'%' => {
+                            self.pending.clear();
+                            self.pending.push(b'%');
+                            self.mode = Mode::PercentToken;
+                            i += 1;
+                        }
+                        _ => {
+                            if self.header.is_none() {
+                                return Err(ParseDimacsError::new(
+                                    self.line_no,
+                                    ParseDimacsErrorKind::MissingHeader,
+                                ));
+                            }
+                            self.mode = Mode::Clause;
+                        }
+                    }
+                }
+                Mode::Comment => match chunk[i..].iter().position(|&b| b == b'\n') {
+                    Some(p) => {
+                        i += p + 1;
+                        self.line_no += 1;
+                        self.mode = Mode::LineStart;
+                    }
+                    None => break,
+                },
+                Mode::Header => match chunk[i..].iter().position(|&b| b == b'\n') {
+                    Some(p) => {
+                        self.pending.extend_from_slice(&chunk[i..i + p]);
+                        i += p + 1;
+                        self.flush_header()?;
+                        self.line_no += 1;
+                        self.mode = Mode::LineStart;
+                    }
+                    None => {
+                        self.pending.extend_from_slice(&chunk[i..]);
+                        break;
+                    }
+                },
+                Mode::PercentToken => {
+                    while i < len && !chunk[i].is_ascii_whitespace() {
+                        self.pending.push(chunk[i]);
+                        i += 1;
+                    }
+                    if i == len {
+                        break;
+                    }
+                    if self.pending == b"%" {
+                        self.mode = Mode::PercentTail;
+                    } else {
+                        return Err(self.percent_error());
+                    }
+                }
+                Mode::PercentTail => {
+                    while i < len {
+                        let b = chunk[i];
+                        if b == b'\n' {
+                            self.done = true;
+                            return Ok(());
+                        }
+                        if !b.is_ascii_whitespace() {
+                            return Err(self.percent_error());
+                        }
+                        i += 1;
+                    }
+                }
+                Mode::Clause => self.scan_clause(chunk, &mut i)?,
+                Mode::ClauseToken => {
+                    while i < len && !chunk[i].is_ascii_whitespace() {
+                        self.pending.push(chunk[i]);
+                        i += 1;
+                    }
+                    if i == len {
+                        break;
+                    }
+                    self.flush_clause_token()?;
+                    self.mode = Mode::Clause;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The hot path: a fused skip-whitespace / lex-integer loop over the
+    /// chunk, no token slicing and no second scan per literal. Anything
+    /// the fast lexer cannot prove well-formed (no digits, > 19 digits,
+    /// trailing junk, out of `i64` range) drops to a cold path that
+    /// re-derives the token and defers to [`parse_i64`], so diagnostics
+    /// stay identical to the reference parser's.
+    fn scan_clause(&mut self, chunk: &[u8], i: &mut usize) -> Result<(), ParseDimacsError> {
+        let (declared_vars, _) = self.header.expect("clause scanning requires a header");
+        let declared_max = declared_vars as u64;
+        // Slice patterns instead of indexed access: the tail shrinks
+        // monotonically, so the compiler drops every per-byte bounds
+        // check from the hot loops below.
+        let mut tail = &chunk[*i..];
+        let mut at_line_start = false;
+        'tokens: loop {
+            loop {
+                match tail {
+                    [b' ', rest @ ..] => tail = rest,
+                    [b'\n', rest @ ..] => {
+                        tail = rest;
+                        self.line_no += 1;
+                        at_line_start = true;
+                    }
+                    [b, rest @ ..] if b.is_ascii_whitespace() => tail = rest,
+                    // Comment / header / `%` lines need the structural
+                    // dispatch; consecutive clause lines stay in here.
+                    [b'c' | b'p' | b'%', ..] if at_line_start => {
+                        self.mode = Mode::LineStart;
+                        break 'tokens;
+                    }
+                    [] => {
+                        if at_line_start {
+                            self.mode = Mode::LineStart;
+                        }
+                        break 'tokens;
+                    }
+                    _ => break,
+                }
+            }
+            at_line_start = false;
+            let token = tail;
+            let (negative, rest) = match tail {
+                [b'-', rest @ ..] => (true, rest),
+                [b'+', rest @ ..] => (false, rest),
+                _ => (false, tail),
+            };
+            tail = rest;
+            let digits_len = tail.len();
+            let mut magnitude: u64 = 0;
+            if let Some(&word) = tail.first_chunk::<8>() {
+                // SWAR: classify eight bytes at once and parse the digit
+                // prefix branchlessly. The per-byte loop's exit branch
+                // mispredicts on every literal (digit counts vary); this
+                // replaces it with one predictable `n < 8` test.
+                let x = u64::from_le_bytes(word) ^ 0x3030_3030_3030_3030;
+                let nondigit = ((x & 0x7f7f_7f7f_7f7f_7f7f).wrapping_add(0x7676_7676_7676_7676)
+                    | x)
+                    & 0x8080_8080_8080_8080;
+                let n = (nondigit.trailing_zeros() >> 3) as usize;
+                if n > 0 {
+                    if n < 8 {
+                        // Shift the digit lanes up; vacated low bytes are
+                        // zero lanes, i.e. leading zero digits.
+                        magnitude = parse_8_digit_lanes(x << ((8 - n) * 8));
+                        tail = &tail[n..];
+                    } else {
+                        magnitude = parse_8_digit_lanes(x);
+                        tail = &tail[8..];
+                        // 9+ digit literals are rare; finish per byte.
+                        while let [b, rest @ ..] = tail {
+                            let digit = b.wrapping_sub(b'0');
+                            if digit >= 10 {
+                                break;
+                            }
+                            magnitude = magnitude.wrapping_mul(10).wrapping_add(u64::from(digit));
+                            tail = rest;
+                        }
+                    }
+                }
+            } else {
+                // Near the end of the chunk: per-byte fallback.
+                while let [b, rest @ ..] = tail {
+                    let digit = b.wrapping_sub(b'0');
+                    if digit >= 10 {
+                        break;
+                    }
+                    magnitude = magnitude.wrapping_mul(10).wrapping_add(u64::from(digit));
+                    tail = rest;
+                }
+            }
+            let Some(&next) = tail.first() else {
+                // The token may continue in the next chunk.
+                self.pending.clear();
+                self.pending.extend_from_slice(token);
+                self.mode = Mode::ClauseToken;
+                break;
+            };
+            // ≤ 19 digits cannot wrap a u64, so `magnitude` is exact.
+            let digit_count = digits_len - tail.len();
+            let fast_ok = digit_count > 0
+                && digit_count <= 19
+                && next.is_ascii_whitespace()
+                && magnitude <= (1u64 << 63) - u64::from(!negative);
+            if fast_ok {
+                if magnitude == 0 {
+                    self.close_clause()?;
+                } else if magnitude <= declared_max {
+                    // The exact encoding `Lit::from_dimacs` produces
+                    // (`(var-1)*2 + sign`), minus its signed round trip.
+                    let code = ((magnitude as u32 - 1) << 1) | u32::from(negative);
+                    self.cnf.push_covered_lit(Lit::from_code(code as usize));
+                } else {
+                    return Err(ParseDimacsError::new(
+                        self.line_no,
+                        ParseDimacsErrorKind::VarOutOfRange {
+                            var: magnitude as u32,
+                            declared: declared_vars,
+                        },
+                    ));
+                }
+            } else {
+                let value = match token.iter().position(u8::is_ascii_whitespace) {
+                    Some(p) => {
+                        tail = &token[p..];
+                        parse_i64(&token[..p]).ok_or_else(|| self.invalid_literal(&token[..p]))?
+                    }
+                    None => {
+                        self.pending.clear();
+                        self.pending.extend_from_slice(token);
+                        self.mode = Mode::ClauseToken;
+                        tail = &[];
+                        break;
+                    }
+                };
+                self.emit(value)?;
+            }
+        }
+        *i = chunk.len() - tail.len();
+        Ok(())
+    }
+
+    /// Applies one lexed literal value: `0` closes the current clause,
+    /// anything else range-checks and collects. Only the cold lexer
+    /// paths route through here; `scan_clause` inlines the equivalent.
+    fn emit(&mut self, value: i64) -> Result<(), ParseDimacsError> {
+        if value == 0 {
+            return self.close_clause();
+        }
+        let (declared_vars, _) = self.header.expect("clause scanning requires a header");
+        let var = value.unsigned_abs();
+        if var as usize > declared_vars {
+            return Err(ParseDimacsError::new(
+                self.line_no,
+                ParseDimacsErrorKind::VarOutOfRange {
+                    var: var as u32,
+                    declared: declared_vars,
+                },
+            ));
+        }
+        self.cnf.push_covered_lit(Lit::from_dimacs(value));
+        Ok(())
+    }
+
+    fn close_clause(&mut self) -> Result<(), ParseDimacsError> {
+        let (_, declared_clauses) = self.header.expect("clause scanning requires a header");
+        if self.cnf.num_clauses() == declared_clauses {
+            return Err(ParseDimacsError::new(
+                self.line_no,
+                ParseDimacsErrorKind::TooManyClauses {
+                    declared: declared_clauses,
+                },
+            ));
+        }
+        // Literals were lexed straight into the formula's flat storage
+        // (each one range-checked against the declared count the header
+        // already ensured), so sealing the clause is a single index push:
+        // no per-clause allocation, copy, or `max_var` scan.
+        self.cnf.close_covered_clause();
+        Ok(())
+    }
+
+    fn invalid_literal(&self, token: &[u8]) -> ParseDimacsError {
+        ParseDimacsError::new(
+            self.line_no,
+            ParseDimacsErrorKind::InvalidLiteral(String::from_utf8_lossy(token).into_owned()),
+        )
+    }
+
+    /// Error for a line whose first token starts with `%` but which is
+    /// not the lone end-marker. The reference parser treats it as a
+    /// clause line: missing header first, invalid first token otherwise.
+    fn percent_error(&self) -> ParseDimacsError {
+        if self.header.is_none() {
+            ParseDimacsError::new(self.line_no, ParseDimacsErrorKind::MissingHeader)
+        } else {
+            self.invalid_literal(&self.pending)
+        }
+    }
+
+    fn flush_clause_token(&mut self) -> Result<(), ParseDimacsError> {
+        let token = std::mem::take(&mut self.pending);
+        let value = parse_i64(&token).ok_or_else(|| self.invalid_literal(&token))?;
+        self.pending = token;
+        self.pending.clear();
+        self.emit(value)
+    }
+
+    fn flush_header(&mut self) -> Result<(), ParseDimacsError> {
+        let line_no = self.line_no;
+        let line = self.pending.trim_ascii();
+        let malformed = || {
+            ParseDimacsError::new(
+                line_no,
+                ParseDimacsErrorKind::MalformedHeader(String::from_utf8_lossy(line).into_owned()),
+            )
+        };
+        // Exactly four whitespace-separated fields: `p cnf <vars> <clauses>`.
+        let mut fields: [&[u8]; 4] = [b""; 4];
+        let mut count = 0usize;
+        let mut rest = line;
+        loop {
+            rest = skip_ascii_whitespace(rest);
+            if rest.is_empty() {
+                break;
+            }
+            let token_len = rest
+                .iter()
+                .position(u8::is_ascii_whitespace)
+                .unwrap_or(rest.len());
+            let (token, tail) = rest.split_at(token_len);
+            rest = tail;
+            if count == 4 {
+                return Err(malformed());
+            }
+            fields[count] = token;
+            count += 1;
+        }
+        if count != 4 || fields[0] != b"p" || fields[1] != b"cnf" {
+            return Err(malformed());
+        }
+        let (Some(vars), Some(clauses)) = (parse_usize(fields[2]), parse_usize(fields[3])) else {
+            return Err(malformed());
+        };
+        self.header = Some((vars, clauses));
+        self.cnf.ensure_vars(vars);
+        // Bound the speculative reservations: the count is untrusted
+        // input until that many clauses actually parse. Literals are
+        // sized for the ~4-per-clause shape of typical inputs; larger
+        // clauses just grow the flat array normally.
+        self.cnf.reserve_clauses(clauses.min(1 << 20));
+        self.cnf.reserve_literals(clauses.min(1 << 20) * 4);
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// The line number `str::lines` iteration would have reported last,
+    /// used by end-of-input diagnostics.
+    fn last_line(&self) -> usize {
+        if self.done {
+            self.line_no
+        } else if !self.saw_any {
+            0
+        } else if self.ended_with_newline {
+            self.line_no - 1
+        } else {
+            self.line_no
+        }
+    }
+
+    fn finish(mut self) -> Result<Cnf, ParseDimacsError> {
+        match self.mode {
+            Mode::Header => self.flush_header()?,
+            Mode::PercentToken => {
+                if self.pending == b"%" {
+                    self.done = true;
+                } else {
+                    return Err(self.percent_error());
+                }
+            }
+            Mode::PercentTail => self.done = true,
+            Mode::ClauseToken => self.flush_clause_token()?,
+            Mode::LineStart | Mode::Comment | Mode::Clause => {}
+        }
+        let last_line = self.last_line();
+        if self.header.is_none() {
+            return Err(ParseDimacsError::new(
+                last_line.max(1),
+                ParseDimacsErrorKind::MissingHeader,
+            ));
+        }
+        if self.cnf.has_open_clause() {
+            return Err(ParseDimacsError::new(
+                last_line,
+                ParseDimacsErrorKind::UnterminatedClause,
+            ));
+        }
+        Ok(self.cnf)
+    }
+}
+
+/// Parses eight ASCII-digit lanes (already XORed with `'0'`, first digit
+/// in the lowest byte) into their decimal value, branch-free.
+///
+/// Pair-combines lanes: digits → two-digit pairs → four-digit groups →
+/// the full value. Each step's lane values stay below the lane width, so
+/// no cross-lane carries occur.
+#[inline]
+fn parse_8_digit_lanes(x: u64) -> u64 {
+    let pairs = x.wrapping_mul(10).wrapping_add(x >> 8) & 0x00ff_00ff_00ff_00ff;
+    let quads = pairs.wrapping_mul(100).wrapping_add(pairs >> 16) & 0x0000_ffff_0000_ffff;
+    (quads & 0xffff) * 10_000 + (quads >> 32)
+}
+
+fn skip_ascii_whitespace(mut s: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = s {
+        if !first.is_ascii_whitespace() {
+            break;
+        }
+        s = rest;
+    }
+    s
+}
+
+/// Hand-rolled signed-integer lexer matching `str::parse::<i64>`: an
+/// optional `+`/`-` sign, then one or more ASCII digits, nothing else;
+/// out-of-range magnitudes are rejected rather than wrapped.
+fn parse_i64(token: &[u8]) -> Option<i64> {
+    let (negative, digits) = match token {
+        [b'-', rest @ ..] => (true, rest),
+        [b'+', rest @ ..] => (false, rest),
+        _ => (false, token),
+    };
+    let magnitude = parse_u64(digits)?;
+    if negative {
+        // i64::MIN's magnitude is one past i64::MAX.
+        if magnitude > (1u64 << 63) {
+            return None;
+        }
+        Some((magnitude as i64).wrapping_neg())
+    } else {
+        i64::try_from(magnitude).ok()
+    }
+}
+
+fn parse_u64(digits: &[u8]) -> Option<u64> {
+    if digits.is_empty() {
+        return None;
+    }
+    let mut value: u64 = 0;
+    for &b in digits {
+        let digit = match b {
+            b'0'..=b'9' => u64::from(b - b'0'),
+            _ => return None,
+        };
+        value = value.checked_mul(10)?.checked_add(digit)?;
+    }
+    Some(value)
+}
+
+/// Unsigned counterpart used for header fields (`str::parse::<usize>`
+/// also accepts a leading `+`).
+fn parse_usize(token: &[u8]) -> Option<usize> {
+    let digits = match token {
+        [b'+', rest @ ..] => rest,
+        _ => token,
+    };
+    usize::try_from(parse_u64(digits)?).ok()
 }
 
 enum ReadError {
@@ -220,7 +826,7 @@ mod tests {
         let cnf = parse_str("c comment\np cnf 3 2\n1 -2 0\n3 0\n").unwrap();
         assert_eq!(cnf.num_vars(), 3);
         assert_eq!(cnf.num_clauses(), 2);
-        assert_eq!(cnf.clause(0).unwrap().literals().len(), 2);
+        assert_eq!(cnf.clause(0).unwrap().len(), 2);
     }
 
     #[test]
@@ -328,5 +934,151 @@ mod tests {
     fn parse_reader_reports_invalid_data() {
         let err = parse_reader(std::io::Cursor::new(b"garbage\n".to_vec())).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// Inputs covering every parser decision point, used to pin the byte
+    /// scanner to the line-oriented reference implementation.
+    const DIFFERENTIAL_INPUTS: &[&str] = &[
+        "",
+        "c nothing\n",
+        "c comment\np cnf 3 2\n1 -2 0\n3 0\n",
+        "p cnf 3 3\n1 2\n3 0 -1 0\n-2 -3 0\n",
+        "c a\n\np cnf 1 1\nc inner\n1 0\nc end\n",
+        "p cnf 1 1\n1 0\n%\n0\n",
+        "%\np cnf 1 1\n1 0\n",
+        "p cnf 1 1\n1 0\n  % \n",
+        "p cnf 1 1\n1 0\n% trailing\n",
+        "p cnf 1 1\n0\n",
+        "1 0\n",
+        "p cnf nope 2\n",
+        "p sat 1 1\n1 0\n",
+        "p cnf 1\n1 0\n",
+        "p  cnf\t1 1\n1 0\n",
+        "p cnf 1 1 extra\n1 0\n",
+        "p cnf +1 +1\n1 0\n",
+        "p cnf 1 1\n1 x 0\n",
+        "p cnf 1 1\n%foo\n1 0\n",
+        "p cnf 2 1\n1 2\n",
+        "p cnf 2 1\n3 0\n",
+        "p cnf 1 1\n1 0\n-1 0\n",
+        "p cnf 10 1\n1 0\n",
+        "p cnf 2 1\r\n1 -2 0\r\n",
+        "p cnf 2 1\n  1\t-2  0  \n",
+        "p cnf 2 1\n+1 -2 0\n",
+        "p cnf 2 1\n--1 0\n",
+        "p cnf 2 1\n1- 0\n",
+        "p cnf 2 1\n1.5 0\n",
+        "p cnf 2 1\n00000000000000000001 -2 0\n",
+        "p cnf 2 1\n9223372036854775808 0\n",
+        "p cnf 2 1\n-9223372036854775808 0\n",
+        "p cnf 2 1\n99999999999999999999999999 0\n",
+        "p cnf 2 1\n1 -2 0",
+        "p cnf 2 1\n1 -2 0\n\n\n",
+        "p cnf 2 2\n1 0\np cnf 2 2\n2 0\n",
+    ];
+
+    #[test]
+    fn scanner_matches_line_oriented_reference() {
+        for input in DIFFERENTIAL_INPUTS {
+            let scanner = parse_str(input);
+            let reference = parse_str_lines(input);
+            assert_eq!(
+                scanner, reference,
+                "parse_str and parse_str_lines disagree on {input:?}"
+            );
+        }
+    }
+
+    /// Feeds `input` to a [`ByteParser`] in `chunk`-byte pieces.
+    fn parse_chunked(input: &str, chunk: usize) -> Result<Cnf, ParseDimacsError> {
+        let mut parser = ByteParser::new();
+        for piece in input.as_bytes().chunks(chunk) {
+            parser.feed(piece)?;
+            if parser.done {
+                break;
+            }
+        }
+        parser.finish()
+    }
+
+    #[test]
+    fn chunked_feeding_matches_whole_text_at_any_boundary() {
+        // Force tokens, header lines and `%` markers to straddle chunk
+        // boundaries: every chunk size from pathological (1 byte) up
+        // must yield the same result as the single-chunk parse.
+        for input in DIFFERENTIAL_INPUTS {
+            let expected = parse_str(input);
+            for chunk in [1, 2, 3, 5, 7, 16, 64] {
+                assert_eq!(
+                    parse_chunked(input, chunk),
+                    expected,
+                    "chunk size {chunk} diverged on {input:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn long_clause_lines_span_chunk_boundaries() {
+        let mut text = String::from("p cnf 1000 1\n");
+        for v in 1..=1000 {
+            text.push_str(&format!("{} ", if v % 2 == 0 { -v } else { v }));
+        }
+        text.push_str("0\n");
+        let expected = parse_str(&text).unwrap();
+        for chunk in [1, 16, 4096] {
+            assert_eq!(parse_chunked(&text, chunk).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn crlf_line_endings_are_stripped() {
+        let cnf = parse_reader(std::io::Cursor::new(b"p cnf 2 1\r\n1 -2 0\r\n".to_vec())).unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clause(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn final_line_without_newline_is_parsed() {
+        let cnf = parse_reader(std::io::Cursor::new(b"p cnf 2 1\n1 -2 0".to_vec())).unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+
+    #[test]
+    fn integer_lexer_matches_str_parse() {
+        let tokens: &[&str] = &[
+            "0",
+            "1",
+            "-1",
+            "+7",
+            "007",
+            "-007",
+            "",
+            "-",
+            "+",
+            "--1",
+            "+-1",
+            "1-",
+            "1.5",
+            "x",
+            "9223372036854775807",
+            "-9223372036854775807",
+            "9223372036854775808",
+            "-9223372036854775808",
+            "-9223372036854775809",
+            "18446744073709551616",
+        ];
+        for token in tokens {
+            assert_eq!(
+                parse_i64(token.as_bytes()),
+                token.parse::<i64>().ok(),
+                "parse_i64 disagrees with str::parse on {token:?}"
+            );
+            assert_eq!(
+                parse_usize(token.as_bytes()),
+                token.parse::<usize>().ok(),
+                "parse_usize disagrees with str::parse on {token:?}"
+            );
+        }
     }
 }

@@ -63,7 +63,15 @@ impl fmt::Display for SatStatus {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Cnf {
     num_vars: usize,
-    clauses: Vec<Clause>,
+    /// Every clause's literals, concatenated in clause-ID order.
+    ///
+    /// Flat storage: one growable buffer instead of a heap allocation
+    /// per clause, so building a formula (e.g. in the DIMACS parser) is
+    /// allocation-free per clause and iteration is cache-friendly.
+    lits: Vec<Lit>,
+    /// End offset of clause `i` in `lits`; clause `i` spans
+    /// `ends[i - 1]..ends[i]`, with the start of clause 0 read as 0.
+    ends: Vec<usize>,
 }
 
 impl Cnf {
@@ -76,7 +84,8 @@ impl Cnf {
     pub fn with_vars(num_vars: usize) -> Self {
         Cnf {
             num_vars,
-            clauses: Vec::new(),
+            lits: Vec::new(),
+            ends: Vec::new(),
         }
     }
 
@@ -91,17 +100,17 @@ impl Cnf {
 
     /// Number of clauses.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.ends.len()
     }
 
     /// Returns `true` if the formula has no clauses.
     pub fn is_empty(&self) -> bool {
-        self.clauses.is_empty()
+        self.ends.is_empty()
     }
 
     /// Total number of literal occurrences across all clauses.
     pub fn num_literals(&self) -> usize {
-        self.clauses.iter().map(Clause::len).sum()
+        self.lits.len()
     }
 
     /// Allocates and returns a fresh variable.
@@ -123,20 +132,70 @@ impl Cnf {
         self.num_vars = self.num_vars.max(num_vars);
     }
 
+    /// Reserves capacity for at least `additional` more clauses.
+    ///
+    /// Lets callers that know the clause count up front (e.g. the DIMACS
+    /// parser, from the `p cnf` header) avoid repeated table growth.
+    pub fn reserve_clauses(&mut self, additional: usize) {
+        self.ends.reserve(additional);
+    }
+
+    /// Reserves capacity for at least `additional` more literals across
+    /// all future clauses.
+    pub fn reserve_literals(&mut self, additional: usize) {
+        self.lits.reserve(additional);
+    }
+
     /// Appends a clause and returns its ID (index).
     ///
     /// The variable count is extended to cover every literal in the clause.
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> usize {
-        self.push_clause(Clause::new(lits))
+        let start = self.lits.len();
+        self.lits.extend(lits);
+        let mut max_var = self.num_vars;
+        for lit in &self.lits[start..] {
+            max_var = max_var.max(lit.var().index() + 1);
+        }
+        self.num_vars = max_var;
+        self.ends.push(self.lits.len());
+        self.ends.len() - 1
     }
 
     /// Appends an already-built clause and returns its ID (index).
     pub fn push_clause(&mut self, clause: Clause) -> usize {
-        if let Some(max) = clause.max_var() {
-            self.ensure_vars(max.index() + 1);
-        }
-        self.clauses.push(clause);
-        self.clauses.len() - 1
+        self.add_clause(clause.literals().iter().copied())
+    }
+
+    /// Appends one literal to the clause currently being built directly
+    /// in the flat storage. The caller guarantees the variable is already
+    /// covered by [`Cnf::num_vars`] (the DIMACS parser range-checks every
+    /// literal against the declared count while lexing), so the per-literal
+    /// `max_var` scan of [`Cnf::add_clause`] is skipped. The clause does
+    /// not exist until [`Cnf::close_covered_clause`] seals it; a caller
+    /// that aborts mid-clause must not hand out the `Cnf`.
+    #[inline]
+    pub fn push_covered_lit(&mut self, lit: Lit) {
+        debug_assert!(
+            lit.var().index() < self.num_vars,
+            "push_covered_lit requires a literal within num_vars"
+        );
+        self.lits.push(lit);
+    }
+
+    /// Returns `true` if literals have been pushed with
+    /// [`Cnf::push_covered_lit`] since the last
+    /// [`Cnf::close_covered_clause`].
+    pub fn has_open_clause(&self) -> bool {
+        self.lits.len() > self.ends.last().copied().unwrap_or(0)
+    }
+
+    /// Seals the clause built up by [`Cnf::push_covered_lit`] calls and
+    /// returns its ID. Together with the flat storage this makes appending
+    /// a parsed clause allocation- and scan-free.
+    #[inline]
+    pub fn close_covered_clause(&mut self) -> usize {
+        self.ends.push(self.lits.len());
+        self.ends.len() - 1
     }
 
     /// Appends a clause given as signed DIMACS literals, returning its ID.
@@ -145,28 +204,35 @@ impl Cnf {
     ///
     /// Panics if any literal is zero.
     pub fn add_dimacs_clause(&mut self, lits: &[i64]) -> usize {
-        self.push_clause(Clause::from_dimacs(lits))
+        self.add_clause(lits.iter().map(|&l| Lit::from_dimacs(l)))
     }
 
-    /// The clauses, in ID order.
-    pub fn clauses(&self) -> &[Clause] {
-        &self.clauses
+    /// Iterates over the clauses as literal slices, in ID order.
+    pub fn clauses(&self) -> impl ExactSizeIterator<Item = &[Lit]> {
+        let mut start = 0usize;
+        self.ends.iter().map(move |&end| {
+            let clause = &self.lits[start..end];
+            start = end;
+            clause
+        })
     }
 
-    /// Returns the clause with the given ID, if it exists.
-    pub fn clause(&self, id: usize) -> Option<&Clause> {
-        self.clauses.get(id)
+    /// Returns the literals of the clause with the given ID, if it exists.
+    pub fn clause(&self, id: usize) -> Option<&[Lit]> {
+        let end = *self.ends.get(id)?;
+        let start = if id == 0 { 0 } else { self.ends[id - 1] };
+        Some(&self.lits[start..end])
     }
 
     /// Iterates over `(id, clause)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &Clause)> {
-        self.clauses.iter().enumerate()
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[Lit])> {
+        self.clauses().enumerate()
     }
 
     /// Returns `true` if some clause is empty (the formula is trivially
     /// unsatisfiable).
     pub fn has_empty_clause(&self) -> bool {
-        self.clauses.iter().any(Clause::is_empty)
+        self.clauses().any(|c| c.is_empty())
     }
 
     /// Evaluates the formula under a (possibly partial) assignment.
@@ -176,8 +242,8 @@ impl Cnf {
     /// otherwise.
     pub fn evaluate(&self, assignment: &Assignment) -> LBool {
         let mut undef = false;
-        for clause in &self.clauses {
-            match clause.evaluate(assignment) {
+        for clause in self.clauses() {
+            match crate::clause::evaluate_lits(clause, assignment) {
                 LBool::False => return LBool::False,
                 LBool::Undef => undef = true,
                 LBool::True => {}
@@ -203,7 +269,7 @@ impl Cnf {
     /// Useful for diagnosing an invalid model claimed by a buggy solver.
     pub fn falsified_clauses(&self, assignment: &Assignment) -> Vec<usize> {
         self.iter()
-            .filter(|(_, c)| c.evaluate(assignment) == LBool::False)
+            .filter(|(_, c)| crate::clause::evaluate_lits(c, assignment) == LBool::False)
             .map(|(id, _)| id)
             .collect()
     }
@@ -214,10 +280,8 @@ impl Cnf {
     /// header) from used variables; this returns the latter.
     pub fn num_used_vars(&self) -> usize {
         let mut used = vec![false; self.num_vars];
-        for clause in &self.clauses {
-            for lit in clause {
-                used[lit.var().index()] = true;
-            }
+        for lit in &self.lits {
+            used[lit.var().index()] = true;
         }
         used.iter().filter(|&&u| u).count()
     }
@@ -230,8 +294,9 @@ impl Cnf {
     pub fn subformula(&self, ids: impl IntoIterator<Item = usize>) -> Cnf {
         let mut sub = Cnf::with_vars(self.num_vars);
         for id in ids {
-            if let Some(c) = self.clauses.get(id) {
-                sub.clauses.push(c.clone());
+            if let Some(c) = self.clause(id) {
+                sub.lits.extend_from_slice(c);
+                sub.ends.push(sub.lits.len());
             }
         }
         sub
@@ -284,8 +349,8 @@ impl Extend<Clause> for Cnf {
 
 impl fmt::Display for Cnf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "p cnf {} {}", self.num_vars, self.clauses.len())?;
-        for clause in &self.clauses {
+        writeln!(f, "p cnf {} {}", self.num_vars, self.ends.len())?;
+        for clause in self.clauses() {
             for lit in clause {
                 write!(f, "{} ", lit.to_dimacs())?;
             }
@@ -384,8 +449,8 @@ mod tests {
         let sub = cnf.subformula([0, 2, 99]);
         assert_eq!(sub.num_clauses(), 2);
         assert_eq!(sub.num_vars(), cnf.num_vars());
-        assert!(sub.clause(0).unwrap().contains(Lit::from_dimacs(1)));
-        assert!(sub.clause(1).unwrap().contains(Lit::from_dimacs(-2)));
+        assert!(sub.clause(0).unwrap().contains(&Lit::from_dimacs(1)));
+        assert!(sub.clause(1).unwrap().contains(&Lit::from_dimacs(-2)));
     }
 
     #[test]

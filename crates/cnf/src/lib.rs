@@ -35,6 +35,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Shared read-buffer size for the toolkit's file readers, in bytes.
+///
+/// The DIMACS scanner and the trace readers (see `rescheck-trace`) refill
+/// from disk in blocks of this size. The old per-reader default was
+/// `BufReader`'s 8 KiB, which put a syscall roughly every 8 KiB of trace;
+/// Table-2-scale traces run to hundreds of megabytes, where a larger
+/// block measurably reduces read overhead while staying small enough to
+/// be irrelevant next to the checkers' accounted memory.
+pub const READ_BUFFER_BYTES: usize = 256 * 1024;
+
 mod assignment;
 mod clause;
 pub mod dimacs;
@@ -44,7 +54,7 @@ mod lit;
 mod prng;
 
 pub use assignment::{Assignment, LBool};
-pub use clause::Clause;
+pub use clause::{evaluate_lits, Clause};
 pub use error::ParseDimacsError;
 pub use formula::{Cnf, SatStatus};
 pub use lit::{Lit, Var};

@@ -106,7 +106,9 @@ fn formula_eval_is_conjunction_of_clauses() {
         let cnf = random_cnf(&mut rng, 8, 12);
         let bits = rng.below(256);
         let a = assignment_from_bits(8, bits);
-        let expected = cnf.clauses().iter().all(|c| c.evaluate(&a) == LBool::True);
+        let expected = cnf
+            .clauses()
+            .all(|c| rescheck_cnf::evaluate_lits(c, &a) == LBool::True);
         assert_eq!(cnf.is_satisfied_by(&a), expected, "seed {seed}");
     }
 }

@@ -161,7 +161,7 @@ impl Solver {
     pub fn add_formula(&mut self, cnf: &Cnf) {
         self.ensure_vars(cnf.num_vars());
         for clause in cnf.clauses() {
-            self.add_clause_internal(clause.clone());
+            self.add_clause_internal(Clause::new(clause.iter().copied()));
         }
     }
 

@@ -21,9 +21,9 @@ use std::io::{self, BufRead, Write};
 /// The 4-byte magic that starts every binary trace.
 pub const BINARY_MAGIC: [u8; 4] = *b"RTB1";
 
-const TAG_LEARNED: u8 = 0x01;
-const TAG_LEVEL_ZERO: u8 = 0x02;
-const TAG_FINAL: u8 = 0x03;
+pub(crate) const TAG_LEARNED: u8 = 0x01;
+pub(crate) const TAG_LEVEL_ZERO: u8 = 0x02;
+pub(crate) const TAG_FINAL: u8 = 0x03;
 
 /// Writes trace events in the binary format.
 ///

@@ -50,6 +50,87 @@ impl TraceEvent {
             TraceEvent::LevelZero { .. } => None,
         }
     }
+
+    /// Borrows this event as an [`EventRef`].
+    pub fn as_ref(&self) -> EventRef<'_> {
+        match self {
+            TraceEvent::Learned { id, sources } => EventRef::Learned {
+                id: *id,
+                sources: sources.as_slice(),
+            },
+            TraceEvent::LevelZero { lit, antecedent } => EventRef::LevelZero {
+                lit: *lit,
+                antecedent: *antecedent,
+            },
+            TraceEvent::FinalConflict { id } => EventRef::FinalConflict { id: *id },
+        }
+    }
+}
+
+/// A borrowed view of one trace record.
+///
+/// The streaming decoders hand out `EventRef`s whose `sources` slice
+/// aliases a buffer that is reused for the next record, so consumers that
+/// only need one event at a time (the checker's counting and resolution
+/// passes) pay zero heap allocations per event. Call
+/// [`EventRef::to_owned`] to detach a record worth keeping.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_trace::{EventRef, TraceEvent};
+///
+/// let owned = TraceEvent::Learned { id: 7, sources: vec![0, 2, 5] };
+/// let borrowed = owned.as_ref();
+/// assert_eq!(borrowed, EventRef::Learned { id: 7, sources: &[0, 2, 5] });
+/// assert_eq!(borrowed.to_owned(), owned);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventRef<'a> {
+    /// A learned clause was produced by resolving `sources[0]` with
+    /// `sources[1]`, the result with `sources[2]`, and so on.
+    Learned {
+        /// The ID assigned to the learned clause.
+        id: u64,
+        /// Resolve-source clause IDs, in resolution order. At least two.
+        sources: &'a [u64],
+    },
+    /// A variable was assigned at decision level 0.
+    LevelZero {
+        /// The literal that became **true** (its sign encodes the value).
+        lit: Lit,
+        /// The ID of the antecedent (unit) clause that implied it.
+        antecedent: u64,
+    },
+    /// The solver found this clause conflicting at decision level 0 and
+    /// concluded UNSAT.
+    FinalConflict {
+        /// The ID of the final conflicting clause.
+        id: u64,
+    },
+}
+
+impl EventRef<'_> {
+    /// Returns the clause ID this event defines or references at top level.
+    pub fn primary_id(&self) -> Option<u64> {
+        match self {
+            EventRef::Learned { id, .. } => Some(*id),
+            EventRef::FinalConflict { id } => Some(*id),
+            EventRef::LevelZero { .. } => None,
+        }
+    }
+
+    /// Copies the borrowed record into an owned [`TraceEvent`].
+    pub fn to_owned(&self) -> TraceEvent {
+        match *self {
+            EventRef::Learned { id, sources } => TraceEvent::Learned {
+                id,
+                sources: sources.to_vec(),
+            },
+            EventRef::LevelZero { lit, antecedent } => TraceEvent::LevelZero { lit, antecedent },
+            EventRef::FinalConflict { id } => TraceEvent::FinalConflict { id },
+        }
+    }
 }
 
 impl fmt::Display for TraceEvent {

@@ -55,6 +55,7 @@
 
 mod ascii;
 mod binary;
+mod block;
 mod event;
 mod random;
 mod sink;
@@ -64,7 +65,8 @@ pub mod varint;
 
 pub use ascii::{AsciiReader, AsciiWriter};
 pub use binary::{BinaryReader, BinaryWriter, BINARY_MAGIC};
-pub use event::TraceEvent;
+pub use block::{BlockDecoder, BlockEvents};
+pub use event::{EventRef, TraceEvent};
 pub use random::{OffsetEventsIter, RandomAccessTrace, TraceCursor};
 pub use sink::{CountingSink, MemorySink, NullSink, TeeSink, TraceSink};
 pub use snapshot::{TraceChunk, TraceSnapshot};

@@ -10,7 +10,7 @@
 //! dereferenceable through a [`TraceCursor`].
 
 use crate::{varint, FileTrace, MemorySink, TraceEvent, TraceFormat, TraceSource, BINARY_MAGIC};
-use rescheck_cnf::Lit;
+use rescheck_cnf::{Lit, READ_BUFFER_BYTES};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom};
 
@@ -226,7 +226,7 @@ impl TraceCursor for FileCursor {
 
 impl RandomAccessTrace for FileTrace {
     fn offset_events(&self) -> io::Result<OffsetEventsIter<'_>> {
-        let reader = BufReader::new(File::open(self.path())?);
+        let reader = BufReader::with_capacity(READ_BUFFER_BYTES, File::open(self.path())?);
         match self.format() {
             TraceFormat::Ascii => Ok(Box::new(AsciiOffsetIter {
                 reader,
@@ -254,6 +254,9 @@ impl RandomAccessTrace for FileTrace {
     }
 
     fn open_cursor(&self) -> io::Result<Box<dyn TraceCursor + '_>> {
+        // Deliberately the small default capacity: every `event_at` seek
+        // discards the buffer, so a large one would re-read far more than
+        // the single record being fetched.
         Ok(Box::new(FileCursor {
             reader: BufReader::new(File::open(self.path())?),
             format: self.format(),

@@ -1,6 +1,9 @@
 //! Re-iterable trace sources for checkers.
 
-use crate::{AsciiReader, BinaryReader, MemorySink, TraceEvent, BINARY_MAGIC};
+use crate::{
+    AsciiReader, BinaryReader, BlockDecoder, EventRef, MemorySink, TraceEvent, BINARY_MAGIC,
+};
+use rescheck_cnf::READ_BUFFER_BYTES;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
@@ -43,11 +46,54 @@ pub trait TraceSource {
     fn encoded_size(&self) -> Option<u64> {
         None
     }
+
+    /// Streams every event through `visit` as a borrowed [`EventRef`], in
+    /// emission order.
+    ///
+    /// This is the zero-copy counterpart of [`TraceSource::events_iter`]:
+    /// sources that can avoid it (in-memory slices, binary files through
+    /// [`BlockDecoder`]) hand out views into existing or reused storage
+    /// instead of allocating an owned [`TraceEvent`] per record. The
+    /// default implementation adapts `events_iter`, so implementing it is
+    /// optional.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/parse errors, and whatever error `visit` returns —
+    /// the traversal stops at the first `Err`.
+    fn visit_events(
+        &self,
+        visit: &mut dyn FnMut(EventRef<'_>) -> io::Result<()>,
+    ) -> io::Result<()> {
+        for event in self.events_iter()? {
+            let event = event?;
+            visit(event.as_ref())?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared zero-copy visit for sources backed by an event slice.
+fn visit_slice(
+    events: &[TraceEvent],
+    visit: &mut dyn FnMut(EventRef<'_>) -> io::Result<()>,
+) -> io::Result<()> {
+    for event in events {
+        visit(event.as_ref())?;
+    }
+    Ok(())
 }
 
 impl TraceSource for MemorySink {
     fn events_iter(&self) -> io::Result<Box<dyn Iterator<Item = io::Result<TraceEvent>> + '_>> {
         Ok(Box::new(self.events().iter().cloned().map(Ok)))
+    }
+
+    fn visit_events(
+        &self,
+        visit: &mut dyn FnMut(EventRef<'_>) -> io::Result<()>,
+    ) -> io::Result<()> {
+        visit_slice(self.events(), visit)
     }
 }
 
@@ -55,11 +101,25 @@ impl TraceSource for [TraceEvent] {
     fn events_iter(&self) -> io::Result<Box<dyn Iterator<Item = io::Result<TraceEvent>> + '_>> {
         Ok(Box::new(self.iter().cloned().map(Ok)))
     }
+
+    fn visit_events(
+        &self,
+        visit: &mut dyn FnMut(EventRef<'_>) -> io::Result<()>,
+    ) -> io::Result<()> {
+        visit_slice(self, visit)
+    }
 }
 
 impl TraceSource for Vec<TraceEvent> {
     fn events_iter(&self) -> io::Result<Box<dyn Iterator<Item = io::Result<TraceEvent>> + '_>> {
         Ok(Box::new(self.iter().cloned().map(Ok)))
+    }
+
+    fn visit_events(
+        &self,
+        visit: &mut dyn FnMut(EventRef<'_>) -> io::Result<()>,
+    ) -> io::Result<()> {
+        visit_slice(self, visit)
     }
 }
 
@@ -70,6 +130,13 @@ impl<T: TraceSource + ?Sized> TraceSource for &T {
 
     fn encoded_size(&self) -> Option<u64> {
         (**self).encoded_size()
+    }
+
+    fn visit_events(
+        &self,
+        visit: &mut dyn FnMut(EventRef<'_>) -> io::Result<()>,
+    ) -> io::Result<()> {
+        (**self).visit_events(visit)
     }
 }
 
@@ -133,15 +200,43 @@ impl FileTrace {
 
 impl TraceSource for FileTrace {
     fn events_iter(&self) -> io::Result<Box<dyn Iterator<Item = io::Result<TraceEvent>> + '_>> {
-        let reader = BufReader::new(File::open(&self.path)?);
+        let file = File::open(&self.path)?;
         match self.format {
-            TraceFormat::Ascii => Ok(Box::new(AsciiReader::new(reader))),
-            TraceFormat::Binary => Ok(Box::new(BinaryReader::new(reader)?)),
+            TraceFormat::Ascii => Ok(Box::new(AsciiReader::new(BufReader::with_capacity(
+                READ_BUFFER_BYTES,
+                file,
+            )))),
+            // The block decoder buffers internally, so the file handle is
+            // passed through unwrapped.
+            TraceFormat::Binary => Ok(Box::new(BlockDecoder::new(file)?.into_events())),
         }
     }
 
     fn encoded_size(&self) -> Option<u64> {
         std::fs::metadata(&self.path).ok().map(|m| m.len())
+    }
+
+    fn visit_events(
+        &self,
+        visit: &mut dyn FnMut(EventRef<'_>) -> io::Result<()>,
+    ) -> io::Result<()> {
+        match self.format {
+            // ASCII parsing allocates per line anyway; reuse the iterator.
+            TraceFormat::Ascii => {
+                for event in self.events_iter()? {
+                    let event = event?;
+                    visit(event.as_ref())?;
+                }
+                Ok(())
+            }
+            TraceFormat::Binary => {
+                let mut decoder = BlockDecoder::new(File::open(&self.path)?)?;
+                while let Some(event) = decoder.next_event()? {
+                    visit(event)?;
+                }
+                Ok(())
+            }
+        }
     }
 }
 
@@ -280,5 +375,73 @@ mod tests {
     #[test]
     fn missing_file_is_an_error() {
         assert!(FileTrace::open("/definitely/not/here.trace").is_err());
+    }
+
+    fn visit_all<S: TraceSource + ?Sized>(source: &S) -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        source
+            .visit_events(&mut |event| {
+                events.push(event.to_owned());
+                Ok(())
+            })
+            .unwrap();
+        events
+    }
+
+    #[test]
+    fn visit_events_matches_owned_iterator_on_all_sources() {
+        let events = sample();
+        let sink: MemorySink = events.clone().into();
+        assert_eq!(visit_all(&sink), events);
+        assert_eq!(visit_all(&events), events);
+        assert_eq!(visit_all(&events[..]), events);
+        assert_eq!(visit_all(&&events), events);
+
+        for (name, format) in [
+            ("visit.txt", TraceFormat::Ascii),
+            ("visit.rtb", TraceFormat::Binary),
+        ] {
+            let path = tmp_path(name);
+            let file = File::create(&path).unwrap();
+            match format {
+                TraceFormat::Ascii => {
+                    let mut w = AsciiWriter::new(file);
+                    for e in &events {
+                        w.event(e).unwrap();
+                    }
+                    w.flush().unwrap();
+                }
+                TraceFormat::Binary => {
+                    let mut w = BinaryWriter::new(file).unwrap();
+                    for e in &events {
+                        w.event(e).unwrap();
+                    }
+                    w.flush().unwrap();
+                }
+            }
+            let trace = FileTrace::open(&path).unwrap();
+            assert_eq!(trace.format(), format);
+            assert_eq!(visit_all(&trace), events, "{format:?}");
+            assert_eq!(collect_events(&trace).unwrap(), events, "{format:?}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn visit_events_stops_at_visitor_error() {
+        let events = sample();
+        let mut seen = 0usize;
+        let err = events
+            .visit_events(&mut |_| {
+                seen += 1;
+                if seen == 2 {
+                    Err(io::Error::other("stop here"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert_eq!(seen, 2);
+        assert_eq!(err.to_string(), "stop here");
     }
 }

@@ -61,7 +61,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut nets: Vec<usize> = core
         .to_subformula(cnf)
         .clauses()
-        .iter()
         .flat_map(|c| c.iter().map(|l| l.var().index() / tracks))
         .collect();
     nets.sort_unstable();

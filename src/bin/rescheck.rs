@@ -4,7 +4,7 @@
 //! ```text
 //! rescheck solve <file.cnf> [--trace <out>] [--binary] [--no-learning]
 //!                [--no-deletion] [--no-restarts]
-//! rescheck check <file.cnf> <trace> [--strategy df|bf|hybrid|portfolio|pbf]
+//! rescheck check <file.cnf> <trace> [--strategy df|bf|dfd|hybrid|portfolio|pbf]
 //!                [--mem-limit <bytes>] [--jobs <n>]
 //! rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
 //! rescheck gen   <family> [args…]        # writes DIMACS to stdout
@@ -59,11 +59,13 @@ rescheck — validate SAT solver results with a resolution-based checker
 USAGE:
   rescheck solve <file.cnf> [--trace <out>] [--binary]
                  [--no-learning] [--no-deletion] [--no-restarts]
-  rescheck check <file.cnf> <trace> [--strategy df|bf|hybrid|portfolio|pbf]
+  rescheck check <file.cnf> <trace> [--strategy df|bf|dfd|hybrid|portfolio|pbf]
                  [--mem-limit <bytes>] [--jobs <n>]
-                 (portfolio races df against bf on two threads; pbf is
-                 breadth-first with <n> counting workers and a pipelined
-                 resolution pass — --jobs 0 = auto)
+                 (dfd is depth-first with the trace left on disk — same
+                 verdict, core and resolution stats as df under a far
+                 smaller memory budget; portfolio races df against bf on
+                 two threads; pbf is breadth-first with <n> counting
+                 workers and a pipelined resolution pass — --jobs 0 = auto)
   rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
   rescheck trim  <file.cnf> <trace> --out <trimmed> [--binary]
   rescheck stats <file.cnf> <trace>
@@ -77,7 +79,9 @@ Observability (solve, check, core, trim, stats):
   --metrics <out.json>   write phase timers, counters and gauges as
                          rescheck-metrics-v1 JSON; check gauges include
                          the resolution hot path (check.kernel.*,
-                         check.arena.*)
+                         check.arena.*), input sizes (io.cnf.bytes,
+                         io.trace.bytes) and, under --strategy dfd, the
+                         disk-access accounting (check.dfd.*)
   --progress             stream heartbeat lines to stderr; tune with
                          RESCHECK_LOG=level[,heartbeat-conflicts=N]
                          [,heartbeat-events=M][,interval-ms=T]
@@ -280,8 +284,11 @@ fn cmd_check(rest: &[String]) -> CliResult {
         Some("hybrid") => Strategy::Hybrid,
         Some("portfolio") => Strategy::Portfolio,
         Some("pbf" | "parallel-bf") => Strategy::ParallelBf,
+        Some("dfd" | "disk-df") => Strategy::DiskDepthFirst,
         Some(other) => {
-            return Err(format!("unknown strategy {other:?} (df|bf|hybrid|portfolio|pbf)").into())
+            return Err(
+                format!("unknown strategy {other:?} (df|bf|dfd|hybrid|portfolio|pbf)").into(),
+            )
         }
     };
     let memory_limit = take_opt(&mut args, "--mem-limit")?
@@ -298,6 +305,18 @@ fn cmd_check(rest: &[String]) -> CliResult {
     let cnf = dimacs::read_file(cnf_path)?;
     let trace = FileTrace::open(trace_path)?;
     parse.finish(&mut obs);
+    if let Ok(meta) = std::fs::metadata(cnf_path) {
+        obs.observe(&Event::GaugeSet {
+            name: "io.cnf.bytes",
+            value: meta.len() as f64,
+        });
+    }
+    if let Ok(meta) = std::fs::metadata(trace_path) {
+        obs.observe(&Event::GaugeSet {
+            name: "io.trace.bytes",
+            value: meta.len() as f64,
+        });
+    }
     let config = CheckConfig {
         memory_limit,
         jobs,
