@@ -11,6 +11,39 @@ use std::error::Error;
 use std::fmt;
 use std::io;
 
+/// Coarse classification of a [`CheckError`], for callers that need to
+/// know *why* a check failed without matching every variant — the CLI
+/// maps each kind to a distinct process exit code, and the fuzz harness
+/// asserts that corrupted traces always land in
+/// [`FailureKind::ProofDefect`], never a panic and never a
+/// misclassified I/O or resource error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The claimed proof is wrong: a resolution step failed, a clause
+    /// reference dangles, the trace is malformed or truncated, etc.
+    /// The solver (or its trace generation) should be considered buggy.
+    ProofDefect,
+    /// A configured resource budget was exhausted before a verdict; the
+    /// proof itself was neither validated nor refuted.
+    ResourceLimit,
+    /// The trace could not be read for environmental reasons (missing
+    /// file, permission, device error) — says nothing about the proof.
+    Io,
+    /// The check was cancelled cooperatively before reaching a verdict.
+    Cancelled,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::ProofDefect => f.write_str("proof-defect"),
+            FailureKind::ResourceLimit => f.write_str("resource-limit"),
+            FailureKind::Io => f.write_str("io-error"),
+            FailureKind::Cancelled => f.write_str("cancelled"),
+        }
+    }
+}
+
 /// Why a clause failed the antecedent validity check.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BadAntecedentReason {
@@ -148,6 +181,28 @@ pub enum CheckError {
     /// e.g. because another racer of a checking portfolio already
     /// succeeded. Not a statement about the trace's validity.
     Cancelled,
+}
+
+impl CheckError {
+    /// Classifies this error into a [`FailureKind`].
+    ///
+    /// Malformed trace *content* (decode failures surfacing as
+    /// [`io::ErrorKind::InvalidData`] or [`io::ErrorKind::UnexpectedEof`])
+    /// counts as a proof defect: the bytes exist but do not encode a
+    /// checkable proof. Every other I/O failure is environmental.
+    pub fn kind(&self) -> FailureKind {
+        match self {
+            CheckError::Trace(e) => match e.kind() {
+                io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof => {
+                    FailureKind::ProofDefect
+                }
+                _ => FailureKind::Io,
+            },
+            CheckError::MemoryLimitExceeded { .. } => FailureKind::ResourceLimit,
+            CheckError::Cancelled => FailureKind::Cancelled,
+            _ => FailureKind::ProofDefect,
+        }
+    }
 }
 
 impl fmt::Display for CheckError {
@@ -292,6 +347,38 @@ mod tests {
             };
             assert!(e.to_string().contains("#5"));
         }
+    }
+
+    #[test]
+    fn failure_kinds_classify() {
+        assert_eq!(CheckError::NoFinalConflict.kind(), FailureKind::ProofDefect);
+        assert_eq!(
+            CheckError::UnknownClause {
+                id: 1,
+                referenced_by: None
+            }
+            .kind(),
+            FailureKind::ProofDefect
+        );
+        assert_eq!(
+            CheckError::MemoryLimitExceeded {
+                limit: 10,
+                required: 20
+            }
+            .kind(),
+            FailureKind::ResourceLimit
+        );
+        assert_eq!(CheckError::Cancelled.kind(), FailureKind::Cancelled);
+        // Malformed trace bytes are a proof defect…
+        let bad = CheckError::Trace(io::Error::new(io::ErrorKind::InvalidData, "bad varint"));
+        assert_eq!(bad.kind(), FailureKind::ProofDefect);
+        let trunc = CheckError::Trace(io::Error::new(io::ErrorKind::UnexpectedEof, "cut"));
+        assert_eq!(trunc.kind(), FailureKind::ProofDefect);
+        // …but an unreadable file is environmental.
+        let env = CheckError::Trace(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert_eq!(env.kind(), FailureKind::Io);
+        assert_eq!(FailureKind::Io.to_string(), "io-error");
+        assert_eq!(FailureKind::ProofDefect.to_string(), "proof-defect");
     }
 
     #[test]

@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agreement;
 mod api;
 mod arena;
 mod breadth_first;
@@ -85,7 +86,7 @@ pub use api::{
 };
 pub use cancel::CancelFlag;
 pub use core_min::{minimize_core, CoreIteration, CoreMinimization, MinimizeError};
-pub use error::{BadAntecedentReason, CheckError};
+pub use error::{BadAntecedentReason, CheckError, FailureKind};
 pub use kernel::{KernelStats, ResolutionKernel};
 pub use memory::MemoryMeter;
 pub use outcome::{CheckOutcome, CheckStats, UnsatCore};

@@ -1,0 +1,223 @@
+//! Repro artifacts: what a finding leaves on disk.
+//!
+//! Each finding becomes a `case-<iteration>-<kind>/` directory holding
+//! everything needed to replay it without the fuzzer:
+//!
+//! * `input.cnf` — the (shrunk) formula in DIMACS;
+//! * `trace.rt` — the (shrunk) binary resolve trace, for trace-level
+//!   findings;
+//! * `repro.json` — machine-readable metadata: campaign seed, iteration,
+//!   per-iteration seed, oracle kind, detail, generator recipe, solver
+//!   knobs, shrink statistics, and a replay hint.
+//!
+//! Every byte written is a pure function of the finding, so nightly CI
+//! can diff artifacts across runs and identical seeds upload identical
+//! repro bundles.
+
+use crate::oracle::Finding;
+use crate::shrink::ShrunkFinding;
+use rescheck_obs::Json;
+use rescheck_trace::{BinaryWriter, TraceEvent, TraceSink};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Where a finding's artifact landed.
+#[derive(Clone, Debug)]
+pub struct ArtifactPaths {
+    /// The case directory.
+    pub dir: PathBuf,
+    /// `input.cnf` inside it.
+    pub cnf: PathBuf,
+    /// `trace.rt`, when the finding has trace evidence.
+    pub trace: Option<PathBuf>,
+    /// `repro.json` inside it.
+    pub repro: PathBuf,
+}
+
+fn write_binary_trace(path: &Path, events: &[TraceEvent]) -> io::Result<()> {
+    let file = fs::File::create(path)?;
+    let mut w = BinaryWriter::new(io::BufWriter::new(file))?;
+    for e in events {
+        w.event(e)?;
+    }
+    w.flush()
+}
+
+/// Writes the repro bundle for `finding` (as reduced to `shrunk`) under
+/// `root`, returning the paths. The case directory is
+/// `case-<iteration>-<kind>`; an existing directory is overwritten so
+/// re-running a campaign is idempotent.
+pub fn write_repro(
+    root: &Path,
+    campaign_seed: u64,
+    finding: &Finding,
+    shrunk: &ShrunkFinding,
+) -> io::Result<ArtifactPaths> {
+    let dir = root.join(format!(
+        "case-{:04}-{}",
+        finding.iteration,
+        finding.kind.label()
+    ));
+    fs::create_dir_all(&dir)?;
+
+    let cnf_path = dir.join("input.cnf");
+    rescheck_cnf::dimacs::write_file(&cnf_path, &shrunk.cnf)?;
+
+    let trace_path = match &shrunk.events {
+        Some(events) => {
+            let p = dir.join("trace.rt");
+            write_binary_trace(&p, events)?;
+            Some(p)
+        }
+        None => None,
+    };
+
+    let mut shrink = Json::object();
+    shrink
+        .set("unit", shrunk.stats.unit)
+        .set("from", shrunk.stats.from)
+        .set("to", shrunk.stats.to)
+        .set("tests", shrunk.stats.tests);
+
+    let replay = match &trace_path {
+        Some(_) => "rescheck check input.cnf trace.rt --strategy bf".to_string(),
+        None => format!(
+            "rescheck solve input.cnf --trace repro.rt && \
+             rescheck check input.cnf repro.rt # solver knobs: {}",
+            finding.choices.tag()
+        ),
+    };
+
+    let mut doc = Json::object();
+    doc.set("schema", "rescheck-repro-v1")
+        .set("campaign_seed", finding_seed_hex(campaign_seed))
+        .set("iteration", finding.iteration)
+        .set("iter_seed", finding_seed_hex(finding.iter_seed))
+        .set("kind", finding.kind.label())
+        .set("detail", finding.detail.clone())
+        .set("recipe", finding.recipe.to_json())
+        .set("solver", finding.choices.to_json())
+        .set("shrink", shrink)
+        .set("replay", replay);
+
+    let repro_path = dir.join("repro.json");
+    fs::write(&repro_path, doc.to_pretty_string())?;
+
+    Ok(ArtifactPaths {
+        dir,
+        cnf: cnf_path,
+        trace: trace_path,
+        repro: repro_path,
+    })
+}
+
+/// Seeds are rendered as fixed-width hex so artifacts diff cleanly and
+/// never lose precision to a JSON number parser.
+fn finding_seed_hex(seed: u64) -> String {
+    format!("{seed:#018x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::FindingKind;
+    use crate::recipe::{Recipe, SolverChoices};
+    use crate::shrink::ShrinkStats;
+    use rescheck_cnf::Cnf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rescheck-fuzz-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_finding(events: Option<Vec<TraceEvent>>) -> Finding {
+        let mut cnf = Cnf::with_vars(2);
+        cnf.add_dimacs_clause(&[1, 2]);
+        cnf.add_dimacs_clause(&[-1]);
+        cnf.add_dimacs_clause(&[-2]);
+        Finding {
+            kind: match events {
+                Some(_) => FindingKind::MutantOracle(rescheck_trace::Mutation::BitFlip),
+                None => FindingKind::StrategyDisagreement,
+            },
+            detail: "test detail".to_string(),
+            iteration: 7,
+            iter_seed: 0xABCD,
+            recipe: Recipe::Pigeonhole { holes: 2 },
+            choices: SolverChoices {
+                learning: true,
+                deletion: false,
+                restarts: true,
+                minimize: false,
+                phase_saving: true,
+            },
+            cnf,
+            events,
+        }
+    }
+
+    #[test]
+    fn writes_instance_bundle() {
+        let root = tmp_dir("inst");
+        let finding = sample_finding(None);
+        let shrunk = ShrunkFinding {
+            cnf: finding.cnf.clone(),
+            events: None,
+            stats: ShrinkStats {
+                from: 3,
+                to: 3,
+                tests: 0,
+                unit: "clauses",
+            },
+        };
+        let paths = write_repro(&root, 42, &finding, &shrunk).unwrap();
+        assert!(paths.cnf.is_file());
+        assert!(paths.trace.is_none());
+        let json = fs::read_to_string(&paths.repro).unwrap();
+        assert!(json.contains("rescheck-repro-v1"));
+        assert!(json.contains("strategy-disagreement"));
+        assert!(json.contains("0x000000000000002a"));
+        assert!(paths.dir.ends_with("case-0007-strategy-disagreement"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn writes_trace_bundle_and_is_deterministic() {
+        let root = tmp_dir("trace");
+        let events = vec![
+            TraceEvent::Learned {
+                id: 3,
+                sources: vec![0, 1],
+            },
+            TraceEvent::FinalConflict { id: 3 },
+        ];
+        let finding = sample_finding(Some(events.clone()));
+        let shrunk = ShrunkFinding {
+            cnf: finding.cnf.clone(),
+            events: Some(events),
+            stats: ShrinkStats {
+                from: 2,
+                to: 2,
+                tests: 1,
+                unit: "events",
+            },
+        };
+        let a = write_repro(&root, 1, &finding, &shrunk).unwrap();
+        let first = (
+            fs::read(&a.cnf).unwrap(),
+            fs::read(a.trace.as_ref().unwrap()).unwrap(),
+            fs::read(&a.repro).unwrap(),
+        );
+        let b = write_repro(&root, 1, &finding, &shrunk).unwrap();
+        let second = (
+            fs::read(&b.cnf).unwrap(),
+            fs::read(b.trace.as_ref().unwrap()).unwrap(),
+            fs::read(&b.repro).unwrap(),
+        );
+        assert_eq!(first, second);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

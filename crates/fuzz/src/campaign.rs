@@ -1,0 +1,301 @@
+//! The campaign driver: a seeded loop of oracle iterations with
+//! deterministic logging, shrinking, and artifact emission.
+//!
+//! Everything a campaign prints or writes is a pure function of its
+//! [`CampaignConfig`] — no wall-clock, no global state, no platform
+//! dependence — so `--seed S --iters N` replays byte-for-byte on any
+//! machine. The [`CampaignOutcome::digest`] folds the log into a single
+//! u64 that CI compares across runs to enforce exactly that.
+
+use crate::artifact::write_repro;
+use crate::oracle::{mix, run_iteration, IterationCounters, OracleConfig};
+use crate::shrink::{shrink_finding, ShrinkStats};
+use rescheck_obs::{Event, Observer};
+use std::io;
+use std::path::PathBuf;
+
+/// Campaign-level knobs, layered over the per-iteration
+/// [`OracleConfig`].
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// The campaign seed; every iteration seed derives from it.
+    pub seed: u64,
+    /// Iterations to run.
+    pub iterations: u64,
+    /// Per-iteration oracle knobs.
+    pub oracle: OracleConfig,
+    /// Evaluation budget per finding for the delta debugger.
+    pub shrink_budget: usize,
+    /// Where repro bundles go (`None` disables artifact writing).
+    pub artifact_dir: Option<PathBuf>,
+    /// Stop after this many findings.
+    pub max_findings: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 1,
+            iterations: 100,
+            oracle: OracleConfig::default(),
+            shrink_budget: 400,
+            artifact_dir: None,
+            max_findings: 1,
+        }
+    }
+}
+
+/// One shrunk, recorded finding.
+#[derive(Debug)]
+pub struct FindingReport {
+    /// Oracle kind label (`strategy-disagreement`, `mutant-bit-flip`, …).
+    pub kind: String,
+    /// Human-readable description of the violation.
+    pub detail: String,
+    /// Iteration that found it.
+    pub iteration: u64,
+    /// Shrink statistics.
+    pub shrink: ShrinkStats,
+    /// Case directory, when artifacts were written.
+    pub case_dir: Option<PathBuf>,
+}
+
+/// What a campaign did.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The campaign seed.
+    pub seed: u64,
+    /// Iterations actually run (may stop early on `max_findings`).
+    pub iterations_run: u64,
+    /// Aggregated counters.
+    pub counters: IterationCounters,
+    /// Shrunk findings, in discovery order.
+    pub findings: Vec<FindingReport>,
+    /// The deterministic campaign log, one line per iteration plus one
+    /// per finding.
+    pub log: Vec<String>,
+}
+
+impl CampaignOutcome {
+    /// `true` when the campaign found no oracle violations.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// FNV-1a 64 over the log lines: the determinism fingerprint CI
+    /// compares across runs of the same seed.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for line in &self.log {
+            for b in line.bytes().chain(std::iter::once(b'\n')) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    }
+
+    /// A deterministic multi-line summary (no timings).
+    pub fn summary(&self) -> String {
+        let c = &self.counters;
+        let mut s = String::new();
+        s.push_str(&format!(
+            "campaign seed={:#018x} iterations={}\n",
+            self.seed, self.iterations_run
+        ));
+        s.push_str(&format!(
+            "verdicts: sat={} unsat={} unknown={}\n",
+            c.sat, c.unsat, c.unknown
+        ));
+        s.push_str(&format!("strategy matrices: {}\n", c.matrices));
+        s.push_str(&format!(
+            "mutants: tested={} rejected-decode={} rejected-check={} accepted={} inapplicable={}\n",
+            c.mutants_tested,
+            c.mutants_rejected_decode,
+            c.mutants_rejected_check,
+            c.mutants_accepted,
+            c.mutants_inapplicable
+        ));
+        s.push_str(&format!(
+            "findings: {} (digest {:#018x})\n",
+            self.findings.len(),
+            self.digest()
+        ));
+        for f in &self.findings {
+            s.push_str(&format!(
+                "  iter {:04} {}: {} [shrunk {} -> {} {} in {} tests]\n",
+                f.iteration,
+                f.kind,
+                f.detail,
+                f.shrink.from,
+                f.shrink.to,
+                f.shrink.unit,
+                f.shrink.tests
+            ));
+        }
+        s
+    }
+}
+
+/// Runs a fuzzing campaign, streaming `fuzz.*` metrics through `obs`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from artifact writing only — the oracle
+/// itself is in-memory and infallible.
+pub fn run_campaign(cfg: &CampaignConfig, obs: &mut dyn Observer) -> io::Result<CampaignOutcome> {
+    let mut log = Vec::new();
+    let mut counters = IterationCounters::default();
+    let mut findings = Vec::new();
+    let mut iterations_run = 0u64;
+
+    for i in 0..cfg.iterations {
+        let iter_seed = mix(cfg.seed, i);
+        let report = run_iteration(i, iter_seed, &cfg.oracle);
+        iterations_run += 1;
+        counters.add(&report.counters);
+        log.push(report.line);
+        obs.observe(&Event::CounterAdd {
+            name: "fuzz.iterations",
+            delta: 1,
+        });
+        obs.observe(&Event::Progress {
+            phase: "fuzz",
+            done: iterations_run,
+            unit: "iterations",
+            detail: None,
+        });
+
+        if let Some(finding) = report.finding {
+            let shrunk = shrink_finding(&finding, &cfg.oracle, cfg.shrink_budget);
+            let case_dir = match &cfg.artifact_dir {
+                Some(root) => Some(write_repro(root, cfg.seed, &finding, &shrunk)?.dir),
+                None => None,
+            };
+            log.push(format!(
+                "finding iter {:04} {}: {} [shrunk {} -> {} {} in {} tests]",
+                finding.iteration,
+                finding.kind.label(),
+                finding.detail,
+                shrunk.stats.from,
+                shrunk.stats.to,
+                shrunk.stats.unit,
+                shrunk.stats.tests
+            ));
+            obs.observe(&Event::CounterAdd {
+                name: "fuzz.findings",
+                delta: 1,
+            });
+            findings.push(FindingReport {
+                kind: finding.kind.label(),
+                detail: finding.detail,
+                iteration: finding.iteration,
+                shrink: shrunk.stats,
+                case_dir,
+            });
+            if findings.len() >= cfg.max_findings {
+                break;
+            }
+        }
+    }
+
+    for (name, value) in [
+        ("fuzz.sat", counters.sat),
+        ("fuzz.unsat", counters.unsat),
+        ("fuzz.unknown", counters.unknown),
+        ("fuzz.matrices", counters.matrices),
+        ("fuzz.mutants_tested", counters.mutants_tested),
+        (
+            "fuzz.mutants_rejected_decode",
+            counters.mutants_rejected_decode,
+        ),
+        (
+            "fuzz.mutants_rejected_check",
+            counters.mutants_rejected_check,
+        ),
+        ("fuzz.mutants_accepted", counters.mutants_accepted),
+        ("fuzz.mutants_inapplicable", counters.mutants_inapplicable),
+    ] {
+        obs.observe(&Event::CounterAdd { name, delta: value });
+    }
+    obs.observe(&Event::GaugeSet {
+        name: "fuzz.findings_total",
+        value: findings.len() as f64,
+    });
+
+    Ok(CampaignOutcome {
+        seed: cfg.seed,
+        iterations_run,
+        counters,
+        findings,
+        log,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::InjectedBug;
+    use rescheck_obs::{MetricsSink, NullObserver};
+
+    fn small(seed: u64, iterations: u64) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            iterations,
+            oracle: OracleConfig {
+                max_vars: 14,
+                ..OracleConfig::default()
+            },
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_campaign_has_no_findings() {
+        let outcome = run_campaign(&small(0x5EED, 25), &mut NullObserver).unwrap();
+        assert!(outcome.clean(), "summary:\n{}", outcome.summary());
+        assert_eq!(outcome.iterations_run, 25);
+        assert_eq!(outcome.log.len(), 25);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let a = run_campaign(&small(0xD00D, 20), &mut NullObserver).unwrap();
+        let b = run_campaign(&small(0xD00D, 20), &mut NullObserver).unwrap();
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.summary(), b.summary());
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run_campaign(&small(1, 20), &mut NullObserver).unwrap();
+        let b = run_campaign(&small(2, 20), &mut NullObserver).unwrap();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn injected_bug_stops_at_max_findings() {
+        let mut cfg = small(0xFEED, 200);
+        cfg.oracle.inject = Some(InjectedBug::RejectValid);
+        cfg.max_findings = 1;
+        let outcome = run_campaign(&cfg, &mut NullObserver).unwrap();
+        assert_eq!(outcome.findings.len(), 1);
+        assert!(outcome.iterations_run < 200);
+        let f = &outcome.findings[0];
+        assert_eq!(f.kind, "strategy-disagreement");
+        assert!(f.shrink.to <= f.shrink.from);
+        assert!(!outcome.clean());
+    }
+
+    #[test]
+    fn metrics_flow_through_observer() {
+        let mut sink = MetricsSink::new();
+        let outcome = run_campaign(&small(0x0B5, 10), &mut sink).unwrap();
+        assert_eq!(outcome.iterations_run, 10);
+        let doc = sink.registry().to_json().to_pretty_string();
+        assert!(doc.contains("fuzz.iterations"), "{doc}");
+        assert!(doc.contains("fuzz.findings_total"), "{doc}");
+    }
+}

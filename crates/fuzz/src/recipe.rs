@@ -1,0 +1,368 @@
+//! Seeded instance recipes: what one fuzz iteration generates.
+
+use rescheck_cnf::{Cnf, SatStatus, SplitMix64};
+use rescheck_obs::Json;
+use rescheck_solver::SolverConfig;
+use rescheck_workloads::{parity, pigeonhole, random_ksat, routing};
+use std::fmt;
+
+/// A reproducible description of one generated instance.
+///
+/// The recipe — not the formula — is what a repro artifact records: it is
+/// tiny, diffable, and rebuilding it with [`Recipe::build`] yields the
+/// exact same CNF on any machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Recipe {
+    /// Uniform random k-SAT via [`random_ksat::formula`].
+    RandomKSat {
+        /// Variable count.
+        vars: usize,
+        /// Clause count.
+        clauses: usize,
+        /// Clause width.
+        k: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Mixed-width random clauses (units through quaternary), the
+    /// shape that exercises level-0 propagation and short conflicts.
+    ClauseSoup {
+        /// Variable count.
+        vars: usize,
+        /// Clause count.
+        clauses: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Pigeonhole principle (always UNSAT).
+    Pigeonhole {
+        /// Number of holes (pigeons = holes + 1).
+        holes: usize,
+    },
+    /// Chained parity constraints (always UNSAT).
+    Parity {
+        /// Chain length.
+        n: usize,
+    },
+    /// Over-congested FPGA channel routing (always UNSAT).
+    Routing {
+        /// Track count.
+        tracks: usize,
+        /// Easy (non-conflicting) nets added around the congestion.
+        easy: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl Recipe {
+    /// Draws a random recipe, biased toward the random families that
+    /// explore the most solver behaviours. `max_vars` bounds the
+    /// variable count so iterations stay fast and brute-force
+    /// cross-checking stays feasible on the small end.
+    pub fn sample(rng: &mut SplitMix64, max_vars: usize) -> Recipe {
+        let max_vars = max_vars.max(8);
+        match rng.below(10) {
+            // 40%: uniform k-SAT around and above the phase transition.
+            0..=3 => {
+                let vars = rng.range_usize(5..max_vars);
+                let k = if vars > 3 && rng.gen_bool(0.25) { 2 } else { 3 };
+                let ratio = 3.0 + rng.next_f64() * 3.5; // 3.0 .. 6.5
+                let clauses = ((vars as f64 * ratio) as usize).max(k + 1);
+                Recipe::RandomKSat {
+                    vars,
+                    clauses,
+                    k,
+                    seed: rng.next_u64(),
+                }
+            }
+            // 30%: mixed-width soup.
+            4..=6 => {
+                let vars = rng.range_usize(4..max_vars);
+                let clauses = rng.range_usize(vars * 2..vars * 7);
+                Recipe::ClauseSoup {
+                    vars,
+                    clauses,
+                    seed: rng.next_u64(),
+                }
+            }
+            7 => Recipe::Pigeonhole {
+                holes: rng.range_usize(2..6),
+            },
+            8 => Recipe::Parity {
+                n: rng.range_usize(3..14),
+            },
+            _ => Recipe::Routing {
+                tracks: rng.range_usize(2..5),
+                easy: rng.range_usize(0..4),
+                seed: rng.next_u64(),
+            },
+        }
+    }
+
+    /// Builds the formula, together with its status known by
+    /// construction (`None` for the random families).
+    pub fn build(&self) -> (Cnf, Option<SatStatus>) {
+        match *self {
+            Recipe::RandomKSat {
+                vars,
+                clauses,
+                k,
+                seed,
+            } => (random_ksat::formula(vars, clauses, k, seed), None),
+            Recipe::ClauseSoup {
+                vars,
+                clauses,
+                seed,
+            } => (clause_soup(vars, clauses, seed), None),
+            Recipe::Pigeonhole { holes } => {
+                let inst = pigeonhole::instance(holes);
+                (inst.cnf, inst.expected)
+            }
+            Recipe::Parity { n } => {
+                let inst = parity::chained_parity(n);
+                (inst.cnf, inst.expected)
+            }
+            Recipe::Routing { tracks, easy, seed } => {
+                let inst = routing::congested_channel(tracks, easy, seed);
+                (inst.cnf, inst.expected)
+            }
+        }
+    }
+
+    /// The recipe as a JSON object for `repro.json`.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::object();
+        match *self {
+            Recipe::RandomKSat {
+                vars,
+                clauses,
+                k,
+                seed,
+            } => {
+                j.set("family", "random-ksat")
+                    .set("vars", vars)
+                    .set("clauses", clauses)
+                    .set("k", k)
+                    .set("seed", seed);
+            }
+            Recipe::ClauseSoup {
+                vars,
+                clauses,
+                seed,
+            } => {
+                j.set("family", "clause-soup")
+                    .set("vars", vars)
+                    .set("clauses", clauses)
+                    .set("seed", seed);
+            }
+            Recipe::Pigeonhole { holes } => {
+                j.set("family", "pigeonhole").set("holes", holes);
+            }
+            Recipe::Parity { n } => {
+                j.set("family", "parity").set("n", n);
+            }
+            Recipe::Routing { tracks, easy, seed } => {
+                j.set("family", "routing")
+                    .set("tracks", tracks)
+                    .set("easy", easy)
+                    .set("seed", seed);
+            }
+        }
+        j
+    }
+}
+
+impl fmt::Display for Recipe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Recipe::RandomKSat {
+                vars,
+                clauses,
+                k,
+                seed,
+            } => write!(f, "ksat v={vars} c={clauses} k={k} s={seed:#x}"),
+            Recipe::ClauseSoup {
+                vars,
+                clauses,
+                seed,
+            } => write!(f, "soup v={vars} c={clauses} s={seed:#x}"),
+            Recipe::Pigeonhole { holes } => write!(f, "php h={holes}"),
+            Recipe::Parity { n } => write!(f, "parity n={n}"),
+            Recipe::Routing { tracks, easy, seed } => {
+                write!(f, "routing t={tracks} e={easy} s={seed:#x}")
+            }
+        }
+    }
+}
+
+/// Mixed-width random clauses: widths 1–4, distinct variables per
+/// clause, random polarities. Unit clauses force level-0 assignments,
+/// which is exactly the trace machinery worth fuzzing hardest.
+fn clause_soup(vars: usize, clauses: usize, seed: u64) -> Cnf {
+    let mut rng = SplitMix64::new(seed);
+    let mut cnf = Cnf::with_vars(vars);
+    for _ in 0..clauses {
+        let width = 1 + (rng.below(8) as usize).min(3); // 1..=4, biased short
+        let mut picked: Vec<usize> = Vec::with_capacity(width);
+        while picked.len() < width.min(vars) {
+            let v = rng.range_usize(0..vars);
+            if !picked.contains(&v) {
+                picked.push(v);
+            }
+        }
+        let lits: Vec<i64> = picked
+            .iter()
+            .map(|&v| {
+                let d = (v + 1) as i64;
+                if rng.gen_bool(0.5) {
+                    d
+                } else {
+                    -d
+                }
+            })
+            .collect();
+        cnf.add_dimacs_clause(&lits);
+    }
+    cnf
+}
+
+/// The solver knobs one iteration flips, kept small enough to encode in
+/// a log line and a repro artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolverChoices {
+    /// Keep learned clauses.
+    pub learning: bool,
+    /// Periodic learned-clause deletion.
+    pub deletion: bool,
+    /// Luby restarts.
+    pub restarts: bool,
+    /// Self-subsumption minimization of learned clauses.
+    pub minimize: bool,
+    /// Phase saving.
+    pub phase_saving: bool,
+}
+
+impl SolverChoices {
+    /// Draws a configuration, biased toward the default (all on) since
+    /// that is the production path.
+    pub fn sample(rng: &mut SplitMix64) -> SolverChoices {
+        SolverChoices {
+            learning: rng.gen_bool(0.85),
+            deletion: rng.gen_bool(0.6),
+            restarts: rng.gen_bool(0.7),
+            minimize: rng.gen_bool(0.6),
+            phase_saving: rng.gen_bool(0.6),
+        }
+    }
+
+    /// Expands the choices into a full [`SolverConfig`] with the given
+    /// conflict budget.
+    pub fn to_config(self, conflict_limit: u64) -> SolverConfig {
+        SolverConfig {
+            learning: self.learning,
+            clause_deletion: self.deletion,
+            restarts: self.restarts,
+            minimize_learned: self.minimize,
+            phase_saving: self.phase_saving,
+            conflict_limit: Some(conflict_limit),
+            ..SolverConfig::default()
+        }
+    }
+
+    /// Compact 5-letter tag for log lines (capital = on): `LDRMP`.
+    pub fn tag(&self) -> String {
+        let mut s = String::with_capacity(5);
+        for (on, c) in [
+            (self.learning, 'l'),
+            (self.deletion, 'd'),
+            (self.restarts, 'r'),
+            (self.minimize, 'm'),
+            (self.phase_saving, 'p'),
+        ] {
+            s.push(if on { c.to_ascii_uppercase() } else { c });
+        }
+        s
+    }
+
+    /// The choices as a JSON object for `repro.json`.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::object();
+        j.set("learning", self.learning)
+            .set("deletion", self.deletion)
+            .set("restarts", self.restarts)
+            .set("minimize", self.minimize)
+            .set("phase_saving", self.phase_saving);
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recipes_build_deterministically() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..50 {
+            let recipe = Recipe::sample(&mut rng, 20);
+            let (a, status_a) = recipe.build();
+            let (b, status_b) = recipe.build();
+            assert_eq!(a, b, "{recipe}");
+            assert_eq!(status_a, status_b);
+            assert!(a.num_clauses() > 0, "{recipe}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_diverse() {
+        let draw = |seed: u64| -> Vec<Recipe> {
+            let mut rng = SplitMix64::new(seed);
+            (0..40).map(|_| Recipe::sample(&mut rng, 24)).collect()
+        };
+        assert_eq!(draw(3), draw(3));
+        let recipes = draw(3);
+        let soups = recipes
+            .iter()
+            .filter(|r| matches!(r, Recipe::ClauseSoup { .. }))
+            .count();
+        let ksat = recipes
+            .iter()
+            .filter(|r| matches!(r, Recipe::RandomKSat { .. }))
+            .count();
+        assert!(soups > 0 && ksat > 0, "sampler lost a family");
+    }
+
+    #[test]
+    fn soup_respects_bounds() {
+        let cnf = clause_soup(9, 40, 5);
+        assert_eq!(cnf.num_vars(), 9);
+        assert_eq!(cnf.num_clauses(), 40);
+        for clause in cnf.clauses() {
+            assert!((1..=4).contains(&clause.len()));
+        }
+    }
+
+    #[test]
+    fn choices_tag_roundtrips_flags() {
+        let all_on = SolverChoices {
+            learning: true,
+            deletion: true,
+            restarts: true,
+            minimize: true,
+            phase_saving: true,
+        };
+        assert_eq!(all_on.tag(), "LDRMP");
+        let cfg = all_on.to_config(100);
+        assert_eq!(cfg.conflict_limit, Some(100));
+        assert!(cfg.learning && cfg.clause_deletion);
+        let off = SolverChoices {
+            learning: false,
+            deletion: false,
+            restarts: false,
+            minimize: false,
+            phase_saving: false,
+        };
+        assert_eq!(off.tag(), "ldrmp");
+    }
+}

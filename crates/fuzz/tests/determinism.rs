@@ -1,0 +1,123 @@
+//! End-to-end determinism of the fuzzer: same seed, same campaign,
+//! same shrunk repro — byte for byte.
+
+use rescheck_fuzz::{run_campaign, CampaignConfig, CampaignOutcome, InjectedBug, OracleConfig};
+use rescheck_obs::NullObserver;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rescheck-fuzz-det-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn campaign(seed: u64, iterations: u64, inject: Option<InjectedBug>) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        iterations,
+        oracle: OracleConfig {
+            max_vars: 14,
+            inject,
+            ..OracleConfig::default()
+        },
+        ..CampaignConfig::default()
+    }
+}
+
+/// Every file under `root`, as (relative path, contents), sorted.
+fn snapshot(root: &Path) -> Vec<(String, Vec<u8>)> {
+    fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, Vec<u8>)>) {
+        let mut entries: Vec<_> = fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                walk(&path, root, out);
+            } else {
+                let rel = path.strip_prefix(root).unwrap().display().to_string();
+                out.push((rel, fs::read(&path).unwrap()));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out);
+    out
+}
+
+#[test]
+fn same_seed_reproduces_the_campaign_byte_for_byte() {
+    let a = run_campaign(&campaign(0xA11CE, 30, None), &mut NullObserver).unwrap();
+    let b = run_campaign(&campaign(0xA11CE, 30, None), &mut NullObserver).unwrap();
+    assert_eq!(a.log, b.log);
+    assert_eq!(a.summary(), b.summary());
+    assert_eq!(a.digest(), b.digest());
+    assert!(
+        a.clean(),
+        "clean checker produced findings:\n{}",
+        a.summary()
+    );
+}
+
+#[test]
+fn injected_bug_shrinks_to_identical_repro_artifacts() {
+    let run = |dir: &Path| -> CampaignOutcome {
+        let mut cfg = campaign(0x51CC, 300, Some(InjectedBug::RejectValid));
+        cfg.artifact_dir = Some(dir.to_path_buf());
+        run_campaign(&cfg, &mut NullObserver).unwrap()
+    };
+
+    let dir_a = tmp_dir("a");
+    let dir_b = tmp_dir("b");
+    let a = run(&dir_a);
+    let b = run(&dir_b);
+
+    assert_eq!(a.findings.len(), 1, "summary:\n{}", a.summary());
+    assert_eq!(a.log, b.log);
+    assert_eq!(a.digest(), b.digest());
+
+    // The injected failure reproduces on any UNSAT instance, so ddmin
+    // must have made real progress toward a minimal formula.
+    let f = &a.findings[0];
+    assert_eq!(f.kind, "strategy-disagreement");
+    assert!(f.shrink.to <= f.shrink.from);
+    assert!(f.shrink.tests > 0, "shrinker never ran");
+
+    // And the on-disk bundles are identical byte-for-byte.
+    let snap_a = snapshot(&dir_a);
+    let snap_b = snapshot(&dir_b);
+    assert!(!snap_a.is_empty(), "no artifacts written");
+    assert_eq!(snap_a, snap_b);
+    let names: Vec<&str> = snap_a
+        .iter()
+        .map(|(n, _)| n.rsplit('/').next().unwrap())
+        .collect();
+    assert!(names.contains(&"input.cnf"));
+    assert!(names.contains(&"repro.json"));
+
+    let _ = fs::remove_dir_all(&dir_a);
+    let _ = fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn mutant_injection_produces_trace_level_repro() {
+    let dir = tmp_dir("mut");
+    let mut cfg = campaign(0x7EA5, 300, Some(InjectedBug::AcceptMutants));
+    cfg.artifact_dir = Some(dir.clone());
+    let outcome = run_campaign(&cfg, &mut NullObserver).unwrap();
+    assert_eq!(outcome.findings.len(), 1, "summary:\n{}", outcome.summary());
+    let f = &outcome.findings[0];
+    assert!(f.kind.starts_with("mutant-"), "kind: {}", f.kind);
+    assert_eq!(f.shrink.unit, "events");
+    let case = f.case_dir.as_ref().unwrap();
+    assert!(case.join("input.cnf").is_file());
+    assert!(case.join("trace.rt").is_file());
+    assert!(case.join("repro.json").is_file());
+    let json = fs::read_to_string(case.join("repro.json")).unwrap();
+    assert!(json.contains("rescheck-repro-v1"));
+    assert!(json.contains("injected bug"));
+    let _ = fs::remove_dir_all(&dir);
+}

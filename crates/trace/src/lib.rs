@@ -57,6 +57,7 @@ mod ascii;
 mod binary;
 mod block;
 mod event;
+pub mod mutate;
 mod random;
 mod sink;
 mod snapshot;
@@ -67,6 +68,7 @@ pub use ascii::{AsciiReader, AsciiWriter};
 pub use binary::{BinaryReader, BinaryWriter, BINARY_MAGIC};
 pub use block::{BlockDecoder, BlockEvents};
 pub use event::{EventRef, TraceEvent};
+pub use mutate::{Mutation, ALL_MUTATIONS};
 pub use random::{OffsetEventsIter, RandomAccessTrace, TraceCursor};
 pub use sink::{CountingSink, MemorySink, NullSink, TeeSink, TraceSink};
 pub use snapshot::{TraceChunk, TraceSnapshot};

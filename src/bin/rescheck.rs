@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         Some("trim") => cmd_trim(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -69,11 +70,24 @@ USAGE:
   rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
   rescheck trim  <file.cnf> <trace> --out <trimmed> [--binary]
   rescheck stats <file.cnf> <trace>
-  rescheck gen   <family> [args…]      (families: pigeonhole <holes>,
+  rescheck gen   <family> [args…] [--seed <s>]
+                 (families: pigeonhole <holes>,
                  parity <n>, adder <width>, longmult <width>,
-                 barrel <positions> <bound>, routing <tracks> <easy> <seed>,
+                 barrel <positions> <bound>, routing <tracks> <easy> [seed],
                  planning <path> <horizon>, pipe <width> <depth>,
-                 atpg <width> <redundancy>, random <vars> <clauses> <seed>)
+                 atpg <width> <redundancy>, random <vars> <clauses> [seed];
+                 --seed overrides the positional seed of the randomized
+                 families and is rejected by the deterministic ones)
+  rescheck fuzz  --seed <s> --iters <n> [--max-vars <v>] [--mutants <m>]
+                 [--conflict-limit <c>] [--shrink-budget <b>]
+                 [--max-findings <k>] [--artifacts <dir>] [--quiet]
+                 [--inject reject-valid|accept-mutants]
+                 (deterministic differential fuzzing: every iteration
+                 solves a seeded random instance, cross-validates all six
+                 check strategies, verifies SAT models, and feeds
+                 corrupted traces to the checker; disagreements are
+                 delta-debugged to a minimal repro under --artifacts.
+                 Same seed ⇒ byte-identical campaign, log and repros.)
 
 Observability (solve, check, core, trim, stats):
   --metrics <out.json>   write phase timers, counters and gauges as
@@ -87,7 +101,9 @@ Observability (solve, check, core, trim, stats):
                          [,heartbeat-events=M][,interval-ms=T]
 
 Exit codes: solve → 10 SAT / 20 UNSAT (competition convention);
-check/core → 0 on success, 1 on an invalid proof, 2 on usage errors.
+check → 0 valid proof, 1 proof defect, 3 resource limit exceeded,
+4 input I/O error; fuzz → 0 clean campaign, 1 disagreements found;
+core → 0 on success, 1 on an invalid proof; all → 2 on usage errors.
 ";
 
 type CliResult = Result<ExitCode, Box<dyn std::error::Error>>;
@@ -301,9 +317,21 @@ fn cmd_check(rest: &[String]) -> CliResult {
     let [cnf_path, trace_path] = args.as_slice() else {
         return Err("check needs a CNF file and a trace file".into());
     };
+    // Environmental failures (missing/unreadable inputs) exit with 4 so
+    // scripts can tell "the proof is bad" from "the file never arrived".
+    let open_failed = |what: &str, e: &dyn std::fmt::Display| -> ExitCode {
+        eprintln!("error: cannot read {what}: {e}");
+        ExitCode::from(4)
+    };
     let parse = Phase::start("parse", &mut obs);
-    let cnf = dimacs::read_file(cnf_path)?;
-    let trace = FileTrace::open(trace_path)?;
+    let cnf = match dimacs::read_file(cnf_path) {
+        Ok(cnf) => cnf,
+        Err(e) => return Ok(open_failed(cnf_path, &e)),
+    };
+    let trace = match FileTrace::open(trace_path) {
+        Ok(trace) => trace,
+        Err(e) => return Ok(open_failed(trace_path, &e)),
+    };
     parse.finish(&mut obs);
     if let Ok(meta) = std::fs::metadata(cnf_path) {
         obs.observe(&Event::GaugeSet {
@@ -347,11 +375,23 @@ fn cmd_check(rest: &[String]) -> CliResult {
             Ok(ExitCode::SUCCESS)
         }
         Err(e) => {
+            use rescheck::checker::FailureKind;
+            let kind = e.kind();
             println!("INVALID proof: {e}");
             obs.write_metrics("check", |doc| {
-                doc.set("error", e.to_string().as_str());
+                doc.set("error", e.to_string().as_str())
+                    .set("failure_kind", kind.to_string().as_str());
             })?;
-            Ok(ExitCode::from(1))
+            // Distinct exit codes per failure class: a defective proof
+            // (1) is a solver/trace bug, a breached memory budget (3) a
+            // retry-with-more-resources, an I/O failure (4) an
+            // environment problem. Cancellation shares 3: the run was
+            // stopped by a resource policy, not by the proof.
+            Ok(ExitCode::from(match kind {
+                FailureKind::ProofDefect => 1,
+                FailureKind::ResourceLimit | FailureKind::Cancelled => 3,
+                FailureKind::Io => 4,
+            }))
         }
     }
 }
@@ -486,28 +526,50 @@ fn cmd_stats(rest: &[String]) -> CliResult {
 }
 
 fn cmd_gen(rest: &[String]) -> CliResult {
+    let mut args = rest.to_vec();
+    let seed_flag = take_opt(&mut args, "--seed")?
+        .map(|s| s.parse::<u64>())
+        .transpose()?;
     let usize_arg = |i: usize| -> Result<usize, Box<dyn std::error::Error>> {
-        Ok(rest
+        Ok(args
             .get(i)
             .ok_or_else(|| format!("missing argument {i} for gen"))?
             .parse()?)
     };
-    let instance = match rest.first().map(String::as_str) {
+    // Randomized families take their seed positionally or via --seed
+    // (the flag wins); deterministic families reject the flag outright
+    // rather than silently ignoring it.
+    let seed_arg = |i: usize| -> Result<u64, Box<dyn std::error::Error>> {
+        match seed_flag {
+            Some(seed) => Ok(seed),
+            None => Ok(args
+                .get(i)
+                .ok_or_else(|| format!("missing seed: pass it as argument {i} or via --seed"))?
+                .parse()?),
+        }
+    };
+    let family = args.first().map(String::as_str);
+    if seed_flag.is_some() && !matches!(family, Some("random" | "routing")) {
+        return Err(format!(
+            "--seed only applies to the randomized families (random, routing), not {:?}",
+            family.unwrap_or("<none>")
+        )
+        .into());
+    }
+    let instance = match family {
         Some("pigeonhole") => workloads::pigeonhole::instance(usize_arg(1)?),
         Some("parity") => workloads::parity::chained_parity(usize_arg(1)?),
         Some("adder") => workloads::equiv::adder_miter(usize_arg(1)?),
         Some("longmult") => workloads::bmc::longmult(usize_arg(1)?),
         Some("barrel") => workloads::bmc::barrel(usize_arg(1)?, usize_arg(2)?),
-        Some("routing") => workloads::routing::congested_channel(
-            usize_arg(1)?,
-            usize_arg(2)?,
-            usize_arg(3)? as u64,
-        ),
+        Some("routing") => {
+            workloads::routing::congested_channel(usize_arg(1)?, usize_arg(2)?, seed_arg(3)?)
+        }
         Some("planning") => workloads::planning::agent_swap(usize_arg(1)?, usize_arg(2)?),
         Some("pipe") => workloads::pipeline::pipe(usize_arg(1)?, usize_arg(2)?),
         Some("atpg") => workloads::atpg::redundant_fault(usize_arg(1)?, usize_arg(2)?),
         Some("random") => {
-            workloads::random_ksat::instance(usize_arg(1)?, usize_arg(2)?, 3, usize_arg(3)? as u64)
+            workloads::random_ksat::instance(usize_arg(1)?, usize_arg(2)?, 3, seed_arg(3)?)
         }
         other => return Err(format!("unknown family {other:?}\n{USAGE}").into()),
     };
@@ -519,4 +581,97 @@ fn cmd_gen(rest: &[String]) -> CliResult {
     }
     dimacs::write(&mut lock, &instance.cnf)?;
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_fuzz(rest: &[String]) -> CliResult {
+    use rescheck_fuzz::{run_campaign, CampaignConfig, InjectedBug};
+    let mut args = rest.to_vec();
+    let mut obs = CliObserver::from_args(&mut args)?;
+    let defaults = CampaignConfig::default();
+    let seed = take_opt(&mut args, "--seed")?
+        .ok_or("fuzz needs --seed <s>")?
+        .parse::<u64>()?;
+    let iterations = take_opt(&mut args, "--iters")?
+        .ok_or("fuzz needs --iters <n>")?
+        .parse::<u64>()?;
+    let max_vars = match take_opt(&mut args, "--max-vars")? {
+        Some(v) => v.parse()?,
+        None => defaults.oracle.max_vars,
+    };
+    let mutants_per_trace = match take_opt(&mut args, "--mutants")? {
+        Some(v) => v.parse()?,
+        None => defaults.oracle.mutants_per_trace,
+    };
+    let conflict_limit = match take_opt(&mut args, "--conflict-limit")? {
+        Some(v) => v.parse()?,
+        None => defaults.oracle.conflict_limit,
+    };
+    let shrink_budget = match take_opt(&mut args, "--shrink-budget")? {
+        Some(v) => v.parse()?,
+        None => defaults.shrink_budget,
+    };
+    let max_findings = match take_opt(&mut args, "--max-findings")? {
+        Some(v) => v.parse()?,
+        None => defaults.max_findings,
+    };
+    let artifact_dir = take_opt(&mut args, "--artifacts")?.map(std::path::PathBuf::from);
+    let inject = match take_opt(&mut args, "--inject")? {
+        Some(v) => Some(
+            InjectedBug::parse(&v)
+                .ok_or_else(|| format!("unknown --inject {v:?} (reject-valid|accept-mutants)"))?,
+        ),
+        None => None,
+    };
+    let quiet = take_flag(&mut args, "--quiet");
+    if !args.is_empty() {
+        return Err(format!("fuzz does not take positional arguments: {args:?}").into());
+    }
+    let cfg = CampaignConfig {
+        seed,
+        iterations,
+        oracle: rescheck_fuzz::OracleConfig {
+            conflict_limit,
+            mutants_per_trace,
+            max_vars,
+            inject,
+            ..defaults.oracle
+        },
+        shrink_budget,
+        artifact_dir,
+        max_findings,
+    };
+
+    let fuzz_phase = Phase::start("fuzz", &mut obs);
+    let outcome = run_campaign(&cfg, &mut obs)?;
+    fuzz_phase.finish(&mut obs);
+
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if !quiet {
+        for line in &outcome.log {
+            writeln!(lock, "{line}")?;
+        }
+    }
+    write!(lock, "{}", outcome.summary())?;
+    for f in &outcome.findings {
+        if let Some(dir) = &f.case_dir {
+            writeln!(lock, "repro written to {}", dir.display())?;
+        }
+    }
+    drop(lock);
+
+    obs.write_metrics("fuzz", |doc| {
+        let mut section = Json::object();
+        section
+            .set("seed", format!("{:#018x}", outcome.seed))
+            .set("iterations", outcome.iterations_run)
+            .set("findings", outcome.findings.len())
+            .set("digest", format!("{:#018x}", outcome.digest()));
+        doc.set("fuzz", section);
+    })?;
+    Ok(if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
 }

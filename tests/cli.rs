@@ -423,6 +423,160 @@ fn mem_limit_reproduces_memory_out() {
         .args(["--mem-limit", "64"])
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1));
+    // Resource exhaustion exits 3, distinct from a proof defect (1).
+    assert_eq!(out.status.code(), Some(3));
     assert!(String::from_utf8_lossy(&out.stdout).contains("memory limit"));
+}
+
+#[test]
+fn check_exit_codes_distinguish_failure_classes() {
+    let dir = tmp_dir("exitcodes");
+    let cnf_path = dir.join("e.cnf");
+    let trace_path = dir.join("e.rt");
+    let out = bin().args(["gen", "pigeonhole", "4"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+    bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .arg("--binary")
+        .status()
+        .unwrap();
+
+    // 0: valid proof.
+    let st = bin()
+        .arg("check")
+        .arg(&cnf_path)
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(0));
+
+    // 1: proof defect (truncated trace).
+    let bytes = std::fs::read(&trace_path).unwrap();
+    let cut = dir.join("cut.rt");
+    std::fs::write(&cut, &bytes[..bytes.len() / 2]).unwrap();
+    let st = bin()
+        .arg("check")
+        .arg(&cnf_path)
+        .arg(&cut)
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(1));
+
+    // 4: missing input file (environmental, not a proof problem).
+    let out = bin()
+        .arg("check")
+        .arg(dir.join("nonexistent.cnf"))
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    // 2: usage error.
+    let st = bin().arg("check").arg(&cnf_path).status().unwrap();
+    assert_eq!(st.code(), Some(2));
+}
+
+#[test]
+fn gen_seed_flag_matches_positional_seed() {
+    let positional = bin()
+        .args(["gen", "random", "8", "30", "7"])
+        .output()
+        .unwrap();
+    assert!(positional.status.success());
+    let flagged = bin()
+        .args(["gen", "random", "8", "30", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(flagged.status.success());
+    assert_eq!(positional.stdout, flagged.stdout);
+
+    // The flag wins over a contradictory positional seed.
+    let override_out = bin()
+        .args(["gen", "random", "8", "30", "999", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert_eq!(override_out.stdout, flagged.stdout);
+
+    // Routing accepts it too; deterministic families reject it.
+    let routed = bin()
+        .args(["gen", "routing", "3", "2", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(routed.status.success());
+    let rejected = bin()
+        .args(["gen", "parity", "5", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert_eq!(rejected.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&rejected.stderr).contains("--seed only applies"));
+}
+
+#[test]
+fn fuzz_is_deterministic_and_clean_on_smoke_seed() {
+    let run = || {
+        bin()
+            .args(["fuzz", "--seed", "20030310", "--iters", "15"])
+            .output()
+            .unwrap()
+    };
+    let a = run();
+    assert_eq!(
+        a.status.code(),
+        Some(0),
+        "smoke campaign found a disagreement:\n{}",
+        String::from_utf8_lossy(&a.stdout)
+    );
+    let b = run();
+    assert_eq!(a.stdout, b.stdout, "same seed must replay byte-for-byte");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("findings: 0"));
+    assert!(text.contains("digest"));
+}
+
+#[test]
+fn fuzz_injected_bug_writes_shrunk_repro_and_exits_one() {
+    let dir = tmp_dir("fuzz-inject");
+    let artifacts = dir.join("artifacts");
+    let _ = std::fs::remove_dir_all(&artifacts);
+    let out = bin()
+        .args(["fuzz", "--seed", "7", "--iters", "50", "--quiet"])
+        .args(["--inject", "reject-valid"])
+        .arg("--artifacts")
+        .arg(&artifacts)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("strategy-disagreement"), "{text}");
+    assert!(text.contains("repro written to"), "{text}");
+    let case: Vec<_> = std::fs::read_dir(&artifacts)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(case.len(), 1);
+    assert!(case[0].join("input.cnf").is_file());
+    assert!(case[0].join("repro.json").is_file());
+    let json = std::fs::read_to_string(case[0].join("repro.json")).unwrap();
+    assert!(json.contains("rescheck-repro-v1"));
+}
+
+#[test]
+fn fuzz_metrics_document_counts_iterations() {
+    let dir = tmp_dir("fuzz-metrics");
+    let metrics = dir.join("fuzz.json");
+    let st = bin()
+        .args(["fuzz", "--seed", "3", "--iters", "8", "--quiet"])
+        .arg("--metrics")
+        .arg(&metrics)
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(0));
+    let doc = std::fs::read_to_string(&metrics).unwrap();
+    assert!(doc.contains("rescheck-metrics-v1"));
+    assert!(doc.contains("fuzz.iterations"));
+    assert!(doc.contains("fuzz.mutants_tested"));
 }
