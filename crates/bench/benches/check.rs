@@ -1,0 +1,118 @@
+//! Check-throughput benchmark: end-to-end validation time on
+//! Table-2-class instances, sequential breadth-first against the sharded
+//! checker at increasing worker counts, plus the observability overhead
+//! of running the same check under a recording [`MetricsSink`] instead
+//! of the [`NullObserver`] (the hot path is allocation-free, so the gap
+//! should be noise).
+//!
+//! With `--json <path>` a `rescheck-metrics-v2` document is written with
+//! one row per (instance, configuration) pair carrying the median check
+//! time and the learned-clauses-per-second throughput, for the CI
+//! bench-smoke job (which checks shape, never timing).
+
+use rescheck_bench::micro::bench;
+use rescheck_bench::report::{take_json_flag, write_json, SCHEMA};
+use rescheck_checker::{check_unsat_claim, check_unsat_claim_observed, CheckConfig, Strategy};
+use rescheck_obs::{Json, MetricsSink};
+use rescheck_solver::{Solver, SolverConfig};
+use rescheck_trace::MemorySink;
+use rescheck_workloads::{bmc, pigeonhole, Instance};
+use std::path::Path;
+
+fn trace_of(inst: &Instance) -> MemorySink {
+    let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
+    let mut sink = MemorySink::new();
+    assert!(solver.solve_traced(&mut sink).unwrap().is_unsat());
+    sink
+}
+
+fn config_with_jobs(jobs: usize) -> CheckConfig {
+    CheckConfig {
+        jobs,
+        ..CheckConfig::default()
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = take_json_flag(&mut args);
+
+    let mut rows: Vec<Json> = Vec::new();
+    for inst in [pigeonhole::instance(6), bmc::longmult(4)] {
+        let trace = trace_of(&inst);
+        let learned = check_unsat_claim(
+            &inst.cnf,
+            &trace,
+            Strategy::BreadthFirst,
+            &CheckConfig::default(),
+        )
+        .expect("genuine trace")
+        .stats
+        .learned_in_trace;
+
+        let mut push_row = |config: &str, median_seconds: f64| {
+            let mut row = Json::object();
+            row.set("name", inst.name.as_str())
+                .set("config", config)
+                .set("learned_in_trace", learned)
+                .set("median_seconds", median_seconds)
+                .set(
+                    "learned_per_second",
+                    learned as f64 / median_seconds.max(1e-12),
+                );
+            rows.push(row);
+        };
+
+        let seq = bench(&format!("check/bf/{}", inst.name), || {
+            check_unsat_claim(
+                &inst.cnf,
+                &trace,
+                Strategy::BreadthFirst,
+                &CheckConfig::default(),
+            )
+            .expect("genuine trace");
+        });
+        push_row("bf", seq.median.as_secs_f64());
+
+        for jobs in [1usize, 2, 4] {
+            let summary = bench(&format!("check/pbf-jobs{jobs}/{}", inst.name), || {
+                check_unsat_claim(
+                    &inst.cnf,
+                    &trace,
+                    Strategy::ParallelBf,
+                    &config_with_jobs(jobs),
+                )
+                .expect("genuine trace");
+            });
+            push_row(&format!("pbf-jobs{jobs}"), summary.median.as_secs_f64());
+        }
+
+        // Observability overhead: the same breadth-first check with a
+        // recording metrics sink (spans, counters, histograms) against
+        // the NullObserver baseline measured above.
+        let mut sink = MetricsSink::new();
+        let observed = bench(&format!("check/bf-metrics/{}", inst.name), || {
+            check_unsat_claim_observed(
+                &inst.cnf,
+                &trace,
+                Strategy::BreadthFirst,
+                &CheckConfig::default(),
+                &mut sink,
+            )
+            .expect("genuine trace");
+        });
+        push_row("bf-metrics", observed.median.as_secs_f64());
+        let overhead =
+            (observed.median.as_secs_f64() / seq.median.as_secs_f64().max(1e-12) - 1.0) * 100.0;
+        println!("check/observer-overhead/{}: {overhead:+.2}%", inst.name);
+    }
+
+    if let Some(path) = json_path {
+        let mut doc = Json::object();
+        doc.set("schema", SCHEMA)
+            .set("command", "bench:check")
+            .set("rows", Json::Array(rows));
+        write_json(Path::new(&path), &doc).expect("write json");
+        println!("wrote {path}");
+    }
+}

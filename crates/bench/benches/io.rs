@@ -18,7 +18,7 @@
 //! estimator for a microbenchmark, since only scheduler jitter ever makes
 //! an iteration slower — with medians reported alongside.
 //!
-//! With `--json <path>` a `rescheck-metrics-v1` document is written with
+//! With `--json <path>` a `rescheck-metrics-v2` document is written with
 //! one row per scenario plus the new/old speedup, for the CI bench-smoke
 //! job (which checks shape, never timing).
 

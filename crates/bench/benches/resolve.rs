@@ -9,7 +9,7 @@
 //! O(k·|acc|) total work — while the kernel touches each antecedent
 //! literal once and materializes the resolvent once, O(L) total.
 //!
-//! With `--json <path>` a `rescheck-metrics-v1` document is written with
+//! With `--json <path>` a `rescheck-metrics-v2` document is written with
 //! one row per scenario plus the kernel/oracle speedup, for the CI
 //! bench-smoke job (which checks shape, never timing).
 

@@ -11,7 +11,7 @@
 //! small single-digit percentage, shrinking on harder instances.
 //!
 //! `--json <path>` additionally writes every row as a
-//! `rescheck-metrics-v1` document.
+//! `rescheck-metrics-v2` document.
 
 use rescheck_bench::{fmt_secs, measure_solve, report};
 use rescheck_obs::{Json, Registry};

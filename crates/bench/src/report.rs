@@ -1,19 +1,26 @@
-//! Machine-readable metrics emission — the `rescheck-metrics-v1` schema
-//! shared by the CLI's `--metrics` flag and the table binaries' `--json`
+//! Machine-readable metrics emission — the `rescheck-metrics-v2` schema
+//! shared by the CLI's metrics flags and the table binaries' `--json`
 //! flag.
 //!
 //! The document shape is:
 //!
 //! ```json
 //! {
-//!   "schema": "rescheck-metrics-v1",
+//!   "schema": "rescheck-metrics-v2",
 //!   "command": "check",
 //!   "phases": {"parse": 0.01, "solve": 1.2, ...},
 //!   "counters": {"solver.conflicts": 1234, ...},
 //!   "gauges": {"check.peak_memory_bytes": 65536.0, ...},
+//!   "histograms": {"check.resolve.chain_len": {"count": …, "buckets": […]}, ...},
+//!   "spans": [{"name": "check", "wall_seconds": …, "children": […]}, ...],
 //!   ...command-specific sections ("solver", "check", "rows")...
 //! }
 //! ```
+//!
+//! v2 is a strict superset of v1: the two new top-level keys
+//! (`histograms`, `spans`) are additive, so v1 consumers that only read
+//! `phases`/`counters`/`gauges` keep working, and
+//! [`Registry::from_json`] reads both shapes.
 
 use crate::{CheckReport, InstanceReport};
 use rescheck_checker::{CheckStats, ProofStats};
@@ -23,16 +30,30 @@ use std::io::Write;
 use std::path::Path;
 
 /// The schema tag stamped on every metrics document.
-pub const SCHEMA: &str = "rescheck-metrics-v1";
+pub const SCHEMA: &str = "rescheck-metrics-v2";
+
+/// The previous schema tag, still accepted by readers (checked-in
+/// baselines from earlier PRs carry it).
+pub const SCHEMA_V1: &str = "rescheck-metrics-v1";
 
 /// The skeleton of a metrics document: schema tag, the producing
-/// command, and the registry's phases / counters / gauges at top level.
+/// command, and the registry's phases / counters / gauges / histograms
+/// / span tree at top level.
 pub fn metrics_document(command: &str, registry: &Registry) -> Json {
     let mut root = Json::object();
     root.set("schema", SCHEMA).set("command", command);
     let reg = registry.to_json();
-    for key in ["phases", "counters", "gauges"] {
-        root.set(key, reg.get(key).cloned().unwrap_or_else(Json::object));
+    for key in ["phases", "counters", "gauges", "histograms", "spans"] {
+        root.set(
+            key,
+            reg.get(key).cloned().unwrap_or_else(|| {
+                if key == "spans" {
+                    Json::Array(Vec::new())
+                } else {
+                    Json::object()
+                }
+            }),
+        );
     }
     root
 }
@@ -176,9 +197,19 @@ mod tests {
         let doc = metrics_document("solve", &reg);
         assert_eq!(
             doc.keys(),
-            vec!["schema", "command", "phases", "counters", "gauges"]
+            vec![
+                "schema",
+                "command",
+                "phases",
+                "counters",
+                "gauges",
+                "histograms",
+                "spans"
+            ]
         );
         assert_eq!(doc.path("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(SCHEMA, "rescheck-metrics-v2");
+        assert_eq!(SCHEMA_V1, "rescheck-metrics-v1");
         assert!(doc.get("phases").unwrap().get("solve").is_some());
     }
 

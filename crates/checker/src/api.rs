@@ -5,7 +5,7 @@ use crate::error::CheckError;
 use crate::outcome::CheckOutcome;
 pub use crate::outcome::Strategy;
 use rescheck_cnf::{Assignment, Cnf};
-use rescheck_obs::{NullObserver, Observer};
+use rescheck_obs::{NullObserver, Observer, Span};
 use rescheck_trace::{RandomAccessTrace, TraceSource};
 use std::error::Error;
 use std::fmt;
@@ -100,7 +100,12 @@ pub fn check_unsat_claim<S: RandomAccessTrace + Sync + ?Sized>(
 }
 
 /// [`check_unsat_claim`] with an [`Observer`] receiving phase timers
-/// (`check:pass1`, `check:resolve`, `final-phase`), progress heartbeats
+/// (`check:pass1`, `check:resolve`, `final-phase`) nested under a
+/// per-strategy span (`check:df`, `check:bf`, `check:hybrid`,
+/// `check:portfolio`, `check:pbf`, `check:dfd`), resolution-shape
+/// histograms (`check.resolve.chain_len` — resolve sources per learned
+/// clause — and `check.resolve.clause_len` — literals in each stored
+/// resolvent), progress heartbeats
 /// and end-of-run gauges (`check.clauses_built`, `check.resolutions`,
 /// `check.use_count_entries`, `check.peak_memory_bytes`), plus the
 /// resolution hot path's own accounting: `check.kernel.chains`,
@@ -150,14 +155,28 @@ pub fn check_unsat_claim_observed<S: RandomAccessTrace + Sync + ?Sized>(
     config: &CheckConfig,
     obs: &mut dyn Observer,
 ) -> Result<CheckOutcome, CheckError> {
-    match strategy {
+    // Every strategy runs inside a named span, so the metrics span tree
+    // reads `<caller> > check:<strategy> > check:pass1/…`. The span is
+    // stopped on the error path too — flight dumps see it close.
+    let name = match strategy {
+        Strategy::DepthFirst => "check:df",
+        Strategy::BreadthFirst => "check:bf",
+        Strategy::Hybrid => "check:hybrid",
+        Strategy::Portfolio => "check:portfolio",
+        Strategy::ParallelBf => "check:pbf",
+        Strategy::DiskDepthFirst => "check:dfd",
+    };
+    let mut span = Span::start(name, obs);
+    let result = match strategy {
         Strategy::DepthFirst => crate::depth_first::run(cnf, trace, config, obs),
         Strategy::BreadthFirst => crate::breadth_first::run(cnf, trace, config, obs),
         Strategy::Hybrid => crate::hybrid::run(cnf, trace, config, obs),
         Strategy::Portfolio => crate::parallel::run_portfolio(cnf, trace, config, obs),
         Strategy::ParallelBf => crate::parallel::run_parallel_bf(cnf, trace, config, obs),
         Strategy::DiskDepthFirst => crate::disk_df::run(cnf, trace, config, obs),
-    }
+    };
+    span.stop(obs);
+    result
 }
 
 /// Validates an UNSAT claim with the depth-first strategy (§3.2).

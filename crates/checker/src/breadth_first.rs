@@ -294,6 +294,10 @@ impl<'a> BfResolveState<'a> {
         for (step, &s) in sources.iter().enumerate() {
             self.feed_source(id, step, s)?;
         }
+        obs.observe(&Event::HistRecord {
+            name: "check.resolve.chain_len",
+            value: sources.len() as u64,
+        });
         self.clauses_built += 1;
         if self
             .clauses_built
@@ -320,11 +324,17 @@ impl<'a> BfResolveState<'a> {
             }
         }
 
-        // Store the new clause unless it is already dead on arrival.
+        // Store the new clause unless it is already dead on arrival
+        // (the clause-length histogram samples only stored resolvents).
         let remaining = self.tables.use_counts.get(&id).copied().unwrap_or(0);
         if remaining > 0 || self.tables.pinned.contains(&id) {
-            self.arena
-                .insert(id, self.kernel.finish(), &mut self.meter)?;
+            let lits = self.kernel.finish();
+            let clause_len = lits.len() as u64;
+            self.arena.insert(id, lits, &mut self.meter)?;
+            obs.observe(&Event::HistRecord {
+                name: "check.resolve.clause_len",
+                value: clause_len,
+            });
         }
         Ok(())
     }

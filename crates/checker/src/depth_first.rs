@@ -238,11 +238,21 @@ impl DfBuilder<'_> {
     /// Builds one learned clause from its already-built sources.
     fn build_one(&mut self, id: u64) -> Result<(), CheckError> {
         let sources = &self.full.sources[&id];
+        let chain_len = sources.len() as u64;
         for (step, &s) in sources.iter().enumerate() {
             self.feed_source(id, step, s)?;
         }
-        self.arena
-            .insert(id, self.kernel.finish(), &mut self.meter)?;
+        let lits = self.kernel.finish();
+        let clause_len = lits.len() as u64;
+        self.arena.insert(id, lits, &mut self.meter)?;
+        self.obs.observe(&Event::HistRecord {
+            name: "check.resolve.chain_len",
+            value: chain_len,
+        });
+        self.obs.observe(&Event::HistRecord {
+            name: "check.resolve.clause_len",
+            value: clause_len,
+        });
         self.clauses_built += 1;
         if self
             .clauses_built

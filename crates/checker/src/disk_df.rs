@@ -364,8 +364,17 @@ impl DiskDfBuilder<'_> {
         for (step, &s) in sources.iter().enumerate() {
             self.feed_source(id, step, s)?;
         }
-        self.arena
-            .insert(id, self.kernel.finish(), &mut self.meter)?;
+        let lits = self.kernel.finish();
+        let clause_len = lits.len() as u64;
+        self.arena.insert(id, lits, &mut self.meter)?;
+        self.obs.observe(&Event::HistRecord {
+            name: "check.resolve.chain_len",
+            value: sources.len() as u64,
+        });
+        self.obs.observe(&Event::HistRecord {
+            name: "check.resolve.clause_len",
+            value: clause_len,
+        });
         self.clauses_built += 1;
         if self
             .clauses_built

@@ -216,6 +216,10 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
 
     for id in build_order {
         let sources = sources_of(&mut *cursor, &index, id, None)?;
+        obs.observe(&Event::HistRecord {
+            name: "check.resolve.chain_len",
+            value: sources.len() as u64,
+        });
         for (step, &s) in sources.iter().enumerate() {
             let folded = if s < num_original as u64 {
                 let clause =
@@ -270,7 +274,13 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
         }
         let still_used = pinned_set.contains(&id) || use_counts.get(&id).copied().unwrap_or(0) > 0;
         if still_used {
-            arena.insert(id, kernel.finish(), &mut meter)?;
+            let lits = kernel.finish();
+            let clause_len = lits.len() as u64;
+            arena.insert(id, lits, &mut meter)?;
+            obs.observe(&Event::HistRecord {
+                name: "check.resolve.clause_len",
+                value: clause_len,
+            });
         }
     }
 

@@ -212,14 +212,23 @@ impl Meta {
 }
 
 /// One counting worker: drains batches, counts learned-clause sources
-/// locally and keeps a [`Meta`] per event for the ordered merge.
+/// locally and keeps a [`Meta`] per event for the ordered merge. The
+/// returned [`EventBuffer`] holds the worker's own metrics (batch-size
+/// histogram, event-count gauge) under unprefixed names; the coordinator
+/// replays it with a `check.worker.N.` prefix for attribution.
 fn count_shard(
     rx: mpsc::Receiver<(u64, Vec<TraceEvent>)>,
     num_original: usize,
-) -> (Vec<Meta>, FxHashMap<u64, u32>) {
+) -> (Vec<Meta>, FxHashMap<u64, u32>, EventBuffer, Duration) {
+    let started = Instant::now();
+    let mut buffer = EventBuffer::new();
     let mut metas: Vec<Meta> = Vec::new();
     let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
     for (batch_start, batch) in rx {
+        buffer.observe(&Event::HistRecord {
+            name: "pass1.batch_events",
+            value: batch.len() as u64,
+        });
         for (k, event) in batch.into_iter().enumerate() {
             let idx = batch_start + k as u64;
             match event {
@@ -246,7 +255,11 @@ fn count_shard(
             }
         }
     }
-    (metas, counts)
+    buffer.observe(&Event::GaugeSet {
+        name: "pass1.events",
+        value: metas.len() as f64,
+    });
+    (metas, counts, buffer, started.elapsed())
 }
 
 /// Pass 1 sharded across `jobs` workers fed round-robin by one reader.
@@ -272,30 +285,37 @@ fn sharded_pass1<S: TraceSource + Sync + ?Sized>(
             workers.push(scope.spawn(move || count_shard(rx, num_original)));
         }
         let reader_cancel = cancel.clone();
-        let reader = scope.spawn(move || -> Option<io::Error> {
+        let reader = scope.spawn(move || -> (Option<io::Error>, EventBuffer) {
+            let mut buffer = EventBuffer::new();
             let iter = match trace.events_iter() {
                 Ok(iter) => iter,
-                Err(e) => return Some(e),
+                Err(e) => return (Some(e), buffer),
             };
             let mut next_idx: u64 = 0;
             let mut batch_start: u64 = 0;
             let mut batch: Vec<TraceEvent> = Vec::with_capacity(BATCH_EVENTS);
             let mut target = 0usize;
+            let mut batch_began = Instant::now();
             for item in iter {
                 match item {
                     Ok(event) => {
                         batch.push(event);
                         next_idx += 1;
                         if batch.len() == BATCH_EVENTS {
+                            buffer.observe(&Event::HistRecord {
+                                name: "check.pass1.decode_us",
+                                value: batch_began.elapsed().as_micros() as u64,
+                            });
                             if txs[target]
                                 .send((batch_start, std::mem::take(&mut batch)))
                                 .is_err()
                                 || reader_cancel.is_cancelled()
                             {
-                                return None;
+                                return (None, buffer);
                             }
                             target = (target + 1) % txs.len();
                             batch_start = next_idx;
+                            batch_began = Instant::now();
                         }
                     }
                     Err(e) => {
@@ -305,24 +325,38 @@ fn sharded_pass1<S: TraceSource + Sync + ?Sized>(
                         if !batch.is_empty() {
                             let _ = txs[target].send((batch_start, batch));
                         }
-                        return Some(e);
+                        return (Some(e), buffer);
                     }
                 }
             }
             if !batch.is_empty() {
+                buffer.observe(&Event::HistRecord {
+                    name: "check.pass1.decode_us",
+                    value: batch_began.elapsed().as_micros() as u64,
+                });
                 let _ = txs[target].send((batch_start, batch));
             }
-            None
+            (None, buffer)
         });
 
-        let io_err = reader.join().expect("trace reader thread panicked");
+        let (io_err, reader_buffer) = reader.join().expect("trace reader thread panicked");
+        reader_buffer.replay(obs);
         let mut metas: Vec<Meta> = Vec::new();
         let mut merged_counts: FxHashMap<u64, u32> = FxHashMap::default();
         for (w, worker) in workers.into_iter().enumerate() {
-            let (shard_metas, shard_counts) = worker.join().expect("counting worker panicked");
+            let (shard_metas, shard_counts, worker_buffer, wall) =
+                worker.join().expect("counting worker panicked");
             obs.observe(&Event::GaugeSet {
                 name: &format!("check.pass1.shard{w}.events"),
                 value: shard_metas.len() as f64,
+            });
+            // Per-worker attribution: the shard's own metrics land under
+            // `check.worker.N.*`, the merged wall-time histogram under a
+            // single shared name.
+            worker_buffer.replay_prefixed(&format!("check.worker.{w}."), obs);
+            obs.observe(&Event::HistRecord {
+                name: "check.pass1.worker_wall_us",
+                value: wall.as_micros() as u64,
             });
             metas.extend(shard_metas);
             for (id, c) in shard_counts {
@@ -373,23 +407,30 @@ fn pipelined_pass2<S: TraceSource + Sync + ?Sized>(
 ) -> Result<(), CheckError> {
     thread::scope(|scope| -> Result<(), CheckError> {
         let (tx, rx) = mpsc::sync_channel::<Result<Vec<TraceEvent>, io::Error>>(PIPELINE_DEPTH);
-        scope.spawn(move || {
+        let reader = scope.spawn(move || -> EventBuffer {
+            let mut buffer = EventBuffer::new();
             let iter = match trace.events_iter() {
                 Ok(iter) => iter,
                 Err(e) => {
                     let _ = tx.send(Err(e));
-                    return;
+                    return buffer;
                 }
             };
             let mut batch: Vec<TraceEvent> = Vec::with_capacity(BATCH_EVENTS);
+            let mut batch_began = Instant::now();
             for item in iter {
                 match item {
                     Ok(event) => {
                         batch.push(event);
-                        if batch.len() == BATCH_EVENTS
-                            && tx.send(Ok(std::mem::take(&mut batch))).is_err()
-                        {
-                            return;
+                        if batch.len() == BATCH_EVENTS {
+                            buffer.observe(&Event::HistRecord {
+                                name: "check.pass2.decode_us",
+                                value: batch_began.elapsed().as_micros() as u64,
+                            });
+                            if tx.send(Ok(std::mem::take(&mut batch))).is_err() {
+                                return buffer;
+                            }
+                            batch_began = Instant::now();
                         }
                     }
                     Err(e) => {
@@ -399,25 +440,41 @@ fn pipelined_pass2<S: TraceSource + Sync + ?Sized>(
                             let _ = tx.send(Ok(std::mem::take(&mut batch)));
                         }
                         let _ = tx.send(Err(e));
-                        return;
+                        return buffer;
                     }
                 }
             }
             if !batch.is_empty() {
+                buffer.observe(&Event::HistRecord {
+                    name: "check.pass2.decode_us",
+                    value: batch_began.elapsed().as_micros() as u64,
+                });
                 let _ = tx.send(Ok(batch));
             }
+            buffer
         });
-        for message in rx {
+        // Break (not return) on any error so `rx` drops first, which
+        // unblocks the reader before it is joined for its metrics.
+        let mut result: Result<(), CheckError> = Ok(());
+        'drain: for message in rx {
             match message {
                 Ok(batch) => {
                     for event in &batch {
-                        state.handle_event(event, obs)?;
+                        if let Err(e) = state.handle_event(event, obs) {
+                            result = Err(e);
+                            break 'drain;
+                        }
                     }
                 }
-                Err(e) => return Err(CheckError::Trace(e)),
+                Err(e) => {
+                    result = Err(CheckError::Trace(e));
+                    break 'drain;
+                }
             }
         }
-        Ok(())
+        let reader_buffer = reader.join().expect("trace reader thread panicked");
+        reader_buffer.replay(obs);
+        result
     })
 }
 
@@ -584,6 +641,34 @@ mod tests {
                 "jobs={jobs}"
             );
         }
+    }
+
+    #[test]
+    fn parallel_bf_attributes_metrics_per_worker() {
+        let (cnf, sink) = chain(3000);
+        let mut metrics = rescheck_obs::MetricsSink::new();
+        let config = CheckConfig {
+            jobs: 4,
+            ..CheckConfig::default()
+        };
+        run_parallel_bf(&cnf, &sink, &config, &mut metrics).unwrap();
+        let reg = metrics.registry();
+        for w in 0..4 {
+            assert!(
+                reg.gauge(&format!("check.worker.{w}.pass1.events"))
+                    .is_some(),
+                "missing per-worker event gauge for worker {w}"
+            );
+            assert!(
+                reg.histogram(&format!("check.worker.{w}.pass1.batch_events"))
+                    .is_some(),
+                "missing per-worker batch histogram for worker {w}"
+            );
+        }
+        let wall = reg.histogram("check.pass1.worker_wall_us").unwrap();
+        assert_eq!(wall.count(), 4, "one wall-time sample per worker");
+        assert!(reg.histogram("check.pass1.decode_us").is_some());
+        assert!(reg.histogram("check.pass2.decode_us").is_some());
     }
 
     #[test]

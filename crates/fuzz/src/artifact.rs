@@ -8,16 +8,22 @@
 //!   findings;
 //! * `repro.json` — machine-readable metadata: campaign seed, iteration,
 //!   per-iteration seed, oracle kind, detail, generator recipe, solver
-//!   knobs, shrink statistics, and a replay hint.
+//!   knobs, shrink statistics, and a replay hint;
+//! * `flight.json` — a deterministic flight recording of the shrunk
+//!   finding being replayed (the events leading up to the disagreement),
+//!   in the `rescheck-flight-v1` ring format.
 //!
 //! Every byte written is a pure function of the finding, so nightly CI
 //! can diff artifacts across runs and identical seeds upload identical
-//! repro bundles.
+//! repro bundles. The flight recorder runs in deterministic mode (span
+//! ids renumbered, timestamps scrubbed) to keep that property.
 
 use crate::oracle::Finding;
 use crate::shrink::ShrunkFinding;
-use rescheck_obs::Json;
-use rescheck_trace::{BinaryWriter, TraceEvent, TraceSink};
+use rescheck_checker::{check_unsat_claim_observed, CheckConfig, Strategy};
+use rescheck_obs::{FlightRecorder, Json};
+use rescheck_solver::{SolveResult, Solver};
+use rescheck_trace::{BinaryWriter, MemorySink, TraceEvent, TraceSink};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -33,6 +39,45 @@ pub struct ArtifactPaths {
     pub trace: Option<PathBuf>,
     /// `repro.json` inside it.
     pub repro: PathBuf,
+    /// `flight.json` inside it.
+    pub flight: PathBuf,
+}
+
+/// Replays the shrunk finding into a deterministic [`FlightRecorder`]:
+/// trace-level findings re-run the breadth-first checker over the shrunk
+/// trace; instance-level findings re-solve the shrunk formula with the
+/// finding's solver knobs and, if it is UNSAT, check the fresh proof.
+/// Failures during the replay are exactly what the recording is for, so
+/// check errors are recorded, not propagated.
+fn flight_recording(finding: &Finding, shrunk: &ShrunkFinding) -> Json {
+    let mut flight = FlightRecorder::new().deterministic();
+    match &shrunk.events {
+        Some(events) => {
+            let sink = MemorySink::from(events.clone());
+            let _ = check_unsat_claim_observed(
+                &shrunk.cnf,
+                &sink,
+                Strategy::BreadthFirst,
+                &CheckConfig::default(),
+                &mut flight,
+            );
+        }
+        None => {
+            let mut solver = Solver::from_cnf(&shrunk.cnf, finding.choices.to_config(u64::MAX));
+            let mut sink = MemorySink::new();
+            let solved = solver.solve_observed(&mut sink, &mut flight);
+            if matches!(solved, Ok(SolveResult::Unsatisfiable)) {
+                let _ = check_unsat_claim_observed(
+                    &shrunk.cnf,
+                    &sink,
+                    Strategy::DepthFirst,
+                    &CheckConfig::default(),
+                    &mut flight,
+                );
+            }
+        }
+    }
+    flight.to_json()
 }
 
 fn write_binary_trace(path: &Path, events: &[TraceEvent]) -> io::Result<()> {
@@ -104,11 +149,18 @@ pub fn write_repro(
     let repro_path = dir.join("repro.json");
     fs::write(&repro_path, doc.to_pretty_string())?;
 
+    let flight_path = dir.join("flight.json");
+    fs::write(
+        &flight_path,
+        flight_recording(finding, shrunk).to_pretty_string(),
+    )?;
+
     Ok(ArtifactPaths {
         dir,
         cnf: cnf_path,
         trace: trace_path,
         repro: repro_path,
+        flight: flight_path,
     })
 }
 
@@ -176,6 +228,12 @@ mod tests {
         let paths = write_repro(&root, 42, &finding, &shrunk).unwrap();
         assert!(paths.cnf.is_file());
         assert!(paths.trace.is_none());
+        let flight = fs::read_to_string(&paths.flight).unwrap();
+        assert!(flight.contains("rescheck-flight-v1"));
+        assert!(
+            !flight.contains("t_us"),
+            "deterministic recordings carry no timestamps"
+        );
         let json = fs::read_to_string(&paths.repro).unwrap();
         assert!(json.contains("rescheck-repro-v1"));
         assert!(json.contains("strategy-disagreement"));
@@ -210,12 +268,14 @@ mod tests {
             fs::read(&a.cnf).unwrap(),
             fs::read(a.trace.as_ref().unwrap()).unwrap(),
             fs::read(&a.repro).unwrap(),
+            fs::read(&a.flight).unwrap(),
         );
         let b = write_repro(&root, 1, &finding, &shrunk).unwrap();
         let second = (
             fs::read(&b.cnf).unwrap(),
             fs::read(b.trace.as_ref().unwrap()).unwrap(),
             fs::read(&b.repro).unwrap(),
+            fs::read(&b.flight).unwrap(),
         );
         assert_eq!(first, second);
         let _ = fs::remove_dir_all(&root);

@@ -27,6 +27,24 @@ pub enum OwnedEvent {
         /// Wall-clock duration of the phase.
         wall: Duration,
     },
+    /// See [`Event::SpanStarted`].
+    SpanStarted {
+        /// Process-unique span id.
+        id: u64,
+        /// Parent span id, if nested.
+        parent: Option<u64>,
+        /// The span name.
+        name: String,
+    },
+    /// See [`Event::SpanFinished`].
+    SpanFinished {
+        /// The span's id.
+        id: u64,
+        /// The span name.
+        name: String,
+        /// Wall-clock duration of the span.
+        wall: Duration,
+    },
     /// See [`Event::CounterAdd`].
     CounterAdd {
         /// Dotted counter name.
@@ -41,6 +59,13 @@ pub enum OwnedEvent {
         /// The new value.
         value: f64,
     },
+    /// See [`Event::HistRecord`].
+    HistRecord {
+        /// Dotted histogram name.
+        name: String,
+        /// The sample.
+        value: u64,
+    },
     /// See [`Event::Progress`].
     Progress {
         /// The phase reporting progress.
@@ -51,6 +76,40 @@ pub enum OwnedEvent {
         unit: String,
         /// Optional preformatted detail.
         detail: Option<String>,
+    },
+    /// See [`Event::Decision`]. Captured only by
+    /// [`from_event_full`](OwnedEvent::from_event_full).
+    Decision {
+        /// 1-based decision number.
+        number: u64,
+    },
+    /// See [`Event::Conflict`]. Captured only by `from_event_full`.
+    Conflict {
+        /// 1-based conflict number.
+        number: u64,
+        /// Decision level at which the conflict occurred.
+        decision_level: u32,
+    },
+    /// See [`Event::Restart`]. Captured only by `from_event_full`.
+    Restart {
+        /// 1-based restart number.
+        number: u64,
+        /// Conflicts since the previous restart.
+        conflicts_since: u64,
+    },
+    /// See [`Event::ClauseLearned`]. Captured only by `from_event_full`.
+    ClauseLearned {
+        /// The clause's trace ID.
+        id: u64,
+        /// Number of literals in the learned clause.
+        literals: u64,
+    },
+    /// See [`Event::DbReduced`]. Captured only by `from_event_full`.
+    DbReduced {
+        /// Learned clauses kept.
+        kept: u64,
+        /// Learned clauses deleted.
+        deleted: u64,
     },
     /// See [`Event::Message`].
     Message {
@@ -68,6 +127,8 @@ impl OwnedEvent {
     /// …) are not buffered: workers in the checking subsystem never emit
     /// them, and buffering one per conflict would defeat the
     /// allocation-free design of the hot path. Returns `None` for those.
+    /// The flight recorder, which *wants* per-decision granularity, uses
+    /// [`from_event_full`](Self::from_event_full) instead.
     pub fn from_event(event: &Event<'_>) -> Option<OwnedEvent> {
         Some(match event {
             Event::PhaseStarted { phase } => OwnedEvent::PhaseStarted {
@@ -77,11 +138,25 @@ impl OwnedEvent {
                 phase: (*phase).to_string(),
                 wall: *wall,
             },
+            Event::SpanStarted { id, parent, name } => OwnedEvent::SpanStarted {
+                id: *id,
+                parent: *parent,
+                name: (*name).to_string(),
+            },
+            Event::SpanFinished { id, name, wall } => OwnedEvent::SpanFinished {
+                id: *id,
+                name: (*name).to_string(),
+                wall: *wall,
+            },
             Event::CounterAdd { name, delta } => OwnedEvent::CounterAdd {
                 name: (*name).to_string(),
                 delta: *delta,
             },
             Event::GaugeSet { name, value } => OwnedEvent::GaugeSet {
+                name: (*name).to_string(),
+                value: *value,
+            },
+            Event::HistRecord { name, value } => OwnedEvent::HistRecord {
                 name: (*name).to_string(),
                 value: *value,
             },
@@ -102,6 +177,61 @@ impl OwnedEvent {
             },
             _ => return None,
         })
+    }
+
+    /// Copies *any* borrowed event into its owned form, including the
+    /// discrete solver events [`from_event`](Self::from_event) drops.
+    /// This is the flight recorder's capture path.
+    pub fn from_event_full(event: &Event<'_>) -> OwnedEvent {
+        if let Some(owned) = Self::from_event(event) {
+            return owned;
+        }
+        match event {
+            Event::Decision { number } => OwnedEvent::Decision { number: *number },
+            Event::Conflict {
+                number,
+                decision_level,
+            } => OwnedEvent::Conflict {
+                number: *number,
+                decision_level: *decision_level,
+            },
+            Event::Restart {
+                number,
+                conflicts_since,
+            } => OwnedEvent::Restart {
+                number: *number,
+                conflicts_since: *conflicts_since,
+            },
+            Event::ClauseLearned { id, literals } => OwnedEvent::ClauseLearned {
+                id: *id,
+                literals: *literals,
+            },
+            Event::DbReduced { kept, deleted } => OwnedEvent::DbReduced {
+                kept: *kept,
+                deleted: *deleted,
+            },
+            _ => unreachable!("from_event covers every replayable variant"),
+        }
+    }
+}
+
+/// How replayed names are rewritten.
+enum Naming<'t> {
+    /// Names pass through unchanged.
+    Plain,
+    /// `"{tag}:{name}"`.
+    Tagged(&'t str),
+    /// `"{prefix}{name}"` — the caller supplies its own separator.
+    Prefixed(&'t str),
+}
+
+impl Naming<'_> {
+    fn apply(&self, name: &str) -> String {
+        match self {
+            Naming::Plain => name.to_string(),
+            Naming::Tagged(tag) => format!("{tag}:{name}"),
+            Naming::Prefixed(prefix) => format!("{prefix}{name}"),
+        }
     }
 }
 
@@ -145,43 +275,67 @@ impl EventBuffer {
 
     /// Replays every buffered event into `obs` unchanged.
     pub fn replay(&self, obs: &mut dyn Observer) {
-        self.replay_inner(None, obs);
+        self.replay_inner(&Naming::Plain, obs);
     }
 
-    /// Replays every buffered event into `obs`, prefixing phase, counter
-    /// and gauge names with `"{tag}:"` so events from different workers
-    /// stay distinguishable.
+    /// Replays every buffered event into `obs`, prefixing phase,
+    /// counter, gauge, histogram and span names with `"{tag}:"` so
+    /// events from different workers stay distinguishable.
     pub fn replay_tagged(&self, tag: &str, obs: &mut dyn Observer) {
-        self.replay_inner(Some(tag), obs);
+        self.replay_inner(&Naming::Tagged(tag), obs);
     }
 
-    fn replay_inner(&self, tag: Option<&str>, obs: &mut dyn Observer) {
-        let tagged = |name: &str| match tag {
-            Some(t) => format!("{t}:{name}"),
-            None => name.to_string(),
-        };
+    /// Replays with a literal name prefix (the caller includes its own
+    /// separator): `replay_prefixed("check.worker.0.", obs)` turns a
+    /// buffered `pass1.events` into `check.worker.0.pass1.events` —
+    /// the dotted per-worker attribution namespace.
+    pub fn replay_prefixed(&self, prefix: &str, obs: &mut dyn Observer) {
+        self.replay_inner(&Naming::Prefixed(prefix), obs);
+    }
+
+    fn replay_inner(&self, naming: &Naming<'_>, obs: &mut dyn Observer) {
         for event in &self.events {
             match event {
                 OwnedEvent::PhaseStarted { phase } => {
                     obs.observe(&Event::PhaseStarted {
-                        phase: &tagged(phase),
+                        phase: &naming.apply(phase),
                     });
                 }
                 OwnedEvent::PhaseFinished { phase, wall } => {
                     obs.observe(&Event::PhaseFinished {
-                        phase: &tagged(phase),
+                        phase: &naming.apply(phase),
+                        wall: *wall,
+                    });
+                }
+                OwnedEvent::SpanStarted { id, parent, name } => {
+                    obs.observe(&Event::SpanStarted {
+                        id: *id,
+                        parent: *parent,
+                        name: &naming.apply(name),
+                    });
+                }
+                OwnedEvent::SpanFinished { id, name, wall } => {
+                    obs.observe(&Event::SpanFinished {
+                        id: *id,
+                        name: &naming.apply(name),
                         wall: *wall,
                     });
                 }
                 OwnedEvent::CounterAdd { name, delta } => {
                     obs.observe(&Event::CounterAdd {
-                        name: &tagged(name),
+                        name: &naming.apply(name),
                         delta: *delta,
                     });
                 }
                 OwnedEvent::GaugeSet { name, value } => {
                     obs.observe(&Event::GaugeSet {
-                        name: &tagged(name),
+                        name: &naming.apply(name),
+                        value: *value,
+                    });
+                }
+                OwnedEvent::HistRecord { name, value } => {
+                    obs.observe(&Event::HistRecord {
+                        name: &naming.apply(name),
                         value: *value,
                     });
                 }
@@ -192,10 +346,43 @@ impl EventBuffer {
                     detail,
                 } => {
                     obs.observe(&Event::Progress {
-                        phase: &tagged(phase),
+                        phase: &naming.apply(phase),
                         done: *done,
                         unit,
                         detail: detail.as_deref(),
+                    });
+                }
+                OwnedEvent::Decision { number } => {
+                    obs.observe(&Event::Decision { number: *number });
+                }
+                OwnedEvent::Conflict {
+                    number,
+                    decision_level,
+                } => {
+                    obs.observe(&Event::Conflict {
+                        number: *number,
+                        decision_level: *decision_level,
+                    });
+                }
+                OwnedEvent::Restart {
+                    number,
+                    conflicts_since,
+                } => {
+                    obs.observe(&Event::Restart {
+                        number: *number,
+                        conflicts_since: *conflicts_since,
+                    });
+                }
+                OwnedEvent::ClauseLearned { id, literals } => {
+                    obs.observe(&Event::ClauseLearned {
+                        id: *id,
+                        literals: *literals,
+                    });
+                }
+                OwnedEvent::DbReduced { kept, deleted } => {
+                    obs.observe(&Event::DbReduced {
+                        kept: *kept,
+                        deleted: *deleted,
                     });
                 }
                 OwnedEvent::Message { level, text } => {
@@ -238,6 +425,20 @@ mod tests {
             name: "g",
             value: 2.0,
         });
+        buf.observe(&Event::HistRecord {
+            name: "h",
+            value: 12,
+        });
+        buf.observe(&Event::SpanStarted {
+            id: 91,
+            parent: None,
+            name: "s",
+        });
+        buf.observe(&Event::SpanFinished {
+            id: 91,
+            name: "s",
+            wall: Duration::from_millis(1),
+        });
         buf.observe(&Event::Progress {
             phase: "p",
             done: 10,
@@ -250,14 +451,46 @@ mod tests {
         });
         // Discrete solver events are intentionally dropped.
         buf.observe(&Event::Decision { number: 1 });
-        assert_eq!(buf.events().len(), 6);
+        assert_eq!(buf.events().len(), 9);
         assert!(!buf.is_empty());
 
         let mut sink = MetricsSink::new();
         buf.replay(&mut sink);
         assert_eq!(sink.registry().counter("c"), Some(3));
         assert_eq!(sink.registry().gauge("g"), Some(2.0));
+        assert_eq!(sink.registry().histogram("h").map(|h| h.count()), Some(1));
+        assert_eq!(sink.registry().spans().len(), 1);
         assert!(sink.registry().phase_seconds("p").is_some());
+    }
+
+    #[test]
+    fn from_event_full_captures_discrete_solver_events() {
+        let owned = OwnedEvent::from_event_full(&Event::Conflict {
+            number: 3,
+            decision_level: 2,
+        });
+        assert_eq!(
+            owned,
+            OwnedEvent::Conflict {
+                number: 3,
+                decision_level: 2
+            }
+        );
+        assert_eq!(
+            OwnedEvent::from_event_full(&Event::Decision { number: 1 }),
+            OwnedEvent::Decision { number: 1 }
+        );
+        // …and still agrees with from_event on replayable kinds.
+        assert_eq!(
+            OwnedEvent::from_event_full(&Event::CounterAdd {
+                name: "c",
+                delta: 1
+            }),
+            OwnedEvent::CounterAdd {
+                name: "c".to_string(),
+                delta: 1
+            }
+        );
     }
 
     #[test]
@@ -276,6 +509,31 @@ mod tests {
         assert_eq!(sink.registry().counter("w0:c"), Some(1));
         assert!(sink.registry().phase_seconds("w0:check:pass1").is_some());
         assert_eq!(sink.registry().counter("c"), None);
+    }
+
+    #[test]
+    fn prefixing_uses_caller_separator() {
+        let mut buf = EventBuffer::new();
+        buf.observe(&Event::GaugeSet {
+            name: "pass1.events",
+            value: 5.0,
+        });
+        buf.observe(&Event::HistRecord {
+            name: "pass1.batch_events",
+            value: 256,
+        });
+        let mut sink = MetricsSink::new();
+        buf.replay_prefixed("check.worker.0.", &mut sink);
+        assert_eq!(
+            sink.registry().gauge("check.worker.0.pass1.events"),
+            Some(5.0)
+        );
+        assert_eq!(
+            sink.registry()
+                .histogram("check.worker.0.pass1.batch_events")
+                .map(|h| h.count()),
+            Some(1)
+        );
     }
 
     #[test]

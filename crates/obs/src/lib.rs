@@ -9,10 +9,17 @@
 //! - [`Observer`] / [`Event`]: a structured event stream with borrowed,
 //!   allocation-free payloads; [`NullObserver`] is the zero-cost default
 //!   and [`Tee`] fans out to two observers.
-//! - [`Phase`]: a wall-clock phase timer (`parse`, `solve`,
-//!   `trace-encode`, `check:pass1`, `check:resolve`, `final-phase`).
-//! - [`Registry`] / [`MetricsSink`]: monotonic counters, gauges and
-//!   accumulated phase timings, serialisable as JSON.
+//! - [`Span`] / [`Phase`]: hierarchical wall-clock timers — spans nest
+//!   (`check > check:df > check:pass1`) via a thread-local parent stack,
+//!   and the classic phase timer is a span under the hood.
+//! - [`Registry`] / [`MetricsSink`]: monotonic counters, gauges,
+//!   accumulated phase timings, log-bucketed [`Histogram`]s and span
+//!   trees, serialisable as JSON (and re-readable via
+//!   [`Registry::from_json`]).
+//! - [`FlightRecorder`]: a bounded ring of recent events dumped as a
+//!   `*.flight.json` post-mortem when a check fails.
+//! - [`prom`]: Prometheus text-exposition rendering for `--metrics-format
+//!   prom`.
 //! - [`Json`]: a hand-rolled JSON value with a stable emitter and a
 //!   parser used by the schema tests.
 //! - [`ProgressReporter`] / [`LogConfig`]: a rate-limited stderr
@@ -22,13 +29,20 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod flight;
+pub mod histogram;
 pub mod json;
 pub mod metrics;
 pub mod observer;
 pub mod progress;
+pub mod prom;
+pub mod span;
 
 pub use buffer::{EventBuffer, OwnedEvent};
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY, FLIGHT_SCHEMA};
+pub use histogram::Histogram;
 pub use json::{Json, ParseError};
-pub use metrics::Registry;
-pub use observer::{Event, Level, MetricsSink, NullObserver, Observer, Phase, Tee};
+pub use metrics::{Registry, SpanRec};
+pub use observer::{Event, Level, MetricsSink, NullObserver, Observer, Tee};
 pub use progress::{LogConfig, ProgressReporter};
+pub use span::{Phase, Span};

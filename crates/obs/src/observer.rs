@@ -1,7 +1,7 @@
 //! The [`Observer`] trait and the structured events flowing through it.
 
 use crate::metrics::Registry;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Severity of a [`Event::Message`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -18,6 +18,19 @@ pub enum Level {
     Trace,
 }
 
+impl Level {
+    /// The lowercase label (`"error"`, `"warn"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
 /// A structured event emitted by an instrumented component.
 ///
 /// Events borrow their string fields, so emitting one is allocation-free;
@@ -26,6 +39,10 @@ pub enum Level {
 pub enum Event<'a> {
     /// A named phase began (`parse`, `solve`, `trace-encode`,
     /// `check:pass1`, `check:resolve`, `final-phase`, …).
+    ///
+    /// [`Phase`](crate::Phase) no longer emits this (it emits span
+    /// events); the variant remains for manual constructions and
+    /// buffered replays of older streams.
     PhaseStarted {
         /// The phase name.
         phase: &'a str,
@@ -35,6 +52,24 @@ pub enum Event<'a> {
         /// The phase name.
         phase: &'a str,
         /// Wall-clock duration of the phase.
+        wall: Duration,
+    },
+    /// A hierarchical span opened (see [`Span`](crate::Span)).
+    SpanStarted {
+        /// Process-unique span id.
+        id: u64,
+        /// The enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// The span name.
+        name: &'a str,
+    },
+    /// A hierarchical span closed.
+    SpanFinished {
+        /// The span's id.
+        id: u64,
+        /// The span name (repeated so sinks need no id→name map).
+        name: &'a str,
+        /// Wall-clock duration of the span.
         wall: Duration,
     },
     /// A monotonic counter increased.
@@ -50,6 +85,13 @@ pub enum Event<'a> {
         name: &'a str,
         /// The new value.
         value: f64,
+    },
+    /// One sample for a log-bucketed histogram.
+    HistRecord {
+        /// Dotted histogram name.
+        name: &'a str,
+        /// The sample.
+        value: u64,
     },
     /// A periodic heartbeat from a long-running phase.
     Progress {
@@ -153,13 +195,20 @@ impl Observer for Tee<'_> {
     }
 }
 
-/// An observer that accumulates phases, counters and gauges into a
-/// [`Registry`] for JSON emission.
+/// An observer that accumulates phases, counters, gauges, histograms and
+/// span trees into a [`Registry`] for JSON emission.
 ///
 /// Discrete solver events ([`Event::Decision`], [`Event::Conflict`], …)
 /// are intentionally *not* counted here: the authoritative totals arrive
 /// as [`Event::CounterAdd`] flushes from the component's own statistics,
-/// and counting both would double-report.
+/// and counting both would double-report. [`Event::ClauseLearned`] *is*
+/// sampled into the `solver.learned_len` histogram — a distribution the
+/// flushed totals cannot reconstruct, and histograms have no
+/// double-reporting hazard.
+///
+/// Span finishes record both the span tree node and a phase timing under
+/// the span's name, which keeps the v1 `phases` keys populated now that
+/// [`Phase`](crate::Phase) is span-backed.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsSink {
     registry: Registry,
@@ -191,60 +240,21 @@ impl Observer for MetricsSink {
     fn observe(&mut self, event: &Event<'_>) {
         match event {
             Event::PhaseFinished { phase, wall } => self.registry.record_phase(phase, *wall),
+            Event::SpanStarted { id, parent, name } => {
+                self.registry.record_span_start(*id, *parent, name);
+            }
+            Event::SpanFinished { id, name, wall } => {
+                self.registry.record_span_finish(*id, name, *wall);
+                self.registry.record_phase(name, *wall);
+            }
             Event::CounterAdd { name, delta } => self.registry.inc(name, *delta),
             Event::GaugeSet { name, value } => self.registry.set_gauge(name, *value),
+            Event::HistRecord { name, value } => self.registry.record_hist(name, *value),
+            Event::ClauseLearned { literals, .. } => {
+                self.registry.record_hist("solver.learned_len", *literals);
+            }
             _ => {}
         }
-    }
-}
-
-/// A running phase timer: emits [`Event::PhaseStarted`] on start and
-/// [`Event::PhaseFinished`] with the measured wall-clock on finish.
-///
-/// The observer is passed to both calls rather than borrowed for the
-/// phase's lifetime, so events can keep flowing while a phase is open.
-///
-/// # Examples
-///
-/// ```
-/// use rescheck_obs::{MetricsSink, Phase};
-///
-/// let mut sink = MetricsSink::new();
-/// let solve = Phase::start("solve", &mut sink);
-/// // … work …
-/// solve.finish(&mut sink);
-/// assert!(sink.registry().phase_seconds("solve").is_some());
-/// ```
-#[derive(Debug)]
-#[must_use = "a Phase only records when finished"]
-pub struct Phase {
-    name: &'static str,
-    started: Instant,
-}
-
-impl Phase {
-    /// Starts a phase and announces it.
-    pub fn start(name: &'static str, obs: &mut dyn Observer) -> Phase {
-        obs.observe(&Event::PhaseStarted { phase: name });
-        Phase {
-            name,
-            started: Instant::now(),
-        }
-    }
-
-    /// The phase name.
-    pub fn name(&self) -> &'static str {
-        self.name
-    }
-
-    /// Ends the phase, reporting and returning its duration.
-    pub fn finish(self, obs: &mut dyn Observer) -> Duration {
-        let wall = self.started.elapsed();
-        obs.observe(&Event::PhaseFinished {
-            phase: self.name,
-            wall,
-        });
-        wall
     }
 }
 
@@ -271,6 +281,10 @@ mod tests {
             phase: "solve",
             wall: Duration::from_millis(20),
         });
+        sink.observe(&Event::HistRecord {
+            name: "h",
+            value: 9,
+        });
         // Ignored kinds:
         sink.observe(&Event::Decision { number: 1 });
         sink.observe(&Event::Conflict {
@@ -287,28 +301,52 @@ mod tests {
         assert_eq!(reg.counter("c"), Some(5));
         assert_eq!(reg.gauge("g"), Some(1.5));
         assert_eq!(reg.phase_names(), vec!["solve"]);
+        assert_eq!(reg.histogram("h").map(|h| h.count()), Some(1));
         assert_eq!(reg.counter("events.decisions"), None);
     }
 
     #[test]
-    fn phase_reports_start_and_finish() {
-        #[derive(Default)]
-        struct Recorder(Vec<String>);
-        impl Observer for Recorder {
-            fn observe(&mut self, event: &Event<'_>) {
-                match event {
-                    Event::PhaseStarted { phase } => self.0.push(format!("start:{phase}")),
-                    Event::PhaseFinished { phase, .. } => self.0.push(format!("end:{phase}")),
-                    _ => {}
-                }
-            }
-        }
-        let mut rec = Recorder::default();
-        let p = Phase::start("check:pass1", &mut rec);
-        assert_eq!(p.name(), "check:pass1");
-        let wall = p.finish(&mut rec);
-        assert!(wall >= Duration::ZERO);
-        assert_eq!(rec.0, vec!["start:check:pass1", "end:check:pass1"]);
+    fn span_finish_records_both_tree_node_and_phase() {
+        let mut sink = MetricsSink::new();
+        sink.observe(&Event::SpanStarted {
+            id: 7,
+            parent: None,
+            name: "check",
+        });
+        sink.observe(&Event::SpanStarted {
+            id: 8,
+            parent: Some(7),
+            name: "check:pass1",
+        });
+        sink.observe(&Event::SpanFinished {
+            id: 8,
+            name: "check:pass1",
+            wall: Duration::from_millis(5),
+        });
+        sink.observe(&Event::SpanFinished {
+            id: 7,
+            name: "check",
+            wall: Duration::from_millis(9),
+        });
+        let reg = sink.registry();
+        assert_eq!(reg.phase_names(), vec!["check:pass1", "check"]);
+        let spans = reg.to_json();
+        let roots = spans.get("spans").unwrap();
+        let crate::json::Json::Array(roots) = roots else {
+            panic!("spans must be an array");
+        };
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].get("name").unwrap().as_str(), Some("check"));
+    }
+
+    #[test]
+    fn clause_learned_feeds_the_length_histogram() {
+        let mut sink = MetricsSink::new();
+        sink.observe(&Event::ClauseLearned { id: 5, literals: 3 });
+        sink.observe(&Event::ClauseLearned { id: 6, literals: 7 });
+        let h = sink.registry().histogram("solver.learned_len").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(7));
     }
 
     #[test]
@@ -329,6 +367,7 @@ mod tests {
         assert!(Level::Error < Level::Warn);
         assert!(Level::Info < Level::Debug);
         assert!(Level::Debug < Level::Trace);
+        assert_eq!(Level::Warn.as_str(), "warn");
     }
 
     #[test]

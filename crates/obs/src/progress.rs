@@ -174,6 +174,18 @@ impl<W: Write> Observer for ProgressReporter<W> {
                     self.line(&format!("[{phase}] finished in {:.3}s", wall.as_secs_f64()));
                 }
             }
+            // Spans print exactly like phases (Phase is span-backed now);
+            // the tree structure lives in the metrics document, not here.
+            Event::SpanStarted { name, .. } => {
+                if self.cfg.enabled(Level::Debug) {
+                    self.line(&format!("[{name}] started"));
+                }
+            }
+            Event::SpanFinished { name, wall, .. } => {
+                if self.cfg.enabled(Level::Info) {
+                    self.line(&format!("[{name}] finished in {:.3}s", wall.as_secs_f64()));
+                }
+            }
             Event::Progress {
                 phase,
                 done,
@@ -233,7 +245,8 @@ impl<W: Write> Observer for ProgressReporter<W> {
             Event::Decision { .. }
             | Event::ClauseLearned { .. }
             | Event::CounterAdd { .. }
-            | Event::GaugeSet { .. } => {}
+            | Event::GaugeSet { .. }
+            | Event::HistRecord { .. } => {}
         }
     }
 }
@@ -363,6 +376,36 @@ mod tests {
         assert_eq!(out.lines().count(), 2, "got: {out}");
         assert!(out.contains("[solve] 10 conflicts"));
         assert!(out.contains("[solve] 20 conflicts"));
+    }
+
+    #[test]
+    fn spans_print_like_phases() {
+        let cfg = LogConfig::parse("debug,interval-ms=0");
+        let out = reported(
+            cfg,
+            &[
+                Event::SpanStarted {
+                    id: 1,
+                    parent: None,
+                    name: "check",
+                },
+                Event::SpanFinished {
+                    id: 1,
+                    name: "check",
+                    wall: Duration::from_millis(2500),
+                },
+                Event::HistRecord {
+                    name: "quiet.hist",
+                    value: 3,
+                },
+            ],
+        );
+        assert!(out.contains("[check] started"));
+        assert!(out.contains("[check] finished in 2.500s"));
+        assert!(
+            !out.contains("quiet.hist"),
+            "hist records are silent: {out}"
+        );
     }
 
     #[test]

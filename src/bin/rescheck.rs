@@ -10,15 +10,20 @@
 //! rescheck gen   <family> [args…]        # writes DIMACS to stdout
 //! ```
 //!
-//! Every command (except `gen`) accepts `--metrics <out.json>` to write
-//! a `rescheck-metrics-v1` document with phase timers, counters and
-//! gauges, and `--progress` to stream heartbeat lines to stderr
-//! (filtered by the `RESCHECK_LOG` environment variable).
+//! Every command (except `gen`) accepts `--metrics` (print a
+//! `rescheck-metrics-v2` document to stderr), `--metrics-out <path>`
+//! (write it to a file instead), `--metrics-format json|prom`, and
+//! `--progress` to stream heartbeat lines to stderr (filtered by the
+//! `RESCHECK_LOG` environment variable). `check` additionally keeps a
+//! flight recorder of recent events and dumps it next to the trace
+//! whenever the proof is rejected. Stdout carries only the verdict.
 
 use rescheck::prelude::*;
 use rescheck::workloads;
 use rescheck_bench::report;
-use rescheck_obs::{Event, Json, LogConfig, MetricsSink, Observer, Phase, ProgressReporter};
+use rescheck_obs::{
+    Event, FlightRecorder, Json, LogConfig, MetricsSink, Observer, Phase, ProgressReporter, Span,
+};
 use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
@@ -89,13 +94,20 @@ USAGE:
                  delta-debugged to a minimal repro under --artifacts.
                  Same seed ⇒ byte-identical campaign, log and repros.)
 
-Observability (solve, check, core, trim, stats):
-  --metrics <out.json>   write phase timers, counters and gauges as
-                         rescheck-metrics-v1 JSON; check gauges include
-                         the resolution hot path (check.kernel.*,
-                         check.arena.*), input sizes (io.cnf.bytes,
-                         io.trace.bytes) and, under --strategy dfd, the
-                         disk-access accounting (check.dfd.*)
+Observability (solve, check, core, trim, stats, fuzz):
+  --metrics              print the metrics document to stderr (stdout
+                         stays reserved for the verdict)
+  --metrics-out <path>   write the metrics document to a file instead
+  --metrics-format <f>   json (default): rescheck-metrics-v2 with phase
+                         timers, counters, gauges, log-bucketed
+                         histograms (check.resolve.*, check.worker.N.*)
+                         and the hierarchical span tree;
+                         prom: Prometheus text exposition of the
+                         counters, gauges, phases and histograms
+  --flight-out <path>    (check only) where to dump the flight recorder
+                         on failure; default <trace>.flight.json. The
+                         dump is a rescheck-flight-v1 ring of the most
+                         recent events leading up to the rejection.
   --progress             stream heartbeat lines to stderr; tune with
                          RESCHECK_LOG=level[,heartbeat-conflicts=N]
                          [,heartbeat-events=M][,interval-ms=T]
@@ -129,42 +141,88 @@ fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String
     }
 }
 
+/// How the metrics document is rendered.
+enum MetricsFormat {
+    Json,
+    Prom,
+}
+
 /// Per-command observability: a metrics registry that always accumulates
-/// (it is cheap), plus an optional stderr progress reporter.
+/// (it is cheap), an optional stderr progress reporter, and — for
+/// `check` — a flight recorder ring of the most recent events.
 struct CliObserver {
     metrics: MetricsSink,
     progress: Option<ProgressReporter<std::io::Stderr>>,
-    metrics_path: Option<String>,
+    metrics_out: Option<String>,
+    metrics_stderr: bool,
+    format: MetricsFormat,
+    flight: Option<FlightRecorder>,
 }
 
 impl CliObserver {
-    /// Extracts `--metrics <path>` and `--progress` from the argument
+    /// Extracts `--metrics`, `--metrics-out <path>`,
+    /// `--metrics-format json|prom` and `--progress` from the argument
     /// list and builds the corresponding observer.
     fn from_args(args: &mut Vec<String>) -> Result<Self, String> {
-        let metrics_path = take_opt(args, "--metrics")?;
+        let metrics_out = take_opt(args, "--metrics-out")?;
+        let metrics_stderr = take_flag(args, "--metrics");
+        let format = match take_opt(args, "--metrics-format")?.as_deref() {
+            None | Some("json") => MetricsFormat::Json,
+            Some("prom") => MetricsFormat::Prom,
+            Some(other) => return Err(format!("unknown --metrics-format {other:?} (json|prom)")),
+        };
         let progress =
             take_flag(args, "--progress").then(|| ProgressReporter::stderr(LogConfig::from_env()));
         Ok(CliObserver {
             metrics: MetricsSink::new(),
             progress,
-            metrics_path,
+            metrics_out,
+            metrics_stderr,
+            format,
+            flight: None,
         })
     }
 
-    /// Writes the metrics document if `--metrics` was given. `extend`
-    /// adds command-specific sections to the skeleton.
+    /// Writes the metrics document if `--metrics` or `--metrics-out` was
+    /// given — to the file, or to stderr so stdout stays reserved for
+    /// the verdict. `extend` adds command-specific sections to the JSON
+    /// skeleton (the Prometheus rendition carries the registry only).
     fn write_metrics(
         &self,
         command: &str,
         extend: impl FnOnce(&mut Json),
     ) -> Result<(), Box<dyn std::error::Error>> {
-        let Some(path) = &self.metrics_path else {
+        if self.metrics_out.is_none() && !self.metrics_stderr {
+            return Ok(());
+        }
+        let rendered = match self.format {
+            MetricsFormat::Prom => rescheck_obs::prom::render(self.metrics.registry()),
+            MetricsFormat::Json => {
+                let mut doc = report::metrics_document(command, self.metrics.registry());
+                extend(&mut doc);
+                let mut text = doc.to_pretty_string();
+                text.push('\n');
+                text
+            }
+        };
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(Path::new(path), rendered.as_bytes())?;
+            eprintln!("c metrics written to {path}");
+        } else {
+            eprint!("{rendered}");
+        }
+        Ok(())
+    }
+
+    /// Dumps the flight recorder (if one is attached) to `path`.
+    fn dump_flight(&self, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+        let Some(flight) = &self.flight else {
             return Ok(());
         };
-        let mut doc = report::metrics_document(command, self.metrics.registry());
-        extend(&mut doc);
-        report::write_json(Path::new(path), &doc)?;
-        eprintln!("c metrics written to {path}");
+        let mut text = flight.to_json().to_pretty_string();
+        text.push('\n');
+        std::fs::write(Path::new(path), text.as_bytes())?;
+        eprintln!("c flight recorder dump written to {path}");
         Ok(())
     }
 }
@@ -172,6 +230,9 @@ impl CliObserver {
 impl Observer for CliObserver {
     fn observe(&mut self, event: &Event<'_>) {
         self.metrics.observe(event);
+        if let Some(flight) = &mut self.flight {
+            flight.observe(event);
+        }
         if let Some(progress) = &mut self.progress {
             progress.observe(event);
         }
@@ -220,6 +281,7 @@ fn cmd_solve(rest: &[String]) -> CliResult {
     let [path] = args.as_slice() else {
         return Err("solve needs exactly one CNF file".into());
     };
+    let mut root = Span::start("solve", &mut obs);
     let parse = Phase::start("parse", &mut obs);
     let cnf = dimacs::read_file(path)?;
     parse.finish(&mut obs);
@@ -263,6 +325,7 @@ fn cmd_solve(rest: &[String]) -> CliResult {
         SolveResult::Unsatisfiable => ("UNSATISFIABLE", ExitCode::from(20)),
         SolveResult::Unknown => ("UNKNOWN", ExitCode::SUCCESS),
     };
+    root.stop(&mut obs);
     obs.write_metrics("solve", |doc| {
         doc.set("result", answer)
             .set("solver", report::solver_stats_json(solver.stats()));
@@ -314,15 +377,20 @@ fn cmd_check(rest: &[String]) -> CliResult {
         .map(|s| s.parse::<usize>())
         .transpose()?
         .unwrap_or(0);
+    let flight_out = take_opt(&mut args, "--flight-out")?;
     let [cnf_path, trace_path] = args.as_slice() else {
         return Err("check needs a CNF file and a trace file".into());
     };
+    // Checker events are low-rate, so the flight recorder is always on:
+    // a rejected proof dumps the events leading up to the defect.
+    obs.flight = Some(FlightRecorder::new());
     // Environmental failures (missing/unreadable inputs) exit with 4 so
     // scripts can tell "the proof is bad" from "the file never arrived".
     let open_failed = |what: &str, e: &dyn std::fmt::Display| -> ExitCode {
         eprintln!("error: cannot read {what}: {e}");
         ExitCode::from(4)
     };
+    let mut root = Span::start("check", &mut obs);
     let parse = Phase::start("parse", &mut obs);
     let cnf = match dimacs::read_file(cnf_path) {
         Ok(cnf) => cnf,
@@ -350,7 +418,9 @@ fn cmd_check(rest: &[String]) -> CliResult {
         jobs,
         ..CheckConfig::default()
     };
-    match check_unsat_claim_observed(&cnf, &trace, strategy, &config, &mut obs) {
+    let result = check_unsat_claim_observed(&cnf, &trace, strategy, &config, &mut obs);
+    root.stop(&mut obs);
+    match result {
         Ok(outcome) => {
             println!("VALID UNSAT proof");
             println!("{}", outcome.stats);
@@ -378,6 +448,8 @@ fn cmd_check(rest: &[String]) -> CliResult {
             use rescheck::checker::FailureKind;
             let kind = e.kind();
             println!("INVALID proof: {e}");
+            let flight_path = flight_out.unwrap_or_else(|| format!("{trace_path}.flight.json"));
+            obs.dump_flight(&flight_path)?;
             obs.write_metrics("check", |doc| {
                 doc.set("error", e.to_string().as_str())
                     .set("failure_kind", kind.to_string().as_str());
@@ -407,6 +479,7 @@ fn cmd_core(rest: &[String]) -> CliResult {
     let [path] = args.as_slice() else {
         return Err("core needs exactly one CNF file".into());
     };
+    let mut root = Span::start("core", &mut obs);
     let parse = Phase::start("parse", &mut obs);
     let cnf = dimacs::read_file(path)?;
     parse.finish(&mut obs);
@@ -432,6 +505,7 @@ fn cmd_core(rest: &[String]) -> CliResult {
         name: "core.final_clauses",
         value: core.num_clauses() as f64,
     });
+    root.stop(&mut obs);
     obs.write_metrics("core", |doc| {
         let rows: Vec<Json> = result
             .iterations
@@ -467,6 +541,7 @@ fn cmd_trim(rest: &[String]) -> CliResult {
     let [cnf_path, trace_path] = args.as_slice() else {
         return Err("trim needs a CNF file and a trace file".into());
     };
+    let mut root = Span::start("trim", &mut obs);
     let parse = Phase::start("parse", &mut obs);
     let cnf = dimacs::read_file(cnf_path)?;
     let trace = FileTrace::open(trace_path)?;
@@ -492,6 +567,7 @@ fn cmd_trim(rest: &[String]) -> CliResult {
         cnf.num_clauses()
     );
     println!("trimmed trace written to {out}");
+    root.stop(&mut obs);
     obs.write_metrics("trim", |doc| {
         let mut section = Json::object();
         section
@@ -511,6 +587,7 @@ fn cmd_stats(rest: &[String]) -> CliResult {
     let [cnf_path, trace_path] = args.as_slice() else {
         return Err("stats needs a CNF file and a trace file".into());
     };
+    let mut root = Span::start("stats", &mut obs);
     let parse = Phase::start("parse", &mut obs);
     let cnf = dimacs::read_file(cnf_path)?;
     let trace = FileTrace::open(trace_path)?;
@@ -519,6 +596,7 @@ fn cmd_stats(rest: &[String]) -> CliResult {
     let stats = proof_stats(&cnf, &trace)?;
     scan.finish(&mut obs);
     println!("{stats}");
+    root.stop(&mut obs);
     obs.write_metrics("stats", |doc| {
         doc.set("proof", report::proof_stats_json(&stats));
     })?;
@@ -641,9 +719,11 @@ fn cmd_fuzz(rest: &[String]) -> CliResult {
         max_findings,
     };
 
-    let fuzz_phase = Phase::start("fuzz", &mut obs);
+    let mut root = Span::start("fuzz", &mut obs);
+    let fuzz_phase = Phase::start("fuzz:campaign", &mut obs);
     let outcome = run_campaign(&cfg, &mut obs)?;
     fuzz_phase.finish(&mut obs);
+    root.stop(&mut obs);
 
     let stdout = std::io::stdout();
     let mut lock = stdout.lock();

@@ -293,7 +293,7 @@ fn check_metrics_writes_schema_conformant_json() {
         .arg("check")
         .arg(&cnf_path)
         .arg(&trace_path)
-        .arg("--metrics")
+        .arg("--metrics-out")
         .arg(&metrics_path)
         .output()
         .unwrap();
@@ -303,9 +303,45 @@ fn check_metrics_writes_schema_conformant_json() {
     let doc = rescheck_obs::json::parse(&text).expect("metrics file parses as JSON");
     assert_eq!(
         doc.path("schema").and_then(|j| j.as_str()),
-        Some("rescheck-metrics-v1")
+        Some("rescheck-metrics-v2")
     );
     assert_eq!(doc.path("command").and_then(|j| j.as_str()), Some("check"));
+    // The span tree nests at least three levels deep:
+    // check > check:df > check:pass1.
+    let spans = doc.path("spans").expect("spans array");
+    let Some(rescheck_obs::Json::Array(roots)) = Some(spans) else {
+        panic!("spans is not an array: {text}");
+    };
+    let root = roots
+        .iter()
+        .find(|s| s.get("name").and_then(|j| j.as_str()) == Some("check"))
+        .expect("root check span");
+    let Some(rescheck_obs::Json::Array(level2)) = root.get("children") else {
+        panic!("root span has no children: {text}");
+    };
+    let strategy_span = level2
+        .iter()
+        .find(|s| s.get("name").and_then(|j| j.as_str()) == Some("check:df"))
+        .expect("check:df span under the root");
+    let Some(rescheck_obs::Json::Array(level3)) = strategy_span.get("children") else {
+        panic!("strategy span has no children: {text}");
+    };
+    assert!(
+        level3
+            .iter()
+            .any(|s| s.get("name").and_then(|j| j.as_str()) == Some("check:pass1")),
+        "check:pass1 span under check:df: {text}"
+    );
+    // Resolution-shape histograms with at least one sample.
+    for hist in ["check.resolve.chain_len", "check.resolve.clause_len"] {
+        let count = doc
+            .path("histograms")
+            .and_then(|h| h.get(hist))
+            .and_then(|h| h.get("count"))
+            .and_then(|j| j.as_u64())
+            .unwrap_or_else(|| panic!("missing histogram {hist}: {text}"));
+        assert!(count > 0, "{hist} is empty");
+    }
     // Phase timers for every checker phase, all positive.
     for phase in ["parse", "check:pass1", "check:resolve", "final-phase"] {
         let secs = doc
@@ -355,7 +391,7 @@ fn solve_metrics_and_progress_report_trace_encoding() {
         .arg(&cnf_path)
         .arg("--trace")
         .arg(&trace_path)
-        .arg("--metrics")
+        .arg("--metrics-out")
         .arg(&metrics_path)
         .arg("--progress")
         .env("RESCHECK_LOG", "info")
@@ -383,6 +419,194 @@ fn solve_metrics_and_progress_report_trace_encoding() {
         .and_then(|j| j.as_f64())
         .unwrap();
     assert_eq!(bytes as u64, std::fs::metadata(&trace_path).unwrap().len());
+}
+
+#[test]
+fn metrics_go_to_stderr_and_stdout_carries_only_the_verdict() {
+    let dir = tmp_dir("metrics-stderr");
+    let cnf_path = dir.join("v.cnf");
+    let trace_path = dir.join("v.rt");
+    let out = bin().args(["gen", "pigeonhole", "4"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+    bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    let out = bin()
+        .arg("check")
+        .arg(&cnf_path)
+        .arg(&trace_path)
+        .arg("--metrics")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VALID UNSAT proof"), "{stdout}");
+    assert!(
+        !stdout.contains('{') && !stdout.contains("schema"),
+        "stdout must carry only the verdict, got: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("rescheck-metrics-v2"),
+        "metrics document on stderr: {stderr}"
+    );
+}
+
+#[test]
+fn prom_format_renders_text_exposition() {
+    let dir = tmp_dir("prom");
+    let cnf_path = dir.join("p.cnf");
+    let trace_path = dir.join("p.rt");
+    let prom_path = dir.join("m.prom");
+    let out = bin().args(["gen", "pigeonhole", "4"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+    bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    let st = bin()
+        .arg("check")
+        .arg(&cnf_path)
+        .arg(&trace_path)
+        .arg("--metrics-out")
+        .arg(&prom_path)
+        .args(["--metrics-format", "prom"])
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(0));
+    let text = std::fs::read_to_string(&prom_path).unwrap();
+    assert!(text.contains("# TYPE"), "{text}");
+    assert!(
+        text.contains("rescheck_check_resolve_chain_len_bucket"),
+        "{text}"
+    );
+    // Every non-empty line is a comment or a `name{labels} value` sample.
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        assert!(
+            line.starts_with('#')
+                || line
+                    .rsplit_once(' ')
+                    .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+            "malformed exposition line: {line}"
+        );
+    }
+
+    // An unknown format is a usage error.
+    let st = bin()
+        .arg("check")
+        .arg(&cnf_path)
+        .arg(&trace_path)
+        .args(["--metrics-format", "yaml"])
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(2));
+}
+
+#[test]
+fn failed_check_dumps_a_flight_recording() {
+    let dir = tmp_dir("flight");
+    let cnf_path = dir.join("f.cnf");
+    let trace_path = dir.join("f.rt");
+    std::fs::write(&cnf_path, "p cnf 1 2\n1 0\n-1 0\n").unwrap();
+    bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    std::fs::write(&trace_path, trace.replace("f 1", "f 0")).unwrap();
+
+    let out = bin()
+        .arg("check")
+        .arg(&cnf_path)
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let flight_path = dir.join("f.rt.flight.json");
+    assert!(
+        flight_path.is_file(),
+        "default flight dump next to the trace"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("flight recorder dump written to"),
+        "stderr announces the dump"
+    );
+    let doc = rescheck_obs::json::parse(&std::fs::read_to_string(&flight_path).unwrap()).unwrap();
+    assert_eq!(
+        doc.path("schema").and_then(|j| j.as_str()),
+        Some("rescheck-flight-v1")
+    );
+    let Some(rescheck_obs::Json::Array(events)) = doc.get("events") else {
+        panic!("flight dump has no events array");
+    };
+    assert!(!events.is_empty(), "flight ring captured the failing check");
+
+    // --flight-out overrides the destination; a valid check dumps nothing.
+    let custom = dir.join("custom-flight.json");
+    let st = bin()
+        .arg("check")
+        .arg(&cnf_path)
+        .arg(&trace_path)
+        .arg("--flight-out")
+        .arg(&custom)
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(1));
+    assert!(custom.is_file());
+}
+
+#[test]
+fn parallel_check_attributes_per_worker_metrics() {
+    let dir = tmp_dir("worker-metrics");
+    let cnf_path = dir.join("w.cnf");
+    let trace_path = dir.join("w.rt");
+    let metrics_path = dir.join("w.json");
+    let out = bin().args(["gen", "pigeonhole", "7"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+    bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    let st = bin()
+        .arg("check")
+        .arg(&cnf_path)
+        .arg(&trace_path)
+        .args(["--strategy", "pbf", "--jobs", "4"])
+        .arg("--metrics-out")
+        .arg(&metrics_path)
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(0));
+    let text = std::fs::read_to_string(&metrics_path).unwrap();
+    let doc = rescheck_obs::json::parse(&text).unwrap();
+    let hists = doc.path("histograms").expect("histograms section");
+    let wall_count = hists
+        .get("check.pass1.worker_wall_us")
+        .and_then(|h| h.get("count"))
+        .and_then(|j| j.as_u64())
+        .unwrap_or_else(|| panic!("missing worker wall histogram: {text}"));
+    assert_eq!(wall_count, 4, "one wall-time sample per worker");
+    for w in 0..4 {
+        assert!(
+            doc.path("gauges")
+                .and_then(|g| g.get(&format!("check.worker.{w}.pass1.events")))
+                .is_some(),
+            "missing per-worker gauge for worker {w}: {text}"
+        );
+    }
 }
 
 #[test]
@@ -570,13 +794,13 @@ fn fuzz_metrics_document_counts_iterations() {
     let metrics = dir.join("fuzz.json");
     let st = bin()
         .args(["fuzz", "--seed", "3", "--iters", "8", "--quiet"])
-        .arg("--metrics")
+        .arg("--metrics-out")
         .arg(&metrics)
         .status()
         .unwrap();
     assert_eq!(st.code(), Some(0));
     let doc = std::fs::read_to_string(&metrics).unwrap();
-    assert!(doc.contains("rescheck-metrics-v1"));
+    assert!(doc.contains("rescheck-metrics-v2"));
     assert!(doc.contains("fuzz.iterations"));
     assert!(doc.contains("fuzz.mutants_tested"));
 }
