@@ -4,6 +4,7 @@ use crate::cancel::CancelFlag;
 use crate::error::CheckError;
 use crate::outcome::CheckOutcome;
 pub use crate::outcome::Strategy;
+use crate::scratch::CheckScratch;
 use rescheck_cnf::{Assignment, Cnf};
 use rescheck_obs::{NullObserver, Observer, Span};
 use rescheck_trace::{RandomAccessTrace, TraceSource};
@@ -170,6 +171,57 @@ pub fn check_unsat_claim_observed<S: RandomAccessTrace + Sync + ?Sized>(
     let result = match strategy {
         Strategy::DepthFirst => crate::depth_first::run(cnf, trace, config, obs),
         Strategy::BreadthFirst => crate::breadth_first::run(cnf, trace, config, obs),
+        Strategy::Hybrid => crate::hybrid::run(cnf, trace, config, obs),
+        Strategy::Portfolio => crate::parallel::run_portfolio(cnf, trace, config, obs),
+        Strategy::ParallelBf => crate::parallel::run_parallel_bf(cnf, trace, config, obs),
+        Strategy::DiskDepthFirst => crate::disk_df::run(cnf, trace, config, obs),
+    };
+    span.stop(obs);
+    result
+}
+
+/// [`check_unsat_claim_observed`] against caller-owned scratch buffers,
+/// for long-lived processes (the `rescheck serve` daemon) that run many
+/// checks and want to reuse the kernel, arena and original-clause cache
+/// across jobs instead of rebuilding them per job.
+///
+/// The single-threaded strategies ([`Strategy::DepthFirst`] and
+/// [`Strategy::BreadthFirst`]) run against the provided
+/// [`CheckScratch`]; the other strategies spread state across threads
+/// and fall back to building their own, exactly like
+/// [`check_unsat_claim_observed`] — passing a scratch is never wrong,
+/// just not always a speedup.
+///
+/// Reported stats and accounted memory are bit-identical to the
+/// unscoped entry point: reuse trades allocator work, never accounting.
+/// See the [`crate::CheckScratch`] docs for the warm-tier rules
+/// ([`CheckScratch::begin_job`]).
+///
+/// # Errors
+///
+/// See [`check_unsat_claim`].
+pub fn check_unsat_claim_scoped<S: RandomAccessTrace + Sync + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    strategy: Strategy,
+    config: &CheckConfig,
+    scratch: &mut CheckScratch,
+    obs: &mut dyn Observer,
+) -> Result<CheckOutcome, CheckError> {
+    let name = match strategy {
+        Strategy::DepthFirst => "check:df",
+        Strategy::BreadthFirst => "check:bf",
+        Strategy::Hybrid => "check:hybrid",
+        Strategy::Portfolio => "check:portfolio",
+        Strategy::ParallelBf => "check:pbf",
+        Strategy::DiskDepthFirst => "check:dfd",
+    };
+    let mut span = Span::start(name, obs);
+    let result = match strategy {
+        Strategy::DepthFirst => crate::depth_first::run_scoped(cnf, trace, config, scratch, obs),
+        Strategy::BreadthFirst => {
+            crate::breadth_first::run_scoped(cnf, trace, config, scratch, obs)
+        }
         Strategy::Hybrid => crate::hybrid::run(cnf, trace, config, obs),
         Strategy::Portfolio => crate::parallel::run_portfolio(cnf, trace, config, obs),
         Strategy::ParallelBf => crate::parallel::run_parallel_bf(cnf, trace, config, obs),

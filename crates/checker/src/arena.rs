@@ -139,6 +139,22 @@ impl ClauseArena {
         self.reuse_hits
     }
 
+    /// Empties the arena for reuse by a new job, keeping the literal
+    /// tail's allocated capacity but zeroing every accounting field.
+    ///
+    /// Because `charged_pages` restarts at 0, the next job re-charges
+    /// pages to *its* meter exactly as a cold arena would — accounting
+    /// stays a pure function of the insert/remove sequence, so per-job
+    /// peaks are bit-identical whether the arena came from a warm scratch
+    /// pool or was freshly built.
+    pub(crate) fn reset(&mut self) {
+        self.lits.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.charged_pages = 0;
+        self.reuse_hits = 0;
+    }
+
     /// Pops the smallest free extent that fits `len` literals, splitting
     /// off and re-listing any remainder.
     fn take_free(&mut self, len: u32) -> Option<u32> {
@@ -272,6 +288,28 @@ mod tests {
         assert_eq!(meter.current(), ARENA_SLOT_BYTES);
         arena.remove(1, &mut meter);
         assert_eq!(meter.current(), 0);
+    }
+
+    #[test]
+    fn reset_recharges_like_a_cold_arena() {
+        let mut arena = ClauseArena::new();
+        let mut meter = MemoryMeter::unlimited();
+        arena.insert(1, &lits(&[1, 2, 3]), &mut meter).unwrap();
+        arena.remove(1, &mut meter);
+        let cold_peak = meter.peak();
+
+        arena.reset();
+        assert_eq!(arena.len(), 0);
+        assert_eq!(arena.charged_bytes(), 0);
+        assert_eq!(arena.reuse_hits(), 0);
+        assert!(arena.get(1).is_none());
+
+        // The same insert sequence against a fresh meter charges the
+        // identical bytes — reuse is invisible to the accounting.
+        let mut meter2 = MemoryMeter::unlimited();
+        arena.insert(1, &lits(&[1, 2, 3]), &mut meter2).unwrap();
+        arena.remove(1, &mut meter2);
+        assert_eq!(meter2.peak(), cold_peak);
     }
 
     #[test]

@@ -25,17 +25,18 @@ use crate::cancel::CancelFlag;
 use crate::error::CheckError;
 use crate::final_phase::{derive_empty_clause, ClauseProvider};
 use crate::fxhash::{FxHashMap, FxHashSet};
-use crate::kernel::ResolutionKernel;
+use crate::kernel::{KernelStats, ResolutionKernel};
 use crate::memory::{MemoryMeter, LEVEL_ZERO_RECORD_BYTES, USE_COUNT_BYTES};
 use crate::model::{
     finish_visit, park_check_error, table_capacity_hint, validate_learned, LevelZeroMap,
 };
 use crate::outcome::{CheckOutcome, CheckStats, Strategy};
 use crate::resolve::normalize_literals;
+use crate::scratch::{kernel_stats_since, CheckScratch};
 use rescheck_cnf::{Cnf, Lit};
 use rescheck_obs::{Event, Observer, Phase};
 use rescheck_trace::{EventRef, TraceEvent, TraceSource};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything pass 1 learns from the trace: use counts, the set of
@@ -179,12 +180,14 @@ pub(crate) struct BfResolveState<'a> {
     cnf: &'a Cnf,
     num_original: usize,
     tables: Pass1Tables,
-    /// Live learned clauses; slots are recycled the moment a clause's
-    /// last use is done.
-    arena: ClauseArena,
+    /// Live learned clauses (borrowed from the job's scratch); slots are
+    /// recycled the moment a clause's last use is done.
+    arena: &'a mut ClauseArena,
     /// Chain resolver; scratch reused across every learned clause.
-    kernel: ResolutionKernel,
-    originals: OriginalCache,
+    kernel: &'a mut ResolutionKernel,
+    originals: &'a mut OriginalCache,
+    /// Kernel counters at job start, for per-job delta gauges.
+    kernel_base: KernelStats,
     pub meter: MemoryMeter,
     cancel: CancelFlag,
     pub resolutions: u64,
@@ -197,14 +200,18 @@ impl<'a> BfResolveState<'a> {
         tables: Pass1Tables,
         meter: MemoryMeter,
         config: &CheckConfig,
+        scratch: &'a mut CheckScratch,
     ) -> Self {
+        let kernel_base = scratch.start_run(config.original_cache_bytes);
+        let (kernel, arena, originals) = scratch.parts();
         BfResolveState {
             cnf,
             num_original: cnf.num_clauses(),
             tables,
-            arena: ClauseArena::new(),
-            kernel: ResolutionKernel::new(),
-            originals: OriginalCache::new(config.original_cache_bytes),
+            arena,
+            kernel,
+            originals,
+            kernel_base,
             meter,
             cancel: config.cancel.clone(),
             resolutions: 0,
@@ -212,17 +219,22 @@ impl<'a> BfResolveState<'a> {
         }
     }
 
-    fn fetch_original(&mut self, id: u64) -> Rc<[Lit]> {
+    fn fetch_original(&mut self, id: u64) -> Arc<[Lit]> {
         if let Some(c) = self.originals.get(id) {
             return c;
         }
-        let lits: Rc<[Lit]> = Rc::from(normalize_literals(
-            self.cnf
-                .clause(id as usize)
-                .expect("in range")
-                .iter()
-                .copied(),
-        ));
+        // Promote from the warm tier when a previous job on this formula
+        // left the normalized clause behind; the insert below charges the
+        // current meter identically either way.
+        let lits: Arc<[Lit]> = self.originals.take_warm(id).unwrap_or_else(|| {
+            Arc::from(normalize_literals(
+                self.cnf
+                    .clause(id as usize)
+                    .expect("in range")
+                    .iter()
+                    .copied(),
+            ))
+        });
         self.originals.insert(id, &lits, &mut self.meter);
         lits
     }
@@ -365,7 +377,7 @@ impl<'a> BfResolveState<'a> {
         crate::depth_first::emit_check_gauges(obs, &stats, self.tables.use_counts.len() as u64);
         crate::depth_first::emit_kernel_gauges(
             obs,
-            &self.kernel.stats(),
+            &kernel_stats_since(&self.kernel.stats(), &self.kernel_base),
             self.arena.charged_bytes(),
             self.arena.reuse_hits(),
         );
@@ -401,6 +413,19 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
     config: &CheckConfig,
     obs: &mut dyn Observer,
 ) -> Result<CheckOutcome, CheckError> {
+    let mut scratch = CheckScratch::new();
+    run_scoped(cnf, trace, config, &mut scratch, obs)
+}
+
+/// [`run`] against caller-owned scratch buffers; see
+/// [`crate::depth_first::run_scoped`] and the [`crate::scratch`] docs.
+pub(crate) fn run_scoped<S: TraceSource + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+    scratch: &mut CheckScratch,
+    obs: &mut dyn Observer,
+) -> Result<CheckOutcome, CheckError> {
     let start = Instant::now();
     let num_original = cnf.num_clauses();
     let mut meter = MemoryMeter::new(config.memory_limit);
@@ -412,7 +437,7 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
     pass1.finish(obs);
 
     let resolve_phase = Phase::start("check:resolve", obs);
-    let mut state = BfResolveState::new(cnf, tables, meter, config);
+    let mut state = BfResolveState::new(cnf, tables, meter, config, scratch);
     let mut parked = None;
     let result = trace.visit_events(&mut |event| {
         let EventRef::Learned { id, sources } = event else {

@@ -18,22 +18,46 @@
 //! cache can therefore never cause a [`MemoryLimitExceeded`] failure —
 //! it only ever trades budget headroom for speed.
 //!
+//! # The warm tier
+//!
+//! When a cache outlives one job inside a reused
+//! [`CheckScratch`](crate::CheckScratch), its entries are *demoted* to a
+//! warm tier at job start ([`begin_job`]): they keep their normalized
+//! literals but are **uncharged** — the finished job's meter is gone and
+//! the next job's meter has charged nothing. On first touch the next job
+//! takes the clause back out of the warm tier ([`take_warm`]) and
+//! re-inserts it through the ordinary charged path, paying the identical
+//! [`clause_bytes`] at the identical first-touch point a cold run would.
+//! Per-job accounting is therefore a pure function of the access
+//! sequence: peak bytes are bit-identical warm vs cold, and the shared
+//! cache is never double-charged across back-to-back jobs on the same
+//! formula.
+//!
 //! [`MemoryLimitExceeded`]: crate::CheckError::MemoryLimitExceeded
+//! [`begin_job`]: OriginalCache::begin_job
+//! [`take_warm`]: OriginalCache::take_warm
 
 use crate::fxhash::FxHashMap;
 use crate::memory::{clause_bytes, MemoryMeter};
 use rescheck_cnf::Lit;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
+#[derive(Default)]
 pub(crate) struct OriginalCache {
-    map: FxHashMap<u64, Rc<[Lit]>>,
+    map: FxHashMap<u64, Arc<[Lit]>>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<u64>,
     /// Accounted bytes currently held by the cache.
     bytes: u64,
     /// Optional hard cap on `bytes`, independent of the meter's budget.
     cap: Option<u64>,
+    /// Demoted entries from earlier jobs on the same formula: normalized
+    /// but **not charged** to any meter. Promoted back through
+    /// [`OriginalCache::insert`] on first touch.
+    warm: FxHashMap<u64, Arc<[Lit]>>,
+    /// Lifetime count of normalizations saved by the warm tier.
+    warm_hits: u64,
 }
 
 impl OriginalCache {
@@ -43,17 +67,19 @@ impl OriginalCache {
             order: VecDeque::new(),
             bytes: 0,
             cap,
+            warm: FxHashMap::default(),
+            warm_hits: 0,
         }
     }
 
-    pub(crate) fn get(&self, id: u64) -> Option<Rc<[Lit]>> {
+    pub(crate) fn get(&self, id: u64) -> Option<Arc<[Lit]>> {
         self.map.get(&id).cloned()
     }
 
     /// Offers a freshly normalized clause to the cache, charging the
     /// meter on success. Never fails: under pressure it evicts oldest
     /// entries first, and skips caching when the clause cannot fit.
-    pub(crate) fn insert(&mut self, id: u64, clause: &Rc<[Lit]>, meter: &mut MemoryMeter) {
+    pub(crate) fn insert(&mut self, id: u64, clause: &Arc<[Lit]>, meter: &mut MemoryMeter) {
         if self.map.contains_key(&id) {
             return;
         }
@@ -73,7 +99,7 @@ impl OriginalCache {
         }
         self.bytes += cost;
         self.order.push_back(id);
-        self.map.insert(id, Rc::clone(clause));
+        self.map.insert(id, Arc::clone(clause));
     }
 
     /// Evicts the oldest entry, refunding its bytes. Returns `false` when
@@ -89,6 +115,43 @@ impl OriginalCache {
         true
     }
 
+    /// Starts a new job on the **same formula**: demotes every charged
+    /// entry to the warm tier and zeroes the per-job byte accounting.
+    /// The outgoing job's meter is dropped with the job, so nothing is
+    /// refunded; the incoming job's meter has charged nothing yet.
+    pub(crate) fn begin_job(&mut self, cap: Option<u64>) {
+        self.warm.extend(self.map.drain());
+        self.order.clear();
+        self.bytes = 0;
+        self.cap = cap;
+    }
+
+    /// Drops every entry, warm and charged — the scratch is about to be
+    /// used on a *different* formula, whose clause ids mean other things.
+    pub(crate) fn reset(&mut self, cap: Option<u64>) {
+        self.map.clear();
+        self.order.clear();
+        self.warm.clear();
+        self.bytes = 0;
+        self.cap = cap;
+    }
+
+    /// Takes a demoted clause out of the warm tier, if present. The
+    /// caller re-offers it through [`OriginalCache::insert`], which is
+    /// where (and only where) the current job's meter gets charged.
+    pub(crate) fn take_warm(&mut self, id: u64) -> Option<Arc<[Lit]>> {
+        let hit = self.warm.remove(&id);
+        if hit.is_some() {
+            self.warm_hits += 1;
+        }
+        hit
+    }
+
+    /// Lifetime count of normalizations the warm tier saved.
+    pub(crate) fn warm_hits(&self) -> u64 {
+        self.warm_hits
+    }
+
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.map.len()
@@ -98,13 +161,18 @@ impl OriginalCache {
     pub(crate) fn bytes(&self) -> u64 {
         self.bytes
     }
+
+    #[cfg(test)]
+    pub(crate) fn warm_len(&self) -> usize {
+        self.warm.len()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn clause(lits: &[i64]) -> Rc<[Lit]> {
+    fn clause(lits: &[i64]) -> Arc<[Lit]> {
         lits.iter()
             .map(|&d| Lit::from_dimacs(d))
             .collect::<Vec<_>>()
@@ -166,5 +234,41 @@ mod tests {
         cache.insert(0, &clause(&[1, 2]), &mut meter);
         assert!(cache.get(0).is_none());
         assert_eq!(meter.current(), 0);
+    }
+
+    #[test]
+    fn begin_job_demotes_without_charging() {
+        let mut meter = MemoryMeter::unlimited();
+        let mut cache = OriginalCache::new(None);
+        cache.insert(0, &clause(&[1, 2]), &mut meter);
+        cache.insert(1, &clause(&[3]), &mut meter);
+
+        // New job, fresh meter: nothing charged, entries demoted.
+        let mut meter2 = MemoryMeter::unlimited();
+        cache.begin_job(None);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.warm_len(), 2);
+
+        // First touch promotes through the charged path — the same cost
+        // at the same point a cold run would pay it.
+        let warm = cache.take_warm(0).expect("demoted entry");
+        cache.insert(0, &warm, &mut meter2);
+        assert_eq!(meter2.current(), clause_bytes(2));
+        assert_eq!(cache.warm_hits(), 1);
+        assert_eq!(cache.warm_len(), 1);
+        assert!(cache.take_warm(0).is_none(), "promotion consumes the entry");
+    }
+
+    #[test]
+    fn reset_clears_the_warm_tier_too() {
+        let mut meter = MemoryMeter::unlimited();
+        let mut cache = OriginalCache::new(None);
+        cache.insert(0, &clause(&[1]), &mut meter);
+        cache.begin_job(None);
+        assert_eq!(cache.warm_len(), 1);
+        cache.reset(None);
+        assert_eq!(cache.warm_len(), 0);
+        assert!(cache.take_warm(0).is_none());
     }
 }

@@ -28,10 +28,11 @@ use crate::memory::MemoryMeter;
 use crate::model::{load_full, FullTrace};
 use crate::outcome::{CheckOutcome, CheckStats, Strategy, UnsatCore};
 use crate::resolve::normalize_literals;
+use crate::scratch::{kernel_stats_since, CheckScratch};
 use rescheck_cnf::{Cnf, Lit};
 use rescheck_obs::{Event, Observer, Phase};
 use rescheck_trace::TraceSource;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Progress events are emitted once per this many built clauses; the
@@ -42,6 +43,22 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
     cnf: &Cnf,
     trace: &S,
     config: &CheckConfig,
+    obs: &mut dyn Observer,
+) -> Result<CheckOutcome, CheckError> {
+    let mut scratch = CheckScratch::new();
+    run_scoped(cnf, trace, config, &mut scratch, obs)
+}
+
+/// [`run`] against caller-owned scratch buffers: the kernel, arena and
+/// original cache come from (and survive into) a [`CheckScratch`], so a
+/// long-lived service reuses their capacity across jobs instead of
+/// rebuilding them per check. Accounting is unchanged — see the
+/// [`scratch`](crate::scratch) module docs.
+pub(crate) fn run_scoped<S: TraceSource + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+    scratch: &mut CheckScratch,
     obs: &mut dyn Observer,
 ) -> Result<CheckOutcome, CheckError> {
     let start = Instant::now();
@@ -56,13 +73,15 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
 
     let start_id = *full.final_ids.first().ok_or(CheckError::NoFinalConflict)?;
 
+    let kernel_base = scratch.start_run(config.original_cache_bytes);
+    let (kernel, arena, original_cache) = scratch.parts();
     let mut builder = DfBuilder {
         cnf,
         full: &full,
         num_original,
-        arena: ClauseArena::new(),
-        kernel: ResolutionKernel::new(),
-        original_cache: OriginalCache::new(config.original_cache_bytes),
+        arena,
+        kernel,
+        original_cache,
         used_originals: vec![false; num_original],
         meter,
         cancel: config.cancel.clone(),
@@ -101,9 +120,11 @@ pub(crate) fn run<S: TraceSource + ?Sized>(
         trace_bytes: trace.encoded_size(),
     };
     emit_check_gauges(builder.obs, &stats, builder.arena.len() as u64);
+    // Per-job deltas, so metrics stay meaningful when the kernel came
+    // from a warm scratch with lifetime totals already on the clock.
     emit_kernel_gauges(
         builder.obs,
-        &builder.kernel.stats(),
+        &kernel_stats_since(&builder.kernel.stats(), &kernel_base),
         builder.arena.charged_bytes(),
         builder.arena.reuse_hits(),
     );
@@ -173,13 +194,13 @@ struct DfBuilder<'a> {
     cnf: &'a Cnf,
     full: &'a FullTrace,
     num_original: usize,
-    /// Learned clauses built so far.
-    arena: ClauseArena,
+    /// Learned clauses built so far (borrowed from the job's scratch).
+    arena: &'a mut ClauseArena,
     /// Chain resolver; scratch reused across every build.
-    kernel: ResolutionKernel,
+    kernel: &'a mut ResolutionKernel,
     /// Normalized original clauses, cached on first use — charged to the
     /// meter like every other resident clause.
-    original_cache: OriginalCache,
+    original_cache: &'a mut OriginalCache,
     used_originals: Vec<bool>,
     meter: MemoryMeter,
     cancel: CancelFlag,
@@ -189,13 +210,19 @@ struct DfBuilder<'a> {
 }
 
 impl DfBuilder<'_> {
-    fn original(&mut self, id: u64) -> Rc<[Lit]> {
+    fn original(&mut self, id: u64) -> Arc<[Lit]> {
         self.used_originals[id as usize] = true;
         if let Some(c) = self.original_cache.get(id) {
             return c;
         }
-        let clause = self.cnf.clause(id as usize).expect("id < num_original");
-        let lits: Rc<[Lit]> = Rc::from(normalize_literals(clause.iter().copied()));
+        // A warm scratch may still hold the normalized clause from the
+        // previous job on this formula; promoting it re-inserts through
+        // the charged path, so this job's meter pays the same bytes at
+        // the same point a cold run would.
+        let lits: Arc<[Lit]> = self.original_cache.take_warm(id).unwrap_or_else(|| {
+            let clause = self.cnf.clause(id as usize).expect("id < num_original");
+            Arc::from(normalize_literals(clause.iter().copied()))
+        });
         self.original_cache.insert(id, &lits, &mut self.meter);
         lits
     }
@@ -505,13 +532,15 @@ mod tests {
         sink.learned(7, &[5, 6]).unwrap();
 
         let full = load_full(&sink, cnf.num_clauses(), &CancelFlag::default()).unwrap();
+        let mut scratch = CheckScratch::new();
+        let (kernel, arena, original_cache) = scratch.parts();
         let mut builder = DfBuilder {
             cnf: &cnf,
             full: &full,
             num_original: cnf.num_clauses(),
-            arena: ClauseArena::new(),
-            kernel: ResolutionKernel::new(),
-            original_cache: OriginalCache::new(None),
+            arena,
+            kernel,
+            original_cache,
             used_originals: vec![false; cnf.num_clauses()],
             meter: MemoryMeter::unlimited(),
             cancel: CancelFlag::default(),

@@ -42,6 +42,7 @@ use rescheck_trace::{RandomAccessTrace, TraceCursor, TraceEvent};
 use std::collections::VecDeque;
 use std::io;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Learned-clause id → byte offset, stored flat and sorted: half the
@@ -313,13 +314,13 @@ impl DiskDfBuilder<'_> {
         }
     }
 
-    fn original(&mut self, id: u64) -> Rc<[Lit]> {
+    fn original(&mut self, id: u64) -> Arc<[Lit]> {
         self.used_originals[id as usize] = true;
         if let Some(c) = self.original_cache.get(id) {
             return c;
         }
         let clause = self.cnf.clause(id as usize).expect("id < num_original");
-        let lits: Rc<[Lit]> = Rc::from(normalize_literals(clause.iter().copied()));
+        let lits: Arc<[Lit]> = Arc::from(normalize_literals(clause.iter().copied()));
         self.original_cache.insert(id, &lits, &mut self.meter);
         lits
     }

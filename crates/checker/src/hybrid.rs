@@ -38,7 +38,7 @@ use crate::resolve::normalize_literals;
 use rescheck_cnf::{Cnf, Lit};
 use rescheck_obs::{Event, Observer, Phase};
 use rescheck_trace::{RandomAccessTrace, TraceCursor, TraceEvent};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
@@ -202,12 +202,12 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
                           cache: &mut OriginalCache,
                           used: &mut Vec<bool>,
                           meter: &mut MemoryMeter|
-     -> Rc<[Lit]> {
+     -> Arc<[Lit]> {
         used[id as usize] = true;
         if let Some(c) = cache.get(id) {
             return c;
         }
-        let lits: Rc<[Lit]> = Rc::from(normalize_literals(
+        let lits: Arc<[Lit]> = Arc::from(normalize_literals(
             cnf.clause(id as usize).expect("in range").iter().copied(),
         ));
         cache.insert(id, &lits, meter);
@@ -305,7 +305,7 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
                     out.extend_from_slice(&c);
                     return Ok(());
                 }
-                let lits: Rc<[Lit]> = Rc::from(normalize_literals(
+                let lits: Arc<[Lit]> = Arc::from(normalize_literals(
                     self.cnf
                         .clause(id as usize)
                         .expect("in range")

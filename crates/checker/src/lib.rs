@@ -77,12 +77,13 @@ mod outcome;
 mod parallel;
 mod proof;
 pub mod resolve;
+mod scratch;
 mod trim;
 
 pub use api::{
     check_breadth_first, check_depth_first, check_disk_depth_first, check_hybrid,
     check_parallel_bf, check_portfolio, check_sat_claim, check_unsat_claim,
-    check_unsat_claim_observed, CheckConfig, ModelError, Strategy,
+    check_unsat_claim_observed, check_unsat_claim_scoped, CheckConfig, ModelError, Strategy,
 };
 pub use cancel::CancelFlag;
 pub use core_min::{minimize_core, CoreIteration, CoreMinimization, MinimizeError};
@@ -94,4 +95,5 @@ pub use proof::{proof_stats, ProofStats};
 pub use resolve::{
     normalize_literals, resolve_on, resolve_sorted, resolve_sorted_pivot, ResolveFailure,
 };
+pub use scratch::{CheckScratch, ScratchPool};
 pub use trim::{trim_trace, trim_trace_observed, TrimmedTrace};

@@ -31,14 +31,17 @@
 use crate::api::CheckConfig;
 use crate::breadth_first::{sequential_pass1, BfResolveState, Pass1Tables};
 use crate::cancel::CancelFlag;
-use crate::error::CheckError;
+use crate::error::{CheckError, FailureKind};
 use crate::fxhash::FxHashMap;
 use crate::memory::MemoryMeter;
 use crate::outcome::{CheckOutcome, Strategy};
+use crate::scratch::CheckScratch;
 use rescheck_cnf::{Cnf, Lit};
 use rescheck_obs::{Event, EventBuffer, Level, Observer, Phase};
 use rescheck_trace::{RandomAccessTrace, TraceEvent, TraceSource};
+use std::any::Any;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -50,6 +53,29 @@ const PIPELINE_DEPTH: usize = 4;
 /// How often the portfolio coordinator polls the caller's cancel flag
 /// while waiting for a racer to finish.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Renders a caught panic payload into a printable message. Panics carry
+/// `&str` or `String` payloads from `panic!`; anything else (a custom
+/// `panic_any`) is reported opaquely rather than dropped.
+fn panic_message(who: &str, payload: &(dyn Any + Send)) -> String {
+    let what = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    format!("{who} panicked: {what}")
+}
+
+/// Converts a thread join result into a structured [`CheckError`]: a
+/// panicked worker becomes [`CheckError::WorkerPanic`] (kind
+/// [`FailureKind::Internal`]) instead of aborting the whole process, so
+/// callers that manage many checks — the serve daemon above all — can
+/// fail one job and keep running.
+fn join_or_internal<T>(who: &str, joined: thread::Result<T>) -> Result<T, CheckError> {
+    joined.map_err(|payload| CheckError::WorkerPanic {
+        what: panic_message(who, payload.as_ref()),
+    })
+}
 
 /// Resolves `config.jobs` to an actual worker count.
 fn effective_jobs(jobs: usize) -> usize {
@@ -94,12 +120,21 @@ pub(crate) fn run_portfolio<S: RandomAccessTrace + Sync + ?Sized>(
             racer_config.cancel = flag.clone();
             scope.spawn(move || {
                 let mut buffer = EventBuffer::new();
-                let result = match strategy {
+                // Racers are joined implicitly by the scope, never by
+                // hand, so a panic must be caught *inside* the racer —
+                // otherwise the scope would re-panic it on exit and take
+                // the whole process down with one poisoned check.
+                let run = catch_unwind(AssertUnwindSafe(|| match strategy {
                     Strategy::DepthFirst => {
                         crate::depth_first::run(cnf, trace, &racer_config, &mut buffer)
                     }
                     _ => crate::breadth_first::run(cnf, trace, &racer_config, &mut buffer),
-                };
+                }));
+                let result = run.unwrap_or_else(|payload| {
+                    Err(CheckError::WorkerPanic {
+                        what: panic_message(&format!("{strategy} racer"), payload.as_ref()),
+                    })
+                });
                 // The coordinator may have stopped listening; that is fine.
                 let _ = tx.send((strategy, result, buffer));
             });
@@ -164,11 +199,17 @@ pub(crate) fn run_portfolio<S: RandomAccessTrace + Sync + ?Sized>(
         });
     }
 
-    // Both racers failed. A proof defect is a stronger verdict than
-    // running out of budget, so prefer the first non-memory error.
+    // Both racers failed. A proof defect is a stronger verdict than an
+    // internal error, which in turn beats running out of budget — so
+    // prefer defects, then any non-memory error.
     let pick = errors
         .iter()
-        .position(|(_, e)| !matches!(e, CheckError::MemoryLimitExceeded { .. }))
+        .position(|(_, e)| e.kind() == FailureKind::ProofDefect)
+        .or_else(|| {
+            errors
+                .iter()
+                .position(|(_, e)| !matches!(e, CheckError::MemoryLimitExceeded { .. }))
+        })
         .unwrap_or(0);
     if errors.is_empty() {
         // Unreachable without a cancelled parent (checked above), but do
@@ -339,13 +380,20 @@ fn sharded_pass1<S: TraceSource + Sync + ?Sized>(
             (None, buffer)
         });
 
-        let (io_err, reader_buffer) = reader.join().expect("trace reader thread panicked");
+        // Join every thread *before* acting on any one failure: an
+        // early return with a panicked-but-unjoined scoped thread would
+        // re-panic at scope exit and abort the process instead of
+        // reporting the structured internal error.
+        let reader_join = reader.join();
+        let worker_joins: Vec<_> = workers.into_iter().map(|w| w.join()).collect();
+
+        let (io_err, reader_buffer) = join_or_internal("pass-1 trace reader", reader_join)?;
         reader_buffer.replay(obs);
         let mut metas: Vec<Meta> = Vec::new();
         let mut merged_counts: FxHashMap<u64, u32> = FxHashMap::default();
-        for (w, worker) in workers.into_iter().enumerate() {
+        for (w, joined) in worker_joins.into_iter().enumerate() {
             let (shard_metas, shard_counts, worker_buffer, wall) =
-                worker.join().expect("counting worker panicked");
+                join_or_internal(&format!("pass-1 counting worker {w}"), joined)?;
             obs.observe(&Event::GaugeSet {
                 name: &format!("check.pass1.shard{w}.events"),
                 value: shard_metas.len() as f64,
@@ -396,10 +444,9 @@ fn sharded_pass1<S: TraceSource + Sync + ?Sized>(
 
 /// Pass 2 with a reader thread decoding ahead of the resolution loop.
 ///
-/// Resolution state stays on the calling thread (clauses are `Rc` and
-/// never cross threads); only owned event batches do. Dropping the
-/// receiver on a resolution error unblocks the reader, and the scope
-/// joins it before returning.
+/// Resolution state stays on the calling thread; only owned event
+/// batches cross the channel. Dropping the receiver on a resolution
+/// error unblocks the reader, and the scope joins it before returning.
 fn pipelined_pass2<S: TraceSource + Sync + ?Sized>(
     trace: &S,
     state: &mut BfResolveState<'_>,
@@ -472,8 +519,16 @@ fn pipelined_pass2<S: TraceSource + Sync + ?Sized>(
                 }
             }
         }
-        let reader_buffer = reader.join().expect("trace reader thread panicked");
-        reader_buffer.replay(obs);
+        match reader.join() {
+            Ok(reader_buffer) => reader_buffer.replay(obs),
+            Err(payload) => {
+                let panic_err = CheckError::WorkerPanic {
+                    what: panic_message("pass-2 trace reader", payload.as_ref()),
+                };
+                // A resolution error found before the panic still wins.
+                result = result.and(Err(panic_err));
+            }
+        }
         result
     })
 }
@@ -504,7 +559,8 @@ pub(crate) fn run_parallel_bf<S: RandomAccessTrace + Sync + ?Sized>(
     pass1.finish(obs);
 
     let resolve_phase = Phase::start("check:resolve", obs);
-    let mut state = BfResolveState::new(cnf, tables, meter, config);
+    let mut scratch = CheckScratch::new();
+    let mut state = BfResolveState::new(cnf, tables, meter, config, &mut scratch);
     pipelined_pass2(trace, &mut state, obs)?;
     resolve_phase.finish(obs);
 
@@ -742,5 +798,79 @@ mod tests {
         assert_eq!(effective_jobs(3), 3);
         assert!(effective_jobs(0) >= 1);
         assert!(effective_jobs(0) <= 8);
+    }
+
+    /// A trace source whose iterator panics after yielding a prefix of
+    /// the events — the injected fault for panic-isolation tests.
+    struct PanickingTrace {
+        prefix: Vec<TraceEvent>,
+    }
+
+    impl TraceSource for PanickingTrace {
+        fn events_iter(&self) -> io::Result<Box<dyn Iterator<Item = io::Result<TraceEvent>> + '_>> {
+            let mut remaining = self.prefix.clone().into_iter();
+            Ok(Box::new(std::iter::from_fn(move || {
+                Some(Ok(remaining.next().expect("injected worker panic")))
+            })))
+        }
+    }
+
+    impl RandomAccessTrace for PanickingTrace {
+        fn offset_events(&self) -> io::Result<rescheck_trace::OffsetEventsIter<'_>> {
+            panic!("injected worker panic");
+        }
+
+        fn open_cursor(&self) -> io::Result<Box<dyn rescheck_trace::TraceCursor + '_>> {
+            panic!("injected worker panic");
+        }
+    }
+
+    fn panicking_chain_trace(n: i64, keep: usize) -> (Cnf, PanickingTrace) {
+        let (cnf, sink) = chain(n);
+        let mut prefix = sink.into_events();
+        assert!(keep < prefix.len(), "prefix must cut the trace short");
+        prefix.truncate(keep);
+        (cnf, PanickingTrace { prefix })
+    }
+
+    #[test]
+    fn join_or_internal_converts_panics() {
+        let joined = thread::spawn(|| panic!("boom {}", 42)).join();
+        match join_or_internal::<()>("test worker", joined).unwrap_err() {
+            CheckError::WorkerPanic { what } => {
+                assert!(what.contains("test worker"), "{what}");
+                assert!(what.contains("boom 42"), "{what}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let ok = join_or_internal("test worker", thread::spawn(|| 7).join());
+        assert_eq!(ok.unwrap(), 7);
+    }
+
+    #[test]
+    fn parallel_bf_reports_worker_panics_as_internal_errors() {
+        // The sharded pass-1 reader panics mid-stream. The process used
+        // to abort on the `expect` at the join; now the whole check
+        // fails with a structured internal error.
+        let (cnf, trace) = panicking_chain_trace(600, 300);
+        let config = CheckConfig {
+            jobs: 4,
+            ..CheckConfig::default()
+        };
+        let err = run_parallel_bf(&cnf, &trace, &config, &mut NullObserver).unwrap_err();
+        assert!(matches!(err, CheckError::WorkerPanic { .. }), "{err:?}");
+        assert_eq!(err.kind(), FailureKind::Internal);
+    }
+
+    #[test]
+    fn portfolio_reports_worker_panics_as_internal_errors() {
+        // Both racers panic inside their strategy; each catches its own
+        // unwind, so the coordinator reports an internal error instead
+        // of the scope re-panicking at exit.
+        let (cnf, trace) = panicking_chain_trace(64, 16);
+        let err =
+            run_portfolio(&cnf, &trace, &CheckConfig::default(), &mut NullObserver).unwrap_err();
+        assert!(matches!(err, CheckError::WorkerPanic { .. }), "{err:?}");
+        assert_eq!(err.kind(), FailureKind::Internal);
     }
 }

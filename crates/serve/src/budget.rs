@@ -1,0 +1,143 @@
+//! Partitioning one daemon-wide memory budget into per-job leases.
+//!
+//! `rescheck serve` owns a single global budget (`--mem-total`). Every
+//! admitted job checks out a [`Lease`] before it runs; the lease's byte
+//! count becomes that job's [`CheckConfig::memory_limit`], so the sum of
+//! accounted memory across concurrently running jobs can never exceed the
+//! daemon's budget. Dropping the lease (job done, job panicked — either
+//! way, drops run) refunds the bytes.
+//!
+//! [`CheckConfig::memory_limit`]: rescheck_checker::CheckConfig::memory_limit
+
+use std::sync::Mutex;
+
+/// The daemon-wide memory budget, shared by all workers.
+#[derive(Debug)]
+pub struct BudgetLedger {
+    /// `None` = unlimited: leases carry no cap and nothing is accounted.
+    total: Option<u64>,
+    /// Fair-share default for jobs that do not request a specific budget.
+    share: u64,
+    available: Mutex<u64>,
+}
+
+impl BudgetLedger {
+    /// Creates a ledger for `total` bytes split fairly across `workers`
+    /// concurrent jobs. `None` disables budgeting entirely.
+    pub fn new(total: Option<u64>, workers: usize) -> Self {
+        let total_bytes = total.unwrap_or(0);
+        BudgetLedger {
+            total,
+            share: total_bytes / workers.max(1) as u64,
+            available: Mutex::new(total_bytes),
+        }
+    }
+
+    /// Checks out a lease of `requested` bytes (or the fair share when the
+    /// job did not ask for a specific amount), clamped to what is left.
+    ///
+    /// The clamp means an overloaded daemon degrades into per-job
+    /// `resource-limit` verdicts instead of overcommitting the budget —
+    /// the job still runs, just against whatever is genuinely available.
+    pub fn lease<'a>(&'a self, requested: Option<u64>) -> Lease<'a> {
+        if self.total.is_none() {
+            // Unlimited daemon: honour the job's own cap verbatim.
+            return Lease {
+                ledger: self,
+                bytes: requested,
+                charged: 0,
+            };
+        }
+        let want = requested.unwrap_or(self.share).max(1);
+        let mut available = self.available.lock().expect("budget ledger poisoned");
+        // Only what was genuinely deducted is refunded later; the 1-byte
+        // floor on the cap exists so a drained ledger still yields a
+        // well-formed (instantly resource-limited) job config.
+        let charged = want.min(*available);
+        *available -= charged;
+        Lease {
+            ledger: self,
+            bytes: Some(charged.max(1)),
+            charged,
+        }
+    }
+
+    /// Bytes not currently leased out (`None` when unlimited).
+    pub fn available(&self) -> Option<u64> {
+        self.total.as_ref()?;
+        Some(*self.available.lock().expect("budget ledger poisoned"))
+    }
+}
+
+/// A per-job slice of the daemon budget; refunds itself on drop.
+#[derive(Debug)]
+pub struct Lease<'a> {
+    ledger: &'a BudgetLedger,
+    bytes: Option<u64>,
+    charged: u64,
+}
+
+impl Lease<'_> {
+    /// The job's memory cap: feed this to `CheckConfig::memory_limit`.
+    pub fn bytes(&self) -> Option<u64> {
+        self.bytes
+    }
+}
+
+impl Drop for Lease<'_> {
+    fn drop(&mut self) {
+        if self.charged > 0 {
+            let mut available = self
+                .ledger
+                .available
+                .lock()
+                .expect("budget ledger poisoned");
+            *available += self.charged;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_ledger_passes_requests_through() {
+        let ledger = BudgetLedger::new(None, 4);
+        assert_eq!(ledger.available(), None);
+        let a = ledger.lease(None);
+        assert_eq!(a.bytes(), None);
+        let b = ledger.lease(Some(123));
+        assert_eq!(b.bytes(), Some(123));
+    }
+
+    #[test]
+    fn leases_charge_and_refund_the_budget() {
+        let ledger = BudgetLedger::new(Some(1000), 4);
+        let a = ledger.lease(None); // fair share = 250
+        assert_eq!(a.bytes(), Some(250));
+        assert_eq!(ledger.available(), Some(750));
+        let b = ledger.lease(Some(700));
+        assert_eq!(b.bytes(), Some(700));
+        assert_eq!(ledger.available(), Some(50));
+        drop(a);
+        assert_eq!(ledger.available(), Some(300));
+        drop(b);
+        assert_eq!(ledger.available(), Some(1000));
+    }
+
+    #[test]
+    fn exhausted_budget_clamps_instead_of_overcommitting() {
+        let ledger = BudgetLedger::new(Some(100), 1);
+        let a = ledger.lease(Some(100));
+        assert_eq!(a.bytes(), Some(100));
+        // The budget is gone; the next lease is clamped to the 1-byte
+        // floor, which any real check immediately reports as a
+        // resource-limit — deterministic shedding, not overcommit.
+        let b = ledger.lease(Some(50));
+        assert_eq!(b.bytes(), Some(1));
+        drop(a);
+        drop(b);
+        assert_eq!(ledger.available(), Some(100));
+    }
+}

@@ -1,0 +1,170 @@
+//! A small content-addressed formula cache shared by all workers.
+//!
+//! Campaigns routinely submit many jobs against the same CNF (one formula,
+//! many traces). Parsing DIMACS per job would dominate small checks, so
+//! the daemon keys parsed formulas by an FNV-1a hash of the DIMACS text
+//! and hands out `Arc<Cnf>` clones. Each distinct formula also gets a
+//! stable **token**, which is what [`CheckScratch::begin_job`] uses to
+//! decide whether a worker's warm original-clause tier may be reused —
+//! same token, same formula, warm reuse is sound.
+//!
+//! [`CheckScratch::begin_job`]: rescheck_checker::CheckScratch::begin_job
+
+use rescheck_cnf::dimacs;
+use rescheck_cnf::{Cnf, ParseDimacsError};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Parsed formulas the cache keeps resident at once. Entries are whole
+/// CNFs, so the cap is deliberately small; eviction is FIFO.
+const CACHE_CAPACITY: usize = 8;
+
+struct Entry {
+    /// Stored to disambiguate genuine hits from 64-bit hash collisions.
+    text_len: usize,
+    text_fnv: u64,
+    cnf: Arc<Cnf>,
+    token: u64,
+}
+
+/// A parsed formula plus its identity token for scratch warm-tier reuse.
+#[derive(Clone)]
+pub struct CachedFormula {
+    /// The parsed formula.
+    pub cnf: Arc<Cnf>,
+    /// Stable identity: equal tokens ⇒ byte-identical DIMACS source.
+    pub token: u64,
+}
+
+#[derive(Default)]
+struct State {
+    entries: HashMap<u64, Entry>,
+    order: VecDeque<u64>,
+    next_token: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Content-addressed `Arc<Cnf>` cache with FIFO eviction.
+#[derive(Default)]
+pub struct FormulaCache {
+    state: Mutex<State>,
+}
+
+impl FormulaCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        FormulaCache::default()
+    }
+
+    /// Parses `text` as DIMACS, or returns the cached parse of identical
+    /// text. Tokens are assigned once per distinct formula and survive
+    /// eviction-free for the entry's lifetime; a re-inserted formula gets
+    /// a *fresh* token, which at worst costs a warm-tier rebuild, never
+    /// correctness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the DIMACS parse error for malformed input (parse
+    /// failures are not cached).
+    pub fn load_text(&self, text: &str) -> Result<CachedFormula, ParseDimacsError> {
+        let key = fnv1a(text.as_bytes());
+        {
+            let mut state = self.state.lock().expect("formula cache poisoned");
+            if let Some(entry) = state.entries.get(&key) {
+                if entry.text_len == text.len() && entry.text_fnv == key {
+                    let hit = CachedFormula {
+                        cnf: Arc::clone(&entry.cnf),
+                        token: entry.token,
+                    };
+                    state.hits += 1;
+                    return Ok(hit);
+                }
+            }
+        }
+        let cnf = Arc::new(dimacs::parse_str(text)?);
+        let mut state = self.state.lock().expect("formula cache poisoned");
+        state.misses += 1;
+        let token = state.next_token;
+        state.next_token += 1;
+        if state.order.len() >= CACHE_CAPACITY {
+            if let Some(oldest) = state.order.pop_front() {
+                state.entries.remove(&oldest);
+            }
+        }
+        state.entries.insert(
+            key,
+            Entry {
+                text_len: text.len(),
+                text_fnv: key,
+                cnf: Arc::clone(&cnf),
+                token,
+            },
+        );
+        state.order.push_back(key);
+        Ok(CachedFormula { cnf, token })
+    }
+
+    /// `(hits, misses)` so far — exported as `serve.formula_cache.*`.
+    pub fn stats(&self) -> (u64, u64) {
+        let state = self.state.lock().expect("formula cache poisoned");
+        (state.hits, state.misses)
+    }
+}
+
+/// 64-bit FNV-1a — tiny, dependency-free, good enough for a keyed cache
+/// that double-checks length on hit.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "p cnf 1 2\n1 0\n-1 0\n";
+
+    #[test]
+    fn identical_text_hits_and_shares_a_token() {
+        let cache = FormulaCache::new();
+        let a = cache.load_text(TINY).unwrap();
+        let b = cache.load_text(TINY).unwrap();
+        assert_eq!(a.token, b.token);
+        assert!(Arc::ptr_eq(&a.cnf, &b.cnf));
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn distinct_text_gets_distinct_tokens() {
+        let cache = FormulaCache::new();
+        let a = cache.load_text(TINY).unwrap();
+        let b = cache.load_text("p cnf 2 1\n1 2 0\n").unwrap();
+        assert_ne!(a.token, b.token);
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn parse_errors_propagate_and_are_not_cached() {
+        let cache = FormulaCache::new();
+        assert!(cache.load_text("p cnf nonsense").is_err());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_reinsert_changes_token() {
+        let cache = FormulaCache::new();
+        let first = cache.load_text(TINY).unwrap();
+        for i in 0..CACHE_CAPACITY {
+            let text = format!("p cnf {n} 1\n{n} 0\n", n = i + 1);
+            cache.load_text(&text).unwrap();
+        }
+        // TINY was evicted; loading it again re-parses under a new token.
+        let again = cache.load_text(TINY).unwrap();
+        assert_ne!(first.token, again.token);
+    }
+}

@@ -1,0 +1,102 @@
+//! The daemon's front doors: a stdin/stdout loop and a TCP listener.
+//!
+//! Both are thin wrappers over [`Server::handle_line`]; everything
+//! interesting (admission, shedding, verdicts) lives behind that call.
+
+use crate::server::{write_frame, LineOutcome, Reply, ServeConfig, Server};
+use rescheck_obs::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Serves newline-delimited JSON frames from `reader`, writing verdicts
+/// to `writer`. Returns the summary frame (also written as the final
+/// line) once `reader` hits EOF or a shutdown frame arrives.
+///
+/// # Errors
+///
+/// Only read errors on `reader` surface; client write errors are
+/// swallowed per connection-loss semantics.
+pub fn serve_io(
+    config: ServeConfig,
+    reader: impl BufRead,
+    writer: Box<dyn Write + Send>,
+) -> io::Result<Json> {
+    let server = Server::start(config);
+    let reply: Reply = Arc::new(Mutex::new(writer));
+    for line in reader.lines() {
+        let line = line?;
+        if matches!(server.handle_line(&line, &reply), LineOutcome::Shutdown) {
+            break;
+        }
+    }
+    server.shutdown();
+    let summary = server.summary();
+    write_frame(&reply, &summary);
+    Ok(summary)
+}
+
+/// [`serve_io`] over the process's stdin and stdout — the
+/// `rescheck serve --stdin` mode, and the one-liner documented in the
+/// README (`printf '...' | rescheck serve --stdin`).
+///
+/// # Errors
+///
+/// See [`serve_io`].
+pub fn serve_stdin(config: ServeConfig) -> io::Result<Json> {
+    serve_io(config, io::stdin().lock(), Box::new(io::stdout()))
+}
+
+/// Binds `addr` and serves every connection until a shutdown frame
+/// arrives on any of them. `on_ready` receives the bound address before
+/// the first accept (pass port `0` to let the OS choose). Returns the
+/// summary frame.
+///
+/// # Errors
+///
+/// Bind/local-addr failures; per-connection I/O errors only end that
+/// connection.
+pub fn serve_tcp(
+    config: ServeConfig,
+    addr: &str,
+    on_ready: impl FnOnce(SocketAddr),
+) -> io::Result<Json> {
+    let server = Arc::new(Server::start(config));
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    on_ready(local);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut connections = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        connections.push(thread::spawn(move || {
+            let Ok(write_half) = stream.try_clone() else {
+                return;
+            };
+            let reply: Reply = Arc::new(Mutex::new(Box::new(write_half)));
+            for line in BufReader::new(stream).lines() {
+                let Ok(line) = line else { break };
+                if matches!(server.handle_line(&line, &reply), LineOutcome::Shutdown) {
+                    stop.store(true, Ordering::SeqCst);
+                    // The accept loop is parked in `incoming()`; poke it
+                    // awake with a throwaway connection so it sees the
+                    // stop flag.
+                    let _ = TcpStream::connect(local);
+                    break;
+                }
+            }
+        }));
+    }
+    for connection in connections {
+        let _ = connection.join();
+    }
+    server.shutdown();
+    Ok(server.summary())
+}

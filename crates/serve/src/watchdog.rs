@@ -1,0 +1,202 @@
+//! Per-job deadlines: a single watchdog thread that fires [`CancelFlag`]s.
+//!
+//! Each job with a `timeout_ms` arms an entry `(deadline, flag)`; one
+//! daemon-wide thread sleeps until the earliest deadline and cancels
+//! whatever has expired. Completed jobs disarm by dropping their
+//! [`WatchdogGuard`]. Deadlines already in the past fire *synchronously*
+//! inside [`Watchdog::arm`], which makes `timeout_ms = 0` deterministic —
+//! the job observes the cancellation before its first instruction — and
+//! keeps timeout tests free of sleeps.
+
+use rescheck_checker::CancelFlag;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+#[derive(Default)]
+struct State {
+    /// Armed deadlines by entry id. A HashMap (not a heap) because
+    /// disarming on job completion is the common path and must be O(1)-ish
+    /// without tombstone bookkeeping.
+    entries: HashMap<u64, (Instant, CancelFlag)>,
+    next_id: u64,
+    stopping: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+/// The daemon's deadline service. Cheap to clone handles via [`Arc`]; the
+/// background thread stops when [`Watchdog::stop`] is called.
+pub struct Watchdog {
+    inner: Arc<Inner>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Starts the watchdog thread.
+    pub fn start() -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State::default()),
+            wake: Condvar::new(),
+        });
+        let worker = Arc::clone(&inner);
+        let thread = thread::Builder::new()
+            .name("rescheck-serve-watchdog".to_string())
+            .spawn(move || watchdog_loop(&worker))
+            .expect("spawn watchdog thread");
+        Watchdog {
+            inner,
+            thread: Some(thread),
+        }
+    }
+
+    /// Arms `flag` to be cancelled at `deadline`. A deadline that has
+    /// already passed cancels the flag before this call returns.
+    pub fn arm(&self, deadline: Instant, flag: CancelFlag) -> WatchdogGuard {
+        if deadline <= Instant::now() {
+            flag.cancel();
+            return WatchdogGuard {
+                inner: Arc::clone(&self.inner),
+                id: None,
+            };
+        }
+        let id = {
+            let mut state = self.inner.state.lock().expect("watchdog poisoned");
+            let id = state.next_id;
+            state.next_id += 1;
+            state.entries.insert(id, (deadline, flag));
+            id
+        };
+        self.inner.wake.notify_one();
+        WatchdogGuard {
+            inner: Arc::clone(&self.inner),
+            id: Some(id),
+        }
+    }
+
+    /// Number of currently armed deadlines (tests and metrics).
+    pub fn armed(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("watchdog poisoned")
+            .entries
+            .len()
+    }
+
+    /// Stops and joins the watchdog thread. Armed flags that have not yet
+    /// expired are left un-cancelled.
+    pub fn stop(&mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("watchdog poisoned");
+            state.stopping = true;
+        }
+        self.inner.wake.notify_one();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Disarms its deadline when dropped (the job finished in time).
+pub struct WatchdogGuard {
+    inner: Arc<Inner>,
+    /// `None` when the deadline fired synchronously at arm time.
+    id: Option<u64>,
+}
+
+impl Drop for WatchdogGuard {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            let mut state = self.inner.state.lock().expect("watchdog poisoned");
+            state.entries.remove(&id);
+        }
+    }
+}
+
+fn watchdog_loop(inner: &Inner) {
+    let mut state = inner.state.lock().expect("watchdog poisoned");
+    loop {
+        if state.stopping {
+            return;
+        }
+        let now = Instant::now();
+        // Fire everything expired, then sleep until the next deadline.
+        let expired: Vec<u64> = state
+            .entries
+            .iter()
+            .filter(|(_, (deadline, _))| *deadline <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            if let Some((_, flag)) = state.entries.remove(&id) {
+                flag.cancel();
+            }
+        }
+        let next = state.entries.values().map(|(deadline, _)| *deadline).min();
+        state = match next {
+            Some(deadline) => {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                inner
+                    .wake
+                    .wait_timeout(state, wait)
+                    .expect("watchdog poisoned")
+                    .0
+            }
+            None => inner.wake.wait(state).expect("watchdog poisoned"),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn past_deadlines_fire_synchronously() {
+        let watchdog = Watchdog::start();
+        let flag = CancelFlag::armed();
+        let _guard = watchdog.arm(Instant::now(), flag.clone());
+        assert!(flag.is_cancelled());
+        assert_eq!(watchdog.armed(), 0);
+    }
+
+    #[test]
+    fn future_deadlines_fire_from_the_thread() {
+        let watchdog = Watchdog::start();
+        let flag = CancelFlag::armed();
+        let _guard = watchdog.arm(Instant::now() + Duration::from_millis(20), flag.clone());
+        assert!(!flag.is_cancelled());
+        let start = Instant::now();
+        while !flag.is_cancelled() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "watchdog never fired"
+            );
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn dropping_the_guard_disarms() {
+        let mut watchdog = Watchdog::start();
+        let flag = CancelFlag::armed();
+        let guard = watchdog.arm(Instant::now() + Duration::from_secs(600), flag.clone());
+        assert_eq!(watchdog.armed(), 1);
+        drop(guard);
+        assert_eq!(watchdog.armed(), 0);
+        assert!(!flag.is_cancelled());
+        watchdog.stop();
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared helpers for the serve integration tests.
+
+#![allow(dead_code)]
+
+use rescheck_cnf::{dimacs, Cnf};
+use rescheck_obs::json::{self, Json};
+use rescheck_serve::Reply;
+use rescheck_solver::{Solver, SolverConfig};
+use rescheck_trace::AsciiWriter;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A clonable in-memory sink that can serve as a verdict [`Reply`] while
+/// the test keeps reading what accumulated.
+#[derive(Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    pub fn new() -> SharedBuf {
+        SharedBuf::default()
+    }
+
+    pub fn reply(&self) -> Reply {
+        Arc::new(Mutex::new(Box::new(self.clone())))
+    }
+
+    pub fn text(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).expect("utf8 output")
+    }
+
+    /// Every complete frame written so far.
+    pub fn frames(&self) -> Vec<Json> {
+        self.text()
+            .lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(|line| json::parse(line).expect("reply frame parses"))
+            .collect()
+    }
+
+    /// Polls until at least `n` frames have been written.
+    pub fn wait_frames(&self, n: usize) -> Vec<Json> {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let frames = self.frames();
+            if frames.len() >= n {
+                return frames;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for {n} frames; have {}:\n{}",
+                frames.len(),
+                self.text()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The pigeonhole principle with `holes + 1` pigeons: small, genuinely
+/// UNSAT, and requires real resolution (not just unit propagation).
+pub fn pigeonhole(holes: usize) -> Cnf {
+    let pigeons = holes + 1;
+    let var = |p: usize, h: usize| (p * holes + h + 1) as i64;
+    let mut cnf = Cnf::new();
+    for p in 0..pigeons {
+        let clause: Vec<i64> = (0..holes).map(|h| var(p, h)).collect();
+        cnf.add_dimacs_clause(&clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_dimacs_clause(&[-var(p1, h), -var(p2, h)]);
+            }
+        }
+    }
+    cnf
+}
+
+/// An unsatisfiable implication chain `x1, x_i → x_{i+1}, ¬x_k`.
+pub fn unsat_chain(k: usize) -> Cnf {
+    let mut cnf = Cnf::new();
+    cnf.add_dimacs_clause(&[1]);
+    for i in 1..k {
+        cnf.add_dimacs_clause(&[-(i as i64), (i + 1) as i64]);
+    }
+    cnf.add_dimacs_clause(&[-(k as i64)]);
+    cnf
+}
+
+pub fn cnf_text(cnf: &Cnf) -> String {
+    let mut buf = Vec::new();
+    dimacs::write(&mut buf, cnf).expect("write DIMACS");
+    String::from_utf8(buf).expect("DIMACS is utf8")
+}
+
+/// Solves `cnf` (which must be UNSAT) and returns its ASCII resolve
+/// trace.
+pub fn unsat_trace_text(cnf: &Cnf) -> String {
+    let mut solver = Solver::from_cnf(cnf, SolverConfig::default());
+    let mut writer = AsciiWriter::new(Vec::new());
+    let result = solver.solve_traced(&mut writer).expect("solve");
+    assert!(result.is_unsat(), "test formula must be UNSAT");
+    String::from_utf8(writer.into_inner()).expect("trace is utf8")
+}
+
+/// Builds a job frame line with proper JSON escaping.
+pub fn job_frame(id: &str, fields: &[(&str, Json)]) -> String {
+    let mut frame = Json::object();
+    frame.set("id", id);
+    for (key, value) in fields {
+        frame.set(key, value.clone());
+    }
+    frame.to_string()
+}
+
+/// Pulls the status string out of a verdict frame.
+pub fn status_of(frame: &Json) -> &str {
+    frame
+        .get("status")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("frame without status: {frame}"))
+}
+
+/// Finds the verdict for a job id.
+pub fn verdict_for<'a>(frames: &'a [Json], id: &str) -> &'a Json {
+    frames
+        .iter()
+        .find(|f| f.get("id").and_then(Json::as_str) == Some(id))
+        .unwrap_or_else(|| panic!("no verdict for job {id}"))
+}

@@ -8,6 +8,7 @@
 //!                [--mem-limit <bytes>] [--jobs <n>]
 //! rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
 //! rescheck gen   <family> [args…]        # writes DIMACS to stdout
+//! rescheck serve [--stdin | --listen <addr>] [--jobs <n>]  # daemon mode
 //! ```
 //!
 //! Every command (except `gen`) accepts `--metrics` (print a
@@ -38,6 +39,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -67,6 +69,8 @@ USAGE:
                  [--no-learning] [--no-deletion] [--no-restarts]
   rescheck check <file.cnf> <trace> [--strategy df|bf|dfd|hybrid|portfolio|pbf]
                  [--mem-limit <bytes>] [--jobs <n>]
+                 (pass `-` as <trace> to read the trace from stdin,
+                 ASCII or binary, sniffed by magic)
                  (dfd is depth-first with the trace left on disk — same
                  verdict, core and resolution stats as df under a far
                  smaller memory budget; portfolio races df against bf on
@@ -93,6 +97,19 @@ USAGE:
                  corrupted traces to the checker; disagreements are
                  delta-debugged to a minimal repro under --artifacts.
                  Same seed ⇒ byte-identical campaign, log and repros.)
+  rescheck serve [--stdin | --listen <addr>] [--jobs <n>]
+                 [--queue-depth <d>] [--mem-total <bytes>]
+                 [--timeout-ms <t>] [--max-frame-bytes <b>]
+                 (persistent validation daemon: newline-delimited JSON job
+                 frames in — {\"id\":…,\"cnf\":…,\"trace\":…,\"strategy\":…} —
+                 one verdict frame per job out, each embedding a
+                 rescheck-metrics-v2 document. A full queue sheds new jobs
+                 with status \"busy\"; a worker panic costs that job an
+                 \"internal-error\" verdict and the worker is respawned —
+                 the daemon never dies. --mem-total is leased out across
+                 concurrent jobs; per-job deadlines verdict as \"timeout\".
+                 {\"op\":\"shutdown\"} or stdin EOF winds down with a
+                 summary frame. Default front end is --stdin.)
 
 Observability (solve, check, core, trim, stats, fuzz):
   --metrics              print the metrics document to stderr (stdout
@@ -114,7 +131,8 @@ Observability (solve, check, core, trim, stats, fuzz):
 
 Exit codes: solve → 10 SAT / 20 UNSAT (competition convention);
 check → 0 valid proof, 1 proof defect, 3 resource limit exceeded,
-4 input I/O error; fuzz → 0 clean campaign, 1 disagreements found;
+4 input I/O error, 5 internal checker error (worker panic);
+fuzz → 0 clean campaign, 1 disagreements found;
 core → 0 on success, 1 on an invalid proof; all → 2 on usage errors.
 ";
 
@@ -214,16 +232,40 @@ impl CliObserver {
         Ok(())
     }
 
-    /// Dumps the flight recorder (if one is attached) to `path`.
-    fn dump_flight(&self, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    /// Dumps the flight recorder (if one is attached) to `path`,
+    /// best-effort. The default path derives from the trace argument,
+    /// which may live in a read-only directory; in that case the dump
+    /// falls back to the current directory instead of erroring — a lost
+    /// dump must never mask the verdict's exit code.
+    fn dump_flight(&self, path: &str) {
         let Some(flight) = &self.flight else {
-            return Ok(());
+            return;
         };
         let mut text = flight.to_json().to_pretty_string();
         text.push('\n');
-        std::fs::write(Path::new(path), text.as_bytes())?;
-        eprintln!("c flight recorder dump written to {path}");
-        Ok(())
+        let first = match std::fs::write(Path::new(path), text.as_bytes()) {
+            Ok(()) => {
+                eprintln!("c flight recorder dump written to {path}");
+                return;
+            }
+            Err(e) => e,
+        };
+        let fallback = Path::new(path)
+            .file_name()
+            .map(|name| name.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "rescheck.flight.json".to_string());
+        if fallback == path {
+            eprintln!("c flight recorder dump lost: {path}: {first}");
+            return;
+        }
+        match std::fs::write(Path::new(&fallback), text.as_bytes()) {
+            Ok(()) => eprintln!(
+                "c flight recorder dump written to ./{fallback} ({path} unwritable: {first})"
+            ),
+            Err(second) => {
+                eprintln!("c flight recorder dump lost: {path}: {first}; ./{fallback}: {second}")
+            }
+        }
     }
 }
 
@@ -396,9 +438,38 @@ fn cmd_check(rest: &[String]) -> CliResult {
         Ok(cnf) => cnf,
         Err(e) => return Ok(open_failed(cnf_path, &e)),
     };
-    let trace = match FileTrace::open(trace_path) {
-        Ok(trace) => trace,
-        Err(e) => return Ok(open_failed(trace_path, &e)),
+    // `-` reads the trace from stdin (format sniffed by magic); anything
+    // else is a file consulted in place, by random access where the
+    // strategy wants it.
+    enum TraceInput {
+        File(FileTrace),
+        Stdin(MemorySink),
+    }
+    let trace = if trace_path == "-" {
+        use rescheck::trace::{read_all, TraceFormat, BINARY_MAGIC};
+        use std::io::Read;
+        let mut bytes = Vec::new();
+        if let Err(e) = std::io::stdin().lock().read_to_end(&mut bytes) {
+            return Ok(open_failed("stdin", &e));
+        }
+        obs.observe(&Event::GaugeSet {
+            name: "io.trace.bytes",
+            value: bytes.len() as f64,
+        });
+        let format = if bytes.starts_with(&BINARY_MAGIC) {
+            TraceFormat::Binary
+        } else {
+            TraceFormat::Ascii
+        };
+        match read_all(&bytes[..], format) {
+            Ok(events) => TraceInput::Stdin(MemorySink::from(events)),
+            Err(e) => return Ok(open_failed("stdin trace", &e)),
+        }
+    } else {
+        match FileTrace::open(trace_path) {
+            Ok(trace) => TraceInput::File(trace),
+            Err(e) => return Ok(open_failed(trace_path, &e)),
+        }
     };
     parse.finish(&mut obs);
     if let Ok(meta) = std::fs::metadata(cnf_path) {
@@ -407,18 +478,27 @@ fn cmd_check(rest: &[String]) -> CliResult {
             value: meta.len() as f64,
         });
     }
-    if let Ok(meta) = std::fs::metadata(trace_path) {
-        obs.observe(&Event::GaugeSet {
-            name: "io.trace.bytes",
-            value: meta.len() as f64,
-        });
+    if let TraceInput::File(_) = &trace {
+        if let Ok(meta) = std::fs::metadata(trace_path) {
+            obs.observe(&Event::GaugeSet {
+                name: "io.trace.bytes",
+                value: meta.len() as f64,
+            });
+        }
     }
     let config = CheckConfig {
         memory_limit,
         jobs,
         ..CheckConfig::default()
     };
-    let result = check_unsat_claim_observed(&cnf, &trace, strategy, &config, &mut obs);
+    let result = match &trace {
+        TraceInput::File(file) => {
+            check_unsat_claim_observed(&cnf, file, strategy, &config, &mut obs)
+        }
+        TraceInput::Stdin(mem) => {
+            check_unsat_claim_observed(&cnf, mem, strategy, &config, &mut obs)
+        }
+    };
     root.stop(&mut obs);
     match result {
         Ok(outcome) => {
@@ -448,8 +528,16 @@ fn cmd_check(rest: &[String]) -> CliResult {
             use rescheck::checker::FailureKind;
             let kind = e.kind();
             println!("INVALID proof: {e}");
-            let flight_path = flight_out.unwrap_or_else(|| format!("{trace_path}.flight.json"));
-            obs.dump_flight(&flight_path)?;
+            // A stdin trace has no adjacent file to name the dump after;
+            // use the current directory instead of `-.flight.json`.
+            let flight_path = flight_out.unwrap_or_else(|| {
+                if trace_path == "-" {
+                    "rescheck.flight.json".to_string()
+                } else {
+                    format!("{trace_path}.flight.json")
+                }
+            });
+            obs.dump_flight(&flight_path);
             obs.write_metrics("check", |doc| {
                 doc.set("error", e.to_string().as_str())
                     .set("failure_kind", kind.to_string().as_str());
@@ -457,12 +545,15 @@ fn cmd_check(rest: &[String]) -> CliResult {
             // Distinct exit codes per failure class: a defective proof
             // (1) is a solver/trace bug, a breached memory budget (3) a
             // retry-with-more-resources, an I/O failure (4) an
-            // environment problem. Cancellation shares 3: the run was
-            // stopped by a resource policy, not by the proof.
+            // environment problem, a checker-internal error (5 — e.g. a
+            // worker panic surfaced as a structured verdict) a bug in
+            // *us*. Cancellation shares 3: the run was stopped by a
+            // resource policy, not by the proof.
             Ok(ExitCode::from(match kind {
                 FailureKind::ProofDefect => 1,
                 FailureKind::ResourceLimit | FailureKind::Cancelled => 3,
                 FailureKind::Io => 4,
+                FailureKind::Internal => 5,
             }))
         }
     }
@@ -754,4 +845,63 @@ fn cmd_fuzz(rest: &[String]) -> CliResult {
     } else {
         ExitCode::from(1)
     })
+}
+
+fn cmd_serve(rest: &[String]) -> CliResult {
+    use rescheck_serve::{serve_stdin, serve_tcp, ServeConfig};
+    let mut args = rest.to_vec();
+    let listen = take_opt(&mut args, "--listen")?;
+    let use_stdin = take_flag(&mut args, "--stdin");
+    if use_stdin && listen.is_some() {
+        return Err("--stdin and --listen are mutually exclusive".into());
+    }
+    let defaults = ServeConfig::default();
+    let workers = take_opt(&mut args, "--jobs")?
+        .map(|s| s.parse::<usize>())
+        .transpose()?
+        .unwrap_or(defaults.workers);
+    let queue_depth = take_opt(&mut args, "--queue-depth")?
+        .map(|s| s.parse::<usize>())
+        .transpose()?
+        .unwrap_or(defaults.queue_depth);
+    let mem_total = take_opt(&mut args, "--mem-total")?
+        .map(|s| s.parse::<u64>())
+        .transpose()?;
+    let default_timeout_ms = take_opt(&mut args, "--timeout-ms")?
+        .map(|s| s.parse::<u64>())
+        .transpose()?;
+    let max_frame_bytes = take_opt(&mut args, "--max-frame-bytes")?
+        .map(|s| s.parse::<usize>())
+        .transpose()?
+        .unwrap_or(defaults.max_frame_bytes);
+    if !args.is_empty() {
+        return Err(format!("serve does not take positional arguments: {args:?}").into());
+    }
+    let config = ServeConfig {
+        workers,
+        queue_depth,
+        mem_total,
+        default_timeout_ms,
+        max_frame_bytes,
+    };
+    let summary = match listen {
+        // Default front end is stdin: frames in on stdin, verdicts (and
+        // the final summary frame) out on stdout.
+        None => serve_stdin(config)?,
+        Some(addr) => {
+            let summary = serve_tcp(config, &addr, |local| {
+                eprintln!("c rescheck serve listening on {local}");
+            })?;
+            // TCP clients are gone by wind-down; the summary goes to the
+            // operator's stdout instead.
+            println!("{summary}");
+            summary
+        }
+    };
+    let completed = summary.get("jobs_completed").and_then(Json::as_u64);
+    eprintln!(
+        "c serve wound down cleanly ({} jobs completed)",
+        completed.unwrap_or(0)
+    );
+    Ok(ExitCode::SUCCESS)
 }

@@ -788,6 +788,147 @@ fn fuzz_injected_bug_writes_shrunk_repro_and_exits_one() {
     assert!(json.contains("rescheck-repro-v1"));
 }
 
+/// Runs the binary with `input` piped to stdin and the working
+/// directory set to `dir`, returning `(exit-code, stdout, stderr)`.
+fn run_with_stdin(dir: &PathBuf, args: &[&str], input: &[u8]) -> (Option<i32>, String, String) {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = bin()
+        .args(args)
+        .current_dir(dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(input).unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn check_reads_trace_from_stdin_and_flight_dump_lands_in_cwd() {
+    let dir = tmp_dir("stdin-trace");
+    let cnf_path = dir.join("u.cnf");
+    let trace_path = dir.join("u.rt");
+    std::fs::write(&cnf_path, "p cnf 1 2\n1 0\n-1 0\n").unwrap();
+    bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    let trace = std::fs::read(&trace_path).unwrap();
+
+    // A valid proof piped through `-` checks like the file would.
+    let (code, stdout, _) = run_with_stdin(&dir, &["check", "u.cnf", "-"], &trace);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("VALID UNSAT proof"), "{stdout}");
+
+    // A defective proof on stdin still dumps a flight recording — and
+    // the default path falls back to the working directory instead of
+    // the nonsensical `-.flight.json`.
+    let bad = String::from_utf8(trace).unwrap().replace("f 1", "f 0");
+    let (code, stdout, stderr) = run_with_stdin(&dir, &["check", "u.cnf", "-"], bad.as_bytes());
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("INVALID proof"), "{stdout}");
+    let flight = dir.join("rescheck.flight.json");
+    assert!(flight.is_file(), "flight dump in cwd; stderr: {stderr}");
+    assert!(!dir.join("-.flight.json").exists());
+    let doc = rescheck_obs::json::parse(&std::fs::read_to_string(&flight).unwrap()).unwrap();
+    assert_eq!(
+        doc.path("schema").and_then(|j| j.as_str()),
+        Some("rescheck-flight-v1")
+    );
+}
+
+#[test]
+fn serve_stdin_answers_every_frame_and_winds_down_on_shutdown() {
+    let dir = tmp_dir("serve-smoke");
+    // SAT, UNSAT, proof defect (trace for a different formula), and
+    // garbage — four frames, four verdicts, then a summary.
+    let sat = r#"{"id":"sat","cnf":"p cnf 1 1\n1 0\n","model":[1]}"#;
+    let out = bin().args(["gen", "pigeonhole", "2"]).output().unwrap();
+    let cnf = String::from_utf8(out.stdout).unwrap();
+    let cnf_path = dir.join("php.cnf");
+    let trace_path = dir.join("php.rt");
+    std::fs::write(&cnf_path, &cnf).unwrap();
+    bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let escape = |s: &str| {
+        s.replace('\\', "\\\\")
+            .replace('\n', "\\n")
+            .replace('"', "\\\"")
+    };
+    let unsat = format!(
+        r#"{{"id":"unsat","cnf":"{}","trace":"{}"}}"#,
+        escape(&cnf),
+        escape(&trace)
+    );
+    // Raw string: `\n` below reaches the daemon as a JSON newline escape.
+    let defect = format!(
+        r#"{{"id":"defect","cnf":"p cnf 1 2\n1 0\n-1 0\n","trace":"{}"}}"#,
+        escape(&trace)
+    );
+    // Parseable JSON but an invalid job (no claim evidence), so the
+    // malformed verdict can echo the id back.
+    let garbage = r#"{"id":"oops","cnf":"p cnf 1 1\n1 0\n"}"#;
+    let input = format!("{sat}\n{unsat}\n{defect}\n{garbage}\n{{\"op\":\"shutdown\"}}\n");
+
+    let (code, stdout, stderr) =
+        run_with_stdin(&dir, &["serve", "--stdin", "--jobs", "2"], input.as_bytes());
+    assert_eq!(code, Some(0), "stdout: {stdout}\nstderr: {stderr}");
+
+    let frames: Vec<rescheck_obs::Json> = stdout
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| rescheck_obs::json::parse(l).unwrap_or_else(|e| panic!("{e}: {l}")))
+        .collect();
+    let status_for = |id: &str| -> String {
+        frames
+            .iter()
+            .find(|f| f.get("id").and_then(|j| j.as_str()) == Some(id))
+            .unwrap_or_else(|| panic!("no verdict for {id}: {stdout}"))
+            .get("status")
+            .and_then(|j| j.as_str())
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(status_for("sat"), "valid");
+    assert_eq!(status_for("unsat"), "valid");
+    assert_eq!(status_for("defect"), "proof-defect");
+    assert_eq!(status_for("oops"), "malformed");
+
+    let summary = frames
+        .iter()
+        .find(|f| f.get("rescheck").and_then(|j| j.as_str()) == Some("rescheck-serve-summary-v1"))
+        .unwrap_or_else(|| panic!("no summary frame: {stdout}"));
+    assert_eq!(
+        summary.get("jobs_submitted").and_then(|j| j.as_u64()),
+        Some(3)
+    );
+    assert_eq!(
+        summary.get("jobs_completed").and_then(|j| j.as_u64()),
+        Some(3)
+    );
+    assert_eq!(
+        summary.get("frames_malformed").and_then(|j| j.as_u64()),
+        Some(1)
+    );
+    assert!(stderr.contains("wound down cleanly"), "{stderr}");
+}
+
 #[test]
 fn fuzz_metrics_document_counts_iterations() {
     let dir = tmp_dir("fuzz-metrics");
