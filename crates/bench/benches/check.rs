@@ -1,6 +1,7 @@
 //! Check-throughput benchmark: end-to-end validation time on
 //! Table-2-class instances, sequential breadth-first against the sharded
-//! checker at increasing worker counts, plus the observability overhead
+//! breadth-first checker and the work-stealing parallel-dag executor at
+//! increasing worker counts, plus the observability overhead
 //! of running the same check under a recording [`MetricsSink`] instead
 //! of the [`NullObserver`] (the hot path is allocation-free, so the gap
 //! should be noise).
@@ -12,7 +13,9 @@
 
 use rescheck_bench::micro::bench;
 use rescheck_bench::report::{take_json_flag, write_json, SCHEMA};
-use rescheck_checker::{check_unsat_claim, check_unsat_claim_observed, CheckConfig, Strategy};
+use rescheck_checker::{
+    check_unsat_claim, check_unsat_claim_observed, CheckConfig, CheckStats, Strategy,
+};
 use rescheck_obs::{Json, MetricsSink};
 use rescheck_solver::{Solver, SolverConfig};
 use rescheck_trace::MemorySink;
@@ -50,7 +53,7 @@ fn main() {
         .stats
         .learned_in_trace;
 
-        let mut push_row = |config: &str, median_seconds: f64| {
+        let mut push_row = |config: &str, median_seconds: f64, stats: Option<&CheckStats>| {
             let mut row = Json::object();
             row.set("name", inst.name.as_str())
                 .set("config", config)
@@ -60,6 +63,13 @@ fn main() {
                     "learned_per_second",
                     learned as f64 / median_seconds.max(1e-12),
                 );
+            // Work counters, for the determinism-across-jobs criterion
+            // (compared bit-for-bit between pdag rows in CI).
+            if let Some(stats) = stats {
+                row.set("clauses_built", stats.clauses_built)
+                    .set("resolutions", stats.resolutions)
+                    .set("peak_memory_bytes", stats.peak_memory_bytes);
+            }
             rows.push(row);
         };
 
@@ -72,7 +82,7 @@ fn main() {
             )
             .expect("genuine trace");
         });
-        push_row("bf", seq.median.as_secs_f64());
+        push_row("bf", seq.median.as_secs_f64(), None);
 
         for jobs in [1usize, 2, 4] {
             let summary = bench(&format!("check/pbf-jobs{jobs}/{}", inst.name), || {
@@ -84,7 +94,23 @@ fn main() {
                 )
                 .expect("genuine trace");
             });
-            push_row(&format!("pbf-jobs{jobs}"), summary.median.as_secs_f64());
+            push_row(&format!("pbf-jobs{jobs}"), summary.median.as_secs_f64(), None);
+        }
+
+        for jobs in [1usize, 2, 4, 8] {
+            let config = config_with_jobs(jobs);
+            let stats = check_unsat_claim(&inst.cnf, &trace, Strategy::ParallelDag, &config)
+                .expect("genuine trace")
+                .stats;
+            let summary = bench(&format!("check/pdag-jobs{jobs}/{}", inst.name), || {
+                check_unsat_claim(&inst.cnf, &trace, Strategy::ParallelDag, &config)
+                    .expect("genuine trace");
+            });
+            push_row(
+                &format!("pdag-jobs{jobs}"),
+                summary.median.as_secs_f64(),
+                Some(&stats),
+            );
         }
 
         // Observability overhead: the same breadth-first check with a
@@ -101,7 +127,7 @@ fn main() {
             )
             .expect("genuine trace");
         });
-        push_row("bf-metrics", observed.median.as_secs_f64());
+        push_row("bf-metrics", observed.median.as_secs_f64(), None);
         let overhead =
             (observed.median.as_secs_f64() / seq.median.as_secs_f64().max(1e-12) - 1.0) * 100.0;
         println!("check/observer-overhead/{}: {overhead:+.2}%", inst.name);

@@ -2,10 +2,10 @@
 //! claim and verify they tell a consistent story.
 //!
 //! The paper's trust argument rests on the checker being simpler than the
-//! solver — but this repo now ships *six* strategies sharing a hot path,
+//! solver — but this repo now ships *seven* strategies sharing a hot path,
 //! and a bug in any one of them would silently weaken that argument. This
 //! module turns the strategies against each other: on a valid trace all
-//! six must accept with class-identical statistics
+//! seven must accept with class-identical statistics
 //! ([`verify_valid_agreement`]); on an arbitrary — possibly corrupted —
 //! trace the cross-strategy implications that hold by construction must
 //! still hold ([`verify_cross_consistency`]):
@@ -14,6 +14,9 @@
 //!   must agree bit-for-bit, down to the failure diagnostic;
 //! - breadth-first and parallel breadth-first run the same per-event code
 //!   path and must agree bit-for-bit;
+//! - the parallel-dag executor verifies the same full set of learned
+//!   clauses as breadth-first and must agree with it on the verdict and
+//!   the work counters, for any worker count;
 //! - hybrid verifies the same needed subset as depth-first;
 //! - breadth-first validates a superset of what depth-first validates, so
 //!   a breadth-first accept implies a depth-first accept;
@@ -34,13 +37,14 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Every checking strategy, in the fixed order the oracle runs them.
-pub const ALL_STRATEGIES: [Strategy; 6] = [
+pub const ALL_STRATEGIES: [Strategy; 7] = [
     Strategy::DepthFirst,
     Strategy::BreadthFirst,
     Strategy::Hybrid,
     Strategy::Portfolio,
     Strategy::ParallelBf,
     Strategy::DiskDepthFirst,
+    Strategy::ParallelDag,
 ];
 
 /// What one strategy did with the claim.
@@ -94,7 +98,7 @@ pub struct StrategyReport {
     pub run: StrategyRun,
 }
 
-/// Runs all six strategies on the same claim, capturing panics.
+/// Runs all seven strategies on the same claim, capturing panics.
 ///
 /// The strategies run sequentially in [`ALL_STRATEGIES`] order, each with
 /// a fresh clone of `config`, so a cancellation or memory accounting
@@ -191,8 +195,8 @@ fn no_panics(reports: &[StrategyReport]) -> Result<(), Disagreement> {
 
 /// Verifies the oracle matrix of a trace that *should* be valid: every
 /// strategy accepts, and the statistics agree within each equivalence
-/// class (df = hybrid = dfd on the needed subset, bf = pbf on the full
-/// trace, the portfolio's winner matching one of its racers).
+/// class (df = hybrid = dfd on the needed subset, bf = pbf = pdag on the
+/// full trace, the portfolio's winner matching one of its racers).
 ///
 /// # Errors
 ///
@@ -222,6 +226,7 @@ pub fn verify_valid_agreement(
     let portfolio = outcome(Strategy::Portfolio)?;
     let pbf = outcome(Strategy::ParallelBf)?;
     let dfd = outcome(Strategy::DiskDepthFirst)?;
+    let pdag = outcome(Strategy::ParallelDag)?;
 
     // Everyone parsed the same trace.
     for (name, o) in [
@@ -230,6 +235,7 @@ pub fn verify_valid_agreement(
         ("portfolio", portfolio),
         ("parallel-bf", pbf),
         ("disk-depth-first", dfd),
+        ("parallel-dag", pdag),
     ] {
         if o.stats.learned_in_trace != df.stats.learned_in_trace {
             return Err(disagree(
@@ -313,6 +319,23 @@ pub fn verify_valid_agreement(
             ),
         ));
     }
+    // The parallel-dag executor verifies the same full set of learned
+    // clauses as breadth-first (its accounting model differs, so peak
+    // memory is compared across its own worker counts, not against bf).
+    if pdag.stats.clauses_built != bf.stats.clauses_built
+        || pdag.stats.resolutions != bf.stats.resolutions
+    {
+        return Err(disagree(
+            "stats-mismatch",
+            format!(
+                "parallel-dag ({}/{}) diverges from breadth-first ({}/{})",
+                pdag.stats.clauses_built,
+                pdag.stats.resolutions,
+                bf.stats.clauses_built,
+                bf.stats.resolutions
+            ),
+        ));
+    }
     // The portfolio's winner is one of its racers.
     if portfolio.stats.resolutions != df.stats.resolutions
         && portfolio.stats.resolutions != bf.stats.resolutions
@@ -344,7 +367,8 @@ pub fn verify_valid_agreement(
 ///   as disagreements);
 /// - depth-first and disk-backed depth-first agree bit-for-bit, down to
 ///   the failure diagnostic text;
-/// - breadth-first and parallel breadth-first agree the same way;
+/// - breadth-first, parallel breadth-first and parallel-dag agree the
+///   same way;
 /// - acceptance respects what each strategy verifies: a breadth-first
 ///   accept and a hybrid accept each imply a depth-first accept (both
 ///   verify a superset of depth-first's needed clauses; bf and hybrid
@@ -380,12 +404,14 @@ pub fn verify_cross_consistency(reports: &[StrategyReport]) -> Result<(), Disagr
     let portfolio = require(reports, Strategy::Portfolio)?;
     let pbf = require(reports, Strategy::ParallelBf)?;
     let dfd = require(reports, Strategy::DiskDepthFirst)?;
+    let pdag = require(reports, Strategy::ParallelDag)?;
 
     // Bit-identical pairs: same traversal ⇒ same verdict text, and on
     // accept, same work counters.
     for (a_name, a, b_name, b) in [
         ("depth-first", df, "disk-depth-first", dfd),
         ("breadth-first", bf, "parallel-bf", pbf),
+        ("breadth-first", bf, "parallel-dag", pdag),
     ] {
         if a.verdict() != b.verdict() {
             return Err(disagree(
@@ -473,10 +499,10 @@ mod tests {
     }
 
     #[test]
-    fn valid_trace_agrees_six_ways() {
+    fn valid_trace_agrees_seven_ways() {
         let (cnf, trace) = unsat_fixture();
         let reports = run_all_strategies(&cnf, &trace, &CheckConfig::default());
-        assert_eq!(reports.len(), 6);
+        assert_eq!(reports.len(), 7);
         let summary = verify_valid_agreement(&reports).unwrap();
         assert!(summary.learned_in_trace >= summary.needed_built);
         verify_cross_consistency(&reports).unwrap();

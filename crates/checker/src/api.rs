@@ -25,7 +25,7 @@ use std::fmt;
 /// };
 /// assert!(cfg.memory_limit.is_some());
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CheckConfig {
     /// Accounted-memory budget in bytes; `None` = unlimited.
     ///
@@ -33,10 +33,20 @@ pub struct CheckConfig {
     /// depth-first strategy fails on the largest instances (Table 2).
     pub memory_limit: Option<u64>,
     /// Worker threads for [`Strategy::ParallelBf`]'s sharded counting
-    /// pass; `0` picks the available parallelism (capped at 8). Other
-    /// strategies ignore it ([`Strategy::Portfolio`] always races exactly
-    /// two threads).
+    /// pass and [`Strategy::ParallelDag`]'s executor; `0` picks the
+    /// available parallelism (capped at 8). `ParallelDag` treats the
+    /// value as a cap and never runs more workers than the machine has
+    /// cores — extra threads cannot raise throughput and its stats are
+    /// identical for any worker count. Other strategies ignore it
+    /// ([`Strategy::Portfolio`] always races exactly two threads).
     pub jobs: usize,
+    /// Learned-clause estimate below which the parallel strategies fall
+    /// back to plain sequential breadth-first: thread spin-up and
+    /// cross-shard merging cost more than they save on small traces
+    /// (the reported strategy then says so). Set to `0` to always run
+    /// parallel. The estimate comes from the encoded trace size; an
+    /// unsized trace source never falls back.
+    pub parallel_min_learned: usize,
     /// Cap in bytes on the cache of normalized *original* clauses kept by
     /// the depth-first, hybrid and breadth-first final phases; `None` =
     /// uncapped. The cache is charged to the memory meter either way, but
@@ -54,6 +64,21 @@ pub struct CheckConfig {
     /// default flag is inert; arm one ([`CancelFlag::armed`]) to be able
     /// to stop a check from another thread.
     pub cancel: CancelFlag,
+}
+
+impl Default for CheckConfig {
+    /// Unlimited memory, automatic job count, uncapped caches, an inert
+    /// cancel flag, and the tuned small-trace fallback threshold.
+    fn default() -> Self {
+        CheckConfig {
+            memory_limit: None,
+            jobs: 0,
+            original_cache_bytes: None,
+            source_cache_bytes: None,
+            parallel_min_learned: 4096,
+            cancel: CancelFlag::default(),
+        }
+    }
 }
 
 /// Validates an UNSAT claim with the chosen strategy.
@@ -86,6 +111,7 @@ pub struct CheckConfig {
 ///     Strategy::Portfolio,
 ///     Strategy::ParallelBf,
 ///     Strategy::DiskDepthFirst,
+///     Strategy::ParallelDag,
 /// ] {
 ///     check_unsat_claim(&cnf, &trace, strategy, &CheckConfig::default())?;
 /// }
@@ -166,6 +192,7 @@ pub fn check_unsat_claim_observed<S: RandomAccessTrace + Sync + ?Sized>(
         Strategy::Portfolio => "check:portfolio",
         Strategy::ParallelBf => "check:pbf",
         Strategy::DiskDepthFirst => "check:dfd",
+        Strategy::ParallelDag => "check:pdag",
     };
     let mut span = Span::start(name, obs);
     let result = match strategy {
@@ -175,6 +202,7 @@ pub fn check_unsat_claim_observed<S: RandomAccessTrace + Sync + ?Sized>(
         Strategy::Portfolio => crate::parallel::run_portfolio(cnf, trace, config, obs),
         Strategy::ParallelBf => crate::parallel::run_parallel_bf(cnf, trace, config, obs),
         Strategy::DiskDepthFirst => crate::disk_df::run(cnf, trace, config, obs),
+        Strategy::ParallelDag => crate::dag::run(cnf, trace, config, obs),
     };
     span.stop(obs);
     result
@@ -215,6 +243,7 @@ pub fn check_unsat_claim_scoped<S: RandomAccessTrace + Sync + ?Sized>(
         Strategy::Portfolio => "check:portfolio",
         Strategy::ParallelBf => "check:pbf",
         Strategy::DiskDepthFirst => "check:dfd",
+        Strategy::ParallelDag => "check:pdag",
     };
     let mut span = Span::start(name, obs);
     let result = match strategy {
@@ -226,6 +255,7 @@ pub fn check_unsat_claim_scoped<S: RandomAccessTrace + Sync + ?Sized>(
         Strategy::Portfolio => crate::parallel::run_portfolio(cnf, trace, config, obs),
         Strategy::ParallelBf => crate::parallel::run_parallel_bf(cnf, trace, config, obs),
         Strategy::DiskDepthFirst => crate::disk_df::run(cnf, trace, config, obs),
+        Strategy::ParallelDag => crate::dag::run(cnf, trace, config, obs),
     };
     span.stop(obs);
     result
@@ -338,6 +368,34 @@ pub fn check_parallel_bf<S: RandomAccessTrace + Sync + ?Sized>(
     crate::parallel::run_parallel_bf(cnf, trace, config, &mut NullObserver)
 }
 
+/// Validates an UNSAT claim with the parallel-dag strategy: the trace's
+/// learned clauses form a dependency DAG (each depends only on the
+/// learned clauses it resolves with), which a work-stealing executor
+/// schedules by in-degree across [`CheckConfig::jobs`] workers. A build
+/// pass resolves every clause id to a dense index first, so the
+/// resolution hot loop performs no hash lookups at all, and completions
+/// are committed in trace order so memory accounting replays
+/// breadth-first's free-at-last-use discipline deterministically.
+///
+/// Returns bit-identical [`CheckStats::clauses_built`],
+/// [`CheckStats::resolutions`] and [`CheckStats::peak_memory_bytes`] for
+/// any worker count, and the same verdict as [`check_breadth_first`].
+///
+/// [`CheckStats::resolutions`]: crate::CheckStats::resolutions
+/// [`CheckStats::clauses_built`]: crate::CheckStats::clauses_built
+/// [`CheckStats::peak_memory_bytes`]: crate::CheckStats::peak_memory_bytes
+///
+/// # Errors
+///
+/// See [`check_unsat_claim`].
+pub fn check_parallel_dag<S: RandomAccessTrace + Sync + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    config: &CheckConfig,
+) -> Result<CheckOutcome, CheckError> {
+    crate::dag::run(cnf, trace, config, &mut NullObserver)
+}
+
 /// A SAT claim that does not hold.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ModelError {
@@ -443,6 +501,7 @@ mod tests {
         assert_eq!(cfg.jobs, 0);
         assert_eq!(cfg.original_cache_bytes, None);
         assert_eq!(cfg.source_cache_bytes, None);
+        assert_eq!(cfg.parallel_min_learned, 4096);
         assert!(!cfg.cancel.is_cancelled());
     }
 }

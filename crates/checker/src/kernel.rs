@@ -6,8 +6,8 @@
 //! call allocated a fresh resolvent `Vec` and re-merged the whole
 //! accumulator, so a chain of `k` antecedents cost O(k·|acc|) literal
 //! visits and `k` heap allocations. This kernel resolves the *entire*
-//! chain against a pair of variable-indexed stamp arrays instead: the
-//! seed clause is marked into the array, every antecedent is folded in
+//! chain against a variable-indexed stamp store instead: the seed clause
+//! is marked into the store, every antecedent is folded in
 //! O(|antecedent|), and the sorted resolvent is materialized exactly once
 //! at the end. Total work for a chain with literal mass `L` is O(L + |r|
 //! log |r|) for a resolvent `r`, and all scratch buffers are reused
@@ -20,15 +20,33 @@
 //! each antecedent literal with the *smallest-code unpaired* literal of
 //! the same variable in the accumulator: equal literals merge, opposite
 //! literals clash (both are consumed), and unpaired literals pass
-//! through. The kernel reproduces this with two stamps per literal code:
+//! through. The kernel reproduces this with two stamps per literal:
 //! `present` (is this literal in the accumulator, stamped with the chain
 //! generation) and `paired` (was this literal already paired during the
-//! current fold, stamped with a global fold sequence number). Bumping the
+//! current fold, stamped with a fold sequence number). Bumping the
 //! generation or the sequence number invalidates every stamp in O(1), so
 //! nothing is ever cleared eagerly.
 //!
-//! `resolve_sorted` is retained untouched as the differential-testing
-//! oracle; `tests/kernel_diff.rs` drives random chains through both and
+//! # The SWAR stamp layout
+//!
+//! The default [`KernelMode::Swar`] packs all four stamps of a variable —
+//! present/paired for each phase, 16 bits each — into **one `u64` lane
+//! word** per variable. Probing a variable is then a single load and a
+//! couple of XOR/mask operations on the packed lanes (SIMD-within-a-
+//! register), where the original layout took up to four spread-out `u64`
+//! loads across two code-indexed arrays. The lane store is also 4× denser
+//! (8 bytes per variable instead of 32), which is worth more than the
+//! arithmetic on cache-bound traces. The price is 16-bit stamps: when a
+//! counter wraps, the kernel re-establishes the invariant explicitly — a
+//! full lane-store flush at a chain boundary for the generation, a
+//! targeted un-pairing sweep over the accumulator for a mid-chain fold
+//! sequence wrap — both amortized over 65 534 chains/folds.
+//!
+//! [`KernelMode::Scalar`] keeps the original dual `u64` arrays; it is
+//! retained as the comparison baseline for `BENCH_resolve.json`'s
+//! SWAR-on/off row and as a second implementation for differential
+//! testing. `resolve_sorted` remains the ultimate oracle;
+//! `tests/kernel_diff.rs` drives random chains through both modes and
 //! asserts identical resolvents and identical failures.
 
 use crate::resolve::ResolveFailure;
@@ -52,7 +70,28 @@ pub struct KernelStats {
     pub scratch_high_water: u64,
 }
 
-/// Resolves chains of clauses against a variable-indexed mark array.
+/// Which stamp layout a [`ResolutionKernel`] probes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelMode {
+    /// One packed `u64` per variable holding all four 16-bit stamps;
+    /// single-load probes. The default.
+    #[default]
+    Swar,
+    /// The original layout: two code-indexed `u64` arrays with 64-bit
+    /// stamps. Kept as the benchmark baseline and differential twin.
+    Scalar,
+}
+
+/// Lane offsets inside a packed SWAR word. Phase `pos` is the
+/// smaller-code literal, so it is probed first to preserve
+/// `resolve_sorted`'s smallest-code pairing order.
+const PRESENT_POS: u32 = 0;
+const PRESENT_NEG: u32 = 16;
+const PAIRED_POS: u32 = 32;
+const PAIRED_NEG: u32 = 48;
+const LANE: u64 = 0xFFFF;
+
+/// Resolves chains of clauses against a variable-indexed mark store.
 ///
 /// Usage: [`begin`](Self::begin) with the seed clause, then
 /// [`fold`](Self::fold) each antecedent in order (each fold enforces the
@@ -84,15 +123,24 @@ pub struct KernelStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct ResolutionKernel {
-    /// `present[code] == generation` iff the literal with that code is in
-    /// the current accumulator.
+    mode: KernelMode,
+    /// SWAR lane store: `marks[var]` packs present/paired for both
+    /// phases, 16 bits each (see the module docs for the layout).
+    marks: Vec<u64>,
+    /// SWAR chain stamp; 0 is never valid (flushed lanes hold 0).
+    generation16: u16,
+    /// SWAR fold stamp; 0 is never valid.
+    fold_seq16: u16,
+    /// Scalar mode: `present[code] == generation` iff the literal with
+    /// that code is in the current accumulator.
     present: Vec<u64>,
-    /// `paired[code] == fold_seq` iff the literal was paired (merged with
-    /// or added by an antecedent literal) during the current fold.
+    /// Scalar mode: `paired[code] == fold_seq` iff the literal was paired
+    /// during the current fold.
     paired: Vec<u64>,
-    /// Stamp for the current chain; bumping it empties the accumulator.
+    /// Scalar stamp for the current chain; bumping it empties the
+    /// accumulator.
     generation: u64,
-    /// Globally monotone stamp; bumping it "unpairs" every literal.
+    /// Scalar globally monotone stamp; bumping it "unpairs" everything.
     fold_seq: u64,
     /// Insertion-ordered accumulator literals; may contain entries whose
     /// `present` stamp has since been cleared (lazy deletion).
@@ -107,9 +155,23 @@ pub struct ResolutionKernel {
 }
 
 impl ResolutionKernel {
-    /// Creates a kernel with empty scratch buffers.
+    /// Creates a kernel with empty scratch buffers in the default
+    /// ([`KernelMode::Swar`]) mode.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a kernel probing the given stamp layout.
+    pub fn with_mode(mode: KernelMode) -> Self {
+        ResolutionKernel {
+            mode,
+            ..Self::default()
+        }
+    }
+
+    /// The stamp layout this kernel probes.
+    pub fn mode(&self) -> KernelMode {
+        self.mode
     }
 
     /// Starts a new chain seeded with `seed`'s literals.
@@ -121,17 +183,60 @@ impl ResolutionKernel {
             seed.windows(2).all(|w| w[0] < w[1]),
             "seed clause not normalized"
         );
+        self.lits.clear();
+        match self.mode {
+            KernelMode::Swar => self.begin_swar(seed),
+            KernelMode::Scalar => self.begin_scalar(seed),
+        }
+        self.stats.chains += 1;
+        self.note_footprint();
+    }
+
+    fn begin_scalar(&mut self, seed: &[Lit]) {
         self.generation += 1;
         self.fold_seq += 1;
-        self.lits.clear();
-        self.ensure_marks(seed);
+        if let Some(max) = seed.iter().map(|l| l.code() | 1).max() {
+            if max >= self.present.len() {
+                self.present.resize(max + 1, 0);
+                self.paired.resize(max + 1, 0);
+            }
+        }
         let generation = self.generation;
         for &l in seed {
             self.present[l.code()] = generation;
             self.lits.push(l);
         }
-        self.stats.chains += 1;
-        self.note_footprint();
+    }
+
+    fn begin_swar(&mut self, seed: &[Lit]) {
+        // Both 16-bit stamps advance at the chain boundary; a wrap of
+        // either re-establishes "no lane holds the current stamp" the
+        // explicit way — by flushing the lane store.
+        let (gen, fseq) = (self.generation16.wrapping_add(1), self.fold_seq16.wrapping_add(1));
+        if gen == 0 || fseq == 0 {
+            self.marks.fill(0);
+            self.generation16 = 1;
+            self.fold_seq16 = 1;
+        } else {
+            self.generation16 = gen;
+            self.fold_seq16 = fseq;
+        }
+        if let Some(max) = seed.iter().map(|l| l.var().index()).max() {
+            if max >= self.marks.len() {
+                self.marks.resize(max + 1, 0);
+            }
+        }
+        let gen = self.generation16 as u64;
+        for &l in seed {
+            let v = l.var().index();
+            let (pshift, dshift) = lane_shifts(l);
+            // Mark present with the fresh generation and clear the paired
+            // lane: a stale 16-bit pairing stamp could otherwise collide
+            // with a future fold sequence number (0 never matches).
+            self.marks[v] =
+                (self.marks[v] & !((LANE << pshift) | (LANE << dshift))) | (gen << pshift);
+            self.lits.push(l);
+        }
     }
 
     /// Folds one antecedent into the accumulator.
@@ -155,9 +260,30 @@ impl ResolutionKernel {
             antecedent.windows(2).all(|w| w[0] < w[1]),
             "antecedent clause not normalized"
         );
-        self.fold_seq += 1;
-        self.ensure_marks(antecedent);
         self.clash.clear();
+        match self.mode {
+            KernelMode::Swar => self.fold_swar(antecedent),
+            KernelMode::Scalar => self.fold_scalar(antecedent),
+        }
+        self.stats.literals_folded += antecedent.len() as u64;
+        self.note_footprint();
+        if self.clash.len() == 1 {
+            Ok(self.clash[0])
+        } else {
+            Err(ResolveFailure {
+                clashing_vars: self.clash.clone(),
+            })
+        }
+    }
+
+    fn fold_scalar(&mut self, antecedent: &[Lit]) {
+        self.fold_seq += 1;
+        if let Some(max) = antecedent.iter().map(|l| l.code() | 1).max() {
+            if max >= self.present.len() {
+                self.present.resize(max + 1, 0);
+                self.paired.resize(max + 1, 0);
+            }
+        }
         let generation = self.generation;
         let fold_seq = self.fold_seq;
         for &l in antecedent {
@@ -190,14 +316,71 @@ impl ResolutionKernel {
                 }
             }
         }
-        self.stats.literals_folded += antecedent.len() as u64;
-        self.note_footprint();
-        if self.clash.len() == 1 {
-            Ok(self.clash[0])
+    }
+
+    fn fold_swar(&mut self, antecedent: &[Lit]) {
+        let fseq = self.fold_seq16.wrapping_add(1);
+        self.fold_seq16 = if fseq == 0 {
+            // Mid-chain wrap: the accumulator must survive, so instead of
+            // flushing we un-pair exactly the lanes a stale stamp could
+            // live in — every variable ever touched by this chain is in
+            // `lits` (lazily-deleted entries included).
+            const PAIRED_LANES: u64 = (LANE << PAIRED_POS) | (LANE << PAIRED_NEG);
+            for i in 0..self.lits.len() {
+                let v = self.lits[i].var().index();
+                self.marks[v] &= !PAIRED_LANES;
+            }
+            1
         } else {
-            Err(ResolveFailure {
-                clashing_vars: self.clash.clone(),
-            })
+            fseq
+        };
+        if let Some(max) = antecedent.iter().map(|l| l.var().index()).max() {
+            if max >= self.marks.len() {
+                self.marks.resize(max + 1, 0);
+            }
+        }
+        let gen = self.generation16 as u64;
+        let fseq = self.fold_seq16 as u64;
+        // Broadcast word: XOR-ing it against a lane word zeroes the
+        // present lanes that match the generation and the paired lanes
+        // that match the fold stamp — one load + one XOR probes all four
+        // stamps of the variable.
+        let broadcast =
+            (gen << PRESENT_POS) | (gen << PRESENT_NEG) | (fseq << PAIRED_POS) | (fseq << PAIRED_NEG);
+        for &l in antecedent {
+            let v = l.var().index();
+            let probe = self.marks[v] ^ broadcast;
+            let pos_head = probe & (LANE << PRESENT_POS) == 0 && probe & (LANE << PAIRED_POS) != 0;
+            let neg_head = probe & (LANE << PRESENT_NEG) == 0 && probe & (LANE << PAIRED_NEG) != 0;
+            let own_neg = l.is_negative();
+            // Positive is the smaller code, so it is the head when both
+            // phases are live and unpaired.
+            match (pos_head, neg_head) {
+                (false, false) => {
+                    // No partner: the antecedent literal passes through.
+                    let (pshift, dshift) = lane_shifts(l);
+                    self.marks[v] = (self.marks[v] & !((LANE << pshift) | (LANE << dshift)))
+                        | (gen << pshift)
+                        | (fseq << dshift);
+                    self.lits.push(l);
+                }
+                (true, _) if !own_neg => {
+                    // Head is the positive literal and so is ours: merge.
+                    self.marks[v] =
+                        (self.marks[v] & !(LANE << PAIRED_POS)) | (fseq << PAIRED_POS);
+                }
+                (_, true) if own_neg && !pos_head => {
+                    // Head is the negative literal and so is ours: merge.
+                    self.marks[v] =
+                        (self.marks[v] & !(LANE << PAIRED_NEG)) | (fseq << PAIRED_NEG);
+                }
+                _ => {
+                    // Head is the opposite phase: a clash, consumed.
+                    let head_shift = if pos_head { PRESENT_POS } else { PRESENT_NEG };
+                    self.marks[v] &= !(LANE << head_shift);
+                    self.clash.push(l.var());
+                }
+            }
         }
     }
 
@@ -209,13 +392,30 @@ impl ResolutionKernel {
     /// to start the next chain.
     pub fn finish(&mut self) -> &[Lit] {
         self.out.clear();
-        let generation = self.generation;
-        for i in 0..self.lits.len() {
-            let l = self.lits[i];
-            if self.present[l.code()] == generation {
-                // Unmark on emit so lazily-deleted duplicates are skipped.
-                self.present[l.code()] = 0;
-                self.out.push(l);
+        match self.mode {
+            KernelMode::Swar => {
+                let gen = self.generation16 as u64;
+                for i in 0..self.lits.len() {
+                    let l = self.lits[i];
+                    let v = l.var().index();
+                    let (pshift, _) = lane_shifts(l);
+                    if (self.marks[v] >> pshift) & LANE == gen {
+                        // Unmark on emit so lazily-deleted duplicates are
+                        // skipped.
+                        self.marks[v] &= !(LANE << pshift);
+                        self.out.push(l);
+                    }
+                }
+            }
+            KernelMode::Scalar => {
+                let generation = self.generation;
+                for i in 0..self.lits.len() {
+                    let l = self.lits[i];
+                    if self.present[l.code()] == generation {
+                        self.present[l.code()] = 0;
+                        self.out.push(l);
+                    }
+                }
             }
         }
         self.out.sort_unstable();
@@ -228,22 +428,12 @@ impl ResolutionKernel {
         self.stats
     }
 
-    /// Grows the mark arrays to cover every literal of `lits`' variables.
-    fn ensure_marks(&mut self, lits: &[Lit]) {
-        // `code | 1` covers both phases of the literal's variable.
-        if let Some(max) = lits.iter().map(|l| l.code() | 1).max() {
-            if max >= self.present.len() {
-                self.present.resize(max + 1, 0);
-                self.paired.resize(max + 1, 0);
-            }
-        }
-    }
-
     /// Updates `scratch_grows`/`scratch_high_water` from current buffer
     /// capacities.
     fn note_footprint(&mut self) {
         use std::mem::size_of;
-        let bytes = (self.present.capacity() * size_of::<u64>()
+        let bytes = (self.marks.capacity() * size_of::<u64>()
+            + self.present.capacity() * size_of::<u64>()
             + self.paired.capacity() * size_of::<u64>()
             + self.lits.capacity() * size_of::<Lit>()
             + self.out.capacity() * size_of::<Lit>()
@@ -256,39 +446,69 @@ impl ResolutionKernel {
     }
 }
 
+/// (present, paired) lane shifts for a literal's phase.
+#[inline]
+fn lane_shifts(l: Lit) -> (u32, u32) {
+    if l.is_negative() {
+        (PRESENT_NEG, PAIRED_NEG)
+    } else {
+        (PRESENT_POS, PAIRED_POS)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::resolve::{normalize_literals, resolve_sorted};
 
+    const BOTH_MODES: [KernelMode; 2] = [KernelMode::Swar, KernelMode::Scalar];
+
     fn lits(ds: &[i64]) -> Vec<Lit> {
         normalize_literals(ds.iter().map(|&d| Lit::from_dimacs(d)))
     }
 
-    /// Resolves a two-clause chain through the kernel.
-    fn kernel_pair(a: &[i64], b: &[i64]) -> Result<Vec<Lit>, ResolveFailure> {
-        let mut k = ResolutionKernel::new();
+    /// Resolves a two-clause chain through the kernel in `mode`.
+    fn kernel_pair_mode(
+        mode: KernelMode,
+        a: &[i64],
+        b: &[i64],
+    ) -> Result<Vec<Lit>, ResolveFailure> {
+        let mut k = ResolutionKernel::with_mode(mode);
         k.begin(&lits(a));
         k.fold(&lits(b))?;
         Ok(k.finish().to_vec())
     }
 
+    /// Resolves a two-clause chain in the default mode.
+    fn kernel_pair(a: &[i64], b: &[i64]) -> Result<Vec<Lit>, ResolveFailure> {
+        kernel_pair_mode(KernelMode::default(), a, b)
+    }
+
     #[test]
     fn paper_example() {
-        assert_eq!(kernel_pair(&[1, 2], &[-2, 3]).unwrap(), lits(&[1, 3]));
+        for mode in BOTH_MODES {
+            assert_eq!(
+                kernel_pair_mode(mode, &[1, 2], &[-2, 3]).unwrap(),
+                lits(&[1, 3])
+            );
+        }
     }
 
     #[test]
     fn unit_resolution_to_empty_clause() {
-        assert!(kernel_pair(&[5], &[-5]).unwrap().is_empty());
+        for mode in BOTH_MODES {
+            assert!(kernel_pair_mode(mode, &[5], &[-5]).unwrap().is_empty());
+        }
     }
 
     #[test]
     fn shared_literals_are_merged_once() {
-        assert_eq!(
-            kernel_pair(&[1, 2, 3], &[-3, 1, 4]).unwrap(),
-            lits(&[1, 2, 4])
-        );
+        for mode in BOTH_MODES {
+            assert_eq!(
+                kernel_pair_mode(mode, &[1, 2, 3], &[-3, 1, 4]).unwrap(),
+                lits(&[1, 2, 4])
+            );
+        }
     }
 
     #[test]
@@ -299,41 +519,47 @@ mod tests {
 
     #[test]
     fn double_clash_is_an_error() {
-        let err = kernel_pair(&[1, 2], &[-1, -2]).unwrap_err();
-        assert_eq!(
-            err.clashing_vars,
-            vec![Var::from_dimacs(1), Var::from_dimacs(2)]
-        );
+        for mode in BOTH_MODES {
+            let err = kernel_pair_mode(mode, &[1, 2], &[-1, -2]).unwrap_err();
+            assert_eq!(
+                err.clashing_vars,
+                vec![Var::from_dimacs(1), Var::from_dimacs(2)]
+            );
+        }
     }
 
     #[test]
     fn fold_reports_the_pivot() {
-        let mut k = ResolutionKernel::new();
-        k.begin(&lits(&[1, -2, 4]));
-        assert_eq!(k.fold(&lits(&[2, 5])).unwrap(), Var::from_dimacs(2));
-        assert_eq!(k.finish(), lits(&[1, 4, 5]));
+        for mode in BOTH_MODES {
+            let mut k = ResolutionKernel::with_mode(mode);
+            k.begin(&lits(&[1, -2, 4]));
+            assert_eq!(k.fold(&lits(&[2, 5])).unwrap(), Var::from_dimacs(2));
+            assert_eq!(k.finish(), lits(&[1, 4, 5]));
+        }
     }
 
     #[test]
     fn long_chain_matches_iterated_oracle() {
         // Seed (p1 + x1), antecedents (¬p_i + p_{i+1} + x_{i+1}).
-        let mut acc = lits(&[100, 1]);
-        let mut k = ResolutionKernel::new();
-        k.begin(&acc);
-        for i in 1..40i64 {
-            let ant = lits(&[-(100 + i - 1), 100 + i, i + 1]);
-            acc = resolve_sorted(&acc, &ant).unwrap();
-            assert_eq!(
-                k.fold(&ant).unwrap(),
-                Var::from_dimacs((100 + i - 1) as u32)
-            );
+        for mode in BOTH_MODES {
+            let mut acc = lits(&[100, 1]);
+            let mut k = ResolutionKernel::with_mode(mode);
+            k.begin(&acc);
+            for i in 1..40i64 {
+                let ant = lits(&[-(100 + i - 1), 100 + i, i + 1]);
+                acc = resolve_sorted(&acc, &ant).unwrap();
+                assert_eq!(
+                    k.fold(&ant).unwrap(),
+                    Var::from_dimacs((100 + i - 1) as u32)
+                );
+            }
+            assert_eq!(k.finish(), acc);
         }
-        assert_eq!(k.finish(), acc);
     }
 
     /// The per-variable pairing case table that distinguishes the kernel
     /// from a naive "negation present → clash" mark scheme. Each case is
-    /// checked against the oracle.
+    /// checked against the oracle, in both modes.
     #[test]
     fn tautological_inputs_match_the_oracle() {
         let cases: &[(&[i64], &[i64])] = &[
@@ -344,10 +570,12 @@ mod tests {
             (&[7], &[7, -7]),     // no clash, both phases in output
             (&[7, -7], &[7, -7]), // both merge, no clash
         ];
-        for (a, b) in cases {
-            let oracle = resolve_sorted(&lits(a), &lits(b));
-            let ours = kernel_pair(a, b);
-            assert_eq!(ours, oracle, "diverged on a={a:?} b={b:?}");
+        for mode in BOTH_MODES {
+            for (a, b) in cases {
+                let oracle = resolve_sorted(&lits(a), &lits(b));
+                let ours = kernel_pair_mode(mode, a, b);
+                assert_eq!(ours, oracle, "{mode:?} diverged on a={a:?} b={b:?}");
+            }
         }
     }
 
@@ -376,19 +604,87 @@ mod tests {
 
     #[test]
     fn kernel_is_reusable_after_a_failed_fold() {
-        let mut k = ResolutionKernel::new();
-        k.begin(&lits(&[1, 2]));
-        assert!(k.fold(&lits(&[3, 4])).is_err());
-        // The failed chain leaves no residue in the next one.
-        k.begin(&lits(&[5]));
-        k.fold(&lits(&[-5, 6])).unwrap();
-        assert_eq!(k.finish(), lits(&[6]));
+        for mode in BOTH_MODES {
+            let mut k = ResolutionKernel::with_mode(mode);
+            k.begin(&lits(&[1, 2]));
+            assert!(k.fold(&lits(&[3, 4])).is_err());
+            // The failed chain leaves no residue in the next one.
+            k.begin(&lits(&[5]));
+            k.fold(&lits(&[-5, 6])).unwrap();
+            assert_eq!(k.finish(), lits(&[6]));
+        }
     }
 
     #[test]
     fn finish_without_folds_returns_the_seed() {
-        let mut k = ResolutionKernel::new();
-        k.begin(&lits(&[3, -1, 2]));
-        assert_eq!(k.finish(), lits(&[-1, 2, 3]));
+        for mode in BOTH_MODES {
+            let mut k = ResolutionKernel::with_mode(mode);
+            k.begin(&lits(&[3, -1, 2]));
+            assert_eq!(k.finish(), lits(&[-1, 2, 3]));
+        }
+    }
+
+    #[test]
+    fn generation_wrap_flushes_stale_stamps() {
+        // Drive the 16-bit generation around its full range; a literal
+        // marked 65 535 chains ago must not look present afterwards.
+        let mut k = ResolutionKernel::with_mode(KernelMode::Swar);
+        k.begin(&lits(&[42]));
+        assert_eq!(k.finish(), lits(&[42]));
+        for _ in 0..=u16::MAX as usize {
+            k.begin(&lits(&[1]));
+            // No finish: x42's stamp from the first chain goes stale
+            // rather than being cleared on emit.
+        }
+        // If the wrap left x42's old stamp matching the recycled
+        // generation, this chain would wrongly see x42 present and merge
+        // instead of passing it through.
+        k.begin(&lits(&[7]));
+        k.fold(&lits(&[-7, 42])).unwrap();
+        assert_eq!(k.finish(), lits(&[42]));
+    }
+
+    #[test]
+    fn mid_chain_fold_seq_wrap_preserves_the_accumulator() {
+        // One chain with more folds than the 16-bit fold stamp can count:
+        // the wrap must un-pair without flushing the accumulator.
+        let n = u16::MAX as i64 + 40;
+        let mut k = ResolutionKernel::with_mode(KernelMode::Swar);
+        k.begin(&lits(&[1]));
+        for i in 1..=n {
+            // (¬p_i ∨ p_{i+1}): clash on p_i, deposit p_{i+1}.
+            k.fold(&lits(&[-i, i + 1])).unwrap();
+        }
+        assert_eq!(k.finish(), lits(&[n + 1]));
+    }
+
+    #[test]
+    fn fold_seq_wrap_does_not_resurrect_stale_pairings() {
+        // Exercise the targeted un-pair sweep with a tautological
+        // accumulator, where pairing order is what distinguishes the
+        // kernel from a naive mark scheme.
+        let mut k = ResolutionKernel::with_mode(KernelMode::Swar);
+        k.begin(&lits(&[1]));
+        for i in 1..=u16::MAX as i64 {
+            k.fold(&lits(&[-i, i + 1])).unwrap();
+        }
+        // Right after the wrap, fold a tautological antecedent and check
+        // against the oracle on the same pair.
+        let acc = k.finish().to_vec();
+        let taut = lits(&[-(u16::MAX as i64 + 1), u16::MAX as i64 + 1]);
+        let oracle = resolve_sorted(&acc, &taut);
+        let mut k2 = ResolutionKernel::with_mode(KernelMode::Swar);
+        k2.begin(&acc);
+        let ours = k2.fold(&taut).map(|_| k2.finish().to_vec());
+        assert_eq!(ours.ok(), oracle.ok());
+    }
+
+    #[test]
+    fn modes_report_their_layout() {
+        assert_eq!(ResolutionKernel::new().mode(), KernelMode::Swar);
+        assert_eq!(
+            ResolutionKernel::with_mode(KernelMode::Scalar).mode(),
+            KernelMode::Scalar
+        );
     }
 }

@@ -31,6 +31,14 @@ pub enum Strategy {
     /// to [`Strategy::DepthFirst`], without the `O(trace)` memory term
     /// (requires a random-access trace).
     DiskDepthFirst,
+    /// Breadth-first's verification set scheduled as a dependency DAG: a
+    /// dense build pass resolves every id to an index once, then a
+    /// work-stealing executor rebuilds independent learned clauses
+    /// concurrently, committing completions in trace order so clauses
+    /// are still freed at their last use. Same verdict and same
+    /// `clauses_built` / `resolutions` / `peak_memory_bytes` for any
+    /// worker count.
+    ParallelDag,
 }
 
 impl fmt::Display for Strategy {
@@ -42,6 +50,7 @@ impl fmt::Display for Strategy {
             Strategy::Portfolio => f.write_str("portfolio"),
             Strategy::ParallelBf => f.write_str("parallel-bf"),
             Strategy::DiskDepthFirst => f.write_str("disk-depth-first"),
+            Strategy::ParallelDag => f.write_str("parallel-dag"),
         }
     }
 }

@@ -13,14 +13,22 @@
 //! counting is embarrassingly parallel, so a reader thread decodes the
 //! trace once and deals event batches round-robin to `jobs` counting
 //! workers; their per-shard tables are merged in trace order through the
-//! same [`Pass1Tables`] methods the sequential pass uses. Pass 2 cannot
-//! be sharded (clause construction is a chain of data dependencies), but
+//! same [`Pass1Tables`] methods the sequential pass uses. This strategy
+//! keeps pass 2 on one thread — clause construction is a *partial*
+//! order, not a chain, and scheduling it across workers is what
+//! [`Strategy::ParallelDag`](crate::Strategy::ParallelDag) does — but
 //! its trace *decoding* can be overlapped with resolution: a reader
 //! thread runs ahead through a bounded channel while the calling thread
 //! drives [`BfResolveState`] — the identical per-event code as the
 //! sequential checker, which is what makes `resolutions`,
 //! `clauses_built` and `peak_memory_bytes` bit-identical to
 //! [`Strategy::BreadthFirst`] for every worker count.
+//!
+//! On tiny traces the thread spin-up and cross-shard merging cost more
+//! than they save, so below an estimated
+//! [`CheckConfig::parallel_min_learned`] learned clauses the strategy
+//! silently runs the sequential breadth-first code on the calling
+//! thread (the verdict and every counter are bit-identical either way).
 //!
 //! Channel buffers hold at most [`PIPELINE_DEPTH`] batches of
 //! [`BATCH_EVENTS`] events and are deliberately not charged to the
@@ -57,7 +65,7 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 /// Renders a caught panic payload into a printable message. Panics carry
 /// `&str` or `String` payloads from `panic!`; anything else (a custom
 /// `panic_any`) is reported opaquely rather than dropped.
-fn panic_message(who: &str, payload: &(dyn Any + Send)) -> String {
+pub(crate) fn panic_message(who: &str, payload: &(dyn Any + Send)) -> String {
     let what = payload
         .downcast_ref::<&str>()
         .map(|s| (*s).to_string())
@@ -71,14 +79,14 @@ fn panic_message(who: &str, payload: &(dyn Any + Send)) -> String {
 /// [`FailureKind::Internal`]) instead of aborting the whole process, so
 /// callers that manage many checks — the serve daemon above all — can
 /// fail one job and keep running.
-fn join_or_internal<T>(who: &str, joined: thread::Result<T>) -> Result<T, CheckError> {
+pub(crate) fn join_or_internal<T>(who: &str, joined: thread::Result<T>) -> Result<T, CheckError> {
     joined.map_err(|payload| CheckError::WorkerPanic {
         what: panic_message(who, payload.as_ref()),
     })
 }
 
 /// Resolves `config.jobs` to an actual worker count.
-fn effective_jobs(jobs: usize) -> usize {
+pub(crate) fn effective_jobs(jobs: usize) -> usize {
     if jobs == 0 {
         thread::available_parallelism()
             .map(|n| n.get())
@@ -87,6 +95,44 @@ fn effective_jobs(jobs: usize) -> usize {
     } else {
         jobs
     }
+}
+
+/// The most workers that can possibly help on this machine. `--jobs` is
+/// a cap, not a demand: threads beyond the available cores only add
+/// scheduling overhead, never throughput, and the parallel-dag stats
+/// are a pure function of the trace anyway, so clamping is observable
+/// only as speed.
+pub(crate) fn max_useful_workers() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Whether a parallel strategy should step aside for plain sequential
+/// breadth-first: the trace's estimated learned-clause count (from its
+/// encoded size) is below [`CheckConfig::parallel_min_learned`]. Unsized
+/// trace sources never fall back — there is no estimate to compare.
+pub(crate) fn small_trace_fallback<S: TraceSource + ?Sized>(
+    trace: &S,
+    config: &CheckConfig,
+    obs: &mut dyn Observer,
+) -> bool {
+    if config.parallel_min_learned == 0 {
+        return false;
+    }
+    let Some(hint) = trace.encoded_size().map(crate::model::table_capacity_hint) else {
+        return false;
+    };
+    if hint >= config.parallel_min_learned {
+        return false;
+    }
+    obs.observe(&Event::Message {
+        level: Level::Info,
+        text: &format!(
+            "trace estimates ~{hint} learned clauses (below parallel_min_learned = {}); \
+             running sequential breadth-first",
+            config.parallel_min_learned
+        ),
+    });
+    true
 }
 
 // ---------------------------------------------------------------- portfolio
@@ -310,7 +356,7 @@ fn count_shard(
 /// calls, so a malformed trace produces the identical first error. A
 /// decode error surfaces only after the records decoded before it have
 /// been validated — exactly the order a sequential scan sees.
-fn sharded_pass1<S: TraceSource + Sync + ?Sized>(
+pub(crate) fn sharded_pass1<S: TraceSource + Sync + ?Sized>(
     trace: &S,
     num_original: usize,
     jobs: usize,
@@ -543,6 +589,11 @@ pub(crate) fn run_parallel_bf<S: RandomAccessTrace + Sync + ?Sized>(
     let started = Instant::now();
     let num_original = cnf.num_clauses();
     let jobs = effective_jobs(config.jobs);
+    if small_trace_fallback(trace, config, obs) {
+        let mut outcome = crate::breadth_first::run(cnf, trace, config, obs)?;
+        outcome.stats.strategy = Strategy::ParallelBf;
+        return Ok(outcome);
+    }
     let mut meter = MemoryMeter::new(config.memory_limit);
 
     let pass1 = Phase::start("check:pass1", obs);
@@ -860,6 +911,118 @@ mod tests {
         let err = run_parallel_bf(&cnf, &trace, &config, &mut NullObserver).unwrap_err();
         assert!(matches!(err, CheckError::WorkerPanic { .. }), "{err:?}");
         assert_eq!(err.kind(), FailureKind::Internal);
+    }
+
+    #[test]
+    fn parallel_dag_reports_worker_panics_as_internal_errors() {
+        // Corrupt a built DAG so one node lists *itself* as a learned
+        // source: its slot cannot have published when the node resolves,
+        // so the slot read panics inside the resolution closure — on the
+        // inline single-worker path and inside a spawned worker alike.
+        // The executor must catch the unwind and surface a structured
+        // internal error (exit 5 at the CLI) instead of aborting.
+        for workers in [1usize, 2, 4] {
+            let (cnf, sink) = chain(64);
+            let (tables, start_id) = crate::breadth_first::sequential_pass1(
+                &sink,
+                cnf.num_clauses(),
+                &CancelFlag::default(),
+            )
+            .unwrap();
+            let mut meter = crate::memory::MemoryMeter::unlimited();
+            let mut dag = crate::dag::build(
+                &cnf,
+                &sink,
+                &tables,
+                start_id,
+                &mut meter,
+                &CancelFlag::default(),
+            )
+            .unwrap();
+            let (victim, slot) = dag
+                .nodes
+                .iter()
+                .enumerate()
+                .find_map(|(i, n)| {
+                    (n.src_start..n.src_end)
+                        .find(|&s| dag.srcs[s as usize] & crate::dag::ORIGINAL_TAG == 0)
+                        .map(|s| (i as u32, s as usize))
+                })
+                .expect("chain nodes have learned sources");
+            dag.srcs[slot] = victim;
+            let err = match crate::executor::execute(
+                &dag,
+                workers,
+                crate::memory::MemoryMeter::unlimited(),
+                &CheckConfig::default(),
+                &mut NullObserver,
+            ) {
+                Err(e) => e,
+                Ok(_) => panic!("corrupted dag must fail ({workers} workers)"),
+            };
+            assert!(matches!(err, CheckError::WorkerPanic { .. }), "{err:?}");
+            assert_eq!(err.kind(), FailureKind::Internal);
+        }
+    }
+
+    /// A memory trace that claims a (tiny) encoded size, since
+    /// [`MemorySink`] itself reports `None` and thus never falls back.
+    struct SizedTrace(MemorySink);
+
+    impl TraceSource for SizedTrace {
+        fn events_iter(&self) -> io::Result<Box<dyn Iterator<Item = io::Result<TraceEvent>> + '_>> {
+            self.0.events_iter()
+        }
+
+        fn encoded_size(&self) -> Option<u64> {
+            Some(64)
+        }
+    }
+
+    impl RandomAccessTrace for SizedTrace {
+        fn offset_events(&self) -> io::Result<rescheck_trace::OffsetEventsIter<'_>> {
+            self.0.offset_events()
+        }
+
+        fn open_cursor(&self) -> io::Result<Box<dyn rescheck_trace::TraceCursor + '_>> {
+            self.0.open_cursor()
+        }
+    }
+
+    #[test]
+    fn parallel_strategies_fall_back_to_sequential_bf_on_tiny_traces() {
+        // Below the learned-clause estimate threshold both parallel
+        // strategies run the sequential breadth-first code (identical
+        // verdict and counters, including the accounting model) while
+        // still reporting the strategy the caller asked for.
+        let (cnf, sink) = chain(32);
+        let config = CheckConfig {
+            jobs: 4,
+            ..CheckConfig::default()
+        };
+        let trace = SizedTrace(sink);
+        let bf = crate::breadth_first::run(&cnf, &trace, &config, &mut NullObserver).unwrap();
+        let pbf = run_parallel_bf(&cnf, &trace, &config, &mut NullObserver).unwrap();
+        let pdag = crate::dag::run(&cnf, &trace, &config, &mut NullObserver).unwrap();
+        assert_eq!(pbf.stats.strategy, Strategy::ParallelBf);
+        assert_eq!(pdag.stats.strategy, Strategy::ParallelDag);
+        for o in [&pbf, &pdag] {
+            assert_eq!(o.stats.clauses_built, bf.stats.clauses_built);
+            assert_eq!(o.stats.resolutions, bf.stats.resolutions);
+            assert_eq!(o.stats.peak_memory_bytes, bf.stats.peak_memory_bytes);
+        }
+
+        // With the threshold disabled the real parallel-dag path runs;
+        // its accounting model is its own, but the verdict and work
+        // counters still match.
+        let config = CheckConfig {
+            jobs: 4,
+            parallel_min_learned: 0,
+            ..CheckConfig::default()
+        };
+        let pdag = crate::dag::run(&cnf, &trace, &config, &mut NullObserver).unwrap();
+        assert_eq!(pdag.stats.clauses_built, bf.stats.clauses_built);
+        assert_eq!(pdag.stats.resolutions, bf.stats.resolutions);
     }
 
     #[test]

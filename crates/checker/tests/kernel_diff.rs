@@ -1,6 +1,6 @@
 //! Differential tests for the mark-array resolution kernel against the
 //! sorted-merge oracle ([`resolve_sorted`]), plus end-to-end agreement
-//! of all five checking strategies on the arena-backed hot path.
+//! of all seven checking strategies on the shared hot path.
 //!
 //! The kernel replaced the oracle inside every strategy; the oracle is
 //! deliberately kept (unchanged two-pointer merge) precisely so these
@@ -8,7 +8,7 @@
 //! paper's own validation idea applied to the checker itself.
 
 use rescheck_checker::{
-    check_unsat_claim, normalize_literals, resolve_sorted, CheckConfig, CheckOutcome,
+    check_unsat_claim, normalize_literals, resolve_sorted, CheckConfig, CheckOutcome, KernelMode,
     ResolutionKernel, Strategy,
 };
 use rescheck_cnf::{Cnf, Lit, SplitMix64};
@@ -39,52 +39,54 @@ fn random_clause(rng: &mut SplitMix64, max_vars: u32) -> Vec<Lit> {
 /// empty-clause steps all common rather than corner cases.
 #[test]
 fn kernel_matches_oracle_on_random_chains() {
-    let mut kernel = ResolutionKernel::new();
-    for seed in 0..CASES {
-        let mut rng = SplitMix64::new(seed);
-        let max_vars = rng.range_u32(2..7);
-        let steps = rng.range_usize(1..10);
-        let seed_clause = random_clause(&mut rng, max_vars);
-        let antecedents: Vec<Vec<Lit>> = (0..steps)
-            .map(|_| random_clause(&mut rng, max_vars))
-            .collect();
+    for mode in [KernelMode::Swar, KernelMode::Scalar] {
+        let mut kernel = ResolutionKernel::with_mode(mode);
+        for seed in 0..CASES {
+            let mut rng = SplitMix64::new(seed);
+            let max_vars = rng.range_u32(2..7);
+            let steps = rng.range_usize(1..10);
+            let seed_clause = random_clause(&mut rng, max_vars);
+            let antecedents: Vec<Vec<Lit>> = (0..steps)
+                .map(|_| random_clause(&mut rng, max_vars))
+                .collect();
 
-        let mut acc = seed_clause.clone();
-        kernel.begin(&seed_clause);
-        let mut oracle_failed = false;
-        for (step, ant) in antecedents.iter().enumerate() {
-            let oracle = resolve_sorted(&acc, ant);
-            let fast = kernel.fold(ant);
-            match (oracle, fast) {
-                (Ok(resolvent), Ok(pivot)) => {
-                    // The oracle accepted, so exactly one variable
-                    // clashed; the kernel must name that same variable.
-                    assert!(
-                        acc.contains(&Lit::from_code(pivot.index() << 1))
-                            || acc.contains(&Lit::from_code(pivot.index() << 1 | 1)),
-                        "seed {seed} step {step}: pivot {pivot:?} not in accumulator"
-                    );
-                    acc = resolvent;
+            let mut acc = seed_clause.clone();
+            kernel.begin(&seed_clause);
+            let mut oracle_failed = false;
+            for (step, ant) in antecedents.iter().enumerate() {
+                let oracle = resolve_sorted(&acc, ant);
+                let fast = kernel.fold(ant);
+                match (oracle, fast) {
+                    (Ok(resolvent), Ok(pivot)) => {
+                        // The oracle accepted, so exactly one variable
+                        // clashed; the kernel must name that same variable.
+                        assert!(
+                            acc.contains(&Lit::from_code(pivot.index() << 1))
+                                || acc.contains(&Lit::from_code(pivot.index() << 1 | 1)),
+                            "{mode:?} seed {seed} step {step}: pivot {pivot:?} not in accumulator"
+                        );
+                        acc = resolvent;
+                    }
+                    (Err(slow_failure), Err(fast_failure)) => {
+                        assert_eq!(
+                            slow_failure.clashing_vars, fast_failure.clashing_vars,
+                            "{mode:?} seed {seed} step {step}: failure diagnostics diverge"
+                        );
+                        oracle_failed = true;
+                        break;
+                    }
+                    (oracle, fast) => panic!(
+                        "{mode:?} seed {seed} step {step}: oracle {oracle:?} vs kernel {fast:?} disagree on validity"
+                    ),
                 }
-                (Err(slow_failure), Err(fast_failure)) => {
-                    assert_eq!(
-                        slow_failure.clashing_vars, fast_failure.clashing_vars,
-                        "seed {seed} step {step}: failure diagnostics diverge"
-                    );
-                    oracle_failed = true;
-                    break;
-                }
-                (oracle, fast) => panic!(
-                    "seed {seed} step {step}: oracle {oracle:?} vs kernel {fast:?} disagree on validity"
-                ),
             }
-        }
-        if !oracle_failed {
-            assert_eq!(
-                kernel.finish(),
-                acc.as_slice(),
-                "seed {seed}: final resolvents diverge"
-            );
+            if !oracle_failed {
+                assert_eq!(
+                    kernel.finish(),
+                    acc.as_slice(),
+                    "{mode:?} seed {seed}: final resolvents diverge"
+                );
+            }
         }
     }
 }
@@ -110,20 +112,22 @@ fn kernel_failure_diagnostics_match_the_oracle_exactly() {
         (&[1, -1], &[1, -1]),        // both tautological: both pair, no clash
         (&[1, -1, 2], &[-1, -2]),    // tautology plus a genuine second clash
     ];
-    let mut kernel = ResolutionKernel::new();
-    for (i, (acc, ant)) in cases.iter().enumerate() {
-        let acc = clause(acc);
-        let ant = clause(ant);
-        let oracle = resolve_sorted(&acc, &ant);
-        kernel.begin(&acc);
-        match (oracle, kernel.fold(&ant)) {
-            (Ok(resolvent), Ok(_)) => {
-                assert_eq!(kernel.finish(), resolvent.as_slice(), "case {i}");
+    for mode in [KernelMode::Swar, KernelMode::Scalar] {
+        let mut kernel = ResolutionKernel::with_mode(mode);
+        for (i, (acc, ant)) in cases.iter().enumerate() {
+            let acc = clause(acc);
+            let ant = clause(ant);
+            let oracle = resolve_sorted(&acc, &ant);
+            kernel.begin(&acc);
+            match (oracle, kernel.fold(&ant)) {
+                (Ok(resolvent), Ok(_)) => {
+                    assert_eq!(kernel.finish(), resolvent.as_slice(), "{mode:?} case {i}");
+                }
+                (Err(slow), Err(fast)) => {
+                    assert_eq!(slow.clashing_vars, fast.clashing_vars, "{mode:?} case {i}");
+                }
+                (oracle, fast) => panic!("{mode:?} case {i}: oracle {oracle:?} vs kernel {fast:?}"),
             }
-            (Err(slow), Err(fast)) => {
-                assert_eq!(slow.clashing_vars, fast.clashing_vars, "case {i}");
-            }
-            (oracle, fast) => panic!("case {i}: oracle {oracle:?} vs kernel {fast:?}"),
         }
     }
 }
@@ -175,13 +179,14 @@ fn solved(seed: u64) -> Option<(Cnf, MemorySink)> {
         .then_some((cnf, sink))
 }
 
-/// All six strategies accept the same traces with consistent counters
+/// All seven strategies accept the same traces with consistent counters
 /// on the shared kernel/arena hot path: depth-first, its disk-backed
-/// variant and hybrid verify the same needed subset, breadth-first and
-/// parallel breadth-first are bit-identical, and breadth-first builds
-/// every learned clause.
+/// variant and hybrid verify the same needed subset, breadth-first,
+/// parallel breadth-first and the parallel-dag executor verify the full
+/// trace with matching work counters, and breadth-first builds every
+/// learned clause.
 #[test]
-fn six_strategies_agree_end_to_end() {
+fn seven_strategies_agree_end_to_end() {
     let mut fixtures: Vec<(Cnf, MemorySink)> = vec![chain(64), chain(300)];
     fixtures.extend((0..32).filter_map(solved).take(6));
     assert!(fixtures.len() > 2, "no solver fixture went UNSAT");
@@ -190,6 +195,9 @@ fn six_strategies_agree_end_to_end() {
         let run = |strategy: Strategy| -> CheckOutcome {
             let config = CheckConfig {
                 jobs: 3,
+                // Exercise the real parallel paths even on these small
+                // fixtures instead of the sequential-bf fallback.
+                parallel_min_learned: 0,
                 ..CheckConfig::default()
             };
             check_unsat_claim(cnf, trace, strategy, &config)
@@ -201,6 +209,7 @@ fn six_strategies_agree_end_to_end() {
         let portfolio = run(Strategy::Portfolio);
         let pbf = run(Strategy::ParallelBf);
         let dfd = run(Strategy::DiskDepthFirst);
+        let pdag = run(Strategy::ParallelDag);
 
         // The disk-backed depth-first walk is the same traversal as the
         // in-memory one: bit-identical work counters and the same core.
@@ -216,7 +225,7 @@ fn six_strategies_agree_end_to_end() {
         );
 
         // Everyone sees the same trace.
-        for outcome in [&bf, &hybrid, &portfolio, &pbf, &dfd] {
+        for outcome in [&bf, &hybrid, &portfolio, &pbf, &dfd, &pdag] {
             assert_eq!(
                 outcome.stats.learned_in_trace, df.stats.learned_in_trace,
                 "fixture {f}"
@@ -246,6 +255,15 @@ fn six_strategies_agree_end_to_end() {
             pbf.stats.peak_memory_bytes, bf.stats.peak_memory_bytes,
             "fixture {f}"
         );
+        // The parallel-dag executor verifies the same full trace as
+        // breadth-first (its accounting model differs, so peak memory
+        // is instead held bit-identical across its own worker counts in
+        // `parallel_dag_stats_are_identical_across_job_counts`).
+        assert_eq!(
+            pdag.stats.clauses_built, bf.stats.clauses_built,
+            "fixture {f}"
+        );
+        assert_eq!(pdag.stats.resolutions, bf.stats.resolutions, "fixture {f}");
         // The portfolio's winner is one of its racers.
         assert!(
             portfolio.stats.resolutions == df.stats.resolutions
@@ -253,6 +271,90 @@ fn six_strategies_agree_end_to_end() {
             "fixture {f}"
         );
     }
+}
+
+/// The parallel-dag determinism guarantee: `clauses_built`,
+/// `resolutions` and `peak_memory_bytes` are bit-identical for any
+/// worker count, because every memory charge and free happens at the
+/// trace-order commit watermark, never on a worker's own clock.
+#[test]
+fn parallel_dag_stats_are_identical_across_job_counts() {
+    let mut fixtures: Vec<(Cnf, MemorySink)> = vec![chain(64), chain(300)];
+    fixtures.extend((0..32).filter_map(solved).take(4));
+
+    for (f, (cnf, trace)) in fixtures.iter().enumerate() {
+        let mut baseline: Option<CheckOutcome> = None;
+        for jobs in [1usize, 2, 4] {
+            let config = CheckConfig {
+                jobs,
+                parallel_min_learned: 0,
+                ..CheckConfig::default()
+            };
+            let outcome = check_unsat_claim(cnf, trace, Strategy::ParallelDag, &config)
+                .unwrap_or_else(|e| panic!("fixture {f} jobs {jobs}: {e:?}"));
+            if let Some(base) = &baseline {
+                assert_eq!(
+                    outcome.stats.clauses_built, base.stats.clauses_built,
+                    "fixture {f} jobs {jobs}"
+                );
+                assert_eq!(
+                    outcome.stats.resolutions, base.stats.resolutions,
+                    "fixture {f} jobs {jobs}"
+                );
+                assert_eq!(
+                    outcome.stats.peak_memory_bytes, base.stats.peak_memory_bytes,
+                    "fixture {f} jobs {jobs}"
+                );
+                assert_eq!(
+                    outcome.stats.learned_in_trace, base.stats.learned_in_trace,
+                    "fixture {f} jobs {jobs}"
+                );
+            } else {
+                baseline = Some(outcome);
+            }
+        }
+    }
+}
+
+/// The parallel-dag executor on a solver-produced pigeonhole trace —
+/// the Table 2 instance family — at `--jobs 4`, cross-checked against
+/// breadth-first and re-run for stat determinism. This is the
+/// ThreadSanitizer job's anchor for the work-stealing executor: on a
+/// multi-core runner the public API runs real worker threads here.
+#[test]
+fn parallel_dag_checks_pigeonhole_at_four_workers() {
+    // php(6 pigeons, 5 holes): every pigeon sits somewhere, no two
+    // pigeons share a hole. Var of pigeon i in hole j is i*5 + j.
+    let mut cnf = Cnf::with_vars(30);
+    for i in 0..6i64 {
+        let holes: Vec<i64> = (1..=5).map(|j| i * 5 + j).collect();
+        cnf.add_dimacs_clause(&holes);
+    }
+    for j in 1..=5i64 {
+        for i1 in 0..6i64 {
+            for i2 in (i1 + 1)..6 {
+                cnf.add_dimacs_clause(&[-(i1 * 5 + j), -(i2 * 5 + j)]);
+            }
+        }
+    }
+    let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());
+    let mut trace = MemorySink::new();
+    assert!(solver.solve_traced(&mut trace).unwrap().is_unsat());
+
+    let config = CheckConfig {
+        jobs: 4,
+        parallel_min_learned: 0,
+        ..CheckConfig::default()
+    };
+    let bf = check_unsat_claim(&cnf, &trace, Strategy::BreadthFirst, &config).unwrap();
+    let first = check_unsat_claim(&cnf, &trace, Strategy::ParallelDag, &config).unwrap();
+    let second = check_unsat_claim(&cnf, &trace, Strategy::ParallelDag, &config).unwrap();
+    assert_eq!(first.stats.clauses_built, bf.stats.clauses_built);
+    assert_eq!(first.stats.resolutions, bf.stats.resolutions);
+    assert_eq!(first.stats.learned_in_trace, bf.stats.learned_in_trace);
+    assert_eq!(first.stats.clauses_built, second.stats.clauses_built);
+    assert_eq!(first.stats.resolutions, second.stats.resolutions);
+    assert_eq!(first.stats.peak_memory_bytes, second.stats.peak_memory_bytes);
 }
 
 /// The allocation-free claim, observed through the kernel's own scratch

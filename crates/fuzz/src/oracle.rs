@@ -32,6 +32,18 @@ use rescheck_trace::{MemorySink, TraceSink, ALL_MUTATIONS};
 use std::fmt;
 use std::io::Cursor;
 
+/// The checker configuration the oracle matrix runs under: a fixed
+/// worker count and no small-trace fallback, so the sharded pass-1 and
+/// the parallel-dag executor are exercised even on the tiny traces
+/// fuzzing produces.
+fn oracle_config() -> CheckConfig {
+    CheckConfig {
+        jobs: 3,
+        parallel_min_learned: 0,
+        ..CheckConfig::default()
+    }
+}
+
 /// Deliberate oracle sabotage, for validating the shrinker and the
 /// artifact pipeline end to end (a fuzzer whose failure path is never
 /// exercised is itself untested code).
@@ -313,11 +325,11 @@ pub fn run_iteration(iteration: u64, iter_seed: u64, cfg: &OracleConfig) -> Iter
                 }
             }
 
-            // Six-way strategy matrix on the pristine trace.
+            // Seven-way strategy matrix on the pristine trace.
             let mut matrix_note = String::new();
             if found.is_none() {
                 counters.matrices = 1;
-                let reports = run_all_strategies(&cnf, &events, &CheckConfig::default());
+                let reports = run_all_strategies(&cnf, &events, &oracle_config());
                 match verify_valid_agreement(&reports) {
                     Ok(summary) => {
                         matrix_note = format!(
@@ -406,7 +418,7 @@ fn run_mutants(
             counters.mutants_inapplicable += 1;
             continue;
         }
-        let reports = run_all_strategies(cnf, &mutant_events, &CheckConfig::default());
+        let reports = run_all_strategies(cnf, &mutant_events, &oracle_config());
         if let Err(d) = verify_cross_consistency(&reports) {
             return (
                 format!(" mutants={rejected}-then-FINDING"),
@@ -488,7 +500,7 @@ pub fn instance_failure_reproduces(
                 return false;
             }
             let events = sink.into_events();
-            let reports = run_all_strategies(cnf, &events, &CheckConfig::default());
+            let reports = run_all_strategies(cnf, &events, &oracle_config());
             match cfg.inject {
                 Some(InjectedBug::RejectValid) => verify_valid_agreement(&reports).is_ok(),
                 _ => verify_valid_agreement(&reports).is_err(),
@@ -500,7 +512,7 @@ pub fn instance_failure_reproduces(
 
 /// Does a trace-level failure still reproduce on `events`?
 pub fn trace_failure_reproduces(cnf: &Cnf, events: &[TraceEvent], cfg: &OracleConfig) -> bool {
-    let reports = run_all_strategies(cnf, events, &CheckConfig::default());
+    let reports = run_all_strategies(cnf, events, &oracle_config());
     match cfg.inject {
         Some(InjectedBug::AcceptMutants) => {
             verify_cross_consistency(&reports).is_ok() && reports.iter().all(|r| !r.run.accepted())

@@ -18,10 +18,10 @@
 //! | `trace`        | inline ASCII resolve trace (UNSAT claim)                 |
 //! | `trace_path`   | path to a trace file (ASCII or binary, sniffed)          |
 //! | `model`        | array of DIMACS literals (SAT claim)                     |
-//! | `strategy`     | `df` `bf` `hybrid` `portfolio` `pbf` `dfd` (default `df`)|
+//! | `strategy`     | `df` `bf` `hybrid` `portfolio` `pbf` `pdag` `dfd` (default `df`)|
 //! | `memory_bytes` | per-job accounted-memory cap                             |
 //! | `timeout_ms`   | per-job wall-clock deadline                              |
-//! | `jobs`         | inner worker threads for `pbf` (default 1)               |
+//! | `jobs`         | inner worker threads for `pbf`/`pdag` (default 1)        |
 //! | `inject`       | chaos hook: `panic` or `sleep:<ms>` (tests, drills)      |
 //!
 //! Exactly one of `trace` / `trace_path` / `model` selects the claim.
@@ -102,7 +102,7 @@ pub struct JobSpec {
     pub memory_bytes: Option<u64>,
     /// Per-job wall-clock deadline; `None` = the daemon default.
     pub timeout_ms: Option<u64>,
-    /// Inner worker threads (only `pbf` uses more than one).
+    /// Inner worker threads (only `pbf` and `pdag` use more than one).
     pub inner_jobs: usize,
     /// Optional chaos hook.
     pub inject: Option<Inject>,
@@ -149,6 +149,7 @@ pub fn parse_strategy(name: &str) -> Option<Strategy> {
         "hybrid" => Some(Strategy::Hybrid),
         "portfolio" => Some(Strategy::Portfolio),
         "pbf" | "parallel-bf" => Some(Strategy::ParallelBf),
+        "pdag" | "parallel-dag" => Some(Strategy::ParallelDag),
         "dfd" | "disk-df" => Some(Strategy::DiskDepthFirst),
         _ => None,
     }
@@ -379,6 +380,8 @@ mod tests {
             ("portfolio", Strategy::Portfolio),
             ("pbf", Strategy::ParallelBf),
             ("parallel-bf", Strategy::ParallelBf),
+            ("pdag", Strategy::ParallelDag),
+            ("parallel-dag", Strategy::ParallelDag),
             ("dfd", Strategy::DiskDepthFirst),
             ("disk-df", Strategy::DiskDepthFirst),
         ] {

@@ -4,7 +4,7 @@
 //! ```text
 //! rescheck solve <file.cnf> [--trace <out>] [--binary] [--no-learning]
 //!                [--no-deletion] [--no-restarts]
-//! rescheck check <file.cnf> <trace> [--strategy df|bf|dfd|hybrid|portfolio|pbf]
+//! rescheck check <file.cnf> <trace> [--strategy df|bf|dfd|hybrid|portfolio|pbf|pdag]
 //!                [--mem-limit <bytes>] [--jobs <n>]
 //! rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
 //! rescheck gen   <family> [args…]        # writes DIMACS to stdout
@@ -67,7 +67,7 @@ rescheck — validate SAT solver results with a resolution-based checker
 USAGE:
   rescheck solve <file.cnf> [--trace <out>] [--binary]
                  [--no-learning] [--no-deletion] [--no-restarts]
-  rescheck check <file.cnf> <trace> [--strategy df|bf|dfd|hybrid|portfolio|pbf]
+  rescheck check <file.cnf> <trace> [--strategy df|bf|dfd|hybrid|portfolio|pbf|pdag]
                  [--mem-limit <bytes>] [--jobs <n>]
                  (pass `-` as <trace> to read the trace from stdin,
                  ASCII or binary, sniffed by magic)
@@ -75,7 +75,10 @@ USAGE:
                  verdict, core and resolution stats as df under a far
                  smaller memory budget; portfolio races df against bf on
                  two threads; pbf is breadth-first with <n> counting
-                 workers and a pipelined resolution pass — --jobs 0 = auto)
+                 workers and a pipelined resolution pass; pdag schedules
+                 the resolution pass itself as a dependency DAG across
+                 <n> work-stealing workers with bit-identical stats for
+                 any worker count — --jobs 0 = auto)
   rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
   rescheck trim  <file.cnf> <trace> --out <trimmed> [--binary]
   rescheck stats <file.cnf> <trace>
@@ -92,7 +95,7 @@ USAGE:
                  [--max-findings <k>] [--artifacts <dir>] [--quiet]
                  [--inject reject-valid|accept-mutants]
                  (deterministic differential fuzzing: every iteration
-                 solves a seeded random instance, cross-validates all six
+                 solves a seeded random instance, cross-validates all seven
                  check strategies, verifies SAT models, and feeds
                  corrupted traces to the checker; disagreements are
                  delta-debugged to a minimal repro under --artifacts.
@@ -405,10 +408,11 @@ fn cmd_check(rest: &[String]) -> CliResult {
         Some("hybrid") => Strategy::Hybrid,
         Some("portfolio") => Strategy::Portfolio,
         Some("pbf" | "parallel-bf") => Strategy::ParallelBf,
+        Some("pdag" | "parallel-dag") => Strategy::ParallelDag,
         Some("dfd" | "disk-df") => Strategy::DiskDepthFirst,
         Some(other) => {
             return Err(
-                format!("unknown strategy {other:?} (df|bf|dfd|hybrid|portfolio|pbf)").into(),
+                format!("unknown strategy {other:?} (df|bf|dfd|hybrid|portfolio|pbf|pdag)").into(),
             )
         }
     };
