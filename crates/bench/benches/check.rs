@@ -6,10 +6,24 @@
 //! of the [`NullObserver`] (the hot path is allocation-free, so the gap
 //! should be noise).
 //!
+//! Traces go through the production file path — solved once into a
+//! binary temp file and checked through a [`FileTrace`] with its byte
+//! map established up front (the `rescheck serve` reuse pattern) — so
+//! the parallel rows exercise the mapped sharded ingestion front end.
+//! The `pbf` rows keep the default `parallel_min_learned` threshold:
+//! with the map's exact learned count both instances fall back to the
+//! sequential pass, so those rows should sit at the `bf` baseline at
+//! every worker count. The `pdag` rows override the threshold to 0 to
+//! force the parallel path, and a `nommap` row re-checks under the
+//! buffered backing; its work counters must match the mapped row
+//! bit-for-bit.
+//!
 //! With `--json <path>` a `rescheck-metrics-v2` document is written with
 //! one row per (instance, configuration) pair carrying the median check
 //! time and the learned-clauses-per-second throughput, for the CI
-//! bench-smoke job (which checks shape, never timing).
+//! bench-smoke job (which checks shape, never timing). The document
+//! records the host's available parallelism: on a single-core runner
+//! the multi-worker rows measure overhead, not scaling.
 
 use rescheck_bench::micro::bench;
 use rescheck_bench::report::{take_json_flag, write_json, SCHEMA};
@@ -18,20 +32,41 @@ use rescheck_checker::{
 };
 use rescheck_obs::{Json, MetricsSink};
 use rescheck_solver::{Solver, SolverConfig};
-use rescheck_trace::MemorySink;
+use rescheck_trace::{BinaryWriter, FileTrace, TraceSink, TraceSource};
 use rescheck_workloads::{bmc, pigeonhole, Instance};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-fn trace_of(inst: &Instance) -> MemorySink {
+/// Solves `inst` into a binary trace file and opens it with the byte
+/// map established, as the daemon's trace cache would hand it out.
+fn trace_of(inst: &Instance) -> (FileTrace, PathBuf) {
+    let dir = std::env::temp_dir().join("rescheck-bench-check");
+    std::fs::create_dir_all(&dir).expect("create fixture dir");
+    let path = dir.join(format!("{}-{}.rtb", inst.name, std::process::id()));
+    let file = std::fs::File::create(&path).expect("create trace fixture");
+    let mut writer = BinaryWriter::new(std::io::BufWriter::new(file)).expect("write magic");
     let mut solver = Solver::from_cnf(&inst.cnf, SolverConfig::default());
-    let mut sink = MemorySink::new();
-    assert!(solver.solve_traced(&mut sink).unwrap().is_unsat());
-    sink
+    assert!(solver.solve_traced(&mut writer).unwrap().is_unsat());
+    writer.flush().expect("flush trace fixture");
+    let trace = FileTrace::open(&path).expect("open trace fixture");
+    trace.trace_map(true).expect("binary traces map");
+    (trace, path)
 }
 
 fn config_with_jobs(jobs: usize) -> CheckConfig {
     CheckConfig {
         jobs,
+        ..CheckConfig::default()
+    }
+}
+
+/// The pdag rows force the parallel path: both bench instances sit
+/// below the default `parallel_min_learned` threshold, which the mapped
+/// block index now enforces with exact counts.
+fn pdag_config(jobs: usize, no_mmap: bool) -> CheckConfig {
+    CheckConfig {
+        jobs,
+        parallel_min_learned: 0,
+        no_mmap,
         ..CheckConfig::default()
     }
 }
@@ -42,7 +77,7 @@ fn main() {
 
     let mut rows: Vec<Json> = Vec::new();
     for inst in [pigeonhole::instance(6), bmc::longmult(4)] {
-        let trace = trace_of(&inst);
+        let (trace, trace_path) = trace_of(&inst);
         let learned = check_unsat_claim(
             &inst.cnf,
             &trace,
@@ -94,20 +129,64 @@ fn main() {
                 )
                 .expect("genuine trace");
             });
-            push_row(&format!("pbf-jobs{jobs}"), summary.median.as_secs_f64(), None);
+            push_row(
+                &format!("pbf-jobs{jobs}"),
+                summary.median.as_secs_f64(),
+                None,
+            );
         }
 
+        let mut mapped_key = None;
         for jobs in [1usize, 2, 4, 8] {
-            let config = config_with_jobs(jobs);
+            let config = pdag_config(jobs, false);
             let stats = check_unsat_claim(&inst.cnf, &trace, Strategy::ParallelDag, &config)
                 .expect("genuine trace")
                 .stats;
+            let key = (
+                stats.clauses_built,
+                stats.resolutions,
+                stats.peak_memory_bytes,
+            );
+            if let Some(prev) = mapped_key {
+                assert_eq!(prev, key, "pdag stats drift across worker counts");
+            }
+            mapped_key = Some(key);
             let summary = bench(&format!("check/pdag-jobs{jobs}/{}", inst.name), || {
                 check_unsat_claim(&inst.cnf, &trace, Strategy::ParallelDag, &config)
                     .expect("genuine trace");
             });
             push_row(
                 &format!("pdag-jobs{jobs}"),
+                summary.median.as_secs_f64(),
+                Some(&stats),
+            );
+        }
+
+        // The buffered-backing comparison row: a fresh handle (a
+        // FileTrace keeps the first backing it establishes) checked
+        // with `no_mmap`, which must reproduce the mapped rows' work
+        // counters bit-for-bit.
+        {
+            let config = pdag_config(4, true);
+            let unmapped = FileTrace::open(&trace_path).expect("open trace fixture");
+            let stats = check_unsat_claim(&inst.cnf, &unmapped, Strategy::ParallelDag, &config)
+                .expect("genuine trace")
+                .stats;
+            assert_eq!(
+                mapped_key,
+                Some((
+                    stats.clauses_built,
+                    stats.resolutions,
+                    stats.peak_memory_bytes,
+                )),
+                "no_mmap pdag stats diverge from the mapped rows"
+            );
+            let summary = bench(&format!("check/pdag-jobs4-nommap/{}", inst.name), || {
+                check_unsat_claim(&inst.cnf, &unmapped, Strategy::ParallelDag, &config)
+                    .expect("genuine trace");
+            });
+            push_row(
+                "pdag-jobs4-nommap",
                 summary.median.as_secs_f64(),
                 Some(&stats),
             );
@@ -131,12 +210,19 @@ fn main() {
         let overhead =
             (observed.median.as_secs_f64() / seq.median.as_secs_f64().max(1e-12) - 1.0) * 100.0;
         println!("check/observer-overhead/{}: {overhead:+.2}%", inst.name);
+        std::fs::remove_file(&trace_path).ok();
     }
 
     if let Some(path) = json_path {
         let mut doc = Json::object();
         doc.set("schema", SCHEMA)
             .set("command", "bench:check")
+            .set(
+                "available_parallelism",
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as u64)
+                    .unwrap_or(1),
+            )
             .set("rows", Json::Array(rows));
         write_json(Path::new(&path), &doc).expect("write json");
         println!("wrote {path}");

@@ -10,6 +10,14 @@
 //!   per tag/varint byte, an owned `sources` vector per event) against
 //!   [`BlockDecoder`] refilling one 256 KiB block buffer and lending
 //!   borrowed [`EventRef`]s.
+//! * Mapped ingestion — the buffered sequential block decode against
+//!   the parallel checkers' pass-1 front end: disjoint block-index
+//!   shards of an established [`TraceMap`] decoded on worker threads
+//!   through [`SliceDecoder`]s, zero read syscalls and zero copies.
+//! * Random-access fetch — the disk-depth-first access pattern
+//!   (`event_at` over shuffled offsets) through the positioned-read
+//!   file cursor (one `pread` per fetch) against the map-backed cursor
+//!   (plain slice indexing).
 //!
 //! Both fixtures are seeded, written to a temp directory once, and
 //! sanity-checked for old/new agreement before anything is timed.
@@ -26,7 +34,10 @@ use rescheck_bench::micro::bench;
 use rescheck_bench::report::{take_json_flag, write_json, SCHEMA};
 use rescheck_cnf::{dimacs, Cnf, SplitMix64};
 use rescheck_obs::Json;
-use rescheck_trace::{BinaryReader, BinaryWriter, BlockDecoder, EventRef, TraceEvent, TraceSink};
+use rescheck_trace::{
+    BinaryReader, BinaryWriter, BlockDecoder, EventRef, FileTrace, RandomAccessTrace, SliceDecoder,
+    TraceEvent, TraceMap, TraceSink, TraceSource,
+};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
@@ -163,6 +174,97 @@ fn decode_block_path(path: &Path) -> (u64, u64) {
     (events, source_sum)
 }
 
+/// Workers for the mapped sharded decode: one per available core, the
+/// same cap the parallel checkers derive, at most 4.
+fn map_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
+/// The mapped ingestion path of the parallel checkers: decode disjoint
+/// block-index shards of an established map on worker threads — or, on
+/// a single-core host, the whole slice in place (the checkers' `jobs 1`
+/// path), where the win over the buffered reader is the absence of
+/// read syscalls and per-event allocation rather than parallelism.
+fn decode_map_sharded(map: &TraceMap, shards: usize) -> (u64, u64) {
+    let index = map.block_index().expect("well-formed fixture");
+    let bytes = map.bytes();
+    if shards <= 1 {
+        let mut decoder = SliceDecoder::new(bytes).expect("magic");
+        let mut events = 0u64;
+        let mut source_sum = 0u64;
+        while let Some(event) = decoder.next_event().expect("valid trace") {
+            match event {
+                EventRef::Learned { sources, .. } => {
+                    events += 1;
+                    source_sum += sources.iter().sum::<u64>();
+                }
+                EventRef::LevelZero { antecedent, .. } => {
+                    events += 1;
+                    source_sum += antecedent;
+                }
+                EventRef::FinalConflict { id } => {
+                    events += 1;
+                    source_sum += id;
+                }
+            }
+        }
+        return (events, source_sum);
+    }
+    let ranges = index.shard_ranges(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|range| {
+                scope.spawn(move || {
+                    let mut decoder = SliceDecoder::resume_at(&bytes[..range.end], range.start);
+                    let mut events = 0u64;
+                    let mut source_sum = 0u64;
+                    while let Some(event) = decoder.next_event().expect("valid trace") {
+                        match event {
+                            EventRef::Learned { sources, .. } => {
+                                events += 1;
+                                source_sum += sources.iter().sum::<u64>();
+                            }
+                            EventRef::LevelZero { antecedent, .. } => {
+                                events += 1;
+                                source_sum += antecedent;
+                            }
+                            EventRef::FinalConflict { id } => {
+                                events += 1;
+                                source_sum += id;
+                            }
+                        }
+                    }
+                    (events, source_sum)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard decode"))
+            .fold((0, 0), |(e, s), (de, ds)| (e + de, s + ds))
+    })
+}
+
+/// Fetches every offset through the trace's random-access cursor —
+/// `pread`-backed on a bare [`FileTrace`], slice-backed once its map is
+/// established — and returns a content checksum.
+fn fetch_all(trace: &FileTrace, offsets: &[u64]) -> u64 {
+    let mut cursor = trace.open_cursor().expect("cursor");
+    let mut sum = 0u64;
+    for &off in offsets {
+        match cursor.event_at(off).expect("valid trace") {
+            TraceEvent::Learned { sources, .. } => sum += sources.iter().sum::<u64>(),
+            TraceEvent::LevelZero { antecedent, .. } => sum += antecedent,
+            TraceEvent::FinalConflict { id } => sum += id,
+        }
+    }
+    sum
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = take_json_flag(&mut args);
@@ -219,6 +321,75 @@ fn main() {
         .set("old_median_seconds", old_decode.median.as_secs_f64())
         .set("new_median_seconds", new_decode.median.as_secs_f64())
         .set("speedup", decode_speedup);
+    rows.push(row);
+
+    // ---- Mapped ingestion: the buffered per-record reader (the same
+    // baseline as the decode row) vs the mapped decode over an
+    // established byte map, sharded across the available cores.
+    let map = TraceMap::open(&trace_path).expect("map fixture");
+    let shards = map_shards();
+    assert_eq!(
+        decode_map_sharded(&map, shards),
+        expected,
+        "sharded mapped decode disagrees with the fixture"
+    );
+    let map_decode = bench("io/decode/map-sharded", || {
+        std::hint::black_box(decode_map_sharded(&map, shards));
+    });
+    let map_speedup = old_decode.min.as_secs_f64() / map_decode.min.as_secs_f64().max(1e-12);
+    println!("io/speedup/decode-map: {map_speedup:.2}x ({shards} shard(s))");
+    let mut row = Json::object();
+    row.set("name", "decode-map")
+        .set("input_bytes", trace_bytes)
+        .set("events", expected.0)
+        .set("shards", shards as u64)
+        .set("mmap", map.is_mmap())
+        .set("old_min_seconds", old_decode.min.as_secs_f64())
+        .set("new_min_seconds", map_decode.min.as_secs_f64())
+        .set("old_median_seconds", old_decode.median.as_secs_f64())
+        .set("new_median_seconds", map_decode.median.as_secs_f64())
+        .set("speedup", map_speedup);
+    rows.push(row);
+    drop(map);
+
+    // ---- Random-access fetch: pread cursor vs map-backed cursor over
+    // the same shuffled offsets (the disk-depth-first access pattern).
+    let unmapped = FileTrace::open(&trace_path).expect("open trace");
+    let mut offsets: Vec<u64> = unmapped
+        .offset_events()
+        .expect("offset iter")
+        .map(|r| r.expect("valid trace").0)
+        .collect();
+    let mut rng = SplitMix64::new(0xfe7c4);
+    for i in (1..offsets.len()).rev() {
+        offsets.swap(i, rng.range_usize(0..i + 1));
+    }
+    offsets.truncate(30_000);
+    let mapped = FileTrace::open(&trace_path).expect("open trace");
+    mapped.trace_map(true).expect("binary traces map");
+    let checksum = fetch_all(&unmapped, &offsets);
+    assert_eq!(
+        fetch_all(&mapped, &offsets),
+        checksum,
+        "cursors disagree on the fixture"
+    );
+    let old_fetch = bench("io/fetch/pread", || {
+        std::hint::black_box(fetch_all(&unmapped, &offsets));
+    });
+    let new_fetch = bench("io/fetch/map", || {
+        std::hint::black_box(fetch_all(&mapped, &offsets));
+    });
+    let fetch_speedup = old_fetch.min.as_secs_f64() / new_fetch.min.as_secs_f64().max(1e-12);
+    println!("io/speedup/fetch: {fetch_speedup:.2}x");
+    let mut row = Json::object();
+    row.set("name", "dfd-fetch")
+        .set("input_bytes", trace_bytes)
+        .set("fetches", offsets.len())
+        .set("old_min_seconds", old_fetch.min.as_secs_f64())
+        .set("new_min_seconds", new_fetch.min.as_secs_f64())
+        .set("old_median_seconds", old_fetch.median.as_secs_f64())
+        .set("new_median_seconds", new_fetch.median.as_secs_f64())
+        .set("speedup", fetch_speedup);
     rows.push(row);
 
     std::fs::remove_file(&cnf_path).ok();

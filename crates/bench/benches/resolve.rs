@@ -93,7 +93,12 @@ fn main() {
     // (≥ 64 antecedents) plus a longer and a wider variant, and a
     // scattered-variable variant whose mark stores exceed the fast
     // caches (the SWAR layout's target regime).
-    let scenarios = [(64usize, 8usize, 1i64), (256, 8, 1), (64, 32, 1), (256, 8, 512)];
+    let scenarios = [
+        (64usize, 8usize, 1i64),
+        (256, 8, 1),
+        (64, 32, 1),
+        (256, 8, 512),
+    ];
     let mut rows: Vec<Json> = Vec::new();
     let mut kernel = ResolutionKernel::new();
 
@@ -132,7 +137,10 @@ fn main() {
             .set("resolvent_len", expected.len())
             .set("oracle_median_seconds", oracle.median.as_secs_f64())
             .set("kernel_median_seconds", kernel_summary.median.as_secs_f64())
-            .set("kernel_scalar_median_seconds", scalar_summary.median.as_secs_f64())
+            .set(
+                "kernel_scalar_median_seconds",
+                scalar_summary.median.as_secs_f64(),
+            )
             .set("speedup", speedup)
             .set("swar_speedup", swar_speedup);
         rows.push(row);

@@ -60,6 +60,15 @@ pub struct CheckConfig {
     ///
     /// [`original_cache_bytes`]: CheckConfig::original_cache_bytes
     pub source_cache_bytes: Option<u64>,
+    /// Request the buffered read-whole-file backing instead of `mmap`
+    /// for file traces (the `--no-mmap` CLI flag; the
+    /// `RESCHECK_NO_MMAP` environment variable has the same effect).
+    /// This controls only how the bytes are *backed* — every map-based
+    /// code path (slice decoding, sharded parallel pass 1, cursor
+    /// fetches by pointer arithmetic) stays on, so verdicts and stats
+    /// are bit-identical across the two settings. The map is charged to
+    /// the memory meter identically in both modes.
+    pub no_mmap: bool,
     /// Cooperative cancellation handle, polled at progress strides. The
     /// default flag is inert; arm one ([`CancelFlag::armed`]) to be able
     /// to stop a check from another thread.
@@ -76,6 +85,7 @@ impl Default for CheckConfig {
             original_cache_bytes: None,
             source_cache_bytes: None,
             parallel_min_learned: 4096,
+            no_mmap: false,
             cancel: CancelFlag::default(),
         }
     }
@@ -146,7 +156,13 @@ pub fn check_unsat_claim<S: RandomAccessTrace + Sync + ?Sized>(
 /// accounting: `check.dfd.index_entries` (flat offset-index size),
 /// `check.dfd.cursor_reads` (positioned trace reads performed),
 /// `check.dfd.cache_hits` and `check.dfd.cache_bytes` (source-list cache
-/// effectiveness and residency).
+/// effectiveness and residency). Strategies that establish a
+/// memory-mapped trace backing ([`Strategy::DiskDepthFirst`],
+/// [`Strategy::ParallelBf`], [`Strategy::ParallelDag`] on binary file
+/// traces) run it inside a `trace-map` phase and emit `check.map.bytes`
+/// (accounted map length) and `check.map.mmap` (1 for the `mmap`
+/// backing, 0 for the buffered fallback); the sharded mapped pass 1
+/// additionally reports `check.pass1.shards`.
 ///
 /// # Errors
 ///
@@ -502,6 +518,7 @@ mod tests {
         assert_eq!(cfg.original_cache_bytes, None);
         assert_eq!(cfg.source_cache_bytes, None);
         assert_eq!(cfg.parallel_min_learned, 4096);
+        assert!(!cfg.no_mmap);
         assert!(!cfg.cancel.is_cancelled());
     }
 }

@@ -38,11 +38,11 @@ use crate::fxhash::FxHashMap;
 use crate::memory::{clause_bytes, MemoryMeter, DAG_NODE_BYTES, DAG_SOURCE_BYTES};
 use crate::model::{finish_visit, park_check_error, table_capacity_hint};
 use crate::outcome::{CheckOutcome, CheckStats, Strategy};
-use crate::parallel::{effective_jobs, sharded_pass1};
+use crate::parallel::{effective_jobs, mapped_sharded_pass1, sharded_pass1};
 use crate::resolve::normalize_literals;
 use rescheck_cnf::{Cnf, Lit};
 use rescheck_obs::{Event, Observer, Phase};
-use rescheck_trace::{EventRef, RandomAccessTrace, TraceSource};
+use rescheck_trace::{BlockIndex, EventRef, RandomAccessTrace, TraceMap, TraceSource};
 use std::time::Instant;
 
 /// Tag bit marking a source entry as an index into [`Dag::originals`]
@@ -193,6 +193,7 @@ fn intern_original(
 /// per node and per source entry. All charges depend only on the trace,
 /// never on the worker count — the first half of the bit-identical
 /// `peak_memory_bytes` guarantee.
+#[cfg(test)]
 pub(crate) fn build<S: TraceSource + ?Sized>(
     cnf: &Cnf,
     trace: &S,
@@ -201,10 +202,35 @@ pub(crate) fn build<S: TraceSource + ?Sized>(
     meter: &mut MemoryMeter,
     cancel: &CancelFlag,
 ) -> Result<Dag, CheckError> {
+    build_from(cnf, trace, tables, start_id, meter, cancel, None)
+}
+
+/// [`build`], with the trace decode optionally fanned out over the
+/// mapped bytes: when `mapped` carries the established map, its block
+/// index and a worker count above one, the event stream is produced by
+/// [`crate::parallel::mapped_visit_ordered`] — `jobs` workers decode
+/// disjoint chunks while this thread replays them in exact trace order
+/// through the identical per-event handler. The built graph, every
+/// meter charge and every error are byte-for-byte the same as the
+/// streaming build's.
+pub(crate) fn build_from<S: TraceSource + ?Sized>(
+    cnf: &Cnf,
+    trace: &S,
+    tables: &Pass1Tables,
+    start_id: u64,
+    meter: &mut MemoryMeter,
+    cancel: &CancelFlag,
+    mapped: Option<(&TraceMap, &BlockIndex, usize)>,
+) -> Result<Dag, CheckError> {
     let num_original = cnf.num_clauses();
     let mut dag = Dag::default();
-    if let Some(encoded) = trace.encoded_size() {
-        let hint = table_capacity_hint(encoded);
+    // A clean block index knows the exact learned-clause count; the
+    // encoded size only estimates it.
+    let hint = match mapped {
+        Some((_, index, _)) => Some(index.learned() as usize),
+        None => trace.encoded_size().map(table_capacity_hint),
+    };
+    if let Some(hint) = hint {
         dag.nodes.reserve(hint);
         dag.id_to_node.reserve(hint);
     }
@@ -212,7 +238,7 @@ pub(crate) fn build<S: TraceSource + ?Sized>(
     let mut rev_pairs: Vec<(u32, u32)> = Vec::new();
     let mut seen: u64 = 0;
     let mut parked = None;
-    let result = trace.visit_events(&mut |event| {
+    let mut handler = |event: EventRef<'_>| {
         let step = (|| -> Result<(), CheckError> {
             let EventRef::Learned { id, sources } = event else {
                 return Ok(());
@@ -270,7 +296,13 @@ pub(crate) fn build<S: TraceSource + ?Sized>(
             Ok(())
         })();
         step.map_err(|e| park_check_error(&mut parked, e))
-    });
+    };
+    let result = match mapped {
+        Some((map, index, jobs)) if jobs > 1 => {
+            crate::parallel::mapped_visit_ordered(map.bytes(), index, jobs, &mut handler)
+        }
+        _ => trace.visit_events(&mut handler),
+    };
     finish_visit(parked, result)?;
 
     // The final phase fetches the level-0 antecedents and the start
@@ -358,28 +390,47 @@ pub(crate) fn run<S: RandomAccessTrace + Sync + ?Sized>(
     // cannot raise throughput (the stats are identical either way), so
     // oversubscribed requests silently run with fewer workers.
     let jobs = effective_jobs(config.jobs).min(crate::parallel::max_useful_workers());
-    if crate::parallel::small_trace_fallback(trace, config, obs) {
+    let map = crate::parallel::establish_map(trace, config, obs);
+    if crate::parallel::small_trace_fallback(trace, map, config, obs) {
         let mut outcome = crate::breadth_first::run(cnf, trace, config, obs)?;
         outcome.stats.strategy = Strategy::ParallelDag;
         return Ok(outcome);
     }
     let mut meter = MemoryMeter::new(config.memory_limit);
+    if let Some(map) = map {
+        // The encoded trace stays resident (mapped or buffered) for the
+        // whole check; charging it under both backings keeps the peak
+        // independent of `--no-mmap` and of the worker count.
+        meter.alloc(map.accounted_bytes())?;
+    }
 
     let pass1 = Phase::start("check:pass1", obs);
     obs.observe(&Event::GaugeSet {
         name: "check.jobs",
         value: jobs as f64,
     });
-    let (tables, start_id) = if jobs <= 1 {
-        sequential_pass1(trace, num_original, &config.cancel)?
-    } else {
-        sharded_pass1(trace, num_original, jobs, &config.cancel, obs)?
+    let index = map.and_then(TraceMap::block_index);
+    let (tables, start_id) = match (map, index) {
+        (Some(map), Some(index)) if jobs > 1 => {
+            mapped_sharded_pass1(map, index, num_original, jobs, &config.cancel, obs)?
+        }
+        _ if jobs <= 1 => sequential_pass1(trace, num_original, &config.cancel)?,
+        _ => sharded_pass1(trace, num_original, jobs, &config.cancel, obs)?,
     };
     meter.alloc(tables.resident_bytes())?;
     pass1.finish(obs);
 
     let build_phase = Phase::start("check:dag-build", obs);
-    let dag = build(cnf, trace, &tables, start_id, &mut meter, &config.cancel)?;
+    let mapped = map.zip(index).map(|(m, i)| (m, i, jobs));
+    let dag = build_from(
+        cnf,
+        trace,
+        &tables,
+        start_id,
+        &mut meter,
+        &config.cancel,
+        mapped,
+    )?;
     build_phase.finish(obs);
 
     let resolve_phase = Phase::start("check:resolve", obs);
@@ -574,13 +625,9 @@ mod tests {
         // Chain antecedents 0..8 plus the final conflict (-n) = 9
         // distinct originals; the level-0 antecedent is learned.
         assert_eq!(dag.originals.len(), 9);
-        let clause_cost: u64 = dag
-            .originals
-            .iter()
-            .map(|c| clause_bytes(c.len()))
-            .sum();
-        let meta_cost = dag.nodes.len() as u64 * DAG_NODE_BYTES
-            + dag.srcs.len() as u64 * DAG_SOURCE_BYTES;
+        let clause_cost: u64 = dag.originals.iter().map(|c| clause_bytes(c.len())).sum();
+        let meta_cost =
+            dag.nodes.len() as u64 * DAG_NODE_BYTES + dag.srcs.len() as u64 * DAG_SOURCE_BYTES;
         assert_eq!(meter.current(), clause_cost + meta_cost);
     }
 }

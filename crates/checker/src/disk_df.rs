@@ -22,7 +22,15 @@
 //! last use — this is plain depth-first with the trace residency removed,
 //! so its statistics (`clauses_built`, `resolutions`, the unsat core) are
 //! bit-identical to the in-memory depth-first strategy while its peak
-//! accounted memory replaces the `O(trace)` term with `O(index)`.
+//! accounted memory replaces the *decoded*-trace term with `O(index)`.
+//!
+//! For binary file traces both passes run through the established
+//! [`TraceMap`]: the index pass decodes mapped bytes in place and every
+//! "positioned read" of the build pass becomes a bounds-checked slice
+//! parse at the indexed offset — no seek, no syscall, no read buffer.
+//! The map's encoded bytes are charged to the meter up front (the same
+//! under `mmap` and the buffered fallback), which is still far below
+//! the decoded residency the in-memory strategies account.
 
 use crate::api::CheckConfig;
 use crate::arena::ClauseArena;
@@ -38,7 +46,7 @@ use crate::outcome::{CheckOutcome, CheckStats, Strategy, UnsatCore};
 use crate::resolve::normalize_literals;
 use rescheck_cnf::{Cnf, Lit};
 use rescheck_obs::{Event, Observer, Phase};
-use rescheck_trace::{RandomAccessTrace, TraceCursor, TraceEvent};
+use rescheck_trace::{RandomAccessTrace, TraceCursor, TraceEvent, TraceMap};
 use std::collections::VecDeque;
 use std::io;
 use std::rc::Rc;
@@ -152,11 +160,20 @@ pub(crate) fn run<S: RandomAccessTrace + ?Sized>(
     let start = Instant::now();
     let num_original = cnf.num_clauses();
     let mut meter = MemoryMeter::new(config.memory_limit);
+    let map = crate::parallel::establish_map(trace, config, obs);
+    if let Some(map) = map {
+        // The encoded trace stays resident (mapped or buffered) behind
+        // the cursor for the whole check; charge it under both backings
+        // so the peak is independent of `--no-mmap`.
+        meter.alloc(map.accounted_bytes())?;
+    }
 
     // ---- Pass 1: flat offset index + level-0 records + final conflicts.
     let pass1 = Phase::start("check:pass1", obs);
     let mut entries: Vec<(u64, u64)> = Vec::new();
-    if let Some(encoded) = trace.encoded_size() {
+    if let Some(index) = map.and_then(TraceMap::block_index) {
+        entries.reserve(index.learned() as usize);
+    } else if let Some(encoded) = trace.encoded_size() {
         entries.reserve(table_capacity_hint(encoded));
     }
     let mut level_zero = LevelZeroMap::default();

@@ -196,8 +196,7 @@ impl<'d> Shared<'d> {
                 let j = s as usize;
                 g.use_remaining[j] -= 1;
                 if g.use_remaining[j] == 0 && !self.dag.nodes[j].pinned {
-                    if let Some(freed) = unpoison(self.slots[j].write()).take()
-                    {
+                    if let Some(freed) = unpoison(self.slots[j].write()).take() {
                         g.meter.free(clause_bytes(freed.len()));
                     }
                 }
@@ -222,8 +221,7 @@ impl<'d> Shared<'d> {
             g.resolutions += node.resolutions();
             g.clauses_built += 1;
             g.next += 1;
-            if g
-                .clauses_built
+            if g.clauses_built
                 .is_multiple_of(crate::depth_first::PROGRESS_STRIDE)
             {
                 if let Err(e) = cancel.check() {
@@ -425,12 +423,14 @@ fn execute_inline(
                     kernel.begin(clause);
                     continue;
                 }
-                kernel.fold(clause).map_err(|failure| CheckError::NotResolvable {
-                    target: Some(meta.id),
-                    step,
-                    with: dag.source_id(s),
-                    failure,
-                })?;
+                kernel
+                    .fold(clause)
+                    .map_err(|failure| CheckError::NotResolvable {
+                        target: Some(meta.id),
+                        step,
+                        with: dag.source_id(s),
+                        failure,
+                    })?;
             }
             if let Some(stop) = dag.structural {
                 if stop.node == node {
@@ -444,10 +444,7 @@ fn execute_inline(
             Ok(Err(e)) => return Err(e),
             Err(payload) => {
                 return Err(CheckError::WorkerPanic {
-                    what: crate::parallel::panic_message(
-                        "parallel-dag worker 0",
-                        payload.as_ref(),
-                    ),
+                    what: crate::parallel::panic_message("parallel-dag worker 0", payload.as_ref()),
                 })
             }
         };
@@ -643,7 +640,10 @@ pub(crate) fn execute(
         name: "check.executor.steals",
         value: steals_total as f64,
     });
-    let state = shared.commit.into_inner().unwrap_or_else(|e| e.into_inner());
+    let state = shared
+        .commit
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
     state.buffer.replay(obs);
     crate::depth_first::emit_kernel_gauges(obs, &kernel_total, 0, 0);
 

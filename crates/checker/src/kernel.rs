@@ -212,7 +212,10 @@ impl ResolutionKernel {
         // Both 16-bit stamps advance at the chain boundary; a wrap of
         // either re-establishes "no lane holds the current stamp" the
         // explicit way — by flushing the lane store.
-        let (gen, fseq) = (self.generation16.wrapping_add(1), self.fold_seq16.wrapping_add(1));
+        let (gen, fseq) = (
+            self.generation16.wrapping_add(1),
+            self.fold_seq16.wrapping_add(1),
+        );
         if gen == 0 || fseq == 0 {
             self.marks.fill(0);
             self.generation16 = 1;
@@ -345,8 +348,10 @@ impl ResolutionKernel {
         // present lanes that match the generation and the paired lanes
         // that match the fold stamp — one load + one XOR probes all four
         // stamps of the variable.
-        let broadcast =
-            (gen << PRESENT_POS) | (gen << PRESENT_NEG) | (fseq << PAIRED_POS) | (fseq << PAIRED_NEG);
+        let broadcast = (gen << PRESENT_POS)
+            | (gen << PRESENT_NEG)
+            | (fseq << PAIRED_POS)
+            | (fseq << PAIRED_NEG);
         for &l in antecedent {
             let v = l.var().index();
             let probe = self.marks[v] ^ broadcast;
@@ -366,13 +371,11 @@ impl ResolutionKernel {
                 }
                 (true, _) if !own_neg => {
                     // Head is the positive literal and so is ours: merge.
-                    self.marks[v] =
-                        (self.marks[v] & !(LANE << PAIRED_POS)) | (fseq << PAIRED_POS);
+                    self.marks[v] = (self.marks[v] & !(LANE << PAIRED_POS)) | (fseq << PAIRED_POS);
                 }
                 (_, true) if own_neg && !pos_head => {
                     // Head is the negative literal and so is ours: merge.
-                    self.marks[v] =
-                        (self.marks[v] & !(LANE << PAIRED_NEG)) | (fseq << PAIRED_NEG);
+                    self.marks[v] = (self.marks[v] & !(LANE << PAIRED_NEG)) | (fseq << PAIRED_NEG);
                 }
                 _ => {
                     // Head is the opposite phase: a clash, consumed.

@@ -35,6 +35,17 @@
 //! [`MemoryMeter`]: they are a small transport detail of this
 //! implementation, not part of the strategy's clause residency that
 //! Table 2 measures.
+//!
+//! For binary *file* traces pass 1 skips the reader/channel pipeline
+//! entirely when the established [`TraceMap`] carries a block index:
+//! each worker decodes its own disjoint byte shard of the shared map
+//! (see [`rescheck_trace::BlockIndex::shard_ranges`]) straight into the
+//! compact merge records, and the shards meet in the identical
+//! trace-order replay. The map's bytes are charged to the meter once,
+//! up front, so for file traces this strategy's peak exceeds sequential
+//! breadth-first's by exactly the encoded trace size — identically
+//! across worker counts and across `mmap`/buffered backings. For
+//! unmapped sources the peak still equals breadth-first's.
 
 use crate::api::CheckConfig;
 use crate::breadth_first::{sequential_pass1, BfResolveState, Pass1Tables};
@@ -46,7 +57,10 @@ use crate::outcome::{CheckOutcome, Strategy};
 use crate::scratch::CheckScratch;
 use rescheck_cnf::{Cnf, Lit};
 use rescheck_obs::{Event, EventBuffer, Level, Observer, Phase};
-use rescheck_trace::{RandomAccessTrace, TraceEvent, TraceSource};
+use rescheck_trace::{
+    BlockIndex, EventRef, RandomAccessTrace, ShardRange, SliceDecoder, TraceEvent, TraceMap,
+    TraceSource,
+};
 use std::any::Any;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -103,23 +117,32 @@ pub(crate) fn effective_jobs(jobs: usize) -> usize {
 /// are a pure function of the trace anyway, so clamping is observable
 /// only as speed.
 pub(crate) fn max_useful_workers() -> usize {
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Whether a parallel strategy should step aside for plain sequential
-/// breadth-first: the trace's estimated learned-clause count (from its
-/// encoded size) is below [`CheckConfig::parallel_min_learned`]. Unsized
-/// trace sources never fall back — there is no estimate to compare.
+/// breadth-first: the trace's learned-clause count is below
+/// [`CheckConfig::parallel_min_learned`]. With an established
+/// [`TraceMap`] whose block index scanned cleanly the count is *exact*;
+/// otherwise it is estimated from the encoded size, and unsized trace
+/// sources never fall back — there is no estimate to compare.
 pub(crate) fn small_trace_fallback<S: TraceSource + ?Sized>(
     trace: &S,
+    map: Option<&TraceMap>,
     config: &CheckConfig,
     obs: &mut dyn Observer,
 ) -> bool {
     if config.parallel_min_learned == 0 {
         return false;
     }
-    let Some(hint) = trace.encoded_size().map(crate::model::table_capacity_hint) else {
-        return false;
+    let (hint, how) = match map.and_then(TraceMap::block_index) {
+        Some(index) => (index.learned() as usize, "has "),
+        None => match trace.encoded_size().map(crate::model::table_capacity_hint) {
+            Some(hint) => (hint, "estimates ~"),
+            None => return false,
+        },
     };
     if hint >= config.parallel_min_learned {
         return false;
@@ -127,12 +150,35 @@ pub(crate) fn small_trace_fallback<S: TraceSource + ?Sized>(
     obs.observe(&Event::Message {
         level: Level::Info,
         text: &format!(
-            "trace estimates ~{hint} learned clauses (below parallel_min_learned = {}); \
+            "trace {how}{hint} learned clauses (below parallel_min_learned = {}); \
              running sequential breadth-first",
             config.parallel_min_learned
         ),
     });
     true
+}
+
+/// Establishes the trace's shared byte map (when the source supports
+/// one) inside a `trace-map` phase and reports what backs it.
+pub(crate) fn establish_map<'a, S: TraceSource + ?Sized>(
+    trace: &'a S,
+    config: &CheckConfig,
+    obs: &mut dyn Observer,
+) -> Option<&'a TraceMap> {
+    let phase = Phase::start("trace-map", obs);
+    let map = trace.trace_map(!config.no_mmap);
+    if let Some(map) = map {
+        obs.observe(&Event::GaugeSet {
+            name: "check.map.bytes",
+            value: map.accounted_bytes() as f64,
+        });
+        obs.observe(&Event::GaugeSet {
+            name: "check.map.mmap",
+            value: map.is_mmap() as u8 as f64,
+        });
+    }
+    phase.finish(obs);
+    map
 }
 
 // ---------------------------------------------------------------- portfolio
@@ -488,6 +534,261 @@ pub(crate) fn sharded_pass1<S: TraceSource + Sync + ?Sized>(
     })
 }
 
+/// One mapped-decode worker: decodes the disjoint byte range
+/// `[range.start, range.end)` of the shared map straight into [`Meta`]
+/// records and local use counts — no owned events and no channel, just
+/// a [`SliceDecoder`] walking borrowed bytes. Event indices are global
+/// (`range.first_event` plus the local position), so the coordinator's
+/// merge is indistinguishable from [`count_shard`]'s output. A decode
+/// error is returned with the global index it occurred at; everything
+/// decoded before it is still valid prefix.
+#[allow(clippy::type_complexity)]
+fn decode_shard(
+    bytes: &[u8],
+    range: ShardRange,
+    num_original: usize,
+) -> (
+    Vec<Meta>,
+    FxHashMap<u64, u32>,
+    EventBuffer,
+    Duration,
+    Option<(u64, io::Error)>,
+) {
+    let started = Instant::now();
+    let mut buffer = EventBuffer::new();
+    let mut metas: Vec<Meta> = Vec::new();
+    let mut counts: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut decoder = SliceDecoder::resume_at(&bytes[..range.end], range.start);
+    let mut io_err: Option<(u64, io::Error)> = None;
+    let mut local: u64 = 0;
+    let mut batch_events: u64 = 0;
+    loop {
+        let idx = range.first_event + local;
+        match decoder.next_event() {
+            Ok(Some(event)) => {
+                match event {
+                    EventRef::Learned { id, sources } => {
+                        for &s in sources {
+                            if s >= num_original as u64 {
+                                *counts.entry(s).or_insert(0) += 1;
+                            }
+                        }
+                        metas.push(Meta::Learned {
+                            idx,
+                            id,
+                            num_sources: sources.len(),
+                        });
+                    }
+                    EventRef::LevelZero { lit, antecedent } => metas.push(Meta::LevelZero {
+                        idx,
+                        lit,
+                        antecedent,
+                    }),
+                    EventRef::FinalConflict { id } => metas.push(Meta::Final { idx, id }),
+                }
+                local += 1;
+                batch_events += 1;
+                if batch_events == BATCH_EVENTS as u64 {
+                    buffer.observe(&Event::HistRecord {
+                        name: "pass1.batch_events",
+                        value: batch_events,
+                    });
+                    batch_events = 0;
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                io_err = Some((idx, e));
+                break;
+            }
+        }
+    }
+    if batch_events > 0 {
+        buffer.observe(&Event::HistRecord {
+            name: "pass1.batch_events",
+            value: batch_events,
+        });
+    }
+    buffer.observe(&Event::GaugeSet {
+        name: "pass1.events",
+        value: metas.len() as f64,
+    });
+    (metas, counts, buffer, started.elapsed(), io_err)
+}
+
+/// Pass 1 decoded in place from a shared [`TraceMap`]: the block index
+/// splits the encoded bytes into per-worker shards at event-aligned
+/// boundaries, every worker runs [`decode_shard`] over its own range,
+/// and the compact records merge through the identical trace-order
+/// replay as [`sharded_pass1`]. No event ever crosses a channel.
+///
+/// Error semantics match the sequential scan: should a shard hit a
+/// decode error (unreachable on a cleanly indexed trace, but handled),
+/// only records *before* the earliest error position are validated
+/// before the error surfaces.
+pub(crate) fn mapped_sharded_pass1(
+    map: &TraceMap,
+    index: &BlockIndex,
+    num_original: usize,
+    jobs: usize,
+    cancel: &CancelFlag,
+    obs: &mut dyn Observer,
+) -> Result<(Pass1Tables, u64), CheckError> {
+    let ranges = index.shard_ranges(jobs);
+    obs.observe(&Event::GaugeSet {
+        name: "check.pass1.shards",
+        value: ranges.len() as f64,
+    });
+    let bytes = map.bytes();
+    let joins: Vec<_> = thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(move || decode_shard(bytes, range, num_original)))
+            .collect();
+        // Join everything before acting on any one failure, as above.
+        handles.into_iter().map(|h| h.join()).collect()
+    });
+
+    let mut metas: Vec<Meta> = Vec::new();
+    let mut merged_counts: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut io_err: Option<(u64, io::Error)> = None;
+    for (w, joined) in joins.into_iter().enumerate() {
+        let (shard_metas, shard_counts, worker_buffer, wall, shard_err) =
+            join_or_internal(&format!("pass-1 shard decoder {w}"), joined)?;
+        obs.observe(&Event::GaugeSet {
+            name: &format!("check.pass1.shard{w}.events"),
+            value: shard_metas.len() as f64,
+        });
+        worker_buffer.replay_prefixed(&format!("check.worker.{w}."), obs);
+        obs.observe(&Event::HistRecord {
+            name: "check.pass1.worker_wall_us",
+            value: wall.as_micros() as u64,
+        });
+        // A mapped worker decodes and counts in one motion, so its wall
+        // time *is* its decode time.
+        obs.observe(&Event::HistRecord {
+            name: "check.pass1.decode_us",
+            value: wall.as_micros() as u64,
+        });
+        metas.extend(shard_metas);
+        for (id, c) in shard_counts {
+            *merged_counts.entry(id).or_insert(0) += c;
+        }
+        if let Some((at, e)) = shard_err {
+            if io_err.as_ref().is_none_or(|(prev, _)| at < *prev) {
+                io_err = Some((at, e));
+            }
+        }
+    }
+    cancel.check()?;
+
+    if let Some((at, _)) = &io_err {
+        metas.retain(|m| m.idx() < *at);
+    }
+    metas.sort_unstable_by_key(Meta::idx);
+    let mut tables = Pass1Tables::default();
+    let mut seen: u64 = 0;
+    for meta in &metas {
+        seen += 1;
+        if seen.is_multiple_of(crate::depth_first::PROGRESS_STRIDE) {
+            cancel.check()?;
+        }
+        match *meta {
+            Meta::Learned {
+                id, num_sources, ..
+            } => tables.absorb_learned(id, num_sources, num_original)?,
+            Meta::LevelZero {
+                lit, antecedent, ..
+            } => tables.absorb_level_zero(lit, antecedent, num_original)?,
+            Meta::Final { id, .. } => tables.absorb_final(id),
+        }
+    }
+    if let Some((_, e)) = io_err {
+        return Err(CheckError::Trace(e));
+    }
+    for (id, c) in merged_counts {
+        *tables.use_counts.entry(id).or_insert(0) += c;
+    }
+    let start_id = tables.finish(num_original)?;
+    Ok((tables, start_id))
+}
+
+/// Decodes a mapped trace on `jobs` workers and replays every event to
+/// `visit` in exact trace order.
+///
+/// The block index splits the bytes into `4 × jobs` chunks; workers
+/// pull chunk numbers from a shared counter, decode each chunk into an
+/// owned event vector, and ship it back tagged with its number. The
+/// calling thread holds out-of-order arrivals in a small reorder buffer
+/// and visits chunks strictly in sequence — so a visitor that builds
+/// order-dependent state (the DAG build pass) sees the byte-exact
+/// sequential stream while the decode work, the dominant cost of the
+/// pass, runs on every worker. Dropping the receiver on a visitor error
+/// unblocks the workers, and the scope joins them before returning.
+pub(crate) fn mapped_visit_ordered(
+    bytes: &[u8],
+    index: &BlockIndex,
+    jobs: usize,
+    visit: &mut dyn FnMut(EventRef<'_>) -> io::Result<()>,
+) -> io::Result<()> {
+    let chunks = index.shard_ranges(jobs * 4);
+    let total = chunks.len();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    thread::scope(|scope| -> io::Result<()> {
+        type ChunkReport = (usize, Vec<TraceEvent>, Option<io::Error>);
+        let (tx, rx) = mpsc::sync_channel::<ChunkReport>(jobs.max(1));
+        for _ in 0..jobs.max(1).min(total.max(1)) {
+            let tx = tx.clone();
+            let next = &next;
+            let chunks = &chunks;
+            scope.spawn(move || loop {
+                let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(range) = chunks.get(c) else {
+                    return;
+                };
+                let mut events: Vec<TraceEvent> = Vec::new();
+                let mut decoder = SliceDecoder::resume_at(&bytes[..range.end], range.start);
+                let err = loop {
+                    match decoder.next_event() {
+                        Ok(Some(event)) => events.push(event.to_owned()),
+                        Ok(None) => break None,
+                        Err(e) => break Some(e),
+                    }
+                };
+                let failed = err.is_some();
+                if tx.send((c, events, err)).is_err() || failed {
+                    return;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut pending: std::collections::BTreeMap<usize, (Vec<TraceEvent>, Option<io::Error>)> =
+            std::collections::BTreeMap::new();
+        let mut next_visit = 0usize;
+        for (c, events, err) in rx {
+            pending.insert(c, (events, err));
+            while let Some((events, err)) = pending.remove(&next_visit) {
+                for event in &events {
+                    visit(event.as_ref())?;
+                }
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                next_visit += 1;
+            }
+            if next_visit == total {
+                break;
+            }
+        }
+        if next_visit < total {
+            // Unreachable unless a decode worker died without reporting.
+            return Err(io::Error::other("parallel trace decode lost a chunk"));
+        }
+        Ok(())
+    })
+}
+
 /// Pass 2 with a reader thread decoding ahead of the resolution loop.
 ///
 /// Resolution state stays on the calling thread; only owned event
@@ -589,22 +890,35 @@ pub(crate) fn run_parallel_bf<S: RandomAccessTrace + Sync + ?Sized>(
     let started = Instant::now();
     let num_original = cnf.num_clauses();
     let jobs = effective_jobs(config.jobs);
-    if small_trace_fallback(trace, config, obs) {
+    let map = establish_map(trace, config, obs);
+    if small_trace_fallback(trace, map, config, obs) {
+        // The sequential code streams through the established map but
+        // does not account it, exactly like a direct `--strategy bf`
+        // run — so the fallback's counters stay bit-identical to bf.
         let mut outcome = crate::breadth_first::run(cnf, trace, config, obs)?;
         outcome.stats.strategy = Strategy::ParallelBf;
         return Ok(outcome);
     }
     let mut meter = MemoryMeter::new(config.memory_limit);
+    if let Some(map) = map {
+        // The whole encoded trace is resident (mapped or buffered) for
+        // the duration of the check; charge it under both backings so
+        // the peak is independent of `--no-mmap`.
+        meter.alloc(map.accounted_bytes())?;
+    }
 
     let pass1 = Phase::start("check:pass1", obs);
     obs.observe(&Event::GaugeSet {
         name: "check.jobs",
         value: jobs as f64,
     });
-    let (tables, start_id) = if jobs <= 1 {
-        sequential_pass1(trace, num_original, &config.cancel)?
-    } else {
-        sharded_pass1(trace, num_original, jobs, &config.cancel, obs)?
+    let index = map.and_then(TraceMap::block_index);
+    let (tables, start_id) = match (map, index) {
+        (Some(map), Some(index)) if jobs > 1 => {
+            mapped_sharded_pass1(map, index, num_original, jobs, &config.cancel, obs)?
+        }
+        _ if jobs <= 1 => sequential_pass1(trace, num_original, &config.cancel)?,
+        _ => sharded_pass1(trace, num_original, jobs, &config.cancel, obs)?,
     };
     meter.alloc(tables.resident_bytes())?;
     pass1.finish(obs);

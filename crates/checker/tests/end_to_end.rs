@@ -291,3 +291,68 @@ fn df_core_checks_out_as_unsat_on_xor_cycles() {
     let mut sub_solver = Solver::from_cnf(&sub, SolverConfig::default());
     assert!(sub_solver.solve().is_unsat());
 }
+
+/// The `no_mmap` escape hatch swaps only the trace *backing*: every
+/// verdict and every stat must be bit-identical with the mapping on and
+/// off, for every map-consuming strategy, at every worker count — and
+/// the parallel strategies must also agree across worker counts.
+#[test]
+fn no_mmap_checks_are_bit_identical() {
+    let cnf = pigeonhole(5);
+    let dir = std::env::temp_dir().join("rescheck-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("php5-nommap-{}.rtb", std::process::id()));
+    {
+        let file = std::fs::File::create(&path).unwrap();
+        let mut writer = BinaryWriter::new(std::io::BufWriter::new(file)).unwrap();
+        let mut solver = Solver::from_cnf(&cnf, SolverConfig::default());
+        assert!(solver.solve_traced(&mut writer).unwrap().is_unsat());
+        writer.flush().unwrap();
+    }
+
+    for (strategy, job_counts) in [
+        (Strategy::ParallelBf, &[1usize, 2, 4][..]),
+        (Strategy::ParallelDag, &[1, 2, 4][..]),
+        (Strategy::DiskDepthFirst, &[1][..]),
+    ] {
+        let mut across_jobs: Option<(u64, u64, u64, u64)> = None;
+        for &jobs in job_counts {
+            let mut across_backings: Option<(u64, u64, u64, u64)> = None;
+            for no_mmap in [false, true] {
+                // Fresh handle per run: a FileTrace caches the first
+                // backing it establishes.
+                let trace = FileTrace::open(&path).unwrap();
+                let config = CheckConfig {
+                    jobs,
+                    parallel_min_learned: 0,
+                    no_mmap,
+                    ..CheckConfig::default()
+                };
+                let outcome = check_unsat_claim(&cnf, &trace, strategy, &config)
+                    .unwrap_or_else(|e| panic!("{strategy} jobs={jobs} no_mmap={no_mmap}: {e}"));
+                let key = (
+                    outcome.stats.learned_in_trace,
+                    outcome.stats.clauses_built,
+                    outcome.stats.resolutions,
+                    outcome.stats.peak_memory_bytes,
+                );
+                if let Some(prev) = across_backings {
+                    assert_eq!(
+                        prev, key,
+                        "{strategy} jobs={jobs}: stats differ across mmap on/off"
+                    );
+                }
+                across_backings = Some(key);
+            }
+            if let Some(prev) = across_jobs {
+                assert_eq!(
+                    prev,
+                    across_backings.unwrap(),
+                    "{strategy}: stats differ across worker counts"
+                );
+            }
+            across_jobs = across_backings;
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}

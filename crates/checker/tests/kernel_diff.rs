@@ -354,7 +354,10 @@ fn parallel_dag_checks_pigeonhole_at_four_workers() {
     assert_eq!(first.stats.learned_in_trace, bf.stats.learned_in_trace);
     assert_eq!(first.stats.clauses_built, second.stats.clauses_built);
     assert_eq!(first.stats.resolutions, second.stats.resolutions);
-    assert_eq!(first.stats.peak_memory_bytes, second.stats.peak_memory_bytes);
+    assert_eq!(
+        first.stats.peak_memory_bytes,
+        second.stats.peak_memory_bytes
+    );
 }
 
 /// The allocation-free claim, observed through the kernel's own scratch

@@ -1,4 +1,5 @@
-//! A small content-addressed formula cache shared by all workers.
+//! Small caches shared by all workers: parsed formulas and opened
+//! trace handles.
 //!
 //! Campaigns routinely submit many jobs against the same CNF (one formula,
 //! many traces). Parsing DIMACS per job would dominate small checks, so
@@ -8,12 +9,21 @@
 //! decide whether a worker's warm original-clause tier may be reused —
 //! same token, same formula, warm reuse is sound.
 //!
+//! The same campaigns also re-check one trace *file* under several
+//! strategies or job counts. A [`TraceCache`] keys opened [`FileTrace`]
+//! handles by path (revalidated by length + mtime) and hands out clones
+//! that share the original's established byte map — so the daemon maps
+//! a repeatedly checked trace once instead of per job.
+//!
 //! [`CheckScratch::begin_job`]: rescheck_checker::CheckScratch::begin_job
 
 use rescheck_cnf::dimacs;
 use rescheck_cnf::{Cnf, ParseDimacsError};
+use rescheck_trace::{no_mmap_requested, FileTrace, TraceSource};
 use std::collections::{HashMap, VecDeque};
+use std::io;
 use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
 
 /// Parsed formulas the cache keeps resident at once. Entries are whole
 /// CNFs, so the cap is deliberately small; eviction is FIFO.
@@ -112,6 +122,94 @@ impl FormulaCache {
     }
 }
 
+struct TraceEntry {
+    /// Revalidation stamp: a changed length or mtime means the file was
+    /// rewritten and the cached handle (and its map) must not be reused.
+    len: u64,
+    mtime: Option<SystemTime>,
+    trace: FileTrace,
+}
+
+#[derive(Default)]
+struct TraceState {
+    entries: HashMap<String, TraceEntry>,
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Path-keyed cache of opened [`FileTrace`] handles with FIFO eviction.
+///
+/// The payoff is not the `open` syscall but the **byte map**: the cache
+/// establishes each handle's [`rescheck_trace::TraceMap`] once, and the
+/// clones it hands out share it — a campaign checking one trace file
+/// under several strategies or worker counts maps (or, under
+/// `RESCHECK_NO_MMAP`, reads) the file exactly once.
+#[derive(Default)]
+pub struct TraceCache {
+    state: Mutex<TraceState>,
+}
+
+impl TraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// Opens `path`, or returns a clone of the cached handle when the
+    /// file's length and mtime are unchanged. The clone shares the
+    /// cached handle's established byte map (binary traces; ASCII
+    /// traces have no map and simply skip the establishment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `stat`/`open` failures; failures are not cached.
+    pub fn open(&self, path: &str) -> io::Result<FileTrace> {
+        let meta = std::fs::metadata(path)?;
+        let (len, mtime) = (meta.len(), meta.modified().ok());
+        {
+            let mut state = self.state.lock().expect("trace cache poisoned");
+            if let Some(entry) = state.entries.get(path) {
+                if entry.len == len && entry.mtime == mtime {
+                    let trace = entry.trace.clone();
+                    state.hits += 1;
+                    return Ok(trace);
+                }
+            }
+        }
+        let trace = FileTrace::open(path)?;
+        // Establish the shared map *before* caching: clones share an
+        // already-established map, while one established later would
+        // live on that job's clone alone.
+        let _ = trace.trace_map(!no_mmap_requested());
+        let mut state = self.state.lock().expect("trace cache poisoned");
+        state.misses += 1;
+        if !state.entries.contains_key(path) {
+            if state.order.len() >= CACHE_CAPACITY {
+                if let Some(oldest) = state.order.pop_front() {
+                    state.entries.remove(&oldest);
+                }
+            }
+            state.order.push_back(path.to_string());
+        }
+        state.entries.insert(
+            path.to_string(),
+            TraceEntry {
+                len,
+                mtime,
+                trace: trace.clone(),
+            },
+        );
+        Ok(trace)
+    }
+
+    /// `(hits, misses)` so far — exported as `serve.trace_cache.*`.
+    pub fn stats(&self) -> (u64, u64) {
+        let state = self.state.lock().expect("trace cache poisoned");
+        (state.hits, state.misses)
+    }
+}
+
 /// 64-bit FNV-1a — tiny, dependency-free, good enough for a keyed cache
 /// that double-checks length on hit.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -152,6 +250,66 @@ mod tests {
     fn parse_errors_propagate_and_are_not_cached() {
         let cache = FormulaCache::new();
         assert!(cache.load_text("p cnf nonsense").is_err());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+
+    fn write_binary_trace(name: &str) -> std::path::PathBuf {
+        use rescheck_trace::{BinaryWriter, TraceSink};
+        let path = std::env::temp_dir().join(format!(
+            "rescheck-serve-cache-{}-{name}.rtb",
+            std::process::id()
+        ));
+        let mut buf = Vec::new();
+        {
+            let mut w = BinaryWriter::new(&mut buf).unwrap();
+            w.learned(2, &[0, 1]).unwrap();
+            w.final_conflict(2).unwrap();
+        }
+        std::fs::write(&path, buf).unwrap();
+        path
+    }
+
+    #[test]
+    fn trace_cache_hits_on_unchanged_files() {
+        let path = write_binary_trace("hit");
+        let cache = TraceCache::new();
+        let a = cache.open(path.to_str().unwrap()).unwrap();
+        let b = cache.open(path.to_str().unwrap()).unwrap();
+        assert_eq!(cache.stats(), (1, 1));
+        // Both handles decode the same events.
+        use rescheck_trace::TraceSource;
+        let ea: Vec<_> = a.events_iter().unwrap().map(Result::unwrap).collect();
+        let eb: Vec<_> = b.events_iter().unwrap().map(Result::unwrap).collect();
+        assert_eq!(ea, eb);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_cache_revalidates_on_length_change() {
+        use rescheck_trace::{BinaryWriter, TraceSink, TraceSource};
+        let path = write_binary_trace("stale");
+        let cache = TraceCache::new();
+        cache.open(path.to_str().unwrap()).unwrap();
+        // Rewrite the file with one more event: the stale handle must
+        // not be served.
+        let mut buf = Vec::new();
+        {
+            let mut w = BinaryWriter::new(&mut buf).unwrap();
+            w.learned(2, &[0, 1]).unwrap();
+            w.learned(3, &[2, 1]).unwrap();
+            w.final_conflict(3).unwrap();
+        }
+        std::fs::write(&path, buf).unwrap();
+        let fresh = cache.open(path.to_str().unwrap()).unwrap();
+        assert_eq!(fresh.events_iter().unwrap().count(), 3);
+        assert_eq!(cache.stats().1, 2, "rewrite must be a miss");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_cache_propagates_open_errors() {
+        let cache = TraceCache::new();
+        assert!(cache.open("/nonexistent/rescheck-trace.rtb").is_err());
         assert_eq!(cache.stats(), (0, 0));
     }
 

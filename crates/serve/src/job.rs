@@ -8,7 +8,7 @@
 //! discarded on panic (the scratch).
 
 use crate::budget::BudgetLedger;
-use crate::cache::FormulaCache;
+use crate::cache::{FormulaCache, TraceCache};
 use crate::protocol::{status, verdict, Claim, Inject, JobSpec, Payload};
 use crate::watchdog::Watchdog;
 use rescheck_bench::report;
@@ -30,6 +30,8 @@ pub struct JobEnv<'a> {
     pub watchdog: &'a Watchdog,
     /// Shared parsed-formula cache.
     pub cache: &'a FormulaCache,
+    /// Shared opened-trace cache (one byte map per distinct trace file).
+    pub traces: &'a TraceCache,
     /// Daemon-wide default deadline for jobs that set none.
     pub default_timeout_ms: Option<u64>,
 }
@@ -119,7 +121,7 @@ pub fn run_job(spec: &JobSpec, env: &JobEnv<'_>, scratch: &mut CheckScratch) -> 
             finish(frame, started, Registry::new())
         }
         Claim::Unsat(evidence) => {
-            let trace = match load_trace(evidence) {
+            let trace = match load_trace(evidence, env.traces) {
                 Ok(trace) => trace,
                 Err(message) => {
                     return finish(
@@ -183,14 +185,17 @@ enum LoadedTrace {
     File(FileTrace),
 }
 
-fn load_trace(evidence: &Payload) -> Result<LoadedTrace, String> {
+fn load_trace(evidence: &Payload, traces: &TraceCache) -> Result<LoadedTrace, String> {
     match evidence {
         Payload::Inline(text) => {
             let events = read_all(Cursor::new(text.as_bytes()), TraceFormat::Ascii)
                 .map_err(|e| format!("parsing inline trace: {e}"))?;
             Ok(LoadedTrace::Memory(MemorySink::from(events)))
         }
-        Payload::Path(path) => FileTrace::open(path)
+        // Path evidence goes through the daemon's trace cache: repeated
+        // jobs against one file share a single established byte map.
+        Payload::Path(path) => traces
+            .open(path)
             .map(LoadedTrace::File)
             .map_err(|e| format!("opening trace {path}: {e}")),
     }

@@ -23,6 +23,9 @@
 //! - [`FormulaCache`] — content-addressed `Arc<Cnf>` sharing across jobs,
 //!   whose identity tokens gate
 //!   [`CheckScratch`](rescheck_checker::CheckScratch) warm-tier reuse.
+//! - [`TraceCache`] — path-keyed sharing of opened trace handles, so a
+//!   campaign re-checking one trace file maps its bytes once instead of
+//!   per job.
 //!
 //! Verdicts embed a full `rescheck-metrics-v2` document, and the daemon
 //! itself exports `serve.*` counters, queue-depth and job-wall-time
@@ -61,7 +64,7 @@ mod server;
 mod watchdog;
 
 pub use budget::{BudgetLedger, Lease};
-pub use cache::{CachedFormula, FormulaCache};
+pub use cache::{CachedFormula, FormulaCache, TraceCache};
 pub use front::{serve_io, serve_stdin, serve_tcp};
 pub use server::{write_frame, LineOutcome, Reply, ServeConfig, Server};
 pub use watchdog::{Watchdog, WatchdogGuard};

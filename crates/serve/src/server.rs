@@ -20,7 +20,7 @@
 //! scratch, never the process.
 
 use crate::budget::BudgetLedger;
-use crate::cache::FormulaCache;
+use crate::cache::{FormulaCache, TraceCache};
 use crate::job::{run_job, JobEnv};
 use crate::protocol::{self, status, Frame, FrameError, JobSpec, SUMMARY_SCHEMA};
 use crate::watchdog::Watchdog;
@@ -95,6 +95,7 @@ struct Shared {
     ledger: BudgetLedger,
     watchdog: Watchdog,
     cache: FormulaCache,
+    traces: TraceCache,
     pool: ScratchPool,
     registry: Mutex<Registry>,
     queued: AtomicUsize,
@@ -148,6 +149,7 @@ impl Server {
             ledger: BudgetLedger::new(config.mem_total, worker_count),
             watchdog: Watchdog::start(),
             cache: FormulaCache::new(),
+            traces: TraceCache::new(),
             pool: ScratchPool::new(),
             registry: Mutex::new(Registry::new()),
             queued: AtomicUsize::new(0),
@@ -288,6 +290,7 @@ impl Server {
     /// refreshed).
     pub fn metrics_snapshot(&self) -> Registry {
         let (hits, misses) = self.shared.cache.stats();
+        let (trace_hits, trace_misses) = self.shared.traces.stats();
         self.shared.with_registry(|reg| {
             reg.inc(
                 "serve.formula_cache.hits",
@@ -296,6 +299,14 @@ impl Server {
             reg.inc(
                 "serve.formula_cache.misses",
                 misses - reg.counter("serve.formula_cache.misses").unwrap_or(0),
+            );
+            reg.inc(
+                "serve.trace_cache.hits",
+                trace_hits - reg.counter("serve.trace_cache.hits").unwrap_or(0),
+            );
+            reg.inc(
+                "serve.trace_cache.misses",
+                trace_misses - reg.counter("serve.trace_cache.misses").unwrap_or(0),
             );
             let mut out = Registry::new();
             out.merge(reg);
@@ -367,6 +378,7 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Arc<Mutex<Receiver<QueuedJob>>>) -> Lo
             ledger: &shared.ledger,
             watchdog: &shared.watchdog,
             cache: &shared.cache,
+            traces: &shared.traces,
             default_timeout_ms: shared.default_timeout_ms,
         };
         let started = Instant::now();

@@ -363,6 +363,193 @@ fn decode_varint_chunk(chunk: &[u8; 10]) -> io::Result<(u64, usize)> {
     Err(varint_overflow())
 }
 
+/// Borrowed-from-map decoding: [`BlockDecoder`]'s semantics over an
+/// in-memory byte slice, with no read buffer and no copy.
+///
+/// This is the decoder the [`crate::TraceMap`] paths use — one-shot
+/// strategies, `rescheck serve` jobs and the sharded parallel pass-1
+/// scans all decode straight off the mapped bytes. It accepts exactly
+/// the streams [`BlockDecoder`] accepts and reports identical
+/// diagnostics (kind and message) on malformed or truncated input; the
+/// differential tests below run both decoders over the same corpora.
+///
+/// # Examples
+///
+/// ```
+/// use rescheck_trace::{BinaryWriter, EventRef, SliceDecoder, TraceSink};
+///
+/// let mut buf = Vec::new();
+/// let mut w = BinaryWriter::new(&mut buf)?;
+/// w.learned(2, &[0, 1])?;
+///
+/// let mut decoder = SliceDecoder::new(&buf)?;
+/// assert_eq!(
+///     decoder.next_event()?,
+///     Some(EventRef::Learned { id: 2, sources: &[0, 1] })
+/// );
+/// assert_eq!(decoder.next_event()?, None);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct SliceDecoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+    scratch: Vec<u64>,
+    events: u64,
+}
+
+impl<'a> SliceDecoder<'a> {
+    /// Creates a decoder over a whole trace, validating the magic.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BlockDecoder::new`].
+    pub fn new(data: &'a [u8]) -> io::Result<Self> {
+        if data.len() < BINARY_MAGIC.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "failed to fill whole buffer",
+            ));
+        }
+        if data[..BINARY_MAGIC.len()] != BINARY_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a rescheck binary trace (bad magic)",
+            ));
+        }
+        Ok(Self::resume_at(data, BINARY_MAGIC.len()))
+    }
+
+    /// Creates a decoder positioned at byte `pos` of `data`, which must
+    /// be a record boundary (e.g. a [`crate::ShardRange`] start). No
+    /// magic is consumed or checked.
+    pub fn resume_at(data: &'a [u8], pos: usize) -> Self {
+        SliceDecoder {
+            data,
+            pos,
+            scratch: Vec::new(),
+            events: 0,
+        }
+    }
+
+    /// Current byte offset into the slice (a record boundary between
+    /// calls to [`SliceDecoder::next_event`]).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Number of events decoded so far.
+    pub fn events_decoded(&self) -> u64 {
+        self.events
+    }
+
+    /// Decodes the next record, or `None` at the end of the slice.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BlockDecoder::next_event`].
+    pub fn next_event(&mut self) -> io::Result<Option<EventRef<'_>>> {
+        let Some(&tag) = self.data.get(self.pos) else {
+            return Ok(None);
+        };
+        self.pos += 1;
+        self.events += 1;
+        match tag {
+            TAG_LEARNED => {
+                let id = self.read_varint()?;
+                let count = self.read_varint()?;
+                if count < 2 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "learned clause needs at least two resolve sources",
+                    ));
+                }
+                if count > (1 << 32) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "implausible resolve-source count",
+                    ));
+                }
+                self.scratch.clear();
+                // As in BlockDecoder: `count` is attacker-controlled
+                // until the sources actually decode.
+                self.scratch.reserve(count.min(65_536) as usize);
+                for _ in 0..count {
+                    let source = self.read_varint()?;
+                    self.scratch.push(source);
+                }
+                Ok(Some(EventRef::Learned {
+                    id,
+                    sources: &self.scratch,
+                }))
+            }
+            TAG_LEVEL_ZERO => {
+                let code = self.read_varint()?;
+                if code > u32::MAX as u64 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "literal code out of range",
+                    ));
+                }
+                let antecedent = self.read_varint()?;
+                Ok(Some(EventRef::LevelZero {
+                    lit: Lit::from_code(code as usize),
+                    antecedent,
+                }))
+            }
+            TAG_FINAL => {
+                let id = self.read_varint()?;
+                Ok(Some(EventRef::FinalConflict { id }))
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown binary trace tag 0x{other:02x}"),
+            )),
+        }
+    }
+
+    #[inline]
+    fn read_varint(&mut self) -> io::Result<u64> {
+        // Same shape as BlockDecoder::read_varint, minus refills: with
+        // ten bytes in hand the whole varint decodes from a fixed-size
+        // chunk; only the final few records of the slice take the
+        // byte-at-a-time tail.
+        if self.data.len() - self.pos >= 10 {
+            let chunk: &[u8; 10] = self.data[self.pos..self.pos + 10]
+                .try_into()
+                .expect("slice of length 10");
+            let first = chunk[0];
+            if first < 0x80 {
+                self.pos += 1;
+                return Ok(u64::from(first));
+            }
+            let (value, consumed) = decode_varint_chunk(chunk)?;
+            self.pos += consumed;
+            return Ok(value);
+        }
+        let mut value: u64 = 0;
+        let mut shift: u32 = 0;
+        while let Some(&byte) = self.data.get(self.pos) {
+            self.pos += 1;
+            if shift == 63 && byte > 1 {
+                return Err(varint_overflow());
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(varint_overflow());
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "failed to fill whole buffer",
+        ))
+    }
+}
+
 /// Owned-event iterator over a [`BlockDecoder`].
 ///
 /// Each item clones the decoder's scratch into a fresh [`TraceEvent`];
@@ -443,6 +630,15 @@ mod tests {
         Ok(events)
     }
 
+    fn decode_all_slice(bytes: &[u8]) -> io::Result<Vec<TraceEvent>> {
+        let mut decoder = SliceDecoder::new(bytes)?;
+        let mut events = Vec::new();
+        while let Some(event) = decoder.next_event()? {
+            events.push(event.to_owned());
+        }
+        Ok(events)
+    }
+
     #[test]
     fn seeded_roundtrip_across_block_boundaries() {
         for seed in [1, 0xdead_beef, 42] {
@@ -453,6 +649,8 @@ mod tests {
                 let got = decode_all(&bytes, block_size).unwrap();
                 assert_eq!(got, events, "seed {seed}, block size {block_size}");
             }
+            let got = decode_all_slice(&bytes).unwrap();
+            assert_eq!(got, events, "seed {seed}, slice decoder");
         }
     }
 
@@ -471,13 +669,16 @@ mod tests {
                     Err(e) => Err(e),
                 };
             let block = decode_all(truncated, 16);
-            match (reference, block) {
-                (Ok(a), Ok(b)) => assert_eq!(a, b, "cut {cut}"),
-                (Err(a), Err(b)) => {
-                    assert_eq!(a.kind(), b.kind(), "cut {cut}");
-                    assert_eq!(a.to_string(), b.to_string(), "cut {cut}");
+            let slice = decode_all_slice(truncated);
+            for (label, got) in [("block", block), ("slice", slice)] {
+                match (&reference, got) {
+                    (Ok(a), Ok(b)) => assert_eq!(*a, b, "cut {cut} ({label})"),
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a.kind(), b.kind(), "cut {cut} ({label})");
+                        assert_eq!(a.to_string(), b.to_string(), "cut {cut} ({label})");
+                    }
+                    (a, b) => panic!("cut {cut} ({label}): reference {a:?} vs {b:?}"),
                 }
-                (a, b) => panic!("cut {cut}: reference {a:?} vs block {b:?}"),
             }
         }
     }
@@ -521,14 +722,17 @@ mod tests {
                     .unwrap()
                     .collect();
             let block = decode_all(&bytes, 16);
+            let slice = decode_all_slice(&bytes);
             let reference_err = reference.unwrap_err();
-            let block_err = block.unwrap_err();
-            assert_eq!(reference_err.kind(), block_err.kind(), "tail {tail:?}");
-            assert_eq!(
-                reference_err.to_string(),
-                block_err.to_string(),
-                "tail {tail:?}"
-            );
+            for (label, got) in [("block", block), ("slice", slice)] {
+                let err = got.unwrap_err();
+                assert_eq!(reference_err.kind(), err.kind(), "tail {tail:?} ({label})");
+                assert_eq!(
+                    reference_err.to_string(),
+                    err.to_string(),
+                    "tail {tail:?} ({label})"
+                );
+            }
         }
     }
 
@@ -537,6 +741,10 @@ mod tests {
         let err = BlockDecoder::new(io::Cursor::new(b"NOPE".to_vec())).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let err = BlockDecoder::new(io::Cursor::new(b"RT".to_vec())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let err = SliceDecoder::new(b"NOPE").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = SliceDecoder::new(b"RT").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 

@@ -50,13 +50,15 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `map` needs three raw syscall bindings; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod ascii;
 mod binary;
 mod block;
 mod event;
+mod map;
 pub mod mutate;
 mod random;
 mod sink;
@@ -66,8 +68,9 @@ pub mod varint;
 
 pub use ascii::{AsciiReader, AsciiWriter};
 pub use binary::{BinaryReader, BinaryWriter, BINARY_MAGIC};
-pub use block::{BlockDecoder, BlockEvents};
+pub use block::{BlockDecoder, BlockEvents, SliceDecoder};
 pub use event::{EventRef, TraceEvent};
+pub use map::{no_mmap_requested, BlockIndex, ShardRange, TraceMap, NO_MMAP_ENV};
 pub use mutate::{Mutation, ALL_MUTATIONS};
 pub use random::{OffsetEventsIter, RandomAccessTrace, TraceCursor};
 pub use sink::{CountingSink, MemorySink, NullSink, TeeSink, TraceSink};

@@ -8,6 +8,18 @@
 //! *offset* (a byte position for file traces, an index for in-memory
 //! traces), learnable from [`RandomAccessTrace::offset_events`] and
 //! dereferenceable through a [`TraceCursor`].
+//!
+//! There are two random-access paths for file traces. The original one
+//! issues a positioned read (seek + `read_exact`) per fetch. When a
+//! [`crate::TraceMap`] has been established on the [`FileTrace`], the
+//! cursor instead indexes the mapped bytes directly — a fetch is
+//! pointer arithmetic plus a record decode, no syscall. Offsets are
+//! identical across both paths (the byte position of the record), so
+//! the id → offset indexes the checkers build are valid against either.
+//! The mapped path inherits the map's safety invariants (see
+//! [`crate::map`](crate::TraceMap)): the file must not be truncated
+//! while mapped, the length is captured at map time, and the magic is
+//! re-verified on the mapped bytes before any decode.
 
 use crate::{varint, FileTrace, MemorySink, TraceEvent, TraceFormat, TraceSource, BINARY_MAGIC};
 use rescheck_cnf::{Lit, READ_BUFFER_BYTES};
@@ -224,8 +236,68 @@ impl TraceCursor for FileCursor {
     }
 }
 
+/// Offset iteration over mapped bytes: decodes with the same
+/// `parse_binary_body` the positioned-read path uses, so diagnostics on
+/// malformed records are byte-for-byte identical to [`BinaryOffsetIter`].
+struct MapOffsetIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    done: bool,
+}
+
+impl Iterator for MapOffsetIter<'_> {
+    type Item = io::Result<(u64, TraceEvent)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done || self.pos >= self.data.len() {
+            return None;
+        }
+        let start = self.pos;
+        let tag = self.data[self.pos];
+        let mut rest = &self.data[self.pos + 1..];
+        match parse_binary_body(&mut rest, tag) {
+            Ok(event) => {
+                self.pos = start + binary_event_len(&event) as usize;
+                Some(Ok((start as u64, event)))
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Positioned reads as slice indexing into the mapped bytes.
+struct MapCursor<'a> {
+    data: &'a [u8],
+}
+
+impl TraceCursor for MapCursor<'_> {
+    fn event_at(&mut self, offset: u64) -> io::Result<TraceEvent> {
+        let pos = usize::try_from(offset)
+            .ok()
+            .filter(|&p| p < self.data.len())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "trace offset out of range")
+            })?;
+        let tag = self.data[pos];
+        let mut rest = &self.data[pos + 1..];
+        parse_binary_body(&mut rest, tag)
+    }
+}
+
 impl RandomAccessTrace for FileTrace {
     fn offset_events(&self) -> io::Result<OffsetEventsIter<'_>> {
+        if self.format() == TraceFormat::Binary {
+            if let Some(map) = self.established_map() {
+                return Ok(Box::new(MapOffsetIter {
+                    data: map.bytes(),
+                    pos: BINARY_MAGIC.len(),
+                    done: false,
+                }));
+            }
+        }
         let reader = BufReader::with_capacity(READ_BUFFER_BYTES, File::open(self.path())?);
         match self.format() {
             TraceFormat::Ascii => Ok(Box::new(AsciiOffsetIter {
@@ -254,6 +326,11 @@ impl RandomAccessTrace for FileTrace {
     }
 
     fn open_cursor(&self) -> io::Result<Box<dyn TraceCursor + '_>> {
+        if self.format() == TraceFormat::Binary {
+            if let Some(map) = self.established_map() {
+                return Ok(Box::new(MapCursor { data: map.bytes() }));
+            }
+        }
         // Deliberately the small default capacity: every `event_at` seek
         // discards the buffer, so a large one would re-read far more than
         // the single record being fetched.
@@ -430,6 +507,46 @@ mod tests {
         }
         let trace = FileTrace::open(&path).unwrap();
         check_random_access(&trace, &sample());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_random_access_matches_positioned_reads() {
+        let path = tmp_path("ra-map.rtb");
+        {
+            let mut w = BinaryWriter::new(std::fs::File::create(&path).unwrap()).unwrap();
+            for e in sample() {
+                w.event(&e).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        let plain = FileTrace::open(&path).unwrap();
+        let mapped = FileTrace::open(&path).unwrap();
+        assert!(mapped.trace_map(true).is_some());
+
+        let positioned: Vec<(u64, TraceEvent)> = plain
+            .offset_events()
+            .unwrap()
+            .collect::<io::Result<_>>()
+            .unwrap();
+        let via_map: Vec<(u64, TraceEvent)> = mapped
+            .offset_events()
+            .unwrap()
+            .collect::<io::Result<_>>()
+            .unwrap();
+        assert_eq!(positioned, via_map);
+
+        let mut cursor = mapped.open_cursor().unwrap();
+        for &(offset, ref want) in positioned.iter().rev() {
+            assert_eq!(&cursor.event_at(offset).unwrap(), want);
+        }
+        assert!(cursor.event_at(1 << 40).is_err());
+        check_random_access(&mapped, &sample());
+
+        // A clone shares the established map.
+        let clone = mapped.clone();
+        assert!(clone.established_map().is_some());
+        check_random_access(&clone, &sample());
         std::fs::remove_file(&path).ok();
     }
 

@@ -9,6 +9,17 @@
 //! [`TraceSnapshot::chunks`] carves it into [`TraceChunk`]s — contiguous,
 //! index-tagged windows that workers can take ownership of without
 //! copying any event data.
+//!
+//! A snapshot is one of **two** ways to share one trace across threads.
+//! It holds *decoded* events, so capturing it costs a full decode plus
+//! an owned allocation per record — the right trade when the events
+//! were already in memory (a solver's [`crate::MemorySink`]). For
+//! binary *file* traces, a [`crate::TraceMap`] shares the *encoded*
+//! bytes instead: workers decode their own disjoint shard of the
+//! mapped slice (see [`crate::BlockIndex::shard_ranges`]), and nothing
+//! is copied up front. Snapshots of a mapped `FileTrace` still work —
+//! `capture` streams through the established map — but the sharded
+//! checkers prefer decoding from the map directly.
 
 use crate::{OffsetEventsIter, RandomAccessTrace, TraceCursor, TraceEvent, TraceSource};
 use std::io;

@@ -1,12 +1,14 @@
 //! Re-iterable trace sources for checkers.
 
 use crate::{
-    AsciiReader, BinaryReader, BlockDecoder, EventRef, MemorySink, TraceEvent, BINARY_MAGIC,
+    AsciiReader, BinaryReader, BlockDecoder, EventRef, MemorySink, SliceDecoder, TraceEvent,
+    TraceMap, BINARY_MAGIC,
 };
 use rescheck_cnf::READ_BUFFER_BYTES;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 
 /// Convenience alias: trace reading reports [`io::Error`]s, with parse
 /// problems wrapped as [`io::ErrorKind::InvalidData`].
@@ -70,6 +72,22 @@ pub trait TraceSource {
             visit(event.as_ref())?;
         }
         Ok(())
+    }
+
+    /// The memory-mapped backing of this source, established on first
+    /// call and shared by every subsequent pass.
+    ///
+    /// Only binary file traces have one; everything else (in-memory
+    /// sinks, ASCII files) returns `None` and keeps streaming. `None`
+    /// is also the graceful degradation for maps that cannot be
+    /// established (unreadable file, malformed header): the streaming
+    /// paths then surface the precise error. `prefer_mmap: false`
+    /// requests the buffered backing, as does the
+    /// [`crate::NO_MMAP_ENV`] environment variable; the decoded events
+    /// are identical either way.
+    fn trace_map(&self, prefer_mmap: bool) -> Option<&TraceMap> {
+        let _ = prefer_mmap;
+        None
     }
 }
 
@@ -138,6 +156,10 @@ impl<T: TraceSource + ?Sized> TraceSource for &T {
     ) -> io::Result<()> {
         (**self).visit_events(visit)
     }
+
+    fn trace_map(&self, prefer_mmap: bool) -> Option<&TraceMap> {
+        (**self).trace_map(prefer_mmap)
+    }
 }
 
 /// On-disk encodings of a trace.
@@ -151,13 +173,20 @@ pub enum TraceFormat {
 
 /// A trace stored in a file, in either format.
 ///
-/// Each pass reopens the file, so the breadth-first checker's two passes
-/// never require the whole trace in memory — the property the paper's
-/// breadth-first approach depends on.
+/// Without a map, each pass reopens the file, so the breadth-first
+/// checker's two passes never require the whole trace in memory — the
+/// property the paper's breadth-first approach depends on. Once a
+/// checker establishes a [`TraceMap`] via
+/// [`TraceSource::trace_map`], every subsequent pass (streaming,
+/// offset iteration, cursor fetches) reads the shared mapped bytes
+/// instead; clones of the `FileTrace` share the same established map,
+/// which is what lets a daemon's trace cache amortize the mapping
+/// across jobs.
 #[derive(Clone, Debug)]
 pub struct FileTrace {
     path: PathBuf,
     format: TraceFormat,
+    map: OnceLock<Option<Arc<TraceMap>>>,
 }
 
 impl FileTrace {
@@ -176,7 +205,11 @@ impl FileTrace {
         } else {
             TraceFormat::Ascii
         };
-        Ok(FileTrace { path, format })
+        Ok(FileTrace {
+            path,
+            format,
+            map: OnceLock::new(),
+        })
     }
 
     /// Opens a trace file with an explicit format (no sniffing).
@@ -184,6 +217,7 @@ impl FileTrace {
         FileTrace {
             path: path.as_ref().to_path_buf(),
             format,
+            map: OnceLock::new(),
         }
     }
 
@@ -196,10 +230,25 @@ impl FileTrace {
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// The already-established map, if any — never establishes one.
+    pub(crate) fn established_map(&self) -> Option<&TraceMap> {
+        self.map.get().and_then(|m| m.as_deref())
+    }
 }
 
 impl TraceSource for FileTrace {
     fn events_iter(&self) -> io::Result<Box<dyn Iterator<Item = io::Result<TraceEvent>> + '_>> {
+        if let Some(map) = self.established_map() {
+            let mut decoder = SliceDecoder::new(map.bytes())?;
+            return Ok(Box::new(std::iter::from_fn(move || {
+                match decoder.next_event() {
+                    Ok(Some(event)) => Some(Ok(event.to_owned())),
+                    Ok(None) => None,
+                    Err(e) => Some(Err(e)),
+                }
+            })));
+        }
         let file = File::open(&self.path)?;
         match self.format {
             TraceFormat::Ascii => Ok(Box::new(AsciiReader::new(BufReader::with_capacity(
@@ -230,6 +279,13 @@ impl TraceSource for FileTrace {
                 Ok(())
             }
             TraceFormat::Binary => {
+                if let Some(map) = self.established_map() {
+                    let mut decoder = SliceDecoder::new(map.bytes())?;
+                    while let Some(event) = decoder.next_event()? {
+                        visit(event)?;
+                    }
+                    return Ok(());
+                }
                 let mut decoder = BlockDecoder::new(File::open(&self.path)?)?;
                 while let Some(event) = decoder.next_event()? {
                     visit(event)?;
@@ -237,6 +293,24 @@ impl TraceSource for FileTrace {
                 Ok(())
             }
         }
+    }
+
+    fn trace_map(&self, prefer_mmap: bool) -> Option<&TraceMap> {
+        if self.format != TraceFormat::Binary {
+            return None;
+        }
+        self.map
+            .get_or_init(|| {
+                let map = if prefer_mmap {
+                    TraceMap::open(&self.path)
+                } else {
+                    TraceMap::open_buffered(&self.path)
+                };
+                // Failure caches None: callers fall back to the
+                // streaming paths, which report the precise error.
+                map.ok().map(Arc::new)
+            })
+            .as_deref()
     }
 }
 
@@ -425,6 +499,39 @@ mod tests {
             assert_eq!(collect_events(&trace).unwrap(), events, "{format:?}");
             std::fs::remove_file(&path).ok();
         }
+    }
+
+    #[test]
+    fn established_map_matches_streaming_decode() {
+        let path = tmp_path("mapped.rtb");
+        {
+            let file = File::create(&path).unwrap();
+            let mut w = BinaryWriter::new(file).unwrap();
+            for e in &sample() {
+                w.event(e).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        let trace = FileTrace::open(&path).unwrap();
+        assert!(trace.established_map().is_none());
+        // ASCII traces and repeated calls behave.
+        let map = trace.trace_map(true).expect("binary file trace maps");
+        assert_eq!(map.accounted_bytes(), trace.encoded_size().unwrap());
+        assert!(trace.trace_map(true).is_some());
+        assert_eq!(collect_events(&trace).unwrap(), sample());
+        assert_eq!(visit_all(&trace), sample());
+
+        let buffered = FileTrace::open(&path).unwrap();
+        let map = buffered.trace_map(false).unwrap();
+        assert!(!map.is_mmap());
+        assert_eq!(collect_events(&buffered).unwrap(), sample());
+        std::fs::remove_file(&path).ok();
+
+        let ascii = tmp_path("mapped.txt");
+        std::fs::write(&ascii, "f 1\n").unwrap();
+        let trace = FileTrace::open(&ascii).unwrap();
+        assert!(trace.trace_map(true).is_none());
+        std::fs::remove_file(&ascii).ok();
     }
 
     #[test]

@@ -6,8 +6,8 @@
 
 use rescheck_cnf::{Lit, SplitMix64};
 use rescheck_trace::{
-    read_all, AsciiWriter, BinaryWriter, MemorySink, RandomAccessTrace, TraceEvent, TraceFormat,
-    TraceSink, TraceSource,
+    mutate, read_all, AsciiWriter, BinaryWriter, FileTrace, MemorySink, RandomAccessTrace,
+    SliceDecoder, TraceEvent, TraceFormat, TraceSink, TraceSource,
 };
 
 const CASES: u64 = if cfg!(feature = "heavy-tests") {
@@ -138,6 +138,91 @@ fn corrupted_ascii_never_panics() {
         let i = rng.range_usize(0..buf.len());
         buf[i] = rng.next_u64() as u8;
         let _ = read_all(std::io::Cursor::new(buf), TraceFormat::Ascii);
+    }
+}
+
+/// Decodes a byte slice the way the mapped backend does, collecting
+/// owned events so the result is comparable to [`read_all`].
+fn slice_decode(bytes: &[u8]) -> std::io::Result<Vec<TraceEvent>> {
+    let mut decoder = SliceDecoder::new(bytes)?;
+    let mut out = Vec::new();
+    while let Some(event) = decoder.next_event()? {
+        out.push(event.to_owned());
+    }
+    Ok(out)
+}
+
+/// Differential fuzz of the mapped decoder: every [`mutate`] operator
+/// applied to every seeded trace must draw the same verdict (and the
+/// same events, when accepted) from [`SliceDecoder`] as from the
+/// buffered [`read_all`] path — and neither may panic.
+#[test]
+fn mutants_decode_identically_mapped_and_buffered() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let events = random_events(&mut rng, 1, 20);
+        let pristine = encode_binary(&events);
+        let mut cases = vec![pristine.clone()];
+        for mutation in mutate::ALL_MUTATIONS {
+            if let Some(mutated) = mutate::apply(&pristine, mutation, &mut rng) {
+                cases.push(mutated);
+            }
+        }
+        for (i, bytes) in cases.iter().enumerate() {
+            let buffered = read_all(std::io::Cursor::new(bytes.clone()), TraceFormat::Binary);
+            let mapped = slice_decode(bytes);
+            match (buffered, mapped) {
+                (Ok(b), Ok(m)) => assert_eq!(b, m, "seed {seed} case {i}"),
+                (Err(_), Err(_)) => {}
+                (b, m) => panic!(
+                    "seed {seed} case {i}: verdicts diverge (buffered {:?}, mapped {:?})",
+                    b.map(|e| e.len()),
+                    m.map(|e| e.len()),
+                ),
+            }
+        }
+    }
+}
+
+/// The two [`rescheck_trace::TraceMap`] backings — `mmap` and the
+/// buffered `RESCHECK_NO_MMAP` fallback — expose identical bytes and
+/// decode to identical events for seeded file traces.
+#[test]
+fn map_backings_decode_identical_events() {
+    let dir = std::env::temp_dir();
+    for seed in 0..CASES.min(32) {
+        let mut rng = SplitMix64::new(seed);
+        let events = random_events(&mut rng, 1, 30);
+        let bytes = encode_binary(&events);
+        let path = dir.join(format!(
+            "rescheck-prop-map-{}-{seed}.rtb",
+            std::process::id()
+        ));
+        std::fs::write(&path, &bytes).unwrap();
+
+        // One handle per backing: a FileTrace caches the first map it
+        // establishes, so parity needs two independent opens.
+        let mapped = FileTrace::open(&path).unwrap();
+        let buffered = FileTrace::open(&path).unwrap();
+        let a = mapped.trace_map(true).expect("binary traces map");
+        let b = buffered.trace_map(false).expect("buffered backing");
+        assert!(!b.is_mmap());
+        assert_eq!(a.bytes(), b.bytes(), "seed {seed}");
+        assert_eq!(a.accounted_bytes(), b.accounted_bytes(), "seed {seed}");
+
+        let ea: Vec<TraceEvent> = mapped
+            .events_iter()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let eb: Vec<TraceEvent> = buffered
+            .events_iter()
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(ea, events, "seed {seed}");
+        assert_eq!(eb, events, "seed {seed}");
+        std::fs::remove_file(&path).ok();
     }
 }
 

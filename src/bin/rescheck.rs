@@ -68,7 +68,7 @@ USAGE:
   rescheck solve <file.cnf> [--trace <out>] [--binary]
                  [--no-learning] [--no-deletion] [--no-restarts]
   rescheck check <file.cnf> <trace> [--strategy df|bf|dfd|hybrid|portfolio|pbf|pdag]
-                 [--mem-limit <bytes>] [--jobs <n>]
+                 [--mem-limit <bytes>] [--jobs <n>] [--no-mmap]
                  (pass `-` as <trace> to read the trace from stdin,
                  ASCII or binary, sniffed by magic)
                  (dfd is depth-first with the trace left on disk — same
@@ -79,6 +79,11 @@ USAGE:
                  the resolution pass itself as a dependency DAG across
                  <n> work-stealing workers with bit-identical stats for
                  any worker count — --jobs 0 = auto)
+                 (binary file traces are memory-mapped and decoded in
+                 place by dfd/pbf/pdag; --no-mmap, or RESCHECK_NO_MMAP=1
+                 in the environment, swaps the mapping for a buffered
+                 read of the whole file — verdict and every stat are
+                 bit-identical either way)
   rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
   rescheck trim  <file.cnf> <trace> --out <trimmed> [--binary]
   rescheck stats <file.cnf> <trace>
@@ -423,6 +428,7 @@ fn cmd_check(rest: &[String]) -> CliResult {
         .map(|s| s.parse::<usize>())
         .transpose()?
         .unwrap_or(0);
+    let no_mmap = take_flag(&mut args, "--no-mmap") || rescheck::trace::no_mmap_requested();
     let flight_out = take_opt(&mut args, "--flight-out")?;
     let [cnf_path, trace_path] = args.as_slice() else {
         return Err("check needs a CNF file and a trace file".into());
@@ -493,6 +499,7 @@ fn cmd_check(rest: &[String]) -> CliResult {
     let config = CheckConfig {
         memory_limit,
         jobs,
+        no_mmap,
         ..CheckConfig::default()
     };
     let result = match &trace {
