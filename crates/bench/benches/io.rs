@@ -18,6 +18,11 @@
 //!   (`event_at` over shuffled offsets) through the positioned-read
 //!   file cursor (one `pread` per fetch) against the map-backed cursor
 //!   (plain slice indexing).
+//! * Proof emission — the same exported LRAT refutation encoded as text
+//!   against the binary LRAT encoding (smaller and cheaper to write).
+//! * Proof ingestion — hint-free DRAT reconstruction (two-watched-literal
+//!   propagation plus conflict analysis per addition) against LRAT hint
+//!   replay of the identical refutation; the hints are the speedup.
 //!
 //! Both fixtures are seeded, written to a temp directory once, and
 //! sanity-checked for old/new agreement before anything is timed.
@@ -390,6 +395,109 @@ fn main() {
         .set("old_median_seconds", old_fetch.median.as_secs_f64())
         .set("new_median_seconds", new_fetch.median.as_secs_f64())
         .set("speedup", fetch_speedup);
+    rows.push(row);
+
+    // ---- Proof emission and ingestion over a real refutation: solve a
+    // pigeonhole instance, export its trace to LRAT, and project the
+    // hint-free DRAT variant of the same proof.
+    let instance = rescheck_workloads::pigeonhole::instance(7);
+    let mut solver = rescheck_solver::Solver::from_cnf(
+        &instance.cnf,
+        rescheck_solver::SolverConfig {
+            seed: 0x1a7,
+            ..rescheck_solver::SolverConfig::default()
+        },
+    );
+    let mut sink = rescheck_trace::MemorySink::new();
+    assert!(
+        solver
+            .solve_traced(&mut sink)
+            .expect("memory sink")
+            .is_unsat(),
+        "pigeonhole fixture must be UNSAT"
+    );
+    let exported =
+        rescheck_interop::export_lrat(&instance.cnf, sink.events()).expect("export fixture");
+    let drat_steps: Vec<rescheck_interop::DratStep> = exported
+        .steps
+        .iter()
+        .filter_map(|step| match step {
+            rescheck_interop::LratStep::Add { lits, .. } => {
+                Some(rescheck_interop::DratStep::Add(lits.clone()))
+            }
+            // Deletions are dropped from the projection: DRAT deletes by
+            // literals and the ingester would just warn on stale ids; the
+            // ingestion row measures derivation work, not bookkeeping.
+            rescheck_interop::LratStep::Delete { .. } => None,
+        })
+        .collect();
+    let mut lrat_text = Vec::new();
+    rescheck_interop::lrat::write_text(&mut lrat_text, &exported.steps).expect("encode text");
+    let lrat_binary = rescheck_interop::lrat::write_binary(&exported.steps);
+    assert_eq!(
+        rescheck_interop::lrat::parse(&lrat_binary).expect("binary round-trip"),
+        exported.steps,
+        "LRAT encodings disagree on the fixture"
+    );
+
+    let old_emit = bench("io/proof-emit/text", || {
+        let mut text = Vec::new();
+        rescheck_interop::lrat::write_text(&mut text, &exported.steps).expect("encode text");
+        std::hint::black_box(text);
+    });
+    let new_emit = bench("io/proof-emit/binary", || {
+        std::hint::black_box(rescheck_interop::lrat::write_binary(&exported.steps));
+    });
+    let emit_speedup = old_emit.min.as_secs_f64() / new_emit.min.as_secs_f64().max(1e-12);
+    println!("io/speedup/proof-emit: {emit_speedup:.2}x");
+    let mut row = Json::object();
+    row.set("name", "proof-emit")
+        .set("steps", exported.steps.len())
+        .set("text_bytes", lrat_text.len())
+        .set("binary_bytes", lrat_binary.len())
+        .set("old_min_seconds", old_emit.min.as_secs_f64())
+        .set("new_min_seconds", new_emit.min.as_secs_f64())
+        .set("old_median_seconds", old_emit.median.as_secs_f64())
+        .set("new_median_seconds", new_emit.median.as_secs_f64())
+        .set("speedup", emit_speedup);
+    rows.push(row);
+
+    let drat_report =
+        rescheck_interop::ingest_drat(&instance.cnf, &drat_steps).expect("DRAT fixture ingests");
+    let lrat_report = rescheck_interop::ingest_lrat(&instance.cnf, &exported.steps)
+        .expect("LRAT fixture ingests");
+    // DRAT's eager forward checking can complete the refutation a few
+    // additions early (a unit lemma propagates straight to the empty
+    // clause), so the tallies need not be identical — but both front
+    // ends must fully verify the proof.
+    assert!(
+        drat_report.resolution_checkable() && lrat_report.resolution_checkable(),
+        "the ingestion fixtures must verify"
+    );
+    assert!(
+        drat_report.stats.additions <= lrat_report.stats.additions,
+        "DRAT ingested more additions than the proof contains"
+    );
+    let old_ingest = bench("io/proof-ingest/drat", || {
+        std::hint::black_box(
+            rescheck_interop::ingest_drat(&instance.cnf, &drat_steps).expect("ingest"),
+        );
+    });
+    let new_ingest = bench("io/proof-ingest/lrat", || {
+        std::hint::black_box(
+            rescheck_interop::ingest_lrat(&instance.cnf, &exported.steps).expect("ingest"),
+        );
+    });
+    let ingest_speedup = old_ingest.min.as_secs_f64() / new_ingest.min.as_secs_f64().max(1e-12);
+    println!("io/speedup/proof-ingest: {ingest_speedup:.2}x");
+    let mut row = Json::object();
+    row.set("name", "proof-ingest")
+        .set("additions", lrat_report.stats.additions)
+        .set("old_min_seconds", old_ingest.min.as_secs_f64())
+        .set("new_min_seconds", new_ingest.min.as_secs_f64())
+        .set("old_median_seconds", old_ingest.median.as_secs_f64())
+        .set("new_median_seconds", new_ingest.median.as_secs_f64())
+        .set("speedup", ingest_speedup);
     rows.push(row);
 
     std::fs::remove_file(&cnf_path).ok();

@@ -193,6 +193,22 @@ fn no_panics(reports: &[StrategyReport]) -> Result<(), Disagreement> {
     Ok(())
 }
 
+/// One-call agreement check for a synthesized trace — the entry point
+/// proof-format interop uses after ingesting a DRAT/LRAT proof: run the
+/// full strategy matrix over the in-memory events and require unanimous,
+/// class-consistent acceptance.
+///
+/// # Errors
+///
+/// The first [`Disagreement`] found, naming the strategies involved.
+pub fn verify_synthesized_trace(
+    cnf: &Cnf,
+    events: &[rescheck_trace::TraceEvent],
+    config: &CheckConfig,
+) -> Result<AgreementSummary, Disagreement> {
+    verify_valid_agreement(&run_all_strategies(cnf, events, config))
+}
+
 /// Verifies the oracle matrix of a trace that *should* be valid: every
 /// strategy accepts, and the statistics agree within each equivalence
 /// class (df = hybrid = dfd on the needed subset, bf = pbf = pdag on the

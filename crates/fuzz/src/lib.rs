@@ -6,16 +6,19 @@
 //! that idea into a fuzzer whose oracles are the pipeline's own
 //! redundancies:
 //!
-//! * the **six checking strategies** (depth-first, breadth-first,
-//!   hybrid, portfolio, parallel-bf, disk-df) must agree on every
-//!   verdict and on class-level statistics;
+//! * the **seven checking strategies** (depth-first, breadth-first,
+//!   hybrid, portfolio, parallel-bf, parallel-dag, disk-df) must agree
+//!   on every verdict and on class-level statistics;
 //! * **SAT answers** must satisfy the formula, and both answers must
 //!   match brute-force ground truth on small instances and
 //!   by-construction labels on structured families;
 //! * **corrupted traces** (bit flips, truncations, source-list swaps,
 //!   varint corruption) must be rejected cleanly — never a panic, never
 //!   a misclassified resource/I/O failure, never a cross-strategy
-//!   inconsistency.
+//!   inconsistency;
+//! * **proof round-trips** (trace → LRAT → trace) must preserve the
+//!   refutation, and corrupted LRAT bytes must ingest to a clean
+//!   verdict or a still-consistent synthesized trace.
 //!
 //! A campaign ([`run_campaign`]) is a pure function of its seed: same
 //! seed, same instances, same log, same [`CampaignOutcome::digest`] —

@@ -7,7 +7,7 @@
 //!    ([`rescheck_checker::check_sat_claim`]), and — on small instances —
 //!    agree with brute-force ground truth and any status known by
 //!    construction.
-//! 2. **UNSAT answers** must be accepted by *all six* checking
+//! 2. **UNSAT answers** must be accepted by *all seven* checking
 //!    strategies with class-identical statistics
 //!    ([`rescheck_checker::agreement::verify_valid_agreement`]), again
 //!    cross-checked against ground truth where available.
@@ -16,16 +16,23 @@
 //!    misclassified as an I/O or resource failure, and never break the
 //!    cross-strategy implications
 //!    ([`rescheck_checker::agreement::verify_cross_consistency`]).
+//! 4. **Proof round-trips**: the trace exported to LRAT and re-ingested
+//!    must re-derive the same resolvents and convince the matrix again;
+//!    corrupted LRAT bytes must produce a clean verdict, and whatever
+//!    still ingests must keep the cross-strategy implications intact.
 //!
 //! Any violation becomes a [`Finding`], which the campaign shrinks with
 //! the delta debugger and writes out as a repro artifact.
 
 use crate::recipe::{Recipe, SolverChoices};
 use rescheck_checker::agreement::{
-    run_all_strategies, verify_cross_consistency, verify_valid_agreement,
+    run_all_strategies, verify_cross_consistency, verify_synthesized_trace, verify_valid_agreement,
 };
 use rescheck_checker::{check_sat_claim, CheckConfig};
 use rescheck_cnf::{Cnf, SatStatus};
+use rescheck_interop::{
+    apply_proof, export_lrat, ingest_bytes, lrat, ProofFormat, ProofMutation, ALL_PROOF_MUTATIONS,
+};
 use rescheck_solver::{SolveResult, Solver};
 use rescheck_trace::{mutate, BinaryReader, BinaryWriter, Mutation, TraceEvent};
 use rescheck_trace::{MemorySink, TraceSink, ALL_MUTATIONS};
@@ -88,11 +95,19 @@ pub enum FindingKind {
     /// The solver's verdict contradicts ground truth (brute force on
     /// small instances, or a status known by construction).
     GroundTruthMismatch,
-    /// The six checking strategies disagreed on a pristine solver trace.
+    /// The seven checking strategies disagreed on a pristine solver
+    /// trace.
     StrategyDisagreement,
     /// A mutated trace broke a checker invariant (panic, misclassified
     /// failure, or cross-strategy inconsistency).
     MutantOracle(Mutation),
+    /// The trace → LRAT → trace round trip lost the refutation: export
+    /// failed, re-ingestion failed, the resolvents diverged, or the
+    /// synthesized trace no longer convinced the matrix.
+    RoundTrip,
+    /// A corrupted LRAT proof that still ingested broke the
+    /// cross-strategy implications on its synthesized trace.
+    ProofMutantOracle(ProofMutation),
 }
 
 impl FindingKind {
@@ -103,6 +118,8 @@ impl FindingKind {
             FindingKind::GroundTruthMismatch => "ground-truth-mismatch".to_string(),
             FindingKind::StrategyDisagreement => "strategy-disagreement".to_string(),
             FindingKind::MutantOracle(m) => format!("mutant-{m}"),
+            FindingKind::RoundTrip => "lrat-roundtrip".to_string(),
+            FindingKind::ProofMutantOracle(m) => format!("proof-mutant-{m}"),
         }
     }
 }
@@ -173,8 +190,14 @@ pub struct IterationCounters {
     pub unsat: u64,
     /// Conflict budget exhausted.
     pub unknown: u64,
-    /// Six-strategy matrices run on pristine traces.
+    /// Seven-strategy matrices run on pristine traces.
     pub matrices: u64,
+    /// LRAT round trips (export → re-ingest → re-check) completed.
+    pub roundtrips: u64,
+    /// Corrupted LRAT proofs fed to the ingestion engine.
+    pub proof_mutants_tested: u64,
+    /// Corrupted LRAT proofs rejected with a clean verdict.
+    pub proof_mutants_rejected: u64,
     /// Mutants generated and fed to the checker.
     pub mutants_tested: u64,
     /// Mutants rejected while decoding the binary stream.
@@ -195,6 +218,9 @@ impl IterationCounters {
         self.unsat += other.unsat;
         self.unknown += other.unknown;
         self.matrices += other.matrices;
+        self.roundtrips += other.roundtrips;
+        self.proof_mutants_tested += other.proof_mutants_tested;
+        self.proof_mutants_rejected += other.proof_mutants_rejected;
         self.mutants_tested += other.mutants_tested;
         self.mutants_rejected_decode += other.mutants_rejected_decode;
         self.mutants_rejected_check += other.mutants_rejected_check;
@@ -367,9 +393,19 @@ pub fn run_iteration(iteration: u64, iter_seed: u64, cfg: &OracleConfig) -> Iter
                 }
             }
 
+            // LRAT round trip plus the proof-corruption corpus.
+            let mut roundtrip_note = String::new();
+            if found.is_none() {
+                let (note, rt_finding) = run_roundtrip(&cnf, &events, iter_seed, &mut counters);
+                roundtrip_note = note;
+                if let Some((kind, detail)) = rt_finding {
+                    found = Some(finding(kind, detail, Some(events.clone())));
+                }
+            }
+
             IterationReport {
                 line: format!(
-                    "{prefix} unsat{matrix_note}{mutant_note}{}",
+                    "{prefix} unsat{matrix_note}{mutant_note}{roundtrip_note}{}",
                     if found.is_some() { " FINDING" } else { "" }
                 ),
                 counters,
@@ -457,6 +493,89 @@ fn run_mutants(
     )
 }
 
+type RoundTripFinding = (FindingKind, String);
+
+/// Exports the trace to LRAT, re-ingests it, re-checks the synthesized
+/// trace, then feeds corrupted proof bytes through the ingestion engine.
+///
+/// The pristine trace already passed the full matrix, so export *must*
+/// succeed, the round trip *must* preserve the resolvents, and the
+/// re-checked matrix *must* agree — any deviation is a finding, not a
+/// shrug.
+fn run_roundtrip(
+    cnf: &Cnf,
+    events: &[TraceEvent],
+    iter_seed: u64,
+    counters: &mut IterationCounters,
+) -> (String, Option<RoundTripFinding>) {
+    let fail = |detail: String| {
+        (
+            " roundtrip=FINDING".to_string(),
+            Some((FindingKind::RoundTrip, detail)),
+        )
+    };
+    let exported = match export_lrat(cnf, events) {
+        Ok(e) => e,
+        Err(e) => return fail(format!("export of a matrix-valid trace failed: {e}")),
+    };
+    let mut text = Vec::new();
+    lrat::write_text(&mut text, &exported.steps).expect("writing to a Vec cannot fail");
+    let reingested = match ingest_bytes(cnf, &text, ProofFormat::Lrat) {
+        Ok(r) => r,
+        Err(e) => return fail(format!("re-ingesting the exported proof failed: {e}")),
+    };
+    if !reingested.resolution_checkable() {
+        return fail("exported proof re-ingested with RAT steps".to_string());
+    }
+    let mut ours: Vec<&Vec<_>> = exported.resolvents.iter().map(|(_, l)| l).collect();
+    let mut theirs: Vec<&Vec<_>> = reingested.resolvents.iter().map(|(_, l)| l).collect();
+    ours.sort();
+    theirs.sort();
+    if ours != theirs {
+        return fail(format!(
+            "round trip changed the resolvent set ({} exported, {} re-derived)",
+            ours.len(),
+            theirs.len()
+        ));
+    }
+    if let Err(d) = verify_synthesized_trace(cnf, &reingested.events, &oracle_config()) {
+        return fail(format!("matrix rejected the round-tripped trace: {d}"));
+    }
+    counters.roundtrips += 1;
+
+    // Corrupted proof bytes: every operator once per iteration. Any
+    // verdict is acceptable; a mutant that still ingests resolution-
+    // checkable must keep the cross-strategy implications intact.
+    for (i, mutation) in ALL_PROOF_MUTATIONS.iter().enumerate() {
+        let mut rng = rescheck_cnf::SplitMix64::new(mix(iter_seed, 0x7072_6600 + i as u64));
+        let Some(mutated) = apply_proof(&text, *mutation, &mut rng) else {
+            continue;
+        };
+        counters.proof_mutants_tested += 1;
+        match ingest_bytes(cnf, &mutated, ProofFormat::Lrat) {
+            Err(_) => counters.proof_mutants_rejected += 1,
+            Ok(report) => {
+                if report.resolution_checkable() {
+                    let reports = run_all_strategies(cnf, &report.events, &oracle_config());
+                    if let Err(d) = verify_cross_consistency(&reports) {
+                        return (
+                            " proof-mutants=FINDING".to_string(),
+                            Some((FindingKind::ProofMutantOracle(*mutation), d.to_string())),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    (
+        format!(
+            " roundtrip=ok proof-mutants={}/{} rejected",
+            counters.proof_mutants_rejected, counters.proof_mutants_tested
+        ),
+        None,
+    )
+}
+
 /// Does an instance-level failure of `kind` still reproduce on `cnf`?
 ///
 /// This is the delta debugger's test function: it re-runs the exact
@@ -507,6 +626,19 @@ pub fn instance_failure_reproduces(
             }
         }
         FindingKind::MutantOracle(_) => false, // trace-level kind
+        FindingKind::RoundTrip | FindingKind::ProofMutantOracle(_) => {
+            if !matches!(result, SolveResult::Unsatisfiable) {
+                return false;
+            }
+            let events = sink.into_events();
+            let mut counters = IterationCounters::default();
+            // The proof-mutant RNG seed is not part of the finding; a
+            // fixed replay seed keeps the predicate deterministic.
+            match run_roundtrip(cnf, &events, 0, &mut counters).1 {
+                Some((k, _)) => std::mem::discriminant(&k) == std::mem::discriminant(kind),
+                None => false,
+            }
+        }
     }
 }
 
@@ -556,6 +688,11 @@ mod tests {
         assert_eq!(counters.sat + counters.unsat + counters.unknown, 30);
         assert!(counters.unsat > 0, "sweep never reached the UNSAT oracle");
         assert!(counters.mutants_tested > 0, "sweep never mutated a trace");
+        assert!(counters.roundtrips > 0, "sweep never round-tripped a proof");
+        assert!(
+            counters.proof_mutants_tested > 0,
+            "sweep never corrupted a proof"
+        );
         assert_eq!(
             counters.mutants_tested,
             counters.mutants_rejected_decode

@@ -1,0 +1,226 @@
+//! Deterministic corruption operators over proof files.
+//!
+//! The conformance contract for the DRAT/LRAT front end is the same as
+//! for the native trace decoder: hostile bytes must produce a clean
+//! verdict — an input error or a proof defect — and never a panic.
+//! These operators manufacture the hostile bytes, mirroring
+//! `rescheck_trace::mutate` so fuzz campaigns can drive both parsers
+//! with the same loop shape:
+//!
+//! - [`ProofMutation::BitFlip`] — flip one bit anywhere;
+//! - [`ProofMutation::TruncateTail`] — cut the file short, possibly
+//!   mid-token or mid-varint;
+//! - [`ProofMutation::DropStep`] — remove one whole proof step (the
+//!   file stays well-formed; the *proof* usually breaks);
+//! - [`ProofMutation::GarbleToken`] — splice unparseable bytes into the
+//!   middle of the stream.
+//!
+//! Each operator is deterministic for a given [`SplitMix64`] state and
+//! returns `None` when the input is too small to apply it; it never
+//! returns bytes equal to its input.
+
+use rescheck_cnf::SplitMix64;
+
+/// One corruption operator over encoded proof bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProofMutation {
+    /// Flip a single random bit.
+    BitFlip,
+    /// Truncate the file at a random point.
+    TruncateTail,
+    /// Remove one whole step (line or binary record).
+    DropStep,
+    /// Overwrite a random byte run with unparseable filler.
+    GarbleToken,
+}
+
+/// Every proof mutation, in the order campaigns cycle through them.
+pub const ALL_PROOF_MUTATIONS: [ProofMutation; 4] = [
+    ProofMutation::BitFlip,
+    ProofMutation::TruncateTail,
+    ProofMutation::DropStep,
+    ProofMutation::GarbleToken,
+];
+
+impl std::fmt::Display for ProofMutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofMutation::BitFlip => f.write_str("bit-flip"),
+            ProofMutation::TruncateTail => f.write_str("truncate-tail"),
+            ProofMutation::DropStep => f.write_str("drop-step"),
+            ProofMutation::GarbleToken => f.write_str("garble-token"),
+        }
+    }
+}
+
+/// Applies `mutation` to proof bytes, drawing randomness from `rng`.
+///
+/// Works on either encoding: the byte-level operators do not care, and
+/// [`ProofMutation::DropStep`] finds step boundaries by newline (text)
+/// or 0x00 terminator (binary), sniffing the encoding the same way the
+/// parsers do. Returns `None` when the input is too small (an empty
+/// file, or a single step for `DropStep`).
+pub fn apply_proof(bytes: &[u8], mutation: ProofMutation, rng: &mut SplitMix64) -> Option<Vec<u8>> {
+    match mutation {
+        ProofMutation::BitFlip => bit_flip(bytes, rng),
+        ProofMutation::TruncateTail => truncate_tail(bytes, rng),
+        ProofMutation::DropStep => drop_step(bytes, rng),
+        ProofMutation::GarbleToken => garble_token(bytes, rng),
+    }
+}
+
+fn bit_flip(bytes: &[u8], rng: &mut SplitMix64) -> Option<Vec<u8>> {
+    if bytes.is_empty() {
+        return None;
+    }
+    let mut out = bytes.to_vec();
+    let pos = rng.range_usize(0..out.len());
+    let bit = rng.below(8) as u8;
+    out[pos] ^= 1 << bit;
+    Some(out)
+}
+
+fn truncate_tail(bytes: &[u8], rng: &mut SplitMix64) -> Option<Vec<u8>> {
+    if bytes.len() < 2 {
+        return None;
+    }
+    // Keep at least one byte, cut at least one.
+    let keep = rng.range_usize(1..bytes.len());
+    Some(bytes[..keep].to_vec())
+}
+
+/// Step boundaries: byte offsets one *past* each step terminator.
+fn step_ends(bytes: &[u8]) -> Vec<usize> {
+    let binary = matches!(bytes.first(), Some(0x61 | 0x64));
+    let terminator = if binary { 0x00 } else { b'\n' };
+    let mut ends: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| (b == terminator).then_some(i + 1))
+        .collect();
+    if ends.last() != Some(&bytes.len()) && !bytes.is_empty() {
+        ends.push(bytes.len()); // unterminated tail counts as a step
+    }
+    ends
+}
+
+fn drop_step(bytes: &[u8], rng: &mut SplitMix64) -> Option<Vec<u8>> {
+    let ends = step_ends(bytes);
+    if ends.len() < 2 {
+        return None;
+    }
+    let victim = rng.range_usize(0..ends.len());
+    let start = if victim == 0 { 0 } else { ends[victim - 1] };
+    let mut out = bytes[..start].to_vec();
+    out.extend_from_slice(&bytes[ends[victim]..]);
+    Some(out)
+}
+
+fn garble_token(bytes: &[u8], rng: &mut SplitMix64) -> Option<Vec<u8>> {
+    if bytes.is_empty() {
+        return None;
+    }
+    let mut out = bytes.to_vec();
+    let pos = rng.range_usize(0..out.len());
+    let len = (rng.below(4) + 1) as usize;
+    for i in 0..len.min(out.len() - pos) {
+        // 0xF7 is not printable ASCII, not a valid UTF-8 start byte for
+        // the widths that follow it here, and in binary streams it is a
+        // continuation byte that tends to run varints off the end.
+        out[pos + i] = 0xf7;
+    }
+    if out == bytes {
+        return None; // already garbage at that spot
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::InteropError;
+    use crate::{drat, lrat};
+
+    fn sample_text() -> Vec<u8> {
+        b"1 2 0\nd 1 -2 0\n-3 0\n0\n".to_vec()
+    }
+
+    fn sample_binary() -> Vec<u8> {
+        drat::write_binary(&[
+            drat::DratStep::Add(vec![1, 2]),
+            drat::DratStep::Delete(vec![1, -2]),
+            drat::DratStep::Add(vec![-3]),
+            drat::DratStep::Add(vec![]),
+        ])
+    }
+
+    /// Parsing a mutant must return a verdict, never panic. (The panic
+    /// guarantee is the point of the test; the verdict is incidental.)
+    fn parse_both(bytes: &[u8]) -> (Result<(), InteropError>, Result<(), InteropError>) {
+        (drat::parse(bytes).map(drop), lrat::parse(bytes).map(drop))
+    }
+
+    #[test]
+    fn every_mutation_changes_the_bytes_and_parses_cleanly() {
+        for original in [sample_text(), sample_binary()] {
+            for mutation in ALL_PROOF_MUTATIONS {
+                for seed in 0..50u64 {
+                    let mut rng = SplitMix64::new(seed);
+                    let Some(mutated) = apply_proof(&original, mutation, &mut rng) else {
+                        panic!("{mutation} inapplicable to the sample");
+                    };
+                    assert_ne!(mutated, original, "{mutation} seed {seed} was a no-op");
+                    let _ = parse_both(&mutated);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_are_deterministic() {
+        let original = sample_text();
+        for mutation in ALL_PROOF_MUTATIONS {
+            let a = apply_proof(&original, mutation, &mut SplitMix64::new(42));
+            let b = apply_proof(&original, mutation, &mut SplitMix64::new(42));
+            assert_eq!(a, b, "{mutation}");
+        }
+    }
+
+    #[test]
+    fn drop_step_keeps_text_well_formed() {
+        let original = sample_text();
+        let before = drat::parse(&original).unwrap().len();
+        for seed in 0..50u64 {
+            let mut rng = SplitMix64::new(seed);
+            let mutated = apply_proof(&original, ProofMutation::DropStep, &mut rng).unwrap();
+            let after = drat::parse(&mutated).expect("dropping a whole line stays parseable");
+            assert_eq!(after.len(), before - 1);
+        }
+    }
+
+    #[test]
+    fn drop_step_keeps_binary_well_formed() {
+        let original = sample_binary();
+        let before = drat::parse(&original).unwrap().len();
+        for seed in 0..50u64 {
+            let mut rng = SplitMix64::new(seed);
+            let mutated = apply_proof(&original, ProofMutation::DropStep, &mut rng).unwrap();
+            if mutated.is_empty() || drat::looks_binary(&mutated) {
+                let after = drat::parse(&mutated).expect("dropping a record stays parseable");
+                assert_eq!(after.len(), before - 1);
+            }
+            // Dropping the first record can demote the sniff to text;
+            // that is fine — the parser still returns a verdict.
+        }
+    }
+
+    #[test]
+    fn inapplicable_mutations_return_none() {
+        let mut rng = SplitMix64::new(1);
+        assert!(apply_proof(b"", ProofMutation::BitFlip, &mut rng).is_none());
+        assert!(apply_proof(b"", ProofMutation::TruncateTail, &mut rng).is_none());
+        assert!(apply_proof(b"0", ProofMutation::TruncateTail, &mut rng).is_none());
+        assert!(apply_proof(b"1 0\n", ProofMutation::DropStep, &mut rng).is_none());
+        assert!(apply_proof(b"", ProofMutation::GarbleToken, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,87 @@
+//! Error taxonomy for the interop pipeline.
+//!
+//! Everything the parsers and the ingestion engine can reject falls into
+//! one of two classes, and the distinction is load-bearing for callers:
+//!
+//! - [`InteropErrorKind::Input`] — the bytes are not a well-formed
+//!   DRAT/LRAT file (garbage tokens, truncated varints, missing
+//!   terminators). The CLI maps this to exit code 4, the same class as
+//!   an unreadable file: the environment handed us something that is
+//!   not a proof.
+//! - [`InteropErrorKind::ProofDefect`] — the file parses fine but the
+//!   proof it encodes is wrong (an addition that is not RUP/RAT, a hint
+//!   that is neither unit nor conflicting, no empty clause derived).
+//!   The CLI maps this to exit code 1, the same class as a rejected
+//!   native trace: the solver (or the converter) produced a bad proof.
+
+use std::fmt;
+use std::io;
+
+/// Which class of failure an [`InteropError`] reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InteropErrorKind {
+    /// The input is not a well-formed proof file (exit code 4).
+    Input,
+    /// The proof is well-formed but invalid (exit code 1).
+    ProofDefect,
+}
+
+impl fmt::Display for InteropErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InteropErrorKind::Input => f.write_str("input error"),
+            InteropErrorKind::ProofDefect => f.write_str("proof defect"),
+        }
+    }
+}
+
+/// A structured failure from parsing, exporting or ingesting a proof.
+#[derive(Debug)]
+pub struct InteropError {
+    /// The failure class (drives the CLI exit code).
+    pub kind: InteropErrorKind,
+    /// 1-based line number (text formats) or proof-step index (binary
+    /// formats) where the failure was detected, when known.
+    pub at: Option<u64>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl InteropError {
+    /// A malformed-input failure (exit code 4).
+    pub fn input(at: Option<u64>, message: impl Into<String>) -> InteropError {
+        InteropError {
+            kind: InteropErrorKind::Input,
+            at,
+            message: message.into(),
+        }
+    }
+
+    /// A proof-defect failure (exit code 1).
+    pub fn defect(at: Option<u64>, message: impl Into<String>) -> InteropError {
+        InteropError {
+            kind: InteropErrorKind::ProofDefect,
+            at,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for InteropError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some(at) => write!(f, "{} at step {}: {}", self.kind, at, self.message),
+            None => write!(f, "{}: {}", self.kind, self.message),
+        }
+    }
+}
+
+impl std::error::Error for InteropError {}
+
+impl From<io::Error> for InteropError {
+    /// Raw I/O failures while reading proof bytes are input errors; the
+    /// proof never got far enough to be judged.
+    fn from(e: io::Error) -> InteropError {
+        InteropError::input(None, e.to_string())
+    }
+}

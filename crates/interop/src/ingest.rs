@@ -1,0 +1,1254 @@
+//! Ingesting clausal proofs (DRAT/LRAT) into resolution traces.
+//!
+//! This is the Cruz-Filipe pipeline run in one pass: a clausal proof
+//! names *what* was derived but not *how*, so the engine re-derives the
+//! "how" — for DRAT by two-watched-literal unit propagation (the
+//! forward BCP pass), for LRAT by replaying the hint lists — and records
+//! every derivation as a [`TraceEvent::Learned`] antecedent chain the
+//! existing resolution checkers can fold.
+//!
+//! The synthesis rules, matching the checker's validation contract:
+//!
+//! - a RUP addition's conflict analysis walks the trail top-down,
+//!   resolving the conflicting clause with the reason of every falsified
+//!   literal it accumulates (level-0 reasons included), so the derived
+//!   resolvent `R ⊆ C` contains only negated assumptions and the chain
+//!   folds with exactly one clashing variable per step;
+//! - a chain of length one means the conflicting clause subsumes the
+//!   addition — the checker requires at least two sources, so the new
+//!   clause *aliases* the subsumer instead of emitting an event;
+//! - persistent (decision-level-0) propagations become
+//!   [`TraceEvent::LevelZero`] records in propagation order, which is
+//!   exactly the order discipline the final-phase checker enforces;
+//! - the first root-level conflict becomes [`TraceEvent::FinalConflict`]
+//!   and ends the proof (later steps are counted, not replayed);
+//! - RAT additions are verified via resolvent-RUP (every resolvent on
+//!   the pivot must itself be RUP), but a RAT step has no resolution
+//!   derivation, so `rat_steps > 0` marks the synthesized trace as not
+//!   checkable by the resolution strategies — the ingest verification
+//!   itself is then the verdict.
+//!
+//! Deletions follow the drat-trim conventions: deleting a clause that
+//! is not in the database is a *warning*, not an error, and deleting a
+//! clause that is currently the reason of a level-0 assignment is
+//! skipped (the clause stays).
+
+use crate::drat::DratStep;
+use crate::error::InteropError;
+use crate::lrat::LratStep;
+use rescheck_checker::normalize_literals;
+use rescheck_cnf::{Cnf, Lit};
+use rescheck_trace::TraceEvent;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Counters from one ingestion run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Addition steps processed (before the empty clause).
+    pub additions: u64,
+    /// Additions derived by RUP conflict analysis (chain emitted).
+    pub rup_steps: u64,
+    /// Additions verified by resolvent-RUP (no chain possible).
+    pub rat_steps: u64,
+    /// Additions subsumed by an existing clause (no event emitted).
+    pub aliased: u64,
+    /// Tautological additions, skipped per drat-trim convention.
+    pub tautologies: u64,
+    /// Deletions applied.
+    pub deletions: u64,
+    /// Deletions of clauses not in the database (warned, ignored).
+    pub missing_deletions: u64,
+    /// Deletions skipped because the clause is a level-0 reason.
+    pub locked_deletions: u64,
+    /// Level-0 assignment records synthesized.
+    pub level_zero: u64,
+    /// Proof steps after the empty clause was derived (ignored).
+    pub steps_after_empty: u64,
+}
+
+impl fmt::Display for IngestStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ingest: {} additions ({} rup, {} rat, {} aliased, {} tautological), \
+             {} deletions ({} missing, {} locked), {} level-zero records",
+            self.additions,
+            self.rup_steps,
+            self.rat_steps,
+            self.aliased,
+            self.tautologies,
+            self.deletions,
+            self.missing_deletions,
+            self.locked_deletions,
+            self.level_zero
+        )
+    }
+}
+
+/// The synthesized trace plus everything a caller needs to judge it.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// The synthesized resolution trace, in derivation order.
+    pub events: Vec<TraceEvent>,
+    /// Ingestion counters.
+    pub stats: IngestStats,
+    /// `(trace_id, literals)` of every derived clause that got a
+    /// `Learned` event — the round-trip tests compare these sets.
+    pub resolvents: Vec<(u64, Vec<Lit>)>,
+}
+
+impl IngestReport {
+    /// `true` when the synthesized trace is a complete resolution
+    /// derivation the native strategies can check. RAT steps have no
+    /// resolution counterpart, so any RAT step forfeits this.
+    pub fn resolution_checkable(&self) -> bool {
+        self.stats.rat_steps == 0
+    }
+}
+
+/// A variable index cap low enough that every literal stays convertible
+/// (`Var::new` panics above `u32::MAX / 2`; a panic in a parser-facing
+/// path would break the conformance guarantee).
+const MAX_DIMACS_VAR: u64 = (u32::MAX / 2) as u64;
+
+/// Bounds the variables a proof may mention: the formula's own, plus at
+/// most one fresh variable per literal occurrence in the proof. A
+/// legitimate proof numbers its extension variables densely after the
+/// formula's; a "variable two billion" literal is hostile input that
+/// would otherwise force a multi-gigabyte dense allocation in
+/// [`Engine::ensure_var`], so it is rejected as an input error instead.
+fn proof_var_cap(cnf: &Cnf, proof_lits: u64) -> u64 {
+    (cnf.num_vars() as u64)
+        .saturating_add(proof_lits)
+        .min(MAX_DIMACS_VAR)
+}
+
+const NO_REASON: usize = usize::MAX;
+/// Arena sentinel for deletion-index entries that deactivate nothing
+/// (tautologies and aliased additions).
+const NO_CLAUSE: usize = usize::MAX;
+
+struct ClauseRec {
+    /// Sorted, deduplicated literals of the clause the database
+    /// actually holds (the derived resolvent for RUP additions).
+    lits: Vec<Lit>,
+    /// Id this clause carries in the synthesized trace.
+    trace_id: u64,
+    active: bool,
+    /// Watched positions into `lits` (meaningful when `lits.len() >= 2`).
+    watch: [usize; 2],
+}
+
+/// Shared ingestion state for both proof formats.
+struct Engine {
+    clauses: Vec<ClauseRec>,
+    next_trace_id: u64,
+    /// Per-variable assignment: 0 unassigned, 1 true, -1 false.
+    value: Vec<i8>,
+    /// Per-variable reason (arena index) or `NO_REASON`.
+    reason: Vec<usize>,
+    trail: Vec<Lit>,
+    /// Length of the persistent (level-0) prefix of the trail.
+    fixed: usize,
+    prop_head: usize,
+    /// Watch lists per literal code (DRAT mode only).
+    watches: Vec<Vec<usize>>,
+    /// Deletion index: normalized claimed literals → arena entries, in
+    /// addition order (deletions pop the most recent match).
+    del_index: HashMap<Vec<Lit>, Vec<usize>>,
+    /// Per-arena flag: clause is the reason of a persistent assignment.
+    locked: Vec<bool>,
+    /// Analysis scratch: per-literal-code membership in the resolvent.
+    mark: Vec<bool>,
+    events: Vec<TraceEvent>,
+    resolvents: Vec<(u64, Vec<Lit>)>,
+    stats: IngestStats,
+    done: bool,
+}
+
+impl Engine {
+    fn new(cnf: &Cnf) -> Engine {
+        Engine {
+            clauses: Vec::with_capacity(cnf.num_clauses()),
+            next_trace_id: cnf.num_clauses() as u64,
+            value: vec![0; cnf.num_vars()],
+            reason: vec![NO_REASON; cnf.num_vars()],
+            trail: Vec::new(),
+            fixed: 0,
+            prop_head: 0,
+            watches: vec![Vec::new(); 2 * cnf.num_vars()],
+            del_index: HashMap::new(),
+            locked: Vec::new(),
+            mark: vec![false; 2 * cnf.num_vars()],
+            events: Vec::new(),
+            resolvents: Vec::new(),
+            stats: IngestStats::default(),
+            done: false,
+        }
+    }
+
+    fn ensure_var(&mut self, var_index: usize) {
+        if var_index >= self.value.len() {
+            let vars = var_index + 1;
+            self.value.resize(vars, 0);
+            self.reason.resize(vars, NO_REASON);
+            self.watches.resize(2 * vars, Vec::new());
+            self.mark.resize(2 * vars, false);
+        }
+    }
+
+    /// `1` satisfied, `-1` falsified, `0` unassigned, for `lit` under
+    /// the current assignment.
+    fn lit_value(&self, lit: Lit) -> i8 {
+        let v = self.value[lit.var().index()];
+        if lit.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    fn assign(&mut self, lit: Lit, reason: usize) {
+        self.value[lit.var().index()] = if lit.is_positive() { 1 } else { -1 };
+        self.reason[lit.var().index()] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Pops the trail back to `mark`, unassigning everything above it.
+    fn pop_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let lit = self.trail.pop().expect("trail above mark");
+            self.value[lit.var().index()] = 0;
+            self.reason[lit.var().index()] = NO_REASON;
+        }
+        self.prop_head = self.prop_head.min(self.trail.len());
+    }
+
+    /// Registers a clause in the arena (and its watches, when watched).
+    fn push_clause(&mut self, lits: Vec<Lit>, trace_id: u64, watched: bool) -> usize {
+        let idx = self.clauses.len();
+        let watch = if lits.len() >= 2 { [0, 1] } else { [0, 0] };
+        if watched && lits.len() >= 2 {
+            self.watches[lits[0].code()].push(idx);
+            self.watches[lits[1].code()].push(idx);
+        }
+        self.clauses.push(ClauseRec {
+            lits,
+            trace_id,
+            active: true,
+            watch,
+        });
+        self.locked.push(false);
+        idx
+    }
+
+    /// [`Engine::propagate`] at decision level 0: every literal the
+    /// propagation assigns is a persistent fact, so each one gets a
+    /// [`TraceEvent::LevelZero`] record (in propagation order — the
+    /// order discipline the final-phase checker enforces) and its
+    /// reason clause is locked against deletion.
+    fn propagate_persistent(&mut self) -> Option<usize> {
+        let start = self.trail.len();
+        let conflict = self.propagate();
+        for i in start..self.trail.len() {
+            let lit = self.trail[i];
+            let r = self.reason[lit.var().index()];
+            debug_assert_ne!(r, NO_REASON, "level-0 propagation without a reason");
+            self.locked[r] = true;
+            self.stats.level_zero += 1;
+            self.events.push(TraceEvent::LevelZero {
+                lit,
+                antecedent: self.clauses[r].trace_id,
+            });
+        }
+        self.fixed = self.trail.len();
+        conflict
+    }
+
+    /// Two-watched-literal unit propagation from `prop_head` to the
+    /// fixpoint. Returns the arena index of a falsified clause, if the
+    /// propagation ran into one.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.prop_head < self.trail.len() {
+            let lit = self.trail[self.prop_head];
+            self.prop_head += 1;
+            let false_lit = !lit;
+            let mut list = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut keep = 0usize;
+            let mut conflict = None;
+            let mut i = 0usize;
+            while i < list.len() {
+                let c = list[i];
+                i += 1;
+                if !self.clauses[c].active {
+                    continue; // lazily drop deleted clauses
+                }
+                let (w0, w1) = (self.clauses[c].watch[0], self.clauses[c].watch[1]);
+                let this = if self.clauses[c].lits[w0] == false_lit {
+                    0
+                } else {
+                    debug_assert_eq!(self.clauses[c].lits[w1], false_lit);
+                    1
+                };
+                let other_lit = self.clauses[c].lits[self.clauses[c].watch[1 - this]];
+                if self.lit_value(other_lit) == 1 {
+                    list[keep] = c;
+                    keep += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut replaced = false;
+                for (pos, &l) in self.clauses[c].lits.iter().enumerate() {
+                    if pos == w0 || pos == w1 || self.lit_value(l) == -1 {
+                        continue;
+                    }
+                    self.clauses[c].watch[this] = pos;
+                    self.watches[l.code()].push(c);
+                    replaced = true;
+                    break;
+                }
+                if replaced {
+                    continue;
+                }
+                list[keep] = c;
+                keep += 1;
+                match self.lit_value(other_lit) {
+                    0 => self.assign(other_lit, c),
+                    _ => {
+                        conflict = Some(c);
+                        break;
+                    }
+                }
+            }
+            // Keep the untraversed tail when a conflict cut the scan
+            // short, then put the list back.
+            while i < list.len() {
+                list[keep] = list[i];
+                keep += 1;
+                i += 1;
+            }
+            list.truncate(keep);
+            self.watches[false_lit.code()] = list;
+            if let Some(c) = conflict {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Conflict analysis: walks the whole trail top-down from the
+    /// falsified clause, resolving away every accumulated literal that
+    /// has a reason. Returns the antecedent chain (conflicting clause
+    /// first) and the derived resolvent, sorted.
+    fn analyze(&mut self, conflict: usize) -> (Vec<u64>, Vec<Lit>) {
+        let mut chain = vec![self.clauses[conflict].trace_id];
+        let mut marked: Vec<Lit> = Vec::new();
+        for &l in &self.clauses[conflict].lits {
+            if !self.mark[l.code()] {
+                self.mark[l.code()] = true;
+                marked.push(l);
+            }
+        }
+        for i in (0..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let neg = !lit;
+            if !self.mark[neg.code()] {
+                continue;
+            }
+            let r = self.reason[lit.var().index()];
+            if r == NO_REASON {
+                continue; // assumption: its negation stays in the resolvent
+            }
+            self.mark[neg.code()] = false;
+            chain.push(self.clauses[r].trace_id);
+            for pos in 0..self.clauses[r].lits.len() {
+                let l = self.clauses[r].lits[pos];
+                if l != lit && !self.mark[l.code()] {
+                    self.mark[l.code()] = true;
+                    marked.push(l);
+                }
+            }
+        }
+        // Whatever is still marked survives the fold: negated
+        // assumptions, plus the satisfied literal in the
+        // satisfied-at-level-0 case.
+        let mut resolvent: Vec<Lit> = marked
+            .into_iter()
+            .filter(|l| {
+                let m = self.mark[l.code()];
+                self.mark[l.code()] = false;
+                m
+            })
+            .collect();
+        resolvent.sort_unstable();
+        (chain, resolvent)
+    }
+
+    /// Installs a derived clause: emits the `Learned` event (or counts
+    /// an alias when the chain has a single source), registers watches
+    /// (DRAT mode) and the deletion-index entry, then applies the
+    /// root-level completion rule (conflict → final event, unit →
+    /// persistent propagation). Returns an error only via the events it
+    /// cannot express — it has none, so it is infallible.
+    fn install(
+        &mut self,
+        claimed_key: Vec<Lit>,
+        chain: Vec<u64>,
+        resolvent: Vec<Lit>,
+        conflict: usize,
+        watched: bool,
+    ) {
+        if chain.len() == 1 {
+            // The conflicting clause subsumes the addition: the checker
+            // demands >= 2 sources, so no event. The database gets a
+            // *copy* of the subsumer under the same trace id — a later
+            // deletion of this addition must not deactivate the
+            // subsumer itself, and later derivations that resolve with
+            // this clause must see the literals the trace id stands for.
+            self.stats.aliased += 1;
+            debug_assert_eq!(resolvent, self.clauses[conflict].lits);
+            let tid = self.clauses[conflict].trace_id;
+            let idx = self.push_clause(resolvent, tid, watched);
+            self.del_index.entry(claimed_key).or_default().push(idx);
+            return;
+        }
+        self.stats.rup_steps += 1;
+        let id = self.next_trace_id;
+        self.next_trace_id += 1;
+        self.events.push(TraceEvent::Learned { id, sources: chain });
+        self.resolvents.push((id, resolvent.clone()));
+        let idx = self.push_clause(resolvent, id, watched);
+        self.del_index.entry(claimed_key).or_default().push(idx);
+        self.complete(idx, watched);
+    }
+
+    /// Root-level completion after a clause lands in the database:
+    /// fully falsified (or empty) → final conflict; unit → persistent
+    /// assignment, then (in watched/DRAT mode) persistent propagation.
+    fn complete(&mut self, idx: usize, watched: bool) {
+        debug_assert_eq!(self.trail.len(), self.fixed, "completion above level 0");
+        let mut unassigned = None;
+        let mut false_count = 0usize;
+        for &l in &self.clauses[idx].lits {
+            match self.lit_value(l) {
+                1 => return, // satisfied at level 0: nothing to do
+                -1 => false_count += 1,
+                _ => {
+                    if unassigned.replace(l).is_some() {
+                        return; // two unassigned literals: not unit
+                    }
+                }
+            }
+        }
+        match unassigned {
+            None => {
+                debug_assert_eq!(false_count, self.clauses[idx].lits.len());
+                self.events.push(TraceEvent::FinalConflict {
+                    id: self.clauses[idx].trace_id,
+                });
+                self.done = true;
+            }
+            Some(lit) => {
+                self.assign_persistent(lit, idx);
+                if watched {
+                    if let Some(conflict) = self.propagate_persistent() {
+                        self.events.push(TraceEvent::FinalConflict {
+                            id: self.clauses[conflict].trace_id,
+                        });
+                        self.done = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Asserts `lit` at level 0 with `reason`, emitting the trace
+    /// record and locking the reason against deletion.
+    fn assign_persistent(&mut self, lit: Lit, reason: usize) {
+        self.assign(lit, reason);
+        self.fixed = self.trail.len();
+        self.locked[reason] = true;
+        self.stats.level_zero += 1;
+        self.events.push(TraceEvent::LevelZero {
+            lit,
+            antecedent: self.clauses[reason].trace_id,
+        });
+    }
+
+    /// Loads the original formula: every clause joins the arena and the
+    /// deletion index; units assert persistently; an empty clause (or a
+    /// propagation conflict) ends the proof before it starts.
+    fn load_cnf(&mut self, cnf: &Cnf, watched: bool) {
+        for (id, clause) in cnf.iter() {
+            let lits = normalize_literals(clause.iter().copied());
+            let idx = self.push_clause(lits.clone(), id as u64, watched && !is_tautology(&lits));
+            self.del_index.entry(lits).or_default().push(idx);
+        }
+        if !watched {
+            // LRAT mode replays hints; only an outright empty original
+            // clause short-circuits.
+            if let Some(idx) = (0..self.clauses.len()).find(|&i| self.clauses[i].lits.is_empty()) {
+                self.events.push(TraceEvent::FinalConflict {
+                    id: self.clauses[idx].trace_id,
+                });
+                self.done = true;
+            }
+            return;
+        }
+        for idx in 0..self.clauses.len() {
+            if self.done {
+                return;
+            }
+            match self.clauses[idx].lits.len() {
+                0 => {
+                    self.events.push(TraceEvent::FinalConflict {
+                        id: self.clauses[idx].trace_id,
+                    });
+                    self.done = true;
+                }
+                1 => {
+                    let lit = self.clauses[idx].lits[0];
+                    match self.lit_value(lit) {
+                        1 => {} // duplicate unit: already asserted
+                        -1 => {
+                            // Contradicting units: this clause is
+                            // falsified at level 0.
+                            self.events.push(TraceEvent::FinalConflict {
+                                id: self.clauses[idx].trace_id,
+                            });
+                            self.done = true;
+                        }
+                        _ => {
+                            self.assign_persistent(lit, idx);
+                            if let Some(conflict) = self.propagate_persistent() {
+                                self.events.push(TraceEvent::FinalConflict {
+                                    id: self.clauses[conflict].trace_id,
+                                });
+                                self.done = true;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Applies a deletion matched by normalized literals (DRAT).
+    fn delete_by_lits(&mut self, key: &[Lit]) {
+        let Some(entries) = self.del_index.get_mut(key) else {
+            self.stats.missing_deletions += 1;
+            return;
+        };
+        let Some(idx) = entries.pop() else {
+            self.stats.missing_deletions += 1;
+            return;
+        };
+        if entries.is_empty() {
+            self.del_index.remove(key);
+        }
+        if idx == NO_CLAUSE {
+            // Tautology or alias: the "clause" never entered the
+            // database, so the deletion is a semantic no-op.
+            self.stats.deletions += 1;
+            return;
+        }
+        if self.locked[idx] {
+            self.stats.locked_deletions += 1;
+            return;
+        }
+        self.clauses[idx].active = false;
+        self.stats.deletions += 1;
+    }
+
+    fn into_report(self) -> Result<IngestReport, InteropError> {
+        if !self.done {
+            return Err(InteropError::defect(
+                None,
+                "proof ends without deriving the empty clause",
+            ));
+        }
+        Ok(IngestReport {
+            events: self.events,
+            stats: self.stats,
+            resolvents: self.resolvents,
+        })
+    }
+}
+
+fn is_tautology(sorted: &[Lit]) -> bool {
+    sorted.windows(2).any(|w| w[0].var() == w[1].var())
+}
+
+/// Converts DIMACS literals with a range check instead of the `Var`
+/// panic (a hostile proof must fail cleanly, never abort).
+fn convert_lits(raw: &[i64], max_var: u64, at: u64) -> Result<Vec<Lit>, InteropError> {
+    raw.iter()
+        .map(|&d| {
+            if d == 0 || d.unsigned_abs() > max_var {
+                Err(InteropError::input(
+                    Some(at),
+                    format!("literal {d} out of the supported variable range"),
+                ))
+            } else {
+                Ok(Lit::from_dimacs(d))
+            }
+        })
+        .collect()
+}
+
+/// Ingests a parsed DRAT/DRUP proof against `cnf`.
+///
+/// # Errors
+///
+/// `Input` on out-of-range literals; `ProofDefect` when an addition is
+/// neither RUP nor RAT, or the proof never derives the empty clause.
+pub fn ingest_drat(cnf: &Cnf, steps: &[DratStep]) -> Result<IngestReport, InteropError> {
+    let max_var = proof_var_cap(cnf, steps.iter().map(|s| s.lits().len() as u64).sum());
+    let mut eng = Engine::new(cnf);
+    eng.load_cnf(cnf, true);
+    for (stepno, step) in steps.iter().enumerate() {
+        let at = stepno as u64 + 1;
+        if eng.done {
+            eng.stats.steps_after_empty += 1;
+            continue;
+        }
+        match step {
+            DratStep::Delete(raw) => {
+                let lits = convert_lits(raw, max_var, at)?;
+                let key = normalize_literals(lits);
+                eng.delete_by_lits(&key);
+            }
+            DratStep::Add(raw) => {
+                eng.stats.additions += 1;
+                let lits = convert_lits(raw, max_var, at)?;
+                for l in &lits {
+                    eng.ensure_var(l.var().index());
+                }
+                let key = normalize_literals(lits.iter().copied());
+                if is_tautology(&key) {
+                    eng.stats.tautologies += 1;
+                    eng.del_index.entry(key).or_default().push(NO_CLAUSE);
+                    continue;
+                }
+                add_drat_clause(&mut eng, &lits, key, at)?;
+            }
+        }
+    }
+    eng.into_report()
+}
+
+/// One DRAT addition: RUP check by propagation, RAT fallback on the
+/// first literal, then installation with the completion rule.
+fn add_drat_clause(
+    eng: &mut Engine,
+    raw_lits: &[Lit],
+    key: Vec<Lit>,
+    at: u64,
+) -> Result<(), InteropError> {
+    let temp_mark = eng.trail.len();
+    debug_assert_eq!(temp_mark, eng.fixed);
+
+    // Assume the negation; a literal already satisfied at level 0 means
+    // its reason clause is falsified under the assumption — analysis
+    // can start there without touching the assignment.
+    let mut conflict = None;
+    for &c in &key {
+        match eng.lit_value(c) {
+            1 => {
+                conflict = Some(eng.reason[c.var().index()]);
+                debug_assert_ne!(conflict, Some(NO_REASON));
+                break;
+            }
+            -1 => {}
+            _ => eng.assign(!c, NO_REASON),
+        }
+    }
+    if conflict.is_none() {
+        conflict = eng.propagate();
+    }
+
+    if let Some(conflict) = conflict {
+        let (chain, resolvent) = eng.analyze(conflict);
+        eng.pop_to(temp_mark);
+        eng.install(key, chain, resolvent, conflict, true);
+        return Ok(());
+    }
+
+    // Not RUP: try RAT on the first literal, per the DRAT convention.
+    let Some(&pivot) = raw_lits.first() else {
+        eng.pop_to(temp_mark);
+        return Err(InteropError::defect(
+            Some(at),
+            "empty clause addition is not RUP",
+        ));
+    };
+    let rup_mark = eng.trail.len();
+    let neg_pivot = !pivot;
+    for idx in 0..eng.clauses.len() {
+        if !eng.clauses[idx].active || !eng.clauses[idx].lits.contains(&neg_pivot) {
+            continue;
+        }
+        // Tautological resolvent (C has ¬m for some other m of the
+        // overlap clause): vacuously redundant, skip.
+        if eng.clauses[idx]
+            .lits
+            .iter()
+            .any(|&m| m != neg_pivot && key.contains(&!m))
+        {
+            continue;
+        }
+        let mut resolved = false;
+        for pos in 0..eng.clauses[idx].lits.len() {
+            let m = eng.clauses[idx].lits[pos];
+            if m == neg_pivot {
+                continue;
+            }
+            match eng.lit_value(m) {
+                1 => {
+                    // The resolvent contains a literal the ¬C
+                    // propagation already made true: RUP trivially.
+                    resolved = true;
+                    break;
+                }
+                -1 => {}
+                _ => eng.assign(!m, NO_REASON),
+            }
+        }
+        let ok = resolved || eng.propagate().is_some();
+        eng.pop_to(rup_mark);
+        if !ok {
+            let lits: Vec<i64> = eng.clauses[idx]
+                .lits
+                .iter()
+                .map(|l| l.to_dimacs())
+                .collect();
+            eng.pop_to(temp_mark);
+            return Err(InteropError::defect(
+                Some(at),
+                format!(
+                    "clause is neither RUP nor RAT on {}: resolvent with {lits:?} is not RUP",
+                    pivot.to_dimacs()
+                ),
+            ));
+        }
+    }
+    eng.pop_to(temp_mark);
+    // RAT verified. There is no resolution derivation to emit; the
+    // clause joins the database under a fresh id with no event, and the
+    // report is flagged via `rat_steps`.
+    eng.stats.rat_steps += 1;
+    let id = eng.next_trace_id;
+    eng.next_trace_id += 1;
+    let idx = eng.push_clause(key.clone(), id, true);
+    eng.del_index.entry(key).or_default().push(idx);
+    eng.complete(idx, true);
+    Ok(())
+}
+
+/// Ingests a parsed LRAT proof against `cnf` by hint replay.
+///
+/// # Errors
+///
+/// `Input` on out-of-range literals; `ProofDefect` on unknown or
+/// deleted hint ids, hints that are neither unit nor conflicting,
+/// uncovered RAT resolvents, duplicate clause ids, or a proof without
+/// an empty clause.
+pub fn ingest_lrat(cnf: &Cnf, steps: &[LratStep]) -> Result<IngestReport, InteropError> {
+    let max_var = proof_var_cap(
+        cnf,
+        steps
+            .iter()
+            .map(|s| match s {
+                LratStep::Add { lits, .. } => lits.len() as u64,
+                LratStep::Delete { .. } => 0,
+            })
+            .sum(),
+    );
+    let mut eng = Engine::new(cnf);
+    eng.load_cnf(cnf, false);
+    // File id → arena index. Originals are 1-based by position.
+    let mut id_map: HashMap<u64, usize> =
+        (0..cnf.num_clauses()).map(|i| (i as u64 + 1, i)).collect();
+    for (stepno, step) in steps.iter().enumerate() {
+        let at = stepno as u64 + 1;
+        if eng.done {
+            eng.stats.steps_after_empty += 1;
+            continue;
+        }
+        match step {
+            LratStep::Delete { ids } => {
+                for &id in ids {
+                    match id_map.get(&id) {
+                        Some(&idx) if eng.clauses[idx].active => {
+                            if eng.locked[idx] {
+                                eng.stats.locked_deletions += 1;
+                            } else {
+                                eng.clauses[idx].active = false;
+                                eng.stats.deletions += 1;
+                            }
+                        }
+                        _ => eng.stats.missing_deletions += 1,
+                    }
+                }
+            }
+            LratStep::Add { id, lits, hints } => {
+                eng.stats.additions += 1;
+                if id_map.get(id).is_some_and(|&idx| eng.clauses[idx].active) {
+                    return Err(InteropError::defect(
+                        Some(at),
+                        format!("clause id {id} is already in use"),
+                    ));
+                }
+                let raw = convert_lits(lits, max_var, at)?;
+                for l in &raw {
+                    eng.ensure_var(l.var().index());
+                }
+                let key = normalize_literals(raw.iter().copied());
+                if is_tautology(&key) {
+                    eng.stats.tautologies += 1;
+                    continue; // never referenced soundly; ids of skipped
+                              // tautologies simply stay unmapped
+                }
+                let idx = add_lrat_clause(&mut eng, &id_map, &raw, key, hints, at)?;
+                id_map.insert(*id, idx);
+            }
+        }
+    }
+    eng.into_report()
+}
+
+/// Resolves an LRAT hint id to an active arena clause.
+fn lookup_hint(
+    eng: &Engine,
+    id_map: &HashMap<u64, usize>,
+    id: u64,
+    at: u64,
+) -> Result<usize, InteropError> {
+    match id_map.get(&id) {
+        Some(&idx) if eng.clauses[idx].active => Ok(idx),
+        Some(_) => Err(InteropError::defect(
+            Some(at),
+            format!("hint {id} references a deleted clause"),
+        )),
+        None => Err(InteropError::defect(
+            Some(at),
+            format!("hint {id} references an unknown clause"),
+        )),
+    }
+}
+
+/// What replaying one positive hint did to the trail.
+enum HintReplay {
+    /// The hint clause was unit; its literal is now assigned.
+    Unit,
+    /// The hint clause is fully falsified — the conflict.
+    Conflict(usize),
+    /// The hint clause is already satisfied at this point in the
+    /// replay. Exported reverse chains pick up such hints from clause-
+    /// minimization resolutions, where a minimization antecedent's unit
+    /// literal was already implied by an earlier hint. Skipping is
+    /// sound: a skipped hint adds no assignments, so a later hint must
+    /// still genuinely conflict for the step to verify.
+    Satisfied,
+}
+
+/// Replays one positive hint: assigns the unit it implies, or returns
+/// the conflict when the hint clause is falsified.
+fn replay_hint(eng: &mut Engine, idx: usize, at: u64) -> Result<HintReplay, InteropError> {
+    let mut unassigned = None;
+    for pos in 0..eng.clauses[idx].lits.len() {
+        let l = eng.clauses[idx].lits[pos];
+        match eng.lit_value(l) {
+            1 => return Ok(HintReplay::Satisfied),
+            -1 => {}
+            _ => {
+                if unassigned.replace(l).is_some() {
+                    return Err(InteropError::defect(
+                        Some(at),
+                        "hint clause has two unassigned literals",
+                    ));
+                }
+            }
+        }
+    }
+    match unassigned {
+        Some(l) => {
+            eng.assign(l, idx);
+            Ok(HintReplay::Unit)
+        }
+        None => Ok(HintReplay::Conflict(idx)),
+    }
+}
+
+/// One LRAT addition: replay the RUP prefix; on conflict, synthesize
+/// the chain; otherwise verify the RAT groups. The empty clause is the
+/// special case whose hint replay *is* the level-0 derivation.
+fn add_lrat_clause(
+    eng: &mut Engine,
+    id_map: &HashMap<u64, usize>,
+    raw_lits: &[Lit],
+    key: Vec<Lit>,
+    hints: &[i64],
+    at: u64,
+) -> Result<usize, InteropError> {
+    let temp_mark = eng.trail.len();
+    debug_assert_eq!(temp_mark, 0, "LRAT replay keeps no persistent trail");
+
+    if key.is_empty() {
+        // The final line: no assumptions, so every unit the hints imply
+        // is a genuine level-0 propagation, and the conflicting hint is
+        // the final conflict of the synthesized trace.
+        for &h in hints {
+            if h < 0 {
+                eng.pop_to(temp_mark);
+                return Err(InteropError::defect(
+                    Some(at),
+                    "the empty clause cannot have RAT hints",
+                ));
+            }
+            let idx = lookup_hint(eng, id_map, h as u64, at)?;
+            match replay_hint(eng, idx, at) {
+                Ok(HintReplay::Unit) => {
+                    // Promote the unit to a persistent record.
+                    let lit = *eng.trail.last().expect("unit just assigned");
+                    eng.trail.pop();
+                    eng.assign_persistent(lit, idx);
+                }
+                Ok(HintReplay::Conflict(conflict)) => {
+                    eng.events.push(TraceEvent::FinalConflict {
+                        id: eng.clauses[conflict].trace_id,
+                    });
+                    eng.done = true;
+                    return Ok(idx);
+                }
+                Ok(HintReplay::Satisfied) => {}
+                Err(e) => {
+                    eng.pop_to(temp_mark);
+                    return Err(e);
+                }
+            }
+        }
+        eng.pop_to(temp_mark);
+        return Err(InteropError::defect(
+            Some(at),
+            "empty-clause hints end without a conflict",
+        ));
+    }
+
+    for &c in &key {
+        debug_assert_ne!(eng.lit_value(c), 1, "no persistent state in LRAT mode");
+        if eng.lit_value(c) == 0 {
+            eng.assign(!c, NO_REASON);
+        }
+    }
+
+    let mut split = hints.splitn(2, |&h| h < 0);
+    let prefix = split.next().unwrap_or(&[]);
+    let has_groups = hints.iter().any(|&h| h < 0);
+
+    for &h in prefix {
+        let idx = match lookup_hint(eng, id_map, h as u64, at) {
+            Ok(idx) => idx,
+            Err(e) => {
+                eng.pop_to(temp_mark);
+                return Err(e);
+            }
+        };
+        match replay_hint(eng, idx, at) {
+            Ok(HintReplay::Unit) | Ok(HintReplay::Satisfied) => {}
+            Ok(HintReplay::Conflict(conflict)) => {
+                let (chain, resolvent) = eng.analyze(conflict);
+                eng.pop_to(temp_mark);
+                if chain.len() == 1 {
+                    // Subsumed addition: install a copy of the subsumer
+                    // under this proof id (see `Engine::install`).
+                    eng.stats.aliased += 1;
+                    debug_assert_eq!(resolvent, eng.clauses[conflict].lits);
+                    let tid = eng.clauses[conflict].trace_id;
+                    return Ok(eng.push_clause(resolvent, tid, false));
+                }
+                eng.stats.rup_steps += 1;
+                let id = eng.next_trace_id;
+                eng.next_trace_id += 1;
+                eng.events.push(TraceEvent::Learned { id, sources: chain });
+                eng.resolvents.push((id, resolvent.clone()));
+                return Ok(eng.push_clause(resolvent, id, false));
+            }
+            Err(e) => {
+                eng.pop_to(temp_mark);
+                return Err(e);
+            }
+        }
+    }
+
+    if !has_groups {
+        eng.pop_to(temp_mark);
+        return Err(InteropError::defect(
+            Some(at),
+            "hints end without a conflict",
+        ));
+    }
+    let idx = add_lrat_rat(eng, id_map, raw_lits, &key, hints, at, temp_mark)?;
+    Ok(idx)
+}
+
+/// Verifies an LRAT RAT step: every active clause containing the
+/// negated pivot must be covered by a resolvent group (or have a
+/// tautological resolvent), and each group's hints must refute the
+/// resolvent. Called with the ¬C assumptions and the RUP-prefix units
+/// already on the trail.
+fn add_lrat_rat(
+    eng: &mut Engine,
+    id_map: &HashMap<u64, usize>,
+    raw_lits: &[Lit],
+    key: &[Lit],
+    hints: &[i64],
+    at: u64,
+    temp_mark: usize,
+) -> Result<usize, InteropError> {
+    let pivot = raw_lits[0];
+    let neg_pivot = !pivot;
+    let prefix_mark = eng.trail.len();
+    let mut covered: Vec<usize> = Vec::new();
+
+    // Walk the groups: each opens with -d and carries its unit hints.
+    let mut i = hints.iter().position(|&h| h < 0).expect("has a group");
+    while i < hints.len() {
+        let d = (-hints[i]) as u64;
+        let d_idx = match lookup_hint(eng, id_map, d, at) {
+            Ok(idx) => idx,
+            Err(e) => {
+                eng.pop_to(temp_mark);
+                return Err(e);
+            }
+        };
+        i += 1;
+        let group_end = hints[i..]
+            .iter()
+            .position(|&h| h < 0)
+            .map_or(hints.len(), |p| i + p);
+        if !eng.clauses[d_idx].lits.contains(&neg_pivot) {
+            eng.pop_to(temp_mark);
+            return Err(InteropError::defect(
+                Some(at),
+                format!("RAT group clause {d} does not contain the negated pivot"),
+            ));
+        }
+        covered.push(d_idx);
+
+        // Assume the negation of the resolvent's D-side; a literal the
+        // prefix already satisfied ends the group immediately.
+        let mut resolved = false;
+        for pos in 0..eng.clauses[d_idx].lits.len() {
+            let m = eng.clauses[d_idx].lits[pos];
+            if m == neg_pivot {
+                continue;
+            }
+            match eng.lit_value(m) {
+                1 => {
+                    resolved = true;
+                    break;
+                }
+                -1 => {}
+                _ => eng.assign(!m, NO_REASON),
+            }
+        }
+        if !resolved {
+            let mut conflicted = false;
+            for &h in &hints[i..group_end] {
+                let h_idx = match lookup_hint(eng, id_map, h as u64, at) {
+                    Ok(idx) => idx,
+                    Err(e) => {
+                        eng.pop_to(temp_mark);
+                        return Err(e);
+                    }
+                };
+                match replay_hint(eng, h_idx, at) {
+                    Ok(HintReplay::Unit) | Ok(HintReplay::Satisfied) => {}
+                    Ok(HintReplay::Conflict(_)) => {
+                        conflicted = true;
+                        break;
+                    }
+                    Err(e) => {
+                        eng.pop_to(temp_mark);
+                        return Err(e);
+                    }
+                }
+            }
+            if !conflicted {
+                eng.pop_to(temp_mark);
+                return Err(InteropError::defect(
+                    Some(at),
+                    format!("RAT resolvent group for clause {d} ends without a conflict"),
+                ));
+            }
+        }
+        eng.pop_to(prefix_mark);
+        i = group_end;
+    }
+
+    // Soundness: no active ¬pivot clause may be left unexamined.
+    for idx in 0..eng.clauses.len() {
+        if !eng.clauses[idx].active
+            || covered.contains(&idx)
+            || !eng.clauses[idx].lits.contains(&neg_pivot)
+        {
+            continue;
+        }
+        let tautological = eng.clauses[idx]
+            .lits
+            .iter()
+            .any(|&m| m != neg_pivot && key.contains(&!m));
+        if !tautological {
+            eng.pop_to(temp_mark);
+            return Err(InteropError::defect(
+                Some(at),
+                format!(
+                    "RAT step leaves the resolvent with clause id {} unverified",
+                    eng.clauses[idx].trace_id
+                ),
+            ));
+        }
+    }
+    eng.pop_to(temp_mark);
+    eng.stats.rat_steps += 1;
+    let id = eng.next_trace_id;
+    eng.next_trace_id += 1;
+    Ok(eng.push_clause(key.to_vec(), id, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drat;
+    use crate::error::InteropErrorKind;
+
+    fn cnf(clauses: &[&[i64]]) -> Cnf {
+        let mut cnf = Cnf::new();
+        for c in clauses {
+            cnf.add_dimacs_clause(c);
+        }
+        cnf
+    }
+
+    #[test]
+    fn drup_proof_synthesizes_checkable_trace() {
+        // (1 2)(1 -2)(-1 3)(-1 -3) with the classic two-lemma proof.
+        let cnf = cnf(&[&[1, 2], &[1, -2], &[-1, 3], &[-1, -3]]);
+        let steps = drat::parse_text("1 0\n0\n").unwrap();
+        let report = ingest_drat(&cnf, &steps).unwrap();
+        assert!(report.resolution_checkable());
+        assert_eq!(report.stats.rup_steps, 1);
+        // Asserting the lemma (1) also propagates 3 via (−1 3): both
+        // facts get level-0 records.
+        assert_eq!(report.stats.level_zero, 2);
+        assert!(matches!(
+            report.events.last(),
+            Some(TraceEvent::FinalConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn non_rup_addition_is_a_proof_defect() {
+        // Adding (1) to (1 2)(−1 −2): assuming −1 propagates only 2 (no
+        // conflict), and the RAT resolvent (−2) with (−1 −2) is not RUP
+        // either — the step is simply not derivable.
+        let cnf = cnf(&[&[1, 2], &[-1, -2]]);
+        let steps = drat::parse_text("1 0\n").unwrap();
+        let err = ingest_drat(&cnf, &steps).unwrap_err();
+        assert_eq!(err.kind, InteropErrorKind::ProofDefect);
+    }
+
+    #[test]
+    fn incomplete_proof_is_a_proof_defect() {
+        // Re-adding an original clause is RUP (it aliases), but the
+        // proof then stops without ever deriving the empty clause.
+        let cnf = cnf(&[&[1, 2], &[1, -2], &[-1, 2], &[-1, -2]]);
+        let steps = drat::parse_text("1 2 0\n").unwrap();
+        let err = ingest_drat(&cnf, &steps).unwrap_err();
+        assert_eq!(err.kind, InteropErrorKind::ProofDefect);
+    }
+
+    #[test]
+    fn missing_deletion_is_a_warning_not_an_error() {
+        let cnf = cnf(&[&[1, 2], &[1, -2], &[-1, 3], &[-1, -3]]);
+        let steps = drat::parse_text("d 5 6 0\n1 0\n0\n").unwrap();
+        let report = ingest_drat(&cnf, &steps).unwrap();
+        assert_eq!(report.stats.missing_deletions, 1);
+    }
+
+    #[test]
+    fn deletion_of_level_zero_reason_is_skipped() {
+        // Loading asserts 1 (reason: clause 1) and propagates 2
+        // (reason: clause 2) with variables 3/4 untouched; both reasons
+        // are locked, so the deletions are skipped and the rest of the
+        // proof still relies on them.
+        let cnf = cnf(&[&[1], &[-1, 2], &[3, 4], &[3, -4], &[-3, 4], &[-3, -4]]);
+        let steps = drat::parse_text("d 1 0\nd -1 2 0\n3 0\n0\n").unwrap();
+        let report = ingest_drat(&cnf, &steps).unwrap();
+        assert_eq!(report.stats.locked_deletions, 2);
+        assert!(report.resolution_checkable());
+    }
+
+    #[test]
+    fn rat_addition_is_verified_but_not_checkable() {
+        // (5) over a fresh variable is not RUP (assuming −5 propagates
+        // nothing) but is vacuously RAT on 5: no clause contains −5.
+        let cnf = cnf(&[&[1, 2], &[1, -2], &[-1, 3], &[-1, -3]]);
+        let steps = drat::parse_text("5 0\n1 0\n").unwrap();
+        let report = ingest_drat(&cnf, &steps).unwrap();
+        assert_eq!(report.stats.rat_steps, 1);
+        assert_eq!(report.stats.rup_steps, 1);
+        assert!(!report.resolution_checkable());
+    }
+
+    #[test]
+    fn out_of_range_literal_is_input_error() {
+        let cnf = cnf(&[&[1, 2], &[-1, -2]]);
+        let steps = vec![DratStep::Add(vec![i64::MAX])];
+        let err = ingest_drat(&cnf, &steps).unwrap_err();
+        assert_eq!(err.kind, InteropErrorKind::Input);
+    }
+
+    #[test]
+    fn lrat_unknown_hint_is_a_proof_defect() {
+        let cnf = cnf(&[&[1, 2], &[1, -2], &[-1, 3], &[-1, -3]]);
+        let steps = crate::lrat::parse_text("5 1 0 99 0\n").unwrap();
+        let err = ingest_lrat(&cnf, &steps).unwrap_err();
+        assert_eq!(err.kind, InteropErrorKind::ProofDefect);
+    }
+
+    #[test]
+    fn lrat_proof_with_hints_synthesizes_trace() {
+        let cnf = cnf(&[&[1, 2], &[1, -2], &[-1, 3], &[-1, -3]]);
+        // Lemma (1): assume −1; (1 2) forces 2; (1 −2) conflicts.
+        // Final: (1)=id 5 forces 1; (−1 3) forces 3; (−1 −3) conflicts.
+        let steps = crate::lrat::parse_text("5 1 0 1 2 0\n6 0 5 3 4 0\n").unwrap();
+        let report = ingest_lrat(&cnf, &steps).unwrap();
+        assert!(report.resolution_checkable());
+        assert_eq!(report.stats.rup_steps, 1);
+        assert_eq!(report.stats.level_zero, 2);
+        assert!(matches!(
+            report.events.last(),
+            Some(TraceEvent::FinalConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn lrat_satisfied_hint_is_skipped_not_fatal() {
+        let cnf = cnf(&[&[1, 2], &[1, -2], &[-1, 3], &[-1, -3]]);
+        // Hint 3 = (−1 3) is satisfied under the assumption −1 —
+        // redundant, so the replay skips it; hints 1 and 2 then derive
+        // the claimed unit the normal way. (Exported reverse chains
+        // produce such hints from clause-minimization resolutions.)
+        let steps = crate::lrat::parse_text("5 1 0 3 1 2 0\n6 0 5 3 4 0\n").unwrap();
+        let report = ingest_lrat(&cnf, &steps).unwrap();
+        assert_eq!(report.stats.rup_steps, 1);
+        // A proof that is *only* satisfied hints still proves nothing.
+        let steps = crate::lrat::parse_text("5 1 0 3 0\n").unwrap();
+        let err = ingest_lrat(&cnf, &steps).unwrap_err();
+        assert_eq!(err.kind, InteropErrorKind::ProofDefect);
+    }
+}

@@ -1,0 +1,165 @@
+//! Parser/ingester conformance: hostile proof bytes must produce a
+//! clean verdict, never a panic.
+//!
+//! The contract mirrors the native trace decoder's: whatever the bytes,
+//! the pipeline ends in `Ok`, an `Input` error (the file is not a
+//! proof) or a `ProofDefect` error (the proof is wrong). The corpus
+//! here is deterministic; `RESCHECK_CONFORMANCE_ITERS` scales the
+//! seeded corruption sweep up for nightly runs (default 200 per
+//! operator/format pair).
+
+use rescheck_cnf::{Cnf, SplitMix64};
+use rescheck_interop::{apply_proof, drat, ingest_bytes, lrat, ProofFormat, ALL_PROOF_MUTATIONS};
+
+fn fixture_cnf() -> Cnf {
+    let mut cnf = Cnf::new();
+    for c in [&[1i64, 2][..], &[1, -2], &[-1, 3], &[-1, -3]] {
+        cnf.add_dimacs_clause(c);
+    }
+    cnf
+}
+
+fn iterations() -> u64 {
+    std::env::var("RESCHECK_CONFORMANCE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// Well-formed seed proofs for each format, text and binary.
+fn seed_proofs() -> Vec<(ProofFormat, Vec<u8>)> {
+    let drat_steps = vec![
+        drat::DratStep::Add(vec![1]),
+        drat::DratStep::Delete(vec![1, 2]),
+        drat::DratStep::Add(vec![]),
+    ];
+    let mut drat_text = Vec::new();
+    drat::write_text(&mut drat_text, &drat_steps).unwrap();
+    let lrat_steps = vec![
+        lrat::LratStep::Add {
+            id: 5,
+            lits: vec![1],
+            hints: vec![2, 1],
+        },
+        lrat::LratStep::Delete { ids: vec![1, 2] },
+        lrat::LratStep::Add {
+            id: 6,
+            lits: vec![],
+            hints: vec![5, 3, 4],
+        },
+    ];
+    let mut lrat_text = Vec::new();
+    lrat::write_text(&mut lrat_text, &lrat_steps).unwrap();
+    vec![
+        (ProofFormat::Drat, drat_text),
+        (ProofFormat::Drat, drat::write_binary(&drat_steps)),
+        (ProofFormat::Lrat, lrat_text),
+        (ProofFormat::Lrat, lrat::write_binary(&lrat_steps)),
+    ]
+}
+
+#[test]
+fn seed_proofs_are_accepted() {
+    let cnf = fixture_cnf();
+    for (format, bytes) in seed_proofs() {
+        let report = ingest_bytes(&cnf, &bytes, format)
+            .unwrap_or_else(|e| panic!("{format} seed proof rejected: {e}"));
+        assert!(report.resolution_checkable(), "{format}");
+    }
+}
+
+/// The centerpiece: every corruption of every seed proof, under both
+/// format front ends, ends in a verdict. The `catch_unwind` is belt and
+/// braces — a panic in here is a conformance bug even if the harness
+/// would catch it.
+#[test]
+fn corrupted_proofs_never_panic() {
+    let cnf = fixture_cnf();
+    let iters = iterations();
+    for (format, bytes) in seed_proofs() {
+        for mutation in ALL_PROOF_MUTATIONS {
+            for seed in 0..iters {
+                let mut rng = SplitMix64::new(seed ^ 0x9e3779b97f4a7c15);
+                let Some(mutated) = apply_proof(&bytes, mutation, &mut rng) else {
+                    continue;
+                };
+                let outcome = std::panic::catch_unwind(|| {
+                    // Drive the mutant through BOTH format front ends:
+                    // misdeclared formats are part of the hostile-input
+                    // space.
+                    let _ = ingest_bytes(&cnf, &mutated, format);
+                    let _ = ingest_bytes(&cnf, &mutated, ProofFormat::Drat);
+                    let _ = ingest_bytes(&cnf, &mutated, ProofFormat::Lrat);
+                });
+                assert!(
+                    outcome.is_ok(),
+                    "{format}/{mutation} seed {seed}: ingestion panicked"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_sweep_rejects_cleanly() {
+    let cnf = fixture_cnf();
+    for (format, bytes) in seed_proofs() {
+        for cut in 0..bytes.len() {
+            let outcome = std::panic::catch_unwind(|| ingest_bytes(&cnf, &bytes[..cut], format));
+            let verdict = outcome.unwrap_or_else(|_| panic!("{format}: panic at truncation {cut}"));
+            // Any verdict is fine — a short text file can still be a
+            // (defective or even complete) proof — but no panics, and a
+            // truncation that still verifies must have kept the empty
+            // clause derivable.
+            if let Ok(report) = verdict {
+                assert!(
+                    !report.events.is_empty(),
+                    "{format}: empty accept at truncation {cut}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn garbage_is_an_input_error() {
+    let cnf = fixture_cnf();
+    for garbage in [
+        &b"not a proof at all"[..],
+        &b"1 2 three 0"[..],
+        &[0xff, 0xfe, 0x00][..],
+        &b"d"[..],
+    ] {
+        for format in [ProofFormat::Drat, ProofFormat::Lrat] {
+            let err = ingest_bytes(&cnf, garbage, format).expect_err("garbage must not ingest");
+            assert_eq!(
+                err.kind,
+                rescheck_interop::InteropErrorKind::Input,
+                "{format}: {garbage:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_proofs_are_proof_defects() {
+    let cnf = fixture_cnf();
+    // Parse fine, prove nothing: the additions are derivable (or
+    // aliases) but non-unit, so the proof never reaches the empty
+    // clause. (Unit lemmas would complete eagerly — the engine
+    // propagates every root assertion forward.)
+    for (format, bytes) in [
+        (ProofFormat::Drat, &b"2 3 0\n"[..]),
+        (ProofFormat::Drat, &b"1 2 0\n"[..]),
+        (ProofFormat::Lrat, &b"5 1 0 99 0\n"[..]),
+        (ProofFormat::Lrat, &b"5 1 0 3 0\n"[..]),
+    ] {
+        let err = ingest_bytes(&cnf, bytes, format).expect_err("defective proof must not verify");
+        assert_eq!(
+            err.kind,
+            rescheck_interop::InteropErrorKind::ProofDefect,
+            "{format}: {:?}",
+            String::from_utf8_lossy(bytes)
+        );
+    }
+}

@@ -121,14 +121,61 @@ pub fn run_job(spec: &JobSpec, env: &JobEnv<'_>, scratch: &mut CheckScratch) -> 
             finish(frame, started, Registry::new())
         }
         Claim::Unsat(evidence) => {
-            let trace = match load_trace(evidence, env.traces) {
-                Ok(trace) => trace,
-                Err(message) => {
-                    return finish(
-                        error_verdict(spec, status::IO_ERROR, &message),
-                        started,
-                        Registry::new(),
-                    )
+            let trace = if let Some(format) = spec.proof_format {
+                // Clausal proof: ingest it into a synthetic resolve
+                // trace first, then check that trace like any other.
+                let bytes = match evidence {
+                    Payload::Inline(text) => text.as_bytes().to_vec(),
+                    Payload::Path(path) => match std::fs::read(path) {
+                        Ok(bytes) => bytes,
+                        Err(e) => {
+                            return finish(
+                                error_verdict(
+                                    spec,
+                                    status::IO_ERROR,
+                                    &format!("reading proof {path}: {e}"),
+                                ),
+                                started,
+                                Registry::new(),
+                            )
+                        }
+                    },
+                };
+                match rescheck_interop::ingest_bytes(&formula.cnf, &bytes, format) {
+                    Ok(report) if !report.resolution_checkable() => {
+                        // RAT steps have no resolution derivation; the
+                        // ingestion engine's forward check is the verdict.
+                        let mut frame = verdict(&spec.id, status::VALID);
+                        frame
+                            .set("claim", "unsat")
+                            .set("proof_format", format.to_string())
+                            .set("verified_by", "ingest")
+                            .set("rat_steps", report.stats.rat_steps);
+                        return finish(frame, started, Registry::new());
+                    }
+                    Ok(report) => LoadedTrace::Memory(MemorySink::from(report.events)),
+                    Err(e) => {
+                        let status = match e.kind {
+                            rescheck_interop::InteropErrorKind::Input => status::IO_ERROR,
+                            rescheck_interop::InteropErrorKind::ProofDefect => status::PROOF_DEFECT,
+                        };
+                        return finish(
+                            error_verdict(spec, status, &e.to_string()),
+                            started,
+                            Registry::new(),
+                        );
+                    }
+                }
+            } else {
+                match load_trace(evidence, env.traces) {
+                    Ok(trace) => trace,
+                    Err(message) => {
+                        return finish(
+                            error_verdict(spec, status::IO_ERROR, &message),
+                            started,
+                            Registry::new(),
+                        )
+                    }
                 }
             };
             let mut sink = MetricsSink::new();

@@ -19,6 +19,7 @@
 //! | `trace_path`   | path to a trace file (ASCII or binary, sniffed)          |
 //! | `model`        | array of DIMACS literals (SAT claim)                     |
 //! | `strategy`     | `df` `bf` `hybrid` `portfolio` `pbf` `pdag` `dfd` (default `df`)|
+//! | `proof_format` | `native` (default) `drat` `drup` `lrat` — how to read the trace payload |
 //! | `memory_bytes` | per-job accounted-memory cap                             |
 //! | `timeout_ms`   | per-job wall-clock deadline                              |
 //! | `jobs`         | inner worker threads for `pbf`/`pdag` (default 1)        |
@@ -27,6 +28,7 @@
 //! Exactly one of `trace` / `trace_path` / `model` selects the claim.
 
 use rescheck_checker::Strategy;
+use rescheck_interop::ProofFormat;
 use rescheck_obs::json::{self, Json};
 
 /// Schema tag on every per-job reply frame.
@@ -104,6 +106,9 @@ pub struct JobSpec {
     pub timeout_ms: Option<u64>,
     /// Inner worker threads (only `pbf` and `pdag` use more than one).
     pub inner_jobs: usize,
+    /// How to read UNSAT evidence: `None` = native resolve trace,
+    /// `Some` = a clausal proof ingested into a synthetic trace first.
+    pub proof_format: Option<ProofFormat>,
     /// Optional chaos hook.
     pub inject: Option<Inject>,
 }
@@ -166,6 +171,7 @@ const JOB_KEYS: &[&str] = &[
     "memory_bytes",
     "timeout_ms",
     "jobs",
+    "proof_format",
     "inject",
 ];
 
@@ -250,6 +256,27 @@ pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
             parse_strategy(name).ok_or_else(|| fail(format!("unknown strategy {name:?}")))?
         }
     };
+    let proof_format = match value.get("proof_format") {
+        None => None,
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| fail("\"proof_format\" must be a string".into()))?;
+            match name {
+                "native" => None,
+                other => Some(ProofFormat::from_name(other).ok_or_else(|| {
+                    fail(format!(
+                        "unknown proof format {other:?} (native|drat|drup|lrat)"
+                    ))
+                })?),
+            }
+        }
+    };
+    if proof_format.is_some() && matches!(claim, Claim::Sat(_)) {
+        return Err(fail(
+            "\"proof_format\" requires a \"trace\"/\"trace_path\" claim".into(),
+        ));
+    }
     let memory_bytes = u64_field(&value, "memory_bytes").map_err(|e| fail(e.message))?;
     let timeout_ms = u64_field(&value, "timeout_ms").map_err(|e| fail(e.message))?;
     let inner_jobs = u64_field(&value, "jobs")
@@ -276,6 +303,7 @@ pub fn parse_frame(line: &str) -> Result<Frame, FrameError> {
         memory_bytes,
         timeout_ms,
         inner_jobs,
+        proof_format,
         inject,
     })))
 }
@@ -446,6 +474,27 @@ mod tests {
             panic!("expected a job frame");
         };
         assert_eq!(spec.inject, Some(Inject::Sleep(25)));
+    }
+
+    #[test]
+    fn proof_format_parses_and_guards() {
+        for (name, expect) in [
+            ("native", None),
+            ("drat", Some(ProofFormat::Drat)),
+            ("drup", Some(ProofFormat::Drat)),
+            ("lrat", Some(ProofFormat::Lrat)),
+        ] {
+            let line = job_line(&format!(r#","proof_format":"{name}""#));
+            let Frame::Job(spec) = parse_frame(&line).unwrap() else {
+                panic!("expected a job frame for {name}");
+            };
+            assert_eq!(spec.proof_format, expect, "{name}");
+        }
+        assert!(parse_frame(&job_line(r#","proof_format":"tracecheck""#)).is_err());
+        assert!(parse_frame(&job_line(r#","proof_format":7"#)).is_err());
+        // A SAT claim carries no proof to reinterpret.
+        let line = r#"{"id":"m","cnf":"p cnf 2 1\n1 2 0\n","model":[1],"proof_format":"drat"}"#;
+        assert!(parse_frame(line).is_err());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!                [--no-deletion] [--no-restarts]
 //! rescheck check <file.cnf> <trace> [--strategy df|bf|dfd|hybrid|portfolio|pbf|pdag]
 //!                [--mem-limit <bytes>] [--jobs <n>]
+//!                [--proof-format native|drat|drup|lrat]
+//! rescheck export <file.cnf> <trace> [--out <proof.lrat>] [--binary]
 //! rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
 //! rescheck gen   <family> [args…]        # writes DIMACS to stdout
 //! rescheck serve [--stdin | --listen <addr>] [--jobs <n>]  # daemon mode
@@ -34,6 +36,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("solve") => cmd_solve(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
         Some("core") => cmd_core(&args[1..]),
         Some("trim") => cmd_trim(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
@@ -84,6 +87,20 @@ USAGE:
                  in the environment, swaps the mapping for a buffered
                  read of the whole file — verdict and every stat are
                  bit-identical either way)
+                 [--proof-format native|drat|drup|lrat]
+                 (native is the resolve-trace format above; drat/drup and
+                 lrat ingest a clausal proof instead, re-deriving a
+                 resolution trace by unit propagation / hint replay and
+                 then checking it with the chosen strategy. A proof whose
+                 RAT steps have no resolution derivation is verified by
+                 the ingestion itself and reported as such. Deleting a
+                 clause that is not in the database is a warning, not an
+                 error — the drat-trim convention.)
+  rescheck export <file.cnf> <trace> [--out <proof.lrat>] [--binary]
+                 (converts a resolve trace to LRAT: antecedent chains
+                 become RUP hint lines, spent clauses get deletion lines;
+                 --binary emits the binary LRAT encoding; without --out
+                 the proof goes to stdout and the summary to stderr)
   rescheck core  <file.cnf> [--iterations <n>] [--out <core.cnf>]
   rescheck trim  <file.cnf> <trace> --out <trimmed> [--binary]
   rescheck stats <file.cnf> <trace>
@@ -140,6 +157,7 @@ Observability (solve, check, core, trim, stats, fuzz):
 Exit codes: solve → 10 SAT / 20 UNSAT (competition convention);
 check → 0 valid proof, 1 proof defect, 3 resource limit exceeded,
 4 input I/O error, 5 internal checker error (worker panic);
+export → 0 success, 1 defective trace, 4 input I/O error;
 fuzz → 0 clean campaign, 1 disagreements found;
 core → 0 on success, 1 on an invalid proof; all → 2 on usage errors.
 ";
@@ -430,6 +448,15 @@ fn cmd_check(rest: &[String]) -> CliResult {
         .unwrap_or(0);
     let no_mmap = take_flag(&mut args, "--no-mmap") || rescheck::trace::no_mmap_requested();
     let flight_out = take_opt(&mut args, "--flight-out")?;
+    let proof_format = match take_opt(&mut args, "--proof-format")?.as_deref() {
+        None | Some("native") => None,
+        Some(name) => match rescheck::interop::ProofFormat::from_name(name) {
+            Some(format) => Some(format),
+            None => {
+                return Err(format!("unknown proof format {name:?} (native|drat|drup|lrat)").into())
+            }
+        },
+    };
     let [cnf_path, trace_path] = args.as_slice() else {
         return Err("check needs a CNF file and a trace file".into());
     };
@@ -455,7 +482,66 @@ fn cmd_check(rest: &[String]) -> CliResult {
         File(FileTrace),
         Stdin(MemorySink),
     }
-    let trace = if trace_path == "-" {
+    let mut ingest_stats = None;
+    let trace = if let Some(format) = proof_format {
+        use rescheck::interop::InteropErrorKind;
+        // Clausal proofs (DRAT/LRAT) have no random-access story: read
+        // the whole proof, synthesize a resolve trace, check that.
+        let bytes = if trace_path == "-" {
+            use std::io::Read;
+            let mut bytes = Vec::new();
+            if let Err(e) = std::io::stdin().lock().read_to_end(&mut bytes) {
+                return Ok(open_failed("stdin", &e));
+            }
+            bytes
+        } else {
+            match std::fs::read(trace_path) {
+                Ok(bytes) => bytes,
+                Err(e) => return Ok(open_failed(trace_path, &e)),
+            }
+        };
+        obs.observe(&Event::GaugeSet {
+            name: "io.trace.bytes",
+            value: bytes.len() as f64,
+        });
+        match rescheck::interop::ingest_bytes(&cnf, &bytes, format) {
+            Ok(report) => {
+                if !report.resolution_checkable() {
+                    // RAT steps have no resolution derivation, so there
+                    // is no trace to hand the strategies: the ingestion
+                    // engine's own forward verification is the verdict.
+                    parse.finish(&mut obs);
+                    root.stop(&mut obs);
+                    println!("VALID UNSAT proof (verified by {format} ingestion)");
+                    println!(
+                        "note: {} RAT step(s) have no resolution derivation; \
+                         the synthesized trace was not re-checked",
+                        report.stats.rat_steps
+                    );
+                    println!("{}", report.stats);
+                    obs.write_metrics("check", |doc| {
+                        doc.set("proof_format", format.to_string().as_str())
+                            .set("rat_steps", report.stats.rat_steps);
+                    })?;
+                    return Ok(ExitCode::SUCCESS);
+                }
+                ingest_stats = Some(report.stats);
+                TraceInput::Stdin(MemorySink::from(report.events))
+            }
+            Err(e) => {
+                return Ok(match e.kind {
+                    InteropErrorKind::Input => {
+                        eprintln!("error: invalid {format} proof in {trace_path}: {e}");
+                        ExitCode::from(4)
+                    }
+                    InteropErrorKind::ProofDefect => {
+                        println!("INVALID proof: {e}");
+                        ExitCode::from(1)
+                    }
+                });
+            }
+        }
+    } else if trace_path == "-" {
         use rescheck::trace::{read_all, TraceFormat, BINARY_MAGIC};
         use std::io::Read;
         let mut bytes = Vec::new();
@@ -514,6 +600,9 @@ fn cmd_check(rest: &[String]) -> CliResult {
     match result {
         Ok(outcome) => {
             println!("VALID UNSAT proof");
+            if let Some(stats) = &ingest_stats {
+                println!("{stats}");
+            }
             println!("{}", outcome.stats);
             if let Some(core) = &outcome.core {
                 println!(
@@ -568,6 +657,101 @@ fn cmd_check(rest: &[String]) -> CliResult {
             }))
         }
     }
+}
+
+fn cmd_export(rest: &[String]) -> CliResult {
+    use rescheck::interop::{export_lrat, lrat};
+    use rescheck::trace::{read_all, TraceFormat, BINARY_MAGIC};
+    let mut args = rest.to_vec();
+    let mut obs = CliObserver::from_args(&mut args)?;
+    let out = take_opt(&mut args, "--out")?;
+    let binary = take_flag(&mut args, "--binary");
+    match take_opt(&mut args, "--format")?.as_deref() {
+        None | Some("lrat") => {}
+        Some(other) => return Err(format!("unknown export format {other:?} (lrat)").into()),
+    }
+    let [cnf_path, trace_path] = args.as_slice() else {
+        return Err("export needs a CNF file and a trace file".into());
+    };
+    let open_failed = |what: &str, e: &dyn std::fmt::Display| -> ExitCode {
+        eprintln!("error: cannot read {what}: {e}");
+        ExitCode::from(4)
+    };
+    let mut root = Span::start("export", &mut obs);
+    let parse = Phase::start("parse", &mut obs);
+    let cnf = match dimacs::read_file(cnf_path) {
+        Ok(cnf) => cnf,
+        Err(e) => return Ok(open_failed(cnf_path, &e)),
+    };
+    let bytes = if trace_path == "-" {
+        use std::io::Read;
+        let mut bytes = Vec::new();
+        if let Err(e) = std::io::stdin().lock().read_to_end(&mut bytes) {
+            return Ok(open_failed("stdin", &e));
+        }
+        bytes
+    } else {
+        match std::fs::read(trace_path) {
+            Ok(bytes) => bytes,
+            Err(e) => return Ok(open_failed(trace_path, &e)),
+        }
+    };
+    let format = if bytes.starts_with(&BINARY_MAGIC) {
+        TraceFormat::Binary
+    } else {
+        TraceFormat::Ascii
+    };
+    let events = match read_all(&bytes[..], format) {
+        Ok(events) => events,
+        Err(e) => return Ok(open_failed("trace", &e)),
+    };
+    parse.finish(&mut obs);
+    let convert = Phase::start("export:convert", &mut obs);
+    let report = match export_lrat(&cnf, &events) {
+        Ok(report) => report,
+        Err(e) => {
+            // The trace cannot be folded into a proof — same exit code
+            // as a rejected proof in `check`: the trace is defective.
+            println!("INVALID trace: {e}");
+            return Ok(ExitCode::from(1));
+        }
+    };
+    convert.finish(&mut obs);
+    let proof = if binary {
+        lrat::write_binary(&report.steps)
+    } else {
+        let mut text = Vec::new();
+        lrat::write_text(&mut text, &report.steps)?;
+        text
+    };
+    obs.observe(&Event::GaugeSet {
+        name: "io.proof.bytes",
+        value: proof.len() as f64,
+    });
+    root.stop(&mut obs);
+    // Without --out the proof itself occupies stdout, so the summary
+    // moves to stderr.
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &proof) {
+                eprintln!("error: cannot write {path}: {e}");
+                return Ok(ExitCode::from(4));
+            }
+            println!("exported LRAT proof to {path} ({} bytes)", proof.len());
+            println!("{}", report.stats);
+        }
+        None => {
+            std::io::stdout().lock().write_all(&proof)?;
+            eprintln!("{}", report.stats);
+        }
+    }
+    obs.write_metrics("export", |doc| {
+        doc.set("steps", report.steps.len())
+            .set("proof_bytes", proof.len())
+            .set("learned", report.stats.learned)
+            .set("deletions", report.stats.deletions);
+    })?;
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_core(rest: &[String]) -> CliResult {

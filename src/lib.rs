@@ -47,6 +47,7 @@
 pub use rescheck_checker as checker;
 pub use rescheck_circuit as circuit;
 pub use rescheck_cnf as cnf;
+pub use rescheck_interop as interop;
 pub use rescheck_solver as solver;
 pub use rescheck_trace as trace;
 pub use rescheck_workloads as workloads;

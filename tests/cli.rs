@@ -945,3 +945,168 @@ fn fuzz_metrics_document_counts_iterations() {
     assert!(doc.contains("fuzz.iterations"));
     assert!(doc.contains("fuzz.mutants_tested"));
 }
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn export_lrat_and_recheck_agrees_with_native() {
+    let dir = tmp_dir("export-lrat");
+    let cnf_path = dir.join("php.cnf");
+    let trace_path = dir.join("php.rt");
+    let lrat_text = dir.join("php.lrat");
+    let lrat_binary = dir.join("php.lratb");
+
+    let out = bin().args(["gen", "pigeonhole", "4"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+    let st = bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(20));
+
+    // Text and binary export both succeed; binary is smaller.
+    for (path, extra) in [(&lrat_text, None), (&lrat_binary, Some("--binary"))] {
+        let mut cmd = bin();
+        cmd.arg("export")
+            .arg(&cnf_path)
+            .arg(&trace_path)
+            .arg("--out")
+            .arg(path);
+        if let Some(flag) = extra {
+            cmd.arg(flag);
+        }
+        let out = cmd.output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("export:"));
+    }
+    let text_len = std::fs::metadata(&lrat_text).unwrap().len();
+    let binary_len = std::fs::metadata(&lrat_binary).unwrap().len();
+    assert!(
+        binary_len < text_len,
+        "binary {binary_len} < text {text_len}"
+    );
+
+    // Both encodings re-ingest and validate under every strategy the
+    // native trace validates under.
+    for proof in [&lrat_text, &lrat_binary] {
+        for strategy in ["df", "bf", "pdag"] {
+            let out = bin()
+                .arg("check")
+                .arg(&cnf_path)
+                .arg(proof)
+                .args(["--proof-format", "lrat", "--strategy", strategy])
+                .output()
+                .unwrap();
+            assert_eq!(out.status.code(), Some(0), "{strategy}: {out:?}");
+            let text = String::from_utf8_lossy(&out.stdout).to_string();
+            assert!(text.contains("VALID UNSAT proof"), "{text}");
+            assert!(text.contains("ingest:"), "{text}");
+        }
+    }
+}
+
+#[test]
+fn drat_fixture_checks_and_missing_deletion_is_a_warning() {
+    let out = bin()
+        .arg("check")
+        .arg(fixture("interop.cnf"))
+        .arg(fixture("interop.drat"))
+        .args(["--proof-format", "drat"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("VALID UNSAT proof"), "{text}");
+    // The deletion of a never-added clause is warned in the stats, not
+    // treated as a defect.
+    assert!(text.contains("(1 missing"), "{text}");
+}
+
+#[test]
+fn proof_format_exit_codes_distinguish_defect_from_input_error() {
+    let dir = tmp_dir("proof-exit-codes");
+
+    // A well-formed proof that never derives the empty clause is a
+    // proof defect: exit 1.
+    let out = bin()
+        .arg("check")
+        .arg(fixture("interop.cnf"))
+        .arg(fixture("interop-stall.drat"))
+        .args(["--proof-format", "drat"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("INVALID proof"));
+
+    // Unparseable bytes are an input error: exit 4, message on stderr.
+    let garbage = dir.join("garbage.drat");
+    std::fs::write(&garbage, "this is not a proof\n").unwrap();
+    for format in ["drat", "lrat"] {
+        let out = bin()
+            .arg("check")
+            .arg(fixture("interop.cnf"))
+            .arg(&garbage)
+            .args(["--proof-format", format])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(4), "{format}: {out:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("error:"),
+            "{format}"
+        );
+    }
+
+    // A missing proof file is also an input error: exit 4.
+    let out = bin()
+        .arg("check")
+        .arg(fixture("interop.cnf"))
+        .arg(dir.join("does-not-exist.drat"))
+        .args(["--proof-format", "drat"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+}
+
+#[test]
+fn exported_proof_pipes_through_stdin_check() {
+    let dir = tmp_dir("proof-stdin");
+    let cnf_path = dir.join("par.cnf");
+    let trace_path = dir.join("par.rt");
+    let out = bin().args(["gen", "parity", "5"]).output().unwrap();
+    std::fs::write(&cnf_path, out.stdout).unwrap();
+    let st = bin()
+        .arg("solve")
+        .arg(&cnf_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(20));
+
+    // Export binary LRAT to stdout, feed it back through `check -`.
+    let out = bin()
+        .arg("export")
+        .arg(&cnf_path)
+        .arg(&trace_path)
+        .arg("--binary")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let proof = out.stdout;
+    assert!(!proof.is_empty());
+    let cnf_str = cnf_path.to_str().unwrap().to_string();
+    let (code, stdout, _) = run_with_stdin(
+        &dir,
+        &["check", &cnf_str, "-", "--proof-format", "lrat"],
+        &proof,
+    );
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("VALID UNSAT proof"), "{stdout}");
+}
